@@ -1,0 +1,44 @@
+// Ablation: confidence calibration of the CDLN (extension). Measures the
+// expected calibration error (ECE) of the decisions the cascade actually
+// emits, per delta, and fits a softmax temperature for the FC stage on the
+// validation split — quantifying how trustworthy the activation module's
+// confidences are as a difficulty signal.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cdl/calibration.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Ablation: confidence calibration (MNIST_3C)",
+                           config, data);
+
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+
+  cdl::TextTable table(
+      {"delta", "accuracy", "mean confidence", "ECE (10 bins)"});
+  for (float delta : {0.3F, 0.5F, 0.7F}) {
+    trained.net.set_delta(delta);
+    const cdl::CalibrationReport report =
+        cdl::measure_calibration(trained.net, data.test);
+    table.add_row({cdl::fmt(delta, 2), cdl::fmt_percent(report.accuracy),
+                   cdl::fmt(report.mean_confidence, 3),
+                   cdl::fmt(report.ece, 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const float t = cdl::fit_temperature(trained.net, data.validation);
+  const double nll_raw = cdl::baseline_nll(trained.net, data.test, 1.0F);
+  const double nll_cal = cdl::baseline_nll(trained.net, data.test, t);
+  std::printf("\nFC temperature fitted on validation: T = %.3f\n",
+              static_cast<double>(t));
+  std::printf("FC test NLL: %.4f raw -> %.4f calibrated\n", nll_raw, nll_cal);
+  std::printf("\nexpected shape: ECE stays small at the operating delta "
+              "(confidences are usable as a difficulty oracle); temperature "
+              "fitting does not hurt NLL\n");
+  return 0;
+}

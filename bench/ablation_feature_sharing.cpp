@@ -1,0 +1,93 @@
+// Ablation: what the linear classifiers actually buy from the shared
+// convolutional features. The paper's premise is that CNN-layer features are
+// strong enough for a *linear* model to classify most inputs; this harness
+// trains identical LMS classifiers on raw pixels and on each conv stage's
+// pooled features, comparing accuracy and early-exit power at delta 0.5.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cdl/activation_module.h"
+#include "cdl/linear_classifier.h"
+#include "eval/table.h"
+
+namespace {
+
+struct FeatureSource {
+  std::string name;
+  std::size_t prefix_layers;  // 0 = raw pixels
+};
+
+}  // namespace
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Ablation: linear classifiers on raw pixels vs conv features (MNIST_3C)",
+      config, data);
+
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+  cdl::Network& baseline = trained.net.baseline();
+
+  const std::vector<FeatureSource> sources = {
+      {"raw pixels", 0},
+      {"P1 features (O1)", 3},
+      {"P2 features (O2)", 6},
+      {"P3 features (O3)", 9},
+  };
+
+  cdl::TextTable table({"feature source", "dims", "LC accuracy",
+                        "confident-exit share", "accuracy on exits"});
+  const cdl::ActivationModule gate(0.5F);
+  cdl::Rng rng(77);
+
+  for (const FeatureSource& src : sources) {
+    const cdl::Shape feat_shape =
+        baseline.output_shape_after(arch.input_shape, src.prefix_layers);
+    cdl::LinearClassifier lc(feat_shape.numel(), 10);
+    lc.init(rng);
+
+    // Same NLMS schedule the CDLN trainer uses.
+    float lr = 0.8F;
+    for (std::size_t epoch = 0; epoch < 12; ++epoch) {
+      for (std::size_t i = 0; i < data.train.size(); ++i) {
+        const cdl::Tensor f = baseline.forward_range(data.train.image(i), 0,
+                                                     src.prefix_layers);
+        (void)lc.train_step(f, data.train.label(i), lr);
+      }
+      lr *= 0.9F;
+    }
+
+    std::size_t correct = 0;
+    std::size_t exits = 0;
+    std::size_t exit_correct = 0;
+    for (std::size_t i = 0; i < data.test.size(); ++i) {
+      const cdl::Tensor f =
+          baseline.forward_range(data.test.image(i), 0, src.prefix_layers);
+      const cdl::Tensor probs = lc.probabilities(f);
+      const cdl::ActivationDecision d = gate.evaluate(probs);
+      const bool ok = d.label == data.test.label(i);
+      correct += ok ? 1 : 0;
+      if (d.terminate) {
+        ++exits;
+        exit_correct += ok ? 1 : 0;
+      }
+    }
+    const double n = static_cast<double>(data.test.size());
+    table.add_row({src.name, std::to_string(feat_shape.numel()),
+                   cdl::fmt_percent(static_cast<double>(correct) / n),
+                   cdl::fmt_percent(static_cast<double>(exits) / n),
+                   exits == 0 ? "n/a"
+                              : cdl::fmt_percent(
+                                    static_cast<double>(exit_correct) /
+                                    static_cast<double>(exits))});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: conv features beat raw pixels for a linear "
+              "model, and deeper features are stronger per dimension — the "
+              "generic-to-specific transition the paper builds on\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: sequential vs joint training of the cascade (extension).
+//
+// The paper trains the baseline first and then fits each stage classifier on
+// frozen features (Algorithm 1). The natural evolution — what BranchyNet
+// later adopted — is to train everything *jointly*: each stage's loss
+// gradient flows into the shared convolutional trunk. This harness compares
+// the two at matched epochs and validation-selected delta.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cdl/cdl_trainer.h"
+#include "cdl/delta_selection.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Ablation: sequential (paper) vs joint training (MNIST_3C)", config,
+      data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  cdl::TextTable table({"training", "baseline acc", "CDLN acc", "delta",
+                        "normalized #OPS", "FC exit"});
+
+  // --- sequential: Algorithm 1 on a pre-trained baseline (cached) -----------
+  {
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    const float delta = cdl::bench::select_operating_delta(trained.net, data);
+    const cdl::Evaluation base =
+        cdl::evaluate_baseline(trained.net, data.test, energy);
+    const cdl::Evaluation eval =
+        cdl::evaluate_cdl(trained.net, data.test, energy);
+    const double base_ops = static_cast<double>(
+        trained.net.baseline_forward_ops().total_compute());
+    table.add_row({"sequential (paper)", cdl::fmt_percent(base.accuracy()),
+                   cdl::fmt_percent(eval.accuracy()), cdl::fmt(delta, 2),
+                   cdl::fmt(eval.avg_ops() / base_ops, 3),
+                   cdl::fmt_percent(eval.exit_fraction(trained.net.num_stages()))});
+  }
+
+  // --- joint: all losses through the shared trunk, from scratch -------------
+  {
+    cdl::Rng rng(config.seed);
+    cdl::Network base_net = arch.make_baseline();
+    base_net.init(rng);
+    cdl::ConditionalNetwork net(std::move(base_net), arch.input_shape);
+    for (std::size_t prefix : arch.default_stages) {
+      net.attach_classifier(prefix, cdl::LcTrainingRule::kSoftmaxXent, rng);
+    }
+    std::printf("[bench] joint training (%zu epochs)...\n",
+                cdl::JointTrainConfig{}.epochs);
+    cdl::train_cdl_joint(net, data.train, cdl::JointTrainConfig{}, rng);
+    const cdl::DeltaSelection sel = cdl::select_delta(net, data.validation);
+
+    const cdl::Evaluation base = cdl::evaluate_baseline(net, data.test, energy);
+    const cdl::Evaluation eval = cdl::evaluate_cdl(net, data.test, energy);
+    const double base_ops =
+        static_cast<double>(net.baseline_forward_ops().total_compute());
+    table.add_row({"joint (extension)", cdl::fmt_percent(base.accuracy()),
+                   cdl::fmt_percent(eval.accuracy()),
+                   cdl::fmt(sel.best.delta, 2),
+                   cdl::fmt(eval.avg_ops() / base_ops, 3),
+                   cdl::fmt_percent(eval.exit_fraction(net.num_stages()))});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: joint training acts as deep supervision — "
+              "the auxiliary stage losses improve the *baseline* itself and "
+              "lift CDLN accuracy by ~1 pp over sequential training at a "
+              "small ops cost (softmax stages exit a little less eagerly). "
+              "This is the direction BranchyNet later took; the paper's "
+              "sequential recipe retains the advantage of leaving an "
+              "already-deployed baseline untouched\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Comparison baseline: CDL vs the scalable-effort classifier cascade it
+// builds on (the paper's reference [1], Venkataramani et al. DAC 2015).
+//
+// Scalable-effort chains independent models — here a raw-pixel linear
+// classifier, a small MLP, and the full MNIST_3C CNN — each re-processing
+// the input from scratch. CDL instead taps the single CNN's intermediate
+// features. Both are evaluated at the same confidence rule and delta; the
+// question is how much of the conditional saving survives when stages must
+// pay for their own feature extraction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "energy/report.h"
+#include "eval/table.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "cdl/delta_selection.h"
+#include "scalable/scalable_cascade.h"
+
+namespace {
+
+cdl::Network raw_linear_stage(cdl::Rng& rng) {
+  cdl::Network net;
+  net.emplace<cdl::Dense>(28 * 28, 10);
+  net.init(rng);
+  return net;
+}
+
+cdl::Network small_mlp_stage(cdl::Rng& rng) {
+  cdl::Network net;
+  net.emplace<cdl::Dense>(28 * 28, 32);
+  net.emplace<cdl::Sigmoid>();
+  net.emplace<cdl::Dense>(32, 10);
+  net.init(rng);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Baseline comparison: CDL vs scalable-effort cascade (DAC'15 [1])",
+      config, data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+
+  // --- CDL (shared features), delta picked on validation --------------------
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+  cdl::bench::select_operating_delta(trained.net, data);
+  const cdl::Evaluation uncond =
+      cdl::evaluate_baseline(trained.net, data.test, energy);
+  const cdl::Evaluation cdl_eval =
+      cdl::evaluate_cdl(trained.net, data.test, energy);
+
+  // --- Scalable-effort (independent models) ---------------------------------
+  cdl::Rng rng(config.seed + 7);
+  cdl::ScalableCascade cascade(arch.input_shape);
+  cascade.add_stage(raw_linear_stage(rng));
+  cascade.add_stage(small_mlp_stage(rng));
+  {
+    // Final stage: the DAC'15 "reference classifier" — the full CNN trained
+    // on ALL data up front (routing leaves it too few instances otherwise).
+    cdl::Network cnn = arch.make_baseline();
+    cnn.init(rng);
+    cdl::train_baseline(cnn, data.train, cdl::BaselineTrainConfig{}, rng);
+    cascade.add_stage(std::move(cnn));
+  }
+  std::printf("[bench] training scalable-effort gate stages...\n");
+  cdl::ScalableTrainConfig scfg;
+  scfg.epochs_per_stage = {8, 8, 0};  // reference stage stays as trained
+  const cdl::ScalableTrainReport sreport =
+      cdl::train_scalable_cascade(cascade, data.train, scfg, rng);
+
+  // Same protocol as CDL: pick the cascade's delta on the validation split.
+  const double n = static_cast<double>(data.test.size());
+  {
+    float best_delta = 0.5F;
+    double best_acc = -1.0;
+    for (float delta : cdl::default_delta_grid()) {
+      cascade.set_delta(delta);
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < data.validation.size(); ++i) {
+        if (cascade.classify(data.validation.image(i)).label ==
+            data.validation.label(i)) {
+          ++correct;
+        }
+      }
+      const double acc = static_cast<double>(correct) /
+                         static_cast<double>(data.validation.size());
+      if (acc > best_acc) {
+        best_acc = acc;
+        best_delta = delta;
+      }
+    }
+    cascade.set_delta(best_delta);
+    std::printf("[bench] scalable-effort delta selected on validation: %.2f\n",
+                static_cast<double>(best_delta));
+  }
+
+  std::size_t sc_correct = 0;
+  double sc_ops = 0.0;
+  double sc_energy = 0.0;
+  std::vector<std::size_t> sc_exits(cascade.num_stages(), 0);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    const cdl::ClassificationResult r = cascade.classify(data.test.image(i));
+    if (r.label == data.test.label(i)) ++sc_correct;
+    sc_ops += static_cast<double>(r.ops.total_compute());
+    sc_energy += energy.energy_pj(r.ops);
+    ++sc_exits[r.exit_stage];
+  }
+
+  cdl::TextTable table({"scheme", "accuracy", "avg ops", "vs unconditional",
+                        "avg energy"});
+  table.add_row({"unconditional CNN", cdl::fmt_percent(uncond.accuracy()),
+                 cdl::fmt(uncond.avg_ops(), 0), "1.00x",
+                 cdl::format_energy(uncond.avg_energy_pj())});
+  table.add_row({"scalable-effort [1]",
+                 cdl::fmt_percent(static_cast<double>(sc_correct) / n),
+                 cdl::fmt(sc_ops / n, 0),
+                 cdl::fmt(uncond.avg_ops() / (sc_ops / n), 2) + "x",
+                 cdl::format_energy(sc_energy / n)});
+  table.add_row({"CDL (this paper)", cdl::fmt_percent(cdl_eval.accuracy()),
+                 cdl::fmt(cdl_eval.avg_ops(), 0),
+                 cdl::fmt(uncond.avg_ops() / cdl_eval.avg_ops(), 2) + "x",
+                 cdl::format_energy(cdl_eval.avg_energy_pj())});
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nscalable-effort training flow (instances per stage):");
+  for (std::size_t s = 0; s < sreport.reached.size(); ++s) {
+    std::printf("  S%zu %zu->%zu", s + 1, sreport.reached[s],
+                sreport.reached[s] - sreport.classified[s]);
+  }
+  std::printf("\nscalable-effort test exits:");
+  for (std::size_t s = 0; s < sc_exits.size(); ++s) {
+    std::printf("  S%zu %.1f %%", s + 1,
+                100.0 * static_cast<double>(sc_exits[s]) / n);
+  }
+  std::printf("\n\nexpected shape: both cascades beat the unconditional CNN. "
+              "On this workload they land on different Pareto points: the "
+              "raw-pixel gate is cheap, so scalable-effort saves more ops, "
+              "but its stages cannot exceed their own model capacity — CDL's "
+              "feature-sharing stages reach the highest accuracy while still "
+              "halving the ops (on harder datasets, where raw-pixel linear "
+              "models collapse, CDL's advantage widens into the strict win "
+              "the paper claims)\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "eval/csv.h"
+#include "nn/serialize.h"
+
+namespace cdl::bench {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+                      : fallback;
+}
+
+std::string stages_tag(const std::vector<std::size_t>& stages) {
+  std::string tag;
+  for (std::size_t s : stages) tag += std::to_string(s) + "_";
+  return tag;
+}
+
+/// Rebuilds the architecture's baseline, training it or loading cached
+/// weights. Baseline weights depend only on (arch, data, seed).
+Network cached_baseline(const CdlArchitecture& arch, const Dataset& train,
+                        const BenchConfig& config) {
+  namespace fs = std::filesystem;
+  fs::create_directories(config.cache_dir);
+  const std::string path = config.cache_dir + "/" + arch.name + "_base_n" +
+                           std::to_string(train.size()) + "_s" +
+                           std::to_string(config.seed) + ".cdlw";
+
+  Network net = arch.make_baseline();
+  Rng rng(config.seed);
+  net.init(rng);
+  if (fs::exists(path)) {
+    load_network(path, net);
+    return net;
+  }
+  std::printf("[bench] training %s baseline (%zu samples)...\n",
+              arch.name.c_str(), train.size());
+  train_baseline(net, train, BaselineTrainConfig{}, rng);
+  save_network(path, net);
+  return net;
+}
+
+}  // namespace
+
+BenchConfig bench_config() {
+  BenchConfig config;
+  config.train_n = env_size("CDL_TRAIN_N", config.train_n);
+  config.test_n = env_size("CDL_TEST_N", config.test_n);
+  config.val_n = env_size("CDL_VAL_N", config.val_n);
+  config.seed = env_size("CDL_SEED", config.seed);
+  if (const char* dir = std::getenv("CDL_CACHE_DIR")) config.cache_dir = dir;
+  return config;
+}
+
+MnistPair bench_data(const BenchConfig& config) {
+  return load_mnist_or_synthetic(config.train_n, config.test_n, config.seed,
+                                 config.val_n);
+}
+
+TrainedCdln trained_cdln(const CdlArchitecture& arch,
+                         const std::vector<std::size_t>& candidate_stages,
+                         const Dataset& train, const BenchConfig& config,
+                         bool prune, LcTrainingRule rule) {
+  namespace fs = std::filesystem;
+  fs::create_directories(config.cache_dir);
+  const std::string key = config.cache_dir + "/" + arch.name + "_cdln_" +
+                          stages_tag(candidate_stages) +
+                          (prune ? "p1" : "p0") + "_" + to_string(rule) +
+                          "_n" + std::to_string(train.size()) + "_s" +
+                          std::to_string(config.seed);
+  const std::string weights_path = key + ".cdlw";
+  const std::string meta_path = key + ".meta";
+
+  Rng rng(config.seed + 1);
+
+  if (fs::exists(weights_path) && fs::exists(meta_path)) {
+    // Meta records which candidates Algorithm 1 admitted plus the report.
+    std::ifstream meta(meta_path);
+    std::string line;
+    std::vector<std::size_t> admitted;
+    CdlTrainReport report;
+    while (std::getline(meta, line)) {
+      std::istringstream is(line);
+      std::string kind;
+      is >> kind;
+      if (kind == "admitted") {
+        std::size_t prefix = 0;
+        while (is >> prefix) admitted.push_back(prefix);
+      } else if (kind == "stage") {
+        StageTrainReport s;
+        int adm = 0;
+        is >> s.stage_name >> s.prefix_layers >> adm >> s.gain >> s.reached >>
+            s.classified >> s.final_loss;
+        s.admitted = adm != 0;
+        report.stages.push_back(std::move(s));
+      } else if (kind == "fc_fraction") {
+        is >> report.fc_fraction;
+      }
+    }
+    ConditionalNetwork net(cached_baseline(arch, train, config),
+                           arch.input_shape);
+    for (std::size_t prefix : admitted) {
+      net.attach_classifier(prefix, rule, rng);
+    }
+    net.load(weights_path);
+    return TrainedCdln{std::move(net), std::move(report), true};
+  }
+
+  ConditionalNetwork net(cached_baseline(arch, train, config),
+                         arch.input_shape);
+  for (std::size_t prefix : candidate_stages) {
+    net.attach_classifier(prefix, rule, rng);
+  }
+  CdlTrainConfig cfg;
+  cfg.prune_by_gain = prune;
+  std::printf("[bench] training %s linear classifiers (stages: %s)...\n",
+              arch.name.c_str(), stages_tag(candidate_stages).c_str());
+  CdlTrainReport report = train_cdl(net, train, cfg, rng);
+
+  net.save(weights_path);
+  std::ofstream meta(meta_path);
+  meta << "admitted";
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    meta << ' ' << net.stage_prefix(s);
+  }
+  meta << '\n';
+  for (const StageTrainReport& s : report.stages) {
+    meta << "stage " << s.stage_name << ' ' << s.prefix_layers << ' '
+         << (s.admitted ? 1 : 0) << ' ' << s.gain << ' ' << s.reached << ' '
+         << s.classified << ' ' << s.final_loss << '\n';
+  }
+  meta << "fc_fraction " << report.fc_fraction << '\n';
+  return TrainedCdln{std::move(net), std::move(report), false};
+}
+
+void print_banner(const std::string& title, const BenchConfig& config,
+                  const MnistPair& data) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("workload: %s MNIST, %zu train / %zu val / %zu test, seed %llu\n\n",
+              data.synthetic ? "synthetic" : "real", data.train.size(),
+              data.validation.size(), data.test.size(),
+              static_cast<unsigned long long>(config.seed));
+}
+
+void maybe_export_csv(const std::string& name, const TextTable& table) {
+  const char* dir = std::getenv("CDL_CSV_DIR");
+  if (dir == nullptr) return;
+  std::filesystem::create_directories(dir);
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  csv_from_table(table).write(path);
+  std::printf("[bench] table exported to %s\n", path.c_str());
+}
+
+float select_operating_delta(ConditionalNetwork& net, const MnistPair& data) {
+  const DeltaSelection selection = select_delta(net, data.validation);
+  std::printf("[bench] delta selected on validation: %.2f "
+              "(val accuracy %.2f %%)\n",
+              static_cast<double>(selection.best.delta),
+              100.0 * selection.best.accuracy);
+  return selection.best.delta;
+}
+
+}  // namespace cdl::bench

@@ -1,0 +1,53 @@
+// Fig. 10: efficiency/accuracy tradeoff of MNIST_3C as the confidence
+// threshold delta sweeps. Low delta passes everything to FC (high #OPS);
+// raising delta cuts #OPS and initially *raises* accuracy; past the optimum
+// accuracy degrades while #OPS keeps falling.
+//
+// Paper reference: accuracy 96.12 % (delta 0.4) -> 99.02 % (delta 0.5, the
+// optimum) with normalized #OPS 1.1 -> 0.51; larger delta degrades accuracy
+// with little further #OPS reduction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Fig. 10: efficiency vs accuracy across confidence level delta (MNIST_3C)",
+      config, data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+  const double base_ops = static_cast<double>(
+      trained.net.baseline_forward_ops().total_compute());
+
+  cdl::TextTable table({"delta", "normalized #OPS", "accuracy", "FC exit"});
+  double best_acc = 0.0;
+  double best_delta = 0.0;
+  for (float delta :
+       {0.10F, 0.20F, 0.30F, 0.40F, 0.50F, 0.60F, 0.70F, 0.80F, 0.90F, 0.95F}) {
+    trained.net.set_delta(delta);
+    const cdl::Evaluation eval =
+        cdl::evaluate_cdl(trained.net, data.test, energy);
+    if (eval.accuracy() > best_acc) {
+      best_acc = eval.accuracy();
+      best_delta = delta;
+    }
+    table.add_row({cdl::fmt(delta, 2), cdl::fmt(eval.avg_ops() / base_ops, 3),
+                   cdl::fmt_percent(eval.accuracy()),
+                   cdl::fmt_percent(eval.exit_fraction(trained.net.num_stages()))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  cdl::bench::maybe_export_csv("fig10_delta_tradeoff", table);
+  std::printf("\nbest accuracy %.2f %% at delta %.2f\n", 100.0 * best_acc,
+              best_delta);
+  std::printf("paper: accuracy peaks (99.02 %%) at delta 0.5 with #OPS 0.51; "
+              "higher delta trades accuracy for diminishing #OPS gains\n");
+  return 0;
+}

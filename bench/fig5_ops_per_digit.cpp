@@ -1,0 +1,57 @@
+// Fig. 5: normalized improvement in average operations per input (baseline
+// OPS / CDLN OPS) for every digit, for both CDLNs.
+//
+// Paper reference: MNIST_2C 1.46x-1.99x (avg 1.73x); MNIST_3C 1.50x-2.32x
+// (avg 1.91x); maximum benefit on digit 1, minimum on digit 5.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Fig. 5: normalized OPS improvement per digit",
+                           config, data);
+
+  const cdl::EnergyModel energy;
+  cdl::TextTable table({"digit", "MNIST_2C", "MNIST_3C"});
+  std::vector<std::vector<double>> ratios(2);
+
+  std::vector<cdl::Evaluation> evals;
+  std::vector<double> base_ops;
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    cdl::bench::select_operating_delta(trained.net, data);
+    base_ops.push_back(static_cast<double>(
+        trained.net.baseline_forward_ops().total_compute()));
+    evals.push_back(cdl::evaluate_cdl(trained.net, data.test, energy));
+  }
+
+  for (std::size_t digit = 0; digit < 10; ++digit) {
+    std::vector<std::string> row{std::to_string(digit)};
+    for (std::size_t a = 0; a < evals.size(); ++a) {
+      const double ratio = base_ops[a] / evals[a].per_class[digit].avg_ops();
+      ratios[a].push_back(ratio);
+      row.push_back(cdl::fmt(ratio, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg_row{"average"};
+  for (const auto& r : ratios) {
+    double sum = 0.0;
+    for (double v : r) sum += v;
+    avg_row.push_back(cdl::fmt(sum / static_cast<double>(r.size()), 2) + "x");
+  }
+  table.add_row(std::move(avg_row));
+
+  std::printf("%s", table.to_string().c_str());
+  cdl::bench::maybe_export_csv("fig5_ops_per_digit", table);
+  std::printf("\npaper: MNIST_2C avg 1.73x (1.46-1.99); MNIST_3C avg 1.91x "
+              "(1.50-2.32); best digit 1, worst digit 5\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 6: normalized energy benefit of the CDLNs with respect to the
+// baseline, per digit, under the 45 nm op-level energy model.
+//
+// Paper reference: average 1.71x (MNIST_2C) and 1.84x (MNIST_3C); energy
+// benefits track the OPS benefits of Fig. 5 slightly compressed.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Fig. 6: normalized energy benefit per digit",
+                           config, data);
+
+  const cdl::EnergyModel energy;
+  cdl::TextTable table({"digit", "MNIST_2C", "MNIST_3C"});
+  std::vector<std::vector<double>> ratios(2);
+
+  std::vector<cdl::Evaluation> cdl_evals;
+  std::vector<cdl::Evaluation> base_evals;
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    cdl::bench::select_operating_delta(trained.net, data);
+    base_evals.push_back(cdl::evaluate_baseline(trained.net, data.test, energy));
+    cdl_evals.push_back(cdl::evaluate_cdl(trained.net, data.test, energy));
+  }
+
+  for (std::size_t digit = 0; digit < 10; ++digit) {
+    std::vector<std::string> row{std::to_string(digit)};
+    for (std::size_t a = 0; a < cdl_evals.size(); ++a) {
+      const double ratio = base_evals[a].per_class[digit].avg_energy_pj() /
+                           cdl_evals[a].per_class[digit].avg_energy_pj();
+      ratios[a].push_back(ratio);
+      row.push_back(cdl::fmt(ratio, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg_row{"average"};
+  for (const auto& r : ratios) {
+    double sum = 0.0;
+    for (double v : r) sum += v;
+    avg_row.push_back(cdl::fmt(sum / static_cast<double>(r.size()), 2) + "x");
+  }
+  table.add_row(std::move(avg_row));
+
+  std::printf("%s", table.to_string().c_str());
+  cdl::bench::maybe_export_csv("fig6_energy", table);
+  std::printf("\npaper: average energy benefit 1.71x (MNIST_2C), 1.84x (MNIST_3C)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 8: normalized energy benefit of MNIST_3C per digit, sorted from the
+// least to the most difficult digit, with the fraction of instances that
+// activate the final FC layer.
+//
+// Paper reference: digit 1 is the least difficult (FC activated for ~1 % of
+// its instances, deeper layers off for ~99 %), digit 5 the most difficult
+// (FC for ~6 %); even the hardest digit retains ~1.5x energy benefit.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Fig. 8: energy benefit vs input difficulty (MNIST_3C)", config, data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+  cdl::bench::select_operating_delta(trained.net, data);
+
+  const cdl::Evaluation base =
+      cdl::evaluate_baseline(trained.net, data.test, energy);
+  const cdl::Evaluation eval = cdl::evaluate_cdl(trained.net, data.test, energy);
+  const std::size_t fc_stage = trained.net.num_stages();
+
+  // Sort digits by decreasing energy benefit = increasing difficulty.
+  std::vector<std::size_t> digits(10);
+  std::iota(digits.begin(), digits.end(), std::size_t{0});
+  const auto benefit = [&](std::size_t d) {
+    return base.per_class[d].avg_energy_pj() / eval.per_class[d].avg_energy_pj();
+  };
+  std::sort(digits.begin(), digits.end(),
+            [&](std::size_t a, std::size_t b) { return benefit(a) > benefit(b); });
+
+  cdl::TextTable table({"digit (easy -> hard)", "energy benefit",
+                        "FC activated for", "early-exit fraction"});
+  for (std::size_t d : digits) {
+    const cdl::ClassStats& cls = eval.per_class[d];
+    const double fc_frac = cls.total == 0
+                               ? 0.0
+                               : static_cast<double>(cls.exit_counts[fc_stage]) /
+                                     static_cast<double>(cls.total);
+    table.add_row({std::to_string(d), cdl::fmt(benefit(d), 2) + "x",
+                   cdl::fmt_percent(fc_frac), cdl::fmt_percent(1.0 - fc_frac)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nhardest digit still benefits: %.2fx (paper: >= 1.5x)\n",
+              benefit(digits.back()));
+  std::printf("paper: digit 1 easiest (FC ~1 %%), digit 5 hardest (FC ~6 %%)\n");
+  return 0;
+}

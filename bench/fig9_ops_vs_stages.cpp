@@ -1,0 +1,68 @@
+// Fig. 9: normalized #OPS of the 8-layer CDLN as output stages are added one
+// at a time, with the fraction of inputs passed to the final FC layer.
+//
+// Paper reference: the fraction reaching FC drops 42 % -> 5 % with two
+// stages but only to 3 % with a third; #OPS is U-shaped with the break-even
+// (lowest #OPS, ~0.45 of baseline) at two stages — the reason Algorithm 1's
+// gain test rejects O3.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Fig. 9: normalized #OPS vs number of stages (MNIST_3C)",
+                           config, data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+
+  cdl::TextTable table({"configuration", "normalized #OPS", "reaching FC"});
+  table.add_row({"baseline (FC only)", "1.000", "100.00 %"});
+
+  // Fixed operating delta chosen on the default CDLN (see fig7 harness).
+  float delta = 0.5F;
+  {
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    delta = cdl::bench::select_operating_delta(trained.net, data);
+  }
+
+  double best_ops = 1.0;
+  std::string best_label = "baseline";
+  for (std::size_t count = 1; count <= arch.candidate_stages.size(); ++count) {
+    const std::vector<std::size_t> stages(arch.candidate_stages.begin(),
+                                          arch.candidate_stages.begin() +
+                                              static_cast<std::ptrdiff_t>(count));
+    auto trained = cdl::bench::trained_cdln(arch, stages, data.train, config,
+                                            /*prune=*/false);
+    trained.net.set_delta(delta);
+    const cdl::Evaluation eval = cdl::evaluate_cdl(trained.net, data.test, energy);
+    const double base_ops = static_cast<double>(
+        trained.net.baseline_forward_ops().total_compute());
+    const double norm_ops = eval.avg_ops() / base_ops;
+
+    std::string label;
+    for (std::size_t s = 0; s < count; ++s) {
+      label += "O" + std::to_string(s + 1) + "-";
+    }
+    label += "FC";
+    if (norm_ops < best_ops) {
+      best_ops = norm_ops;
+      best_label = label;
+    }
+    table.add_row({label, cdl::fmt(norm_ops, 3),
+                   cdl::fmt_percent(eval.exit_fraction(trained.net.num_stages()))});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nbreak-even configuration: %s (%.3f of baseline #OPS)\n",
+              best_label.c_str(), best_ops);
+  std::printf("paper: FC fraction 42 %% -> 5 %% -> 3 %%; break-even ~0.45 at "
+              "O1-O2-FC, #OPS rises again with O3\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Generalization experiment (extension): the paper's introduction motivates
+// CDL with "recognizing a person against a plain backdrop vs in a crowd".
+// This harness re-runs the MNIST_3C pipeline on progressively cluttered
+// inputs (distractor strokes behind the digit): clutter should push more
+// inputs to the deeper stages — shrinking but not eliminating the savings —
+// while accuracy degrades gracefully.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cdl/cdl_trainer.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  std::printf("=== Generalization: background clutter (MNIST_3C) ===\n");
+  std::printf("workload: synthetic MNIST with distractor strokes, "
+              "%zu train / %zu test per clutter level, seed %llu\n\n",
+              config.train_n, config.test_n,
+              static_cast<unsigned long long>(config.seed));
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+
+  cdl::TextTable table({"clutter", "baseline acc", "CDLN acc",
+                        "OPS improvement", "FC exit"});
+  for (float clutter : {0.0F, 0.3F, 0.6F, 1.0F}) {
+    cdl::SyntheticMnistConfig gen_config;
+    gen_config.seed = config.seed;
+    gen_config.clutter = clutter;
+    const cdl::SyntheticMnist gen(gen_config);
+    const cdl::Dataset train = gen.generate(config.train_n, 0);
+    const cdl::Dataset test = gen.generate(config.test_n, 1ULL << 32);
+
+    // Train per clutter level (the model must see the distribution it is
+    // evaluated on, like the paper's train/test protocol).
+    cdl::Rng rng(config.seed);
+    cdl::Network baseline = arch.make_baseline();
+    baseline.init(rng);
+    cdl::train_baseline(baseline, train, cdl::BaselineTrainConfig{}, rng);
+    cdl::ConditionalNetwork net(std::move(baseline), arch.input_shape);
+    for (std::size_t prefix : arch.default_stages) {
+      net.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+    }
+    cdl::CdlTrainConfig cfg;
+    cfg.prune_by_gain = false;
+    cdl::train_cdl(net, train, cfg, rng);
+    net.set_delta(0.5F);
+
+    const cdl::Evaluation base = cdl::evaluate_baseline(net, test, energy);
+    const cdl::Evaluation cond = cdl::evaluate_cdl(net, test, energy);
+    table.add_row({cdl::fmt(clutter, 1), cdl::fmt_percent(base.accuracy()),
+                   cdl::fmt_percent(cond.accuracy()),
+                   cdl::fmt(base.avg_ops() / cond.avg_ops(), 2) + "x",
+                   cdl::fmt_percent(cond.exit_fraction(net.num_stages()))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: clutter raises the fraction of inputs that "
+              "need deep layers and lowers the savings, but conditional "
+              "execution keeps paying — the paper's crowd-vs-backdrop story\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Generalization experiment (extension): the full CDL pipeline on a second
+// task — ten capital letters rendered by the same stroke engine. The paper
+// claims the methodology "can be applied to all image recognition
+// applications"; here nothing about the pipeline changes except the data.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cdl/cdl_trainer.h"
+#include "cdl/delta_selection.h"
+#include "data/synthetic_letters.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace {
+cdl::SyntheticLettersConfig letters_config(std::uint64_t seed) {
+  cdl::SyntheticLettersConfig config;
+  config.seed = seed;
+  return config;
+}
+}  // namespace
+
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  std::printf("=== Generalization: CDL on synthetic letters (A C E F H J L P T U) ===\n");
+  std::printf("workload: %zu train / %zu val / %zu test, seed %llu\n\n",
+              config.train_n, config.val_n, config.test_n,
+              static_cast<unsigned long long>(config.seed));
+
+  const cdl::SyntheticLetters gen(
+      letters_config(config.seed));
+  const cdl::Dataset train = gen.generate(config.train_n, 0);
+  const cdl::Dataset val = gen.generate(config.val_n, 1ULL << 33);
+  const cdl::Dataset test = gen.generate(config.test_n, 1ULL << 32);
+
+  // Same architecture and training recipe as the digit experiments.
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  cdl::Rng rng(config.seed);
+  cdl::Network baseline = arch.make_baseline();
+  baseline.init(rng);
+  std::printf("[bench] training %s baseline on letters...\n", arch.name.c_str());
+  cdl::train_baseline(baseline, train, cdl::BaselineTrainConfig{}, rng);
+
+  cdl::ConditionalNetwork net(std::move(baseline), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+  }
+  cdl::CdlTrainConfig cfg;
+  cfg.prune_by_gain = false;
+  cdl::train_cdl(net, train, cfg, rng);
+  const cdl::DeltaSelection sel = cdl::select_delta(net, val);
+  std::printf("[bench] delta selected on validation: %.2f\n",
+              static_cast<double>(sel.best.delta));
+
+  const cdl::EnergyModel energy;
+  const cdl::Evaluation base = cdl::evaluate_baseline(net, test, energy);
+  const cdl::Evaluation cond = cdl::evaluate_cdl(net, test, energy);
+
+  cdl::TextTable table({"metric", "baseline DLN", "CDLN"});
+  table.add_row({"accuracy", cdl::fmt_percent(base.accuracy()),
+                 cdl::fmt_percent(cond.accuracy())});
+  table.add_row({"avg ops/input", cdl::fmt(base.avg_ops(), 0),
+                 cdl::fmt(cond.avg_ops(), 0)});
+  table.add_row({"OPS improvement", "1.00x",
+                 cdl::fmt(base.avg_ops() / cond.avg_ops(), 2) + "x"});
+  std::printf("%s", table.to_string().c_str());
+
+  cdl::TextTable per_class({"letter", "accuracy", "FC exit"});
+  for (std::size_t l = 0; l < cdl::SyntheticLetters::kNumClasses; ++l) {
+    const cdl::ClassStats& c = cond.per_class[l];
+    per_class.add_row(
+        {cdl::SyntheticLetters::class_name(l), cdl::fmt_percent(c.accuracy()),
+         c.total == 0 ? "n/a"
+                      : cdl::fmt_percent(
+                            static_cast<double>(c.exit_counts.back()) /
+                            static_cast<double>(c.total))});
+  }
+  std::printf("\n%s", per_class.to_string().c_str());
+  std::printf("\nexpected shape: the unchanged pipeline delivers the same "
+              "~2x conditional savings with accuracy at or above the "
+              "baseline on a different recognition task\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Hardware fault tolerance (extension): flips bits in the stored weights at
+// increasing bit-error rates — the failure mode of low-voltage SRAM — and
+// measures how the CDLN degrades relative to the unconditional baseline.
+// Interesting question: do early exits mask faults (stage classifiers are
+// retrained-from-features, redundant paths) or amplify them (a corrupted
+// stage confidently misclassifies and deeper, healthy layers never run)?
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "hw/fault_injection.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Hardware fault tolerance: weight bit-flips vs accuracy (MNIST_3C)",
+      config, data);
+
+  const cdl::EnergyModel energy;
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+
+  cdl::TextTable table({"bit-error rate", "bits flipped", "baseline acc",
+                        "CDLN acc", "FC exit"});
+  for (const double ber : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    // Fresh weights per row (faults accumulate otherwise).
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    trained.net.set_delta(0.5F);
+
+    cdl::Rng fault_rng(config.seed + 99);
+    cdl::FaultConfig faults;
+    faults.bit_error_rate = ber;
+    const cdl::FaultReport report =
+        cdl::inject_faults(trained.net, faults, fault_rng);
+
+    const cdl::Evaluation base =
+        cdl::evaluate_baseline(trained.net, data.test, energy);
+    const cdl::Evaluation cond =
+        cdl::evaluate_cdl(trained.net, data.test, energy);
+    char ber_label[32];
+    std::snprintf(ber_label, sizeof(ber_label), "%.0e", ber);
+    table.add_row({ber_label, std::to_string(report.bits_flipped),
+                   cdl::fmt_percent(base.accuracy()),
+                   cdl::fmt_percent(cond.accuracy()),
+                   cdl::fmt_percent(cond.exit_fraction(trained.net.num_stages()))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: negligible impact below ~1e-5 BER; at high "
+              "BER the CDLN degrades *faster* than the baseline — the "
+              "stage classifiers hold most of the parameters, so corrupted "
+              "confidences both misroute inputs (FC-exit share explodes) "
+              "and emit confidently-wrong early labels. A hardware "
+              "implementation should protect LC weight SRAM first\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Systolic-array mapping analysis (extension): maps both paper architectures
+// onto an output-stationary MAC array, reporting per-layer tiles/cycles/
+// utilization and the CDLN's average-exit latency across array geometries —
+// the accelerator-design view of conditional execution.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "hw/systolic_mapping.h"
+
+int main() {
+  const auto config = cdl::bench::bench_config();
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner(
+      "Systolic mapping: CDLN on an output-stationary MAC array", config,
+      data);
+
+  // Per-layer mapping of both baselines on the default 8x8 array.
+  const cdl::SystolicMapper mapper;
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    const cdl::Network baseline = arch.make_baseline();
+    const cdl::MappingReport report =
+        mapper.map_network(baseline, arch.input_shape);
+    cdl::TextTable table({"layer", "tiles", "cycles", "utilization"});
+    for (const cdl::LayerMapping& m : report.layers) {
+      table.add_row({m.layer, std::to_string(m.tiles),
+                     std::to_string(m.cycles),
+                     m.macs == 0 ? "-" : cdl::fmt_percent(m.utilization)});
+    }
+    std::printf("%s on 8x8 array: %llu cycles (%.1f us), MAC utilization %s\n%s\n",
+                arch.name.c_str(),
+                static_cast<unsigned long long>(report.total_cycles),
+                report.microseconds,
+                cdl::fmt_percent(report.mac_utilization).c_str(),
+                table.to_string().c_str());
+  }
+
+  // CDLN average-exit latency vs array geometry (MNIST_3C).
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  auto trained =
+      cdl::bench::trained_cdln(arch, arch.default_stages, data.train, config);
+  trained.net.set_delta(0.5F);
+  const cdl::Evaluation eval =
+      cdl::evaluate_cdl(trained.net, data.test, cdl::EnergyModel{});
+
+  cdl::TextTable sweep({"array", "baseline cycles", "CDLN avg cycles",
+                        "speedup", "MAC utilization"});
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{4, 4}, {8, 8}, {16, 16}, {8, 32}}) {
+    cdl::SystolicConfig c;
+    c.rows = rows;
+    c.cols = cols;
+    const cdl::SystolicMapper m(c);
+    const cdl::MappingReport base =
+        m.map_network(trained.net.baseline(), arch.input_shape);
+    double avg = 0.0;
+    for (std::size_t s = 0; s <= trained.net.num_stages(); ++s) {
+      avg += eval.exit_fraction(s) *
+             static_cast<double>(m.exit_cycles(trained.net, s));
+    }
+    sweep.add_row({std::to_string(rows) + "x" + std::to_string(cols),
+                   std::to_string(base.total_cycles), cdl::fmt(avg, 0),
+                   cdl::fmt(static_cast<double>(base.total_cycles) / avg, 2) + "x",
+                   cdl::fmt_percent(base.mac_utilization)});
+  }
+  std::printf("%s", sweep.to_string().c_str());
+  std::printf("\nexpected shape: cycle savings shrink as the array widens — "
+              "and can invert on wide geometries: the linear classifiers are "
+              "batch-1 dense layers (fill/drain-dominated, single active "
+              "column) while the convolutions they skip parallelize well. "
+              "CDL's op/energy savings are substrate-independent, but its "
+              "*latency* benefit requires compute-bound early stages — an "
+              "accelerator-design caveat the paper's op-count analysis "
+              "doesn't surface\n");
+  return 0;
+}

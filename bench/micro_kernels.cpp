@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks of the compute kernels underlying the
+// CDLN: convolution, pooling, dense layers, linear-classifier inference and
+// full staged classification.
+#include <benchmark/benchmark.h>
+
+#include "cdl/architectures.h"
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "data/synthetic_mnist.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool2d.h"
+
+namespace {
+
+cdl::Tensor random_image(const cdl::Shape& shape, std::uint64_t seed) {
+  cdl::Rng rng(seed);
+  cdl::Tensor x(shape);
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto maps = static_cast<std::size_t>(state.range(1));
+  const auto kernel = static_cast<std::size_t>(state.range(2));
+  cdl::Rng rng(1);
+  cdl::Conv2D conv(channels, maps, kernel);
+  conv.init(rng);
+  const cdl::Tensor x = random_image(cdl::Shape{channels, 28, 28}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(conv.forward_ops(x.shape()).macs));
+}
+BENCHMARK(BM_Conv2DForward)->Args({1, 6, 5})->Args({1, 3, 3})->Args({6, 12, 5});
+
+void BM_Conv2DForwardIm2col(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto maps = static_cast<std::size_t>(state.range(1));
+  const auto kernel = static_cast<std::size_t>(state.range(2));
+  cdl::Rng rng(1);
+  cdl::Conv2D conv(channels, maps, kernel, cdl::ConvAlgo::kIm2col);
+  conv.init(rng);
+  const cdl::Tensor x = random_image(cdl::Shape{channels, 28, 28}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(conv.forward_ops(x.shape()).macs));
+}
+BENCHMARK(BM_Conv2DForwardIm2col)
+    ->Args({1, 6, 5})
+    ->Args({1, 3, 3})
+    ->Args({6, 12, 5});
+
+void BM_MaxPoolForward(benchmark::State& state) {
+  cdl::Pool2D pool(2);
+  const cdl::Tensor x = random_image(cdl::Shape{6, 24, 24}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.forward(x));
+  }
+}
+BENCHMARK(BM_MaxPoolForward);
+
+void BM_DenseForward(benchmark::State& state) {
+  const auto in = static_cast<std::size_t>(state.range(0));
+  cdl::Rng rng(4);
+  cdl::Dense dense(in, 10);
+  dense.init(rng);
+  const cdl::Tensor x = random_image(cdl::Shape{in}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.forward(x));
+  }
+}
+BENCHMARK(BM_DenseForward)->Arg(192)->Arg(507)->Arg(864);
+
+void BM_LinearClassifierInference(benchmark::State& state) {
+  const auto in = static_cast<std::size_t>(state.range(0));
+  cdl::Rng rng(6);
+  cdl::LinearClassifier lc(in, 10);
+  lc.init(rng);
+  const cdl::Tensor x = random_image(cdl::Shape{in}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lc.probabilities(x));
+  }
+}
+BENCHMARK(BM_LinearClassifierInference)->Arg(507)->Arg(150);
+
+void BM_BaselineForward(benchmark::State& state) {
+  const cdl::CdlArchitecture arch =
+      state.range(0) == 0 ? cdl::mnist_2c() : cdl::mnist_3c();
+  cdl::Rng rng(8);
+  cdl::Network net = arch.make_baseline();
+  net.init(rng);
+  const cdl::Tensor x = random_image(arch.input_shape, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_BaselineForward)->Arg(0)->Arg(1);
+
+void BM_CdlnClassify(benchmark::State& state) {
+  const cdl::CdlArchitecture arch =
+      state.range(0) == 0 ? cdl::mnist_2c() : cdl::mnist_3c();
+  cdl::Rng rng(10);
+  cdl::Network base = arch.make_baseline();
+  base.init(rng);
+  cdl::ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+  }
+  net.set_delta(0.5F);
+  const cdl::Tensor x = random_image(arch.input_shape, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.classify(x));
+  }
+}
+BENCHMARK(BM_CdlnClassify)->Arg(0)->Arg(1);
+
+void BM_SyntheticRender(benchmark::State& state) {
+  cdl::SyntheticMnist gen;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.render(i % 10, i));
+    ++i;
+  }
+}
+BENCHMARK(BM_SyntheticRender);
+
+}  // namespace

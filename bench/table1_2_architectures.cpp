@@ -1,0 +1,41 @@
+// Tables I & II: the two baseline DLN architectures and their CDL variants,
+// with the per-layer operation/energy inventory the paper's energy analysis
+// builds on. Op counts are structural, so no training is needed here.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/report.h"
+
+int main() {
+  const cdl::EnergyModel energy;
+
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    cdl::Network baseline = arch.make_baseline();
+    const cdl::NetworkProfile base_profile =
+        cdl::profile_network(baseline, arch.input_shape, energy);
+    std::printf("%s\n", cdl::format_profile(
+                            base_profile, "Baseline DLN (" + arch.name + "): " +
+                                              baseline.summary())
+                            .c_str());
+
+    cdl::Rng rng(1);
+    cdl::ConditionalNetwork cdln(std::move(baseline), arch.input_shape);
+    for (std::size_t prefix : arch.default_stages) {
+      cdln.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+    }
+    const cdl::NetworkProfile cdl_profile = cdl::profile_cdln(cdln, energy);
+    std::printf("%s\n",
+                cdl::format_profile(cdl_profile,
+                                    "CDLN (" + arch.name +
+                                        "), worst case with all stages active")
+                    .c_str());
+
+    const double overhead =
+        static_cast<double>(cdl_profile.total_ops.total_compute()) /
+            static_cast<double>(base_profile.total_ops.total_compute()) -
+        1.0;
+    std::printf("linear-classifier overhead on the hardest input: +%.1f %%\n\n",
+                100.0 * overhead);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// energy_report: prints the per-layer operation/energy breakdown of both
+// paper architectures under the 45 nm op-level energy model, plus a
+// what-if comparison against a compute-only (free memory) cost profile —
+// useful for understanding where a CDLN's energy actually goes.
+#include <cstdio>
+
+#include "cdl/architectures.h"
+#include "energy/report.h"
+#include "eval/table.h"
+
+int main() {
+  const cdl::EnergyModel cmos45(cdl::EnergyCosts::cmos_45nm());
+  const cdl::EnergyModel compute_only(cdl::EnergyCosts::compute_only());
+
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    cdl::Network baseline = arch.make_baseline();
+    std::printf("%s\n",
+                cdl::format_profile(
+                    cdl::profile_network(baseline, arch.input_shape, cmos45),
+                    arch.name + " baseline, 45 nm CMOS model")
+                    .c_str());
+
+    // Where does the energy go? Compare against a model with free memory.
+    const cdl::NetworkProfile full =
+        cdl::profile_network(baseline, arch.input_shape, cmos45);
+    const cdl::NetworkProfile compute =
+        cdl::profile_network(baseline, arch.input_shape, compute_only);
+    const double mem_fraction =
+        1.0 - compute.total_energy_pj / full.total_energy_pj;
+    std::printf("memory traffic accounts for %.1f %% of %s's inference "
+                "energy\n\n",
+                100.0 * mem_fraction, arch.name.c_str());
+
+    // CDLN overhead inventory (worst case: every stage evaluated).
+    cdl::Rng rng(1);
+    cdl::ConditionalNetwork cdln(std::move(baseline), arch.input_shape);
+    for (std::size_t prefix : arch.default_stages) {
+      cdln.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+    }
+    std::printf("%s\n",
+                cdl::format_profile(cdl::profile_cdln(cdln, cmos45),
+                                    arch.name + " CDLN, worst-case path")
+                    .c_str());
+
+    cdl::TextTable exits({"exit stage", "cumulative ops", "energy"});
+    for (std::size_t s = 0; s <= cdln.num_stages(); ++s) {
+      const cdl::OpCount ops = cdln.exit_ops(s);
+      exits.add_row({cdln.stage_name(s),
+                     std::to_string(ops.total_compute()),
+                     cdl::format_energy(cmos45.energy_pj(ops))});
+    }
+    std::printf("cost of exiting at each stage:\n%s\n",
+                exits.to_string().c_str());
+  }
+  return 0;
+}

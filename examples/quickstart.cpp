@@ -1,0 +1,86 @@
+// Quickstart: train the paper's 6-layer baseline (Table I), build its CDLN
+// (MNIST_2C), and compare accuracy / operations / energy on the test set.
+//
+// Sample sizes honour CDL_TRAIN_N / CDL_TEST_N (defaults below); set
+// CDL_MNIST_DIR to use real MNIST IDX files instead of the synthetic set.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cdl/architectures.h"
+#include "cdl/cdl_trainer.h"
+#include "cdl/conditional_network.h"
+#include "data/synthetic_mnist.h"
+#include "energy/report.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace {
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+                      : fallback;
+}
+}  // namespace
+
+int main() {
+  const std::size_t train_n = env_size("CDL_TRAIN_N", 4000);
+  const std::size_t test_n = env_size("CDL_TEST_N", 1000);
+
+  std::printf("Loading data (%zu train / %zu test)...\n", train_n, test_n);
+  const cdl::MnistPair data = cdl::load_mnist_or_synthetic(train_n, test_n);
+  std::printf("  source: %s MNIST\n", data.synthetic ? "synthetic" : "real");
+
+  cdl::Rng rng(42);
+  const cdl::CdlArchitecture arch = cdl::mnist_2c();
+  cdl::Network baseline = arch.make_baseline();
+  baseline.init(rng);
+  std::printf("Baseline (%s): %s\n", arch.name.c_str(),
+              baseline.summary().c_str());
+
+  std::printf("Training baseline DLN...\n");
+  cdl::BaselineTrainConfig base_cfg;
+  base_cfg.log_every = 1;
+  cdl::train_baseline(baseline, data.train, base_cfg, rng);
+
+  cdl::ConditionalNetwork cdln(std::move(baseline), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    cdln.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+  }
+
+  std::printf("Training CDLN linear classifiers (Algorithm 1)...\n");
+  const cdl::CdlTrainReport report =
+      cdl::train_cdl(cdln, data.train, cdl::CdlTrainConfig{}, rng);
+  for (const auto& stage : report.stages) {
+    std::printf("  %s: reached %zu, classified %zu, gain %.3g -> %s\n",
+                stage.stage_name.c_str(), stage.reached, stage.classified,
+                stage.gain, stage.admitted ? "admitted" : "rejected");
+  }
+
+  cdln.set_delta(0.5F);
+  const cdl::EnergyModel energy;
+  const cdl::Evaluation base_eval =
+      cdl::evaluate_baseline(cdln, data.test, energy);
+  const cdl::Evaluation cdl_eval = cdl::evaluate_cdl(cdln, data.test, energy);
+
+  cdl::TextTable table({"metric", "baseline DLN", "CDLN (MNIST_2C)"});
+  table.add_row({"accuracy", cdl::fmt_percent(base_eval.accuracy()),
+                 cdl::fmt_percent(cdl_eval.accuracy())});
+  table.add_row({"avg ops/input", cdl::fmt(base_eval.avg_ops(), 0),
+                 cdl::fmt(cdl_eval.avg_ops(), 0)});
+  table.add_row({"avg energy/input",
+                 cdl::format_energy(base_eval.avg_energy_pj()),
+                 cdl::format_energy(cdl_eval.avg_energy_pj())});
+  table.add_row({"OPS improvement", "1.00x",
+                 cdl::fmt(base_eval.avg_ops() / cdl_eval.avg_ops(), 2) + "x"});
+  table.add_row({"energy improvement", "1.00x",
+                 cdl::fmt(base_eval.avg_energy_pj() / cdl_eval.avg_energy_pj(), 2) + "x"});
+  std::printf("\n%s", table.to_string().c_str());
+
+  std::printf("\nExit-stage distribution (delta = %.2f):\n",
+              static_cast<double>(cdln.activation_module().delta()));
+  for (std::size_t s = 0; s <= cdln.num_stages(); ++s) {
+    std::printf("  %s: %5.1f %%\n", cdln.stage_name(s).c_str(),
+                100.0 * cdl_eval.exit_fraction(s));
+  }
+  return 0;
+}

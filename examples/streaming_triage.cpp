@@ -1,0 +1,108 @@
+// streaming_triage: energy-proportional classification of a simulated
+// camera stream.
+//
+// The paper's promise is that computational effort tracks input difficulty
+// *at runtime*. This example synthesizes a stream whose scene conditions
+// drift (clean segment -> cluttered segment -> noisy segment) and runs the
+// CDLN frame by frame, printing a rolling energy/exit profile per segment —
+// the behaviour an always-on embedded classifier would exhibit.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cdl/architectures.h"
+#include "cdl/cdl_trainer.h"
+#include "data/synthetic_mnist.h"
+#include "data/transforms.h"
+#include "energy/energy_model.h"
+#include "energy/report.h"
+#include "eval/table.h"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+                      : fallback;
+}
+
+struct Segment {
+  const char* name;
+  float clutter;
+  float noise;
+  std::size_t frames;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t train_n = env_size("CDL_TRAIN_N", 4000);
+
+  // Train once on a mixed distribution so the model has seen every regime.
+  std::printf("training MNIST_3C on a mixed-condition set...\n");
+  cdl::SyntheticMnistConfig mixed;
+  mixed.seed = 5;
+  mixed.clutter = 0.4F;
+  const cdl::SyntheticMnist mixed_gen(mixed);
+  const cdl::Dataset train = mixed_gen.generate(train_n, 0);
+
+  cdl::Rng rng(5);
+  const cdl::CdlArchitecture arch = cdl::mnist_3c();
+  cdl::Network baseline = arch.make_baseline();
+  baseline.init(rng);
+  cdl::train_baseline(baseline, train, cdl::BaselineTrainConfig{}, rng);
+  cdl::ConditionalNetwork net(std::move(baseline), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, cdl::LcTrainingRule::kLms, rng);
+  }
+  cdl::CdlTrainConfig cfg;
+  cfg.prune_by_gain = false;
+  cdl::train_cdl(net, train, cfg, rng);
+  net.set_delta(0.5F);
+
+  const cdl::EnergyModel energy;
+  const double full_pass_pj = energy.energy_pj(net.worst_case_ops());
+
+  const Segment segments[] = {
+      {"clean scene", 0.0F, 0.02F, 120},
+      {"crowded scene", 1.0F, 0.15F, 120},
+      {"low light (noisy)", 0.3F, 0.45F, 120},
+      {"clean again", 0.0F, 0.02F, 120},
+  };
+
+  cdl::TextTable table({"segment", "accuracy", "avg energy/frame",
+                        "vs worst case", "O1 exits", "FC exits"});
+  std::uint64_t frame_index = 1U << 20;  // disjoint from training indices
+  for (const Segment& seg : segments) {
+    cdl::SyntheticMnistConfig scene;
+    scene.seed = 5;
+    scene.clutter = seg.clutter;
+    scene.noise_stddev = seg.noise;
+    const cdl::SyntheticMnist gen(scene);
+
+    std::size_t correct = 0;
+    std::size_t o1 = 0;
+    std::size_t fc = 0;
+    double pj = 0.0;
+    for (std::size_t f = 0; f < seg.frames; ++f, ++frame_index) {
+      const std::size_t digit = f % 10;
+      const cdl::Tensor frame = gen.render(digit, frame_index);
+      const cdl::ClassificationResult r = net.classify(frame);
+      if (r.label == digit) ++correct;
+      if (r.exit_stage == 0) ++o1;
+      if (r.exit_stage == net.num_stages()) ++fc;
+      pj += energy.energy_pj(r.ops);
+    }
+    const double frames = static_cast<double>(seg.frames);
+    table.add_row({seg.name,
+                   cdl::fmt_percent(static_cast<double>(correct) / frames),
+                   cdl::format_energy(pj / frames),
+                   cdl::fmt(pj / frames / full_pass_pj, 2) + "x",
+                   cdl::fmt_percent(static_cast<double>(o1) / frames),
+                   cdl::fmt_percent(static_cast<double>(fc) / frames)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nthe energy per frame rises and falls with scene difficulty "
+              "while the model and threshold stay fixed — computation is "
+              "proportional to input difficulty, the paper's core promise\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Runs every benchmark harness in a stable order (paper tables/figures first,
+# then ablations, baselines, hardware studies and micro-kernels). Pass a
+# build directory as $1 (default: build).
+set -eu
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build first: cmake -B build -G Ninja && cmake --build build)" >&2
+  exit 1
+fi
+
+ORDER="
+table1_2_architectures
+table3_accuracy
+table4_exit_examples
+fig5_ops_per_digit
+fig6_energy
+fig7_accuracy_vs_stages
+fig8_difficulty
+fig9_ops_vs_stages
+fig10_delta_tradeoff
+alg1_gain_admission
+ablation_confidence
+ablation_lc_training
+ablation_stage_delta
+ablation_joint_training
+ablation_quantization
+ablation_calibration
+ablation_feature_sharing
+baseline_scalable_effort
+hw_latency
+hw_systolic
+hw_fault_tolerance
+hw_voltage_scaling
+generalization_clutter
+generalization_letters
+generalization_mixed20
+micro_kernels
+"
+
+for name in $ORDER; do
+  bin="$BENCH_DIR/$name"
+  if [ -x "$bin" ]; then
+    "$bin"
+    echo
+  else
+    echo "warning: $bin missing, skipped" >&2
+  fi
+done

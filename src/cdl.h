@@ -1,0 +1,58 @@
+// Umbrella header: everything a downstream user of the CDL library needs.
+//
+//   #include <cdl.h>
+//
+// Fine-grained headers remain available for faster compiles; this header is
+// the stable public surface.
+#pragma once
+
+// Core tensor substrate.
+#include "core/rng.h"       // IWYU pragma: export
+#include "core/shape.h"     // IWYU pragma: export
+#include "core/tensor.h"    // IWYU pragma: export
+
+// Neural-network substrate.
+#include "nn/activations.h"  // IWYU pragma: export
+#include "nn/conv2d.h"       // IWYU pragma: export
+#include "nn/dense.h"        // IWYU pragma: export
+#include "nn/loss.h"         // IWYU pragma: export
+#include "nn/network.h"      // IWYU pragma: export
+#include "nn/opcount.h"      // IWYU pragma: export
+#include "nn/optimizer.h"    // IWYU pragma: export
+#include "nn/pool2d.h"       // IWYU pragma: export
+#include "nn/quantize.h"     // IWYU pragma: export
+#include "nn/serialize.h"    // IWYU pragma: export
+#include "nn/softmax.h"      // IWYU pragma: export
+
+// Data pipeline.
+#include "data/dataset.h"            // IWYU pragma: export
+#include "data/idx_loader.h"         // IWYU pragma: export
+#include "data/stroke_renderer.h"    // IWYU pragma: export
+#include "data/synthetic_letters.h"  // IWYU pragma: export
+#include "data/synthetic_mnist.h"    // IWYU pragma: export
+#include "data/transforms.h"         // IWYU pragma: export
+
+// The paper's contribution and its extensions.
+#include "cdl/activation_module.h"    // IWYU pragma: export
+#include "cdl/architectures.h"        // IWYU pragma: export
+#include "cdl/calibration.h"          // IWYU pragma: export
+#include "cdl/cdl_trainer.h"          // IWYU pragma: export
+#include "cdl/conditional_network.h"  // IWYU pragma: export
+#include "cdl/delta_selection.h"      // IWYU pragma: export
+#include "cdl/linear_classifier.h"    // IWYU pragma: export
+
+// Comparison baseline, energy/latency models, evaluation.
+#include "energy/energy_model.h"        // IWYU pragma: export
+#include "energy/op_profile.h"          // IWYU pragma: export
+#include "energy/report.h"              // IWYU pragma: export
+#include "eval/ascii_art.h"             // IWYU pragma: export
+#include "eval/confusion.h"             // IWYU pragma: export
+#include "eval/csv.h"                   // IWYU pragma: export
+#include "eval/metrics.h"               // IWYU pragma: export
+#include "eval/pgm.h"                   // IWYU pragma: export
+#include "eval/table.h"                 // IWYU pragma: export
+#include "hw/accelerator_model.h"       // IWYU pragma: export
+#include "hw/fault_injection.h"         // IWYU pragma: export
+#include "hw/systolic_mapping.h"        // IWYU pragma: export
+#include "hw/voltage_scaling.h"         // IWYU pragma: export
+#include "scalable/scalable_cascade.h"  // IWYU pragma: export

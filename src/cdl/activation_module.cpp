@@ -1,0 +1,84 @@
+#include "cdl/activation_module.h"
+
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace cdl {
+
+std::string to_string(ConfidencePolicy policy) {
+  switch (policy) {
+    case ConfidencePolicy::kMaxProbability:
+      return "max_probability";
+    case ConfidencePolicy::kMargin:
+      return "margin";
+    case ConfidencePolicy::kEntropy:
+      return "entropy";
+  }
+  return "unknown";
+}
+
+ActivationModule::ActivationModule(float delta, ConfidencePolicy policy)
+    : delta_(delta), policy_(policy) {
+  set_delta(delta);
+}
+
+void ActivationModule::set_delta(float delta) {
+  if (delta < 0.0F) {
+    throw std::invalid_argument("ActivationModule: delta must be >= 0");
+  }
+  delta_ = delta;
+}
+
+ActivationDecision ActivationModule::evaluate(const Tensor& probabilities) const {
+  if (probabilities.numel() == 0) {
+    throw std::invalid_argument("ActivationModule: empty probabilities");
+  }
+  ActivationDecision decision;
+  decision.label = probabilities.argmax();
+
+  switch (policy_) {
+    case ConfidencePolicy::kMaxProbability: {
+      // The paper's rule: terminate iff exactly one label clears δ.
+      std::size_t above = 0;
+      for (std::size_t i = 0; i < probabilities.numel(); ++i) {
+        if (probabilities[i] >= delta_) ++above;
+      }
+      decision.confidence = max_probability(probabilities);
+      decision.terminate = (above == 1);
+      break;
+    }
+    case ConfidencePolicy::kMargin:
+      decision.confidence = probability_margin(probabilities);
+      decision.terminate = decision.confidence >= delta_;
+      break;
+    case ConfidencePolicy::kEntropy:
+      decision.confidence = entropy_confidence(probabilities);
+      decision.terminate = decision.confidence >= delta_;
+      break;
+  }
+  return decision;
+}
+
+OpCount ActivationModule::decision_ops(std::size_t n) const {
+  OpCount ops;
+  switch (policy_) {
+    case ConfidencePolicy::kMaxProbability:
+      ops.compares = 2 * n;  // threshold comparisons + argmax scan
+      break;
+    case ConfidencePolicy::kMargin:
+      ops.compares = 2 * n + 1;  // top-two scan + threshold
+      ops.adds = 1;              // difference of top two
+      break;
+    case ConfidencePolicy::kEntropy:
+      ops.activations = n;  // log evaluations
+      ops.macs = n;         // p * log p accumulation
+      ops.divides = 1;      // normalization by log n
+      ops.compares = n + 1;
+      break;
+  }
+  ops.mem_reads = n;
+  return ops;
+}
+
+}  // namespace cdl

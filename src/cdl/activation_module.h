@@ -1,0 +1,52 @@
+// ActivationModule: the paper's per-stage terminate-or-continue decision.
+//
+// Given the stage's class-probability vector, the module terminates the
+// cascade iff the probabilities express *sufficient confidence in exactly one
+// label* (Section II of the paper):
+//   - no class reaching the threshold  -> pass to the next stage;
+//   - two or more classes reaching it  -> ambiguous, pass on;
+//   - exactly one class reaching it    -> terminate with that label.
+//
+// The threshold δ is the user-facing runtime knob traded between efficiency
+// and accuracy (paper Fig. 10). Margin and entropy confidence policies are
+// provided for the confidence-policy ablation bench.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.h"
+#include "nn/opcount.h"
+
+namespace cdl {
+
+enum class ConfidencePolicy { kMaxProbability, kMargin, kEntropy };
+
+[[nodiscard]] std::string to_string(ConfidencePolicy policy);
+
+struct ActivationDecision {
+  bool terminate = false;
+  std::size_t label = 0;     ///< argmax label (meaningful when terminating)
+  float confidence = 0.0F;   ///< policy-specific confidence value
+};
+
+class ActivationModule {
+ public:
+  explicit ActivationModule(float delta = 0.5F,
+                            ConfidencePolicy policy = ConfidencePolicy::kMaxProbability);
+
+  [[nodiscard]] ActivationDecision evaluate(const Tensor& probabilities) const;
+
+  /// Cost of one decision over `n` class probabilities.
+  [[nodiscard]] OpCount decision_ops(std::size_t n) const;
+
+  [[nodiscard]] float delta() const { return delta_; }
+  void set_delta(float delta);
+
+  [[nodiscard]] ConfidencePolicy policy() const { return policy_; }
+
+ private:
+  float delta_;
+  ConfidencePolicy policy_;
+};
+
+}  // namespace cdl

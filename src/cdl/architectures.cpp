@@ -1,0 +1,61 @@
+#include "cdl/architectures.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+
+Network make_mnist_2c_baseline() {
+  Network net;
+  net.emplace<Conv2D>(1, 6, 5, ConvAlgo::kIm2col);   // 28x28 -> 24x24
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);         // -> 12x12
+  net.emplace<Conv2D>(6, 12, 5, ConvAlgo::kIm2col);  // -> 8x8, 12 maps
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);         // -> 4x4
+  net.emplace<Dense>(12 * 4 * 4, 10);
+  return net;
+}
+
+CdlArchitecture mnist_2c() {
+  return CdlArchitecture{
+      .name = "MNIST_2C",
+      .input_shape = Shape{1, 28, 28},
+      .default_stages = {3},       // O1 after P1 (prefix: conv, sigmoid, pool)
+      .candidate_stages = {3, 6},  // + O2 after P2 for stage sweeps
+      .make_baseline = &make_mnist_2c_baseline,
+  };
+}
+
+Network make_mnist_3c_baseline() {
+  Network net;
+  net.emplace<Conv2D>(1, 3, 3, ConvAlgo::kIm2col);   // 28x28 -> 26x26
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);         // -> 13x13
+  net.emplace<Conv2D>(3, 6, 4, ConvAlgo::kIm2col);   // -> 10x10, 6 maps
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);         // -> 5x5
+  net.emplace<Conv2D>(6, 9, 3, ConvAlgo::kIm2col);   // -> 3x3, 9 maps
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(1);         // paper's P3 keeps the 3x3 extent
+  net.emplace<Dense>(9 * 3 * 3, 10);
+  return net;
+}
+
+CdlArchitecture mnist_3c() {
+  return CdlArchitecture{
+      .name = "MNIST_3C",
+      .input_shape = Shape{1, 28, 28},
+      .default_stages = {3, 6},       // O1 after P1, O2 after P2
+      .candidate_stages = {3, 6, 9},  // + O3 after P3 (rejected by gain test)
+      .make_baseline = &make_mnist_3c_baseline,
+  };
+}
+
+std::vector<CdlArchitecture> paper_architectures() {
+  return {mnist_2c(), mnist_3c()};
+}
+
+}  // namespace cdl

@@ -1,0 +1,40 @@
+// The paper's two baseline DLN architectures (Tables I and II) and their
+// CDL attach points, shared by tests, benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace cdl {
+
+struct CdlArchitecture {
+  std::string name;
+  Shape input_shape;
+  /// Baseline layer-prefix lengths at which linear classifiers may attach
+  /// (after each pooling stage, in network order). The paper's default CDLN
+  /// uses `default_stages`; `candidate_stages` adds the deeper options used
+  /// by the stage-count sweeps (Figs. 7 & 9).
+  std::vector<std::size_t> default_stages;
+  std::vector<std::size_t> candidate_stages;
+  /// Builds an untrained baseline network.
+  Network (*make_baseline)();
+};
+
+/// Table I: 28x28 -> C1 5x5x6 -> P1 2x2 -> C2 5x5x12 -> P2 2x2 -> FC 10,
+/// with linear classifier O1 on the P1 features.
+[[nodiscard]] Network make_mnist_2c_baseline();
+[[nodiscard]] CdlArchitecture mnist_2c();
+
+/// Table II: 28x28 -> C1 3x3x3 -> P1 2x2 -> C2 4x4x6 -> P2 2x2 -> C3 3x3x9
+/// -> P3 (identity window) -> FC 10, with O1 on P1 and O2 on P2; O3 on P3 is
+/// a candidate used by the stage sweeps.
+[[nodiscard]] Network make_mnist_3c_baseline();
+[[nodiscard]] CdlArchitecture mnist_3c();
+
+/// All architectures evaluated by the paper, in table order.
+[[nodiscard]] std::vector<CdlArchitecture> paper_architectures();
+
+}  // namespace cdl

@@ -1,0 +1,91 @@
+#include "cdl/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace cdl {
+
+CalibrationReport measure_calibration(ConditionalNetwork& net,
+                                      const Dataset& data,
+                                      std::size_t num_bins) {
+  if (data.empty()) throw std::invalid_argument("measure_calibration: empty data");
+  if (num_bins == 0) throw std::invalid_argument("measure_calibration: no bins");
+
+  CalibrationReport report;
+  report.bins.assign(num_bins, CalibrationBin{});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const ClassificationResult r = net.classify(data.image(i));
+    const double conf = std::clamp(static_cast<double>(r.confidence), 0.0, 1.0);
+    auto bin = static_cast<std::size_t>(conf * static_cast<double>(num_bins));
+    if (bin == num_bins) bin = num_bins - 1;  // confidence exactly 1
+    CalibrationBin& b = report.bins[bin];
+    ++b.count;
+    b.confidence_sum += conf;
+    b.correct += (r.label == data.label(i)) ? 1.0 : 0.0;
+    report.mean_confidence += conf;
+    report.accuracy += (r.label == data.label(i)) ? 1.0 : 0.0;
+  }
+  const auto n = static_cast<double>(data.size());
+  report.mean_confidence /= n;
+  report.accuracy /= n;
+  for (const CalibrationBin& b : report.bins) {
+    if (b.count == 0) continue;
+    const double bin_acc = b.correct / static_cast<double>(b.count);
+    const double bin_conf = b.confidence_sum / static_cast<double>(b.count);
+    report.ece += (static_cast<double>(b.count) / n) *
+                  std::abs(bin_acc - bin_conf);
+  }
+  return report;
+}
+
+double baseline_nll(ConditionalNetwork& net, const Dataset& data,
+                    float temperature) {
+  if (data.empty()) throw std::invalid_argument("baseline_nll: empty data");
+  if (temperature <= 0.0F) {
+    throw std::invalid_argument("baseline_nll: temperature must be positive");
+  }
+  double nll = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Tensor logits = net.baseline().forward(data.image(i));
+    logits *= 1.0F / temperature;
+    const Tensor p = softmax(logits);
+    nll -= std::log(std::max(p[data.label(i)], 1e-12F));
+  }
+  return nll / static_cast<double>(data.size());
+}
+
+float fit_temperature(ConditionalNetwork& net, const Dataset& validation,
+                      float t_lo, float t_hi) {
+  if (t_lo <= 0.0F || t_hi <= t_lo) {
+    throw std::invalid_argument("fit_temperature: need 0 < t_lo < t_hi");
+  }
+  // Golden-section search: NLL(T) is unimodal in T for fixed logits.
+  constexpr float kGolden = 0.6180339887F;
+  float a = t_lo;
+  float b = t_hi;
+  float x1 = b - kGolden * (b - a);
+  float x2 = a + kGolden * (b - a);
+  double f1 = baseline_nll(net, validation, x1);
+  double f2 = baseline_nll(net, validation, x2);
+  for (int iter = 0; iter < 30 && (b - a) > 1e-3F; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = baseline_nll(net, validation, x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = baseline_nll(net, validation, x2);
+    }
+  }
+  return (a + b) / 2.0F;
+}
+
+}  // namespace cdl

@@ -1,0 +1,51 @@
+// Confidence calibration (extension beyond the paper).
+//
+// The activation module's decision quality depends on how well stage
+// confidences track correctness. This module provides:
+//   * expected calibration error (ECE) measurement for any CDLN stage, and
+//   * temperature scaling (Guo et al., 2017) for softmax-based confidences,
+//     fitted on a validation split by 1-D golden-section search on NLL.
+//
+// LMS stages emit clamped scores rather than a softmax, so temperature
+// applies to the final FC stage and to kSoftmaxXent stage classifiers; ECE
+// is measurable for every stage.
+#pragma once
+
+#include "cdl/conditional_network.h"
+#include "data/dataset.h"
+
+namespace cdl {
+
+struct CalibrationBin {
+  std::size_t count = 0;
+  double confidence_sum = 0.0;
+  double correct = 0.0;
+};
+
+struct CalibrationReport {
+  double ece = 0.0;             ///< expected calibration error in [0,1]
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+  std::vector<CalibrationBin> bins;
+};
+
+/// ECE of the network's *final decisions* (whatever stage produced them):
+/// bins predictions by reported confidence and averages |accuracy - mean
+/// confidence| weighted by bin occupancy.
+[[nodiscard]] CalibrationReport measure_calibration(ConditionalNetwork& net,
+                                                    const Dataset& data,
+                                                    std::size_t num_bins = 10);
+
+/// Fits a softmax temperature T > 0 minimizing NLL of the *baseline* (FC)
+/// predictions on `validation` via golden-section search over [t_lo, t_hi].
+/// Returns the fitted temperature; apply it with ScaledConfidence wrappers
+/// or by dividing logits before softmax.
+[[nodiscard]] float fit_temperature(ConditionalNetwork& net,
+                                    const Dataset& validation,
+                                    float t_lo = 0.25F, float t_hi = 8.0F);
+
+/// NLL of baseline logits at a given temperature (exposed for tests).
+[[nodiscard]] double baseline_nll(ConditionalNetwork& net, const Dataset& data,
+                                  float temperature);
+
+}  // namespace cdl

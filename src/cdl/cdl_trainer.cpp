@@ -1,0 +1,220 @@
+#include "cdl/cdl_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+
+float train_baseline(Network& net, const Dataset& train,
+                     const BaselineTrainConfig& config, Rng& rng) {
+  if (train.empty()) throw std::invalid_argument("train_baseline: empty dataset");
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train_baseline: batch_size must be positive");
+  }
+  SoftmaxCrossEntropyLoss loss_fn;
+  SgdOptimizer opt(config.sgd);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  float mean_loss = 0.0F;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates reshuffle per epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      const Tensor logits = net.forward(train.image(idx));
+      epoch_loss += loss_fn.value(logits, train.label(idx));
+      net.backward(loss_fn.grad(logits, train.label(idx)));
+      if (++in_batch == config.batch_size) {
+        opt.step(net);  // step() also zeroes the accumulated gradients
+        in_batch = 0;
+      }
+    }
+    if (in_batch != 0) opt.step(net);  // trailing partial batch
+    opt.end_epoch();
+    mean_loss = static_cast<float>(epoch_loss / static_cast<double>(train.size()));
+    if (config.log_every != 0 && (epoch + 1) % config.log_every == 0) {
+      std::printf("  baseline epoch %zu/%zu: loss %.4f (lr %.4f)\n", epoch + 1,
+                  config.epochs, static_cast<double>(mean_loss),
+                  static_cast<double>(opt.learning_rate()));
+    }
+  }
+  return mean_loss;
+}
+
+float train_cdl_joint(ConditionalNetwork& net, const Dataset& train,
+                      const JointTrainConfig& config, Rng& rng) {
+  if (train.empty()) throw std::invalid_argument("train_cdl_joint: empty dataset");
+  Network& base = net.baseline();
+  SoftmaxCrossEntropyLoss loss_fn;
+  SgdOptimizer opt(config.sgd);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  float mean_loss = 0.0F;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      // Forward layer by layer, stashing each stage boundary's activations.
+      std::vector<Tensor> boundary(net.num_stages());
+      Tensor x = train.image(idx);
+      std::size_t next_stage = 0;
+      for (std::size_t layer = 0; layer < base.size(); ++layer) {
+        if (next_stage < net.num_stages() &&
+            net.stage_prefix(next_stage) == layer) {
+          boundary[next_stage] = x;
+          ++next_stage;
+        }
+        x = base.layer(layer).forward(x);
+      }
+
+      // FC loss and stage losses; stage classifiers update themselves and
+      // hand back the gradient to inject into the trunk.
+      epoch_loss += loss_fn.value(x, train.label(idx));
+      std::vector<Tensor> injected(net.num_stages());
+      for (std::size_t s = 0; s < net.num_stages(); ++s) {
+        const Tensor p = softmax(net.classifier(s).scores(boundary[s]));
+        epoch_loss += config.stage_loss_weight *
+                      -std::log(std::max(p[train.label(idx)], 1e-12F));
+        injected[s] = net.classifier(s).joint_train_step(
+            boundary[s], train.label(idx), config.lc_learning_rate,
+            config.stage_loss_weight);
+      }
+
+      // Backward through the trunk, adding each stage's gradient when the
+      // walk crosses its attach point.
+      Tensor grad = loss_fn.grad(x, train.label(idx));
+      for (std::size_t layer = base.size(); layer-- > 0;) {
+        grad = base.layer(layer).backward(grad);
+        while (next_stage > 0 && net.stage_prefix(next_stage - 1) == layer) {
+          grad += injected[next_stage - 1];
+          --next_stage;
+        }
+      }
+      opt.step(base);
+    }
+    opt.end_epoch();
+    mean_loss = static_cast<float>(epoch_loss / static_cast<double>(train.size()));
+  }
+  return mean_loss;
+}
+
+CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
+                         const CdlTrainConfig& config, Rng& rng) {
+  if (train.empty()) throw std::invalid_argument("train_cdl: empty dataset");
+  CdlTrainReport report;
+
+  // Instances still flowing through the cascade: activations are advanced
+  // range-by-range so each baseline prefix is computed exactly once.
+  std::vector<Tensor> acts;
+  std::vector<std::size_t> labels;
+  acts.reserve(train.size());
+  labels.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    acts.push_back(train.image(i));
+    labels.push_back(train.label(i));
+  }
+  std::size_t done_layers = 0;
+
+  const double gamma_base =
+      static_cast<double>(net.baseline_forward_ops().total_compute());
+  const ActivationModule train_gate(config.train_delta,
+                                    net.activation_module().policy());
+
+  std::size_t pos = 0;           // current stage position in `net`
+  std::size_t candidate = 0;     // running candidate number for naming (O1, O2, ...)
+  while (pos < net.num_stages()) {
+    StageTrainReport stage;
+    stage.stage_name = "O" + std::to_string(candidate + 1);
+    ++candidate;
+    stage.prefix_layers = net.stage_prefix(pos);
+    stage.reached = acts.size();
+
+    // Advance surviving instances to this stage's feature boundary.
+    for (Tensor& a : acts) {
+      a = net.baseline().forward_range(a, done_layers, stage.prefix_layers);
+    }
+    done_layers = stage.prefix_layers;
+
+    // Train the linear classifier with the LMS (or ablation) rule on the
+    // instances that reach this stage (Algorithm 1 steps 4-7).
+    LinearClassifier& lc = net.classifier(pos);
+    float lr = config.lc_learning_rate;
+    std::vector<std::size_t> order(acts.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t epoch = 0; epoch < config.lc_epochs; ++epoch) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.index(i)]);
+      }
+      double epoch_loss = 0.0;
+      for (std::size_t idx : order) {
+        epoch_loss += lc.train_step(acts[idx], labels[idx], lr);
+      }
+      lr *= config.lc_lr_decay;
+      if (!acts.empty()) {
+        stage.final_loss =
+            static_cast<float>(epoch_loss / static_cast<double>(acts.size()));
+      }
+    }
+
+    // Measure Cl_i at the training confidence level (step 8).
+    std::vector<bool> terminated(acts.size(), false);
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+      const ActivationDecision d = train_gate.evaluate(lc.probabilities(acts[i]));
+      terminated[i] = d.terminate;
+      if (d.terminate) ++stage.classified;
+    }
+
+    // Gain G_i (step 9): improvement on classified instances minus the extra
+    // cost inflicted on instances passed through this stage.
+    const double gamma_i =
+        static_cast<double>(net.exit_ops(pos).total_compute());
+    stage.gain = (gamma_base - gamma_i) * static_cast<double>(stage.classified) -
+                 gamma_i * static_cast<double>(stage.reached - stage.classified);
+
+    // Admission (step 10). The first candidate stage is always admitted; the
+    // gain test applies from the second stage onwards.
+    stage.admitted = !config.prune_by_gain || pos == 0 ||
+                     stage.gain > config.epsilon_gain;
+
+    if (stage.admitted) {
+      // Only non-terminated instances flow to the next stage.
+      std::vector<Tensor> next_acts;
+      std::vector<std::size_t> next_labels;
+      next_acts.reserve(acts.size());
+      next_labels.reserve(acts.size());
+      for (std::size_t i = 0; i < acts.size(); ++i) {
+        if (!terminated[i]) {
+          next_acts.push_back(std::move(acts[i]));
+          next_labels.push_back(labels[i]);
+        }
+      }
+      acts = std::move(next_acts);
+      labels = std::move(next_labels);
+      ++pos;
+    } else {
+      net.detach_classifier(pos);  // instances pass through unchanged
+    }
+    report.stages.push_back(std::move(stage));
+  }
+
+  report.fc_fraction =
+      static_cast<double>(acts.size()) / static_cast<double>(train.size());
+  return report;
+}
+
+}  // namespace cdl

@@ -1,0 +1,95 @@
+// Training entry points: baseline DLN backprop training and the paper's
+// Algorithm 1 (stage-wise linear-classifier training with gain-based
+// admission).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+
+namespace cdl {
+
+struct BaselineTrainConfig {
+  // Deliberately modest: the paper observes that a less-than-fully-trained
+  // DLN still extracts features from which the stage classifiers recover
+  // (and exceed) the baseline's accuracy — 6 epochs lands the baseline in
+  // the paper's ~97.5 % regime.
+  std::size_t epochs = 6;
+  // Per-sample SGD: heavy momentum (>0.5) oscillates at this update
+  // granularity, so the default is deliberately moderate.
+  SgdConfig sgd{.learning_rate = 0.1F, .momentum = 0.5F, .lr_decay = 0.90F};
+  /// Gradients are accumulated over this many samples per optimizer step
+  /// (1 = pure online SGD, the paper-era default).
+  std::size_t batch_size = 1;
+  /// Print per-epoch loss every `log_every` epochs (0 = silent).
+  std::size_t log_every = 0;
+};
+
+/// Trains `net` in place on softmax-cross-entropy with per-sample SGD.
+/// Returns the final epoch's mean loss.
+float train_baseline(Network& net, const Dataset& train,
+                     const BaselineTrainConfig& config, Rng& rng);
+
+struct CdlTrainConfig {
+  std::size_t lc_epochs = 12;
+  /// NLMS step size (relative to input energy); stable for values < 2.
+  float lc_learning_rate = 0.8F;
+  float lc_lr_decay = 0.90F;
+  /// δ used while measuring stage gains during training (paper recommends
+  /// 0.5-0.7 "to avoid misclassification errors").
+  float train_delta = 0.6F;
+  /// ε: minimum gain (in operation units, scaled by instance counts) a stage
+  /// must contribute to be admitted.
+  double epsilon_gain = 0.0;
+  /// Apply the gain test (Algorithm 1 step 10). The first stage is always
+  /// admitted — the paper's admission check runs "from the second CNN layer
+  /// or stage onwards".
+  bool prune_by_gain = true;
+};
+
+struct StageTrainReport {
+  std::string stage_name;
+  std::size_t prefix_layers = 0;
+  bool admitted = true;
+  double gain = 0.0;             ///< G_i of Algorithm 1 step 9
+  std::size_t reached = 0;       ///< I_i — instances reaching the stage
+  std::size_t classified = 0;    ///< Cl_i — instances terminating here
+  float final_loss = 0.0F;       ///< mean LC loss, last epoch
+};
+
+struct CdlTrainReport {
+  std::vector<StageTrainReport> stages;
+  /// Fraction of training instances that reach the final FC stage.
+  double fc_fraction = 0.0;
+};
+
+/// Algorithm 1: trains every classifier already attached to `net` (in stage
+/// order) on the instances that reach its stage, then admits or removes each
+/// by the gain criterion. The baseline must already be trained.
+CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
+                         const CdlTrainConfig& config, Rng& rng);
+
+struct JointTrainConfig {
+  std::size_t epochs = 6;
+  SgdConfig sgd{.learning_rate = 0.1F, .momentum = 0.5F, .lr_decay = 0.90F};
+  /// Normalized step size for the stage classifiers' own weights.
+  float lc_learning_rate = 0.8F;
+  /// Weight of each stage classifier's cross-entropy in the joint loss (the
+  /// final FC loss has weight 1).
+  float stage_loss_weight = 0.3F;
+};
+
+/// Extension beyond the paper (the direction BranchyNet later took): trains
+/// the baseline and all attached stage classifiers *jointly* — each stage's
+/// softmax-cross-entropy gradient is injected into the shared trunk at its
+/// attach point, so the convolutional features are shaped by the early exits
+/// as well as the final layer. Stage classifiers should use
+/// LcTrainingRule::kSoftmaxXent so their confidences match how they were
+/// trained. Returns the final epoch's mean joint loss.
+float train_cdl_joint(ConditionalNetwork& net, const Dataset& train,
+                      const JointTrainConfig& config, Rng& rng);
+
+}  // namespace cdl

@@ -1,0 +1,250 @@
+#include "cdl/conditional_network.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+
+ConditionalNetwork::ConditionalNetwork(Network baseline, Shape input_shape)
+    : baseline_(std::move(baseline)), input_shape_(std::move(input_shape)) {
+  if (baseline_.size() == 0) {
+    throw std::invalid_argument("ConditionalNetwork: empty baseline");
+  }
+  const Shape out = baseline_.output_shape(input_shape_);  // validates chain
+  if (out.rank() != 1) {
+    throw std::invalid_argument(
+        "ConditionalNetwork: baseline must end in a rank-1 score vector, got " +
+        out.to_string());
+  }
+  num_classes_ = out.numel();
+  rebuild_ops_cache();
+}
+
+std::size_t ConditionalNetwork::attach_classifier(std::size_t prefix_layers,
+                                                  LcTrainingRule rule,
+                                                  Rng& rng) {
+  if (prefix_layers == 0 || prefix_layers >= baseline_.size()) {
+    throw std::invalid_argument(
+        "attach_classifier: prefix must be in [1, layers-1], got " +
+        std::to_string(prefix_layers));
+  }
+  for (const Stage& s : stages_) {
+    if (s.prefix_layers == prefix_layers) {
+      throw std::invalid_argument("attach_classifier: stage at prefix " +
+                                  std::to_string(prefix_layers) +
+                                  " already exists");
+    }
+  }
+  const Shape feat = baseline_.output_shape_after(input_shape_, prefix_layers);
+  LinearClassifier lc(feat.numel(), num_classes_, rule);
+  lc.init(rng);
+
+  const auto pos = std::find_if(
+      stages_.begin(), stages_.end(),
+      [&](const Stage& s) { return s.prefix_layers > prefix_layers; });
+  const auto inserted =
+      stages_.insert(pos, Stage{prefix_layers, std::move(lc), std::nullopt});
+  const auto stage_index = static_cast<std::size_t>(inserted - stages_.begin());
+  rebuild_ops_cache();
+  return stage_index;
+}
+
+void ConditionalNetwork::detach_classifier(std::size_t stage) {
+  check_stage(stage);
+  stages_.erase(stages_.begin() + static_cast<std::ptrdiff_t>(stage));
+  rebuild_ops_cache();
+}
+
+void ConditionalNetwork::check_stage(std::size_t stage) const {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ConditionalNetwork: stage " +
+                            std::to_string(stage) + " of " +
+                            std::to_string(stages_.size()));
+  }
+}
+
+LinearClassifier& ConditionalNetwork::classifier(std::size_t stage) {
+  check_stage(stage);
+  return stages_[stage].classifier;
+}
+
+const LinearClassifier& ConditionalNetwork::classifier(std::size_t stage) const {
+  check_stage(stage);
+  return stages_[stage].classifier;
+}
+
+std::size_t ConditionalNetwork::stage_prefix(std::size_t stage) const {
+  check_stage(stage);
+  return stages_[stage].prefix_layers;
+}
+
+std::string ConditionalNetwork::stage_name(std::size_t stage) const {
+  if (stage == stages_.size()) return "FC";
+  check_stage(stage);
+  return "O" + std::to_string(stage + 1);
+}
+
+void ConditionalNetwork::set_delta(float delta) {
+  activation_.set_delta(delta);
+  for (Stage& s : stages_) s.delta_override.reset();
+}
+
+void ConditionalNetwork::set_policy(ConfidencePolicy policy) {
+  activation_ = ActivationModule(activation_.delta(), policy);
+  rebuild_ops_cache();  // decision ops depend on the policy
+}
+
+void ConditionalNetwork::set_stage_delta(std::size_t stage, float delta) {
+  check_stage(stage);
+  if (delta < 0.0F) {
+    throw std::invalid_argument("set_stage_delta: delta must be >= 0");
+  }
+  stages_[stage].delta_override = delta;
+}
+
+float ConditionalNetwork::stage_delta(std::size_t stage) const {
+  check_stage(stage);
+  return stages_[stage].delta_override.value_or(activation_.delta());
+}
+
+ClassificationResult ConditionalNetwork::classify(const Tensor& input) {
+  if (input.shape() != input_shape_) {
+    throw std::invalid_argument("classify: input shape " +
+                                input.shape().to_string() + " != " +
+                                input_shape_.to_string());
+  }
+  ClassificationResult result;
+  Tensor x = input;
+  std::size_t done_layers = 0;
+
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& stage = stages_[s];
+    x = baseline_.forward_range(x, done_layers, stage.prefix_layers);
+    done_layers = stage.prefix_layers;
+    result.ops += stage_ops(s);
+
+    const Tensor probs = stage.classifier.probabilities(x);
+    const ActivationModule gate(stage.delta_override.value_or(activation_.delta()),
+                                activation_.policy());
+    const ActivationDecision decision = gate.evaluate(probs);
+    if (decision.terminate) {
+      result.label = decision.label;
+      result.exit_stage = s;
+      result.confidence = decision.confidence;
+      result.probabilities = probs;
+      return result;
+    }
+  }
+
+  // Hardest path: run the remaining baseline layers and take the FC output.
+  x = baseline_.forward_range(x, done_layers, baseline_.size());
+  result.ops += final_stage_ops();
+  const Tensor probs = softmax(x);
+  result.label = probs.argmax();
+  result.exit_stage = stages_.size();
+  result.confidence = max_probability(probs);
+  result.probabilities = probs;
+  return result;
+}
+
+ClassificationResult ConditionalNetwork::classify_baseline(const Tensor& input) {
+  ClassificationResult result;
+  const Tensor logits = baseline_.forward(input);
+  const Tensor probs = softmax(logits);
+  result.label = probs.argmax();
+  result.exit_stage = stages_.size();
+  result.confidence = max_probability(probs);
+  result.probabilities = probs;
+  result.ops = baseline_forward_ops();
+  result.ops += softmax_ops(num_classes_);
+  return result;
+}
+
+Tensor ConditionalNetwork::stage_features(const Tensor& input,
+                                          std::size_t stage) {
+  check_stage(stage);
+  return baseline_.forward_range(input, 0, stages_[stage].prefix_layers);
+}
+
+OpCount ConditionalNetwork::segment_ops(std::size_t from_layer,
+                                        std::size_t to_layer) const {
+  const std::vector<OpCount> per_layer = baseline_.layer_ops(input_shape_);
+  OpCount total;
+  for (std::size_t i = from_layer; i < to_layer; ++i) total += per_layer[i];
+  return total;
+}
+
+OpCount ConditionalNetwork::baseline_forward_ops() const {
+  return baseline_.forward_ops(input_shape_);
+}
+
+OpCount ConditionalNetwork::stage_ops(std::size_t stage) const {
+  check_stage(stage);
+  return stage_ops_cache_[stage];
+}
+
+OpCount ConditionalNetwork::final_stage_ops() const {
+  return final_stage_ops_cache_;
+}
+
+void ConditionalNetwork::rebuild_ops_cache() {
+  stage_ops_cache_.clear();
+  stage_ops_cache_.reserve(stages_.size());
+  for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+    const std::size_t prev =
+        stage == 0 ? 0 : stages_[stage - 1].prefix_layers;
+    OpCount ops = segment_ops(prev, stages_[stage].prefix_layers);
+    ops += stages_[stage].classifier.forward_ops();
+    ops += activation_.decision_ops(num_classes_);
+    stage_ops_cache_.push_back(ops);
+  }
+  const std::size_t prev = stages_.empty() ? 0 : stages_.back().prefix_layers;
+  OpCount ops = segment_ops(prev, baseline_.size());
+  ops += softmax_ops(num_classes_);
+  OpCount argmax_scan;
+  argmax_scan.compares = num_classes_ - 1;
+  ops += argmax_scan;
+  final_stage_ops_cache_ = ops;
+}
+
+OpCount ConditionalNetwork::worst_case_ops() const {
+  return exit_ops(stages_.size());
+}
+
+OpCount ConditionalNetwork::exit_ops(std::size_t stage) const {
+  if (stage > stages_.size()) {
+    throw std::out_of_range("exit_ops: stage " + std::to_string(stage));
+  }
+  OpCount ops;
+  for (std::size_t s = 0; s < std::min(stage + 1, stages_.size()); ++s) {
+    ops += stage_ops(s);
+  }
+  if (stage == stages_.size()) ops += final_stage_ops();
+  return ops;
+}
+
+std::vector<Tensor*> ConditionalNetwork::all_parameters() {
+  std::vector<Tensor*> params = baseline_.parameters();
+  for (Stage& s : stages_) {
+    for (Tensor* p : s.classifier.parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void ConditionalNetwork::save(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("ConditionalNetwork::save: cannot open " + path);
+  save_parameters(os, all_parameters());
+}
+
+void ConditionalNetwork::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("ConditionalNetwork::load: cannot open " + path);
+  load_parameters(is, all_parameters());
+}
+
+}  // namespace cdl

@@ -1,0 +1,124 @@
+// ConditionalNetwork: the paper's CDLN — a baseline DLN with linear
+// classifiers cascaded at convolutional-stage boundaries and an activation
+// module that terminates inference early for easy inputs (Algorithm 2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdl/activation_module.h"
+#include "cdl/linear_classifier.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct ClassificationResult {
+  std::size_t label = 0;
+  /// Stage that produced the label: 0..num_stages()-1 for a linear
+  /// classifier, num_stages() for the baseline's final (FC) output.
+  std::size_t exit_stage = 0;
+  float confidence = 0.0F;
+  OpCount ops;           ///< operations actually spent on this input
+  Tensor probabilities;  ///< class distribution of the deciding stage
+};
+
+class ConditionalNetwork {
+ public:
+  /// Takes ownership of a (typically pre-trained) baseline network.
+  ConditionalNetwork(Network baseline, Shape input_shape);
+
+  ConditionalNetwork(ConditionalNetwork&&) = default;
+  ConditionalNetwork& operator=(ConditionalNetwork&&) = default;
+
+  [[nodiscard]] Network& baseline() { return baseline_; }
+  [[nodiscard]] const Network& baseline() const { return baseline_; }
+  [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+
+  /// Attaches a linear classifier on the features produced by baseline
+  /// layers [0, prefix_layers). Classifiers may be attached in any order;
+  /// they are kept sorted by prefix. Returns the stage index.
+  std::size_t attach_classifier(std::size_t prefix_layers, LcTrainingRule rule,
+                                Rng& rng);
+
+  /// Removes the classifier at `stage`; later stage indices shift down.
+  void detach_classifier(std::size_t stage);
+
+  /// Number of attached linear classifiers (the final FC stage of the
+  /// baseline is not counted; it is stage index num_stages()).
+  [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
+
+  [[nodiscard]] LinearClassifier& classifier(std::size_t stage);
+  [[nodiscard]] const LinearClassifier& classifier(std::size_t stage) const;
+  [[nodiscard]] std::size_t stage_prefix(std::size_t stage) const;
+
+  /// Stage display name: "O1", "O2", ... and "FC" for the final stage.
+  [[nodiscard]] std::string stage_name(std::size_t stage) const;
+
+  [[nodiscard]] ActivationModule& activation_module() { return activation_; }
+  [[nodiscard]] const ActivationModule& activation_module() const {
+    return activation_;
+  }
+  /// Sets the runtime efficiency/accuracy knob δ (paper Fig. 10) for every
+  /// stage, clearing any per-stage overrides.
+  void set_delta(float delta);
+  void set_policy(ConfidencePolicy policy);
+
+  /// Per-stage δ override (extension: later early-exit systems tune each
+  /// exit's threshold independently; the paper uses a single δ). Overrides
+  /// survive until set_delta() resets them.
+  void set_stage_delta(std::size_t stage, float delta);
+  /// Effective δ used at `stage` (the override if present, else the global).
+  [[nodiscard]] float stage_delta(std::size_t stage) const;
+
+  /// Algorithm 2: staged inference with early termination.
+  [[nodiscard]] ClassificationResult classify(const Tensor& input);
+
+  /// Unconditional baseline inference (all layers, no linear classifiers).
+  [[nodiscard]] ClassificationResult classify_baseline(const Tensor& input);
+
+  /// Features the stage's linear classifier sees for `input` (prefix forward).
+  [[nodiscard]] Tensor stage_features(const Tensor& input, std::size_t stage);
+
+  // --- op accounting (precomputed from input_shape) -------------------------
+  /// Cost of the full baseline forward pass (the paper's normalization unit).
+  [[nodiscard]] OpCount baseline_forward_ops() const;
+  /// Incremental cost of reaching + evaluating stage `s`: baseline segment
+  /// since the previous stage, the linear classifier, and the decision.
+  [[nodiscard]] OpCount stage_ops(std::size_t stage) const;
+  /// Cost of the final FC stage after the last linear classifier.
+  [[nodiscard]] OpCount final_stage_ops() const;
+  /// Cost of the hardest input: every stage plus the final layers.
+  [[nodiscard]] OpCount worst_case_ops() const;
+  /// Cumulative cost of exiting exactly at `stage` (num_stages() = FC exit).
+  [[nodiscard]] OpCount exit_ops(std::size_t stage) const;
+
+  /// Saves/loads baseline + classifier parameters (architecture must match).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  struct Stage {
+    std::size_t prefix_layers;
+    LinearClassifier classifier;
+    std::optional<float> delta_override;
+  };
+
+  [[nodiscard]] std::vector<Tensor*> all_parameters();
+  void check_stage(std::size_t stage) const;
+  [[nodiscard]] OpCount segment_ops(std::size_t from_layer,
+                                    std::size_t to_layer) const;
+  /// Rebuilds the cached per-stage/final op tables (classify() consults them
+  /// on every call, so they must not be recomputed per input).
+  void rebuild_ops_cache();
+
+  Network baseline_;
+  Shape input_shape_;
+  std::vector<Stage> stages_;
+  ActivationModule activation_;
+  std::size_t num_classes_;
+  std::vector<OpCount> stage_ops_cache_;  ///< incremental cost per stage
+  OpCount final_stage_ops_cache_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,120 @@
+#include "cdl/delta_selection.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+std::vector<float> default_delta_grid() {
+  return {0.30F, 0.40F, 0.50F, 0.55F, 0.60F, 0.65F, 0.70F, 0.75F, 0.80F, 0.90F};
+}
+
+DeltaSelection select_delta(ConditionalNetwork& net, const Dataset& validation,
+                            std::span<const float> candidates) {
+  if (validation.empty()) {
+    throw std::invalid_argument("select_delta: empty validation set");
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_delta: no candidates");
+  }
+
+  DeltaSelection selection;
+  bool have_best = false;
+  for (float delta : candidates) {
+    net.set_delta(delta);
+    DeltaCandidate candidate;
+    candidate.delta = delta;
+    std::size_t correct = 0;
+    double ops = 0.0;
+    for (std::size_t i = 0; i < validation.size(); ++i) {
+      const ClassificationResult r = net.classify(validation.image(i));
+      if (r.label == validation.label(i)) ++correct;
+      ops += static_cast<double>(r.ops.total_compute());
+    }
+    candidate.accuracy =
+        static_cast<double>(correct) / static_cast<double>(validation.size());
+    candidate.avg_ops = ops / static_cast<double>(validation.size());
+    selection.sweep.push_back(candidate);
+
+    const bool better =
+        !have_best || candidate.accuracy > selection.best.accuracy ||
+        (candidate.accuracy == selection.best.accuracy &&
+         candidate.avg_ops < selection.best.avg_ops);
+    if (better) {
+      selection.best = candidate;
+      have_best = true;
+    }
+  }
+  net.set_delta(selection.best.delta);
+  return selection;
+}
+
+DeltaSelection select_delta(ConditionalNetwork& net, const Dataset& validation) {
+  const std::vector<float> grid = default_delta_grid();
+  return select_delta(net, validation, grid);
+}
+
+namespace {
+
+struct ValScore {
+  double accuracy = 0.0;
+  double avg_ops = 0.0;
+};
+
+ValScore score(ConditionalNetwork& net, const Dataset& validation) {
+  std::size_t correct = 0;
+  double ops = 0.0;
+  for (std::size_t i = 0; i < validation.size(); ++i) {
+    const ClassificationResult r = net.classify(validation.image(i));
+    if (r.label == validation.label(i)) ++correct;
+    ops += static_cast<double>(r.ops.total_compute());
+  }
+  return {static_cast<double>(correct) / static_cast<double>(validation.size()),
+          ops / static_cast<double>(validation.size())};
+}
+
+bool better(const ValScore& a, const ValScore& b) {
+  return a.accuracy > b.accuracy ||
+         (a.accuracy == b.accuracy && a.avg_ops < b.avg_ops);
+}
+
+}  // namespace
+
+StageDeltaSelection select_stage_deltas(ConditionalNetwork& net,
+                                        const Dataset& validation,
+                                        std::span<const float> candidates) {
+  if (net.num_stages() == 0) {
+    throw std::invalid_argument("select_stage_deltas: network has no stages");
+  }
+  // Seed every stage with the best global δ.
+  const DeltaSelection global = select_delta(net, validation, candidates);
+
+  StageDeltaSelection selection;
+  selection.stage_deltas.assign(net.num_stages(), global.best.delta);
+  ValScore best{global.best.accuracy, global.best.avg_ops};
+
+  // Greedy coordinate descent over stages (earlier stages gate the most
+  // traffic, so they are swept first).
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    for (float delta : candidates) {
+      if (delta == selection.stage_deltas[s]) continue;
+      net.set_stage_delta(s, delta);
+      const ValScore candidate = score(net, validation);
+      if (better(candidate, best)) {
+        best = candidate;
+        selection.stage_deltas[s] = delta;
+      }
+    }
+    net.set_stage_delta(s, selection.stage_deltas[s]);
+  }
+  selection.accuracy = best.accuracy;
+  selection.avg_ops = best.avg_ops;
+  return selection;
+}
+
+StageDeltaSelection select_stage_deltas(ConditionalNetwork& net,
+                                        const Dataset& validation) {
+  const std::vector<float> grid = default_delta_grid();
+  return select_stage_deltas(net, validation, grid);
+}
+
+}  // namespace cdl

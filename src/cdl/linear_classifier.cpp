@@ -1,0 +1,167 @@
+#include "cdl/linear_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace cdl {
+
+std::string to_string(LcTrainingRule rule) {
+  switch (rule) {
+    case LcTrainingRule::kLms:
+      return "lms";
+    case LcTrainingRule::kSoftmaxXent:
+      return "softmax_xent";
+  }
+  return "unknown";
+}
+
+LinearClassifier::LinearClassifier(std::size_t in_features,
+                                   std::size_t num_classes,
+                                   LcTrainingRule rule)
+    : in_features_(in_features),
+      num_classes_(num_classes),
+      rule_(rule),
+      weights_(Shape{num_classes, in_features}),
+      bias_(Shape{num_classes}) {
+  if (in_features == 0 || num_classes == 0) {
+    throw std::invalid_argument("LinearClassifier: sizes must be positive");
+  }
+}
+
+void LinearClassifier::init(Rng& rng) {
+  const float bound =
+      std::sqrt(6.0F / static_cast<float>(in_features_)) * 0.5F;
+  for (float& w : weights_.values()) w = rng.uniform(-bound, bound);
+  bias_.zero();
+}
+
+void LinearClassifier::check_features(const Tensor& features) const {
+  if (features.numel() != in_features_) {
+    throw std::invalid_argument(
+        "LinearClassifier: features " + features.shape().to_string() + " have " +
+        std::to_string(features.numel()) + " elements, expected " +
+        std::to_string(in_features_));
+  }
+}
+
+Tensor LinearClassifier::scores(const Tensor& features) const {
+  check_features(features);
+  Tensor out(Shape{num_classes_});
+  const float* x = features.data();
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const float* w_row = weights_.data() + c * in_features_;
+    float acc = bias_[c];
+    for (std::size_t i = 0; i < in_features_; ++i) acc += w_row[i] * x[i];
+    out[c] = acc;
+  }
+  return out;
+}
+
+Tensor LinearClassifier::probabilities(const Tensor& features) const {
+  if (rule_ == LcTrainingRule::kSoftmaxXent) return softmax(scores(features));
+  Tensor conf = scores(features);
+  for (float& v : conf.values()) v = std::clamp(v, 0.0F, 1.0F);
+  return conf;
+}
+
+float LinearClassifier::train_step(const Tensor& features, std::size_t target,
+                                   float lr) {
+  check_features(features);
+  if (target >= num_classes_) {
+    throw std::invalid_argument("LinearClassifier::train_step: bad target");
+  }
+  const Tensor y = scores(features);
+  const float* x = features.data();
+
+  float loss = 0.0F;
+  Tensor error(Shape{num_classes_});  // signed update direction per class
+  if (rule_ == LcTrainingRule::kLms) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const float t = (c == target) ? 1.0F : 0.0F;
+      error[c] = t - y[c];
+      loss += error[c] * error[c];
+    }
+    loss /= static_cast<float>(num_classes_);
+  } else {
+    const Tensor p = softmax(y);
+    loss = -std::log(std::max(p[target], 1e-12F));
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const float t = (c == target) ? 1.0F : 0.0F;
+      error[c] = t - p[c];
+    }
+  }
+
+  // Normalized step (NLMS): dividing by the input energy keeps the update
+  // inside the LMS stability bound regardless of the stage's feature
+  // dimension — plain LMS diverges on the ~900-dim early-stage features.
+  // The same normalization is applied to the cross-entropy ablation rule so
+  // the two are compared at equal step schedules.
+  float energy = 1.0F;
+  for (std::size_t i = 0; i < in_features_; ++i) energy += x[i] * x[i];
+  const float step_lr = lr / energy;
+
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const float step = step_lr * error[c];
+    if (step == 0.0F) continue;
+    float* w_row = weights_.data() + c * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) w_row[i] += step * x[i];
+    bias_[c] += step;
+  }
+  return loss;
+}
+
+Tensor LinearClassifier::joint_train_step(const Tensor& features,
+                                          std::size_t target, float lr,
+                                          float loss_weight) {
+  check_features(features);
+  if (target >= num_classes_) {
+    throw std::invalid_argument("LinearClassifier::joint_train_step: bad target");
+  }
+  const Tensor p = softmax(scores(features));
+  const float* x = features.data();
+
+  // d-xent/d-score_c = p_c - onehot_c.
+  Tensor grad_scores(Shape{num_classes_});
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    grad_scores[c] = p[c] - ((c == target) ? 1.0F : 0.0F);
+  }
+
+  // Gradient w.r.t. the features *before* the weight update, so the trunk
+  // sees the same function the loss was computed on.
+  Tensor grad_features(Shape{in_features_});
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const float g = loss_weight * grad_scores[c];
+    if (g == 0.0F) continue;
+    const float* w_row = weights_.data() + c * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) {
+      grad_features[i] += g * w_row[i];
+    }
+  }
+
+  float energy = 1.0F;
+  for (std::size_t i = 0; i < in_features_; ++i) energy += x[i] * x[i];
+  const float step_lr = loss_weight * lr / energy;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const float step = -step_lr * grad_scores[c];
+    if (step == 0.0F) continue;
+    float* w_row = weights_.data() + c * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) w_row[i] += step * x[i];
+    bias_[c] += step;
+  }
+  return grad_features.reshaped(features.shape());
+}
+
+OpCount LinearClassifier::forward_ops() const {
+  OpCount ops;
+  ops.macs = static_cast<std::uint64_t>(num_classes_) * in_features_;
+  ops.adds = num_classes_;
+  ops.mem_reads = 2 * ops.macs + num_classes_;
+  ops.mem_writes = num_classes_;
+  ops += softmax_ops(num_classes_);
+  return ops;
+}
+
+}  // namespace cdl

@@ -1,0 +1,74 @@
+// LinearClassifier: one CDL stage's output layer.
+//
+// A single linear map from flattened convolutional features to class scores.
+// The paper trains these with the least-mean-square (Widrow-Hoff delta) rule;
+// a softmax-cross-entropy rule is provided for the ablation bench. Class
+// probabilities (the activation module's confidence input) are the softmax
+// of the scores under either rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/opcount.h"
+
+namespace cdl {
+
+enum class LcTrainingRule { kLms, kSoftmaxXent };
+
+[[nodiscard]] std::string to_string(LcTrainingRule rule);
+
+class LinearClassifier {
+ public:
+  LinearClassifier(std::size_t in_features, std::size_t num_classes,
+                   LcTrainingRule rule = LcTrainingRule::kLms);
+
+  void init(Rng& rng);
+
+  /// Raw scores W * flatten(features) + b.
+  [[nodiscard]] Tensor scores(const Tensor& features) const;
+
+  /// Per-class confidence vector the activation module consumes.
+  ///
+  /// For the LMS rule the targets are 0/1, so the raw scores already estimate
+  /// per-class membership confidence: they are clamped to [0,1] and returned
+  /// *without* normalization (the paper's "confidence value of the output").
+  /// For the softmax-cross-entropy rule this is softmax(scores).
+  [[nodiscard]] Tensor probabilities(const Tensor& features) const;
+
+  /// One online update on (features, target). Returns the per-sample loss
+  /// before the update (squared error for LMS, cross-entropy otherwise).
+  float train_step(const Tensor& features, std::size_t target, float lr);
+
+  /// Joint-training step (extension): softmax-cross-entropy on the scores
+  /// regardless of the rule, updating this classifier's weights (normalized
+  /// step, scaled by `loss_weight`) and returning d-loss/d-features — the
+  /// gradient to inject into the shared trunk at this stage's boundary,
+  /// already scaled by `loss_weight` and shaped like `features`.
+  Tensor joint_train_step(const Tensor& features, std::size_t target, float lr,
+                          float loss_weight);
+
+  /// Cost of one inference: linear map + softmax.
+  [[nodiscard]] OpCount forward_ops() const;
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] LcTrainingRule rule() const { return rule_; }
+
+  /// Parameter tensors for (de)serialization: {weights, bias}.
+  [[nodiscard]] std::vector<Tensor*> parameters() { return {&weights_, &bias_}; }
+
+ private:
+  void check_features(const Tensor& features) const;
+
+  std::size_t in_features_;
+  std::size_t num_classes_;
+  LcTrainingRule rule_;
+  Tensor weights_;  ///< (classes, features)
+  Tensor bias_;     ///< (classes)
+};
+
+}  // namespace cdl

@@ -1,0 +1,28 @@
+#include "core/rng.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n must be positive");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::coin(float p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace cdl

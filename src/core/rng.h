@@ -1,0 +1,34 @@
+// Rng: deterministic random source shared by data generation and weight init.
+//
+// Every stochastic component in the library takes an Rng& so experiments are
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cdl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean = 0.0F, float stddev = 1.0F);
+
+  /// Uniform integer in [0, n) — n must be positive.
+  std::size_t index(std::size_t n);
+
+  /// Bernoulli trial with probability p of true.
+  bool coin(float p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cdl

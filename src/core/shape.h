@@ -1,0 +1,69 @@
+// Shape: lightweight dimension descriptor for tensors.
+//
+// A Shape is an ordered list of extents (row-major, outermost first). It is a
+// value type with no invariant beyond "every extent is positive", which is
+// checked on construction.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cdl {
+
+class Shape {
+ public:
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) { validate(); }
+
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  /// Number of dimensions (0 for the empty shape).
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `i`; throws std::out_of_range on bad index.
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return dims_.at(i); }
+
+  [[nodiscard]] std::size_t operator[](std::size_t i) const { return dims_.at(i); }
+
+  /// Total number of elements (1 for the empty shape, matching a scalar).
+  [[nodiscard]] std::size_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (std::size_t d : dims_) {
+      if (d == 0) throw std::invalid_argument("Shape: zero extent in " + to_string());
+    }
+  }
+
+  std::vector<std::size_t> dims_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.to_string();
+}
+
+}  // namespace cdl

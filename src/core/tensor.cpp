@@ -1,0 +1,75 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdl {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_.numel() != data_.size()) {
+    throw std::invalid_argument("Tensor: shape " + shape_.to_string() +
+                                " incompatible with data size " +
+                                std::to_string(data_.size()));
+  }
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  if (shape_ != rhs.shape_) {
+    throw std::invalid_argument("Tensor+=: shape mismatch " +
+                                shape_.to_string() + " vs " +
+                                rhs.shape_.to_string());
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  if (shape_ != rhs.shape_) {
+    throw std::invalid_argument("Tensor-=: shape mismatch " +
+                                shape_.to_string() + " vs " +
+                                rhs.shape_.to_string());
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+float Tensor::sum() const {
+  float acc = 0.0F;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+}  // namespace cdl

@@ -1,0 +1,115 @@
+// Tensor: dense row-major float tensor used throughout the library.
+//
+// Deliberately small: the networks in this project are LeNet-scale, so the
+// tensor type favours clarity and bounds-safety (in debug) over generality.
+// Storage is always owned (std::vector<float>); copies are deep.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace cdl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.numel(), 0.0F) {}
+
+  /// Allocates and fills with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)), data_(shape_.numel(), value) {}
+
+  /// Adopts existing data; throws if sizes disagree.
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> values() { return data_; }
+  [[nodiscard]] std::span<const float> values() const { return data_; }
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  // --- flat element access -------------------------------------------------
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  // --- multi-dimensional access (rank asserted in debug builds) ------------
+  float& at(std::size_t i0) { return (*this)[offset(i0)]; }
+  float at(std::size_t i0) const { return (*this)[offset(i0)]; }
+
+  float& at(std::size_t i0, std::size_t i1) { return (*this)[offset(i0, i1)]; }
+  float at(std::size_t i0, std::size_t i1) const { return (*this)[offset(i0, i1)]; }
+
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2) {
+    return (*this)[offset(i0, i1, i2)];
+  }
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    return (*this)[offset(i0, i1, i2)];
+  }
+
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+    return (*this)[offset(i0, i1, i2, i3)];
+  }
+  float at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+    return (*this)[offset(i0, i1, i2, i3)];
+  }
+
+  // --- whole-tensor helpers -------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  /// Reinterprets the data with a new shape of identical numel.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Elementwise in-place operations; shapes must match exactly.
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float scalar);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  /// Index of the maximum element (first on ties); tensor must be non-empty.
+  [[nodiscard]] std::size_t argmax() const;
+
+  bool operator==(const Tensor& other) const = default;
+
+ private:
+  std::size_t offset(std::size_t i0) const {
+    assert(shape_.rank() == 1);
+    return i0;
+  }
+  std::size_t offset(std::size_t i0, std::size_t i1) const {
+    assert(shape_.rank() == 2);
+    return i0 * shape_[1] + i1;
+  }
+  std::size_t offset(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    assert(shape_.rank() == 3);
+    return (i0 * shape_[1] + i1) * shape_[2] + i2;
+  }
+  std::size_t offset(std::size_t i0, std::size_t i1, std::size_t i2,
+                     std::size_t i3) const {
+    assert(shape_.rank() == 4);
+    return ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,69 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cdl {
+
+void Dataset::add(Tensor image, std::size_t label) {
+  if (!images_.empty() && image.shape() != images_.front().shape()) {
+    throw std::invalid_argument("Dataset::add: image shape " +
+                                image.shape().to_string() +
+                                " differs from dataset shape " +
+                                images_.front().shape().to_string());
+  }
+  images_.push_back(std::move(image));
+  labels_.push_back(label);
+}
+
+const Shape& Dataset::image_shape() const {
+  if (images_.empty()) throw std::logic_error("Dataset::image_shape: empty");
+  return images_.front().shape();
+}
+
+std::size_t Dataset::num_classes() const {
+  if (labels_.empty()) return 0;
+  return *std::max_element(labels_.begin(), labels_.end()) + 1;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (std::size_t l : labels_) ++counts[l];
+  return counts;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  for (std::size_t i = images_.size(); i > 1; --i) {
+    const std::size_t j = rng.index(i);
+    std::swap(images_[i - 1], images_[j]);
+    std::swap(labels_[i - 1], labels_[j]);
+  }
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > images_.size()) {
+    throw std::out_of_range("Dataset::slice: bad range [" +
+                            std::to_string(begin) + ", " + std::to_string(end) +
+                            ") of " + std::to_string(images_.size()));
+  }
+  Dataset out;
+  for (std::size_t i = begin; i < end; ++i) out.add(images_[i], labels_[i]);
+  return out;
+}
+
+Dataset Dataset::filter_label(std::size_t label) const {
+  Dataset out;
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (labels_[i] == label) out.add(images_[i], labels_[i]);
+  }
+  return out;
+}
+
+void Dataset::append(Dataset other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    add(std::move(other.images_[i]), other.labels_[i]);
+  }
+}
+
+}  // namespace cdl

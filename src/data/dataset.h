@@ -1,0 +1,51 @@
+// Dataset: labeled image collection used for training and evaluation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace cdl {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Appends one sample; every image must share the first image's shape.
+  void add(Tensor image, std::size_t label);
+
+  [[nodiscard]] std::size_t size() const { return images_.size(); }
+  [[nodiscard]] bool empty() const { return images_.empty(); }
+
+  [[nodiscard]] const Tensor& image(std::size_t i) const { return images_.at(i); }
+  [[nodiscard]] std::size_t label(std::size_t i) const { return labels_.at(i); }
+
+  /// Shape shared by all images; dataset must be non-empty.
+  [[nodiscard]] const Shape& image_shape() const;
+
+  /// Number of distinct labels = max label + 1.
+  [[nodiscard]] std::size_t num_classes() const;
+
+  /// Per-class sample counts (indexed by label).
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// In-place Fisher-Yates shuffle.
+  void shuffle(Rng& rng);
+
+  /// Copy of samples [begin, end).
+  [[nodiscard]] Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Copy of all samples with the given label.
+  [[nodiscard]] Dataset filter_label(std::size_t label) const;
+
+  /// Moves all samples of `other` into this dataset.
+  void append(Dataset other);
+
+ private:
+  std::vector<Tensor> images_;
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,87 @@
+#include "data/idx_loader.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cdl {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (!is) throw std::runtime_error("idx: truncated header");
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+constexpr std::uint32_t kImageMagic = 0x00000803;  // idx3-ubyte
+constexpr std::uint32_t kLabelMagic = 0x00000801;  // idx1-ubyte
+
+}  // namespace
+
+Dataset load_idx(const std::string& image_path, const std::string& label_path) {
+  std::ifstream img(image_path, std::ios::binary);
+  if (!img) throw std::runtime_error("idx: cannot open " + image_path);
+  std::ifstream lbl(label_path, std::ios::binary);
+  if (!lbl) throw std::runtime_error("idx: cannot open " + label_path);
+
+  if (read_be32(img) != kImageMagic) {
+    throw std::runtime_error("idx: bad image magic in " + image_path);
+  }
+  const std::uint32_t n_images = read_be32(img);
+  const std::uint32_t rows = read_be32(img);
+  const std::uint32_t cols = read_be32(img);
+
+  if (read_be32(lbl) != kLabelMagic) {
+    throw std::runtime_error("idx: bad label magic in " + label_path);
+  }
+  const std::uint32_t n_labels = read_be32(lbl);
+  if (n_images != n_labels) {
+    throw std::runtime_error("idx: image/label count mismatch");
+  }
+
+  Dataset out;
+  std::vector<unsigned char> pixel_buf(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t i = 0; i < n_images; ++i) {
+    img.read(reinterpret_cast<char*>(pixel_buf.data()),
+             static_cast<std::streamsize>(pixel_buf.size()));
+    char label_byte = 0;
+    lbl.read(&label_byte, 1);
+    if (!img || !lbl) throw std::runtime_error("idx: truncated data");
+
+    Tensor image(Shape{1, rows, cols});
+    for (std::size_t p = 0; p < pixel_buf.size(); ++p) {
+      image[p] = static_cast<float>(pixel_buf[p]) / 255.0F;
+    }
+    out.add(std::move(image), static_cast<std::size_t>(
+                                  static_cast<unsigned char>(label_byte)));
+  }
+  return out;
+}
+
+Dataset load_mnist_split(const std::string& dir, MnistSplit split) {
+  const bool train = split == MnistSplit::kTrain;
+  const std::string prefix = train ? "train" : "t10k";
+  return load_idx(dir + "/" + prefix + "-images-idx3-ubyte",
+                  dir + "/" + prefix + "-labels-idx1-ubyte");
+}
+
+std::optional<std::string> mnist_dir_from_env() {
+  const char* dir = std::getenv("CDL_MNIST_DIR");
+  if (dir == nullptr) return std::nullopt;
+  namespace fs = std::filesystem;
+  if (fs::exists(fs::path(dir) / "train-images-idx3-ubyte") &&
+      fs::exists(fs::path(dir) / "train-labels-idx1-ubyte") &&
+      fs::exists(fs::path(dir) / "t10k-images-idx3-ubyte") &&
+      fs::exists(fs::path(dir) / "t10k-labels-idx1-ubyte")) {
+    return std::string(dir);
+  }
+  return std::nullopt;
+}
+
+}  // namespace cdl

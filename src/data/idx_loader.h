@@ -1,0 +1,28 @@
+// IDX file loader: reads the MNIST distribution format (big-endian IDX).
+//
+// If genuine MNIST files are available (env CDL_MNIST_DIR pointing at a
+// directory with train-images-idx3-ubyte etc.), all harnesses use them via
+// load_mnist_split(); otherwise they fall back to the synthetic generator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace cdl {
+
+/// Reads an idx3-ubyte image file + idx1-ubyte label file. Pixels are scaled
+/// to [0,1] and emitted as (1, rows, cols) tensors.
+[[nodiscard]] Dataset load_idx(const std::string& image_path,
+                               const std::string& label_path);
+
+enum class MnistSplit { kTrain, kTest };
+
+/// Loads a split using the canonical MNIST filenames under `dir`.
+[[nodiscard]] Dataset load_mnist_split(const std::string& dir, MnistSplit split);
+
+/// Directory from $CDL_MNIST_DIR if it contains the canonical files.
+[[nodiscard]] std::optional<std::string> mnist_dir_from_env();
+
+}  // namespace cdl

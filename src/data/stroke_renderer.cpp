@@ -1,0 +1,152 @@
+#include "data/stroke_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+Stroke arc_stroke(float cx, float cy, float rx, float ry, float a0, float a1,
+                  std::size_t segments) {
+  Stroke s;
+  s.reserve(segments + 1);
+  for (std::size_t i = 0; i <= segments; ++i) {
+    const float t = a0 + (a1 - a0) * static_cast<float>(i) /
+                             static_cast<float>(segments);
+    s.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return s;
+}
+
+Stroke line_stroke(std::initializer_list<Point> points) {
+  return Stroke(points);
+}
+
+namespace {
+
+float squared_distance_to_segment(Point p, Point a, Point b) {
+  const float abx = b.x - a.x;
+  const float aby = b.y - a.y;
+  const float apx = p.x - a.x;
+  const float apy = p.y - a.y;
+  const float len2 = abx * abx + aby * aby;
+  float t = len2 > 0.0F ? (apx * abx + apy * aby) / len2 : 0.0F;
+  t = std::clamp(t, 0.0F, 1.0F);
+  const float dx = apx - t * abx;
+  const float dy = apy - t * aby;
+  return dx * dx + dy * dy;
+}
+
+float coverage_of(const std::vector<Stroke>& strokes, Point p, float thickness,
+                  float aa) {
+  float coverage = 0.0F;
+  for (const Stroke& s : strokes) {
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      const float dist =
+          std::sqrt(squared_distance_to_segment(p, s[i], s[i + 1]));
+      const float c = std::clamp((thickness - dist) / aa + 0.5F, 0.0F, 1.0F);
+      coverage = std::max(coverage, c);
+    }
+  }
+  return coverage;
+}
+
+}  // namespace
+
+StrokeRenderer::StrokeRenderer(StrokeRenderConfig config) : config_(config) {
+  if (config_.image_size < 8) {
+    throw std::invalid_argument("StrokeRenderer: image_size too small");
+  }
+  if (config_.min_scale <= 0.0F || config_.max_scale < config_.min_scale) {
+    throw std::invalid_argument("StrokeRenderer: bad scale range");
+  }
+}
+
+Tensor StrokeRenderer::render(std::span<const Stroke> glyph, float difficulty,
+                              Rng& rng,
+                              const BackgroundProvider& background) const {
+  const float d = std::clamp(difficulty, 0.0F, 1.0F);
+  // Even the easiest samples get a little variation so classes are not a
+  // single repeated image.
+  const float m = 0.15F + 0.85F * d;
+
+  const float theta = config_.max_rotation_rad * m * rng.uniform(-1.0F, 1.0F);
+  const float shear = config_.max_shear * m * rng.uniform(-1.0F, 1.0F);
+  const float scale_span = (config_.max_scale - config_.min_scale) * 0.5F;
+  const float scale_mid = (config_.max_scale + config_.min_scale) * 0.5F;
+  const float scale = scale_mid + scale_span * m * rng.uniform(-1.0F, 1.0F);
+  const float tx = config_.max_translate * m * rng.uniform(-1.0F, 1.0F);
+  const float ty = config_.max_translate * m * rng.uniform(-1.0F, 1.0F);
+  const float thickness =
+      config_.stroke_thickness *
+      (1.0F + config_.thickness_jitter * m * rng.uniform(-0.6F, 1.0F)) * scale;
+  const float ink = rng.uniform(0.82F, 1.0F);
+
+  const float cos_t = std::cos(theta);
+  const float sin_t = std::sin(theta);
+  const auto transform = [&](Point p) -> Point {
+    float x = (p.x - 0.5F) * scale;
+    float y = (p.y - 0.5F) * scale;
+    x += shear * y;
+    const float xr = cos_t * x - sin_t * y;
+    const float yr = sin_t * x + cos_t * y;
+    return {xr + 0.5F + tx, yr + 0.5F + ty};
+  };
+
+  // Transform and jitter the control points. Jitter varies smoothly along
+  // each stroke so lines bend rather than break: a random low-frequency
+  // displacement per endpoint, interpolated.
+  const float jitter = config_.point_jitter * m;
+  std::vector<Stroke> strokes;
+  strokes.reserve(glyph.size());
+  for (const Stroke& s : glyph) {
+    Stroke t;
+    t.reserve(s.size());
+    const float jx0 = rng.normal(0.0F, jitter), jy0 = rng.normal(0.0F, jitter);
+    const float jx1 = rng.normal(0.0F, jitter), jy1 = rng.normal(0.0F, jitter);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const float w = s.size() > 1
+                          ? static_cast<float>(i) /
+                                static_cast<float>(s.size() - 1)
+                          : 0.0F;
+      Point p = transform(s[i]);
+      p.x += (1.0F - w) * jx0 + w * jx1;
+      p.y += (1.0F - w) * jy0 + w * jy1;
+      t.push_back(p);
+    }
+    strokes.push_back(std::move(t));
+  }
+
+  // Background layer (e.g. clutter), drawn behind the glyph.
+  BackgroundLayer bg;
+  if (background) bg = background(rng);
+
+  // Rasterize as a max-over-segments anti-aliased distance field.
+  const std::size_t size = config_.image_size;
+  Tensor img(Shape{1, size, size});
+  const float aa = 1.0F / static_cast<float>(size);
+  for (std::size_t py = 0; py < size; ++py) {
+    for (std::size_t px = 0; px < size; ++px) {
+      const Point p = {(static_cast<float>(px) + 0.5F) / static_cast<float>(size),
+                       (static_cast<float>(py) + 0.5F) / static_cast<float>(size)};
+      float value = 0.0F;
+      if (!bg.strokes.empty()) {
+        value = coverage_of(bg.strokes, p, thickness * bg.thickness_scale, aa) *
+                bg.ink;
+      }
+      value = std::max(value, coverage_of(strokes, p, thickness, aa) * ink);
+      img.at(0, py, px) = value;
+    }
+  }
+
+  // Additive noise, stronger for hard samples.
+  const float sigma = config_.noise_stddev * (0.15F + 0.85F * d);
+  if (sigma > 0.0F) {
+    for (float& v : img.values()) {
+      v = std::clamp(v + rng.normal(0.0F, sigma), 0.0F, 1.0F);
+    }
+  }
+  return img;
+}
+
+}  // namespace cdl

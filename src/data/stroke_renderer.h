@@ -1,0 +1,88 @@
+// StrokeRenderer: rasterizes stroke-based glyphs into grayscale images with
+// difficulty-scaled perturbations — the rendering engine behind
+// SyntheticMnist and SyntheticLetters.
+//
+// A glyph is a set of strokes (polylines over the unit canvas, y down). Per
+// sample the renderer draws an affine perturbation (rotation / shear / scale
+// / translation), smooth control-point jitter, stroke-thickness and ink
+// variation, rasterizes an anti-aliased distance field, and adds pixel
+// noise. All perturbation magnitudes scale with a caller-supplied difficulty
+// in [0,1], and all randomness comes from the caller's Rng, so callers own
+// determinism and difficulty distributions.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace cdl {
+
+/// A 2-D point in glyph space ([0,1] x [0,1], y growing downwards).
+struct Point {
+  float x = 0.0F;
+  float y = 0.0F;
+};
+
+/// One stroke: a polyline through `points` drawn with the glyph thickness.
+using Stroke = std::vector<Point>;
+
+/// Points along an ellipse arc; angles in radians with y growing downwards
+/// (0 = right, pi/2 = bottom, pi = left, 3pi/2 = top). `a1` may exceed 2*pi
+/// to express sweeps that wrap.
+[[nodiscard]] Stroke arc_stroke(float cx, float cy, float rx, float ry,
+                                float a0, float a1, std::size_t segments = 20);
+
+/// Polyline through the given points.
+[[nodiscard]] Stroke line_stroke(std::initializer_list<Point> points);
+
+struct StrokeRenderConfig {
+  std::size_t image_size = 28;
+
+  /// Base half-thickness of strokes in glyph units.
+  float stroke_thickness = 0.055F;
+
+  // Perturbation magnitudes at difficulty = 1 (scaled down for easier
+  // samples; even difficulty 0 keeps a small residual variation).
+  float max_rotation_rad = 0.30F;
+  float max_shear = 0.22F;
+  float min_scale = 0.78F;
+  float max_scale = 1.12F;
+  float max_translate = 0.10F;     ///< glyph units
+  float point_jitter = 0.035F;     ///< stddev of control-point displacement
+  float thickness_jitter = 0.45F;  ///< relative thickness variation
+  float noise_stddev = 0.10F;      ///< additive pixel noise
+};
+
+/// Optional background layer drawn *behind* the glyph (e.g. clutter
+/// strokes). Produced by a caller callback so the caller controls both the
+/// content and its position in the random-draw sequence.
+struct BackgroundLayer {
+  std::vector<Stroke> strokes;
+  float ink = 0.0F;              ///< peak intensity of background strokes
+  float thickness_scale = 0.7F;  ///< relative to the glyph thickness
+};
+
+using BackgroundProvider = std::function<BackgroundLayer(Rng&)>;
+
+class StrokeRenderer {
+ public:
+  explicit StrokeRenderer(StrokeRenderConfig config = {});
+
+  /// Renders `glyph` at the given difficulty, consuming randomness from
+  /// `rng`. If `background` is set it is invoked (after the glyph's
+  /// perturbation draws) to produce strokes composited behind the glyph.
+  /// Returns a (1, S, S) tensor with values in [0, 1].
+  [[nodiscard]] Tensor render(std::span<const Stroke> glyph, float difficulty,
+                              Rng& rng,
+                              const BackgroundProvider& background = {}) const;
+
+  [[nodiscard]] const StrokeRenderConfig& config() const { return config_; }
+
+ private:
+  StrokeRenderConfig config_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,140 @@
+#include "data/synthetic_letters.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cdl {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+constexpr std::array<const char*, SyntheticLetters::kNumClasses> kNames = {
+    "A", "C", "E", "F", "H", "J", "L", "P", "T", "U"};
+
+std::array<std::vector<Stroke>, SyntheticLetters::kNumClasses> build_glyphs() {
+  std::array<std::vector<Stroke>, SyntheticLetters::kNumClasses> g;
+
+  // A: two legs and a crossbar.
+  g[0] = {line_stroke({{0.50F, 0.22F}, {0.32F, 0.78F}}),
+          line_stroke({{0.50F, 0.22F}, {0.68F, 0.78F}}),
+          line_stroke({{0.39F, 0.56F}, {0.61F, 0.56F}})};
+
+  // C: open arc facing right.
+  g[1] = {arc_stroke(0.54F, 0.50F, 0.20F, 0.26F, 0.35F * kPi, 1.65F * kPi, 22)};
+
+  // E: spine and three bars.
+  g[2] = {line_stroke({{0.34F, 0.22F}, {0.34F, 0.78F}}),
+          line_stroke({{0.34F, 0.22F}, {0.66F, 0.22F}}),
+          line_stroke({{0.34F, 0.50F}, {0.62F, 0.50F}}),
+          line_stroke({{0.34F, 0.78F}, {0.66F, 0.78F}})};
+
+  // F: E without the bottom bar.
+  g[3] = {line_stroke({{0.36F, 0.22F}, {0.36F, 0.78F}}),
+          line_stroke({{0.36F, 0.22F}, {0.68F, 0.22F}}),
+          line_stroke({{0.36F, 0.50F}, {0.62F, 0.50F}})};
+
+  // H: two stems and a crossbar.
+  g[4] = {line_stroke({{0.34F, 0.22F}, {0.34F, 0.78F}}),
+          line_stroke({{0.66F, 0.22F}, {0.66F, 0.78F}}),
+          line_stroke({{0.34F, 0.50F}, {0.66F, 0.50F}})};
+
+  // J: top bar, stem, bottom-left hook.
+  {
+    Stroke stem = line_stroke({{0.58F, 0.22F}, {0.58F, 0.62F}});
+    Stroke hook = arc_stroke(0.465F, 0.62F, 0.115F, 0.14F, 0.0F, kPi, 12);
+    g[5] = {line_stroke({{0.42F, 0.22F}, {0.70F, 0.22F}}), stem, hook};
+  }
+
+  // L: stem and bottom bar.
+  g[6] = {line_stroke({{0.38F, 0.22F}, {0.38F, 0.78F}}),
+          line_stroke({{0.38F, 0.78F}, {0.68F, 0.78F}})};
+
+  // P: stem with a top loop.
+  g[7] = {line_stroke({{0.38F, 0.22F}, {0.38F, 0.78F}}),
+          arc_stroke(0.40F, 0.36F, 0.17F, 0.14F, 1.5F * kPi, 2.5F * kPi, 14)};
+
+  // T: top bar and centre stem.
+  g[8] = {line_stroke({{0.30F, 0.22F}, {0.70F, 0.22F}}),
+          line_stroke({{0.50F, 0.22F}, {0.50F, 0.78F}})};
+
+  // U: two stems joined by a bottom arc.
+  {
+    Stroke left = line_stroke({{0.34F, 0.22F}, {0.34F, 0.56F}});
+    Stroke bottom = arc_stroke(0.50F, 0.56F, 0.16F, 0.20F, kPi, 0.0F, 14);
+    Stroke right = line_stroke({{0.66F, 0.56F}, {0.66F, 0.22F}});
+    g[9] = {left, bottom, right};
+  }
+
+  return g;
+}
+
+const std::array<std::vector<Stroke>, SyntheticLetters::kNumClasses>& glyphs() {
+  static const auto g = build_glyphs();
+  return g;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t sample_seed(std::uint64_t seed, std::size_t label,
+                          std::uint64_t index) {
+  // Different stream constant than SyntheticMnist so the two datasets are
+  // uncorrelated even at equal seeds.
+  return mix64(mix64(seed ^ (0xA24BAED4963EE407ULL * (label + 1))) ^ index);
+}
+
+void check_label(std::size_t label) {
+  if (label >= SyntheticLetters::kNumClasses) {
+    throw std::invalid_argument("SyntheticLetters: label out of range");
+  }
+}
+
+}  // namespace
+
+SyntheticLetters::SyntheticLetters(SyntheticLettersConfig config)
+    : config_(config), renderer_(config.render) {}
+
+std::string SyntheticLetters::class_name(std::size_t label) {
+  check_label(label);
+  return kNames[label];
+}
+
+const std::vector<Stroke>& SyntheticLetters::glyph(std::size_t label) {
+  check_label(label);
+  return glyphs()[label];
+}
+
+float SyntheticLetters::difficulty(std::size_t label,
+                                   std::uint64_t sample_index) const {
+  check_label(label);
+  Rng rng(sample_seed(config_.seed, label, sample_index));
+  return std::pow(rng.uniform(0.0F, 1.0F), config_.difficulty_exponent);
+}
+
+Tensor SyntheticLetters::render(std::size_t label,
+                                std::uint64_t sample_index) const {
+  check_label(label);
+  Rng rng(sample_seed(config_.seed, label, sample_index));
+  const float d =
+      std::pow(rng.uniform(0.0F, 1.0F), config_.difficulty_exponent);
+  return renderer_.render(glyph(label), d, rng);
+}
+
+Dataset SyntheticLetters::generate(std::size_t count,
+                                   std::uint64_t index_base) const {
+  Dataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = i % kNumClasses;
+    out.add(render(label, index_base + i / kNumClasses), label);
+  }
+  return out;
+}
+
+}  // namespace cdl

@@ -1,0 +1,206 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/idx_loader.h"
+
+namespace cdl {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+/// Canonical stroke sets, hand-designed to echo handwritten digit topology.
+std::array<std::vector<Stroke>, 10> build_glyphs() {
+  std::array<std::vector<Stroke>, 10> g;
+
+  // 0: single closed oval.
+  g[0] = {arc_stroke(0.50F, 0.50F, 0.17F, 0.27F, 0.0F, 2.0F * kPi, 28)};
+
+  // 1: short flag into a vertical stem.
+  g[1] = {line_stroke({{0.40F, 0.33F}, {0.53F, 0.22F}, {0.53F, 0.78F}})};
+
+  // 2: top curve, diagonal to bottom-left, bottom bar — one stroke.
+  {
+    Stroke s = arc_stroke(0.50F, 0.36F, 0.17F, 0.14F, kPi, 2.0F * kPi, 14);
+    s.push_back({0.33F, 0.78F});
+    s.push_back({0.70F, 0.78F});
+    g[2] = {s};
+  }
+
+  // 3: two right-facing arcs stacked.
+  g[3] = {arc_stroke(0.47F, 0.37F, 0.16F, 0.14F, 1.17F * kPi, 2.5F * kPi, 16),
+          arc_stroke(0.47F, 0.64F, 0.18F, 0.15F, 1.5F * kPi, 2.85F * kPi, 16)};
+
+  // 4: diagonal, crossbar, vertical stem.
+  g[4] = {line_stroke({{0.60F, 0.24F}, {0.30F, 0.60F}}),
+          line_stroke({{0.30F, 0.60F}, {0.72F, 0.60F}}),
+          line_stroke({{0.61F, 0.22F}, {0.61F, 0.80F}})};
+
+  // 5: top bar, short left vertical, open belly.
+  g[5] = {line_stroke({{0.67F, 0.24F}, {0.36F, 0.24F}}),
+          line_stroke({{0.36F, 0.24F}, {0.34F, 0.48F}}),
+          arc_stroke(0.48F, 0.62F, 0.17F, 0.16F, 1.24F * kPi, 2.88F * kPi, 18)};
+
+  // 6: downward hook into a closed bottom loop — one stroke.
+  {
+    Stroke s = arc_stroke(0.66F, 0.52F, 0.28F, 0.30F, 1.36F * kPi, kPi, 12);
+    Stroke loop = arc_stroke(0.50F, 0.64F, 0.13F, 0.13F, kPi, 3.0F * kPi, 20);
+    s.insert(s.end(), loop.begin(), loop.end());
+    g[6] = {s};
+  }
+
+  // 7: top bar and diagonal — one stroke.
+  g[7] = {line_stroke({{0.32F, 0.26F}, {0.68F, 0.26F}, {0.44F, 0.78F}})};
+
+  // 8: two stacked closed loops.
+  g[8] = {arc_stroke(0.50F, 0.37F, 0.13F, 0.12F, 0.0F, 2.0F * kPi, 20),
+          arc_stroke(0.50F, 0.64F, 0.15F, 0.14F, 0.0F, 2.0F * kPi, 20)};
+
+  // 9: closed top loop with a curved tail.
+  g[9] = {arc_stroke(0.52F, 0.38F, 0.14F, 0.14F, 0.0F, 2.0F * kPi, 20),
+          line_stroke({{0.66F, 0.38F},
+                       {0.66F, 0.55F},
+                       {0.62F, 0.70F},
+                       {0.54F, 0.78F}})};
+
+  return g;
+}
+
+const std::array<std::vector<Stroke>, 10>& glyphs() {
+  static const auto g = build_glyphs();
+  return g;
+}
+
+/// SplitMix64: mixes (seed, digit, index) into an independent stream seed.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t sample_seed(std::uint64_t seed, std::size_t digit,
+                          std::uint64_t index) {
+  return mix64(mix64(seed ^ (0xD1B54A32D192ED03ULL * (digit + 1))) ^ index);
+}
+
+StrokeRenderConfig renderer_config(const SyntheticMnistConfig& c) {
+  StrokeRenderConfig r;
+  r.image_size = c.image_size;
+  r.stroke_thickness = c.stroke_thickness;
+  r.max_rotation_rad = c.max_rotation_rad;
+  r.max_shear = c.max_shear;
+  r.min_scale = c.min_scale;
+  r.max_scale = c.max_scale;
+  r.max_translate = c.max_translate;
+  r.point_jitter = c.point_jitter;
+  r.thickness_jitter = c.thickness_jitter;
+  r.noise_stddev = c.noise_stddev;
+  return r;
+}
+
+}  // namespace
+
+SyntheticMnist::SyntheticMnist(SyntheticMnistConfig config)
+    : config_(config), renderer_(renderer_config(config)) {}
+
+const std::vector<Stroke>& SyntheticMnist::glyph(std::size_t digit) {
+  if (digit > 9) throw std::invalid_argument("SyntheticMnist::glyph: digit > 9");
+  return glyphs()[digit];
+}
+
+float SyntheticMnist::difficulty(std::size_t digit,
+                                 std::uint64_t sample_index) const {
+  if (digit > 9) throw std::invalid_argument("SyntheticMnist::difficulty: digit > 9");
+  Rng rng(sample_seed(config_.seed, digit, sample_index));
+  const float base =
+      std::pow(rng.uniform(0.0F, 1.0F), config_.difficulty_exponent);
+  return std::min(1.0F, base * config_.class_difficulty[digit]);
+}
+
+Tensor SyntheticMnist::render(std::size_t digit,
+                              std::uint64_t sample_index) const {
+  if (digit > 9) throw std::invalid_argument("SyntheticMnist::render: digit > 9");
+  Rng rng(sample_seed(config_.seed, digit, sample_index));
+
+  // The first draw is the difficulty (difficulty() replays it identically).
+  const float d =
+      std::min(1.0F, std::pow(rng.uniform(0.0F, 1.0F),
+                              config_.difficulty_exponent) *
+                         config_.class_difficulty[digit]);
+
+  BackgroundProvider clutter;
+  if (config_.clutter > 0.0F) {
+    // Faint distractor strokes behind the digit (DESIGN.md / DATASET.md).
+    const float intensity = config_.clutter;
+    clutter = [intensity](Rng& r) {
+      BackgroundLayer bg;
+      const auto n_distractors = static_cast<std::size_t>(
+          intensity * 6.0F * r.uniform(0.5F, 1.0F) + 0.5F);
+      bg.ink = 0.25F + 0.30F * intensity;
+      for (std::size_t i = 0; i < n_distractors; ++i) {
+        const Point a{r.uniform(0.0F, 1.0F), r.uniform(0.0F, 1.0F)};
+        const float len = r.uniform(0.1F, 0.35F);
+        const float angle = r.uniform(0.0F, 2.0F * kPi);
+        bg.strokes.push_back(
+            {a, {a.x + len * std::cos(angle), a.y + len * std::sin(angle)}});
+      }
+      return bg;
+    };
+  }
+
+  return renderer_.render(glyph(digit), d, rng, clutter);
+}
+
+Dataset SyntheticMnist::generate(std::size_t count,
+                                 std::uint64_t index_base) const {
+  Dataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t digit = i % 10;
+    out.add(render(digit, index_base + i / 10), digit);
+  }
+  return out;
+}
+
+Dataset SyntheticMnist::generate_digit(std::size_t digit, std::size_t count,
+                                       std::uint64_t index_base) const {
+  Dataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.add(render(digit, index_base + i), digit);
+  }
+  return out;
+}
+
+MnistPair load_mnist_or_synthetic(std::size_t train_count,
+                                  std::size_t test_count, std::uint64_t seed,
+                                  std::size_t val_count) {
+  if (const auto dir = mnist_dir_from_env()) {
+    MnistPair pair;
+    pair.synthetic = false;
+    Dataset full_train = load_mnist_split(*dir, MnistSplit::kTrain);
+    pair.test = load_mnist_split(*dir, MnistSplit::kTest);
+    const std::size_t train_n = std::min(train_count, full_train.size());
+    pair.train = full_train.slice(0, train_n);
+    // Validation comes from the unused tail of the training file.
+    const std::size_t val_n =
+        std::min(val_count, full_train.size() - train_n);
+    pair.validation = full_train.slice(train_n, train_n + val_n);
+    if (test_count < pair.test.size()) {
+      pair.test = pair.test.slice(0, test_count);
+    }
+    return pair;
+  }
+  SyntheticMnist gen(SyntheticMnistConfig{.seed = seed});
+  MnistPair pair;
+  pair.train = gen.generate(train_count, 0);
+  // Large index offsets keep the three splits pairwise disjoint.
+  pair.test = gen.generate(test_count, 1ULL << 32);
+  if (val_count > 0) pair.validation = gen.generate(val_count, 1ULL << 33);
+  return pair;
+}
+
+}  // namespace cdl

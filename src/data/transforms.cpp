@@ -1,0 +1,75 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+PixelStats compute_pixel_stats(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("compute_pixel_stats: empty");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (float v : data.image(i).values()) {
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+      ++n;
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  PixelStats stats;
+  stats.mean = static_cast<float>(mean);
+  stats.stddev = static_cast<float>(std::sqrt(var));
+  if (stats.stddev < 1e-6F) stats.stddev = 1.0F;
+  return stats;
+}
+
+Dataset normalize(const Dataset& data, PixelStats stats) {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Tensor img = data.image(i);
+    for (float& v : img.values()) v = (v - stats.mean) / stats.stddev;
+    out.add(std::move(img), data.label(i));
+  }
+  return out;
+}
+
+Dataset with_noise(const Dataset& data, float stddev, Rng& rng) {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Tensor img = data.image(i);
+    for (float& v : img.values()) {
+      v = std::clamp(v + rng.normal(0.0F, stddev), 0.0F, 1.0F);
+    }
+    out.add(std::move(img), data.label(i));
+  }
+  return out;
+}
+
+Tensor translate_image(const Tensor& image, int dx, int dy) {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument("translate_image: expected CHW tensor");
+  }
+  const std::size_t c = image.shape()[0];
+  const std::size_t h = image.shape()[1];
+  const std::size_t w = image.shape()[2];
+  Tensor out(image.shape());
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < h; ++y) {
+      const auto sy = static_cast<long>(y) - dy;
+      if (sy < 0 || sy >= static_cast<long>(h)) continue;
+      for (std::size_t x = 0; x < w; ++x) {
+        const auto sx = static_cast<long>(x) - dx;
+        if (sx < 0 || sx >= static_cast<long>(w)) continue;
+        out.at(ch, y, x) = image.at(ch, static_cast<std::size_t>(sy),
+                                    static_cast<std::size_t>(sx));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cdl

@@ -1,0 +1,27 @@
+// Dataset-level transforms: normalization statistics and simple augmentation.
+#pragma once
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace cdl {
+
+struct PixelStats {
+  float mean = 0.0F;
+  float stddev = 1.0F;
+};
+
+/// Mean/stddev over every pixel of every image.
+[[nodiscard]] PixelStats compute_pixel_stats(const Dataset& data);
+
+/// Returns a copy with (pixel - mean) / stddev applied.
+[[nodiscard]] Dataset normalize(const Dataset& data, PixelStats stats);
+
+/// Returns a copy with additive Gaussian pixel noise, clamped to [0, 1].
+/// Used by robustness tests and the failure-injection suite.
+[[nodiscard]] Dataset with_noise(const Dataset& data, float stddev, Rng& rng);
+
+/// Returns a copy translated by (dx, dy) pixels with zero fill.
+[[nodiscard]] Tensor translate_image(const Tensor& image, int dx, int dy);
+
+}  // namespace cdl

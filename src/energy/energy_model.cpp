@@ -1,0 +1,33 @@
+#include "energy/energy_model.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+EnergyCosts EnergyCosts::compute_only() {
+  EnergyCosts costs;
+  costs.mem_read_pj = 0.0;
+  costs.mem_write_pj = 0.0;
+  return costs;
+}
+
+EnergyModel::EnergyModel(EnergyCosts costs) : costs_(costs) {
+  const double all[] = {costs.mac_pj,     costs.add_pj,      costs.compare_pj,
+                        costs.activation_pj, costs.divide_pj, costs.mem_read_pj,
+                        costs.mem_write_pj};
+  for (double c : all) {
+    if (c < 0.0) throw std::invalid_argument("EnergyModel: negative cost");
+  }
+}
+
+double EnergyModel::energy_pj(const OpCount& ops) const {
+  return static_cast<double>(ops.macs) * costs_.mac_pj +
+         static_cast<double>(ops.adds) * costs_.add_pj +
+         static_cast<double>(ops.compares) * costs_.compare_pj +
+         static_cast<double>(ops.activations) * costs_.activation_pj +
+         static_cast<double>(ops.divides) * costs_.divide_pj +
+         static_cast<double>(ops.mem_reads) * costs_.mem_read_pj +
+         static_cast<double>(ops.mem_writes) * costs_.mem_write_pj;
+}
+
+}  // namespace cdl

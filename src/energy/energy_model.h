@@ -1,0 +1,45 @@
+// EnergyModel: op-level energy accounting.
+//
+// Substitution for the paper's Synopsys DC / Power Compiler flow on IBM 45 nm
+// SOI (DESIGN.md §4): each operation class is charged a fixed per-op energy.
+// Defaults follow published 45 nm per-operation numbers (Horowitz, "Computing's
+// energy problem", ISSCC 2014): a 32-bit float multiply ≈ 3.7 pJ, float add
+// ≈ 0.9 pJ, and a small-SRAM 32-bit access ≈ 5 pJ. Only *relative* energies
+// matter for the paper's normalized results, which this model preserves.
+#pragma once
+
+#include "nn/opcount.h"
+
+namespace cdl {
+
+struct EnergyCosts {
+  double mac_pj = 4.6;         ///< multiply (3.7) + add (0.9)
+  double add_pj = 0.9;
+  double compare_pj = 0.5;
+  double activation_pj = 2.0;  ///< piecewise/LUT nonlinearity evaluation
+  double divide_pj = 7.0;
+  double mem_read_pj = 5.0;    ///< 32-bit word from local SRAM
+  double mem_write_pj = 5.5;
+
+  /// The default 45 nm CMOS profile described above.
+  [[nodiscard]] static EnergyCosts cmos_45nm() { return {}; }
+
+  /// Compute-only profile (memory free): isolates datapath energy, used by
+  /// the energy-model tests and the ablation bench.
+  [[nodiscard]] static EnergyCosts compute_only();
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyCosts costs = EnergyCosts::cmos_45nm());
+
+  /// Total energy of an operation bundle, in picojoules.
+  [[nodiscard]] double energy_pj(const OpCount& ops) const;
+
+  [[nodiscard]] const EnergyCosts& costs() const { return costs_; }
+
+ private:
+  EnergyCosts costs_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,45 @@
+#include "energy/op_profile.h"
+
+namespace cdl {
+
+NetworkProfile profile_network(const Network& net, const Shape& input_shape,
+                               const EnergyModel& model) {
+  NetworkProfile profile;
+  Shape s = input_shape;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    LayerProfile layer;
+    layer.name = net.layer(i).name();
+    layer.ops = net.layer(i).forward_ops(s);
+    s = net.layer(i).output_shape(s);
+    layer.output_shape = s;
+    layer.energy_pj = model.energy_pj(layer.ops);
+    profile.total_ops += layer.ops;
+    profile.total_energy_pj += layer.energy_pj;
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+NetworkProfile profile_cdln(const ConditionalNetwork& net,
+                            const EnergyModel& model) {
+  NetworkProfile profile =
+      profile_network(net.baseline(), net.input_shape(), model);
+
+  // Insert classifier entries after their attach points, deepest first so
+  // earlier insertion indices stay valid.
+  for (std::size_t s = net.num_stages(); s-- > 0;) {
+    LayerProfile lc;
+    lc.name = net.stage_name(s) + " (linear classifier)";
+    lc.ops = net.classifier(s).forward_ops();
+    lc.output_shape = Shape{net.classifier(s).num_classes()};
+    lc.energy_pj = model.energy_pj(lc.ops);
+    profile.total_ops += lc.ops;
+    profile.total_energy_pj += lc.energy_pj;
+    profile.layers.insert(
+        profile.layers.begin() + static_cast<std::ptrdiff_t>(net.stage_prefix(s)),
+        std::move(lc));
+  }
+  return profile;
+}
+
+}  // namespace cdl

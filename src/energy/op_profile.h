@@ -1,0 +1,36 @@
+// Per-layer operation/energy profiling of networks and CDLNs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "energy/energy_model.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct LayerProfile {
+  std::string name;
+  Shape output_shape;
+  OpCount ops;
+  double energy_pj = 0.0;
+};
+
+struct NetworkProfile {
+  std::vector<LayerProfile> layers;
+  OpCount total_ops;
+  double total_energy_pj = 0.0;
+};
+
+/// Profiles every baseline layer of `net` for the given input shape.
+[[nodiscard]] NetworkProfile profile_network(const Network& net,
+                                             const Shape& input_shape,
+                                             const EnergyModel& model);
+
+/// Profiles a CDLN: baseline layers plus one entry per linear classifier
+/// ("O1", "O2", ...) inserted at its attach point.
+[[nodiscard]] NetworkProfile profile_cdln(const ConditionalNetwork& net,
+                                          const EnergyModel& model);
+
+}  // namespace cdl

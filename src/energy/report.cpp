@@ -1,0 +1,36 @@
+#include "energy/report.h"
+
+#include <cstdio>
+
+#include "eval/table.h"
+
+namespace cdl {
+
+std::string format_energy(double pj) {
+  char buf[64];
+  if (pj >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f uJ", pj / 1e6);
+  } else if (pj >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f nJ", pj / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f pJ", pj);
+  }
+  return buf;
+}
+
+std::string format_profile(const NetworkProfile& profile,
+                           const std::string& title) {
+  TextTable table({"layer", "output", "MACs", "total ops", "energy"});
+  for (const LayerProfile& layer : profile.layers) {
+    table.add_row({layer.name, layer.output_shape.to_string(),
+                   std::to_string(layer.ops.macs),
+                   std::to_string(layer.ops.total_compute()),
+                   format_energy(layer.energy_pj)});
+  }
+  table.add_row({"TOTAL", "", std::to_string(profile.total_ops.macs),
+                 std::to_string(profile.total_ops.total_compute()),
+                 format_energy(profile.total_energy_pj)});
+  return title + "\n" + table.to_string();
+}
+
+}  // namespace cdl

@@ -1,0 +1,17 @@
+// Textual energy/op reports used by benches and the energy_report example.
+#pragma once
+
+#include <string>
+
+#include "energy/op_profile.h"
+
+namespace cdl {
+
+/// Formats a per-layer table: layer, output shape, MACs, total ops, energy.
+[[nodiscard]] std::string format_profile(const NetworkProfile& profile,
+                                         const std::string& title);
+
+/// "12.3 nJ" / "4.6 pJ" style human-readable energy.
+[[nodiscard]] std::string format_energy(double pj);
+
+}  // namespace cdl

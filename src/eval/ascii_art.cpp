@@ -1,0 +1,82 @@
+#include "eval/ascii_art.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cdl {
+
+namespace {
+// Density ramp from blank to solid.
+constexpr std::string_view kRamp = " .:-=+*#%@";
+
+char glyph_for(float v) {
+  const float clamped = std::clamp(v, 0.0F, 1.0F);
+  const auto idx = static_cast<std::size_t>(clamped * (kRamp.size() - 1) + 0.5F);
+  return kRamp[idx];
+}
+
+void check_image(const Tensor& image) {
+  if (image.shape().rank() != 3 || image.shape()[0] != 1) {
+    throw std::invalid_argument("render_ascii: expected (1, H, W) tensor, got " +
+                                image.shape().to_string());
+  }
+}
+}  // namespace
+
+std::string render_ascii(const Tensor& image) {
+  check_image(image);
+  const std::size_t h = image.shape()[1];
+  const std::size_t w = image.shape()[2];
+  std::string out;
+  out.reserve(h * (w + 1));
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) out += glyph_for(image.at(0, y, x));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_ascii_row(const std::vector<Tensor>& images,
+                             const std::vector<std::string>& captions,
+                             std::size_t gap) {
+  if (images.empty()) return "";
+  if (captions.size() != images.size()) {
+    throw std::invalid_argument("render_ascii_row: captions/images mismatch");
+  }
+  std::size_t height = 0;
+  for (const Tensor& img : images) {
+    check_image(img);
+    height = std::max(height, img.shape()[1]);
+  }
+
+  const std::string spacer(gap, ' ');
+  std::string out;
+  // Caption line, padded to each image's width.
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const std::size_t w = images[i].shape()[2];
+    std::string cap = captions[i].substr(0, w);
+    cap += std::string(w - cap.size(), ' ');
+    out += cap + (i + 1 < images.size() ? spacer : "");
+  }
+  out += '\n';
+
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const std::size_t h = images[i].shape()[1];
+      const std::size_t w = images[i].shape()[2];
+      if (y < h) {
+        for (std::size_t x = 0; x < w; ++x) {
+          out += glyph_for(images[i].at(0, y, x));
+        }
+      } else {
+        out += std::string(w, ' ');
+      }
+      if (i + 1 < images.size()) out += spacer;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cdl

@@ -1,0 +1,21 @@
+// ASCII rendering of image tensors — used to reproduce the paper's Table IV
+// (example digits classified at each CDLN stage) in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace cdl {
+
+/// Renders a (1, H, W) tensor as H lines of W glyphs from a density ramp.
+[[nodiscard]] std::string render_ascii(const Tensor& image);
+
+/// Renders several images side by side with `gap` spaces between them,
+/// each column titled by the corresponding caption.
+[[nodiscard]] std::string render_ascii_row(const std::vector<Tensor>& images,
+                                           const std::vector<std::string>& captions,
+                                           std::size_t gap = 4);
+
+}  // namespace cdl

@@ -1,0 +1,79 @@
+#include "eval/confusion.h"
+
+#include <stdexcept>
+
+#include "eval/table.h"
+
+namespace cdl {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::check_class(std::size_t c) const {
+  if (c >= n_) {
+    throw std::out_of_range("ConfusionMatrix: class " + std::to_string(c) +
+                            " of " + std::to_string(n_));
+  }
+}
+
+void ConfusionMatrix::record(std::size_t truth, std::size_t predicted) {
+  check_class(truth);
+  check_class(predicted);
+  ++counts_[truth * n_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  check_class(truth);
+  check_class(predicted);
+  return counts_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t c = 0; c < n_; ++c) diag += counts_[c * n_ + c];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  check_class(c);
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += counts_[t * n_ + c];
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(counts_[c * n_ + c]) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  check_class(c);
+  std::size_t truth = 0;
+  for (std::size_t p = 0; p < n_; ++p) truth += counts_[c * n_ + p];
+  return truth == 0 ? 0.0
+                    : static_cast<double>(counts_[c * n_ + c]) /
+                          static_cast<double>(truth);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::vector<std::string> header{"truth\\pred"};
+  for (std::size_t c = 0; c < n_; ++c) header.push_back(std::to_string(c));
+  header.emplace_back("recall");
+  TextTable table(std::move(header));
+
+  for (std::size_t t = 0; t < n_; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t p = 0; p < n_; ++p) {
+      row.push_back(std::to_string(count(t, p)));
+    }
+    row.push_back(fmt_percent(recall(t)));
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+}  // namespace cdl

@@ -1,0 +1,36 @@
+// ConfusionMatrix: per-class prediction counts with derived metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdl {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void record(std::size_t truth, std::size_t predicted);
+
+  [[nodiscard]] std::size_t num_classes() const { return n_; }
+  [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  [[nodiscard]] double accuracy() const;
+  /// Of samples predicted as `c`, fraction actually `c` (0 if none predicted).
+  [[nodiscard]] double precision(std::size_t c) const;
+  /// Of samples truly `c`, fraction predicted `c` (0 if none present).
+  [[nodiscard]] double recall(std::size_t c) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void check_class(std::size_t c) const;
+
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  ///< row = truth, col = predicted
+};
+
+}  // namespace cdl

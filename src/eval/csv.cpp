@@ -1,0 +1,65 @@
+#include "eval/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "eval/table.h"
+
+namespace cdl {
+
+CsvWriter csv_from_table(const TextTable& table) {
+  CsvWriter csv(table.header());
+  for (const auto& row : table.row_data()) csv.add_row(row);
+  return csv;
+}
+
+namespace {
+std::string escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width " +
+                                std::to_string(row.size()) + " != header " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  const auto render = [](const std::vector<std::string>& fields) {
+    std::string line;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) line += ',';
+      line += escape(fields[i]);
+    }
+    return line + "\n";
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path);
+  os << to_string();
+  if (!os) throw std::runtime_error("CsvWriter: write failure on " + path);
+}
+
+}  // namespace cdl

@@ -1,0 +1,36 @@
+// CSV export for evaluation artifacts — lets bench output feed plotting
+// scripts without parsing ASCII tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdl {
+
+class TextTable;
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Row width must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// RFC-4180 style: fields containing commas, quotes or newlines are
+  /// quoted, embedded quotes doubled.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file (throws on I/O failure).
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Converts a rendered report table into CSV form.
+[[nodiscard]] CsvWriter csv_from_table(const TextTable& table);
+
+}  // namespace cdl

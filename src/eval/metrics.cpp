@@ -1,0 +1,93 @@
+#include "eval/metrics.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace cdl {
+
+double Evaluation::exit_fraction(std::size_t stage) const {
+  if (stage >= exit_counts.size()) {
+    throw std::out_of_range("Evaluation::exit_fraction: stage " +
+                            std::to_string(stage));
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(exit_counts[stage]) /
+                          static_cast<double>(total);
+}
+
+double Evaluation::stage_accuracy(std::size_t stage) const {
+  if (stage >= exit_counts.size()) {
+    throw std::out_of_range("Evaluation::stage_accuracy: stage " +
+                            std::to_string(stage));
+  }
+  return exit_counts[stage] == 0
+             ? 0.0
+             : static_cast<double>(exit_correct[stage]) /
+                   static_cast<double>(exit_counts[stage]);
+}
+
+double Evaluation::stage_error_share(std::size_t stage) const {
+  if (stage >= exit_counts.size()) {
+    throw std::out_of_range("Evaluation::stage_error_share: stage " +
+                            std::to_string(stage));
+  }
+  return total == 0
+             ? 0.0
+             : static_cast<double>(exit_counts[stage] - exit_correct[stage]) /
+                   static_cast<double>(total);
+}
+
+namespace {
+
+Evaluation evaluate_with(
+    ConditionalNetwork& net, const Dataset& data, const EnergyModel& model,
+    const std::function<ClassificationResult(const Tensor&)>& run) {
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+
+  const std::size_t n_stages = net.num_stages() + 1;  // + final FC stage
+  Evaluation eval;
+  eval.exit_counts.assign(n_stages, 0);
+  eval.exit_correct.assign(n_stages, 0);
+  eval.per_class.assign(data.num_classes(), ClassStats{});
+  for (ClassStats& c : eval.per_class) c.exit_counts.assign(n_stages, 0);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const ClassificationResult result = run(data.image(i));
+    const std::size_t truth = data.label(i);
+    const double ops = static_cast<double>(result.ops.total_compute());
+    const double energy = model.energy_pj(result.ops);
+    const bool ok = result.label == truth;
+
+    ++eval.total;
+    eval.correct += ok ? 1 : 0;
+    eval.sum_ops += ops;
+    eval.sum_energy_pj += energy;
+    ++eval.exit_counts[result.exit_stage];
+    if (ok) ++eval.exit_correct[result.exit_stage];
+
+    ClassStats& cls = eval.per_class[truth];
+    ++cls.total;
+    cls.correct += ok ? 1 : 0;
+    cls.sum_ops += ops;
+    cls.sum_energy_pj += energy;
+    ++cls.exit_counts[result.exit_stage];
+  }
+  return eval;
+}
+
+}  // namespace
+
+Evaluation evaluate_cdl(ConditionalNetwork& net, const Dataset& data,
+                        const EnergyModel& model) {
+  return evaluate_with(net, data, model,
+                       [&](const Tensor& x) { return net.classify(x); });
+}
+
+Evaluation evaluate_baseline(ConditionalNetwork& net, const Dataset& data,
+                             const EnergyModel& model) {
+  return evaluate_with(
+      net, data, model,
+      [&](const Tensor& x) { return net.classify_baseline(x); });
+}
+
+}  // namespace cdl

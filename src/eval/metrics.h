@@ -1,0 +1,73 @@
+// Evaluation of baseline networks and CDLNs over a dataset: accuracy, average
+// operations and energy per input, exit-stage distributions, and per-class
+// breakdowns — the quantities behind every table and figure in the paper.
+#pragma once
+
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "data/dataset.h"
+#include "energy/energy_model.h"
+
+namespace cdl {
+
+struct ClassStats {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  double sum_ops = 0.0;
+  double sum_energy_pj = 0.0;
+  std::vector<std::size_t> exit_counts;  ///< per exit stage (last = FC)
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+  [[nodiscard]] double avg_ops() const {
+    return total == 0 ? 0.0 : sum_ops / static_cast<double>(total);
+  }
+  [[nodiscard]] double avg_energy_pj() const {
+    return total == 0 ? 0.0 : sum_energy_pj / static_cast<double>(total);
+  }
+};
+
+struct Evaluation {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  double sum_ops = 0.0;
+  double sum_energy_pj = 0.0;
+  std::vector<std::size_t> exit_counts;   ///< per exit stage (last = FC)
+  std::vector<std::size_t> exit_correct;  ///< correct decisions per stage
+  std::vector<ClassStats> per_class;
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+  [[nodiscard]] double avg_ops() const {
+    return total == 0 ? 0.0 : sum_ops / static_cast<double>(total);
+  }
+  [[nodiscard]] double avg_energy_pj() const {
+    return total == 0 ? 0.0 : sum_energy_pj / static_cast<double>(total);
+  }
+  /// Fraction of inputs whose classification used the given exit stage.
+  [[nodiscard]] double exit_fraction(std::size_t stage) const;
+
+  /// Accuracy among the inputs that exited at the given stage (0 when the
+  /// stage decided nothing). The paper's Fig. 7 discussion tracks the FC
+  /// stage's complement of this ("fraction misclassified by the final
+  /// layer").
+  [[nodiscard]] double stage_accuracy(std::size_t stage) const;
+
+  /// Fraction of ALL inputs that exited at `stage` with a wrong label.
+  [[nodiscard]] double stage_error_share(std::size_t stage) const;
+};
+
+/// Runs Algorithm 2 on every sample (conditional execution).
+[[nodiscard]] Evaluation evaluate_cdl(ConditionalNetwork& net,
+                                      const Dataset& data,
+                                      const EnergyModel& model);
+
+/// Runs the unconditional baseline on every sample.
+[[nodiscard]] Evaluation evaluate_baseline(ConditionalNetwork& net,
+                                           const Dataset& data,
+                                           const EnergyModel& model);
+
+}  // namespace cdl

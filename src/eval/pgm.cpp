@@ -1,0 +1,63 @@
+#include "eval/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cdl {
+
+void save_pgm(const std::string& path, const Tensor& image) {
+  if (image.shape().rank() != 3 || image.shape()[0] != 1) {
+    throw std::invalid_argument("save_pgm: expected (1, H, W) tensor, got " +
+                                image.shape().to_string());
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_pgm: cannot open " + path);
+
+  const std::size_t h = image.shape()[1];
+  const std::size_t w = image.shape()[2];
+  os << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const float v = std::clamp(image.at(0, y, x), 0.0F, 1.0F);
+      row[x] = static_cast<unsigned char>(v * 255.0F + 0.5F);
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  if (!os) throw std::runtime_error("save_pgm: write failure on " + path);
+}
+
+Tensor load_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_pgm: cannot open " + path);
+
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") throw std::runtime_error("load_pgm: not a binary PGM");
+  std::size_t w = 0;
+  std::size_t h = 0;
+  unsigned maxval = 0;
+  is >> w >> h >> maxval;
+  if (!is || w == 0 || h == 0 || maxval == 0 || maxval > 255) {
+    throw std::runtime_error("load_pgm: bad header in " + path);
+  }
+  is.get();  // single whitespace after maxval
+
+  Tensor image(Shape{1, h, w});
+  std::vector<unsigned char> row(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!is) throw std::runtime_error("load_pgm: truncated data in " + path);
+    for (std::size_t x = 0; x < w; ++x) {
+      image.at(0, y, x) =
+          static_cast<float>(row[x]) / static_cast<float>(maxval);
+    }
+  }
+  return image;
+}
+
+}  // namespace cdl

@@ -1,0 +1,18 @@
+// Minimal PGM (portable graymap) writer/reader so rendered digits and stage
+// feature maps can be inspected outside the terminal.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.h"
+
+namespace cdl {
+
+/// Writes a (1, H, W) tensor as binary PGM (P5). Values are clamped to
+/// [0, 1] and scaled to 0-255.
+void save_pgm(const std::string& path, const Tensor& image);
+
+/// Reads a binary PGM into a (1, H, W) tensor scaled to [0, 1].
+[[nodiscard]] Tensor load_pgm(const std::string& path);
+
+}  // namespace cdl

@@ -1,0 +1,35 @@
+// TextTable: minimal aligned ASCII table renderer for bench/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdl {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Row width must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("%.3f" etc.).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// "97.55 %" style percentage from a ratio in [0,1].
+[[nodiscard]] std::string fmt_percent(double ratio, int precision = 2);
+
+}  // namespace cdl

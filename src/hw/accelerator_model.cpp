@@ -1,0 +1,59 @@
+#include "hw/accelerator_model.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+namespace {
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+AcceleratorModel::AcceleratorModel(AcceleratorConfig config) : config_(config) {
+  if (config.num_macs == 0 || config.num_alus == 0 || config.num_sfus == 0 ||
+      config.bytes_per_cycle == 0) {
+    throw std::invalid_argument("AcceleratorModel: unit counts must be positive");
+  }
+  if (config.frequency_mhz <= 0.0) {
+    throw std::invalid_argument("AcceleratorModel: frequency must be positive");
+  }
+}
+
+LatencyEstimate AcceleratorModel::latency(const OpCount& ops) const {
+  LatencyEstimate est;
+  // Arithmetic: MACs on the MAC array; adds/compares/divides on the ALUs
+  // (divides cost several ALU cycles); activations on the SFUs.
+  constexpr std::uint64_t kDivideCycles = 8;
+  constexpr std::uint64_t kActivationCycles = 2;  // piecewise-linear LUT
+  est.compute_cycles =
+      ceil_div(ops.macs, config_.num_macs) +
+      ceil_div(ops.adds + ops.compares + kDivideCycles * ops.divides,
+               config_.num_alus) +
+      ceil_div(kActivationCycles * ops.activations, config_.num_sfus);
+  // Memory: every tracked 32-bit access streams through the SRAM port.
+  est.memory_cycles =
+      ceil_div(4 * (ops.mem_reads + ops.mem_writes), config_.bytes_per_cycle);
+  est.cycles = std::max(est.compute_cycles, est.memory_cycles);
+  est.microseconds = static_cast<double>(est.cycles) / config_.frequency_mhz;
+  return est;
+}
+
+LatencyEstimate AcceleratorModel::latency(const NetworkProfile& profile) const {
+  LatencyEstimate total;
+  for (const LayerProfile& layer : profile.layers) {
+    const LatencyEstimate l = latency(layer.ops);
+    total.compute_cycles += l.compute_cycles;
+    total.memory_cycles += l.memory_cycles;
+    total.cycles += l.cycles;
+  }
+  total.microseconds = static_cast<double>(total.cycles) / config_.frequency_mhz;
+  return total;
+}
+
+LatencyEstimate AcceleratorModel::exit_latency(const ConditionalNetwork& net,
+                                               std::size_t stage) const {
+  return latency(net.exit_ops(stage));
+}
+
+}  // namespace cdl

@@ -1,0 +1,61 @@
+// AcceleratorModel: roofline-style latency model of a small MAC-array
+// accelerator executing the CDLN layer by layer.
+//
+// The paper's hardware context (45 nm RTL classifiers; SPINDLE-class deep
+// learning engines [10]) motivates a latency companion to the energy model:
+// each layer's cycle count is the maximum of its compute time on `num_macs`
+// parallel MAC units and its SRAM streaming time at `bytes_per_cycle` —
+// the classic roofline bound. Conditional execution then shortens average
+// latency exactly as it shortens average ops.
+#pragma once
+
+#include "cdl/conditional_network.h"
+#include "energy/op_profile.h"
+#include "nn/opcount.h"
+
+namespace cdl {
+
+struct AcceleratorConfig {
+  std::size_t num_macs = 16;        ///< parallel MAC units
+  std::size_t num_alus = 4;         ///< units for adds/compares/divides
+  std::size_t num_sfus = 2;         ///< special-function units (activations)
+  std::size_t bytes_per_cycle = 16; ///< SRAM bandwidth (bytes/cycle)
+  double frequency_mhz = 500.0;     ///< clock, for cycle -> time conversion
+
+  /// A modest 45 nm embedded accelerator operating point.
+  [[nodiscard]] static AcceleratorConfig embedded_45nm() { return {}; }
+};
+
+struct LatencyEstimate {
+  std::uint64_t compute_cycles = 0;  ///< bound by arithmetic units
+  std::uint64_t memory_cycles = 0;   ///< bound by SRAM bandwidth
+  std::uint64_t cycles = 0;          ///< max of the two (roofline)
+  double microseconds = 0.0;
+  /// True when the layer/run is limited by memory bandwidth.
+  [[nodiscard]] bool memory_bound() const {
+    return memory_cycles > compute_cycles;
+  }
+};
+
+class AcceleratorModel {
+ public:
+  explicit AcceleratorModel(AcceleratorConfig config = {});
+
+  /// Roofline latency of one operation bundle.
+  [[nodiscard]] LatencyEstimate latency(const OpCount& ops) const;
+
+  /// Latency of a full network profile (sum of per-layer rooflines — layers
+  /// execute back to back, each individually bounded).
+  [[nodiscard]] LatencyEstimate latency(const NetworkProfile& profile) const;
+
+  /// Latency of exiting a CDLN at the given stage (num_stages() = FC exit).
+  [[nodiscard]] LatencyEstimate exit_latency(const ConditionalNetwork& net,
+                                             std::size_t stage) const;
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return config_; }
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,68 @@
+#include "hw/fault_injection.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+FaultReport inject_faults(Tensor& t, const FaultConfig& config, Rng& rng) {
+  if (config.bit_error_rate < 0.0 || config.bit_error_rate > 1.0) {
+    throw std::invalid_argument("inject_faults: bit_error_rate must be in [0,1]");
+  }
+  if (config.mantissa_bits_only > 23) {
+    throw std::invalid_argument("inject_faults: mantissa_bits_only must be <= 23");
+  }
+  const unsigned bits_per_word =
+      config.mantissa_bits_only == 0 ? 32U : config.mantissa_bits_only;
+
+  FaultReport report;
+  for (float& v : t.values()) {
+    report.bits_examined += bits_per_word;
+    // With small BER, sampling the number of flips per word bit-by-bit is
+    // fine at these tensor sizes and keeps the code obvious.
+    std::uint32_t word = std::bit_cast<std::uint32_t>(v);
+    bool flipped = false;
+    for (unsigned b = 0; b < bits_per_word; ++b) {
+      if (rng.uniform(0.0F, 1.0F) <
+          static_cast<float>(config.bit_error_rate)) {
+        word ^= (1U << b);
+        ++report.bits_flipped;
+        flipped = true;
+      }
+    }
+    if (flipped) {
+      float result = std::bit_cast<float>(word);
+      if (!std::isfinite(result)) result = 0.0F;  // datapath flush-to-zero
+      v = result;
+    }
+  }
+  return report;
+}
+
+FaultReport inject_faults(std::span<Tensor* const> params,
+                          const FaultConfig& config, Rng& rng) {
+  FaultReport total;
+  for (Tensor* t : params) {
+    const FaultReport r = inject_faults(*t, config, rng);
+    total.bits_examined += r.bits_examined;
+    total.bits_flipped += r.bits_flipped;
+  }
+  return total;
+}
+
+FaultReport inject_faults(Network& net, const FaultConfig& config, Rng& rng) {
+  const std::vector<Tensor*> params = net.parameters();
+  return inject_faults(params, config, rng);
+}
+
+FaultReport inject_faults(ConditionalNetwork& net, const FaultConfig& config,
+                          Rng& rng) {
+  std::vector<Tensor*> params = net.baseline().parameters();
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    for (Tensor* p : net.classifier(s).parameters()) params.push_back(p);
+  }
+  return inject_faults(params, config, rng);
+}
+
+}  // namespace cdl

@@ -1,0 +1,45 @@
+// Weight-memory fault injection.
+//
+// Hardware classifiers of the paper's kind hold weights in on-chip SRAM;
+// low-voltage operation (a common energy-saving companion to conditional
+// execution) makes those cells bit-flip. This module flips random mantissa/
+// exponent/sign bits of stored float32 weights at a given bit-error rate so
+// benches can measure how gracefully the CDLN degrades and whether early
+// exits mask or amplify faults.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct FaultConfig {
+  /// Probability that any given bit of any weight is flipped.
+  double bit_error_rate = 1e-5;
+  /// Restrict flips to the low `mantissa_bits_only` mantissa bits (0 = any
+  /// of the 32 bits, including exponent and sign — far more destructive).
+  unsigned mantissa_bits_only = 0;
+};
+
+struct FaultReport {
+  std::uint64_t bits_examined = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
+/// Flips bits in one tensor according to the config. NaN/Inf results are
+/// squashed to 0 (a real datapath would flush or saturate them).
+FaultReport inject_faults(Tensor& t, const FaultConfig& config, Rng& rng);
+
+/// Injects into a whole parameter set / network / CDLN.
+FaultReport inject_faults(std::span<Tensor* const> params,
+                          const FaultConfig& config, Rng& rng);
+FaultReport inject_faults(Network& net, const FaultConfig& config, Rng& rng);
+FaultReport inject_faults(ConditionalNetwork& net, const FaultConfig& config,
+                          Rng& rng);
+
+}  // namespace cdl

@@ -1,0 +1,109 @@
+#include "hw/systolic_mapping.h"
+
+#include <stdexcept>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+
+namespace cdl {
+
+namespace {
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+SystolicMapper::SystolicMapper(SystolicConfig config) : config_(config) {
+  if (config.rows == 0 || config.cols == 0 || config.vector_lanes == 0) {
+    throw std::invalid_argument("SystolicMapper: array dims must be positive");
+  }
+  if (config.frequency_mhz <= 0.0) {
+    throw std::invalid_argument("SystolicMapper: frequency must be positive");
+  }
+}
+
+LayerMapping SystolicMapper::map_matmul(const std::string& name,
+                                        std::uint64_t out_rows,
+                                        std::uint64_t out_cols,
+                                        std::uint64_t reduction) const {
+  LayerMapping m;
+  m.layer = name;
+  m.tiles = ceil_div(out_rows, config_.rows) * ceil_div(out_cols, config_.cols);
+  // Output-stationary tile: stream the reduction through the array, then
+  // fill/drain skews of rows+cols cycles.
+  const std::uint64_t tile_cycles =
+      reduction + config_.rows + config_.cols;
+  m.cycles = m.tiles * tile_cycles;
+  m.macs = out_rows * out_cols * reduction;
+  m.utilization =
+      static_cast<double>(m.macs) /
+      (static_cast<double>(m.cycles) *
+       static_cast<double>(config_.rows * config_.cols));
+  return m;
+}
+
+MappingReport SystolicMapper::map_network(const Network& net,
+                                          const Shape& input_shape) const {
+  MappingReport report;
+  Shape s = input_shape;
+  double mac_cycle_area = 0.0;  // cycles*PEs spent on MAC layers
+  std::uint64_t total_macs = 0;
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const Layer& layer = net.layer(i);
+    const Shape out = layer.output_shape(s);
+    LayerMapping m;
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      m = map_matmul(conv->name(), out[0], out[1] * out[2],
+                     conv->in_channels() * conv->kernel() * conv->kernel());
+    } else if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+      // Batch-1 inference: a single output column.
+      m = map_matmul(dense->name(), dense->out_features(), 1,
+                     dense->in_features());
+    } else {
+      // Elementwise / pooling layers run on the side vector unit.
+      m.layer = layer.name();
+      m.tiles = 1;
+      m.cycles = ceil_div(out.numel(), config_.vector_lanes);
+      m.macs = 0;
+      m.utilization = 0.0;
+    }
+    report.total_cycles += m.cycles;
+    if (m.macs > 0) {
+      mac_cycle_area += static_cast<double>(m.cycles) *
+                        static_cast<double>(config_.rows * config_.cols);
+      total_macs += m.macs;
+    }
+    report.layers.push_back(std::move(m));
+    s = out;
+  }
+  report.microseconds =
+      static_cast<double>(report.total_cycles) / config_.frequency_mhz;
+  report.mac_utilization =
+      mac_cycle_area > 0.0 ? static_cast<double>(total_macs) / mac_cycle_area
+                           : 0.0;
+  return report;
+}
+
+std::uint64_t SystolicMapper::exit_cycles(const ConditionalNetwork& net,
+                                          std::size_t stage) const {
+  const std::size_t last_prefix = stage == net.num_stages()
+                                      ? net.baseline().size()
+                                      : net.stage_prefix(stage);
+  // Baseline layers up to the exit boundary.
+  MappingReport base = map_network(net.baseline(), net.input_shape());
+  std::uint64_t cycles = 0;
+  for (std::size_t i = 0; i < last_prefix; ++i) {
+    cycles += base.layers[i].cycles;
+  }
+  // Linear classifiers evaluated on the way (including the exit stage's own).
+  for (std::size_t s = 0; s < net.num_stages() && net.stage_prefix(s) <= last_prefix;
+       ++s) {
+    if (stage < net.num_stages() && s > stage) break;
+    const LinearClassifier& lc = net.classifier(s);
+    cycles += map_matmul("lc", lc.num_classes(), 1, lc.in_features()).cycles;
+  }
+  return cycles;
+}
+
+}  // namespace cdl

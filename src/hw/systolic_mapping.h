@@ -1,0 +1,69 @@
+// SystolicMapper: tile-level mapping of network layers onto an
+// output-stationary R x C systolic MAC array (the datapath style of
+// SPINDLE-class deep-learning engines the paper cites).
+//
+// Convolutions map output channels onto rows and output pixels onto
+// columns; each tile performs the full K*K*IC reduction plus array
+// fill/drain. Dense layers at batch 1 occupy a single column — the classic
+// utilization cliff this model makes visible. Pooling/activation layers run
+// on a scalar/vector side unit at one element per cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct SystolicConfig {
+  std::size_t rows = 8;   ///< PE rows (output channels per tile)
+  std::size_t cols = 8;   ///< PE columns (output pixels per tile)
+  /// SIMD width of the side vector unit running pooling/activations.
+  std::size_t vector_lanes = 8;
+  double frequency_mhz = 500.0;
+};
+
+struct LayerMapping {
+  std::string layer;
+  std::uint64_t tiles = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t macs = 0;
+  /// MACs issued / (cycles * rows * cols); 0 for non-MAC layers.
+  double utilization = 0.0;
+};
+
+struct MappingReport {
+  std::vector<LayerMapping> layers;
+  std::uint64_t total_cycles = 0;
+  double microseconds = 0.0;
+  /// MAC-weighted mean utilization over MAC layers.
+  double mac_utilization = 0.0;
+};
+
+class SystolicMapper {
+ public:
+  explicit SystolicMapper(SystolicConfig config = {});
+
+  /// Maps every layer of `net` for the given input shape.
+  [[nodiscard]] MappingReport map_network(const Network& net,
+                                          const Shape& input_shape) const;
+
+  /// Cycles to exit a CDLN at `stage` (baseline prefix + linear classifiers
+  /// encountered, each mapped as a dense layer).
+  [[nodiscard]] std::uint64_t exit_cycles(const ConditionalNetwork& net,
+                                          std::size_t stage) const;
+
+  [[nodiscard]] const SystolicConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] LayerMapping map_matmul(const std::string& name,
+                                        std::uint64_t out_rows,
+                                        std::uint64_t out_cols,
+                                        std::uint64_t reduction) const;
+
+  SystolicConfig config_;
+};
+
+}  // namespace cdl

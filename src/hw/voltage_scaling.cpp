@@ -1,0 +1,50 @@
+#include "hw/voltage_scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+VoltageScalingModel::VoltageScalingModel(EnergyCosts nominal_costs,
+                                         VoltageScalingConfig config)
+    : nominal_(nominal_costs), config_(config) {
+  if (config.nominal_v <= 0.0 || config.min_logic_v <= 0.0 ||
+      config.min_logic_v > config.nominal_v) {
+    throw std::invalid_argument(
+        "VoltageScalingModel: need 0 < min_logic_v <= nominal_v");
+  }
+  if (config.ber_at_nominal < 0.0 || config.ber_at_nominal > 1.0) {
+    throw std::invalid_argument("VoltageScalingModel: bad nominal BER");
+  }
+}
+
+EnergyCosts VoltageScalingModel::costs_at(double v) const {
+  if (v < config_.min_logic_v || v > config_.nominal_v) {
+    throw std::invalid_argument(
+        "VoltageScalingModel: voltage outside [min_logic_v, nominal_v]");
+  }
+  const double scale = (v / config_.nominal_v) * (v / config_.nominal_v);
+  EnergyCosts c = nominal_;
+  c.mac_pj *= scale;
+  c.add_pj *= scale;
+  c.compare_pj *= scale;
+  c.activation_pj *= scale;
+  c.divide_pj *= scale;
+  c.mem_read_pj *= scale;
+  c.mem_write_pj *= scale;
+  return c;
+}
+
+EnergyModel VoltageScalingModel::model_at(double v) const {
+  return EnergyModel(costs_at(v));
+}
+
+double VoltageScalingModel::bit_error_rate_at(double v) const {
+  if (v <= 0.0) return 1.0;
+  const double ber = config_.ber_at_nominal *
+                     std::exp(config_.ber_exp_slope * (config_.nominal_v - v));
+  return std::clamp(ber, 0.0, 1.0);
+}
+
+}  // namespace cdl

@@ -1,0 +1,47 @@
+// Voltage scaling model: ties the energy model to the fault model.
+//
+// Conditional execution is one energy lever; supply-voltage scaling is the
+// other classic one, and they interact: dynamic energy falls quadratically
+// with V, but SRAM cells start flipping as V approaches Vmin, which corrupts
+// exactly the weights the CDLN's decisions depend on. This model lets the
+// voltage-scaling bench sweep V and find the minimum-energy operating point
+// at an accuracy constraint.
+#pragma once
+
+#include "energy/energy_model.h"
+
+namespace cdl {
+
+struct VoltageScalingConfig {
+  double nominal_v = 1.0;    ///< V at which EnergyCosts are specified
+  double min_logic_v = 0.5;  ///< below this the datapath itself fails
+  /// SRAM bit-error model: BER(V) = ber_at_nominal * exp(slope * (nominal - V)).
+  /// Defaults give ~1e-9 at nominal rising to ~1e-4 around 0.6 V, the shape
+  /// reported for 45 nm-class 6T SRAM.
+  double ber_at_nominal = 1e-9;
+  double ber_exp_slope = 28.0;
+};
+
+class VoltageScalingModel {
+ public:
+  explicit VoltageScalingModel(EnergyCosts nominal_costs = EnergyCosts::cmos_45nm(),
+                               VoltageScalingConfig config = {});
+
+  /// Energy costs at supply voltage `v`: every per-op cost scales by
+  /// (v / nominal)^2 (dynamic energy). Throws below min_logic_v.
+  [[nodiscard]] EnergyCosts costs_at(double v) const;
+
+  /// Convenience: a full EnergyModel at voltage `v`.
+  [[nodiscard]] EnergyModel model_at(double v) const;
+
+  /// SRAM bit-error rate at voltage `v` (clamped to [0, 1]).
+  [[nodiscard]] double bit_error_rate_at(double v) const;
+
+  [[nodiscard]] const VoltageScalingConfig& config() const { return config_; }
+
+ private:
+  EnergyCosts nominal_;
+  VoltageScalingConfig config_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,42 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+Tensor ElementwiseActivation::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) out[i] = apply(input[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor ElementwiseActivation::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error(name() + "::backward called before forward");
+  }
+  if (grad_output.shape() != cached_output_.shape()) {
+    throw std::invalid_argument(name() + "::backward: grad shape " +
+                                grad_output.shape().to_string());
+  }
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * derivative_from_output(cached_output_[i]);
+  }
+  return grad_input;
+}
+
+OpCount ElementwiseActivation::forward_ops(const Shape& input_shape) const {
+  OpCount ops;
+  ops.activations = input_shape.numel();
+  ops.mem_reads = input_shape.numel();
+  ops.mem_writes = input_shape.numel();
+  return ops;
+}
+
+float Sigmoid::apply(float x) const { return 1.0F / (1.0F + std::exp(-x)); }
+
+float Tanh::apply(float x) const { return std::tanh(x); }
+
+}  // namespace cdl

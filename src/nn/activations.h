@@ -1,0 +1,66 @@
+// Elementwise activation layers: Sigmoid, Tanh, ReLU.
+//
+// Sigmoid is the paper's activation (the baseline networks follow Palm's
+// convolutional-backprop formulation); Tanh and ReLU are provided for the
+// ablation benches and as general library features.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace cdl {
+
+/// Common machinery for stateless elementwise activations. Derivatives are
+/// expressed in terms of the cached forward *output*, which covers sigmoid,
+/// tanh, and relu without retaining the input.
+class ElementwiseActivation : public Layer {
+ public:
+  Tensor forward(const Tensor& input) final;
+  Tensor backward(const Tensor& grad_output) final;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const final {
+    return input_shape;
+  }
+  [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const final;
+
+ protected:
+  [[nodiscard]] virtual float apply(float x) const = 0;
+  /// Derivative dy/dx expressed as a function of the output y.
+  [[nodiscard]] virtual float derivative_from_output(float y) const = 0;
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid final : public ElementwiseActivation {
+ public:
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override;
+  [[nodiscard]] float derivative_from_output(float y) const override {
+    return y * (1.0F - y);
+  }
+};
+
+class Tanh final : public ElementwiseActivation {
+ public:
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override;
+  [[nodiscard]] float derivative_from_output(float y) const override {
+    return 1.0F - y * y;
+  }
+};
+
+class ReLU final : public ElementwiseActivation {
+ public:
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override { return x > 0.0F ? x : 0.0F; }
+  [[nodiscard]] float derivative_from_output(float y) const override {
+    return y > 0.0F ? 1.0F : 0.0F;
+  }
+};
+
+}  // namespace cdl

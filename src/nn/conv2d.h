@@ -1,0 +1,72 @@
+// Conv2D: 2-D convolution over CHW tensors with optional zero padding and
+// stride (defaults reproduce the paper's valid / stride-1 convolution).
+//
+// This is the convolution used by LeNet-style networks: each output map is
+// the sum over input channels of a KxK correlation plus a per-map bias.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace cdl {
+
+/// Forward-pass implementation strategy. Both produce identical results
+/// (within float rounding); kIm2col lowers the convolution to one GEMM,
+/// which is faster for larger maps at the cost of a temporary column matrix.
+/// Strided convolutions always use the direct path.
+enum class ConvAlgo { kDirect, kIm2col };
+
+/// Spatial geometry: symmetric zero padding and stride. Output extent is
+/// floor((H + 2*padding - K) / stride) + 1.
+struct ConvGeometry {
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+class Conv2D final : public Layer {
+ public:
+  /// `kernel` is the square kernel side K.
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         ConvAlgo algo = ConvAlgo::kDirect, ConvGeometry geometry = {});
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+  [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override;
+
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
+  void init(Rng& rng) override;
+
+  [[nodiscard]] std::size_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_channels_; }
+  [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  [[nodiscard]] const ConvGeometry& geometry() const { return geometry_; }
+
+  [[nodiscard]] const Tensor& weights() const { return weights_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+
+  [[nodiscard]] ConvAlgo algo() const { return algo_; }
+  void set_algo(ConvAlgo algo) { algo_ = algo; }
+
+ private:
+  void check_input(const Shape& s) const;
+  [[nodiscard]] Tensor pad_input(const Tensor& input) const;
+  [[nodiscard]] Tensor forward_direct(const Tensor& padded) const;
+  [[nodiscard]] Tensor forward_im2col(const Tensor& padded) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  ConvAlgo algo_;
+  ConvGeometry geometry_;
+
+  Tensor weights_;       ///< (out_c, in_c, K, K)
+  Tensor bias_;          ///< (out_c)
+  Tensor grad_weights_;  ///< accumulated d-loss/d-weights
+  Tensor grad_bias_;
+  Tensor cached_input_;  ///< padded input of the most recent forward()
+  Shape cached_raw_shape_;  ///< unpadded input shape of that forward()
+};
+
+}  // namespace cdl

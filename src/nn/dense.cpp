@@ -1,0 +1,94 @@
+#include "nn/dense.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weights_(weights_.shape()),
+      grad_bias_(bias_.shape()) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+}
+
+Shape Dense::output_shape(const Shape& input_shape) const {
+  if (input_shape.numel() != in_features_) {
+    throw std::invalid_argument("Dense(" + name() + "): input " +
+                                input_shape.to_string() + " has " +
+                                std::to_string(input_shape.numel()) +
+                                " elements, expected " +
+                                std::to_string(in_features_));
+  }
+  return Shape{out_features_};
+}
+
+void Dense::init(Rng& rng) {
+  const float bound = std::sqrt(6.0F / static_cast<float>(in_features_)) * 0.5F;
+  for (float& w : weights_.values()) w = rng.uniform(-bound, bound);
+  bias_.zero();
+  grad_weights_.zero();
+  grad_bias_.zero();
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  (void)output_shape(input.shape());  // validates
+  cached_input_shape_ = input.shape();
+  cached_input_ = input.reshaped(Shape{in_features_});
+
+  Tensor out(Shape{out_features_});
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    const float* w_row = weights_.data() + o * in_features_;
+    float acc = bias_[o];
+    for (std::size_t i = 0; i < in_features_; ++i) {
+      acc += w_row[i] * cached_input_[i];
+    }
+    out[o] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Dense::backward called before forward");
+  }
+  if (grad_output.shape() != Shape{out_features_}) {
+    throw std::invalid_argument("Dense::backward: grad shape " +
+                                grad_output.shape().to_string());
+  }
+
+  Tensor grad_input(Shape{in_features_});
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    const float g = grad_output[o];
+    grad_bias_[o] += g;
+    const float* w_row = weights_.data() + o * in_features_;
+    float* gw_row = grad_weights_.data() + o * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) {
+      gw_row[i] += g * cached_input_[i];
+      grad_input[i] += g * w_row[i];
+    }
+  }
+  return grad_input.reshaped(cached_input_shape_);
+}
+
+OpCount Dense::forward_ops(const Shape& input_shape) const {
+  (void)output_shape(input_shape);
+  OpCount ops;
+  ops.macs = static_cast<std::uint64_t>(out_features_) * in_features_;
+  ops.adds = out_features_;  // bias
+  ops.mem_reads = 2 * ops.macs + out_features_;
+  ops.mem_writes = out_features_;
+  return ops;
+}
+
+std::string Dense::name() const {
+  return "dense" + std::to_string(in_features_) + "x" +
+         std::to_string(out_features_);
+}
+
+}  // namespace cdl

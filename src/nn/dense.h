@@ -1,0 +1,40 @@
+// Dense: fully-connected layer. Accepts any input shape and flattens it,
+// which is how the paper feeds pooled convolutional feature maps to the
+// output layer and to each stage's linear classifier.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace cdl {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+  [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override;
+
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
+  void init(Rng& rng) override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+  [[nodiscard]] const Tensor& weights() const { return weights_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weights_;  ///< (out, in)
+  Tensor bias_;     ///< (out)
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  ///< flattened input of the latest forward()
+  Shape cached_input_shape_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,44 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cdl {
+
+namespace {
+// Block sizes sized for a ~32 KiB L1D: a 64x64 float tile is 16 KiB.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockN = 64;
+}  // namespace
+
+void sgemm(GemmDims dims, const float* a, const float* b, float* c,
+           bool accumulate) {
+  const std::size_t m = dims.m;
+  const std::size_t k = dims.k;
+  const std::size_t n = dims.n;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* c_row = c + i * n;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float a_ip = a[i * k + p];
+            if (a_ip == 0.0F) continue;
+            const float* b_row = b + p * n;
+            for (std::size_t j = j0; j < j1; ++j) {
+              c_row[j] += a_ip * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cdl

@@ -1,0 +1,23 @@
+// Minimal single-precision GEMM used by the im2col convolution path.
+//
+// Row-major C(m,n) = A(m,k) * B(k,n) (+ C when accumulate). Blocked for L1
+// locality; no SIMD intrinsics — the compiler vectorizes the inner loop.
+#pragma once
+
+#include <cstddef>
+
+namespace cdl {
+
+struct GemmDims {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+};
+
+/// C = A * B (row-major, contiguous). If `accumulate`, adds into C instead
+/// of overwriting it. All pointers must reference non-overlapping storage of
+/// at least m*k, k*n and m*n floats respectively.
+void sgemm(GemmDims dims, const float* a, const float* b, float* c,
+           bool accumulate = false);
+
+}  // namespace cdl

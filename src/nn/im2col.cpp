@@ -1,0 +1,45 @@
+#include "nn/im2col.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+Tensor im2col(const Tensor& input, std::size_t kernel) {
+  if (input.shape().rank() != 3) {
+    throw std::invalid_argument("im2col: expected CHW input, got " +
+                                input.shape().to_string());
+  }
+  const std::size_t c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  if (kernel == 0 || h < kernel || w < kernel) {
+    throw std::invalid_argument("im2col: kernel " + std::to_string(kernel) +
+                                " too large for input " +
+                                input.shape().to_string());
+  }
+  const std::size_t oh = h - kernel + 1;
+  const std::size_t ow = w - kernel + 1;
+  const std::size_t patch = c * kernel * kernel;
+  const std::size_t pixels = oh * ow;
+
+  Tensor cols(Shape{patch, pixels});
+  float* out = cols.data();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        // Row r of the column matrix: input value (ch, y+ky, x+kx) for every
+        // output pixel (y, x), in row-major pixel order.
+        float* row = out + ((ch * kernel + ky) * kernel + kx) * pixels;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const float* in_row = input.data() + (ch * h + y + ky) * w + kx;
+          for (std::size_t x = 0; x < ow; ++x) {
+            row[y * ow + x] = in_row[x];
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+}  // namespace cdl

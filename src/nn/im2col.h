@@ -1,0 +1,15 @@
+// im2col: unrolls convolution input windows into a matrix so Conv2D can be
+// computed as one GEMM — the standard lowering used by CPU/GPU DL stacks.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace cdl {
+
+/// Lowers a CHW `input` for a valid KxK / stride-1 convolution into a
+/// (C*K*K) x (OH*OW) column matrix: column p holds the input window that
+/// produces output pixel p, flattened channel-major then row-major — the
+/// layout matching Conv2D's (out_c, in_c, K, K) weights flattened per row.
+[[nodiscard]] Tensor im2col(const Tensor& input, std::size_t kernel);
+
+}  // namespace cdl

@@ -1,0 +1,56 @@
+// Layer: abstract interface for all trainable and stateless network layers.
+//
+// The library trains per-sample (stochastic gradient descent with momentum),
+// which matches the scale of the paper's LeNet-style networks and keeps the
+// layer contract simple: forward() caches whatever backward() needs, and
+// backward() accumulates parameter gradients and returns the gradient with
+// respect to the layer input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/opcount.h"
+
+namespace cdl {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer on one sample and caches state for backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagates `grad_output` (d-loss / d-output) backwards. Accumulates
+  /// parameter gradients internally and returns d-loss / d-input.
+  /// Must be preceded by a forward() on the same sample.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Output shape produced for a given input shape; throws on mismatch.
+  [[nodiscard]] virtual Shape output_shape(const Shape& input_shape) const = 0;
+
+  /// Operation cost of one forward pass on an input of the given shape.
+  [[nodiscard]] virtual OpCount forward_ops(const Shape& input_shape) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trainable parameters and their gradient buffers (parallel vectors;
+  /// both empty for stateless layers).
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// (Re-)initializes parameters; default no-op for stateless layers.
+  virtual void init(Rng& rng) { (void)rng; }
+
+  /// Zeroes accumulated parameter gradients.
+  void zero_gradients() {
+    for (Tensor* g : gradients()) g->zero();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace cdl

@@ -1,0 +1,62 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace cdl {
+
+namespace {
+void check_target(const Tensor& scores, std::size_t target) {
+  if (scores.shape().rank() != 1) {
+    throw std::invalid_argument("Loss: scores must be rank-1, got " +
+                                scores.shape().to_string());
+  }
+  if (target >= scores.numel()) {
+    throw std::invalid_argument("Loss: target " + std::to_string(target) +
+                                " out of range for " +
+                                std::to_string(scores.numel()) + " classes");
+  }
+}
+}  // namespace
+
+float SoftmaxCrossEntropyLoss::value(const Tensor& scores,
+                                     std::size_t target) const {
+  check_target(scores, target);
+  const Tensor p = softmax(scores);
+  // Clamp away from zero so a maximally confident wrong answer stays finite.
+  return -std::log(std::max(p[target], 1e-12F));
+}
+
+Tensor SoftmaxCrossEntropyLoss::grad(const Tensor& scores,
+                                     std::size_t target) const {
+  check_target(scores, target);
+  Tensor g = softmax(scores);
+  g[target] -= 1.0F;
+  return g;
+}
+
+float MseLoss::value(const Tensor& scores, std::size_t target) const {
+  check_target(scores, target);
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < scores.numel(); ++i) {
+    const float t = (i == target) ? 1.0F : 0.0F;
+    const float d = scores[i] - t;
+    acc += d * d;
+  }
+  return acc / static_cast<float>(scores.numel());
+}
+
+Tensor MseLoss::grad(const Tensor& scores, std::size_t target) const {
+  check_target(scores, target);
+  Tensor g(scores.shape());
+  const float scale = 2.0F / static_cast<float>(scores.numel());
+  for (std::size_t i = 0; i < scores.numel(); ++i) {
+    const float t = (i == target) ? 1.0F : 0.0F;
+    g[i] = scale * (scores[i] - t);
+  }
+  return g;
+}
+
+}  // namespace cdl

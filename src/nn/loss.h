@@ -1,0 +1,49 @@
+// Loss functions over a single sample's output scores.
+//
+// SoftmaxCrossEntropy is used to train the baseline DLNs; MseLoss implements
+// the least-mean-square objective the paper trains its linear classifiers
+// with (delta rule on one-hot targets).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/tensor.h"
+
+namespace cdl {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Scalar loss of `scores` against the integer class `target`.
+  [[nodiscard]] virtual float value(const Tensor& scores,
+                                    std::size_t target) const = 0;
+
+  /// d-loss / d-scores.
+  [[nodiscard]] virtual Tensor grad(const Tensor& scores,
+                                    std::size_t target) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Cross-entropy of softmax(scores) against the target class. The gradient
+/// folds softmax and cross-entropy together (p - onehot), so the network's
+/// final layer must emit raw logits.
+class SoftmaxCrossEntropyLoss final : public Loss {
+ public:
+  [[nodiscard]] float value(const Tensor& scores, std::size_t target) const override;
+  [[nodiscard]] Tensor grad(const Tensor& scores, std::size_t target) const override;
+  [[nodiscard]] std::string name() const override { return "softmax_xent"; }
+};
+
+/// Mean squared error of scores against the one-hot target vector. Training a
+/// linear layer with SGD on this loss is exactly the Widrow-Hoff LMS rule.
+class MseLoss final : public Loss {
+ public:
+  [[nodiscard]] float value(const Tensor& scores, std::size_t target) const override;
+  [[nodiscard]] Tensor grad(const Tensor& scores, std::size_t target) const override;
+  [[nodiscard]] std::string name() const override { return "mse"; }
+};
+
+}  // namespace cdl

@@ -1,0 +1,101 @@
+#include "nn/network.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+std::size_t Network::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  layers_.push_back(std::move(layer));
+  return layers_.size() - 1;
+}
+
+void Network::check_range(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > layers_.size()) {
+    throw std::out_of_range("Network: bad layer range [" +
+                            std::to_string(begin) + ", " + std::to_string(end) +
+                            ") of " + std::to_string(layers_.size()));
+  }
+}
+
+Tensor Network::forward(const Tensor& input) {
+  return forward_range(input, 0, layers_.size());
+}
+
+Tensor Network::forward_range(const Tensor& input, std::size_t begin,
+                              std::size_t end) {
+  check_range(begin, end);
+  Tensor x = input;
+  for (std::size_t i = begin; i < end; ++i) x = layers_[i]->forward(x);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Network::parameters() {
+  std::vector<Tensor*> out;
+  for (const auto& l : layers_) {
+    for (Tensor* p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::gradients() {
+  std::vector<Tensor*> out;
+  for (const auto& l : layers_) {
+    for (Tensor* g : l->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Network::zero_gradients() {
+  for (const auto& l : layers_) l->zero_gradients();
+}
+
+void Network::init(Rng& rng) {
+  for (const auto& l : layers_) l->init(rng);
+}
+
+Shape Network::output_shape(const Shape& input_shape) const {
+  return output_shape_after(input_shape, layers_.size());
+}
+
+Shape Network::output_shape_after(const Shape& input_shape,
+                                  std::size_t count) const {
+  check_range(0, count);
+  Shape s = input_shape;
+  for (std::size_t i = 0; i < count; ++i) s = layers_[i]->output_shape(s);
+  return s;
+}
+
+std::vector<OpCount> Network::layer_ops(const Shape& input_shape) const {
+  std::vector<OpCount> out;
+  out.reserve(layers_.size());
+  Shape s = input_shape;
+  for (const auto& l : layers_) {
+    out.push_back(l->forward_ops(s));
+    s = l->output_shape(s);
+  }
+  return out;
+}
+
+OpCount Network::forward_ops(const Shape& input_shape) const {
+  OpCount total;
+  for (const OpCount& ops : layer_ops(input_shape)) total += ops;
+  return total;
+}
+
+std::string Network::summary() const {
+  std::string s;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i != 0) s += " -> ";
+    s += layers_[i]->name();
+  }
+  return s;
+}
+
+}  // namespace cdl

@@ -1,0 +1,80 @@
+// Network: sequential container of layers with single-sample forward /
+// backward and partial-range execution.
+//
+// Partial-range execution (forward_range) is the hook the CDL core builds
+// on: a conditional network runs the baseline layers stage by stage, feeding
+// each stage boundary's activations to that stage's linear classifier, and
+// only continues into the next range if the activation module demands it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cdl {
+
+class Network {
+ public:
+  Network() = default;
+
+  // Layers are held by unique_ptr; the network is movable but not copyable.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer; returns its index.
+  std::size_t add(LayerPtr layer);
+
+  /// Constructs a layer in place; returns a reference to it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Full forward pass over all layers.
+  [[nodiscard]] Tensor forward(const Tensor& input);
+
+  /// Forward through layers [begin, end). `end` may equal size().
+  [[nodiscard]] Tensor forward_range(const Tensor& input, std::size_t begin,
+                                     std::size_t end);
+
+  /// Backward through all layers (after a full forward); returns d-loss/d-input.
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters / gradients in layer order.
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+  void zero_gradients();
+
+  void init(Rng& rng);
+
+  /// Output shape after the whole network (or a prefix of `count` layers).
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const;
+  [[nodiscard]] Shape output_shape_after(const Shape& input_shape,
+                                         std::size_t count) const;
+
+  /// Per-layer forward op costs for the given input shape.
+  [[nodiscard]] std::vector<OpCount> layer_ops(const Shape& input_shape) const;
+
+  /// Total forward op cost.
+  [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const;
+
+  /// Human-readable summary ("conv5x5x6 -> maxpool2x2 -> ...").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void check_range(std::size_t begin, std::size_t end) const;
+
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace cdl

@@ -1,0 +1,16 @@
+#include "nn/opcount.h"
+
+#include <sstream>
+
+namespace cdl {
+
+std::string OpCount::to_string() const {
+  std::ostringstream os;
+  os << "{macs=" << macs << ", adds=" << adds << ", compares=" << compares
+     << ", activations=" << activations << ", divides=" << divides
+     << ", mem_reads=" << mem_reads << ", mem_writes=" << mem_writes
+     << ", total_compute=" << total_compute() << "}";
+  return os.str();
+}
+
+}  // namespace cdl

@@ -1,0 +1,61 @@
+// OpCount: arithmetic/memory operation accounting for a layer or network.
+//
+// The paper quantifies efficiency as "average number of operations per input"
+// (OPS) and converts op counts to 45 nm energy via RTL synthesis. We track op
+// categories explicitly so the energy model (src/energy) can price each class
+// of operation separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdl {
+
+struct OpCount {
+  std::uint64_t macs = 0;         ///< multiply-accumulate pairs
+  std::uint64_t adds = 0;         ///< standalone additions/subtractions
+  std::uint64_t compares = 0;     ///< comparisons (max-pooling, argmax)
+  std::uint64_t activations = 0;  ///< nonlinear function evaluations
+  std::uint64_t divides = 0;      ///< divisions (softmax/avg-pool)
+  std::uint64_t mem_reads = 0;    ///< 32-bit word reads (weights + activations)
+  std::uint64_t mem_writes = 0;   ///< 32-bit word writes (activations)
+
+  /// Scalar "OPS" figure used for the paper's normalized-OPS plots:
+  /// one MAC counts as two operations (multiply + add).
+  [[nodiscard]] std::uint64_t total_compute() const {
+    return 2 * macs + adds + compares + activations + divides;
+  }
+
+  OpCount& operator+=(const OpCount& rhs) {
+    macs += rhs.macs;
+    adds += rhs.adds;
+    compares += rhs.compares;
+    activations += rhs.activations;
+    divides += rhs.divides;
+    mem_reads += rhs.mem_reads;
+    mem_writes += rhs.mem_writes;
+    return *this;
+  }
+
+  friend OpCount operator+(OpCount lhs, const OpCount& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  OpCount& operator*=(std::uint64_t n) {
+    macs *= n;
+    adds *= n;
+    compares *= n;
+    activations *= n;
+    divides *= n;
+    mem_reads *= n;
+    mem_writes *= n;
+    return *this;
+  }
+
+  bool operator==(const OpCount&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace cdl

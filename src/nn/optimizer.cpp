@@ -1,0 +1,53 @@
+#include "nn/optimizer.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+SgdOptimizer::SgdOptimizer(SgdConfig config)
+    : config_(config), lr_(config.learning_rate) {
+  if (config.learning_rate <= 0.0F) {
+    throw std::invalid_argument("SgdOptimizer: learning rate must be positive");
+  }
+  if (config.momentum < 0.0F || config.momentum >= 1.0F) {
+    throw std::invalid_argument("SgdOptimizer: momentum must be in [0, 1)");
+  }
+  if (config.lr_decay <= 0.0F || config.lr_decay > 1.0F) {
+    throw std::invalid_argument("SgdOptimizer: lr_decay must be in (0, 1]");
+  }
+}
+
+void SgdOptimizer::step(Network& net) {
+  const std::vector<Tensor*> params = net.parameters();
+  const std::vector<Tensor*> grads = net.gradients();
+  if (params.size() != grads.size()) {
+    throw std::logic_error("SgdOptimizer: parameter/gradient count mismatch");
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::logic_error("SgdOptimizer: stepped against a different network");
+  }
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    Tensor& g = *grads[i];
+    Tensor& v = velocity_[i];
+    if (p.shape() != g.shape() || p.shape() != v.shape()) {
+      throw std::logic_error("SgdOptimizer: shape mismatch at parameter " +
+                             std::to_string(i));
+    }
+    const float mu = config_.momentum;
+    for (std::size_t k = 0; k < p.numel(); ++k) {
+      v[k] = mu * v[k] - lr_ * g[k];
+      p[k] += v[k];
+    }
+    g.zero();
+  }
+}
+
+void SgdOptimizer::end_epoch() { lr_ *= config_.lr_decay; }
+
+}  // namespace cdl

@@ -1,0 +1,39 @@
+// SGD optimizer with classical momentum and multiplicative learning-rate decay.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct SgdConfig {
+  float learning_rate = 0.1F;
+  float momentum = 0.0F;
+  /// Learning rate is multiplied by this factor at every end_epoch() call.
+  float lr_decay = 1.0F;
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdConfig config = {});
+
+  /// Applies one update using accumulated gradients, then zeroes them.
+  /// Velocity buffers are allocated lazily and keyed by position, so the same
+  /// optimizer instance must always be stepped against the same network.
+  void step(Network& net);
+
+  /// Applies decay to the learning rate (call once per epoch).
+  void end_epoch();
+
+  [[nodiscard]] float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  SgdConfig config_;
+  float lr_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace cdl

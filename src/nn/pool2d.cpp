@@ -1,0 +1,131 @@
+#include "nn/pool2d.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+Pool2D::Pool2D(std::size_t window, PoolMode mode)
+    : window_(window), mode_(mode) {
+  if (window == 0) throw std::invalid_argument("Pool2D: window must be positive");
+}
+
+void Pool2D::check_input(const Shape& s) const {
+  if (s.rank() != 3 || s[1] % window_ != 0 || s[2] % window_ != 0) {
+    throw std::invalid_argument("Pool2D(window=" + std::to_string(window_) +
+                                "): bad input shape " + s.to_string());
+  }
+}
+
+Shape Pool2D::output_shape(const Shape& input_shape) const {
+  check_input(input_shape);
+  return Shape{input_shape[0], input_shape[1] / window_,
+               input_shape[2] / window_};
+}
+
+Tensor Pool2D::forward(const Tensor& input) {
+  check_input(input.shape());
+  cached_input_shape_ = input.shape();
+  const std::size_t c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  const std::size_t oh = h / window_;
+  const std::size_t ow = w / window_;
+
+  Tensor out(Shape{c, oh, ow});
+  if (mode_ == PoolMode::kMax) argmax_.assign(c * oh * ow, 0);
+
+  const float inv_area =
+      1.0F / static_cast<float>(window_ * window_);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        if (mode_ == PoolMode::kMax) {
+          float best = input.at(ch, y * window_, x * window_);
+          std::size_t best_idx = (ch * h + y * window_) * w + x * window_;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              const std::size_t iy = y * window_ + dy;
+              const std::size_t ix = x * window_ + dx;
+              const float v = input.at(ch, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = (ch * h + iy) * w + ix;
+              }
+            }
+          }
+          out.at(ch, y, x) = best;
+          argmax_[(ch * oh + y) * ow + x] = best_idx;
+        } else {
+          float acc = 0.0F;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              acc += input.at(ch, y * window_ + dy, x * window_ + dx);
+            }
+          }
+          out.at(ch, y, x) = acc * inv_area;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Pool2D::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() == 0) {
+    throw std::logic_error("Pool2D::backward called before forward");
+  }
+  const Shape out_shape = output_shape(cached_input_shape_);
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("Pool2D::backward: grad shape " +
+                                grad_output.shape().to_string() +
+                                " != " + out_shape.to_string());
+  }
+
+  Tensor grad_input(cached_input_shape_);
+  const std::size_t c = out_shape[0];
+  const std::size_t oh = out_shape[1];
+  const std::size_t ow = out_shape[2];
+  const float inv_area = 1.0F / static_cast<float>(window_ * window_);
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float g = grad_output.at(ch, y, x);
+        if (mode_ == PoolMode::kMax) {
+          grad_input[argmax_[(ch * oh + y) * ow + x]] += g;
+        } else {
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              grad_input.at(ch, y * window_ + dy, x * window_ + dx) +=
+                  g * inv_area;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+OpCount Pool2D::forward_ops(const Shape& input_shape) const {
+  const Shape out = output_shape(input_shape);
+  const std::uint64_t out_px = out[0] * out[1] * out[2];
+  const std::uint64_t win = window_ * window_;
+  OpCount ops;
+  if (mode_ == PoolMode::kMax) {
+    ops.compares = out_px * (win - 1);
+  } else {
+    ops.adds = out_px * (win - 1);
+    ops.divides = out_px;
+  }
+  ops.mem_reads = out_px * win;
+  ops.mem_writes = out_px;
+  return ops;
+}
+
+std::string Pool2D::name() const {
+  return (mode_ == PoolMode::kMax ? "maxpool" : "avgpool") +
+         std::to_string(window_) + "x" + std::to_string(window_);
+}
+
+}  // namespace cdl

@@ -1,0 +1,36 @@
+// Pool2D: non-overlapping max- or average-pooling (stride == window).
+//
+// A window of 1 is the identity (used by the paper's 8-layer network, whose
+// P3 stage keeps the 3x3 extent). Spatial extents must be divisible by the
+// window, matching all architectures in the paper.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace cdl {
+
+enum class PoolMode { kMax, kAverage };
+
+class Pool2D final : public Layer {
+ public:
+  Pool2D(std::size_t window, PoolMode mode = PoolMode::kMax);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+  [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t window() const { return window_; }
+  [[nodiscard]] PoolMode mode() const { return mode_; }
+
+ private:
+  void check_input(const Shape& s) const;
+
+  std::size_t window_;
+  PoolMode mode_;
+  Shape cached_input_shape_;
+  std::vector<std::size_t> argmax_;  ///< flat input index of each max (kMax)
+};
+
+}  // namespace cdl

@@ -1,0 +1,57 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+double fake_quantize_tensor(Tensor& t, unsigned bits) {
+  if (bits < 2 || bits > 32) {
+    throw std::invalid_argument("fake_quantize: bits must be in [2, 32]");
+  }
+  if (t.empty()) return 0.0;
+
+  float max_abs = 0.0F;
+  for (float v : t.values()) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0F) return 0.0;
+
+  const float levels = static_cast<float>((1ULL << (bits - 1)) - 1);
+  const float scale = max_abs / levels;
+  double max_err = 0.0;
+  for (float& v : t.values()) {
+    const float q = std::clamp(std::round(v / scale), -levels, levels);
+    const float snapped = q * scale;
+    max_err = std::max(max_err, static_cast<double>(std::abs(v - snapped)));
+    v = snapped;
+  }
+  return max_err;
+}
+
+QuantizationReport fake_quantize(std::span<Tensor* const> params,
+                                 unsigned bits) {
+  QuantizationReport report;
+  report.bits = bits;
+  for (Tensor* t : params) {
+    report.max_abs_error =
+        std::max(report.max_abs_error, fake_quantize_tensor(*t, bits));
+    ++report.tensors;
+    report.values += t->numel();
+  }
+  return report;
+}
+
+QuantizationReport fake_quantize_network(Network& net, unsigned bits) {
+  const std::vector<Tensor*> params = net.parameters();
+  return fake_quantize(params, bits);
+}
+
+QuantizationReport fake_quantize_cdln(ConditionalNetwork& net, unsigned bits) {
+  std::vector<Tensor*> params = net.baseline().parameters();
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    for (Tensor* p : net.classifier(s).parameters()) params.push_back(p);
+  }
+  return fake_quantize(params, bits);
+}
+
+}  // namespace cdl

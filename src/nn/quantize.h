@@ -1,0 +1,39 @@
+// Fake quantization: symmetric uniform per-tensor weight quantization.
+//
+// The paper implements its classifiers at RTL on 45 nm silicon, where
+// datapaths are fixed-point. This module emulates that by snapping trained
+// parameters to a b-bit grid (values stay float, hence "fake"), letting the
+// quantization ablation measure how CDL accuracy holds up at hardware
+// precisions.
+#pragma once
+
+#include <span>
+
+#include "cdl/conditional_network.h"
+#include "core/tensor.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+struct QuantizationReport {
+  unsigned bits = 0;
+  std::size_t tensors = 0;
+  std::size_t values = 0;
+  double max_abs_error = 0.0;  ///< largest |original - quantized| seen
+};
+
+/// Snaps every value of `t` to a symmetric b-bit grid scaled by the tensor's
+/// max-abs value: q = round(v/s) in [-(2^(b-1)-1), 2^(b-1)-1], v' = q*s.
+/// `bits` must be in [2, 32]. Returns the largest absolute rounding error.
+double fake_quantize_tensor(Tensor& t, unsigned bits);
+
+/// Quantizes a parameter set in place.
+QuantizationReport fake_quantize(std::span<Tensor* const> params, unsigned bits);
+
+/// Quantizes every trainable parameter of a network.
+QuantizationReport fake_quantize_network(Network& net, unsigned bits);
+
+/// Quantizes the baseline and every stage classifier of a CDLN.
+QuantizationReport fake_quantize_cdln(ConditionalNetwork& net, unsigned bits);
+
+}  // namespace cdl

@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace cdl {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'C', 'D', 'L', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(std::ostream& os, const std::vector<Tensor*>& params) {
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Tensor* t : params) {
+    write_pod(os, static_cast<std::uint32_t>(t->shape().rank()));
+    for (std::size_t d : t->shape().dims()) {
+      write_pod(os, static_cast<std::uint64_t>(d));
+    }
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("serialize: write failure");
+}
+
+void load_parameters(std::istream& is, const std::vector<Tensor*>& params) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("serialize: bad magic (not a CDLW file)");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("serialize: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error("serialize: file has " + std::to_string(count) +
+                             " tensors, network expects " +
+                             std::to_string(params.size()));
+  }
+  for (Tensor* t : params) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    const Shape shape{dims};
+    if (shape != t->shape()) {
+      throw std::runtime_error("serialize: shape mismatch, file " +
+                               shape.to_string() + " vs network " +
+                               t->shape().to_string());
+    }
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("serialize: truncated tensor data");
+  }
+}
+
+void save_network(const std::string& path, Network& net) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("serialize: cannot open " + path);
+  save_parameters(os, net.parameters());
+}
+
+void load_network(const std::string& path, Network& net) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("serialize: cannot open " + path);
+  load_parameters(is, net.parameters());
+}
+
+}  // namespace cdl

@@ -1,0 +1,31 @@
+// Binary (de)serialization of trained parameters.
+//
+// The format stores only parameter tensors, not architecture: callers rebuild
+// the architecture in code (src/cdl/architectures.*) and load weights into
+// it, with shape validation. Layout (little-endian):
+//
+//   magic  "CDLW"           4 bytes
+//   version u32             currently 1
+//   count   u64             number of tensors
+//   per tensor: rank u32, dims u64[rank], data float32[numel]
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+void save_parameters(std::ostream& os, const std::vector<Tensor*>& params);
+
+/// Loads into pre-shaped tensors; throws on magic/version/shape mismatch.
+void load_parameters(std::istream& is, const std::vector<Tensor*>& params);
+
+void save_network(const std::string& path, Network& net);
+void load_network(const std::string& path, Network& net);
+
+}  // namespace cdl

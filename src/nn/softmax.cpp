@@ -1,0 +1,67 @@
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdl {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.numel() == 0) {
+    throw std::invalid_argument("softmax: empty input");
+  }
+  Tensor probs(logits.shape());
+  const float m = logits.max();
+  float denom = 0.0F;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    probs[i] = std::exp(logits[i] - m);
+    denom += probs[i];
+  }
+  for (std::size_t i = 0; i < probs.numel(); ++i) probs[i] /= denom;
+  return probs;
+}
+
+OpCount softmax_ops(std::size_t n) {
+  OpCount ops;
+  ops.compares = n - 1;   // max for stability
+  ops.activations = n;    // exponentials
+  ops.adds = 2 * n - 1;   // subtract max, accumulate denominator
+  ops.divides = n;
+  ops.mem_reads = n;
+  ops.mem_writes = n;
+  return ops;
+}
+
+float max_probability(const Tensor& probs) { return probs.max(); }
+
+float probability_margin(const Tensor& probs) {
+  if (probs.numel() < 2) return probs.numel() == 1 ? probs[0] : 0.0F;
+  float best = -1.0F, second = -1.0F;
+  for (std::size_t i = 0; i < probs.numel(); ++i) {
+    if (probs[i] > best) {
+      second = best;
+      best = probs[i];
+    } else if (probs[i] > second) {
+      second = probs[i];
+    }
+  }
+  return best - second;
+}
+
+float entropy_confidence(const Tensor& probs) {
+  const std::size_t n = probs.numel();
+  if (n < 2) return 1.0F;
+  // Normalize defensively: LMS stages emit clamped scores, not a simplex.
+  float total = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) total += probs[i];
+  if (total <= 0.0F) return 0.0F;
+  float h = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p = probs[i] / total;
+    if (p > 0.0F) h -= p * std::log(p);
+  }
+  const float h_max = std::log(static_cast<float>(n));
+  return std::clamp(1.0F - h / h_max, 0.0F, 1.0F);
+}
+
+}  // namespace cdl

@@ -1,0 +1,27 @@
+// Softmax utilities: numerically stable softmax and confidence measures used
+// by the CDL activation module.
+#pragma once
+
+#include "core/tensor.h"
+#include "nn/opcount.h"
+
+namespace cdl {
+
+/// Numerically stable softmax over a rank-1 tensor of scores.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Operation cost of one softmax evaluation over `n` scores.
+[[nodiscard]] OpCount softmax_ops(std::size_t n);
+
+/// Largest probability in a distribution (the paper's confidence measure).
+[[nodiscard]] float max_probability(const Tensor& probs);
+
+/// Difference between the two largest probabilities (margin confidence,
+/// used by the confidence-policy ablation).
+[[nodiscard]] float probability_margin(const Tensor& probs);
+
+/// 1 - normalized Shannon entropy: 1 for a one-hot distribution, 0 for
+/// uniform (entropy confidence, used by the confidence-policy ablation).
+[[nodiscard]] float entropy_confidence(const Tensor& probs);
+
+}  // namespace cdl

@@ -1,0 +1,152 @@
+#include "scalable/scalable_cascade.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+
+ScalableCascade::ScalableCascade(Shape input_shape)
+    : input_shape_(std::move(input_shape)) {}
+
+std::size_t ScalableCascade::add_stage(Network stage) {
+  const Shape out = stage.output_shape(input_shape_);  // validates
+  if (out.rank() != 1) {
+    throw std::invalid_argument(
+        "ScalableCascade: stage must emit a rank-1 score vector, got " +
+        out.to_string());
+  }
+  if (num_classes_ == 0) {
+    num_classes_ = out.numel();
+  } else if (out.numel() != num_classes_) {
+    throw std::invalid_argument("ScalableCascade: stage has " +
+                                std::to_string(out.numel()) +
+                                " classes, cascade has " +
+                                std::to_string(num_classes_));
+  }
+  stages_.push_back(std::move(stage));
+  return stages_.size() - 1;
+}
+
+Network& ScalableCascade::stage(std::size_t i) {
+  if (i >= stages_.size()) {
+    throw std::out_of_range("ScalableCascade: stage " + std::to_string(i));
+  }
+  return stages_[i];
+}
+
+ClassificationResult ScalableCascade::classify(const Tensor& input) {
+  if (stages_.empty()) {
+    throw std::logic_error("ScalableCascade: no stages");
+  }
+  if (input.shape() != input_shape_) {
+    throw std::invalid_argument("ScalableCascade: input shape " +
+                                input.shape().to_string());
+  }
+  ClassificationResult result;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Tensor logits = stages_[s].forward(input);
+    const Tensor probs = softmax(logits);
+    result.ops += stages_[s].forward_ops(input_shape_);
+    result.ops += softmax_ops(num_classes_);
+    result.ops += activation_.decision_ops(num_classes_);
+
+    const ActivationDecision decision = activation_.evaluate(probs);
+    const bool last = (s + 1 == stages_.size());
+    if (decision.terminate || last) {
+      result.label = decision.label;
+      result.exit_stage = s;
+      result.confidence = decision.confidence;
+      result.probabilities = probs;
+      return result;
+    }
+  }
+  throw std::logic_error("ScalableCascade: unreachable");
+}
+
+OpCount ScalableCascade::exit_ops(std::size_t stage) const {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ScalableCascade::exit_ops: stage " +
+                            std::to_string(stage));
+  }
+  OpCount ops;
+  for (std::size_t s = 0; s <= stage; ++s) {
+    ops += stages_[s].forward_ops(input_shape_);
+    ops += softmax_ops(num_classes_);
+    ops += activation_.decision_ops(num_classes_);
+  }
+  return ops;
+}
+
+OpCount ScalableCascade::worst_case_ops() const {
+  return exit_ops(stages_.size() - 1);
+}
+
+ScalableTrainReport train_scalable_cascade(ScalableCascade& cascade,
+                                           const Dataset& train,
+                                           const ScalableTrainConfig& config,
+                                           Rng& rng) {
+  if (cascade.num_stages() == 0) {
+    throw std::invalid_argument("train_scalable_cascade: no stages");
+  }
+  if (train.empty()) {
+    throw std::invalid_argument("train_scalable_cascade: empty dataset");
+  }
+  if (config.epochs_per_stage.empty()) {
+    throw std::invalid_argument("train_scalable_cascade: no epoch schedule");
+  }
+
+  ScalableTrainReport report;
+  const ActivationModule gate(config.train_delta,
+                              cascade.activation_module().policy());
+  SoftmaxCrossEntropyLoss loss_fn;
+
+  // Instances still flowing; stage k trains on what earlier stages passed.
+  std::vector<std::size_t> flowing(train.size());
+  std::iota(flowing.begin(), flowing.end(), std::size_t{0});
+
+  for (std::size_t s = 0; s < cascade.num_stages(); ++s) {
+    report.reached.push_back(flowing.size());
+    Network& net = cascade.stage(s);
+    const std::size_t epochs =
+        s < config.epochs_per_stage.size() ? config.epochs_per_stage[s]
+                                           : config.epochs_per_stage.back();
+
+    SgdOptimizer opt({.learning_rate = config.learning_rate,
+                      .momentum = config.momentum,
+                      .lr_decay = config.lr_decay});
+    std::vector<std::size_t> order = flowing;
+    for (std::size_t epoch = 0; epoch < epochs && !order.empty(); ++epoch) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.index(i)]);
+      }
+      for (std::size_t idx : order) {
+        const Tensor logits = net.forward(train.image(idx));
+        net.backward(loss_fn.grad(logits, train.label(idx)));
+        opt.step(net);
+      }
+      opt.end_epoch();
+    }
+
+    // Route: keep only the instances this stage is not confident about.
+    std::size_t classified = 0;
+    std::vector<std::size_t> next;
+    next.reserve(flowing.size());
+    for (std::size_t idx : flowing) {
+      const Tensor probs = softmax(net.forward(train.image(idx)));
+      if (gate.evaluate(probs).terminate) {
+        ++classified;
+      } else {
+        next.push_back(idx);
+      }
+    }
+    report.classified.push_back(classified);
+    flowing = std::move(next);
+  }
+  return report;
+}
+
+}  // namespace cdl

@@ -1,0 +1,84 @@
+// ScalableCascade: the paper's cited predecessor as a comparison baseline.
+//
+// Venkataramani et al., "Scalable-effort classifiers for energy-efficient
+// machine learning" (DAC 2015) — the paper's reference [1] — chains
+// *independent* classifiers of increasing complexity, each consuming the raw
+// input and passing low-confidence instances to the next, more accurate
+// model. CDL's improvement over this scheme is feature sharing: its stages
+// tap the baseline's convolutional features instead of re-processing the
+// input from scratch. Implementing the predecessor makes that delta
+// measurable (bench/baseline_scalable_effort).
+#pragma once
+
+#include <vector>
+
+#include "cdl/activation_module.h"
+#include "cdl/conditional_network.h"  // reuses ClassificationResult
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+class ScalableCascade {
+ public:
+  /// `input_shape` is shared by every stage; each stage must map it to a
+  /// rank-1 score vector over the same classes.
+  explicit ScalableCascade(Shape input_shape);
+
+  ScalableCascade(ScalableCascade&&) = default;
+  ScalableCascade& operator=(ScalableCascade&&) = default;
+
+  /// Appends a stage model (typically ordered cheapest to most accurate).
+  /// Returns the stage index. Throws if the stage's output shape disagrees
+  /// with previously added stages.
+  std::size_t add_stage(Network stage);
+
+  [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
+  [[nodiscard]] Network& stage(std::size_t i);
+  [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+
+  [[nodiscard]] ActivationModule& activation_module() { return activation_; }
+  void set_delta(float delta) { activation_.set_delta(delta); }
+
+  /// Cascaded inference: stages run in order; the first stage whose softmax
+  /// confidence clears the activation rule terminates. The final stage
+  /// always terminates. exit_stage indexes the deciding stage.
+  [[nodiscard]] ClassificationResult classify(const Tensor& input);
+
+  /// Cost of running stages 0..stage inclusive (every earlier stage's full
+  /// forward pass is paid — nothing is shared).
+  [[nodiscard]] OpCount exit_ops(std::size_t stage) const;
+  [[nodiscard]] OpCount worst_case_ops() const;
+
+ private:
+  Shape input_shape_;
+  std::size_t num_classes_ = 0;
+  std::vector<Network> stages_;
+  ActivationModule activation_;
+};
+
+struct ScalableTrainConfig {
+  /// Epoch counts per stage, cheap stages first; padded with the last value
+  /// if fewer entries than stages.
+  std::vector<std::size_t> epochs_per_stage = {8};
+  float learning_rate = 0.1F;
+  float momentum = 0.5F;
+  float lr_decay = 0.9F;
+  /// Confidence level used to route training instances between stages.
+  float train_delta = 0.6F;
+};
+
+struct ScalableTrainReport {
+  std::vector<std::size_t> reached;      ///< instances reaching each stage
+  std::vector<std::size_t> classified;   ///< instances terminating there
+};
+
+/// Trains each stage on the instances the previous stages passed on (the
+/// same instance-routing discipline as Algorithm 1).
+ScalableTrainReport train_scalable_cascade(ScalableCascade& cascade,
+                                           const Dataset& train,
+                                           const ScalableTrainConfig& config,
+                                           Rng& rng);
+
+}  // namespace cdl

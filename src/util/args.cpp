@@ -1,0 +1,107 @@
+#include "util/args.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& description) {
+  options_[name] = Option{default_value, default_value, description};
+}
+
+void ArgParser::add_flag(const std::string& name,
+                         const std::string& description) {
+  flags_declared_.insert(name);
+  flag_descriptions_[name] = description;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    if (flags_declared_.contains(name)) {
+      if (has_inline) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      flags_set_.insert(name);
+      continue;
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown argument: --" + name);
+    }
+    if (has_inline) {
+      it->second.value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + name);
+      }
+      it->second.value = argv[++i];
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::invalid_argument("undeclared option: --" + name);
+  }
+  return it->second.value;
+}
+
+std::size_t ArgParser::get_size(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const unsigned long long parsed = std::stoull(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + v);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double parsed = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("--" + name + ": not a number: " + v);
+  }
+  return parsed;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  if (!flags_declared_.contains(name)) {
+    throw std::invalid_argument("undeclared flag: --" + name);
+  }
+  return flags_set_.contains(name);
+}
+
+std::string ArgParser::help(const std::string& program) const {
+  std::string out = "usage: " + program + " [options]\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name + " <value>   " + opt.description + " (default: " +
+           opt.default_value + ")\n";
+  }
+  for (const std::string& name : flags_declared_) {
+    out += "  --" + name + "   " + flag_descriptions_.at(name) + "\n";
+  }
+  out += "  --help   show this message\n";
+  return out;
+}
+
+}  // namespace cdl

@@ -1,0 +1,47 @@
+// ArgParser: minimal --flag/--key value command-line parser for the tools/
+// binaries. No external dependencies; unknown arguments are an error so
+// typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cdl {
+
+class ArgParser {
+ public:
+  /// Declares an option with a default; shown by help(). Call before parse().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& description);
+  /// Declares a boolean flag (present -> true).
+  void add_flag(const std::string& name, const std::string& description);
+
+  /// Parses argv; throws std::invalid_argument on unknown or malformed
+  /// arguments. `--help` sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string help(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string description;
+  };
+  std::map<std::string, Option> options_;
+  std::set<std::string> flags_declared_;
+  std::set<std::string> flags_set_;
+  std::map<std::string, std::string> flag_descriptions_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cdl

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cdl/architectures.h"
+#include "core/rng.h"
+#include "energy/energy_model.h"
+#include "hw/accelerator_model.h"
+
+namespace cdl {
+namespace {
+
+TEST(AcceleratorModel, RejectsBadConfig) {
+  AcceleratorConfig c;
+  c.num_macs = 0;
+  EXPECT_THROW(AcceleratorModel{c}, std::invalid_argument);
+  c = {};
+  c.bytes_per_cycle = 0;
+  EXPECT_THROW(AcceleratorModel{c}, std::invalid_argument);
+  c = {};
+  c.frequency_mhz = 0.0;
+  EXPECT_THROW(AcceleratorModel{c}, std::invalid_argument);
+}
+
+TEST(AcceleratorModel, ZeroOpsZeroLatency) {
+  const AcceleratorModel model;
+  const LatencyEstimate est = model.latency(OpCount{});
+  EXPECT_EQ(est.cycles, 0U);
+  EXPECT_EQ(est.microseconds, 0.0);
+}
+
+TEST(AcceleratorModel, MacCyclesDividedAcrossUnits) {
+  AcceleratorConfig c;
+  c.num_macs = 8;
+  c.bytes_per_cycle = 1U << 20;  // memory effectively free
+  const AcceleratorModel model(c);
+  OpCount ops;
+  ops.macs = 80;
+  EXPECT_EQ(model.latency(ops).compute_cycles, 10U);
+  ops.macs = 81;  // ceil
+  EXPECT_EQ(model.latency(ops).compute_cycles, 11U);
+}
+
+TEST(AcceleratorModel, RooflineTakesTheMax) {
+  AcceleratorConfig c;
+  c.num_macs = 1000;
+  c.bytes_per_cycle = 4;  // 1 word per cycle
+  const AcceleratorModel model(c);
+  OpCount ops;
+  ops.macs = 10;        // 1 compute cycle
+  ops.mem_reads = 100;  // 100 memory cycles
+  const LatencyEstimate est = model.latency(ops);
+  EXPECT_TRUE(est.memory_bound());
+  EXPECT_EQ(est.cycles, est.memory_cycles);
+  EXPECT_EQ(est.cycles, 100U);
+}
+
+TEST(AcceleratorModel, MicrosecondsScaleWithFrequency) {
+  AcceleratorConfig slow;
+  slow.frequency_mhz = 100.0;
+  AcceleratorConfig fast = slow;
+  fast.frequency_mhz = 1000.0;
+  OpCount ops;
+  ops.macs = 10000;
+  const double t_slow = AcceleratorModel(slow).latency(ops).microseconds;
+  const double t_fast = AcceleratorModel(fast).latency(ops).microseconds;
+  EXPECT_NEAR(t_slow / t_fast, 10.0, 1e-9);
+}
+
+TEST(AcceleratorModel, MoreMacsNeverSlower) {
+  OpCount ops;
+  ops.macs = 12345;
+  ops.adds = 678;
+  ops.mem_reads = 2000;
+  std::uint64_t prev = UINT64_MAX;
+  for (std::size_t macs : {1U, 4U, 16U, 64U}) {
+    AcceleratorConfig c;
+    c.num_macs = macs;
+    const std::uint64_t cycles = AcceleratorModel(c).latency(ops).cycles;
+    EXPECT_LE(cycles, prev);
+    prev = cycles;
+  }
+}
+
+TEST(AcceleratorModel, ExitLatencyIncreasesWithStageDepth) {
+  Rng rng(3);
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  const AcceleratorModel model;
+  std::uint64_t prev = 0;
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    const LatencyEstimate est = model.exit_latency(net, s);
+    EXPECT_GT(est.cycles, prev);
+    prev = est.cycles;
+  }
+}
+
+TEST(AcceleratorModel, NetworkProfileLatencyIsSumOfLayers) {
+  const Network net = make_mnist_2c_baseline();
+  const EnergyModel energy;
+  const NetworkProfile profile =
+      profile_network(net, Shape{1, 28, 28}, energy);
+  const AcceleratorModel model;
+  std::uint64_t sum = 0;
+  for (const LayerProfile& l : profile.layers) {
+    sum += model.latency(l.ops).cycles;
+  }
+  EXPECT_EQ(model.latency(profile).cycles, sum);
+}
+
+}  // namespace
+}  // namespace cdl

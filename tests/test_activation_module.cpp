@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cdl/activation_module.h"
+
+namespace cdl {
+namespace {
+
+Tensor probs(std::vector<float> v) {
+  const std::size_t n = v.size();
+  return Tensor(Shape{n}, std::move(v));
+}
+
+TEST(ActivationModule, RejectsNegativeDelta) {
+  EXPECT_THROW(ActivationModule(-0.1F), std::invalid_argument);
+  ActivationModule m(0.5F);
+  EXPECT_THROW(m.set_delta(-1.0F), std::invalid_argument);
+}
+
+TEST(ActivationModule, EmptyProbabilitiesThrow) {
+  const ActivationModule m(0.5F);
+  EXPECT_THROW((void)m.evaluate(Tensor{}), std::invalid_argument);
+}
+
+TEST(ActivationModule, TerminatesWithExactlyOneConfidentLabel) {
+  const ActivationModule m(0.5F);
+  const ActivationDecision d = m.evaluate(probs({0.9F, 0.1F, 0.2F}));
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.label, 0U);
+  EXPECT_FLOAT_EQ(d.confidence, 0.9F);
+}
+
+TEST(ActivationModule, PassesWhenNoLabelConfident) {
+  const ActivationModule m(0.5F);
+  const ActivationDecision d = m.evaluate(probs({0.4F, 0.3F, 0.3F}));
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.label, 0U);  // argmax still reported
+}
+
+TEST(ActivationModule, PassesWhenMultipleLabelsConfident) {
+  // The paper's ambiguity rule: two labels above delta -> hard input.
+  const ActivationModule m(0.5F);
+  const ActivationDecision d = m.evaluate(probs({0.8F, 0.7F, 0.0F}));
+  EXPECT_FALSE(d.terminate);
+}
+
+TEST(ActivationModule, DeltaZeroAlwaysAmbiguousForMultiClass) {
+  // Every class >= 0, so more than one label qualifies and nothing exits.
+  const ActivationModule m(0.0F);
+  EXPECT_FALSE(m.evaluate(probs({0.9F, 0.05F, 0.05F})).terminate);
+}
+
+TEST(ActivationModule, HighDeltaNeverTerminates) {
+  const ActivationModule m(1.01F);
+  EXPECT_FALSE(m.evaluate(probs({1.0F, 0.0F})).terminate);
+}
+
+TEST(ActivationModule, BoundaryDeltaEqualsProbabilityTerminates) {
+  const ActivationModule m(0.7F);
+  EXPECT_TRUE(m.evaluate(probs({0.7F, 0.1F})).terminate);
+}
+
+TEST(ActivationModule, MarginPolicyUsesTopTwoGap) {
+  const ActivationModule m(0.3F, ConfidencePolicy::kMargin);
+  EXPECT_TRUE(m.evaluate(probs({0.6F, 0.2F, 0.2F})).terminate);   // margin 0.4
+  EXPECT_FALSE(m.evaluate(probs({0.45F, 0.35F, 0.2F})).terminate); // margin 0.1
+}
+
+TEST(ActivationModule, EntropyPolicyTerminatesOnSharpDistributions) {
+  const ActivationModule m(0.5F, ConfidencePolicy::kEntropy);
+  EXPECT_TRUE(m.evaluate(probs({0.97F, 0.01F, 0.01F, 0.01F})).terminate);
+  EXPECT_FALSE(m.evaluate(probs({0.25F, 0.25F, 0.25F, 0.25F})).terminate);
+}
+
+TEST(ActivationModule, LabelIsArgmaxUnderEveryPolicy) {
+  for (auto policy : {ConfidencePolicy::kMaxProbability,
+                      ConfidencePolicy::kMargin, ConfidencePolicy::kEntropy}) {
+    const ActivationModule m(0.5F, policy);
+    EXPECT_EQ(m.evaluate(probs({0.1F, 0.2F, 0.65F, 0.05F})).label, 2U);
+  }
+}
+
+TEST(ActivationModule, DecisionOpsNonZeroForAllPolicies) {
+  for (auto policy : {ConfidencePolicy::kMaxProbability,
+                      ConfidencePolicy::kMargin, ConfidencePolicy::kEntropy}) {
+    const ActivationModule m(0.5F, policy);
+    EXPECT_GT(m.decision_ops(10).total_compute(), 0U);
+    EXPECT_GT(m.decision_ops(10).mem_reads, 0U);
+  }
+}
+
+TEST(ActivationModule, PolicyNames) {
+  EXPECT_EQ(to_string(ConfidencePolicy::kMaxProbability), "max_probability");
+  EXPECT_EQ(to_string(ConfidencePolicy::kMargin), "margin");
+  EXPECT_EQ(to_string(ConfidencePolicy::kEntropy), "entropy");
+}
+
+class DeltaMonotonicitySweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DeltaMonotonicitySweep, UnambiguousDistributionTerminatesIffMaxAboveDelta) {
+  const float delta = GetParam();
+  const ActivationModule m(delta);
+  // One dominant class, all others far below any sensible delta.
+  const Tensor p = probs({0.65F, 0.05F, 0.05F, 0.05F});
+  EXPECT_EQ(m.evaluate(p).terminate, 0.65F >= delta && delta > 0.05F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaMonotonicitySweep,
+                         ::testing::Values(0.2F, 0.4F, 0.6F, 0.66F, 0.8F));
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,90 @@
+// Verifies the encoded architectures against the paper's Tables I and II.
+#include <gtest/gtest.h>
+
+#include "cdl/architectures.h"
+#include "core/rng.h"
+
+namespace cdl {
+namespace {
+
+TEST(Architectures, Mnist2cLayerSizesMatchTableOne) {
+  const Network net = make_mnist_2c_baseline();
+  const Shape in{1, 28, 28};
+  // I -> C1 -> P1 -> C2 -> P2 -> FC with the paper's map counts and extents.
+  EXPECT_EQ(net.output_shape_after(in, 1), (Shape{6, 24, 24}));   // C1
+  EXPECT_EQ(net.output_shape_after(in, 3), (Shape{6, 12, 12}));   // P1
+  EXPECT_EQ(net.output_shape_after(in, 4), (Shape{12, 8, 8}));    // C2
+  EXPECT_EQ(net.output_shape_after(in, 6), (Shape{12, 4, 4}));    // P2
+  EXPECT_EQ(net.output_shape(in), Shape{10});                     // FC
+}
+
+TEST(Architectures, Mnist3cLayerSizesMatchTableTwo) {
+  const Network net = make_mnist_3c_baseline();
+  const Shape in{1, 28, 28};
+  EXPECT_EQ(net.output_shape_after(in, 1), (Shape{3, 26, 26}));   // C1
+  EXPECT_EQ(net.output_shape_after(in, 3), (Shape{3, 13, 13}));   // P1
+  EXPECT_EQ(net.output_shape_after(in, 4), (Shape{6, 10, 10}));   // C2
+  EXPECT_EQ(net.output_shape_after(in, 6), (Shape{6, 5, 5}));     // P2
+  EXPECT_EQ(net.output_shape_after(in, 7), (Shape{9, 3, 3}));     // C3
+  EXPECT_EQ(net.output_shape_after(in, 9), (Shape{9, 3, 3}));     // P3 keeps 3x3
+  EXPECT_EQ(net.output_shape(in), Shape{10});                     // FC
+}
+
+TEST(Architectures, DescriptorsConsistentWithBaselines) {
+  for (const CdlArchitecture& arch : paper_architectures()) {
+    Network net = arch.make_baseline();
+    EXPECT_EQ(net.output_shape(arch.input_shape), Shape{10}) << arch.name;
+    // Every attach point must be a valid strict prefix.
+    for (std::size_t prefix : arch.candidate_stages) {
+      EXPECT_GT(prefix, 0U);
+      EXPECT_LT(prefix, net.size());
+      EXPECT_NO_THROW((void)net.output_shape_after(arch.input_shape, prefix));
+    }
+    // Defaults are a prefix-subset of candidates.
+    for (std::size_t i = 0; i < arch.default_stages.size(); ++i) {
+      EXPECT_EQ(arch.default_stages[i], arch.candidate_stages[i]);
+    }
+  }
+}
+
+TEST(Architectures, AttachPointsSitAfterPoolingLayers) {
+  const CdlArchitecture arch3 = mnist_3c();
+  Network net = arch3.make_baseline();
+  // O1 attaches on the P1 feature map (paper: "the learnt feature vectors
+  // from the pooling layers are used as training inputs").
+  EXPECT_EQ(net.output_shape_after(arch3.input_shape, arch3.default_stages[0])
+                .numel(),
+            3U * 13 * 13);  // 507
+  EXPECT_EQ(net.output_shape_after(arch3.input_shape, arch3.default_stages[1])
+                .numel(),
+            6U * 5 * 5);    // 150
+}
+
+TEST(Architectures, TwoCIsCostlierThanThreeC) {
+  // The paper attributes MNIST_3C's higher benefit partly to MNIST_2C being
+  // the larger network; verify our op model agrees.
+  const Network net2 = make_mnist_2c_baseline();
+  const Network net3 = make_mnist_3c_baseline();
+  EXPECT_GT(net2.forward_ops(Shape{1, 28, 28}).total_compute(),
+            net3.forward_ops(Shape{1, 28, 28}).total_compute());
+}
+
+TEST(Architectures, FreshBaselinesAreIndependentInstances) {
+  const CdlArchitecture arch = mnist_2c();
+  Network a = arch.make_baseline();
+  Network b = arch.make_baseline();
+  Rng rng(3);
+  a.init(rng);
+  // b untouched: parameters must not alias a's.
+  EXPECT_NE(*a.parameters()[0], *b.parameters()[0]);
+}
+
+TEST(Architectures, PaperArchitectureNamesAndOrder) {
+  const auto archs = paper_architectures();
+  ASSERT_EQ(archs.size(), 2U);
+  EXPECT_EQ(archs[0].name, "MNIST_2C");
+  EXPECT_EQ(archs[1].name, "MNIST_3C");
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace cdl {
+namespace {
+
+ArgParser standard_parser() {
+  ArgParser p;
+  p.add_option("name", "default", "a string");
+  p.add_option("count", "5", "an integer");
+  p.add_option("rate", "0.5", "a double");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+void parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArguments) {
+  ArgParser p = standard_parser();
+  parse(p, {});
+  EXPECT_EQ(p.get("name"), "default");
+  EXPECT_EQ(p.get_size("count"), 5U);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_FALSE(p.help_requested());
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = standard_parser();
+  parse(p, {"--name", "hello", "--count", "42"});
+  EXPECT_EQ(p.get("name"), "hello");
+  EXPECT_EQ(p.get_size("count"), 42U);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p = standard_parser();
+  parse(p, {"--rate=0.25", "--name=x"});
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.25);
+  EXPECT_EQ(p.get("name"), "x");
+}
+
+TEST(ArgParser, FlagsAreBoolean) {
+  ArgParser p = standard_parser();
+  parse(p, {"--verbose"});
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, FlagWithValueRejected) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"--verbose=true"}), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownArgumentRejected) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"--nope", "1"}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentRejected) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"stray"}), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueRejected) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"--name"}), std::invalid_argument);
+}
+
+TEST(ArgParser, MalformedNumbersRejected) {
+  ArgParser p = standard_parser();
+  parse(p, {"--count", "12x", "--rate", "abc"});
+  EXPECT_THROW((void)p.get_size("count"), std::invalid_argument);
+  EXPECT_THROW((void)p.get_double("rate"), std::invalid_argument);
+}
+
+TEST(ArgParser, UndeclaredAccessRejected) {
+  ArgParser p = standard_parser();
+  parse(p, {});
+  EXPECT_THROW((void)p.get("missing"), std::invalid_argument);
+  EXPECT_THROW((void)p.get_flag("missing"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpRequested) {
+  ArgParser p = standard_parser();
+  parse(p, {"--help"});
+  EXPECT_TRUE(p.help_requested());
+  const std::string h = p.help("prog");
+  EXPECT_NE(h.find("--name"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("a string"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

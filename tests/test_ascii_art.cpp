@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+#include "eval/ascii_art.h"
+
+namespace cdl {
+namespace {
+
+TEST(AsciiArt, RequiresSingleChannelImage) {
+  EXPECT_THROW((void)render_ascii(Tensor(Shape{2, 4, 4})), std::invalid_argument);
+  EXPECT_THROW((void)render_ascii(Tensor(Shape{4, 4})), std::invalid_argument);
+}
+
+TEST(AsciiArt, DimensionsMatchImage) {
+  const std::string s = render_ascii(Tensor(Shape{1, 3, 5}));
+  // 3 lines of 5 glyphs + newline each.
+  EXPECT_EQ(s.size(), 3U * 6);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(AsciiArt, ZeroIsBlankOneIsSolid) {
+  Tensor img(Shape{1, 1, 2});
+  img[0] = 0.0F;
+  img[1] = 1.0F;
+  const std::string s = render_ascii(img);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[1], '@');
+}
+
+TEST(AsciiArt, OutOfRangeValuesClamped) {
+  Tensor img(Shape{1, 1, 2});
+  img[0] = -5.0F;
+  img[1] = 42.0F;
+  const std::string s = render_ascii(img);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[1], '@');
+}
+
+TEST(AsciiArt, IntermediateDensityMonotone) {
+  Tensor img(Shape{1, 1, 3});
+  img[0] = 0.1F;
+  img[1] = 0.5F;
+  img[2] = 0.9F;
+  const std::string ramp = " .:-=+*#%@";
+  const std::string s = render_ascii(img);
+  EXPECT_LT(ramp.find(s[0]), ramp.find(s[1]));
+  EXPECT_LT(ramp.find(s[1]), ramp.find(s[2]));
+}
+
+TEST(AsciiArt, RowLayoutPlacesImagesSideBySide) {
+  const Tensor a(Shape{1, 2, 3}, 1.0F);
+  const Tensor b(Shape{1, 2, 2}, 0.0F);
+  const std::string s = render_ascii_row({a, b}, {"left", "rt"}, 2);
+  std::istringstream is(s);
+  std::string caption_line;
+  std::getline(is, caption_line);
+  EXPECT_EQ(caption_line, "lef  rt");  // captions truncated/padded to width
+  std::string row;
+  std::getline(is, row);
+  EXPECT_EQ(row, "@@@    ");
+}
+
+TEST(AsciiArt, RowValidatesCaptionCount) {
+  const Tensor a(Shape{1, 2, 2});
+  EXPECT_THROW((void)render_ascii_row({a}, {"x", "y"}), std::invalid_argument);
+}
+
+TEST(AsciiArt, EmptyRowGivesEmptyString) {
+  EXPECT_EQ(render_ascii_row({}, {}), "");
+}
+
+TEST(AsciiArt, SyntheticDigitHasInkGlyphs) {
+  const SyntheticMnist gen;
+  const std::string s = render_ascii(gen.render(8, 0));
+  // A rendered digit must contain both blanks and dense glyphs.
+  EXPECT_NE(s.find(' '), std::string::npos);
+  EXPECT_TRUE(s.find('@') != std::string::npos ||
+              s.find('%') != std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

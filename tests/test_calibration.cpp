@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cdl/calibration.h"
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace cdl {
+namespace {
+
+ConditionalNetwork tiny_cdln(Rng& rng) {
+  Network base;
+  base.emplace<Dense>(3, 5);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(5, 2);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{3});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  return net;
+}
+
+Dataset blob_data(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % 2;
+    Tensor x(Shape{3});
+    x[0] = (cls == 0 ? 0.2F : 0.8F) + rng.uniform(-0.1F, 0.1F);
+    x[1] = (cls == 0 ? 0.8F : 0.2F) + rng.uniform(-0.1F, 0.1F);
+    x[2] = 0.5F;
+    d.add(std::move(x), cls);
+  }
+  return d;
+}
+
+TEST(Calibration, RejectsBadInputs) {
+  Rng rng(1);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset data = blob_data(4, rng);
+  EXPECT_THROW((void)measure_calibration(net, Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)measure_calibration(net, data, 0), std::invalid_argument);
+  EXPECT_THROW((void)baseline_nll(net, data, 0.0F), std::invalid_argument);
+  EXPECT_THROW((void)fit_temperature(net, data, 2.0F, 1.0F),
+               std::invalid_argument);
+}
+
+TEST(Calibration, PerfectConfidentClassifierHasZeroEce) {
+  // Stage classifier rigged to answer class 0 with confidence 1.0 on a
+  // dataset that is entirely class 0 -> every bin matches perfectly.
+  Rng rng(2);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.5F);
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[0] = 1.0F;
+
+  Dataset data;
+  for (int i = 0; i < 20; ++i) data.add(Tensor(Shape{3}, 0.5F), 0);
+  const CalibrationReport report = measure_calibration(net, data);
+  EXPECT_NEAR(report.ece, 0.0, 1e-6);
+  EXPECT_NEAR(report.accuracy, 1.0, 1e-12);
+  EXPECT_NEAR(report.mean_confidence, 1.0, 1e-6);
+}
+
+TEST(Calibration, ConfidentlyWrongClassifierHasHighEce) {
+  Rng rng(3);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.5F);
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[0] = 1.0F;  // always predicts class 0
+
+  Dataset data;
+  for (int i = 0; i < 20; ++i) data.add(Tensor(Shape{3}, 0.5F), 1);  // truth: 1
+  const CalibrationReport report = measure_calibration(net, data);
+  EXPECT_GT(report.ece, 0.9);
+  EXPECT_EQ(report.accuracy, 0.0);
+}
+
+TEST(Calibration, BinsPartitionAllSamples) {
+  Rng rng(4);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.5F);
+  const Dataset data = blob_data(50, rng);
+  const CalibrationReport report = measure_calibration(net, data, 7);
+  std::size_t total = 0;
+  for (const CalibrationBin& b : report.bins) total += b.count;
+  EXPECT_EQ(total, 50U);
+  EXPECT_EQ(report.bins.size(), 7U);
+}
+
+TEST(Calibration, NllFiniteAndTemperatureSensitive) {
+  Rng rng(5);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset data = blob_data(30, rng);
+  const double nll1 = baseline_nll(net, data, 1.0F);
+  const double nll_hot = baseline_nll(net, data, 100.0F);
+  EXPECT_TRUE(std::isfinite(nll1));
+  // At very high temperature the distribution is uniform: NLL -> log(2).
+  EXPECT_NEAR(nll_hot, std::log(2.0), 1e-3);
+}
+
+TEST(Calibration, FitTemperatureFindsNllMinimum) {
+  Rng rng(6);
+  ConditionalNetwork net = tiny_cdln(rng);
+  // Train the baseline a little so logits carry signal.
+  const Dataset train = blob_data(200, rng);
+  SgdOptimizer opt({.learning_rate = 0.1F, .momentum = 0.3F});
+  SoftmaxCrossEntropyLoss loss;
+  for (int e = 0; e < 30; ++e) {
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const Tensor out = net.baseline().forward(train.image(i));
+      net.baseline().backward(loss.grad(out, train.label(i)));
+      opt.step(net.baseline());
+    }
+  }
+  const Dataset val = blob_data(80, rng);
+  const float t = fit_temperature(net, val);
+  EXPECT_GT(t, 0.25F);
+  EXPECT_LT(t, 8.0F);
+  // The fitted temperature must not be worse than the endpoints.
+  const double fitted = baseline_nll(net, val, t);
+  EXPECT_LE(fitted, baseline_nll(net, val, 0.3F) + 1e-6);
+  EXPECT_LE(fitted, baseline_nll(net, val, 7.5F) + 1e-6);
+}
+
+}  // namespace
+}  // namespace cdl

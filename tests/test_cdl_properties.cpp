@@ -1,0 +1,138 @@
+// Property-style sweeps of CDLN invariants across both paper architectures
+// and the delta grid. These complement test_integration (single trained
+// pipeline) by checking structural properties that must hold for ANY
+// weights, trained or not.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cdl/architectures.h"
+#include "cdl/conditional_network.h"
+#include "data/synthetic_mnist.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+
+namespace cdl {
+namespace {
+
+ConditionalNetwork make_cdln(const CdlArchitecture& arch, std::uint64_t seed) {
+  Rng rng(seed);
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  return net;
+}
+
+Dataset small_data(std::size_t n) {
+  SyntheticMnistConfig config;
+  config.seed = 3;
+  return SyntheticMnist(config).generate(n);
+}
+
+using ArchCase = std::tuple<std::size_t /*arch idx*/, float /*delta*/>;
+
+class CdlnPropertySweep : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(CdlnPropertySweep, EvaluationBookkeepingConsistent) {
+  const auto [arch_idx, delta] = GetParam();
+  const CdlArchitecture arch = paper_architectures()[arch_idx];
+  ConditionalNetwork net = make_cdln(arch, 17 + arch_idx);
+  net.set_delta(delta);
+  const Dataset data = small_data(80);
+  const EnergyModel energy;
+  const Evaluation eval = evaluate_cdl(net, data, energy);
+
+  // Exit counts partition the dataset; correct counts never exceed them.
+  std::size_t exits = 0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < eval.exit_counts.size(); ++s) {
+    exits += eval.exit_counts[s];
+    correct += eval.exit_correct[s];
+    EXPECT_LE(eval.exit_correct[s], eval.exit_counts[s]);
+    EXPECT_GE(eval.stage_accuracy(s), 0.0);
+    EXPECT_LE(eval.stage_accuracy(s), 1.0);
+  }
+  EXPECT_EQ(exits, data.size());
+  EXPECT_EQ(correct, eval.correct);
+
+  // Error shares sum to the overall error rate.
+  double error_share = 0.0;
+  for (std::size_t s = 0; s < eval.exit_counts.size(); ++s) {
+    error_share += eval.stage_error_share(s);
+  }
+  EXPECT_NEAR(error_share, 1.0 - eval.accuracy(), 1e-12);
+
+  // Average ops equal the exit-distribution expectation exactly.
+  double expected_ops = 0.0;
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    expected_ops += static_cast<double>(eval.exit_counts[s]) *
+                    static_cast<double>(net.exit_ops(s).total_compute());
+  }
+  EXPECT_NEAR(eval.avg_ops(),
+              expected_ops / static_cast<double>(eval.total), 1e-9);
+
+  // Per-input cost is bracketed by the cheapest and the worst-case exit.
+  EXPECT_GE(eval.avg_ops(),
+            static_cast<double>(net.exit_ops(0).total_compute()) - 1e-9);
+  EXPECT_LE(eval.avg_ops(),
+            static_cast<double>(net.worst_case_ops().total_compute()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchsAndDeltas, CdlnPropertySweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.2F, 0.5F, 0.8F, 2.0F)));
+
+class ArchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArchSweep, OpsCacheMatchesFreshComputation) {
+  // The cached exit-cost tables must equal a from-scratch profile walk.
+  const CdlArchitecture arch = paper_architectures()[GetParam()];
+  ConditionalNetwork net = make_cdln(arch, 23);
+  const std::vector<OpCount> per_layer =
+      net.baseline().layer_ops(arch.input_shape);
+
+  OpCount running;
+  std::size_t layer = 0;
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    for (; layer < net.stage_prefix(s); ++layer) running += per_layer[layer];
+    OpCount expected = running;
+    expected += net.classifier(s).forward_ops();
+    expected += net.activation_module().decision_ops(10);
+    // exit_ops(s) additionally includes earlier stages' classifier costs.
+    OpCount cumulative = expected;
+    for (std::size_t e = 0; e < s; ++e) {
+      cumulative += net.classifier(e).forward_ops();
+      cumulative += net.activation_module().decision_ops(10);
+    }
+    EXPECT_EQ(net.exit_ops(s), cumulative) << "stage " << s;
+  }
+}
+
+TEST_P(ArchSweep, AttachDetachKeepsOpsTablesCoherent) {
+  const CdlArchitecture arch = paper_architectures()[GetParam()];
+  ConditionalNetwork net = make_cdln(arch, 29);
+  const OpCount before = net.worst_case_ops();
+
+  // Detaching every stage leaves only baseline + softmax + argmax.
+  while (net.num_stages() > 0) net.detach_classifier(0);
+  const OpCount bare = net.worst_case_ops();
+  EXPECT_LT(bare.total_compute(), before.total_compute());
+  EXPECT_GT(bare.total_compute(),
+            net.baseline_forward_ops().total_compute());
+
+  // Re-attaching restores the original cost table.
+  Rng rng(31);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  EXPECT_EQ(net.worst_case_ops(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, ArchSweep, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace cdl

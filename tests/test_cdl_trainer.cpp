@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "cdl/architectures.h"
+#include "cdl/cdl_trainer.h"
+#include "data/synthetic_mnist.h"
+
+namespace cdl {
+namespace {
+
+/// Small synthetic workload shared by the trainer tests (kept tiny so the
+/// whole file runs in seconds).
+struct Workload {
+  Workload() {
+    SyntheticMnistConfig config;
+    config.seed = 5;
+    const SyntheticMnist gen(config);
+    train = gen.generate(600);
+    test = gen.generate(200, 1ULL << 20);
+  }
+  Dataset train;
+  Dataset test;
+};
+
+const Workload& workload() {
+  static const Workload w;
+  return w;
+}
+
+TEST(TrainBaseline, EmptyDatasetThrows) {
+  Network net = make_mnist_2c_baseline();
+  Rng rng(1);
+  EXPECT_THROW((void)train_baseline(net, Dataset{}, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainBaseline, LossDecreasesAndBeatsChance) {
+  Network net = make_mnist_3c_baseline();
+  Rng rng(7);
+  net.init(rng);
+  BaselineTrainConfig config;
+  // The 600-sample workload needs many sustained-lr passes to escape the
+  // initial sigmoid plateau (see DESIGN.md notes on small-set training).
+  config.epochs = 40;
+  config.sgd.lr_decay = 0.97F;
+  const float final_loss = train_baseline(net, workload().train, config, rng);
+  EXPECT_LT(final_loss, 1.0F);  // well below ln(10) ~ 2.3
+
+  std::size_t correct = 0;
+  const Dataset& test = workload().test;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (net.forward(test.image(i)).argmax() == test.label(i)) ++correct;
+  }
+  EXPECT_GT(correct, test.size() / 2);
+}
+
+ConditionalNetwork trained_small_cdln(const CdlTrainConfig& cfg,
+                                      CdlTrainReport* report,
+                                      std::size_t extra_stage = 0) {
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  Rng rng(11);
+  base.init(rng);
+  BaselineTrainConfig bcfg;
+  bcfg.epochs = 30;
+  bcfg.sgd.lr_decay = 0.97F;  // sustained lr to escape the small-set plateau
+  (void)train_baseline(base, workload().train, bcfg, rng);
+
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  std::vector<std::size_t> stages = arch.default_stages;
+  if (extra_stage != 0) stages.push_back(extra_stage);
+  for (std::size_t prefix : stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  CdlTrainReport r = train_cdl(net, workload().train, cfg, rng);
+  if (report != nullptr) *report = std::move(r);
+  return net;
+}
+
+TEST(TrainCdl, EmptyDatasetThrows) {
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  Rng rng(2);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  CdlTrainConfig cfg;
+  EXPECT_THROW((void)train_cdl(net, Dataset{}, cfg, rng), std::invalid_argument);
+}
+
+TEST(TrainCdl, ReportCoversEveryCandidateStage) {
+  CdlTrainReport report;
+  (void)trained_small_cdln(CdlTrainConfig{}, &report);
+  ASSERT_EQ(report.stages.size(), 2U);
+  EXPECT_EQ(report.stages[0].stage_name, "O1");
+  EXPECT_EQ(report.stages[1].stage_name, "O2");
+  EXPECT_EQ(report.stages[0].prefix_layers, 3U);
+  EXPECT_EQ(report.stages[1].prefix_layers, 6U);
+}
+
+TEST(TrainCdl, InstanceFlowConserved) {
+  CdlTrainReport report;
+  (void)trained_small_cdln(CdlTrainConfig{}, &report);
+  // Every instance reaches stage 1; later stages see exactly the leftovers.
+  EXPECT_EQ(report.stages[0].reached, workload().train.size());
+  ASSERT_TRUE(report.stages[0].admitted);
+  EXPECT_EQ(report.stages[1].reached,
+            report.stages[0].reached - report.stages[0].classified);
+  const double expected_fc =
+      static_cast<double>(report.stages[1].reached -
+                          (report.stages[1].admitted
+                               ? report.stages[1].classified
+                               : 0)) /
+      static_cast<double>(workload().train.size());
+  EXPECT_NEAR(report.fc_fraction, expected_fc, 1e-9);
+}
+
+TEST(TrainCdl, FirstStageAlwaysAdmitted) {
+  CdlTrainConfig cfg;
+  cfg.prune_by_gain = true;
+  cfg.epsilon_gain = 1e18;  // impossible bar for every later stage
+  CdlTrainReport report;
+  const ConditionalNetwork net = trained_small_cdln(cfg, &report);
+  EXPECT_TRUE(report.stages[0].admitted);
+  EXPECT_FALSE(report.stages[1].admitted);
+  EXPECT_EQ(net.num_stages(), 1U);
+}
+
+TEST(TrainCdl, PruningDisabledKeepsAllStages) {
+  CdlTrainConfig cfg;
+  cfg.prune_by_gain = false;
+  cfg.epsilon_gain = 1e18;
+  const ConditionalNetwork net = trained_small_cdln(cfg, nullptr);
+  EXPECT_EQ(net.num_stages(), 2U);
+}
+
+TEST(TrainCdl, GainFormulaMatchesAlgorithmOne) {
+  CdlTrainReport report;
+  ConditionalNetwork net = trained_small_cdln(CdlTrainConfig{}, &report);
+  // Recompute G_1 = (gamma_base - gamma_1) * Cl_1 - gamma_1 * (I_1 - Cl_1)
+  // from the final network's op tables (stage 0 was admitted so exit_ops(0)
+  // reflects the same cost used during training).
+  const auto& s = report.stages[0];
+  const double gamma_base =
+      static_cast<double>(net.baseline_forward_ops().total_compute());
+  const double gamma_1 = static_cast<double>(net.exit_ops(0).total_compute());
+  const double expected =
+      (gamma_base - gamma_1) * static_cast<double>(s.classified) -
+      gamma_1 * static_cast<double>(s.reached - s.classified);
+  EXPECT_NEAR(s.gain, expected, std::abs(expected) * 1e-9);
+}
+
+TEST(TrainCdl, TrainedCascadeBeatsChanceAndSavesOps) {
+  ConditionalNetwork net = trained_small_cdln(CdlTrainConfig{}, nullptr);
+  net.set_delta(0.5F);
+  const Dataset& test = workload().test;
+  std::size_t correct = 0;
+  double avg_ops = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const ClassificationResult r = net.classify(test.image(i));
+    if (r.label == test.label(i)) ++correct;
+    avg_ops += static_cast<double>(r.ops.total_compute());
+  }
+  avg_ops /= static_cast<double>(test.size());
+  EXPECT_GT(correct, test.size() * 6 / 10);
+  EXPECT_LT(avg_ops,
+            static_cast<double>(net.baseline_forward_ops().total_compute()));
+}
+
+TEST(TrainCdl, LaterStagesTrainOnFewerInstances) {
+  CdlTrainReport report;
+  (void)trained_small_cdln(CdlTrainConfig{}, &report);
+  // The paper: "the fraction of input instances passed to the next stage
+  // decreases as we go deeper" (training-set flow).
+  EXPECT_LT(report.stages[1].reached, report.stages[0].reached);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cdl/architectures.h"
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace cdl {
+namespace {
+
+ConditionalNetwork small_cdln(Rng& rng, float delta = 0.5F) {
+  Network base;
+  base.emplace<Dense>(4, 6);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(6, 3);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  net.set_delta(delta);
+  return net;
+}
+
+TEST(ConditionalNetwork, RequiresRankOneOutput) {
+  Network base;
+  base.emplace<Sigmoid>();
+  EXPECT_THROW(ConditionalNetwork(std::move(base), Shape{1, 4, 4}),
+               std::invalid_argument);
+}
+
+TEST(ConditionalNetwork, EmptyBaselineRejected) {
+  EXPECT_THROW(ConditionalNetwork(Network{}, Shape{4}), std::invalid_argument);
+}
+
+TEST(ConditionalNetwork, AttachValidatesPrefix) {
+  Rng rng(1);
+  ConditionalNetwork net = small_cdln(rng);
+  EXPECT_THROW((void)net.attach_classifier(0, LcTrainingRule::kLms, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.attach_classifier(3, LcTrainingRule::kLms, rng),
+               std::invalid_argument);  // == baseline size
+  EXPECT_THROW((void)net.attach_classifier(2, LcTrainingRule::kLms, rng),
+               std::invalid_argument);  // duplicate
+}
+
+TEST(ConditionalNetwork, StagesKeptSortedByPrefix) {
+  Rng rng(2);
+  Network base;
+  base.emplace<Dense>(4, 6);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(6, 5);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(5, 3);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(4, LcTrainingRule::kLms, rng);
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  EXPECT_EQ(net.num_stages(), 2U);
+  EXPECT_EQ(net.stage_prefix(0), 2U);
+  EXPECT_EQ(net.stage_prefix(1), 4U);
+  EXPECT_EQ(net.stage_name(0), "O1");
+  EXPECT_EQ(net.stage_name(1), "O2");
+  EXPECT_EQ(net.stage_name(2), "FC");
+}
+
+TEST(ConditionalNetwork, ClassifierFeatureSizeMatchesAttachPoint) {
+  Rng rng(3);
+  ConditionalNetwork net = small_cdln(rng);
+  EXPECT_EQ(net.classifier(0).in_features(), 6U);
+  EXPECT_EQ(net.classifier(0).num_classes(), 3U);
+}
+
+TEST(ConditionalNetwork, DetachRemovesStage) {
+  Rng rng(4);
+  ConditionalNetwork net = small_cdln(rng);
+  net.detach_classifier(0);
+  EXPECT_EQ(net.num_stages(), 0U);
+  EXPECT_THROW(net.detach_classifier(0), std::out_of_range);
+}
+
+TEST(ConditionalNetwork, ClassifyValidatesInputShape) {
+  Rng rng(5);
+  ConditionalNetwork net = small_cdln(rng);
+  EXPECT_THROW((void)net.classify(Tensor(Shape{5})), std::invalid_argument);
+}
+
+TEST(ConditionalNetwork, ImpossibleDeltaAlwaysReachesFc) {
+  Rng rng(6);
+  ConditionalNetwork net = small_cdln(rng, /*delta=*/2.0F);
+  const Tensor x(Shape{4}, 0.5F);
+  const ClassificationResult r = net.classify(x);
+  EXPECT_EQ(r.exit_stage, net.num_stages());
+  // Conditional inference that runs everything must agree with the baseline.
+  EXPECT_EQ(r.label, net.classify_baseline(x).label);
+}
+
+TEST(ConditionalNetwork, ConfidentStageTerminatesEarly) {
+  Rng rng(7);
+  ConditionalNetwork net = small_cdln(rng, 0.4F);
+  // Force the linear classifier to be supremely confident in class 1.
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[1] = 1.0F;
+  const ClassificationResult r = net.classify(Tensor(Shape{4}, 0.2F));
+  EXPECT_TRUE(r.exit_stage == 0);
+  EXPECT_EQ(r.label, 1U);
+  EXPECT_GE(r.confidence, 0.4F);
+}
+
+TEST(ConditionalNetwork, EarlyExitUsesFewerOpsThanFullPath) {
+  Rng rng(8);
+  ConditionalNetwork net = small_cdln(rng, 0.4F);
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[0] = 1.0F;
+  const auto early = net.classify(Tensor(Shape{4}, 0.1F));
+  net.set_delta(2.0F);
+  const auto full = net.classify(Tensor(Shape{4}, 0.1F));
+  EXPECT_LT(early.ops.total_compute(), full.ops.total_compute());
+}
+
+TEST(ConditionalNetwork, OpsAccountingMatchesExitTable) {
+  Rng rng(9);
+  ConditionalNetwork net = small_cdln(rng, 2.0F);
+  const auto full = net.classify(Tensor(Shape{4}, 0.3F));
+  EXPECT_EQ(full.ops, net.exit_ops(net.num_stages()));
+  EXPECT_EQ(full.ops, net.worst_case_ops());
+
+  net.set_delta(0.01F);
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[2] = 0.9F;
+  const auto early = net.classify(Tensor(Shape{4}, 0.3F));
+  ASSERT_EQ(early.exit_stage, 0U);
+  EXPECT_EQ(early.ops, net.exit_ops(0));
+}
+
+TEST(ConditionalNetwork, WorstCaseExceedsBaselineByClassifierOverhead) {
+  Rng rng(10);
+  ConditionalNetwork net = small_cdln(rng);
+  EXPECT_GT(net.worst_case_ops().total_compute(),
+            net.baseline_forward_ops().total_compute());
+}
+
+TEST(ConditionalNetwork, ExitOpsMonotonicallyIncreaseWithStage) {
+  Rng rng(11);
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.candidate_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  for (std::size_t s = 0; s + 1 <= net.num_stages(); ++s) {
+    EXPECT_LT(net.exit_ops(s).total_compute(),
+              net.exit_ops(s + 1).total_compute());
+  }
+  EXPECT_THROW((void)net.exit_ops(net.num_stages() + 1), std::out_of_range);
+}
+
+TEST(ConditionalNetwork, StageFeaturesMatchManualPrefixForward) {
+  Rng rng(12);
+  ConditionalNetwork net = small_cdln(rng);
+  const Tensor x(Shape{4}, 0.7F);
+  const Tensor feats = net.stage_features(x, 0);
+  const Tensor manual = net.baseline().forward_range(x, 0, 2);
+  EXPECT_EQ(feats, manual);
+}
+
+TEST(ConditionalNetwork, ProbabilitiesReturnedWithResult) {
+  Rng rng(13);
+  ConditionalNetwork net = small_cdln(rng, 2.0F);
+  const auto r = net.classify(Tensor(Shape{4}, 0.2F));
+  ASSERT_EQ(r.probabilities.numel(), 3U);
+  float total = 0.0F;
+  for (std::size_t i = 0; i < 3; ++i) total += r.probabilities[i];
+  EXPECT_NEAR(total, 1.0F, 1e-5F);  // final stage emits softmax
+}
+
+TEST(ConditionalNetwork, SaveLoadRoundTripsBaselineAndClassifiers) {
+  Rng rng(14);
+  ConditionalNetwork a = small_cdln(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cdl_cdln_test.cdlw").string();
+  a.save(path);
+
+  Rng rng2(99);  // different init; load must overwrite it
+  ConditionalNetwork b = small_cdln(rng2);
+  b.load(path);
+  const Tensor x(Shape{4}, 0.4F);
+  EXPECT_EQ(a.classify(x).label, b.classify(x).label);
+  EXPECT_EQ(a.classifier(0).scores(Tensor(Shape{6}, 0.5F)),
+            b.classifier(0).scores(Tensor(Shape{6}, 0.5F)));
+  std::filesystem::remove(path);
+}
+
+TEST(ConditionalNetwork, StageDeltaOverridesGlobal) {
+  Rng rng(16);
+  ConditionalNetwork net = small_cdln(rng, 0.5F);
+  EXPECT_FLOAT_EQ(net.stage_delta(0), 0.5F);  // inherits global
+  net.set_stage_delta(0, 0.9F);
+  EXPECT_FLOAT_EQ(net.stage_delta(0), 0.9F);
+  EXPECT_FLOAT_EQ(net.activation_module().delta(), 0.5F);  // global untouched
+  EXPECT_THROW(net.set_stage_delta(1, 0.5F), std::out_of_range);
+  EXPECT_THROW(net.set_stage_delta(0, -0.1F), std::invalid_argument);
+}
+
+TEST(ConditionalNetwork, SetDeltaClearsStageOverrides) {
+  Rng rng(17);
+  ConditionalNetwork net = small_cdln(rng, 0.5F);
+  net.set_stage_delta(0, 0.9F);
+  net.set_delta(0.3F);
+  EXPECT_FLOAT_EQ(net.stage_delta(0), 0.3F);
+}
+
+TEST(ConditionalNetwork, StageDeltaChangesExitBehaviour) {
+  Rng rng(18);
+  ConditionalNetwork net = small_cdln(rng, 0.4F);
+  // Rig the stage classifier to emit confidence exactly 0.6 for class 1.
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[1] = 0.6F;
+  const Tensor x(Shape{4}, 0.5F);
+  EXPECT_EQ(net.classify(x).exit_stage, 0U);  // 0.6 >= global 0.4
+  net.set_stage_delta(0, 0.7F);
+  EXPECT_EQ(net.classify(x).exit_stage, net.num_stages());  // 0.6 < 0.7
+}
+
+TEST(ConditionalNetwork, SetPolicyPreservesDelta) {
+  Rng rng(15);
+  ConditionalNetwork net = small_cdln(rng, 0.66F);
+  net.set_policy(ConfidencePolicy::kMargin);
+  EXPECT_EQ(net.activation_module().policy(), ConfidencePolicy::kMargin);
+  EXPECT_FLOAT_EQ(net.activation_module().delta(), 0.66F);
+}
+
+}  // namespace
+}  // namespace cdl

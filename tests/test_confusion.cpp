@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "eval/confusion.h"
+
+namespace cdl {
+namespace {
+
+TEST(ConfusionMatrix, RejectsZeroClasses) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RecordAndCount) {
+  ConfusionMatrix m(3);
+  m.record(0, 0);
+  m.record(0, 1);
+  m.record(2, 2);
+  EXPECT_EQ(m.count(0, 0), 1U);
+  EXPECT_EQ(m.count(0, 1), 1U);
+  EXPECT_EQ(m.count(2, 2), 1U);
+  EXPECT_EQ(m.count(1, 1), 0U);
+  EXPECT_EQ(m.total(), 3U);
+}
+
+TEST(ConfusionMatrix, OutOfRangeClassesThrow) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.record(2, 0), std::out_of_range);
+  EXPECT_THROW(m.record(0, 2), std::out_of_range);
+  EXPECT_THROW((void)m.count(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.precision(2), std::out_of_range);
+  EXPECT_THROW((void)m.recall(2), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, AccuracyIsDiagonalFraction) {
+  ConfusionMatrix m(2);
+  EXPECT_EQ(m.accuracy(), 0.0);  // empty
+  m.record(0, 0);
+  m.record(0, 0);
+  m.record(1, 0);
+  m.record(1, 1);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionAndRecall) {
+  ConfusionMatrix m(2);
+  // Truth 0 predicted 0 twice; truth 1 predicted 0 once; truth 1 predicted 1 once.
+  m.record(0, 0);
+  m.record(0, 0);
+  m.record(1, 0);
+  m.record(1, 1);
+  EXPECT_DOUBLE_EQ(m.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.5);
+}
+
+TEST(ConfusionMatrix, EmptyClassMetricsAreZeroNotNan) {
+  ConfusionMatrix m(3);
+  m.record(0, 0);
+  EXPECT_EQ(m.precision(1), 0.0);
+  EXPECT_EQ(m.recall(1), 0.0);
+}
+
+TEST(ConfusionMatrix, ToStringRendersGrid) {
+  ConfusionMatrix m(2);
+  m.record(0, 1);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("truth\\pred"), std::string::npos);
+  EXPECT_NE(s.find("recall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.h"
+#include "nn/conv2d.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
+  return t;
+}
+
+/// Naive reference convolution written independently of the production loop
+/// order, used to cross-check Conv2D::forward.
+Tensor reference_conv(const Tensor& input, const Tensor& weights,
+                      const Tensor& bias) {
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  const std::size_t out_c = weights.shape()[0];
+  const std::size_t k = weights.shape()[2];
+  Tensor out(Shape{out_c, h - k + 1, w - k + 1});
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t y = 0; y + k <= h; ++y) {
+      for (std::size_t x = 0; x + k <= w; ++x) {
+        double acc = bias.at(oc);
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              acc += static_cast<double>(input.at(ic, y + ky, x + kx)) *
+                     weights.at(oc, ic, ky, kx);
+            }
+          }
+        }
+        out.at(oc, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2D, RejectsBadConstruction) {
+  EXPECT_THROW(Conv2D(0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(Conv2D(1, 0, 3), std::invalid_argument);
+  EXPECT_THROW(Conv2D(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Conv2D, OutputShapeValidArithmetic) {
+  const Conv2D conv(1, 6, 5);
+  EXPECT_EQ(conv.output_shape(Shape{1, 28, 28}), (Shape{6, 24, 24}));
+  EXPECT_THROW((void)conv.output_shape(Shape{2, 28, 28}), std::invalid_argument);
+  EXPECT_THROW((void)conv.output_shape(Shape{1, 4, 4}), std::invalid_argument);
+  EXPECT_THROW((void)conv.output_shape(Shape{28, 28}), std::invalid_argument);
+}
+
+TEST(Conv2D, IdentityKernelReproducesInput) {
+  Conv2D conv(1, 1, 1);
+  Rng rng(5);
+  conv.init(rng);
+  // Force identity: single 1x1 weight of 1.0, zero bias.
+  conv.parameters()[0]->fill(1.0F);
+  conv.parameters()[1]->zero();
+  const Tensor x = random_tensor(Shape{1, 4, 4}, rng);
+  EXPECT_EQ(conv.forward(x), x);
+}
+
+TEST(Conv2D, BiasPropagatesToAllOutputs) {
+  Conv2D conv(1, 2, 3);
+  conv.parameters()[0]->zero();
+  (*conv.parameters()[1])[0] = 1.5F;
+  (*conv.parameters()[1])[1] = -0.5F;
+  const Tensor x(Shape{1, 5, 5});
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(y[i], 1.5F);       // map 0
+    EXPECT_EQ(y[9 + i], -0.5F);  // map 1
+  }
+}
+
+TEST(Conv2D, BackwardBeforeForwardThrows) {
+  Conv2D conv(1, 1, 3);
+  EXPECT_THROW((void)conv.backward(Tensor(Shape{1, 2, 2})), std::logic_error);
+}
+
+TEST(Conv2D, BackwardRejectsWrongGradShape) {
+  Conv2D conv(1, 1, 3);
+  Rng rng(3);
+  conv.init(rng);
+  (void)conv.forward(Tensor(Shape{1, 5, 5}));
+  EXPECT_THROW((void)conv.backward(Tensor(Shape{1, 5, 5})),
+               std::invalid_argument);
+}
+
+TEST(Conv2D, ForwardOpsCountsMacsExactly) {
+  const Conv2D conv(6, 12, 5);
+  const OpCount ops = conv.forward_ops(Shape{6, 12, 12});
+  // 12 maps of 8x8 outputs, each 6*5*5 MACs.
+  EXPECT_EQ(ops.macs, 12ULL * 8 * 8 * 6 * 5 * 5);
+  EXPECT_EQ(ops.adds, 12ULL * 8 * 8);
+  EXPECT_EQ(ops.mem_writes, 12ULL * 8 * 8);
+}
+
+using ConvCase = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>;
+
+class ConvReferenceSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReferenceSweep, MatchesNaiveReference) {
+  const auto [in_c, out_c, k, size] = GetParam();
+  Rng rng(101 + in_c * 7 + out_c * 11 + k * 13 + size);
+  Conv2D conv(in_c, out_c, k);
+  conv.init(rng);
+  const Tensor x = random_tensor(Shape{in_c, size, size}, rng);
+  const Tensor expected = reference_conv(x, conv.weights(), conv.bias());
+  const Tensor actual = conv.forward(x);
+  ASSERT_EQ(actual.shape(), expected.shape());
+  for (std::size_t i = 0; i < actual.numel(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4F) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvReferenceSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 3}, ConvCase{1, 6, 5, 28},
+                      ConvCase{1, 3, 3, 28}, ConvCase{3, 6, 4, 13},
+                      ConvCase{6, 12, 5, 12}, ConvCase{6, 9, 3, 5},
+                      ConvCase{2, 2, 2, 6}, ConvCase{4, 1, 3, 9}));
+
+TEST(Conv2D, GradientAccumulatesAcrossBackwardCalls) {
+  Conv2D conv(1, 1, 2);
+  Rng rng(9);
+  conv.init(rng);
+  const Tensor x = random_tensor(Shape{1, 3, 3}, rng);
+  const Tensor g(Shape{1, 2, 2}, 1.0F);
+  (void)conv.forward(x);
+  (void)conv.backward(g);
+  const Tensor once = *conv.gradients()[0];
+  (void)conv.forward(x);
+  (void)conv.backward(g);
+  const Tensor twice = *conv.gradients()[0];
+  for (std::size_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(twice[i], 2.0F * once[i], 1e-5F);
+  }
+  conv.zero_gradients();
+  EXPECT_EQ(conv.gradients()[0]->sum(), 0.0F);
+}
+
+}  // namespace
+}  // namespace cdl

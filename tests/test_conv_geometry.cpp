@@ -1,0 +1,214 @@
+// Tests for Conv2D's stride/padding geometry: reference-checked forward,
+// finite-difference backward, and shape/op arithmetic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
+  return t;
+}
+
+/// Reference convolution with explicit zero padding and stride, written
+/// independently of the production loops.
+Tensor reference_conv(const Tensor& input, const Tensor& weights,
+                      const Tensor& bias, std::size_t stride,
+                      std::size_t padding) {
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  const std::size_t out_c = weights.shape()[0];
+  const std::size_t k = weights.shape()[2];
+  const std::size_t oh = (h + 2 * padding - k) / stride + 1;
+  const std::size_t ow = (w + 2 * padding - k) / stride + 1;
+
+  const auto at_padded = [&](std::size_t c, long y, long x) -> float {
+    const long yy = y - static_cast<long>(padding);
+    const long xx = x - static_cast<long>(padding);
+    if (yy < 0 || xx < 0 || yy >= static_cast<long>(h) ||
+        xx >= static_cast<long>(w)) {
+      return 0.0F;
+    }
+    return input.at(c, static_cast<std::size_t>(yy),
+                    static_cast<std::size_t>(xx));
+  };
+
+  Tensor out(Shape{out_c, oh, ow});
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        double acc = bias.at(oc);
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              acc += static_cast<double>(at_padded(
+                         ic, static_cast<long>(y * stride + ky),
+                         static_cast<long>(x * stride + kx))) *
+                     weights.at(oc, ic, ky, kx);
+            }
+          }
+        }
+        out.at(oc, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvGeometry, RejectsBadGeometry) {
+  EXPECT_THROW(Conv2D(1, 1, 3, ConvAlgo::kDirect, {.stride = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Conv2D(1, 1, 3, ConvAlgo::kDirect, {.stride = 1, .padding = 3}),
+               std::invalid_argument);
+}
+
+TEST(ConvGeometry, OutputShapeArithmetic) {
+  // 28x28, k=3, p=1, s=1 -> same 28x28 ("same" padding).
+  const Conv2D same(1, 4, 3, ConvAlgo::kDirect, {.stride = 1, .padding = 1});
+  EXPECT_EQ(same.output_shape(Shape{1, 28, 28}), (Shape{4, 28, 28}));
+  // 28x28, k=3, p=1, s=2 -> 14x14.
+  const Conv2D strided(1, 4, 3, ConvAlgo::kDirect, {.stride = 2, .padding = 1});
+  EXPECT_EQ(strided.output_shape(Shape{1, 28, 28}), (Shape{4, 14, 14}));
+  // Floor behaviour: 7x7, k=3, s=3 -> floor(4/3)+1 = 2.
+  const Conv2D floor_case(1, 1, 3, ConvAlgo::kDirect, {.stride = 3});
+  EXPECT_EQ(floor_case.output_shape(Shape{1, 7, 7}), (Shape{1, 2, 2}));
+}
+
+TEST(ConvGeometry, PaddingLetsTinyInputsThrough) {
+  const Conv2D conv(1, 2, 3, ConvAlgo::kDirect, {.stride = 1, .padding = 1});
+  EXPECT_NO_THROW((void)conv.output_shape(Shape{1, 2, 2}));
+  const Conv2D no_pad(1, 2, 3);
+  EXPECT_THROW((void)no_pad.output_shape(Shape{1, 2, 2}),
+               std::invalid_argument);
+}
+
+using GeoCase = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                           std::size_t, std::size_t>;
+// (in_c, out_c, kernel, size, stride, padding)
+
+class ConvGeometrySweep : public ::testing::TestWithParam<GeoCase> {};
+
+TEST_P(ConvGeometrySweep, ForwardMatchesPaddedStridedReference) {
+  const auto [in_c, out_c, k, size, stride, padding] = GetParam();
+  Rng rng(in_c + out_c * 3 + k * 5 + size * 7 + stride * 11 + padding * 13);
+  Conv2D conv(in_c, out_c, k, ConvAlgo::kDirect,
+              {.stride = stride, .padding = padding});
+  conv.init(rng);
+  const Tensor x = random_tensor(Shape{in_c, size, size}, rng);
+  const Tensor expected =
+      reference_conv(x, conv.weights(), conv.bias(), stride, padding);
+  const Tensor actual = conv.forward(x);
+  ASSERT_EQ(actual.shape(), expected.shape());
+  for (std::size_t i = 0; i < actual.numel(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4F) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometrySweep,
+    ::testing::Values(GeoCase{1, 2, 3, 8, 1, 1}, GeoCase{2, 3, 3, 9, 2, 0},
+                      GeoCase{1, 4, 5, 12, 2, 2}, GeoCase{3, 2, 2, 6, 2, 1},
+                      GeoCase{1, 1, 3, 7, 3, 0}, GeoCase{2, 2, 4, 10, 1, 3}));
+
+TEST(ConvGeometry, Im2colPathHonoursPadding) {
+  Rng rng(5);
+  Conv2D direct(1, 3, 3, ConvAlgo::kDirect, {.stride = 1, .padding = 1});
+  direct.init(rng);
+  Conv2D lowered(1, 3, 3, ConvAlgo::kIm2col, {.stride = 1, .padding = 1});
+  *lowered.parameters()[0] = direct.weights();
+  *lowered.parameters()[1] = direct.bias();
+  const Tensor x = random_tensor(Shape{1, 9, 9}, rng);
+  const Tensor a = direct.forward(x);
+  const Tensor b = lowered.forward(x);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4F);
+}
+
+TEST(ConvGeometry, StridedIm2colFallsBackToDirect) {
+  Rng rng(6);
+  Conv2D conv(1, 2, 3, ConvAlgo::kIm2col, {.stride = 2});
+  conv.init(rng);
+  const Tensor x = random_tensor(Shape{1, 9, 9}, rng);
+  const Tensor expected =
+      reference_conv(x, conv.weights(), conv.bias(), 2, 0);
+  const Tensor actual = conv.forward(x);
+  for (std::size_t i = 0; i < actual.numel(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4F);
+  }
+}
+
+TEST(ConvGeometry, GradientsMatchFiniteDifferenceWithGeometry) {
+  Rng rng(7);
+  Network net;
+  net.add(std::make_unique<Conv2D>(1, 2, 3, ConvAlgo::kDirect,
+                                   ConvGeometry{.stride = 2, .padding = 1}));
+  net.emplace<Dense>(2 * 4 * 4, 3);  // 8x8, k3 p1 s2 -> 4x4
+  net.init(rng);
+  const Tensor x = random_tensor(Shape{1, 8, 8}, rng);
+  SoftmaxCrossEntropyLoss loss;
+
+  net.zero_gradients();
+  const Tensor out = net.forward(x);
+  const Tensor grad_in = net.backward(loss.grad(out, 1));
+  ASSERT_EQ(grad_in.shape(), x.shape());
+
+  // Parameter gradients.
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  const float eps = 1e-3F;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    const std::size_t step = std::max<std::size_t>(1, p.numel() / 5);
+    for (std::size_t kparam = 0; kparam < p.numel(); kparam += step) {
+      const float saved = p[kparam];
+      p[kparam] = saved + eps;
+      const float up = loss.value(net.forward(x), 1);
+      p[kparam] = saved - eps;
+      const float down = loss.value(net.forward(x), 1);
+      p[kparam] = saved;
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR((*grads[pi])[kparam], numeric, 2e-2F)
+          << "param " << pi << " elem " << kparam;
+    }
+  }
+
+  // Input gradient.
+  Tensor probe = x;
+  for (std::size_t i = 0; i < x.numel(); i += 7) {
+    const float saved = probe[i];
+    probe[i] = saved + eps;
+    const float up = loss.value(net.forward(probe), 1);
+    probe[i] = saved - eps;
+    const float down = loss.value(net.forward(probe), 1);
+    probe[i] = saved;
+    EXPECT_NEAR(grad_in[i], (up - down) / (2 * eps), 2e-2F) << "input " << i;
+  }
+}
+
+TEST(ConvGeometry, OpsScaleWithOutputPixels) {
+  const Conv2D dense_geo(1, 4, 3, ConvAlgo::kDirect, {.stride = 1, .padding = 1});
+  const Conv2D strided(1, 4, 3, ConvAlgo::kDirect, {.stride = 2, .padding = 1});
+  const Shape in{1, 28, 28};
+  // Stride 2 quarters the output pixels, so MACs drop 4x.
+  EXPECT_EQ(dense_geo.forward_ops(in).macs, 4 * strided.forward_ops(in).macs);
+}
+
+TEST(ConvGeometry, NameEncodesGeometry) {
+  EXPECT_EQ(Conv2D(1, 4, 3).name(), "conv3x3x4");
+  EXPECT_EQ(
+      Conv2D(1, 4, 3, ConvAlgo::kDirect, {.stride = 2, .padding = 1}).name(),
+      "conv3x3x4s2p1");
+}
+
+}  // namespace
+}  // namespace cdl

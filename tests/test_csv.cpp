@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "eval/csv.h"
+
+namespace cdl {
+namespace {
+
+TEST(CsvWriter, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RowWidthValidated) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_NO_THROW(csv.add_row({"1", "2"}));
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  EXPECT_EQ(csv.rows(), 1U);
+}
+
+TEST(CsvWriter, PlainFieldsRenderUnquoted) {
+  CsvWriter csv({"digit", "ops"});
+  csv.add_row({"1", "2.08"});
+  EXPECT_EQ(csv.to_string(), "digit,ops\n1,2.08\n");
+}
+
+TEST(CsvWriter, SpecialFieldsQuotedAndEscaped) {
+  CsvWriter csv({"name"});
+  csv.add_row({"a,b"});
+  csv.add_row({"say \"hi\""});
+  csv.add_row({"two\nlines"});
+  EXPECT_EQ(csv.to_string(),
+            "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, WritesFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "cdl_csv_test.csv").string();
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.write(path);
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x,y\n1,2\n");
+  fs::remove(path);
+}
+
+TEST(CsvWriter, BadPathThrows) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace cdl {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor img(Shape{1, 2, 2}, static_cast<float>(i));
+    d.add(std::move(img), i % 3);
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d = make_dataset(5);
+  EXPECT_EQ(d.size(), 5U);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.label(4), 1U);
+  EXPECT_EQ(d.image(3)[0], 3.0F);
+}
+
+TEST(Dataset, RejectsInconsistentShapes) {
+  Dataset d;
+  d.add(Tensor(Shape{1, 2, 2}), 0);
+  EXPECT_THROW(d.add(Tensor(Shape{1, 3, 3}), 0), std::invalid_argument);
+}
+
+TEST(Dataset, ImageShapeRequiresData) {
+  Dataset d;
+  EXPECT_THROW((void)d.image_shape(), std::logic_error);
+  d.add(Tensor(Shape{1, 4, 4}), 2);
+  EXPECT_EQ(d.image_shape(), (Shape{1, 4, 4}));
+}
+
+TEST(Dataset, NumClassesIsMaxLabelPlusOne) {
+  EXPECT_EQ(Dataset{}.num_classes(), 0U);
+  Dataset d;
+  d.add(Tensor(Shape{1}), 7);
+  EXPECT_EQ(d.num_classes(), 8U);
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset d = make_dataset(7);  // labels 0,1,2,0,1,2,0
+  const auto counts = d.class_counts();
+  ASSERT_EQ(counts.size(), 3U);
+  EXPECT_EQ(counts[0], 3U);
+  EXPECT_EQ(counts[1], 2U);
+  EXPECT_EQ(counts[2], 2U);
+}
+
+TEST(Dataset, ShufflePreservesPairsAndMultiset) {
+  Dataset d = make_dataset(50);
+  Rng rng(5);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 50U);
+  std::vector<bool> seen(50, false);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto original = static_cast<std::size_t>(d.image(i)[0]);
+    EXPECT_FALSE(seen[original]);
+    seen[original] = true;
+    // Label must still match the image it was added with.
+    EXPECT_EQ(d.label(i), original % 3);
+  }
+}
+
+TEST(Dataset, ShuffleActuallyPermutes) {
+  Dataset d = make_dataset(100);
+  Rng rng(9);
+  d.shuffle(rng);
+  int moved = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (static_cast<std::size_t>(d.image(i)[0]) != i) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Dataset, SliceCopiesRange) {
+  const Dataset d = make_dataset(10);
+  const Dataset s = d.slice(2, 5);
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_EQ(s.image(0)[0], 2.0F);
+  EXPECT_THROW((void)d.slice(5, 2), std::out_of_range);
+  EXPECT_THROW((void)d.slice(0, 11), std::out_of_range);
+}
+
+TEST(Dataset, FilterLabelSelectsOneClass) {
+  const Dataset d = make_dataset(9);
+  const Dataset ones = d.filter_label(1);
+  EXPECT_EQ(ones.size(), 3U);
+  for (std::size_t i = 0; i < ones.size(); ++i) EXPECT_EQ(ones.label(i), 1U);
+}
+
+TEST(Dataset, AppendMovesSamples) {
+  Dataset a = make_dataset(3);
+  Dataset b = make_dataset(2);
+  a.append(std::move(b));
+  EXPECT_EQ(a.size(), 5U);
+  EXPECT_EQ(a.image(3)[0], 0.0F);
+}
+
+}  // namespace
+}  // namespace cdl

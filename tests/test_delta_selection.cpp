@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cdl/delta_selection.h"
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace cdl {
+namespace {
+
+ConditionalNetwork tiny_cdln(Rng& rng) {
+  Network base;
+  base.emplace<Dense>(3, 5);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(5, 2);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{3});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  return net;
+}
+
+Dataset two_blob_data(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % 2;
+    Tensor x(Shape{3});
+    x[0] = (cls == 0 ? 0.2F : 0.8F) + rng.uniform(-0.05F, 0.05F);
+    x[1] = (cls == 0 ? 0.8F : 0.2F) + rng.uniform(-0.05F, 0.05F);
+    x[2] = 0.5F;
+    d.add(std::move(x), cls);
+  }
+  return d;
+}
+
+TEST(DeltaSelection, RejectsEmptyInputs) {
+  Rng rng(1);
+  ConditionalNetwork net = tiny_cdln(rng);
+  EXPECT_THROW((void)select_delta(net, Dataset{}), std::invalid_argument);
+  const Dataset data = two_blob_data(4, rng);
+  EXPECT_THROW((void)select_delta(net, data, std::span<const float>{}),
+               std::invalid_argument);
+}
+
+TEST(DeltaSelection, SweepCoversAllCandidatesInOrder) {
+  Rng rng(2);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset data = two_blob_data(20, rng);
+  const std::vector<float> grid{0.2F, 0.5F, 0.8F};
+  const DeltaSelection sel = select_delta(net, data, grid);
+  ASSERT_EQ(sel.sweep.size(), 3U);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(sel.sweep[i].delta, grid[i]);
+    EXPECT_GE(sel.sweep[i].accuracy, 0.0);
+    EXPECT_LE(sel.sweep[i].accuracy, 1.0);
+    EXPECT_GT(sel.sweep[i].avg_ops, 0.0);
+  }
+}
+
+TEST(DeltaSelection, BestIsMostAccurateCandidate) {
+  Rng rng(3);
+  ConditionalNetwork net = tiny_cdln(rng);
+  // Train the stage classifier so accuracy genuinely varies with delta.
+  const Dataset train = two_blob_data(200, rng);
+  for (int e = 0; e < 20; ++e) {
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const Tensor f = net.stage_features(train.image(i), 0);
+      (void)net.classifier(0).train_step(f, train.label(i), 0.8F);
+    }
+  }
+  const Dataset val = two_blob_data(80, rng);
+  const DeltaSelection sel = select_delta(net, val);
+  for (const DeltaCandidate& c : sel.sweep) {
+    EXPECT_LE(c.accuracy, sel.best.accuracy);
+  }
+  // The network is left configured at the winning delta.
+  EXPECT_FLOAT_EQ(net.activation_module().delta(), sel.best.delta);
+}
+
+TEST(DeltaSelection, TieBreaksTowardFewerOps) {
+  Rng rng(4);
+  ConditionalNetwork net = tiny_cdln(rng);
+  // A rigged always-confident classifier: accuracy identical at every delta
+  // below 1, so op cost must decide.
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[0] = 1.0F;
+
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.add(Tensor(Shape{3}, 0.5F), 0);
+
+  const std::vector<float> grid{0.5F, 2.0F};  // exit-at-O1 vs always-FC
+  const DeltaSelection sel = select_delta(net, data, grid);
+  EXPECT_FLOAT_EQ(sel.best.delta, 0.5F);  // same accuracy, cheaper
+  ASSERT_EQ(sel.sweep.size(), 2U);
+  EXPECT_EQ(sel.sweep[0].accuracy, sel.sweep[1].accuracy);
+  EXPECT_LT(sel.sweep[0].avg_ops, sel.sweep[1].avg_ops);
+}
+
+TEST(StageDeltaSelection, RequiresAtLeastOneStage) {
+  Rng rng(5);
+  Network base;
+  base.emplace<Dense>(3, 2);
+  ConditionalNetwork net(std::move(base), Shape{3});
+  const Dataset data = two_blob_data(4, rng);
+  EXPECT_THROW((void)select_stage_deltas(net, data), std::invalid_argument);
+}
+
+TEST(StageDeltaSelection, NeverWorseThanGlobalSelection) {
+  Rng rng(6);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset train = two_blob_data(150, rng);
+  for (int e = 0; e < 15; ++e) {
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const Tensor f = net.stage_features(train.image(i), 0);
+      (void)net.classifier(0).train_step(f, train.label(i), 0.8F);
+    }
+  }
+  const Dataset val = two_blob_data(60, rng);
+  const DeltaSelection global = select_delta(net, val);
+  const StageDeltaSelection staged = select_stage_deltas(net, val);
+  // Coordinate descent starts from the global optimum, so on the
+  // validation set it can only match or improve it.
+  EXPECT_GE(staged.accuracy, global.best.accuracy);
+  ASSERT_EQ(staged.stage_deltas.size(), 1U);
+  // The network is left configured with the chosen override.
+  EXPECT_FLOAT_EQ(net.stage_delta(0), staged.stage_deltas[0]);
+}
+
+TEST(DeltaSelection, DefaultGridIsSortedAndInRange) {
+  const std::vector<float> grid = default_delta_grid();
+  ASSERT_GE(grid.size(), 5U);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+  EXPECT_GT(grid.front(), 0.0F);
+  EXPECT_LT(grid.back(), 1.0F);
+}
+
+}  // namespace
+}  // namespace cdl

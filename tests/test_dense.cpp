@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/dense.h"
+
+namespace cdl {
+namespace {
+
+TEST(Dense, RejectsZeroSizes) {
+  EXPECT_THROW(Dense(0, 5), std::invalid_argument);
+  EXPECT_THROW(Dense(5, 0), std::invalid_argument);
+}
+
+TEST(Dense, OutputShapeFlattensAnyInputRank) {
+  const Dense dense(12, 4);
+  EXPECT_EQ(dense.output_shape(Shape{12}), Shape{4});
+  EXPECT_EQ(dense.output_shape(Shape{3, 4}), Shape{4});
+  EXPECT_EQ(dense.output_shape(Shape{3, 2, 2}), Shape{4});
+  EXPECT_THROW((void)dense.output_shape(Shape{11}), std::invalid_argument);
+}
+
+TEST(Dense, ForwardComputesAffineMap) {
+  Dense dense(2, 2);
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  *dense.parameters()[0] = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  *dense.parameters()[1] = Tensor(Shape{2}, std::vector<float>{10, 20});
+  const Tensor y = dense.forward(Tensor(Shape{2}, std::vector<float>{5, 7}));
+  EXPECT_FLOAT_EQ(y[0], 10 + 1 * 5 + 2 * 7);
+  EXPECT_FLOAT_EQ(y[1], 20 + 3 * 5 + 4 * 7);
+}
+
+TEST(Dense, BackwardReturnsInputShapedGradient) {
+  Dense dense(6, 3);
+  Rng rng(7);
+  dense.init(rng);
+  const Tensor x(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  (void)dense.forward(x);
+  const Tensor g = dense.backward(Tensor(Shape{3}, 1.0F));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Dense, BackwardComputesWeightGradAsOuterProduct) {
+  Dense dense(2, 1);
+  dense.parameters()[0]->zero();
+  dense.parameters()[1]->zero();
+  const Tensor x(Shape{2}, std::vector<float>{3, -4});
+  (void)dense.forward(x);
+  (void)dense.backward(Tensor(Shape{1}, 2.0F));
+  const Tensor& gw = *dense.gradients()[0];
+  const Tensor& gb = *dense.gradients()[1];
+  EXPECT_FLOAT_EQ(gw[0], 6.0F);
+  EXPECT_FLOAT_EQ(gw[1], -8.0F);
+  EXPECT_FLOAT_EQ(gb[0], 2.0F);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Dense dense(2, 2);
+  EXPECT_THROW((void)dense.backward(Tensor(Shape{2})), std::logic_error);
+}
+
+TEST(Dense, ForwardOpsExact) {
+  const Dense dense(192, 10);
+  const OpCount ops = dense.forward_ops(Shape{12, 4, 4});
+  EXPECT_EQ(ops.macs, 1920U);
+  EXPECT_EQ(ops.adds, 10U);
+  EXPECT_EQ(ops.mem_writes, 10U);
+}
+
+class DenseLinearitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseLinearitySweep, ForwardIsLinearInInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  Dense dense(n, 5);
+  dense.init(rng);
+  dense.parameters()[1]->zero();  // remove bias so the map is linear
+
+  Tensor a(Shape{n});
+  Tensor b(Shape{n});
+  for (float& v : a.values()) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b.values()) v = rng.uniform(-1.0F, 1.0F);
+  Tensor sum = a;
+  sum += b;
+
+  const Tensor ya = dense.forward(a);
+  const Tensor yb = dense.forward(b);
+  const Tensor ysum = dense.forward(sum);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(ysum[i], ya[i] + yb[i], 1e-4F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLinearitySweep,
+                         ::testing::Values(1, 8, 150, 507, 864));
+
+}  // namespace
+}  // namespace cdl

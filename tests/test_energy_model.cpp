@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace cdl {
+namespace {
+
+TEST(EnergyModel, ZeroOpsZeroEnergy) {
+  const EnergyModel model;
+  EXPECT_EQ(model.energy_pj(OpCount{}), 0.0);
+}
+
+TEST(EnergyModel, ChargesEachCategoryAtItsRate) {
+  const EnergyModel model;
+  const EnergyCosts& c = model.costs();
+  OpCount ops;
+  ops.macs = 2;
+  EXPECT_DOUBLE_EQ(model.energy_pj(ops), 2 * c.mac_pj);
+  ops = OpCount{};
+  ops.mem_reads = 3;
+  EXPECT_DOUBLE_EQ(model.energy_pj(ops), 3 * c.mem_read_pj);
+  ops = OpCount{};
+  ops.divides = 5;
+  EXPECT_DOUBLE_EQ(model.energy_pj(ops), 5 * c.divide_pj);
+}
+
+TEST(EnergyModel, EnergyIsAdditive) {
+  const EnergyModel model;
+  OpCount a;
+  a.macs = 10;
+  a.adds = 5;
+  OpCount b;
+  b.compares = 7;
+  b.mem_writes = 2;
+  EXPECT_DOUBLE_EQ(model.energy_pj(a + b),
+                   model.energy_pj(a) + model.energy_pj(b));
+}
+
+TEST(EnergyModel, MonotoneInOpCounts) {
+  const EnergyModel model;
+  OpCount small;
+  small.macs = 100;
+  small.mem_reads = 200;
+  OpCount large = small;
+  large.macs += 1;
+  EXPECT_GT(model.energy_pj(large), model.energy_pj(small));
+}
+
+TEST(EnergyModel, DefaultCostsMatch45nmRegime) {
+  const EnergyCosts c = EnergyCosts::cmos_45nm();
+  // A MAC must cost more than a bare add, and SRAM traffic must be the same
+  // order as a MAC — the relations the 45 nm literature establishes.
+  EXPECT_GT(c.mac_pj, c.add_pj);
+  EXPECT_GT(c.mem_read_pj, c.add_pj);
+  EXPECT_LT(c.mac_pj / c.mem_read_pj, 10.0);
+  EXPECT_GT(c.mac_pj / c.mem_read_pj, 0.1);
+}
+
+TEST(EnergyModel, ComputeOnlyProfileZeroesMemory) {
+  const EnergyModel model(EnergyCosts::compute_only());
+  OpCount ops;
+  ops.mem_reads = 1000;
+  ops.mem_writes = 1000;
+  EXPECT_EQ(model.energy_pj(ops), 0.0);
+  ops.macs = 1;
+  EXPECT_GT(model.energy_pj(ops), 0.0);
+}
+
+TEST(EnergyModel, NegativeCostsRejected) {
+  EnergyCosts costs;
+  costs.mac_pj = -1.0;
+  EXPECT_THROW(EnergyModel{costs}, std::invalid_argument);
+}
+
+class EnergyScalingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnergyScalingSweep, EnergyScalesLinearlyWithOpMultiplier) {
+  const EnergyModel model;
+  OpCount unit;
+  unit.macs = 3;
+  unit.adds = 2;
+  unit.compares = 1;
+  unit.activations = 4;
+  unit.mem_reads = 7;
+  OpCount scaled = unit;
+  scaled *= GetParam();
+  EXPECT_DOUBLE_EQ(model.energy_pj(scaled),
+                   static_cast<double>(GetParam()) * model.energy_pj(unit));
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, EnergyScalingSweep,
+                         ::testing::Values(0, 1, 10, 1000, 1000000));
+
+}  // namespace
+}  // namespace cdl

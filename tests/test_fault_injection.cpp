@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "hw/fault_injection.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace cdl {
+namespace {
+
+TEST(FaultInjection, RejectsBadConfig) {
+  Tensor t(Shape{4}, 1.0F);
+  Rng rng(1);
+  FaultConfig bad;
+  bad.bit_error_rate = -0.1;
+  EXPECT_THROW((void)inject_faults(t, bad, rng), std::invalid_argument);
+  bad.bit_error_rate = 1.5;
+  EXPECT_THROW((void)inject_faults(t, bad, rng), std::invalid_argument);
+  bad = {};
+  bad.mantissa_bits_only = 24;
+  EXPECT_THROW((void)inject_faults(t, bad, rng), std::invalid_argument);
+}
+
+TEST(FaultInjection, ZeroBerFlipsNothing) {
+  Tensor t(Shape{100}, 0.5F);
+  const Tensor original = t;
+  Rng rng(2);
+  const FaultReport r = inject_faults(t, FaultConfig{.bit_error_rate = 0.0}, rng);
+  EXPECT_EQ(r.bits_flipped, 0U);
+  EXPECT_EQ(r.bits_examined, 3200U);
+  EXPECT_EQ(t, original);
+}
+
+TEST(FaultInjection, BerOneFlipsEveryBit) {
+  Tensor t(Shape{10}, 1.0F);
+  Rng rng(3);
+  const FaultReport r = inject_faults(t, FaultConfig{.bit_error_rate = 1.0}, rng);
+  EXPECT_EQ(r.bits_flipped, 320U);
+  // 1.0f fully inverted is a finite negative value; all values changed.
+  for (float v : t.values()) EXPECT_NE(v, 1.0F);
+}
+
+TEST(FaultInjection, FlipRateMatchesBerStatistically) {
+  Tensor t(Shape{10000}, 0.5F);
+  Rng rng(4);
+  const double ber = 0.01;
+  const FaultReport r = inject_faults(t, FaultConfig{.bit_error_rate = ber}, rng);
+  const double observed = static_cast<double>(r.bits_flipped) /
+                          static_cast<double>(r.bits_examined);
+  EXPECT_NEAR(observed, ber, 0.002);
+}
+
+TEST(FaultInjection, NoNanOrInfEverSurvives) {
+  Tensor t(Shape{5000});
+  Rng rng(5);
+  for (float& v : t.values()) v = rng.uniform(-10.0F, 10.0F);
+  // High BER over all 32 bits produces many exponent-saturated patterns.
+  (void)inject_faults(t, FaultConfig{.bit_error_rate = 0.2}, rng);
+  for (float v : t.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FaultInjection, MantissaOnlyFaultsAreSmall) {
+  Tensor t(Shape{2000}, 1.5F);
+  Rng rng(6);
+  FaultConfig config;
+  config.bit_error_rate = 0.05;
+  config.mantissa_bits_only = 8;  // only the 8 lowest mantissa bits
+  (void)inject_faults(t, config, rng);
+  for (float v : t.values()) {
+    // Low-mantissa flips of 1.5f change it by < 2^-15 relative.
+    EXPECT_NEAR(v, 1.5F, 1e-3F);
+  }
+}
+
+TEST(FaultInjection, ExaminesEveryParameterOfANetwork) {
+  Network net;
+  net.emplace<Dense>(4, 3);
+  net.emplace<Sigmoid>();
+  net.emplace<Dense>(3, 2);
+  Rng rng(7);
+  net.init(rng);
+  const FaultReport r =
+      inject_faults(net, FaultConfig{.bit_error_rate = 0.0}, rng);
+  EXPECT_EQ(r.bits_examined, 32ULL * (4 * 3 + 3 + 3 * 2 + 2));
+}
+
+TEST(FaultInjection, CdlnCoversClassifiers) {
+  Network base;
+  base.emplace<Dense>(4, 6);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(6, 3);
+  Rng rng(8);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  const FaultReport r =
+      inject_faults(net, FaultConfig{.bit_error_rate = 0.0}, rng);
+  const std::uint64_t baseline_bits = 32ULL * (4 * 6 + 6 + 6 * 3 + 3);
+  const std::uint64_t lc_bits = 32ULL * (6 * 3 + 3);
+  EXPECT_EQ(r.bits_examined, baseline_bits + lc_bits);
+}
+
+class BerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerSweep, DamageGrowsWithBer) {
+  // Mean squared parameter perturbation should grow with BER.
+  Rng data_rng(9);
+  Tensor original(Shape{4000});
+  for (float& v : original.values()) v = data_rng.uniform(-1.0F, 1.0F);
+
+  Tensor t = original;
+  Rng rng(10);
+  FaultConfig config;
+  config.bit_error_rate = GetParam();
+  config.mantissa_bits_only = 16;
+  (void)inject_faults(t, config, rng);
+  double mse = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double d = t[i] - original[i];
+    mse += d * d;
+  }
+  if (GetParam() == 0.0) {
+    EXPECT_EQ(mse, 0.0);
+  } else {
+    EXPECT_GT(mse, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BerSweep,
+                         ::testing::Values(0.0, 1e-4, 1e-3, 1e-2));
+
+}  // namespace
+}  // namespace cdl

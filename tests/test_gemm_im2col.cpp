@@ -1,0 +1,172 @@
+// Tests for the GEMM kernel, the im2col lowering, and the equivalence of
+// Conv2D's direct and im2col forward paths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.h"
+#include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "nn/im2col.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
+  return t;
+}
+
+void reference_gemm(GemmDims d, const float* a, const float* b, float* c) {
+  for (std::size_t i = 0; i < d.m; ++i) {
+    for (std::size_t j = 0; j < d.n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < d.k; ++p) {
+        acc += static_cast<double>(a[i * d.k + p]) * b[p * d.n + j];
+      }
+      c[i * d.n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(Gemm, IdentityTimesMatrix) {
+  // A = I(3), B arbitrary -> C == B.
+  std::vector<float> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<float> b = {1, 2, 3, 4, 5, 6};
+  std::vector<float> c(6, -1.0F);
+  sgemm({3, 3, 2}, a.data(), b.data(), c.data());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(c[i], b[i]);
+}
+
+TEST(Gemm, AccumulateAddsIntoC) {
+  std::vector<float> a = {2};
+  std::vector<float> b = {3};
+  std::vector<float> c = {10};
+  sgemm({1, 1, 1}, a.data(), b.data(), c.data(), /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 16.0F);
+  sgemm({1, 1, 1}, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c[0], 6.0F);
+}
+
+using GemmCase = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmReferenceSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmReferenceSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  Tensor expected(Shape{m, n});
+  sgemm({m, k, n}, a.data(), b.data(), c.data());
+  reference_gemm({m, k, n}, a.data(), b.data(), expected.data());
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4F) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmReferenceSweep,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{2, 3, 4}, GemmCase{7, 5, 9},
+                      GemmCase{64, 64, 64}, GemmCase{65, 63, 70},
+                      GemmCase{12, 150, 25}, GemmCase{128, 17, 3}));
+
+TEST(Im2col, ValidatesInput) {
+  EXPECT_THROW((void)im2col(Tensor(Shape{4, 4}), 2), std::invalid_argument);
+  EXPECT_THROW((void)im2col(Tensor(Shape{1, 3, 3}), 4), std::invalid_argument);
+  EXPECT_THROW((void)im2col(Tensor(Shape{1, 3, 3}), 0), std::invalid_argument);
+}
+
+TEST(Im2col, KernelOneIsFlattenPerChannel) {
+  Rng rng(5);
+  const Tensor x = random_tensor(Shape{2, 3, 3}, rng);
+  const Tensor cols = im2col(x, 1);
+  EXPECT_EQ(cols.shape(), (Shape{2, 9}));
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Im2col, ColumnsHoldConvolutionWindows) {
+  // 1x3x3 input, 2x2 kernel: 4 output pixels, each column a 2x2 window.
+  Tensor x(Shape{1, 3, 3}, std::vector<float>{0, 1, 2,
+                                              3, 4, 5,
+                                              6, 7, 8});
+  const Tensor cols = im2col(x, 2);
+  ASSERT_EQ(cols.shape(), (Shape{4, 4}));
+  // Window at output (0,0) is {0,1,3,4}; column 0 holds it in kernel order.
+  EXPECT_EQ(cols.at(0, 0), 0.0F);
+  EXPECT_EQ(cols.at(1, 0), 1.0F);
+  EXPECT_EQ(cols.at(2, 0), 3.0F);
+  EXPECT_EQ(cols.at(3, 0), 4.0F);
+  // Window at output (1,1) is {4,5,7,8}; last column.
+  EXPECT_EQ(cols.at(0, 3), 4.0F);
+  EXPECT_EQ(cols.at(3, 3), 8.0F);
+}
+
+using ConvCase = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>;
+
+class ConvAlgoEquivalence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvAlgoEquivalence, DirectAndIm2colAgree) {
+  const auto [in_c, out_c, k, size] = GetParam();
+  Rng rng(in_c * 3 + out_c * 5 + k * 7 + size);
+  Conv2D direct(in_c, out_c, k, ConvAlgo::kDirect);
+  direct.init(rng);
+  Conv2D lowered(in_c, out_c, k, ConvAlgo::kIm2col);
+  *lowered.parameters()[0] = direct.weights();
+  *lowered.parameters()[1] = direct.bias();
+
+  const Tensor x = random_tensor(Shape{in_c, size, size}, rng);
+  const Tensor a = direct.forward(x);
+  const Tensor b = lowered.forward(x);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-4F) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvAlgoEquivalence,
+    ::testing::Values(ConvCase{1, 6, 5, 28}, ConvCase{1, 3, 3, 28},
+                      ConvCase{3, 6, 4, 13}, ConvCase{6, 12, 5, 12},
+                      ConvCase{6, 9, 3, 5}, ConvCase{2, 2, 1, 4}));
+
+TEST(ConvAlgo, BackwardStillWorksAfterIm2colForward) {
+  // The im2col path caches the raw input, so backward (direct) must agree
+  // with a direct-forward + backward pass.
+  Rng rng(9);
+  Conv2D a(1, 2, 3, ConvAlgo::kDirect);
+  a.init(rng);
+  Conv2D b(1, 2, 3, ConvAlgo::kIm2col);
+  *b.parameters()[0] = a.weights();
+  *b.parameters()[1] = a.bias();
+
+  const Tensor x = random_tensor(Shape{1, 6, 6}, rng);
+  const Tensor g = random_tensor(Shape{2, 4, 4}, rng);
+  (void)a.forward(x);
+  (void)b.forward(x);
+  const Tensor ga = a.backward(g);
+  const Tensor gb = b.backward(g);
+  for (std::size_t i = 0; i < ga.numel(); ++i) {
+    EXPECT_NEAR(ga[i], gb[i], 1e-5F);
+  }
+  EXPECT_EQ(*a.gradients()[0], *b.gradients()[0]);
+}
+
+TEST(ConvAlgo, SetAlgoSwitchesAtRuntime) {
+  Rng rng(11);
+  Conv2D conv(1, 2, 3);
+  conv.init(rng);
+  const Tensor x = random_tensor(Shape{1, 5, 5}, rng);
+  const Tensor direct = conv.forward(x);
+  conv.set_algo(ConvAlgo::kIm2col);
+  EXPECT_EQ(conv.algo(), ConvAlgo::kIm2col);
+  const Tensor lowered = conv.forward(x);
+  for (std::size_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct[i], lowered[i], 1e-4F);
+  }
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,190 @@
+// Finite-difference verification of every layer's backward pass, both for
+// parameter gradients and input gradients, through full small networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+namespace {
+
+constexpr float kEps = 1e-3F;
+constexpr float kTol = 2e-2F;  // relative tolerance for float finite differences
+
+/// Builds loss(net(x), target) as a function of the network parameters.
+float loss_of(Network& net, const Loss& loss, const Tensor& x,
+              std::size_t target) {
+  return loss.value(net.forward(x), target);
+}
+
+void check_parameter_gradients(Network& net, const Tensor& x,
+                               std::size_t target) {
+  SoftmaxCrossEntropyLoss loss;
+
+  net.zero_gradients();
+  const Tensor out = net.forward(x);
+  net.backward(loss.grad(out, target));
+
+  const std::vector<Tensor*> params = net.parameters();
+  const std::vector<Tensor*> grads = net.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+
+  std::size_t checked = 0;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    const Tensor& g = *grads[pi];
+    // Probe a spread of elements in each parameter tensor.
+    const std::size_t stride = std::max<std::size_t>(1, p.numel() / 7);
+    for (std::size_t k = 0; k < p.numel(); k += stride) {
+      const float saved = p[k];
+      p[k] = saved + kEps;
+      const float up = loss_of(net, loss, x, target);
+      p[k] = saved - kEps;
+      const float down = loss_of(net, loss, x, target);
+      p[k] = saved;
+
+      const float numeric = (up - down) / (2.0F * kEps);
+      const float analytic = g[k];
+      const float scale = std::max({std::abs(numeric), std::abs(analytic), 0.1F});
+      EXPECT_NEAR(analytic, numeric, kTol * scale)
+          << "param tensor " << pi << " element " << k;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0U);
+}
+
+void check_input_gradients(Network& net, const Tensor& x, std::size_t target) {
+  SoftmaxCrossEntropyLoss loss;
+
+  net.zero_gradients();
+  const Tensor out = net.forward(x);
+  const Tensor grad_in = net.backward(loss.grad(out, target));
+  ASSERT_EQ(grad_in.shape(), x.shape());
+
+  Tensor probe = x;
+  const std::size_t stride = std::max<std::size_t>(1, x.numel() / 11);
+  for (std::size_t k = 0; k < x.numel(); k += stride) {
+    const float saved = probe[k];
+    probe[k] = saved + kEps;
+    const float up = loss_of(net, loss, probe, target);
+    probe[k] = saved - kEps;
+    const float down = loss_of(net, loss, probe, target);
+    probe[k] = saved;
+
+    const float numeric = (up - down) / (2.0F * kEps);
+    const float scale = std::max({std::abs(numeric), std::abs(grad_in[k]), 0.1F});
+    EXPECT_NEAR(grad_in[k], numeric, kTol * scale) << "input element " << k;
+  }
+}
+
+Tensor random_input(const Shape& shape, Rng& rng) {
+  Tensor x(shape);
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+TEST(Gradients, DenseOnly) {
+  Rng rng(7);
+  Network net;
+  net.emplace<Dense>(12, 5);
+  net.init(rng);
+  const Tensor x = random_input(Shape{12}, rng);
+  check_parameter_gradients(net, x, 3);
+  check_input_gradients(net, x, 3);
+}
+
+TEST(Gradients, DenseSigmoidDense) {
+  Rng rng(11);
+  Network net;
+  net.emplace<Dense>(10, 8);
+  net.emplace<Sigmoid>();
+  net.emplace<Dense>(8, 4);
+  net.init(rng);
+  const Tensor x = random_input(Shape{10}, rng);
+  check_parameter_gradients(net, x, 1);
+  check_input_gradients(net, x, 1);
+}
+
+TEST(Gradients, ConvSigmoidPoolDense) {
+  Rng rng(13);
+  Network net;
+  net.emplace<Conv2D>(1, 3, 3);  // 8x8 -> 6x6
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);        // -> 3x3
+  net.emplace<Dense>(27, 4);
+  net.init(rng);
+  const Tensor x = random_input(Shape{1, 8, 8}, rng);
+  check_parameter_gradients(net, x, 2);
+  check_input_gradients(net, x, 2);
+}
+
+TEST(Gradients, TwoConvStagesLikePaperArchitecture) {
+  Rng rng(17);
+  Network net;
+  net.emplace<Conv2D>(1, 2, 3);  // 10x10 -> 8x8
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);        // -> 4x4
+  net.emplace<Conv2D>(2, 3, 3);  // -> 2x2
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);        // -> 1x1
+  net.emplace<Dense>(3, 3);
+  net.init(rng);
+  const Tensor x = random_input(Shape{1, 10, 10}, rng);
+  check_parameter_gradients(net, x, 0);
+  check_input_gradients(net, x, 0);
+}
+
+TEST(Gradients, AveragePoolPath) {
+  Rng rng(19);
+  Network net;
+  net.emplace<Conv2D>(1, 2, 3);  // 6x6 -> 4x4
+  net.emplace<Tanh>();
+  net.emplace<Pool2D>(2, PoolMode::kAverage);  // -> 2x2
+  net.emplace<Dense>(8, 3);
+  net.init(rng);
+  const Tensor x = random_input(Shape{1, 6, 6}, rng);
+  check_parameter_gradients(net, x, 1);
+  check_input_gradients(net, x, 1);
+}
+
+TEST(Gradients, ReluPath) {
+  Rng rng(23);
+  Network net;
+  net.emplace<Dense>(9, 6);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(6, 3);
+  net.init(rng);
+  // Offset inputs away from relu kinks for a clean finite difference.
+  Tensor x = random_input(Shape{9}, rng);
+  for (float& v : x.values()) v += 0.05F;
+  check_parameter_gradients(net, x, 2);
+  check_input_gradients(net, x, 2);
+}
+
+TEST(Gradients, MseLossGradientMatchesFiniteDifference) {
+  Rng rng(29);
+  MseLoss loss;
+  Tensor scores(Shape{6});
+  for (float& v : scores.values()) v = rng.uniform(-1.0F, 1.0F);
+  const Tensor g = loss.grad(scores, 4);
+  for (std::size_t k = 0; k < scores.numel(); ++k) {
+    Tensor probe = scores;
+    probe[k] += kEps;
+    const float up = loss.value(probe, 4);
+    probe[k] -= 2.0F * kEps;
+    const float down = loss.value(probe, 4);
+    const float numeric = (up - down) / (2.0F * kEps);
+    EXPECT_NEAR(g[k], numeric, 1e-3F);
+  }
+}
+
+}  // namespace
+}  // namespace cdl

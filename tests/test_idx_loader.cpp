@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "data/idx_loader.h"
+
+namespace cdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_be32(std::ofstream& os, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  os.write(reinterpret_cast<const char*>(b), 4);
+}
+
+/// Writes a miniature idx3/idx1 pair: `n` images of rows x cols with pixel
+/// value = (image index * 10 + flat pixel index) % 256, labels = index % 10.
+void write_idx_pair(const fs::path& img_path, const fs::path& lbl_path,
+                    std::uint32_t n, std::uint32_t rows, std::uint32_t cols) {
+  std::ofstream img(img_path, std::ios::binary);
+  write_be32(img, 0x803);
+  write_be32(img, n);
+  write_be32(img, rows);
+  write_be32(img, cols);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t p = 0; p < rows * cols; ++p) {
+      const auto pixel = static_cast<unsigned char>((i * 10 + p) % 256);
+      img.write(reinterpret_cast<const char*>(&pixel), 1);
+    }
+  }
+  std::ofstream lbl(lbl_path, std::ios::binary);
+  write_be32(lbl, 0x801);
+  write_be32(lbl, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto label = static_cast<unsigned char>(i % 10);
+    lbl.write(reinterpret_cast<const char*>(&label), 1);
+  }
+}
+
+class IdxLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "cdl_idx_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(IdxLoaderTest, RoundTripSmallFile) {
+  write_idx_pair(dir_ / "img", dir_ / "lbl", 12, 4, 5);
+  const Dataset d = load_idx((dir_ / "img").string(), (dir_ / "lbl").string());
+  ASSERT_EQ(d.size(), 12U);
+  EXPECT_EQ(d.image_shape(), (Shape{1, 4, 5}));
+  EXPECT_EQ(d.label(11), 1U);
+  // Pixel scaling: raw value 13 -> 13/255.
+  EXPECT_NEAR(d.image(1)[3], 13.0F / 255.0F, 1e-6F);
+}
+
+TEST_F(IdxLoaderTest, MissingFilesThrow) {
+  EXPECT_THROW((void)load_idx((dir_ / "absent").string(),
+                              (dir_ / "absent2").string()),
+               std::runtime_error);
+}
+
+TEST_F(IdxLoaderTest, BadMagicRejected) {
+  std::ofstream bad(dir_ / "bad", std::ios::binary);
+  write_be32(bad, 0xDEADBEEF);
+  write_be32(bad, 1);
+  write_be32(bad, 2);
+  write_be32(bad, 2);
+  bad.close();
+  write_idx_pair(dir_ / "img", dir_ / "lbl", 1, 2, 2);
+  EXPECT_THROW(
+      (void)load_idx((dir_ / "bad").string(), (dir_ / "lbl").string()),
+      std::runtime_error);
+}
+
+TEST_F(IdxLoaderTest, CountMismatchRejected) {
+  write_idx_pair(dir_ / "img", dir_ / "lbl", 3, 2, 2);
+  write_idx_pair(dir_ / "img2", dir_ / "lbl2", 4, 2, 2);
+  EXPECT_THROW(
+      (void)load_idx((dir_ / "img").string(), (dir_ / "lbl2").string()),
+      std::runtime_error);
+}
+
+TEST_F(IdxLoaderTest, TruncatedImageDataRejected) {
+  write_idx_pair(dir_ / "img", dir_ / "lbl", 2, 3, 3);
+  fs::resize_file(dir_ / "img", 16 + 9);  // header + one image only
+  EXPECT_THROW(
+      (void)load_idx((dir_ / "img").string(), (dir_ / "lbl").string()),
+      std::runtime_error);
+}
+
+TEST_F(IdxLoaderTest, MnistSplitUsesCanonicalNames) {
+  write_idx_pair(dir_ / "train-images-idx3-ubyte",
+                 dir_ / "train-labels-idx1-ubyte", 5, 3, 3);
+  write_idx_pair(dir_ / "t10k-images-idx3-ubyte",
+                 dir_ / "t10k-labels-idx1-ubyte", 2, 3, 3);
+  EXPECT_EQ(load_mnist_split(dir_.string(), MnistSplit::kTrain).size(), 5U);
+  EXPECT_EQ(load_mnist_split(dir_.string(), MnistSplit::kTest).size(), 2U);
+}
+
+TEST_F(IdxLoaderTest, EnvDirDetection) {
+  // Without the canonical files the env var must be ignored.
+  setenv("CDL_MNIST_DIR", dir_.string().c_str(), 1);
+  EXPECT_FALSE(mnist_dir_from_env().has_value());
+
+  write_idx_pair(dir_ / "train-images-idx3-ubyte",
+                 dir_ / "train-labels-idx1-ubyte", 1, 2, 2);
+  write_idx_pair(dir_ / "t10k-images-idx3-ubyte",
+                 dir_ / "t10k-labels-idx1-ubyte", 1, 2, 2);
+  ASSERT_TRUE(mnist_dir_from_env().has_value());
+  EXPECT_EQ(*mnist_dir_from_env(), dir_.string());
+  unsetenv("CDL_MNIST_DIR");
+}
+
+TEST(IdxLoaderEnv, UnsetReturnsNullopt) {
+  unsetenv("CDL_MNIST_DIR");
+  EXPECT_FALSE(mnist_dir_from_env().has_value());
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,165 @@
+// Tests for the joint-training extension (stage losses backpropagated
+// through the shared trunk).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cdl/architectures.h"
+#include "cdl/cdl_trainer.h"
+#include "data/synthetic_mnist.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+namespace {
+
+ConditionalNetwork tiny_joint_net(Rng& rng) {
+  Network base;
+  base.emplace<Dense>(4, 8);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(8, 3);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(2, LcTrainingRule::kSoftmaxXent, rng);
+  return net;
+}
+
+Dataset blob_data(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::size_t>(i % 3);
+    Tensor x(Shape{4});
+    x[cls] = 0.9F + rng.uniform(-0.05F, 0.05F);
+    x[3] = 0.2F;
+    d.add(std::move(x), cls);
+  }
+  return d;
+}
+
+TEST(JointTraining, EmptyDatasetThrows) {
+  Rng rng(1);
+  ConditionalNetwork net = tiny_joint_net(rng);
+  EXPECT_THROW((void)train_cdl_joint(net, Dataset{}, JointTrainConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(JointTraining, JointLossDecreases) {
+  Rng rng(2);
+  ConditionalNetwork net = tiny_joint_net(rng);
+  const Dataset train = blob_data(150, rng);
+
+  JointTrainConfig one_epoch;
+  one_epoch.epochs = 1;
+  const float first = train_cdl_joint(net, train, one_epoch, rng);
+  JointTrainConfig more;
+  more.epochs = 20;
+  const float later = train_cdl_joint(net, train, more, rng);
+  EXPECT_LT(later, first);
+  EXPECT_TRUE(std::isfinite(later));
+}
+
+TEST(JointTraining, BothExitsLearnTheTask) {
+  Rng rng(3);
+  ConditionalNetwork net = tiny_joint_net(rng);
+  const Dataset train = blob_data(300, rng);
+  JointTrainConfig cfg;
+  cfg.epochs = 25;
+  (void)train_cdl_joint(net, train, cfg, rng);
+
+  const Dataset test = blob_data(90, rng);
+  std::size_t fc_correct = 0;
+  std::size_t lc_correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const Tensor logits = net.baseline().forward(test.image(i));
+    if (logits.argmax() == test.label(i)) ++fc_correct;
+    const Tensor feats = net.stage_features(test.image(i), 0);
+    if (net.classifier(0).probabilities(feats).argmax() == test.label(i)) {
+      ++lc_correct;
+    }
+  }
+  EXPECT_GT(fc_correct, test.size() * 8 / 10);
+  EXPECT_GT(lc_correct, test.size() * 8 / 10);
+}
+
+TEST(JointTraining, StageGradientActuallyShapesTrunk) {
+  // With stage weight 0 the trunk must evolve exactly as plain baseline
+  // training; with a positive weight it must diverge from that trajectory.
+  const Dataset train = [] {
+    Rng data_rng(4);
+    return blob_data(60, data_rng);
+  }();
+
+  const auto run = [&](float weight) {
+    Rng rng(5);
+    ConditionalNetwork net = tiny_joint_net(rng);
+    JointTrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.stage_loss_weight = weight;
+    Rng train_rng(6);
+    (void)train_cdl_joint(net, train, cfg, train_rng);
+    return net.baseline().parameters()[0]->at(0, 0);
+  };
+
+  const float w0_a = run(0.0F);
+  const float w0_b = run(0.0F);
+  EXPECT_EQ(w0_a, w0_b);  // deterministic given seeds
+  const float w_joint = run(0.5F);
+  EXPECT_NE(w0_a, w_joint);
+}
+
+TEST(JointTraining, JointStepGradientMatchesFiniteDifference) {
+  Rng rng(7);
+  LinearClassifier lc(5, 3, LcTrainingRule::kSoftmaxXent);
+  lc.init(rng);
+  Tensor x(Shape{5});
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+  const std::size_t target = 1;
+  const float weight = 0.7F;
+
+  // Loss as a function of the features, at fixed (pre-update) weights.
+  const auto loss_of = [&](const Tensor& feats) {
+    const Tensor p = softmax(lc.scores(feats));
+    return -weight * std::log(std::max(p[target], 1e-12F));
+  };
+
+  // Capture the analytic gradient; use lr=0 so weights stay fixed.
+  const Tensor g = lc.joint_train_step(x, target, 0.0F, weight);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    Tensor hi = x;
+    Tensor lo = x;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const float numeric = (loss_of(hi) - loss_of(lo)) / (2 * eps);
+    EXPECT_NEAR(g[i], numeric, 5e-3F) << "feature " << i;
+  }
+}
+
+TEST(JointTraining, WorksOnPaperArchitecture) {
+  SyntheticMnistConfig gen_cfg;
+  gen_cfg.seed = 9;
+  const SyntheticMnist gen(gen_cfg);
+  const Dataset train = gen.generate(300);
+
+  Rng rng(10);
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kSoftmaxXent, rng);
+  }
+  JointTrainConfig cfg;
+  cfg.epochs = 2;
+  const float loss = train_cdl_joint(net, train, cfg, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  // Inference still functions end to end.
+  net.set_delta(0.5F);
+  const ClassificationResult r = net.classify(train.image(0));
+  EXPECT_LT(r.label, 10U);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cdl/linear_classifier.h"
+#include "core/rng.h"
+
+namespace cdl {
+namespace {
+
+TEST(LinearClassifier, RejectsZeroSizes) {
+  EXPECT_THROW(LinearClassifier(0, 10), std::invalid_argument);
+  EXPECT_THROW(LinearClassifier(10, 0), std::invalid_argument);
+}
+
+TEST(LinearClassifier, ScoresAreAffine) {
+  LinearClassifier lc(2, 2);
+  *lc.parameters()[0] = Tensor(Shape{2, 2}, std::vector<float>{1, 0, 0, 2});
+  *lc.parameters()[1] = Tensor(Shape{2}, std::vector<float>{0.5F, -0.5F});
+  const Tensor s = lc.scores(Tensor(Shape{2}, std::vector<float>{3, 4}));
+  EXPECT_FLOAT_EQ(s[0], 3.5F);
+  EXPECT_FLOAT_EQ(s[1], 7.5F);
+}
+
+TEST(LinearClassifier, ScoresAcceptAnyShapeWithMatchingNumel) {
+  LinearClassifier lc(6, 3);
+  Rng rng(1);
+  lc.init(rng);
+  const Tensor flat(Shape{6}, 0.5F);
+  const Tensor chw(Shape{1, 2, 3}, 0.5F);
+  EXPECT_EQ(lc.scores(flat), lc.scores(chw));
+  EXPECT_THROW((void)lc.scores(Tensor(Shape{5})), std::invalid_argument);
+}
+
+TEST(LinearClassifier, LmsProbabilitiesAreClampedScores) {
+  LinearClassifier lc(1, 3, LcTrainingRule::kLms);
+  *lc.parameters()[0] = Tensor(Shape{3, 1}, std::vector<float>{2.0F, -1.0F, 0.5F});
+  lc.parameters()[1]->zero();
+  const Tensor p = lc.probabilities(Tensor(Shape{1}, 1.0F));
+  EXPECT_FLOAT_EQ(p[0], 1.0F);   // 2.0 clamped
+  EXPECT_FLOAT_EQ(p[1], 0.0F);   // -1.0 clamped
+  EXPECT_FLOAT_EQ(p[2], 0.5F);   // untouched
+}
+
+TEST(LinearClassifier, SoftmaxProbabilitiesAreSimplex) {
+  LinearClassifier lc(4, 5, LcTrainingRule::kSoftmaxXent);
+  Rng rng(7);
+  lc.init(rng);
+  const Tensor p = lc.probabilities(Tensor(Shape{4}, 0.3F));
+  float total = 0.0F;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(p[i], 0.0F);
+    total += p[i];
+  }
+  EXPECT_NEAR(total, 1.0F, 1e-5F);
+}
+
+TEST(LinearClassifier, TrainStepValidatesTarget) {
+  LinearClassifier lc(3, 2);
+  Rng rng(2);
+  lc.init(rng);
+  EXPECT_THROW((void)lc.train_step(Tensor(Shape{3}), 2, 0.5F),
+               std::invalid_argument);
+}
+
+TEST(LinearClassifier, TrainStepReducesLossOnRepeatedSample) {
+  LinearClassifier lc(4, 3, LcTrainingRule::kLms);
+  Rng rng(3);
+  lc.init(rng);
+  const Tensor x(Shape{4}, std::vector<float>{0.4F, 0.9F, 0.1F, 0.7F});
+  const float first = lc.train_step(x, 1, 0.8F);
+  float last = first;
+  for (int i = 0; i < 40; ++i) last = lc.train_step(x, 1, 0.8F);
+  EXPECT_LT(last, first * 0.1F);
+  EXPECT_EQ(lc.probabilities(x).argmax(), 1U);
+}
+
+TEST(LinearClassifier, NlmsStableOnHighDimensionalFeatures) {
+  // Plain LMS at this step size would diverge on ~900-dim inputs; the
+  // normalized update must stay bounded.
+  LinearClassifier lc(864, 10, LcTrainingRule::kLms);
+  Rng rng(4);
+  lc.init(rng);
+  Tensor x(Shape{864});
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+  float loss = 0.0F;
+  for (int i = 0; i < 50; ++i) loss = lc.train_step(x, 3, 0.8F);
+  EXPECT_LT(loss, 0.01F);
+  const Tensor probs = lc.probabilities(x);  // bind: avoid dangling span
+  for (float v : probs.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LinearClassifier, SoftmaxRuleAlsoLearns) {
+  LinearClassifier lc(4, 3, LcTrainingRule::kSoftmaxXent);
+  Rng rng(5);
+  lc.init(rng);
+  const Tensor x(Shape{4}, std::vector<float>{1.0F, 0.0F, 0.5F, 0.2F});
+  for (int i = 0; i < 200; ++i) (void)lc.train_step(x, 2, 2.0F);
+  EXPECT_EQ(lc.probabilities(x).argmax(), 2U);
+  EXPECT_GT(lc.probabilities(x)[2], 0.8F);
+}
+
+TEST(LinearClassifier, LearnsLinearlySeparableTwoClassProblem) {
+  LinearClassifier lc(2, 2, LcTrainingRule::kLms);
+  Rng rng(6);
+  lc.init(rng);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    for (int i = 0; i < 20; ++i) {
+      const auto cls = static_cast<std::size_t>(i % 2);
+      Tensor x(Shape{2});
+      x[0] = (cls == 0 ? 0.2F : 0.8F) + rng.uniform(-0.1F, 0.1F);
+      x[1] = (cls == 0 ? 0.8F : 0.2F) + rng.uniform(-0.1F, 0.1F);
+      (void)lc.train_step(x, cls, 0.8F);
+    }
+  }
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto cls = static_cast<std::size_t>(i % 2);
+    Tensor x(Shape{2});
+    x[0] = (cls == 0 ? 0.2F : 0.8F) + rng.uniform(-0.1F, 0.1F);
+    x[1] = (cls == 0 ? 0.8F : 0.2F) + rng.uniform(-0.1F, 0.1F);
+    if (lc.probabilities(x).argmax() == cls) ++correct;
+  }
+  EXPECT_GE(correct, 98);
+}
+
+TEST(LinearClassifier, ForwardOpsScaleWithDimensions) {
+  const LinearClassifier small(150, 10);
+  const LinearClassifier large(864, 10);
+  EXPECT_EQ(small.forward_ops().macs, 1500U);
+  EXPECT_EQ(large.forward_ops().macs, 8640U);
+  EXPECT_GT(large.forward_ops().total_compute(),
+            small.forward_ops().total_compute());
+}
+
+TEST(LinearClassifier, RuleNames) {
+  EXPECT_EQ(to_string(LcTrainingRule::kLms), "lms");
+  EXPECT_EQ(to_string(LcTrainingRule::kSoftmaxXent), "softmax_xent");
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/loss.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogN) {
+  SoftmaxCrossEntropyLoss loss;
+  EXPECT_NEAR(loss.value(Tensor(Shape{10}), 3), std::log(10.0F), 1e-5F);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape{3}, std::vector<float>{20.0F, 0.0F, 0.0F});
+  EXPECT_NEAR(loss.value(logits, 0), 0.0F, 1e-4F);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongIsLargeButFinite) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape{3}, std::vector<float>{100.0F, 0.0F, 0.0F});
+  const float v = loss.value(logits, 1);
+  EXPECT_GT(v, 10.0F);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SoftmaxCrossEntropy, GradIsSoftmaxMinusOneHot) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape{3}, std::vector<float>{1.0F, 2.0F, 0.5F});
+  const Tensor p = softmax(logits);
+  const Tensor g = loss.grad(logits, 1);
+  EXPECT_NEAR(g[0], p[0], 1e-6F);
+  EXPECT_NEAR(g[1], p[1] - 1.0F, 1e-6F);
+  EXPECT_NEAR(g[2], p[2], 1e-6F);
+}
+
+TEST(SoftmaxCrossEntropy, GradSumsToZero) {
+  SoftmaxCrossEntropyLoss loss;
+  Rng rng(3);
+  Tensor logits(Shape{10});
+  for (float& v : logits.values()) v = rng.uniform(-3.0F, 3.0F);
+  EXPECT_NEAR(loss.grad(logits, 7).sum(), 0.0F, 1e-5F);
+}
+
+TEST(MseLoss, PerfectOneHotIsZero) {
+  MseLoss loss;
+  Tensor scores(Shape{4}, std::vector<float>{0.0F, 1.0F, 0.0F, 0.0F});
+  EXPECT_FLOAT_EQ(loss.value(scores, 1), 0.0F);
+}
+
+TEST(MseLoss, ValueIsMeanSquaredError) {
+  MseLoss loss;
+  Tensor scores(Shape{2}, std::vector<float>{0.5F, 0.5F});
+  // Target class 0: errors are (0.5-1)^2 + (0.5-0)^2 = 0.5; mean = 0.25.
+  EXPECT_FLOAT_EQ(loss.value(scores, 0), 0.25F);
+}
+
+TEST(MseLoss, GradPointsTowardTarget) {
+  MseLoss loss;
+  Tensor scores(Shape{3});
+  const Tensor g = loss.grad(scores, 2);
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 0.0F);
+  EXPECT_LT(g[2], 0.0F);  // moving down the gradient raises score 2
+}
+
+class LossContractSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LossContractSweep, BothLossesNonNegativeAndRejectBadTargets) {
+  const std::size_t n = GetParam();
+  Rng rng(50 + n);
+  Tensor scores(Shape{n});
+  for (float& v : scores.values()) v = rng.uniform(-2.0F, 2.0F);
+
+  SoftmaxCrossEntropyLoss xent;
+  MseLoss mse;
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_GE(xent.value(scores, t), 0.0F);
+    EXPECT_GE(mse.value(scores, t), 0.0F);
+  }
+  EXPECT_THROW((void)xent.value(scores, n), std::invalid_argument);
+  EXPECT_THROW((void)mse.value(scores, n), std::invalid_argument);
+  EXPECT_THROW((void)xent.grad(scores, n), std::invalid_argument);
+  EXPECT_THROW((void)mse.grad(scores, n), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LossContractSweep, ::testing::Values(2, 5, 10));
+
+TEST(Loss, Rank2ScoresRejected) {
+  SoftmaxCrossEntropyLoss loss;
+  EXPECT_THROW((void)loss.value(Tensor(Shape{2, 5}), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdl

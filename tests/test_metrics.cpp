@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cdl/cdl_trainer.h"
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "data/synthetic_mnist.h"
+#include "eval/metrics.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace cdl {
+namespace {
+
+/// Tiny CDLN over 4-feature inputs for metric bookkeeping tests.
+ConditionalNetwork tiny_cdln(Rng& rng) {
+  Network base;
+  base.emplace<Dense>(4, 6);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(6, 3);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+  return net;
+}
+
+Dataset tiny_data(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor x(Shape{4});
+    for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+    d.add(std::move(x), i % 3);
+  }
+  return d;
+}
+
+TEST(Metrics, EmptyDatasetThrows) {
+  Rng rng(1);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const EnergyModel model;
+  EXPECT_THROW((void)evaluate_cdl(net, Dataset{}, model), std::invalid_argument);
+}
+
+TEST(Metrics, TotalsAndExitCountsConsistent) {
+  Rng rng(2);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.5F);
+  const Dataset data = tiny_data(60, rng);
+  const EnergyModel model;
+  const Evaluation e = evaluate_cdl(net, data, model);
+
+  EXPECT_EQ(e.total, 60U);
+  ASSERT_EQ(e.exit_counts.size(), 2U);  // O1 + FC
+  EXPECT_EQ(e.exit_counts[0] + e.exit_counts[1], 60U);
+  EXPECT_NEAR(e.exit_fraction(0) + e.exit_fraction(1), 1.0, 1e-12);
+  EXPECT_THROW((void)e.exit_fraction(2), std::out_of_range);
+
+  // Per-class tallies must sum to the global ones.
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  double ops = 0.0;
+  for (const ClassStats& c : e.per_class) {
+    total += c.total;
+    correct += c.correct;
+    ops += c.sum_ops;
+  }
+  EXPECT_EQ(total, e.total);
+  EXPECT_EQ(correct, e.correct);
+  EXPECT_DOUBLE_EQ(ops, e.sum_ops);
+}
+
+TEST(Metrics, BaselineEvaluationAlwaysExitsAtFc) {
+  Rng rng(3);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset data = tiny_data(20, rng);
+  const EnergyModel model;
+  const Evaluation e = evaluate_baseline(net, data, model);
+  EXPECT_EQ(e.exit_counts.back(), 20U);
+  EXPECT_EQ(e.exit_counts.front(), 0U);
+}
+
+TEST(Metrics, BaselineOpsConstantPerInput) {
+  Rng rng(4);
+  ConditionalNetwork net = tiny_cdln(rng);
+  const Dataset data = tiny_data(10, rng);
+  const EnergyModel model;
+  const Evaluation e = evaluate_baseline(net, data, model);
+  // Every input costs the same unconditional forward pass.
+  const double expected = e.sum_ops / static_cast<double>(e.total);
+  for (const ClassStats& c : e.per_class) {
+    if (c.total > 0) {
+      EXPECT_DOUBLE_EQ(c.avg_ops(), expected);
+    }
+  }
+}
+
+TEST(Metrics, CdlNeverCostsMoreThanWorstCase) {
+  Rng rng(5);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.3F);
+  const Dataset data = tiny_data(50, rng);
+  const EnergyModel model;
+  const Evaluation e = evaluate_cdl(net, data, model);
+  const double worst =
+      static_cast<double>(net.worst_case_ops().total_compute());
+  EXPECT_LE(e.avg_ops(), worst + 1e-9);
+}
+
+TEST(Metrics, AccuracyHelpersHandleEmptyClasses) {
+  const ClassStats empty;
+  EXPECT_EQ(empty.accuracy(), 0.0);
+  EXPECT_EQ(empty.avg_ops(), 0.0);
+  EXPECT_EQ(empty.avg_energy_pj(), 0.0);
+}
+
+TEST(Metrics, EnergyUsesProvidedModel) {
+  Rng rng(6);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(2.0F);  // all inputs take the same (full) path
+  const Dataset data = tiny_data(10, rng);
+  const Evaluation cheap = evaluate_cdl(net, data, EnergyModel(EnergyCosts::compute_only()));
+  const Evaluation full = evaluate_cdl(net, data, EnergyModel{});
+  EXPECT_LT(cheap.avg_energy_pj(), full.avg_energy_pj());
+  EXPECT_DOUBLE_EQ(cheap.avg_ops(), full.avg_ops());
+}
+
+TEST(Metrics, PerfectClassifierScoresFullAccuracy) {
+  // Rig the stage classifier to always answer the true class of a
+  // single-class dataset.
+  Rng rng(7);
+  ConditionalNetwork net = tiny_cdln(rng);
+  net.set_delta(0.4F);
+  net.classifier(0).parameters()[0]->zero();
+  net.classifier(0).parameters()[1]->zero();
+  (*net.classifier(0).parameters()[1])[1] = 1.0F;
+
+  Dataset data;
+  for (int i = 0; i < 8; ++i) data.add(Tensor(Shape{4}, 0.5F), 1);
+  const Evaluation e = evaluate_cdl(net, data, EnergyModel{});
+  EXPECT_EQ(e.correct, 8U);
+  EXPECT_DOUBLE_EQ(e.accuracy(), 1.0);
+  EXPECT_EQ(e.exit_counts[0], 8U);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cdl/architectures.h"
+#include "core/rng.h"
+#include "model_io.h"
+
+namespace cdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "cdl_model_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+ConditionalNetwork make_net(const CdlArchitecture& arch, Rng& rng,
+                            LcTrainingRule rule = LcTrainingRule::kLms) {
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, rule, rng);
+  }
+  return net;
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesEverything) {
+  const CdlArchitecture arch = mnist_3c();
+  Rng rng(5);
+  ConditionalNetwork original = make_net(arch, rng);
+  original.set_delta(0.65F);
+  tools::save_model(path("m"), original, arch.name);
+
+  tools::ModelMeta meta;
+  ConditionalNetwork restored = tools::load_model(path("m"), &meta);
+  EXPECT_EQ(meta.arch_name, "MNIST_3C");
+  EXPECT_EQ(meta.stages, arch.default_stages);
+  EXPECT_EQ(meta.rule, LcTrainingRule::kLms);
+  EXPECT_NEAR(meta.delta, 0.65F, 1e-6F);
+  EXPECT_EQ(restored.num_stages(), original.num_stages());
+  EXPECT_NEAR(restored.activation_module().delta(), 0.65F, 1e-6F);
+
+  // Same predictions on a probe input.
+  Tensor x(arch.input_shape, 0.4F);
+  EXPECT_EQ(restored.classify(x).label, original.classify(x).label);
+  EXPECT_EQ(restored.classify(x).exit_stage, original.classify(x).exit_stage);
+}
+
+TEST_F(ModelIoTest, SoftmaxRuleSurvivesRoundTrip) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(7);
+  ConditionalNetwork original =
+      make_net(arch, rng, LcTrainingRule::kSoftmaxXent);
+  tools::save_model(path("sm"), original, arch.name);
+
+  tools::ModelMeta meta;
+  const ConditionalNetwork restored = tools::load_model(path("sm"), &meta);
+  EXPECT_EQ(meta.rule, LcTrainingRule::kSoftmaxXent);
+  EXPECT_EQ(restored.classifier(0).rule(), LcTrainingRule::kSoftmaxXent);
+}
+
+TEST_F(ModelIoTest, MissingMetaRejected) {
+  EXPECT_THROW((void)tools::load_model(path("absent")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, UnknownArchitectureRejected) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(9);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("bad"), net, "NOT_AN_ARCH");
+  EXPECT_THROW((void)tools::load_model(path("bad")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, PrunedStageSetRoundTrips) {
+  const CdlArchitecture arch = mnist_3c();
+  Rng rng(11);
+  ConditionalNetwork net = make_net(arch, rng);
+  net.detach_classifier(1);  // as if Algorithm 1 rejected O2
+  tools::save_model(path("pruned"), net, arch.name);
+
+  tools::ModelMeta meta;
+  const ConditionalNetwork restored = tools::load_model(path("pruned"), &meta);
+  EXPECT_EQ(restored.num_stages(), 1U);
+  ASSERT_EQ(meta.stages.size(), 1U);
+  EXPECT_EQ(meta.stages[0], arch.default_stages[0]);
+}
+
+}  // namespace
+}  // namespace cdl

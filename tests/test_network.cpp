@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+namespace {
+
+Network small_net() {
+  Network net;
+  net.emplace<Conv2D>(1, 2, 3);  // 8x8 -> 6x6
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);        // -> 3x3
+  net.emplace<Dense>(18, 4);
+  return net;
+}
+
+TEST(Network, AddRejectsNull) {
+  Network net;
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Network, SizeAndLayerAccess) {
+  Network net = small_net();
+  EXPECT_EQ(net.size(), 4U);
+  EXPECT_EQ(net.layer(0).name(), "conv3x3x2");
+  EXPECT_THROW((void)net.layer(4), std::out_of_range);
+}
+
+TEST(Network, OutputShapeChainsLayers) {
+  const Network net = small_net();
+  EXPECT_EQ(net.output_shape(Shape{1, 8, 8}), Shape{4});
+  EXPECT_EQ(net.output_shape_after(Shape{1, 8, 8}, 3), (Shape{2, 3, 3}));
+  EXPECT_EQ(net.output_shape_after(Shape{1, 8, 8}, 0), (Shape{1, 8, 8}));
+}
+
+TEST(Network, ForwardRangeComposesToFullForward) {
+  Network net = small_net();
+  Rng rng(3);
+  net.init(rng);
+  Tensor x(Shape{1, 8, 8});
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+
+  const Tensor full = net.forward(x);
+  const Tensor mid = net.forward_range(x, 0, 2);
+  const Tensor rest = net.forward_range(mid, 2, 4);
+  EXPECT_EQ(full, rest);
+}
+
+TEST(Network, ForwardRangeValidatesBounds) {
+  Network net = small_net();
+  const Tensor x(Shape{1, 8, 8});
+  EXPECT_THROW((void)net.forward_range(x, 3, 2), std::out_of_range);
+  EXPECT_THROW((void)net.forward_range(x, 0, 5), std::out_of_range);
+}
+
+TEST(Network, EmptyRangeIsIdentity) {
+  Network net = small_net();
+  Tensor x(Shape{1, 8, 8}, 0.3F);
+  EXPECT_EQ(net.forward_range(x, 2, 2), x);
+}
+
+TEST(Network, ParametersAndGradientsPairUp) {
+  Network net = small_net();
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  ASSERT_EQ(params.size(), 4U);  // conv W/b + dense W/b
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->shape(), grads[i]->shape());
+  }
+}
+
+TEST(Network, ZeroGradientsClearsAll) {
+  Network net = small_net();
+  Rng rng(5);
+  net.init(rng);
+  Tensor x(Shape{1, 8, 8}, 0.5F);
+  (void)net.forward(x);
+  (void)net.backward(Tensor(Shape{4}, 1.0F));
+  net.zero_gradients();
+  for (Tensor* g : net.gradients()) EXPECT_EQ(g->sum(), 0.0F);
+}
+
+TEST(Network, InitIsDeterministicPerSeed) {
+  Network a = small_net();
+  Network b = small_net();
+  Rng ra(9);
+  Rng rb(9);
+  a.init(ra);
+  b.init(rb);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i], *pb[i]);
+}
+
+TEST(Network, LayerOpsSumEqualsForwardOps) {
+  const Network net = small_net();
+  const Shape in{1, 8, 8};
+  OpCount total;
+  for (const OpCount& ops : net.layer_ops(in)) total += ops;
+  EXPECT_EQ(total, net.forward_ops(in));
+}
+
+TEST(Network, SummaryListsLayersInOrder) {
+  EXPECT_EQ(small_net().summary(),
+            "conv3x3x2 -> sigmoid -> maxpool2x2 -> dense18x4");
+}
+
+TEST(Network, MoveTransfersLayers) {
+  Network a = small_net();
+  Network b = std::move(a);
+  EXPECT_EQ(b.size(), 4U);
+}
+
+}  // namespace
+}  // namespace cdl

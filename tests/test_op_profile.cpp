@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "cdl/architectures.h"
+#include "core/rng.h"
+#include "energy/op_profile.h"
+#include "energy/report.h"
+
+namespace cdl {
+namespace {
+
+TEST(OpProfile, NetworkProfileCoversEveryLayer) {
+  const Network net = make_mnist_2c_baseline();
+  const EnergyModel model;
+  const NetworkProfile p = profile_network(net, Shape{1, 28, 28}, model);
+  ASSERT_EQ(p.layers.size(), net.size());
+  EXPECT_EQ(p.layers.front().name, "conv5x5x6");
+  EXPECT_EQ(p.layers.front().output_shape, (Shape{6, 24, 24}));
+  EXPECT_EQ(p.layers.back().output_shape, Shape{10});
+}
+
+TEST(OpProfile, TotalsAreSumOfLayers) {
+  const Network net = make_mnist_3c_baseline();
+  const EnergyModel model;
+  const NetworkProfile p = profile_network(net, Shape{1, 28, 28}, model);
+  OpCount ops;
+  double energy = 0.0;
+  for (const LayerProfile& l : p.layers) {
+    ops += l.ops;
+    energy += l.energy_pj;
+  }
+  EXPECT_EQ(ops, p.total_ops);
+  EXPECT_DOUBLE_EQ(energy, p.total_energy_pj);
+  EXPECT_EQ(p.total_ops, net.forward_ops(Shape{1, 28, 28}));
+}
+
+TEST(OpProfile, CdlnProfileInsertsClassifierRows) {
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  Rng rng(3);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  const EnergyModel model;
+  const NetworkProfile p = profile_cdln(net, model);
+  ASSERT_EQ(p.layers.size(), net.baseline().size() + 2);
+  // O1 sits right after the prefix-3 layers, O2 after prefix 6 (+1 shift).
+  EXPECT_EQ(p.layers[3].name, "O1 (linear classifier)");
+  EXPECT_EQ(p.layers[7].name, "O2 (linear classifier)");
+  // CDLN worst case exceeds the bare baseline total.
+  const NetworkProfile base_p =
+      profile_network(net.baseline(), arch.input_shape, model);
+  EXPECT_GT(p.total_energy_pj, base_p.total_energy_pj);
+}
+
+TEST(OpProfile, EnergyPerLayerUsesModel) {
+  const Network net = make_mnist_2c_baseline();
+  const EnergyModel model;
+  const NetworkProfile p = profile_network(net, Shape{1, 28, 28}, model);
+  for (const LayerProfile& l : p.layers) {
+    EXPECT_DOUBLE_EQ(l.energy_pj, model.energy_pj(l.ops));
+  }
+}
+
+TEST(Report, FormatEnergyPicksUnits) {
+  EXPECT_EQ(format_energy(12.0), "12.00 pJ");
+  EXPECT_EQ(format_energy(4600.0), "4.60 nJ");
+  EXPECT_EQ(format_energy(2.5e6), "2.50 uJ");
+}
+
+TEST(Report, FormatProfileContainsLayersAndTotal) {
+  const Network net = make_mnist_2c_baseline();
+  const EnergyModel model;
+  const std::string text =
+      format_profile(profile_network(net, Shape{1, 28, 28}, model), "title");
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("conv5x5x6"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "nn/opcount.h"
+
+namespace cdl {
+namespace {
+
+TEST(OpCount, DefaultIsZero) {
+  const OpCount ops;
+  EXPECT_EQ(ops.total_compute(), 0U);
+  EXPECT_EQ(ops, OpCount{});
+}
+
+TEST(OpCount, TotalComputeWeighsMacsAsTwo) {
+  OpCount ops;
+  ops.macs = 10;
+  ops.adds = 3;
+  ops.compares = 2;
+  ops.activations = 4;
+  ops.divides = 1;
+  EXPECT_EQ(ops.total_compute(), 2 * 10 + 3 + 2 + 4 + 1U);
+}
+
+TEST(OpCount, MemoryTrafficExcludedFromCompute) {
+  OpCount ops;
+  ops.mem_reads = 100;
+  ops.mem_writes = 50;
+  EXPECT_EQ(ops.total_compute(), 0U);
+}
+
+TEST(OpCount, AdditionIsFieldwise) {
+  OpCount a;
+  a.macs = 1;
+  a.adds = 2;
+  a.mem_reads = 3;
+  OpCount b;
+  b.macs = 10;
+  b.compares = 5;
+  const OpCount c = a + b;
+  EXPECT_EQ(c.macs, 11U);
+  EXPECT_EQ(c.adds, 2U);
+  EXPECT_EQ(c.compares, 5U);
+  EXPECT_EQ(c.mem_reads, 3U);
+}
+
+TEST(OpCount, ScalarMultiplyScalesAllFields) {
+  OpCount a;
+  a.macs = 2;
+  a.divides = 3;
+  a.mem_writes = 4;
+  a *= 5;
+  EXPECT_EQ(a.macs, 10U);
+  EXPECT_EQ(a.divides, 15U);
+  EXPECT_EQ(a.mem_writes, 20U);
+}
+
+TEST(OpCount, PlusEqualsMatchesPlus) {
+  OpCount a;
+  a.macs = 7;
+  OpCount b;
+  b.adds = 9;
+  OpCount c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(OpCount, ToStringContainsFields) {
+  OpCount a;
+  a.macs = 42;
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("macs=42"), std::string::npos);
+  EXPECT_NE(s.find("total_compute=84"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace cdl {
+namespace {
+
+TEST(SgdOptimizer, RejectsBadConfig) {
+  EXPECT_THROW(SgdOptimizer({.learning_rate = 0.0F}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer({.learning_rate = -1.0F}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer({.learning_rate = 0.1F, .momentum = 1.0F}),
+               std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer({.learning_rate = 0.1F, .momentum = -0.1F}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SgdOptimizer({.learning_rate = 0.1F, .momentum = 0.0F, .lr_decay = 0.0F}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SgdOptimizer({.learning_rate = 0.1F, .momentum = 0.0F, .lr_decay = 1.5F}),
+      std::invalid_argument);
+}
+
+TEST(SgdOptimizer, PlainSgdStepIsLrTimesGrad) {
+  Network net;
+  net.emplace<Dense>(1, 1);
+  net.parameters()[0]->fill(2.0F);
+  net.parameters()[1]->fill(0.0F);
+  net.gradients()[0]->fill(0.5F);
+  net.gradients()[1]->fill(1.0F);
+
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  opt.step(net);
+  EXPECT_NEAR((*net.parameters()[0])[0], 2.0F - 0.1F * 0.5F, 1e-6F);
+  EXPECT_NEAR((*net.parameters()[1])[0], -0.1F, 1e-6F);
+}
+
+TEST(SgdOptimizer, StepZeroesGradients) {
+  Network net;
+  net.emplace<Dense>(2, 2);
+  net.gradients()[0]->fill(1.0F);
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  opt.step(net);
+  EXPECT_EQ(net.gradients()[0]->sum(), 0.0F);
+}
+
+TEST(SgdOptimizer, MomentumAccumulatesVelocity) {
+  Network net;
+  net.emplace<Dense>(1, 1);
+  net.parameters()[0]->fill(0.0F);
+  net.parameters()[1]->fill(0.0F);
+
+  SgdOptimizer opt({.learning_rate = 1.0F, .momentum = 0.5F});
+  net.gradients()[0]->fill(1.0F);
+  opt.step(net);  // v = -1, p = -1
+  net.gradients()[0]->fill(1.0F);
+  opt.step(net);  // v = -1.5, p = -2.5
+  EXPECT_NEAR((*net.parameters()[0])[0], -2.5F, 1e-6F);
+}
+
+TEST(SgdOptimizer, LrDecayAppliedPerEpoch) {
+  SgdOptimizer opt(
+      {.learning_rate = 1.0F, .momentum = 0.0F, .lr_decay = 0.5F});
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0F);
+  opt.end_epoch();
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5F);
+  opt.end_epoch();
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.25F);
+}
+
+TEST(SgdOptimizer, SteppingDifferentNetworkThrows) {
+  Network a;
+  a.emplace<Dense>(2, 2);
+  Network b;
+  b.emplace<Dense>(2, 2);
+  b.emplace<Dense>(2, 2);
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  opt.step(a);
+  EXPECT_THROW(opt.step(b), std::logic_error);
+}
+
+TEST(SgdOptimizer, ConvergesOnLinearlySeparableToyProblem) {
+  // Two Gaussian blobs in 2-D; a single dense layer should reach 100 %.
+  Rng rng(33);
+  Network net;
+  net.emplace<Dense>(2, 2);
+  net.init(rng);
+
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer opt({.learning_rate = 0.1F, .momentum = 0.3F});
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (int i = 0; i < 40; ++i) {
+      const auto cls = static_cast<std::size_t>(i % 2);
+      Tensor x(Shape{2});
+      const float cx = cls == 0 ? -1.0F : 1.0F;
+      x[0] = cx + rng.normal(0.0F, 0.3F);
+      x[1] = -cx + rng.normal(0.0F, 0.3F);
+      const Tensor out = net.forward(x);
+      net.backward(loss.grad(out, cls));
+      opt.step(net);
+    }
+  }
+
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto cls = static_cast<std::size_t>(i % 2);
+    Tensor x(Shape{2});
+    const float cx = cls == 0 ? -1.0F : 1.0F;
+    x[0] = cx + rng.normal(0.0F, 0.3F);
+    x[1] = -cx + rng.normal(0.0F, 0.3F);
+    if (net.forward(x).argmax() == cls) ++correct;
+  }
+  EXPECT_GE(correct, 98);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic_mnist.h"
+#include "eval/pgm.h"
+
+namespace cdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PgmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "cdl_pgm_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+TEST_F(PgmTest, RoundTripWithinQuantization) {
+  const SyntheticMnist gen;
+  const Tensor original = gen.render(3, 0);
+  save_pgm(path("digit.pgm"), original);
+  const Tensor loaded = load_pgm(path("digit.pgm"));
+  ASSERT_EQ(loaded.shape(), original.shape());
+  for (std::size_t i = 0; i < original.numel(); ++i) {
+    EXPECT_NEAR(loaded[i], original[i], 1.0F / 255.0F + 1e-6F);
+  }
+}
+
+TEST_F(PgmTest, SaveValidatesShape) {
+  EXPECT_THROW(save_pgm(path("x.pgm"), Tensor(Shape{3, 4, 4})),
+               std::invalid_argument);
+  EXPECT_THROW(save_pgm(path("x.pgm"), Tensor(Shape{4, 4})),
+               std::invalid_argument);
+}
+
+TEST_F(PgmTest, SaveClampsOutOfRangeValues) {
+  Tensor img(Shape{1, 1, 2});
+  img[0] = -3.0F;
+  img[1] = 7.0F;
+  save_pgm(path("clamp.pgm"), img);
+  const Tensor loaded = load_pgm(path("clamp.pgm"));
+  EXPECT_EQ(loaded[0], 0.0F);
+  EXPECT_EQ(loaded[1], 1.0F);
+}
+
+TEST_F(PgmTest, NonSquareImagesPreserved) {
+  Tensor img(Shape{1, 2, 5});
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(i) / 10.0F;
+  }
+  save_pgm(path("rect.pgm"), img);
+  EXPECT_EQ(load_pgm(path("rect.pgm")).shape(), (Shape{1, 2, 5}));
+}
+
+TEST_F(PgmTest, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)load_pgm(path("absent.pgm")), std::runtime_error);
+}
+
+TEST_F(PgmTest, LoadRejectsWrongMagic) {
+  std::ofstream os(path("bad.pgm"), std::ios::binary);
+  os << "P2\n2 2\n255\n0 0 0 0\n";  // ASCII PGM, not supported
+  os.close();
+  EXPECT_THROW((void)load_pgm(path("bad.pgm")), std::runtime_error);
+}
+
+TEST_F(PgmTest, LoadRejectsTruncatedData) {
+  std::ofstream os(path("trunc.pgm"), std::ios::binary);
+  os << "P5\n4 4\n255\n";
+  os.write("\x10\x20", 2);  // 2 of 16 bytes
+  os.close();
+  EXPECT_THROW((void)load_pgm(path("trunc.pgm")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdl

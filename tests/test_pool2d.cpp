@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
+  return t;
+}
+
+TEST(Pool2D, RejectsZeroWindow) {
+  EXPECT_THROW(Pool2D(0), std::invalid_argument);
+}
+
+TEST(Pool2D, OutputShapeDividesExtents) {
+  const Pool2D pool(2);
+  EXPECT_EQ(pool.output_shape(Shape{6, 24, 24}), (Shape{6, 12, 12}));
+  EXPECT_THROW((void)pool.output_shape(Shape{6, 25, 24}), std::invalid_argument);
+  EXPECT_THROW((void)pool.output_shape(Shape{24, 24}), std::invalid_argument);
+}
+
+TEST(Pool2D, WindowOneIsIdentityForBothModes) {
+  Rng rng(3);
+  const Tensor x = random_tensor(Shape{2, 3, 3}, rng);
+  Pool2D max_pool(1, PoolMode::kMax);
+  Pool2D avg_pool(1, PoolMode::kAverage);
+  EXPECT_EQ(max_pool.forward(x), x);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(avg_pool.forward(x)[i], x[i], 1e-6F);
+  }
+}
+
+TEST(Pool2D, MaxPicksWindowMaximum) {
+  Tensor x(Shape{1, 2, 4}, std::vector<float>{1, 5, -3, 2,
+                                              4, 0, 7, -1});
+  Pool2D pool(2, PoolMode::kMax);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0F);
+  EXPECT_EQ(y[1], 7.0F);
+}
+
+TEST(Pool2D, AverageComputesWindowMean) {
+  Tensor x(Shape{1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  Pool2D pool(2, PoolMode::kAverage);
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 3.0F);
+}
+
+TEST(Pool2D, MaxBackwardRoutesGradientToArgmaxOnly) {
+  Tensor x(Shape{1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  Pool2D pool(2, PoolMode::kMax);
+  (void)pool.forward(x);
+  const Tensor g = pool.backward(Tensor(Shape{1, 1, 1}, 2.5F));
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 2.5F);  // position of the max
+  EXPECT_EQ(g[2], 0.0F);
+  EXPECT_EQ(g[3], 0.0F);
+}
+
+TEST(Pool2D, AverageBackwardSpreadsGradientUniformly) {
+  Pool2D pool(2, PoolMode::kAverage);
+  (void)pool.forward(Tensor(Shape{1, 2, 2}, 1.0F));
+  const Tensor g = pool.backward(Tensor(Shape{1, 1, 1}, 4.0F));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 1.0F);
+}
+
+TEST(Pool2D, BackwardBeforeForwardThrows) {
+  Pool2D pool(2);
+  EXPECT_THROW((void)pool.backward(Tensor(Shape{1, 1, 1})), std::logic_error);
+}
+
+TEST(Pool2D, ForwardOpsMaxUsesCompares) {
+  const Pool2D pool(2, PoolMode::kMax);
+  const OpCount ops = pool.forward_ops(Shape{6, 24, 24});
+  EXPECT_EQ(ops.compares, 6ULL * 12 * 12 * 3);
+  EXPECT_EQ(ops.adds, 0U);
+  EXPECT_EQ(ops.macs, 0U);
+}
+
+TEST(Pool2D, ForwardOpsAverageUsesAddsAndDivides) {
+  const Pool2D pool(2, PoolMode::kAverage);
+  const OpCount ops = pool.forward_ops(Shape{6, 24, 24});
+  EXPECT_EQ(ops.adds, 6ULL * 12 * 12 * 3);
+  EXPECT_EQ(ops.divides, 6ULL * 12 * 12);
+  EXPECT_EQ(ops.compares, 0U);
+}
+
+class PoolInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, PoolMode>> {};
+
+TEST_P(PoolInvariantSweep, OutputBoundedByInputRange) {
+  const auto [window, mode] = GetParam();
+  Rng rng(41 + window);
+  Pool2D pool(window, mode);
+  const Tensor x = random_tensor(Shape{3, window * 4, window * 4}, rng);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 4, 4}));
+  EXPECT_GE(y.max(), x.min());
+  EXPECT_LE(y.max(), x.max() + 1e-6F);
+  EXPECT_GE(y.min(), x.min() - 1e-6F);
+  if (mode == PoolMode::kMax) {
+    // Max-pooling never decreases the per-channel maximum.
+    EXPECT_NEAR(y.max(), x.max(), 1e-6F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndModes, PoolInvariantSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(PoolMode::kMax, PoolMode::kAverage)));
+
+TEST(Pool2D, NameReflectsModeAndWindow) {
+  EXPECT_EQ(Pool2D(2, PoolMode::kMax).name(), "maxpool2x2");
+  EXPECT_EQ(Pool2D(3, PoolMode::kAverage).name(), "avgpool3x3");
+}
+
+}  // namespace
+}  // namespace cdl

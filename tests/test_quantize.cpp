@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/quantize.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_tensor(std::size_t n, Rng& rng) {
+  Tensor t(Shape{n});
+  for (float& v : t.values()) v = rng.uniform(-2.0F, 2.0F);
+  return t;
+}
+
+TEST(Quantize, RejectsBadBitWidths) {
+  Tensor t(Shape{4}, 1.0F);
+  EXPECT_THROW((void)fake_quantize_tensor(t, 1), std::invalid_argument);
+  EXPECT_THROW((void)fake_quantize_tensor(t, 33), std::invalid_argument);
+}
+
+TEST(Quantize, ZeroTensorUnchanged) {
+  Tensor t(Shape{8});
+  EXPECT_EQ(fake_quantize_tensor(t, 8), 0.0);
+  for (float v : t.values()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Quantize, MaxAbsValueIsPreservedExactly) {
+  // The scale is anchored to max-abs, so the extreme value snaps to itself.
+  Tensor t(Shape{3}, std::vector<float>{0.3F, -1.7F, 0.9F});
+  (void)fake_quantize_tensor(t, 8);
+  EXPECT_FLOAT_EQ(t[1], -1.7F);
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep) {
+  Rng rng(3);
+  Tensor t = random_tensor(1000, rng);
+  const float max_abs = 2.0F;  // upper bound on |values|
+  const unsigned bits = 6;
+  const float step = max_abs / static_cast<float>((1U << (bits - 1)) - 1);
+  const double err = fake_quantize_tensor(t, bits);
+  EXPECT_LE(err, step / 2.0F + 1e-6F);
+  EXPECT_GT(err, 0.0);
+}
+
+TEST(Quantize, HighPrecisionIsNearIdentity) {
+  Rng rng(5);
+  Tensor t = random_tensor(100, rng);
+  const Tensor original = t;
+  (void)fake_quantize_tensor(t, 24);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(t[i], original[i], 1e-5F);
+  }
+}
+
+TEST(Quantize, ErrorShrinksWithMoreBits) {
+  Rng rng(7);
+  const Tensor original = random_tensor(500, rng);
+  double prev_err = 1e9;
+  for (unsigned bits : {3U, 5U, 8U, 12U}) {
+    Tensor t = original;
+    const double err = fake_quantize_tensor(t, bits);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Quantize, ValuesLandOnTheGrid) {
+  Rng rng(9);
+  Tensor t = random_tensor(200, rng);
+  const unsigned bits = 4;
+  float max_abs = 0.0F;
+  for (float v : t.values()) max_abs = std::max(max_abs, std::abs(v));
+  const float scale = max_abs / 7.0F;  // 2^(4-1) - 1
+  (void)fake_quantize_tensor(t, bits);
+  for (float v : t.values()) {
+    const float q = v / scale;
+    EXPECT_NEAR(q, std::round(q), 1e-4F);
+    EXPECT_LE(std::abs(q), 7.0F + 1e-4F);
+  }
+}
+
+TEST(Quantize, NetworkReportCountsEverything) {
+  Network net;
+  net.emplace<Dense>(4, 3);
+  net.emplace<Sigmoid>();
+  net.emplace<Dense>(3, 2);
+  Rng rng(11);
+  net.init(rng);
+  const QuantizationReport report = fake_quantize_network(net, 8);
+  EXPECT_EQ(report.bits, 8U);
+  EXPECT_EQ(report.tensors, 4U);                     // 2x (W, b)
+  EXPECT_EQ(report.values, 4U * 3 + 3 + 3 * 2 + 2);  // 23
+}
+
+TEST(Quantize, CdlnQuantizesBaselineAndClassifiers) {
+  Network base;
+  base.emplace<Dense>(4, 6);
+  base.emplace<Sigmoid>();
+  base.emplace<Dense>(6, 3);
+  Rng rng(13);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{4});
+  net.attach_classifier(2, LcTrainingRule::kLms, rng);
+
+  const QuantizationReport report = fake_quantize_cdln(net, 8);
+  EXPECT_EQ(report.tensors, 6U);  // baseline 4 + classifier W/b
+
+  // Classifier weights must actually be snapped.
+  const Tensor& w = *net.classifier(0).parameters()[0];
+  float max_abs = 0.0F;
+  for (float v : w.values()) max_abs = std::max(max_abs, std::abs(v));
+  const float scale = max_abs / 127.0F;
+  for (float v : w.values()) {
+    EXPECT_NEAR(v / scale, std::round(v / scale), 1e-3F);
+  }
+}
+
+TEST(Quantize, IdempotentAtSameBitWidth) {
+  Rng rng(15);
+  Tensor t = random_tensor(100, rng);
+  (void)fake_quantize_tensor(t, 6);
+  const Tensor once = t;
+  const double second_err = fake_quantize_tensor(t, 6);
+  EXPECT_EQ(t, once);
+  EXPECT_NEAR(second_err, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cdl

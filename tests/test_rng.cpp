@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace cdl {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0.0F, 1.0F), b.uniform(0.0F, 1.0F));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0F, 1.0F) == b.uniform(0.0F, 1.0F)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0F, 3.0F);
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float v = rng.normal(2.0F, 3.0F);
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, IndexCoversRangeAndRejectsZero) {
+  Rng rng(13);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.index(5)];
+  for (int count : seen) EXPECT_GT(count, 100);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, CoinRespectsProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin(0.25F) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.coin(0.0F));
+    EXPECT_TRUE(rng.coin(1.0F));
+  }
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "scalable/scalable_cascade.h"
+
+namespace cdl {
+namespace {
+
+Network linear_stage(std::size_t in, std::size_t classes, Rng& rng) {
+  Network net;
+  net.emplace<Dense>(in, classes);
+  net.init(rng);
+  return net;
+}
+
+Network mlp_stage(std::size_t in, std::size_t hidden, std::size_t classes,
+                  Rng& rng) {
+  Network net;
+  net.emplace<Dense>(in, hidden);
+  net.emplace<Sigmoid>();
+  net.emplace<Dense>(hidden, classes);
+  net.init(rng);
+  return net;
+}
+
+TEST(ScalableCascade, StageValidation) {
+  ScalableCascade cascade(Shape{4});
+  Rng rng(1);
+  EXPECT_THROW((void)cascade.classify(Tensor(Shape{4})), std::logic_error);
+
+  cascade.add_stage(linear_stage(4, 3, rng));
+  EXPECT_EQ(cascade.num_stages(), 1U);
+  // A stage with a different class count is rejected.
+  EXPECT_THROW((void)cascade.add_stage(linear_stage(4, 5, rng)),
+               std::invalid_argument);
+  // A stage that cannot consume the input shape is rejected.
+  EXPECT_THROW((void)cascade.add_stage(linear_stage(7, 3, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((void)cascade.stage(1), std::out_of_range);
+}
+
+TEST(ScalableCascade, FinalStageAlwaysDecides) {
+  ScalableCascade cascade(Shape{4});
+  Rng rng(2);
+  cascade.add_stage(linear_stage(4, 3, rng));
+  cascade.add_stage(mlp_stage(4, 6, 3, rng));
+  cascade.set_delta(2.0F);  // nothing can clear this threshold
+  const ClassificationResult r = cascade.classify(Tensor(Shape{4}, 0.3F));
+  EXPECT_EQ(r.exit_stage, 1U);  // final stage decided anyway
+  EXPECT_LT(r.label, 3U);
+}
+
+TEST(ScalableCascade, ConfidentFirstStageTerminatesEarly) {
+  ScalableCascade cascade(Shape{4});
+  Rng rng(3);
+  cascade.add_stage(linear_stage(4, 3, rng));
+  cascade.add_stage(mlp_stage(4, 6, 3, rng));
+  // Rig stage 0 to a huge logit for class 2: softmax -> ~1.0.
+  auto params = cascade.stage(0).parameters();
+  params[0]->zero();
+  params[1]->zero();
+  (*params[1])[2] = 50.0F;
+  cascade.set_delta(0.9F);
+  const ClassificationResult r = cascade.classify(Tensor(Shape{4}, 0.1F));
+  EXPECT_EQ(r.exit_stage, 0U);
+  EXPECT_EQ(r.label, 2U);
+}
+
+TEST(ScalableCascade, ExitOpsAccumulateFullStageCosts) {
+  ScalableCascade cascade(Shape{4});
+  Rng rng(4);
+  cascade.add_stage(linear_stage(4, 3, rng));
+  cascade.add_stage(mlp_stage(4, 6, 3, rng));
+  const OpCount first = cascade.exit_ops(0);
+  const OpCount both = cascade.exit_ops(1);
+  // No sharing: exiting at stage 1 pays stage 0's cost in full again.
+  EXPECT_GT(both.macs, first.macs + 4 * 6);  // at least the MLP's first layer
+  EXPECT_EQ(cascade.worst_case_ops(), both);
+  EXPECT_THROW((void)cascade.exit_ops(2), std::out_of_range);
+}
+
+TEST(ScalableCascade, OpsMatchExitTableDuringClassify) {
+  ScalableCascade cascade(Shape{4});
+  Rng rng(5);
+  cascade.add_stage(linear_stage(4, 3, rng));
+  cascade.add_stage(mlp_stage(4, 6, 3, rng));
+  cascade.set_delta(2.0F);
+  const ClassificationResult r = cascade.classify(Tensor(Shape{4}, 0.5F));
+  EXPECT_EQ(r.ops, cascade.exit_ops(1));
+}
+
+TEST(ScalableCascade, TrainingRoutesInstancesLikeAlgorithmOne) {
+  SyntheticMnistConfig config;
+  config.seed = 17;
+  const SyntheticMnist gen(config);
+  const Dataset train = gen.generate(300);
+
+  ScalableCascade cascade(Shape{1, 28, 28});
+  Rng rng(6);
+  cascade.add_stage(linear_stage(28 * 28, 10, rng));
+  cascade.add_stage(mlp_stage(28 * 28, 24, 10, rng));
+
+  ScalableTrainConfig cfg;
+  cfg.epochs_per_stage = {6, 6};
+  const ScalableTrainReport report =
+      train_scalable_cascade(cascade, train, cfg, rng);
+
+  ASSERT_EQ(report.reached.size(), 2U);
+  EXPECT_EQ(report.reached[0], train.size());
+  EXPECT_EQ(report.reached[1], report.reached[0] - report.classified[0]);
+  // The raw-pixel linear stage should confidently take a decent share.
+  EXPECT_GT(report.classified[0], train.size() / 4);
+}
+
+TEST(ScalableCascade, TrainedCascadeBeatsChance) {
+  SyntheticMnistConfig config;
+  config.seed = 19;
+  const SyntheticMnist gen(config);
+  const Dataset train = gen.generate(400);
+  const Dataset test = gen.generate(150, 1ULL << 20);
+
+  ScalableCascade cascade(Shape{1, 28, 28});
+  Rng rng(7);
+  cascade.add_stage(linear_stage(28 * 28, 10, rng));
+  ScalableTrainConfig cfg;
+  cfg.epochs_per_stage = {10};
+  (void)train_scalable_cascade(cascade, train, cfg, rng);
+  cascade.set_delta(0.5F);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (cascade.classify(test.image(i)).label == test.label(i)) ++correct;
+  }
+  EXPECT_GT(correct, test.size() / 2);
+}
+
+TEST(ScalableCascade, TrainValidation) {
+  ScalableCascade empty(Shape{4});
+  Rng rng(8);
+  ScalableTrainConfig cfg;
+  Dataset data;
+  data.add(Tensor(Shape{4}), 0);
+  EXPECT_THROW((void)train_scalable_cascade(empty, data, cfg, rng),
+               std::invalid_argument);
+
+  ScalableCascade cascade(Shape{4});
+  cascade.add_stage(linear_stage(4, 3, rng));
+  EXPECT_THROW((void)train_scalable_cascade(cascade, Dataset{}, cfg, rng),
+               std::invalid_argument);
+  cfg.epochs_per_stage.clear();
+  EXPECT_THROW((void)train_scalable_cascade(cascade, data, cfg, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdl

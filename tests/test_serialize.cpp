@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+
+namespace cdl {
+namespace {
+
+Network two_layer_net() {
+  Network net;
+  net.emplace<Dense>(4, 3);
+  net.emplace<Sigmoid>();
+  net.emplace<Dense>(3, 2);
+  return net;
+}
+
+TEST(Serialize, StreamRoundTripIsBitExact) {
+  Network a = two_layer_net();
+  Rng rng(7);
+  a.init(rng);
+
+  std::stringstream buf;
+  save_parameters(buf, a.parameters());
+
+  Network b = two_layer_net();
+  load_parameters(buf, b.parameters());
+
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i], *pb[i]);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cdl_serialize_test.cdlw")
+          .string();
+  Network a = two_layer_net();
+  Rng rng(11);
+  a.init(rng);
+  save_network(path, a);
+
+  Network b = two_layer_net();
+  load_network(path, b);
+  EXPECT_EQ(*a.parameters()[0], *b.parameters()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buf("not a cdlw file at all");
+  Network net = two_layer_net();
+  EXPECT_THROW(load_parameters(buf, net.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, TensorCountMismatchRejected) {
+  Network a = two_layer_net();
+  std::stringstream buf;
+  save_parameters(buf, a.parameters());
+
+  Network b;
+  b.emplace<Dense>(4, 3);
+  EXPECT_THROW(load_parameters(buf, b.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Network a = two_layer_net();
+  std::stringstream buf;
+  save_parameters(buf, a.parameters());
+
+  Network b;
+  b.emplace<Dense>(4, 3);
+  b.emplace<Dense>(3, 3);  // wrong second layer
+  EXPECT_THROW(load_parameters(buf, b.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamRejected) {
+  Network a = two_layer_net();
+  std::stringstream buf;
+  save_parameters(buf, a.parameters());
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  Network b = two_layer_net();
+  EXPECT_THROW(load_parameters(truncated, b.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Network net = two_layer_net();
+  EXPECT_THROW(load_network("/nonexistent/path/x.cdlw", net),
+               std::runtime_error);
+  EXPECT_THROW(save_network("/nonexistent/path/x.cdlw", net),
+               std::runtime_error);
+}
+
+TEST(Serialize, EmptyParameterListRoundTrips) {
+  std::stringstream buf;
+  save_parameters(buf, {});
+  EXPECT_NO_THROW(load_parameters(buf, {}));
+}
+
+}  // namespace
+}  // namespace cdl

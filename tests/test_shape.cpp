@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/shape.h"
+
+namespace cdl {
+namespace {
+
+TEST(Shape, DefaultIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.numel(), 1U);
+}
+
+TEST(Shape, InitializerListConstruction) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3U);
+  EXPECT_EQ(s.dim(0), 2U);
+  EXPECT_EQ(s.dim(1), 3U);
+  EXPECT_EQ(s.dim(2), 4U);
+  EXPECT_EQ(s.numel(), 24U);
+}
+
+TEST(Shape, VectorConstruction) {
+  const Shape s(std::vector<std::size_t>{5, 7});
+  EXPECT_EQ(s.rank(), 2U);
+  EXPECT_EQ(s.numel(), 35U);
+}
+
+TEST(Shape, ZeroExtentRejected) {
+  EXPECT_THROW(Shape({2, 0, 3}), std::invalid_argument);
+  EXPECT_THROW(Shape({0}), std::invalid_argument);
+}
+
+TEST(Shape, EqualityAndInequality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(Shape, OutOfRangeDimAccessThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW((void)s.dim(2), std::out_of_range);
+  EXPECT_THROW((void)s[5], std::out_of_range);
+}
+
+TEST(Shape, ToStringFormatsDims) {
+  EXPECT_EQ(Shape({1, 28, 28}).to_string(), "[1, 28, 28]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+class ShapeNumelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShapeNumelSweep, RankOneNumelMatchesExtent) {
+  const std::size_t n = GetParam();
+  EXPECT_EQ(Shape({n}).numel(), n);
+  EXPECT_EQ(Shape({n, 1}).numel(), n);
+  EXPECT_EQ(Shape({1, n, 1}).numel(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, ShapeNumelSweep,
+                         ::testing::Values(1, 2, 7, 28, 784, 1000000));
+
+}  // namespace
+}  // namespace cdl

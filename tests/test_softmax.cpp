@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/softmax.h"
+
+namespace cdl {
+namespace {
+
+TEST(Softmax, UniformLogitsGiveUniformDistribution) {
+  const Tensor p = softmax(Tensor(Shape{4}, 3.0F));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(p[i], 0.25F, 1e-6F);
+}
+
+TEST(Softmax, EmptyInputThrows) {
+  EXPECT_THROW((void)softmax(Tensor{}), std::invalid_argument);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const Tensor a(Shape{3}, std::vector<float>{1.0F, 2.0F, 3.0F});
+  Tensor b = a;
+  for (float& v : b.values()) v += 100.0F;
+  const Tensor pa = softmax(a);
+  const Tensor pb = softmax(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6F);
+}
+
+TEST(Softmax, NumericallyStableAtExtremes) {
+  const Tensor p =
+      softmax(Tensor(Shape{3}, std::vector<float>{1000.0F, -1000.0F, 0.0F}));
+  EXPECT_NEAR(p[0], 1.0F, 1e-6F);
+  EXPECT_NEAR(p[1], 0.0F, 1e-6F);
+  EXPECT_FALSE(std::isnan(p[2]));
+}
+
+TEST(Softmax, PreservesArgmaxOrder) {
+  Rng rng(5);
+  Tensor logits(Shape{10});
+  for (float& v : logits.values()) v = rng.uniform(-4.0F, 4.0F);
+  const Tensor p = softmax(logits);
+  EXPECT_EQ(p.argmax(), logits.argmax());
+}
+
+class SoftmaxSimplexSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SoftmaxSimplexSweep, OutputIsProbabilitySimplex) {
+  Rng rng(100 + GetParam());
+  Tensor logits(Shape{GetParam()});
+  for (float& v : logits.values()) v = rng.uniform(-10.0F, 10.0F);
+  const Tensor p = softmax(logits);
+  float total = 0.0F;
+  for (std::size_t i = 0; i < p.numel(); ++i) {
+    EXPECT_GE(p[i], 0.0F);
+    EXPECT_LE(p[i], 1.0F);
+    total += p[i];
+  }
+  EXPECT_NEAR(total, 1.0F, 1e-5F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxSimplexSweep,
+                         ::testing::Values(1, 2, 10, 100));
+
+TEST(Confidence, MaxProbability) {
+  const Tensor p(Shape{3}, std::vector<float>{0.2F, 0.7F, 0.1F});
+  EXPECT_FLOAT_EQ(max_probability(p), 0.7F);
+}
+
+TEST(Confidence, MarginIsTopTwoDifference) {
+  const Tensor p(Shape{4}, std::vector<float>{0.1F, 0.6F, 0.25F, 0.05F});
+  EXPECT_NEAR(probability_margin(p), 0.35F, 1e-6F);
+}
+
+TEST(Confidence, MarginSingleClass) {
+  const Tensor p(Shape{1}, std::vector<float>{0.9F});
+  EXPECT_FLOAT_EQ(probability_margin(p), 0.9F);
+}
+
+TEST(Confidence, EntropyOneHotIsOne) {
+  const Tensor p(Shape{4}, std::vector<float>{0.0F, 1.0F, 0.0F, 0.0F});
+  EXPECT_NEAR(entropy_confidence(p), 1.0F, 1e-5F);
+}
+
+TEST(Confidence, EntropyUniformIsZero) {
+  const Tensor p(Shape{4}, 0.25F);
+  EXPECT_NEAR(entropy_confidence(p), 0.0F, 1e-5F);
+}
+
+TEST(Confidence, EntropyHandlesUnnormalizedScores) {
+  // LMS stages emit clamped scores; entropy must normalize internally.
+  const Tensor sharp(Shape{3}, std::vector<float>{0.9F, 0.01F, 0.01F});
+  const Tensor flat(Shape{3}, std::vector<float>{0.4F, 0.4F, 0.4F});
+  EXPECT_GT(entropy_confidence(sharp), entropy_confidence(flat));
+  EXPECT_NEAR(entropy_confidence(flat), 0.0F, 1e-5F);
+}
+
+TEST(Confidence, EntropyAllZeroScoresIsZero) {
+  EXPECT_EQ(entropy_confidence(Tensor(Shape{3})), 0.0F);
+}
+
+TEST(Softmax, OpsAccountForEveryPhase) {
+  const OpCount ops = softmax_ops(10);
+  EXPECT_EQ(ops.activations, 10U);  // exponentials
+  EXPECT_EQ(ops.divides, 10U);
+  EXPECT_EQ(ops.compares, 9U);
+  EXPECT_GT(ops.total_compute(), 0U);
+}
+
+}  // namespace
+}  // namespace cdl

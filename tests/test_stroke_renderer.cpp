@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/stroke_renderer.h"
+
+namespace cdl {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+std::vector<Stroke> box_glyph() {
+  return {line_stroke({{0.3F, 0.3F}, {0.7F, 0.3F}, {0.7F, 0.7F},
+                       {0.3F, 0.7F}, {0.3F, 0.3F}})};
+}
+
+TEST(StrokeHelpers, ArcEndpointsAndCount) {
+  const Stroke s = arc_stroke(0.5F, 0.5F, 0.2F, 0.1F, 0.0F, kPi, 10);
+  ASSERT_EQ(s.size(), 11U);
+  EXPECT_NEAR(s.front().x, 0.7F, 1e-6F);  // angle 0: right
+  EXPECT_NEAR(s.front().y, 0.5F, 1e-6F);
+  EXPECT_NEAR(s.back().x, 0.3F, 1e-6F);   // angle pi: left
+  EXPECT_NEAR(s.back().y, 0.5F, 1e-5F);
+  // Midpoint (pi/2) is at the bottom in y-down coordinates.
+  EXPECT_NEAR(s[5].y, 0.6F, 1e-6F);
+}
+
+TEST(StrokeHelpers, LineStrokeKeepsPoints) {
+  const Stroke s = line_stroke({{0.1F, 0.2F}, {0.3F, 0.4F}});
+  ASSERT_EQ(s.size(), 2U);
+  EXPECT_EQ(s[0].x, 0.1F);
+  EXPECT_EQ(s[1].y, 0.4F);
+}
+
+TEST(StrokeRenderer, RejectsBadConfig) {
+  StrokeRenderConfig tiny;
+  tiny.image_size = 4;
+  EXPECT_THROW(StrokeRenderer{tiny}, std::invalid_argument);
+  StrokeRenderConfig bad_scale;
+  bad_scale.min_scale = 1.3F;
+  bad_scale.max_scale = 0.9F;
+  EXPECT_THROW(StrokeRenderer{bad_scale}, std::invalid_argument);
+}
+
+TEST(StrokeRenderer, DeterministicGivenSameRngState) {
+  const StrokeRenderer renderer;
+  const auto glyph = box_glyph();
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(renderer.render(glyph, 0.3F, a), renderer.render(glyph, 0.3F, b));
+}
+
+TEST(StrokeRenderer, OutputShapeAndRange) {
+  StrokeRenderConfig config;
+  config.image_size = 20;
+  const StrokeRenderer renderer(config);
+  Rng rng(7);
+  const Tensor img = renderer.render(box_glyph(), 0.5F, rng);
+  EXPECT_EQ(img.shape(), (Shape{1, 20, 20}));
+  EXPECT_GE(img.min(), 0.0F);
+  EXPECT_LE(img.max(), 1.0F);
+  EXPECT_GT(img.sum(), 3.0F);  // the box is actually drawn
+}
+
+TEST(StrokeRenderer, DifficultyClampedOutOfRangeInputs) {
+  const StrokeRenderer renderer;
+  Rng a(3);
+  Rng b(3);
+  // difficulty > 1 behaves as 1; < 0 behaves as 0 (no crash, same draws).
+  EXPECT_EQ(renderer.render(box_glyph(), 5.0F, a),
+            renderer.render(box_glyph(), 1.0F, b));
+  Rng c(4);
+  Rng d(4);
+  EXPECT_EQ(renderer.render(box_glyph(), -1.0F, c),
+            renderer.render(box_glyph(), 0.0F, d));
+}
+
+TEST(StrokeRenderer, ZeroNoiseConfigGivesCleanBackground) {
+  StrokeRenderConfig config;
+  config.noise_stddev = 0.0F;
+  const StrokeRenderer renderer(config);
+  Rng rng(9);
+  const Tensor img = renderer.render(box_glyph(), 0.1F, rng);
+  // Corners far from the box must be exactly blank without noise.
+  EXPECT_EQ(img.at(0, 0, 0), 0.0F);
+  EXPECT_EQ(img.at(0, 27, 27), 0.0F);
+}
+
+TEST(StrokeRenderer, BackgroundDrawnBehindGlyph) {
+  StrokeRenderConfig config;
+  config.noise_stddev = 0.0F;
+  config.point_jitter = 0.0F;
+  config.max_rotation_rad = 0.0F;
+  config.max_shear = 0.0F;
+  config.min_scale = 1.0F;
+  config.max_scale = 1.0F;
+  config.max_translate = 0.0F;
+  const StrokeRenderer renderer(config);
+
+  const auto background = [](Rng&) {
+    BackgroundLayer bg;
+    bg.strokes = {line_stroke({{0.0F, 0.1F}, {1.0F, 0.1F}})};
+    bg.ink = 0.4F;
+    return bg;
+  };
+  Rng rng(11);
+  const Tensor img = renderer.render(box_glyph(), 0.0F, rng, background);
+  // The background line at y=0.1 leaves faint ink well away from the box.
+  float bg_row_max = 0.0F;
+  for (std::size_t x = 0; x < 28; ++x) {
+    bg_row_max = std::max(bg_row_max, img.at(0, 2, x));
+  }
+  EXPECT_GT(bg_row_max, 0.2F);
+  EXPECT_LT(bg_row_max, 0.6F);  // fainter than the glyph's own ink
+}
+
+TEST(StrokeRenderer, HigherDifficultyMeansMoreDeviation) {
+  StrokeRenderConfig config;
+  config.noise_stddev = 0.0F;
+  const StrokeRenderer renderer(config);
+  const auto glyph = box_glyph();
+
+  // Canonical: difficulty 0 with the residual variation neutralized by
+  // averaging many renders.
+  const auto mean_distance = [&](float difficulty, std::uint64_t seed0) {
+    Rng ref_rng(999);
+    const Tensor reference = renderer.render(glyph, 0.0F, ref_rng);
+    double acc = 0.0;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+      Rng rng(seed0 + static_cast<std::uint64_t>(i));
+      const Tensor img = renderer.render(glyph, difficulty, rng);
+      double dist = 0.0;
+      for (std::size_t p = 0; p < img.numel(); ++p) {
+        const double diff = img[p] - reference[p];
+        dist += diff * diff;
+      }
+      acc += dist;
+    }
+    return acc / n;
+  };
+  EXPECT_LT(mean_distance(0.05F, 100), mean_distance(0.95F, 100));
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_mnist.h"
+
+namespace cdl {
+namespace {
+
+TEST(SyntheticMnist, RejectsBadConfig) {
+  SyntheticMnistConfig tiny;
+  tiny.image_size = 4;
+  EXPECT_THROW(SyntheticMnist{tiny}, std::invalid_argument);
+
+  SyntheticMnistConfig bad_scale;
+  bad_scale.min_scale = 1.2F;
+  bad_scale.max_scale = 0.8F;
+  EXPECT_THROW(SyntheticMnist{bad_scale}, std::invalid_argument);
+}
+
+TEST(SyntheticMnist, GlyphsExistForAllDigits) {
+  for (std::size_t d = 0; d < 10; ++d) {
+    const auto& strokes = SyntheticMnist::glyph(d);
+    EXPECT_FALSE(strokes.empty()) << "digit " << d;
+    for (const Stroke& s : strokes) {
+      EXPECT_GE(s.size(), 2U);
+      for (const Point& p : s) {
+        EXPECT_GE(p.x, 0.0F);
+        EXPECT_LE(p.x, 1.0F);
+        EXPECT_GE(p.y, 0.0F);
+        EXPECT_LE(p.y, 1.0F);
+      }
+    }
+  }
+  EXPECT_THROW((void)SyntheticMnist::glyph(10), std::invalid_argument);
+}
+
+TEST(SyntheticMnist, RenderIsDeterministicPerSeedDigitIndex) {
+  const SyntheticMnist gen(SyntheticMnistConfig{.seed = 9});
+  EXPECT_EQ(gen.render(3, 17), gen.render(3, 17));
+  EXPECT_NE(gen.render(3, 17), gen.render(3, 18));
+  EXPECT_NE(gen.render(3, 17), gen.render(4, 17));
+
+  const SyntheticMnist other(SyntheticMnistConfig{.seed = 10});
+  EXPECT_NE(gen.render(3, 17), other.render(3, 17));
+}
+
+TEST(SyntheticMnist, PixelsInUnitRangeWithInk) {
+  const SyntheticMnist gen;
+  for (std::size_t d = 0; d < 10; ++d) {
+    const Tensor img = gen.render(d, 0);
+    EXPECT_EQ(img.shape(), (Shape{1, 28, 28}));
+    EXPECT_GE(img.min(), 0.0F);
+    EXPECT_LE(img.max(), 1.0F);
+    // A digit must actually be drawn: enough bright pixels...
+    std::size_t bright = 0;
+    for (float v : img.values()) bright += v > 0.5F ? 1 : 0;
+    EXPECT_GT(bright, 20U) << "digit " << d;
+    // ...but far from a filled canvas.
+    EXPECT_LT(bright, 400U) << "digit " << d;
+  }
+}
+
+TEST(SyntheticMnist, DifficultyMatchesRenderDraw) {
+  const SyntheticMnist gen(SyntheticMnistConfig{.seed = 4});
+  // difficulty() must replay the same first draw render() consumes; verify
+  // determinism and range.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const float d1 = gen.difficulty(5, i);
+    const float d2 = gen.difficulty(5, i);
+    EXPECT_EQ(d1, d2);
+    EXPECT_GE(d1, 0.0F);
+    EXPECT_LE(d1, 1.0F);
+  }
+}
+
+TEST(SyntheticMnist, DifficultyDistributionMostlyEasy) {
+  const SyntheticMnist gen;
+  std::size_t easy = 0;
+  const std::size_t n = 1000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (gen.difficulty(0, i) < 0.5F) ++easy;
+  }
+  // The paper's premise: a large majority of inputs are easy.
+  EXPECT_GT(easy, n * 6 / 10);
+}
+
+TEST(SyntheticMnist, ClassDifficultyOrdersDigitOneEasiest) {
+  const SyntheticMnist gen;
+  double sum1 = 0.0;
+  double sum5 = 0.0;
+  const std::size_t n = 500;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum1 += gen.difficulty(1, i);
+    sum5 += gen.difficulty(5, i);
+  }
+  EXPECT_LT(sum1 / n, 0.6 * sum5 / n);
+}
+
+TEST(SyntheticMnist, HardSamplesDifferMoreFromCanonical) {
+  SyntheticMnistConfig config;
+  config.seed = 21;
+  const SyntheticMnist gen(config);
+
+  // Find a notably easy and a notably hard sample of the same digit and
+  // compare their distance to the canonical (difficulty ~ 0) rendering.
+  config.difficulty_exponent = 1000.0F;  // difficulty ~ 0 for all draws
+  const SyntheticMnist canonical_gen(config);
+  const Tensor canonical = canonical_gen.render(0, 1);
+
+  std::uint64_t easy_idx = 0;
+  std::uint64_t hard_idx = 0;
+  float easiest = 2.0F;
+  float hardest = -1.0F;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const float d = gen.difficulty(0, i);
+    if (d < easiest) {
+      easiest = d;
+      easy_idx = i;
+    }
+    if (d > hardest) {
+      hardest = d;
+      hard_idx = i;
+    }
+  }
+  ASSERT_LT(easiest, 0.1F);
+  ASSERT_GT(hardest, 0.7F);
+
+  const auto distance = [&](const Tensor& img) {
+    double acc = 0.0;
+    for (std::size_t p = 0; p < img.numel(); ++p) {
+      const double diff = img[p] - canonical[p];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  EXPECT_LT(distance(gen.render(0, easy_idx)),
+            distance(gen.render(0, hard_idx)));
+}
+
+TEST(SyntheticMnist, GenerateBalancedClasses) {
+  const SyntheticMnist gen;
+  const Dataset d = gen.generate(100);
+  EXPECT_EQ(d.size(), 100U);
+  for (std::size_t count : d.class_counts()) EXPECT_EQ(count, 10U);
+}
+
+TEST(SyntheticMnist, GenerateDigitSingleClass) {
+  const SyntheticMnist gen;
+  const Dataset d = gen.generate_digit(7, 25);
+  EXPECT_EQ(d.size(), 25U);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(d.label(i), 7U);
+}
+
+TEST(SyntheticMnist, IndexBaseYieldsDisjointSamples) {
+  const SyntheticMnist gen;
+  const Dataset a = gen.generate(20, 0);
+  const Dataset b = gen.generate(20, 1000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a.image(i), b.image(i));
+  }
+}
+
+TEST(LoadMnistOrSynthetic, SplitsAreSizedAndDisjoint) {
+  unsetenv("CDL_MNIST_DIR");
+  const MnistPair pair = load_mnist_or_synthetic(40, 20, 3, 10);
+  EXPECT_TRUE(pair.synthetic);
+  EXPECT_EQ(pair.train.size(), 40U);
+  EXPECT_EQ(pair.test.size(), 20U);
+  EXPECT_EQ(pair.validation.size(), 10U);
+  EXPECT_NE(pair.train.image(0), pair.test.image(0));
+  EXPECT_NE(pair.train.image(0), pair.validation.image(0));
+}
+
+TEST(LoadMnistOrSynthetic, ZeroValCountGivesEmptyValidation) {
+  unsetenv("CDL_MNIST_DIR");
+  const MnistPair pair = load_mnist_or_synthetic(10, 10, 3);
+  EXPECT_TRUE(pair.validation.empty());
+}
+
+TEST(SyntheticMnist, ClutterAddsBackgroundInk) {
+  SyntheticMnistConfig clean_cfg;
+  clean_cfg.seed = 31;
+  clean_cfg.noise_stddev = 0.0F;  // isolate the clutter contribution
+  SyntheticMnistConfig clutter_cfg = clean_cfg;
+  clutter_cfg.clutter = 1.0F;
+
+  const SyntheticMnist clean(clean_cfg);
+  const SyntheticMnist cluttered(clutter_cfg);
+  double clean_ink = 0.0;
+  double clutter_ink = 0.0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    clean_ink += clean.render(4, i).sum();
+    clutter_ink += cluttered.render(4, i).sum();
+  }
+  EXPECT_GT(clutter_ink, 1.1 * clean_ink);
+}
+
+TEST(SyntheticMnist, ClutterIsDeterministicAndBounded) {
+  SyntheticMnistConfig cfg;
+  cfg.seed = 33;
+  cfg.clutter = 0.8F;
+  const SyntheticMnist gen(cfg);
+  EXPECT_EQ(gen.render(2, 5), gen.render(2, 5));
+  const Tensor img = gen.render(2, 5);
+  EXPECT_GE(img.min(), 0.0F);
+  EXPECT_LE(img.max(), 1.0F);
+}
+
+class RenderAllDigitsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RenderAllDigitsSweep, ManySamplesStayWellFormed) {
+  const SyntheticMnist gen(SyntheticMnistConfig{.seed = 77});
+  const std::size_t digit = GetParam();
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const Tensor img = gen.render(digit, i);
+    EXPECT_GE(img.min(), 0.0F);
+    EXPECT_LE(img.max(), 1.0F);
+    EXPECT_GT(img.sum(), 5.0F);  // never blank
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Digits, RenderAllDigitsSweep,
+                         ::testing::Range<std::size_t>(0, 10));
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "cdl/architectures.h"
+#include "core/rng.h"
+#include "hw/systolic_mapping.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+namespace {
+
+TEST(SystolicMapper, RejectsBadConfig) {
+  SystolicConfig c;
+  c.rows = 0;
+  EXPECT_THROW(SystolicMapper{c}, std::invalid_argument);
+  c = {};
+  c.frequency_mhz = 0.0;
+  EXPECT_THROW(SystolicMapper{c}, std::invalid_argument);
+}
+
+TEST(SystolicMapper, SingleTileConvCycleFormula) {
+  // Conv 1->8 maps, 3x3 kernel, 10x10 input -> 8x8 output = 64 pixels.
+  // On an 8x64 array: 1 tile, cycles = reduction(9) + rows(8) + cols(64).
+  Network net;
+  net.emplace<Conv2D>(1, 8, 3);
+  SystolicConfig c;
+  c.rows = 8;
+  c.cols = 64;
+  const MappingReport r =
+      SystolicMapper(c).map_network(net, Shape{1, 10, 10});
+  ASSERT_EQ(r.layers.size(), 1U);
+  EXPECT_EQ(r.layers[0].tiles, 1U);
+  EXPECT_EQ(r.layers[0].cycles, 9U + 8U + 64U);
+  EXPECT_EQ(r.layers[0].macs, 8ULL * 64 * 9);
+}
+
+TEST(SystolicMapper, TileCountUsesCeilDivision) {
+  Network net;
+  net.emplace<Conv2D>(1, 9, 3);  // 9 maps on 8 rows -> 2 row tiles
+  SystolicConfig c;
+  c.rows = 8;
+  c.cols = 8;  // 64 pixels on 8 cols -> 8 col tiles
+  const MappingReport r =
+      SystolicMapper(c).map_network(net, Shape{1, 10, 10});
+  EXPECT_EQ(r.layers[0].tiles, 2U * 8U);
+}
+
+TEST(SystolicMapper, UtilizationBoundedAndPositiveForMacLayers) {
+  const Network net = make_mnist_2c_baseline();
+  const MappingReport r =
+      SystolicMapper().map_network(net, Shape{1, 28, 28});
+  for (const LayerMapping& m : r.layers) {
+    EXPECT_GE(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+    if (m.macs > 0) {
+      EXPECT_GT(m.utilization, 0.0);
+    }
+  }
+  EXPECT_GT(r.mac_utilization, 0.0);
+  EXPECT_LE(r.mac_utilization, 1.0);
+}
+
+TEST(SystolicMapper, DenseBatchOneUnderutilizesWideArrays) {
+  Network net;
+  net.emplace<Dense>(192, 10);
+  SystolicConfig wide;
+  wide.rows = 8;
+  wide.cols = 32;
+  const MappingReport r = SystolicMapper(wide).map_network(net, Shape{192});
+  // Only one column of the 32 carries work.
+  EXPECT_LT(r.layers[0].utilization, 1.0 / 16.0);
+}
+
+TEST(SystolicMapper, PoolingAndActivationsUseVectorUnit) {
+  Network net;
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);
+  SystolicConfig c;
+  c.vector_lanes = 8;
+  const MappingReport r = SystolicMapper(c).map_network(net, Shape{4, 8, 8});
+  EXPECT_EQ(r.layers[0].cycles, 4U * 8 * 8 / 8);  // 8 lanes
+  EXPECT_EQ(r.layers[1].cycles, 4U * 4 * 4 / 8);  // output elements / lanes
+  EXPECT_EQ(r.layers[0].macs, 0U);
+
+  // A single-lane unit processes one element per cycle.
+  c.vector_lanes = 1;
+  const MappingReport slow = SystolicMapper(c).map_network(net, Shape{4, 8, 8});
+  EXPECT_EQ(slow.layers[0].cycles, 4U * 8 * 8);
+}
+
+TEST(SystolicMapper, TotalsAreLayerSums) {
+  const Network net = make_mnist_3c_baseline();
+  const MappingReport r =
+      SystolicMapper().map_network(net, Shape{1, 28, 28});
+  std::uint64_t sum = 0;
+  for (const LayerMapping& m : r.layers) sum += m.cycles;
+  EXPECT_EQ(r.total_cycles, sum);
+  EXPECT_NEAR(r.microseconds,
+              static_cast<double>(sum) / SystolicConfig{}.frequency_mhz, 1e-9);
+}
+
+TEST(SystolicMapper, ExitCyclesIncreaseWithStage) {
+  Rng rng(3);
+  const CdlArchitecture arch = mnist_3c();
+  Network base = arch.make_baseline();
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  const SystolicMapper mapper;
+  std::uint64_t prev = 0;
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    const std::uint64_t cycles = mapper.exit_cycles(net, s);
+    EXPECT_GT(cycles, prev);
+    prev = cycles;
+  }
+  // Full CDLN exit must cost at least the bare baseline mapping.
+  EXPECT_GE(prev,
+            mapper.map_network(net.baseline(), arch.input_shape).total_cycles);
+}
+
+class ArraySizeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ArraySizeSweep, UtilizationValidAcrossGeometries) {
+  const auto [rows, cols] = GetParam();
+  SystolicConfig c;
+  c.rows = rows;
+  c.cols = cols;
+  const Network net = make_mnist_2c_baseline();
+  const MappingReport r = SystolicMapper(c).map_network(net, Shape{1, 28, 28});
+  EXPECT_GT(r.total_cycles, 0U);
+  EXPECT_GT(r.mac_utilization, 0.0);
+  EXPECT_LE(r.mac_utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ArraySizeSweep,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{4, 4}, std::tuple{8, 16},
+                      std::tuple{32, 32}, std::tuple{128, 8}));
+
+}  // namespace
+}  // namespace cdl

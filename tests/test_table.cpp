@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+
+namespace cdl {
+namespace {
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowWidthMustMatchHeader) {
+  TextTable t({"a", "b"});
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 1U);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1234"});
+  const std::string s = t.to_string();
+  // Header, separator rules and the row must all be present.
+  EXPECT_NE(s.find("| name | v    |"), std::string::npos);
+  EXPECT_NE(s.find("| x    | 1234 |"), std::string::npos);
+  EXPECT_NE(s.find("+------+------+"), std::string::npos);
+}
+
+TEST(TextTable, ColumnWidthGrowsWithContent) {
+  TextTable t({"c"});
+  t.add_row({"looooong"});
+  EXPECT_NE(t.to_string().find("| looooong |"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.23456), "1.235");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(FmtPercent, ScalesRatio) {
+  EXPECT_EQ(fmt_percent(0.9755), "97.55 %");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100 %");
+  EXPECT_EQ(fmt_percent(0.005, 1), "0.5 %");
+}
+
+}  // namespace
+}  // namespace cdl

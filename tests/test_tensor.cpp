@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/tensor.h"
+
+namespace cdl {
+namespace {
+
+TEST(Tensor, ZeroInitializedOnConstruction) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6U);
+  for (float v : t.values()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, FillValueConstruction) {
+  const Tensor t(Shape{4}, 2.5F);
+  for (float v : t.values()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(Tensor, AdoptDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimensionalAccessIsRowMajor) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+
+  Tensor u(Shape{2, 3, 4});
+  u.at(1, 2, 3) = 9.0F;
+  EXPECT_EQ(u[(1 * 3 + 2) * 4 + 3], 9.0F);
+
+  Tensor v(Shape{2, 2, 2, 2});
+  v.at(1, 0, 1, 0) = 3.0F;
+  EXPECT_EQ(v[10], 3.0F);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{6});
+  EXPECT_EQ(r.shape(), Shape{6});
+  EXPECT_EQ(r.at(4), 5.0F);
+  EXPECT_THROW((void)t.reshaped(Shape{7}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseAddSubtract) {
+  Tensor a(Shape{3}, std::vector<float>{1, 2, 3});
+  const Tensor b(Shape{3}, std::vector<float>{10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[1], 22.0F);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0F);
+  const Tensor wrong(Shape{4});
+  EXPECT_THROW(a += wrong, std::invalid_argument);
+  EXPECT_THROW(a -= wrong, std::invalid_argument);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a(Shape{2}, std::vector<float>{3, -4});
+  a *= -2.0F;
+  EXPECT_EQ(a[0], -6.0F);
+  EXPECT_EQ(a[1], 8.0F);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{4}, std::vector<float>{1, -5, 3, 3});
+  EXPECT_FLOAT_EQ(t.sum(), 2.0F);
+  EXPECT_EQ(t.min(), -5.0F);
+  EXPECT_EQ(t.max(), 3.0F);
+  EXPECT_EQ(t.argmax(), 2U);  // first of the tied maxima
+}
+
+TEST(Tensor, EmptyTensorReductionsThrow) {
+  const Tensor t;
+  EXPECT_THROW((void)t.min(), std::logic_error);
+  EXPECT_THROW((void)t.max(), std::logic_error);
+  EXPECT_THROW((void)t.argmax(), std::logic_error);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a(Shape{2}, std::vector<float>{1, 2});
+  Tensor b = a;
+  b[0] = 99.0F;
+  EXPECT_EQ(a[0], 1.0F);
+}
+
+TEST(Tensor, EqualityComparesShapeAndData) {
+  const Tensor a(Shape{2}, std::vector<float>{1, 2});
+  const Tensor b(Shape{2}, std::vector<float>{1, 2});
+  const Tensor c(Shape{1, 2}, std::vector<float>{1, 2});
+  const Tensor d(Shape{2}, std::vector<float>{1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+class TensorFillSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(TensorFillSweep, FillThenZero) {
+  Tensor t(Shape{3, 3});
+  t.fill(GetParam());
+  EXPECT_FLOAT_EQ(t.sum(), 9.0F * GetParam());
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, TensorFillSweep,
+                         ::testing::Values(-3.5F, 0.0F, 1.0F, 123.25F));
+
+}  // namespace
+}  // namespace cdl

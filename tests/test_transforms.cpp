@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_mnist.h"
+#include "data/transforms.h"
+
+namespace cdl {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.add(Tensor(Shape{1, 2, 2}, std::vector<float>{0, 1, 0, 1}), 0);
+  d.add(Tensor(Shape{1, 2, 2}, std::vector<float>{1, 1, 0, 0}), 1);
+  return d;
+}
+
+TEST(Transforms, PixelStatsOfKnownData) {
+  const PixelStats stats = compute_pixel_stats(tiny_dataset());
+  EXPECT_FLOAT_EQ(stats.mean, 0.5F);
+  EXPECT_FLOAT_EQ(stats.stddev, 0.5F);
+}
+
+TEST(Transforms, PixelStatsEmptyThrows) {
+  EXPECT_THROW((void)compute_pixel_stats(Dataset{}), std::invalid_argument);
+}
+
+TEST(Transforms, ConstantDataGetsUnitStddev) {
+  Dataset d;
+  d.add(Tensor(Shape{1, 2, 2}, 0.7F), 0);
+  const PixelStats stats = compute_pixel_stats(d);
+  EXPECT_FLOAT_EQ(stats.stddev, 1.0F);  // avoids divide-by-zero downstream
+}
+
+TEST(Transforms, NormalizeProducesZeroMeanUnitVariance) {
+  const SyntheticMnist gen;
+  const Dataset raw = gen.generate(50);
+  const Dataset norm = normalize(raw, compute_pixel_stats(raw));
+  const PixelStats after = compute_pixel_stats(norm);
+  EXPECT_NEAR(after.mean, 0.0F, 1e-4F);
+  EXPECT_NEAR(after.stddev, 1.0F, 1e-3F);
+  // Labels untouched.
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw.label(i), norm.label(i));
+  }
+}
+
+TEST(Transforms, WithNoisePerturbsButClamps) {
+  const SyntheticMnist gen;
+  const Dataset raw = gen.generate(10);
+  Rng rng(3);
+  const Dataset noisy = with_noise(raw, 0.3F, rng);
+  ASSERT_EQ(noisy.size(), raw.size());
+  bool changed = false;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_GE(noisy.image(i).min(), 0.0F);
+    EXPECT_LE(noisy.image(i).max(), 1.0F);
+    if (noisy.image(i) != raw.image(i)) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Transforms, ZeroNoiseKeepsValuesClamped) {
+  Dataset d;
+  d.add(Tensor(Shape{1, 1, 2}, std::vector<float>{0.3F, 0.9F}), 0);
+  Rng rng(1);
+  const Dataset out = with_noise(d, 0.0F, rng);
+  EXPECT_EQ(out.image(0), d.image(0));
+}
+
+TEST(Transforms, TranslateShiftsContent) {
+  Tensor img(Shape{1, 3, 3});
+  img.at(0, 1, 1) = 1.0F;
+  const Tensor right = translate_image(img, 1, 0);
+  EXPECT_EQ(right.at(0, 1, 2), 1.0F);
+  EXPECT_EQ(right.at(0, 1, 1), 0.0F);
+  const Tensor down = translate_image(img, 0, 1);
+  EXPECT_EQ(down.at(0, 2, 1), 1.0F);
+  const Tensor up_left = translate_image(img, -1, -1);
+  EXPECT_EQ(up_left.at(0, 0, 0), 1.0F);
+}
+
+TEST(Transforms, TranslateOutOfFrameDropsPixels) {
+  Tensor img(Shape{1, 2, 2}, 1.0F);
+  const Tensor far = translate_image(img, 5, 0);
+  EXPECT_EQ(far.sum(), 0.0F);
+}
+
+TEST(Transforms, TranslateRequiresChw) {
+  EXPECT_THROW((void)translate_image(Tensor(Shape{4}), 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdl

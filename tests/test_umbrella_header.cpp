@@ -1,0 +1,31 @@
+// Compile-level test: the umbrella header must expose the full public
+// surface, self-contained. A small end-to-end flow using only <cdl.h>
+// confirms it.
+#include <gtest/gtest.h>
+
+#include "cdl.h"
+
+namespace {
+
+TEST(UmbrellaHeader, EndToEndFlowCompilesAndRuns) {
+  cdl::Rng rng(1);
+  const cdl::SyntheticMnist gen;
+  const cdl::Dataset train = gen.generate(50);
+
+  cdl::Network base = cdl::make_mnist_3c_baseline();
+  base.init(rng);
+  cdl::ConditionalNetwork net(std::move(base), cdl::Shape{1, 28, 28});
+  net.attach_classifier(3, cdl::LcTrainingRule::kLms, rng);
+  net.set_delta(0.5F);
+
+  const cdl::ClassificationResult r = net.classify(train.image(0));
+  EXPECT_LT(r.label, 10U);
+
+  const cdl::EnergyModel energy;
+  EXPECT_GT(energy.energy_pj(r.ops), 0.0);
+
+  const cdl::AcceleratorModel accel;
+  EXPECT_GT(accel.latency(r.ops).cycles, 0U);
+}
+
+}  // namespace

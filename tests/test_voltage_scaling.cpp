@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "hw/voltage_scaling.h"
+
+namespace cdl {
+namespace {
+
+TEST(VoltageScaling, RejectsBadConfig) {
+  VoltageScalingConfig bad;
+  bad.min_logic_v = 1.2;
+  EXPECT_THROW(VoltageScalingModel(EnergyCosts::cmos_45nm(), bad),
+               std::invalid_argument);
+  bad = {};
+  bad.nominal_v = 0.0;
+  EXPECT_THROW(VoltageScalingModel(EnergyCosts::cmos_45nm(), bad),
+               std::invalid_argument);
+  bad = {};
+  bad.ber_at_nominal = 2.0;
+  EXPECT_THROW(VoltageScalingModel(EnergyCosts::cmos_45nm(), bad),
+               std::invalid_argument);
+}
+
+TEST(VoltageScaling, NominalVoltageReproducesNominalCosts) {
+  const VoltageScalingModel model;
+  const EnergyCosts c = model.costs_at(1.0);
+  const EnergyCosts ref = EnergyCosts::cmos_45nm();
+  EXPECT_DOUBLE_EQ(c.mac_pj, ref.mac_pj);
+  EXPECT_DOUBLE_EQ(c.mem_read_pj, ref.mem_read_pj);
+}
+
+TEST(VoltageScaling, EnergyScalesQuadratically) {
+  const VoltageScalingModel model;
+  const EnergyCosts half = model.costs_at(0.5);
+  const EnergyCosts ref = EnergyCosts::cmos_45nm();
+  EXPECT_NEAR(half.mac_pj, 0.25 * ref.mac_pj, 1e-12);
+  EXPECT_NEAR(half.divide_pj, 0.25 * ref.divide_pj, 1e-12);
+
+  OpCount ops;
+  ops.macs = 1000;
+  EXPECT_NEAR(model.model_at(0.5).energy_pj(ops),
+              0.25 * model.model_at(1.0).energy_pj(ops), 1e-9);
+}
+
+TEST(VoltageScaling, OutOfRangeVoltageRejected) {
+  const VoltageScalingModel model;
+  EXPECT_THROW((void)model.costs_at(0.3), std::invalid_argument);
+  EXPECT_THROW((void)model.costs_at(1.2), std::invalid_argument);
+}
+
+TEST(VoltageScaling, BerGrowsMonotonicallyAsVoltageDrops) {
+  const VoltageScalingModel model;
+  double prev = -1.0;
+  for (double v : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+    const double ber = model.bit_error_rate_at(v);
+    EXPECT_GT(ber, prev);
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LE(ber, 1.0);
+    prev = ber;
+  }
+  EXPECT_NEAR(model.bit_error_rate_at(1.0), 1e-9, 1e-12);
+}
+
+TEST(VoltageScaling, BerClampedAtExtremes) {
+  const VoltageScalingModel model;
+  EXPECT_EQ(model.bit_error_rate_at(0.0), 1.0);
+  EXPECT_EQ(model.bit_error_rate_at(-1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,38 @@
+#!/bin/sh
+# End-to-end exercise of the command-line tools: train a tiny model, save
+# the bundle, reload and evaluate it, override delta, and render digits to
+# PGM. Any non-zero exit or missing artifact fails the test.
+set -eu
+
+TOOLS_DIR="$1"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$TOOLS_DIR/cdl_train" --arch mnist_3c --train-n 400 --val-n 100 \
+    --epochs 2 --lc-epochs 4 --seed 3 --out "$WORK_DIR/model" > "$WORK_DIR/train.log"
+test -f "$WORK_DIR/model.cdlw"
+test -f "$WORK_DIR/model.meta"
+grep -q "model saved" "$WORK_DIR/train.log"
+
+"$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 100 --seed 3 \
+    --per-digit --confusion > "$WORK_DIR/eval.log"
+grep -q "accuracy" "$WORK_DIR/eval.log"
+grep -q "exit distribution" "$WORK_DIR/eval.log"
+grep -q "truth" "$WORK_DIR/eval.log"
+
+# Delta override must be reflected in the report header.
+"$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \
+    --delta 0.75 | grep -q "delta 0.75"
+
+"$TOOLS_DIR/cdl_render" --digit 7 --count 2 --quiet \
+    --out-dir "$WORK_DIR/pgms"
+test -f "$WORK_DIR/pgms/digit7_000.pgm"
+test -f "$WORK_DIR/pgms/digit7_001.pgm"
+
+# Bad usage must fail loudly.
+if "$TOOLS_DIR/cdl_train" --no-such-flag 2>/dev/null; then
+  echo "cdl_train accepted an unknown flag" >&2
+  exit 1
+fi
+
+echo "tools end-to-end: OK"

@@ -1,0 +1,94 @@
+// cdl_eval: loads a model bundle produced by cdl_train and evaluates it —
+// accuracy, ops/energy vs the unconditional baseline, exit distribution,
+// optional per-digit table and confusion matrix.
+#include <cstdio>
+
+#include "data/synthetic_mnist.h"
+#include "energy/energy_model.h"
+#include "energy/report.h"
+#include "eval/confusion.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "model_io.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("model", "cdl_model", "model path prefix from cdl_train");
+  args.add_option("test-n", "2000", "test samples");
+  args.add_option("seed", "42", "data seed (must differ from training data "
+                                "only via the disjoint test split)");
+  args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
+  args.add_flag("per-digit", "print the per-digit breakdown (paper Fig. 5)");
+  args.add_flag("confusion", "print the confusion matrix");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("cdl_eval").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("cdl_eval").c_str());
+    return 0;
+  }
+
+  cdl::tools::ModelMeta meta;
+  cdl::ConditionalNetwork net = cdl::tools::load_model(args.get("model"), &meta);
+  if (args.get_double("delta") >= 0.0) {
+    net.set_delta(static_cast<float>(args.get_double("delta")));
+  }
+  std::printf("model: %s, %zu stage(s), rule %s, delta %.2f\n",
+              meta.arch_name.c_str(), net.num_stages(),
+              to_string(meta.rule).c_str(),
+              static_cast<double>(net.activation_module().delta()));
+
+  const cdl::MnistPair data = cdl::load_mnist_or_synthetic(
+      0, args.get_size("test-n"), args.get_size("seed"));
+
+  const cdl::EnergyModel energy;
+  const cdl::Evaluation base = cdl::evaluate_baseline(net, data.test, energy);
+  const cdl::Evaluation cond = cdl::evaluate_cdl(net, data.test, energy);
+
+  cdl::TextTable table({"metric", "baseline", "CDLN"});
+  table.add_row({"accuracy", cdl::fmt_percent(base.accuracy()),
+                 cdl::fmt_percent(cond.accuracy())});
+  table.add_row({"avg ops/input", cdl::fmt(base.avg_ops(), 0),
+                 cdl::fmt(cond.avg_ops(), 0)});
+  table.add_row({"avg energy/input", cdl::format_energy(base.avg_energy_pj()),
+                 cdl::format_energy(cond.avg_energy_pj())});
+  table.add_row({"improvement", "1.00x",
+                 cdl::fmt(base.avg_ops() / cond.avg_ops(), 2) + "x"});
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("exit distribution:");
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    std::printf("  %s %.1f %%", net.stage_name(s).c_str(),
+                100.0 * cond.exit_fraction(s));
+  }
+  std::printf("\n");
+
+  if (args.get_flag("per-digit")) {
+    cdl::TextTable digits({"digit", "accuracy", "OPS improvement", "FC exit"});
+    for (std::size_t d = 0; d < cond.per_class.size(); ++d) {
+      const cdl::ClassStats& c = cond.per_class[d];
+      if (c.total == 0) continue;
+      digits.add_row(
+          {std::to_string(d), cdl::fmt_percent(c.accuracy()),
+           cdl::fmt(base.per_class[d].avg_ops() / c.avg_ops(), 2) + "x",
+           cdl::fmt_percent(static_cast<double>(c.exit_counts.back()) /
+                            static_cast<double>(c.total))});
+    }
+    std::printf("\n%s", digits.to_string().c_str());
+  }
+
+  if (args.get_flag("confusion")) {
+    cdl::ConfusionMatrix cm(10);
+    for (std::size_t i = 0; i < data.test.size(); ++i) {
+      cm.record(data.test.label(i), net.classify(data.test.image(i)).label);
+    }
+    std::printf("\n%s", cm.to_string().c_str());
+  }
+  return 0;
+}

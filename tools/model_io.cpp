@@ -1,0 +1,79 @@
+#include "model_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cdl/architectures.h"
+
+namespace cdl::tools {
+
+namespace {
+
+const CdlArchitecture& find_arch(const std::string& name) {
+  static const std::vector<CdlArchitecture> archs = paper_architectures();
+  for (const CdlArchitecture& arch : archs) {
+    if (arch.name == name) return arch;
+  }
+  throw std::runtime_error("unknown architecture in model meta: " + name);
+}
+
+}  // namespace
+
+void save_model(const std::string& path, ConditionalNetwork& net,
+                const std::string& arch_name) {
+  net.save(path + ".cdlw");
+  std::ofstream meta(path + ".meta");
+  if (!meta) throw std::runtime_error("cannot open " + path + ".meta");
+  meta << "arch " << arch_name << '\n';
+  meta << "stages";
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    meta << ' ' << net.stage_prefix(s);
+  }
+  meta << '\n';
+  meta << "rule "
+       << (net.num_stages() > 0 ? to_string(net.classifier(0).rule()) : "lms")
+       << '\n';
+  meta << "delta " << net.activation_module().delta() << '\n';
+}
+
+ConditionalNetwork load_model(const std::string& path, ModelMeta* meta_out) {
+  std::ifstream meta_file(path + ".meta");
+  if (!meta_file) throw std::runtime_error("cannot open " + path + ".meta");
+
+  ModelMeta meta;
+  std::string line;
+  while (std::getline(meta_file, line)) {
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "arch") {
+      is >> meta.arch_name;
+    } else if (key == "stages") {
+      std::size_t prefix = 0;
+      while (is >> prefix) meta.stages.push_back(prefix);
+    } else if (key == "rule") {
+      std::string rule;
+      is >> rule;
+      meta.rule = rule == "softmax_xent" ? LcTrainingRule::kSoftmaxXent
+                                         : LcTrainingRule::kLms;
+    } else if (key == "delta") {
+      is >> meta.delta;
+    }
+  }
+
+  const CdlArchitecture& arch = find_arch(meta.arch_name);
+  Network baseline = arch.make_baseline();
+  Rng rng(0);  // overwritten by load below
+  baseline.init(rng);
+  ConditionalNetwork net(std::move(baseline), arch.input_shape);
+  for (std::size_t prefix : meta.stages) {
+    net.attach_classifier(prefix, meta.rule, rng);
+  }
+  net.load(path + ".cdlw");
+  net.set_delta(meta.delta);
+  if (meta_out != nullptr) *meta_out = std::move(meta);
+  return net;
+}
+
+}  // namespace cdl::tools

@@ -1,0 +1,29 @@
+// Model bundle I/O shared by the command-line tools: a trained CDLN is
+// stored as <path>.cdlw (weights, see nn/serialize.h) plus <path>.meta
+// (architecture name, admitted stage prefixes, training rule and delta),
+// enough to reconstruct the network without re-running training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+
+namespace cdl::tools {
+
+struct ModelMeta {
+  std::string arch_name;               // "MNIST_2C" / "MNIST_3C"
+  std::vector<std::size_t> stages;     // admitted prefixes, sorted
+  LcTrainingRule rule = LcTrainingRule::kLms;
+  float delta = 0.5F;
+};
+
+/// Writes <path>.cdlw and <path>.meta for a trained network.
+void save_model(const std::string& path, ConditionalNetwork& net,
+                const std::string& arch_name);
+
+/// Rebuilds the architecture from the meta file and loads the weights.
+[[nodiscard]] ConditionalNetwork load_model(const std::string& path,
+                                            ModelMeta* meta_out = nullptr);
+
+}  // namespace cdl::tools
