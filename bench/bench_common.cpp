@@ -57,8 +57,15 @@ BenchConfig bench_config() {
   config.test_n = env_size("CDL_TEST_N", config.test_n);
   config.val_n = env_size("CDL_VAL_N", config.val_n);
   config.seed = env_size("CDL_SEED", config.seed);
+  config.threads = env_size("CDL_THREADS", config.threads);
   if (const char* dir = std::getenv("CDL_CACHE_DIR")) config.cache_dir = dir;
   return config;
+}
+
+ThreadPool* bench_pool(const BenchConfig& config) {
+  if (config.threads <= 1) return nullptr;
+  static ThreadPool pool(config.threads);
+  return &pool;
 }
 
 MnistPair bench_data(const BenchConfig& config) {
@@ -145,10 +152,11 @@ TrainedCdln trained_cdln(const CdlArchitecture& arch,
 void print_banner(const std::string& title, const BenchConfig& config,
                   const MnistPair& data) {
   std::printf("=== %s ===\n", title.c_str());
-  std::printf("workload: %s MNIST, %zu train / %zu val / %zu test, seed %llu\n\n",
+  std::printf("workload: %s MNIST, %zu train / %zu val / %zu test, seed %llu, "
+              "%zu thread(s)\n\n",
               data.synthetic ? "synthetic" : "real", data.train.size(),
               data.validation.size(), data.test.size(),
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed), config.threads);
 }
 
 void maybe_export_csv(const std::string& name, const TextTable& table) {

@@ -11,6 +11,7 @@
 #include "cdl/cdl_trainer.h"
 #include "cdl/conditional_network.h"
 #include "cdl/delta_selection.h"
+#include "core/thread_pool.h"
 #include "eval/table.h"
 #include "data/synthetic_mnist.h"
 
@@ -21,11 +22,18 @@ struct BenchConfig {
   std::size_t test_n = 2000;    ///< CDL_TEST_N
   std::size_t val_n = 1500;     ///< CDL_VAL_N (delta-selection split)
   std::uint64_t seed = 42;      ///< CDL_SEED
+  std::size_t threads = 1;      ///< CDL_THREADS (batch-inference workers)
   std::string cache_dir = ".cdl_cache";  ///< CDL_CACHE_DIR
 };
 
 /// Reads the shared config from the environment.
 [[nodiscard]] BenchConfig bench_config();
+
+/// Shared inference pool sized by config.threads, created on first use.
+/// Returns nullptr when config.threads <= 1 (serial evaluation) — callers
+/// pass the result straight to evaluate_cdl / classify_batch, whose results
+/// are bit-identical either way.
+[[nodiscard]] ThreadPool* bench_pool(const BenchConfig& config);
 
 /// Train/test data for the shared config (real MNIST if CDL_MNIST_DIR set).
 [[nodiscard]] MnistPair bench_data(const BenchConfig& config);

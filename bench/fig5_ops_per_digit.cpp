@@ -17,6 +17,7 @@ int main() {
                            config, data);
 
   const cdl::EnergyModel energy;
+  cdl::ThreadPool* pool = cdl::bench::bench_pool(config);
   cdl::TextTable table({"digit", "MNIST_2C", "MNIST_3C"});
   std::vector<std::vector<double>> ratios(2);
 
@@ -28,7 +29,7 @@ int main() {
     cdl::bench::select_operating_delta(trained.net, data);
     base_ops.push_back(static_cast<double>(
         trained.net.baseline_forward_ops().total_compute()));
-    evals.push_back(cdl::evaluate_cdl(trained.net, data.test, energy));
+    evals.push_back(cdl::evaluate_cdl(trained.net, data.test, energy, pool));
   }
 
   for (std::size_t digit = 0; digit < 10; ++digit) {

@@ -41,7 +41,8 @@ int main() {
     auto trained = cdl::bench::trained_cdln(arch, stages, data.train, config,
                                             /*prune=*/false);
     trained.net.set_delta(delta);
-    const cdl::Evaluation eval = cdl::evaluate_cdl(trained.net, data.test, energy);
+    const cdl::Evaluation eval = cdl::evaluate_cdl(
+        trained.net, data.test, energy, cdl::bench::bench_pool(config));
     const double base_ops = static_cast<double>(
         trained.net.baseline_forward_ops().total_compute());
     const double norm_ops = eval.avg_ops() / base_ops;

@@ -3,12 +3,16 @@
 // full staged classification.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cdl/architectures.h"
 #include "cdl/conditional_network.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "data/synthetic_mnist.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
+#include "nn/gemm.h"
 #include "nn/pool2d.h"
 
 namespace {
@@ -19,6 +23,63 @@ cdl::Tensor random_image(const cdl::Shape& shape, std::uint64_t seed) {
   for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
   return x;
 }
+
+std::vector<float> random_matrix(std::size_t numel, std::uint64_t seed) {
+  cdl::Rng rng(seed);
+  std::vector<float> m(numel);
+  for (float& v : m) v = rng.uniform(-1.0F, 1.0F);
+  return m;
+}
+
+/// MACs processed per iteration for a square GEMM benchmark.
+std::int64_t gemm_items(const benchmark::State& state, std::size_t n) {
+  return static_cast<std::int64_t>(state.iterations()) *
+         static_cast<std::int64_t>(n * n * n);
+}
+
+void BM_SgemmSeedBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cdl::GemmDims dims{n, n, n};
+  const std::vector<float> a = random_matrix(n * n, 1);
+  const std::vector<float> b = random_matrix(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    cdl::sgemm_blocked_reference(dims, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_SgemmSeedBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cdl::GemmDims dims{n, n, n};
+  const std::vector<float> a = random_matrix(n * n, 1);
+  const std::vector<float> b = random_matrix(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    cdl::sgemm(dims, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_SgemmPacked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmPackedParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  cdl::ThreadPool pool(workers);
+  const cdl::GemmDims dims{n, n, n};
+  const std::vector<float> a = random_matrix(n * n, 1);
+  const std::vector<float> b = random_matrix(n * n, 2);
+  std::vector<float> c(n * n, 0.0F);
+  for (auto _ : state) {
+    cdl::sgemm_parallel(dims, a.data(), b.data(), c.data(), pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_SgemmPackedParallel)->Args({256, 2})->Args({256, 4});
 
 void BM_Conv2DForward(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));

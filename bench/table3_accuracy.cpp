@@ -17,6 +17,7 @@ int main() {
   cdl::bench::print_banner("Table III: accuracy, baseline vs CDLN", config, data);
 
   const cdl::EnergyModel energy;
+  cdl::ThreadPool* pool = cdl::bench::bench_pool(config);
   cdl::TextTable table({"network", "baseline", "CDLN", "improvement"});
 
   for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
@@ -25,8 +26,9 @@ int main() {
     cdl::bench::select_operating_delta(trained.net, data);
 
     const cdl::Evaluation base =
-        cdl::evaluate_baseline(trained.net, data.test, energy);
-    const cdl::Evaluation cond = cdl::evaluate_cdl(trained.net, data.test, energy);
+        cdl::evaluate_baseline(trained.net, data.test, energy, pool);
+    const cdl::Evaluation cond =
+        cdl::evaluate_cdl(trained.net, data.test, energy, pool);
 
     const std::string label =
         (arch.name == "MNIST_2C" ? "6-layer" : "8-layer") + std::string(" (") +

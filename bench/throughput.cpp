@@ -1,0 +1,242 @@
+// Throughput harness: measures the packed SGEMM kernel against the seed
+// blocked kernel (GFLOP/s, single- and multi-thread) and end-to-end batch
+// inference (images/sec) for both paper CDLNs, serial vs thread-pool, then
+// writes the numbers to a JSON file (default BENCH_throughput.json).
+//
+// The parallel batch path is required to be bit-identical to the serial one;
+// this harness re-checks that on the measured batches and fails loudly if the
+// guarantee is ever violated.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "eval/table.h"
+#include "nn/gemm.h"
+#include "util/args.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Seconds per call, after one warmup call (which also populates the
+/// per-thread packing scratch). Repeats until ~min_seconds accumulate.
+double time_per_call(const std::function<void()>& fn, double min_seconds) {
+  fn();
+  auto start = Clock::now();
+  fn();
+  double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  if (elapsed >= min_seconds) return elapsed;
+  const auto reps =
+      static_cast<std::size_t>(min_seconds / std::max(elapsed, 1e-9)) + 1;
+  start = Clock::now();
+  for (std::size_t i = 0; i < reps; ++i) fn();
+  elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  return elapsed / static_cast<double>(reps);
+}
+
+std::vector<float> random_matrix(std::size_t numel, std::uint64_t seed) {
+  cdl::Rng rng(seed);
+  std::vector<float> m(numel);
+  for (float& v : m) v = rng.uniform(-1.0F, 1.0F);
+  return m;
+}
+
+struct GemmRow {
+  std::string kernel;
+  double gflops = 0.0;
+  double ms_per_call = 0.0;
+};
+
+struct BatchRow {
+  std::string network;
+  std::size_t images = 0;
+  double serial_ips = 0.0;
+  double parallel_ips = 0.0;
+  bool identical = false;
+};
+
+bool same_results(const std::vector<cdl::ClassificationResult>& a,
+                  const std::vector<cdl::ClassificationResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].exit_stage != b[i].exit_stage ||
+        a[i].confidence != b[i].confidence ||
+        a[i].probabilities != b[i].probabilities || !(a[i].ops == b[i].ops)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("threads", "0",
+                  "pool workers for the parallel columns (0 = CDL_THREADS, "
+                  "else hardware concurrency, min 2)");
+  args.add_option("out", "BENCH_throughput.json", "output JSON path");
+  args.add_option("gemm-size", "256", "square GEMM dimension m = k = n");
+  args.add_option("min-time", "0.2", "min seconds accumulated per measurement");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("throughput").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("throughput").c_str());
+    return 0;
+  }
+
+  std::size_t threads = 0;
+  std::size_t gemm_size = 0;
+  double min_time = 0.0;
+  try {
+    threads = args.get_size("threads");
+    gemm_size = args.get_size("gemm-size");
+    min_time = args.get_double("min-time");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: invalid option value (%s)\n%s", e.what(),
+                 args.help("throughput").c_str());
+    return 1;
+  }
+  auto config = cdl::bench::bench_config();
+  if (threads == 0) threads = config.threads;
+  if (threads <= 1) {
+    threads = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+  config.threads = threads;
+
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Throughput: packed SGEMM + batch inference",
+                           config, data);
+  cdl::ThreadPool pool(threads);
+
+  // --- GEMM GFLOP/s ---------------------------------------------------------
+  const cdl::GemmDims dims{gemm_size, gemm_size, gemm_size};
+  const std::vector<float> a = random_matrix(dims.m * dims.k, 1);
+  const std::vector<float> b = random_matrix(dims.k * dims.n, 2);
+  std::vector<float> c(dims.m * dims.n, 0.0F);
+  const double flops =
+      2.0 * static_cast<double>(dims.m * dims.k) * static_cast<double>(dims.n);
+
+  std::vector<GemmRow> gemm_rows;
+  const std::vector<
+      std::pair<std::string, std::function<void()>>> gemm_kernels = {
+      {"seed_blocked",
+       [&] { cdl::sgemm_blocked_reference(dims, a.data(), b.data(), c.data()); }},
+      {"packed",
+       [&] { cdl::sgemm(dims, a.data(), b.data(), c.data()); }},
+      {"packed_parallel",
+       [&] { cdl::sgemm_parallel(dims, a.data(), b.data(), c.data(), pool); }},
+  };
+  cdl::TextTable gemm_table({"kernel", "GFLOP/s", "ms/call"});
+  for (const auto& [name, fn] : gemm_kernels) {
+    const double sec = time_per_call(fn, min_time);
+    GemmRow row{name, flops / sec / 1e9, sec * 1e3};
+    gemm_table.add_row({row.kernel, cdl::fmt(row.gflops, 2),
+                        cdl::fmt(row.ms_per_call, 3)});
+    gemm_rows.push_back(std::move(row));
+  }
+  std::printf("GEMM %zux%zux%zu (single precision):\n%s", gemm_size, gemm_size,
+              gemm_size, gemm_table.to_string().c_str());
+  std::printf("packed vs seed_blocked: %.2fx; parallel (%zu threads) vs "
+              "packed: %.2fx\n\n",
+              gemm_rows[1].gflops / gemm_rows[0].gflops, threads,
+              gemm_rows[2].gflops / gemm_rows[1].gflops);
+
+  // --- batch inference images/sec ------------------------------------------
+  std::vector<BatchRow> batch_rows;
+  cdl::TextTable batch_table({"network", "images", "serial img/s",
+                              std::to_string(threads) + "-thread img/s",
+                              "speedup"});
+  bool all_identical = true;
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                            data.train, config);
+    cdl::bench::select_operating_delta(trained.net, data);
+    const cdl::ConditionalNetwork& net = trained.net;
+
+    std::vector<cdl::Tensor> inputs;
+    inputs.reserve(data.test.size());
+    for (std::size_t i = 0; i < data.test.size(); ++i) {
+      inputs.push_back(data.test.image(i));
+    }
+
+    const auto serial = net.classify_batch(inputs, nullptr);
+    const auto parallel = net.classify_batch(inputs, &pool);
+    BatchRow row;
+    row.network = arch.name;
+    row.images = inputs.size();
+    row.identical = same_results(serial, parallel);
+    all_identical = all_identical && row.identical;
+
+    const double serial_sec = time_per_call(
+        [&] { (void)net.classify_batch(inputs, nullptr); }, min_time);
+    const double parallel_sec = time_per_call(
+        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+    row.serial_ips = static_cast<double>(row.images) / serial_sec;
+    row.parallel_ips = static_cast<double>(row.images) / parallel_sec;
+    batch_table.add_row({row.network, std::to_string(row.images),
+                         cdl::fmt(row.serial_ips, 1),
+                         cdl::fmt(row.parallel_ips, 1),
+                         cdl::fmt(row.parallel_ips / row.serial_ips, 2) + "x"});
+    batch_rows.push_back(std::move(row));
+  }
+  std::printf("CDLN batch inference (Algorithm 2, whole test set per call):\n%s",
+              batch_table.to_string().c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "\nerror: parallel batch results differ from serial "
+                         "classification -- determinism guarantee broken\n");
+    return 1;
+  }
+  std::printf("\nserial and %zu-thread results bit-identical: yes\n", threads);
+
+  // --- JSON export ----------------------------------------------------------
+  const std::string out_path = args.get("out");
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"threads\": %zu,\n  \"gemm_size\": %zu,\n",
+               threads, gemm_size);
+  std::fprintf(out, "  \"gemm\": [\n");
+  for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"gflops\": %.3f, "
+                 "\"ms_per_call\": %.4f}%s\n",
+                 gemm_rows[i].kernel.c_str(), gemm_rows[i].gflops,
+                 gemm_rows[i].ms_per_call,
+                 i + 1 < gemm_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"packed_vs_seed_speedup\": %.3f,\n",
+               gemm_rows[1].gflops / gemm_rows[0].gflops);
+  std::fprintf(out, "  \"batch_inference\": [\n");
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& r = batch_rows[i];
+    std::fprintf(out,
+                 "    {\"network\": \"%s\", \"images\": %zu, "
+                 "\"serial_images_per_sec\": %.2f, "
+                 "\"parallel_images_per_sec\": %.2f, \"speedup\": %.3f, "
+                 "\"results_identical\": %s}%s\n",
+                 r.network.c_str(), r.images, r.serial_ips, r.parallel_ips,
+                 r.parallel_ips / r.serial_ips,
+                 r.identical ? "true" : "false",
+                 i + 1 < batch_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[bench] throughput numbers written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,15 +1,42 @@
 #!/bin/sh
 # Runs every benchmark harness in a stable order (paper tables/figures first,
 # then ablations, baselines, hardware studies and micro-kernels). Pass a
-# build directory as $1 (default: build).
+# build directory as $1 (default: build). `--threads N` sets the inference
+# thread count for every harness (exported as CDL_THREADS) and is forwarded
+# to the throughput harness, which writes BENCH_throughput.json to the repo
+# root.
 set -eu
 
-BUILD_DIR="${1:-build}"
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+ROOT_DIR=$(dirname -- "$SCRIPT_DIR")
+
+BUILD_DIR="build"
+THREADS="${CDL_THREADS:-1}"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads)
+      THREADS="$2"
+      shift 2
+      ;;
+    --threads=*)
+      THREADS="${1#--threads=}"
+      shift
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+
 BENCH_DIR="$BUILD_DIR/bench"
 if [ ! -d "$BENCH_DIR" ]; then
   echo "error: $BENCH_DIR not found (build first: cmake -B build -G Ninja && cmake --build build)" >&2
   exit 1
 fi
+
+CDL_THREADS="$THREADS"
+export CDL_THREADS
 
 ORDER="
 table1_2_architectures
@@ -49,3 +76,12 @@ for name in $ORDER; do
     echo "warning: $bin missing, skipped" >&2
   fi
 done
+
+# Throughput harness last: it re-measures the kernels and batch inference and
+# records the numbers next to the sources for provenance.
+if [ -x "$BENCH_DIR/throughput" ]; then
+  "$BENCH_DIR/throughput" --threads "$THREADS" \
+    --out "$ROOT_DIR/BENCH_throughput.json"
+else
+  echo "warning: $BENCH_DIR/throughput missing, skipped" >&2
+fi

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "nn/serialize.h"
 #include "nn/softmax.h"
 
@@ -85,7 +86,9 @@ std::size_t ConditionalNetwork::stage_prefix(std::size_t stage) const {
 std::string ConditionalNetwork::stage_name(std::size_t stage) const {
   if (stage == stages_.size()) return "FC";
   check_stage(stage);
-  return "O" + std::to_string(stage + 1);
+  std::string name = std::to_string(stage + 1);
+  name.insert(name.begin(), 'O');
+  return name;
 }
 
 void ConditionalNetwork::set_delta(float delta) {
@@ -111,7 +114,7 @@ float ConditionalNetwork::stage_delta(std::size_t stage) const {
   return stages_[stage].delta_override.value_or(activation_.delta());
 }
 
-ClassificationResult ConditionalNetwork::classify(const Tensor& input) {
+ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
   if (input.shape() != input_shape_) {
     throw std::invalid_argument("classify: input shape " +
                                 input.shape().to_string() + " != " +
@@ -123,7 +126,7 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) {
 
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     const Stage& stage = stages_[s];
-    x = baseline_.forward_range(x, done_layers, stage.prefix_layers);
+    x = baseline_.infer_range(x, done_layers, stage.prefix_layers);
     done_layers = stage.prefix_layers;
     result.ops += stage_ops(s);
 
@@ -141,7 +144,7 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) {
   }
 
   // Hardest path: run the remaining baseline layers and take the FC output.
-  x = baseline_.forward_range(x, done_layers, baseline_.size());
+  x = baseline_.infer_range(x, done_layers, baseline_.size());
   result.ops += final_stage_ops();
   const Tensor probs = softmax(x);
   result.label = probs.argmax();
@@ -151,9 +154,10 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) {
   return result;
 }
 
-ClassificationResult ConditionalNetwork::classify_baseline(const Tensor& input) {
+ClassificationResult ConditionalNetwork::classify_baseline(
+    const Tensor& input) const {
   ClassificationResult result;
-  const Tensor logits = baseline_.forward(input);
+  const Tensor logits = baseline_.infer(input);
   const Tensor probs = softmax(logits);
   result.label = probs.argmax();
   result.exit_stage = stages_.size();
@@ -164,10 +168,27 @@ ClassificationResult ConditionalNetwork::classify_baseline(const Tensor& input) 
   return result;
 }
 
+std::vector<ClassificationResult> ConditionalNetwork::classify_batch(
+    const std::vector<Tensor>& inputs, ThreadPool* pool) const {
+  std::vector<ClassificationResult> results(inputs.size());
+  const auto run = [&](std::size_t, std::size_t chunk_begin,
+                       std::size_t chunk_end) {
+    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+      results[i] = classify(inputs[i]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, inputs.size(), run);
+  } else {
+    run(0, 0, inputs.size());
+  }
+  return results;
+}
+
 Tensor ConditionalNetwork::stage_features(const Tensor& input,
-                                          std::size_t stage) {
+                                          std::size_t stage) const {
   check_stage(stage);
-  return baseline_.forward_range(input, 0, stages_[stage].prefix_layers);
+  return baseline_.infer_range(input, 0, stages_[stage].prefix_layers);
 }
 
 OpCount ConditionalNetwork::segment_ops(std::size_t from_layer,

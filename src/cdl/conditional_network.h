@@ -71,14 +71,24 @@ class ConditionalNetwork {
   /// Effective δ used at `stage` (the override if present, else the global).
   [[nodiscard]] float stage_delta(std::size_t stage) const;
 
-  /// Algorithm 2: staged inference with early termination.
-  [[nodiscard]] ClassificationResult classify(const Tensor& input);
+  /// Algorithm 2: staged inference with early termination. Const and
+  /// cache-free (runs the baseline through Network::infer_range), so it is
+  /// safe to call concurrently from many threads on one network.
+  [[nodiscard]] ClassificationResult classify(const Tensor& input) const;
 
   /// Unconditional baseline inference (all layers, no linear classifiers).
-  [[nodiscard]] ClassificationResult classify_baseline(const Tensor& input);
+  [[nodiscard]] ClassificationResult classify_baseline(const Tensor& input) const;
+
+  /// Batched Algorithm 2: classifies every input, partitioning the batch
+  /// across `pool` (serial when null or single-worker). Early-exit decisions
+  /// are made per sample exactly as in classify(); result i corresponds to
+  /// input i and is bit-identical (label, exit stage, confidence,
+  /// probabilities, ops) to a serial classify() for any thread count.
+  [[nodiscard]] std::vector<ClassificationResult> classify_batch(
+      const std::vector<Tensor>& inputs, ThreadPool* pool = nullptr) const;
 
   /// Features the stage's linear classifier sees for `input` (prefix forward).
-  [[nodiscard]] Tensor stage_features(const Tensor& input, std::size_t stage);
+  [[nodiscard]] Tensor stage_features(const Tensor& input, std::size_t stage) const;
 
   // --- op accounting (precomputed from input_shape) -------------------------
   /// Cost of the full baseline forward pass (the paper's normalization unit).

@@ -73,6 +73,14 @@ class Tensor {
   void fill(float value);
   void zero() { fill(0.0F); }
 
+  /// Re-shapes in place to `shape`, reusing the existing allocation when it
+  /// is large enough (element values are unspecified afterwards). This is
+  /// what scratch buffers use to avoid per-call allocation.
+  void resize(Shape shape) {
+    shape_ = std::move(shape);
+    data_.resize(shape_.numel());
+  }
+
   /// Reinterprets the data with a new shape of identical numel.
   [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 

@@ -1,0 +1,96 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace cdl {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  size_ = threads;
+  if (size_ <= 1) return;  // inline mode: no OS threads
+  workers_.reserve(size_);
+  for (std::size_t w = 0; w < size_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk(
+    std::size_t worker, std::size_t range_begin, std::size_t range_end) const {
+  const std::size_t total = range_end - range_begin;
+  const std::size_t base = total / size_;
+  const std::size_t extra = total % size_;
+  // Workers [0, extra) take base+1 items, the rest take base.
+  const std::size_t begin = range_begin + worker * base +
+                            std::min(worker, extra);
+  const std::size_t len = base + (worker < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const ChunkFn& fn) {
+  if (begin >= end) return;
+  if (size_ <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    pending_ = size_;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* job = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      begin = job_begin_;
+      end = job_end_;
+    }
+    const auto [c0, c1] = chunk(worker, begin, end);
+    std::exception_ptr error;
+    if (c0 < c1) {
+      try {
+        (*job)(worker, c0, c1);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cdl

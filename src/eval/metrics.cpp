@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace cdl {
 
 double Evaluation::exit_fraction(std::size_t stage) const {
@@ -40,8 +42,10 @@ double Evaluation::stage_error_share(std::size_t stage) const {
 namespace {
 
 Evaluation evaluate_with(
-    ConditionalNetwork& net, const Dataset& data, const EnergyModel& model,
-    const std::function<ClassificationResult(const Tensor&)>& run) {
+    const ConditionalNetwork& net, const Dataset& data,
+    const EnergyModel& model,
+    const std::function<ClassificationResult(const Tensor&)>& run,
+    ThreadPool* pool) {
   if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
 
   const std::size_t n_stages = net.num_stages() + 1;  // + final FC stage
@@ -51,8 +55,24 @@ Evaluation evaluate_with(
   eval.per_class.assign(data.num_classes(), ClassStats{});
   for (ClassStats& c : eval.per_class) c.exit_counts.assign(n_stages, 0);
 
+  // Classification may run in parallel (per-sample results are independent
+  // and deterministic); aggregation below is always serial in sample order,
+  // so sums are identical for every thread count.
+  std::vector<ClassificationResult> results(data.size());
+  const auto classify_chunk = [&](std::size_t, std::size_t chunk_begin,
+                                  std::size_t chunk_end) {
+    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+      results[i] = run(data.image(i));
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, data.size(), classify_chunk);
+  } else {
+    classify_chunk(0, 0, data.size());
+  }
+
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const ClassificationResult result = run(data.image(i));
+    const ClassificationResult& result = results[i];
     const std::size_t truth = data.label(i);
     const double ops = static_cast<double>(result.ops.total_compute());
     const double energy = model.energy_pj(result.ops);
@@ -77,17 +97,18 @@ Evaluation evaluate_with(
 
 }  // namespace
 
-Evaluation evaluate_cdl(ConditionalNetwork& net, const Dataset& data,
-                        const EnergyModel& model) {
-  return evaluate_with(net, data, model,
-                       [&](const Tensor& x) { return net.classify(x); });
+Evaluation evaluate_cdl(const ConditionalNetwork& net, const Dataset& data,
+                        const EnergyModel& model, ThreadPool* pool) {
+  return evaluate_with(
+      net, data, model, [&](const Tensor& x) { return net.classify(x); },
+      pool);
 }
 
-Evaluation evaluate_baseline(ConditionalNetwork& net, const Dataset& data,
-                             const EnergyModel& model) {
+Evaluation evaluate_baseline(const ConditionalNetwork& net, const Dataset& data,
+                             const EnergyModel& model, ThreadPool* pool) {
   return evaluate_with(
       net, data, model,
-      [&](const Tensor& x) { return net.classify_baseline(x); });
+      [&](const Tensor& x) { return net.classify_baseline(x); }, pool);
 }
 
 }  // namespace cdl

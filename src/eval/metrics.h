@@ -11,6 +11,8 @@
 
 namespace cdl {
 
+class ThreadPool;
+
 struct ClassStats {
   std::size_t total = 0;
   std::size_t correct = 0;
@@ -60,14 +62,20 @@ struct Evaluation {
   [[nodiscard]] double stage_error_share(std::size_t stage) const;
 };
 
-/// Runs Algorithm 2 on every sample (conditional execution).
-[[nodiscard]] Evaluation evaluate_cdl(ConditionalNetwork& net,
+/// Runs Algorithm 2 on every sample (conditional execution). When `pool` is
+/// non-null the samples are classified in parallel; per-sample results and
+/// every aggregate (accuracy, exit counts, summed ops/energy) are identical
+/// to the serial evaluation, because aggregation always happens serially in
+/// sample order over the deterministic per-sample results.
+[[nodiscard]] Evaluation evaluate_cdl(const ConditionalNetwork& net,
                                       const Dataset& data,
-                                      const EnergyModel& model);
+                                      const EnergyModel& model,
+                                      ThreadPool* pool = nullptr);
 
 /// Runs the unconditional baseline on every sample.
-[[nodiscard]] Evaluation evaluate_baseline(ConditionalNetwork& net,
+[[nodiscard]] Evaluation evaluate_baseline(const ConditionalNetwork& net,
                                            const Dataset& data,
-                                           const EnergyModel& model);
+                                           const EnergyModel& model,
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace cdl

@@ -6,9 +6,14 @@
 namespace cdl {
 
 Tensor ElementwiseActivation::forward(const Tensor& input) {
+  Tensor out = infer(input);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor ElementwiseActivation::infer(const Tensor& input) const {
   Tensor out(input.shape());
   for (std::size_t i = 0; i < input.numel(); ++i) out[i] = apply(input[i]);
-  cached_output_ = out;
   return out;
 }
 

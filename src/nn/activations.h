@@ -15,6 +15,7 @@ namespace cdl {
 class ElementwiseActivation : public Layer {
  public:
   Tensor forward(const Tensor& input) final;
+  [[nodiscard]] Tensor infer(const Tensor& input) const final;
   Tensor backward(const Tensor& grad_output) final;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const final {
     return input_shape;

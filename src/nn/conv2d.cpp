@@ -58,12 +58,12 @@ void Conv2D::init(Rng& rng) {
   grad_bias_.zero();
 }
 
-Tensor Conv2D::pad_input(const Tensor& input) const {
+void Conv2D::pad_into(const Tensor& input, Tensor& padded) const {
   const std::size_t p = geometry_.padding;
-  if (p == 0) return input;
   const std::size_t h = input.shape()[1];
   const std::size_t w = input.shape()[2];
-  Tensor padded(Shape{in_channels_, h + 2 * p, w + 2 * p});
+  padded.resize(Shape{in_channels_, h + 2 * p, w + 2 * p});
+  padded.zero();
   for (std::size_t c = 0; c < in_channels_; ++c) {
     for (std::size_t y = 0; y < h; ++y) {
       const float* src = input.data() + (c * h + y) * w;
@@ -72,17 +72,36 @@ Tensor Conv2D::pad_input(const Tensor& input) const {
       for (std::size_t x = 0; x < w; ++x) dst[x] = src[x];
     }
   }
-  return padded;
 }
 
 Tensor Conv2D::forward(const Tensor& input) {
   check_input(input.shape());
   cached_raw_shape_ = input.shape();
-  cached_input_ = pad_input(input);
+  if (geometry_.padding == 0) {
+    cached_input_ = input;
+  } else {
+    pad_into(input, cached_input_);
+  }
   // The im2col lowering assumes stride 1; strided convs use the direct path.
   const bool lowered = algo_ == ConvAlgo::kIm2col && geometry_.stride == 1;
-  return lowered ? forward_im2col(cached_input_)
+  return lowered ? forward_im2col(cached_input_, cols_scratch_)
                  : forward_direct(cached_input_);
+}
+
+Tensor Conv2D::infer(const Tensor& input) const {
+  check_input(input.shape());
+  // Per-thread scratch shared by every Conv2D instance: batched inference
+  // runs many samples per worker, so the steady state performs no padded /
+  // im2col allocations at all.
+  thread_local Tensor padded;
+  thread_local Tensor cols;
+  const Tensor* x = &input;
+  if (geometry_.padding != 0) {
+    pad_into(input, padded);
+    x = &padded;
+  }
+  const bool lowered = algo_ == ConvAlgo::kIm2col && geometry_.stride == 1;
+  return lowered ? forward_im2col(*x, cols) : forward_direct(*x);
 }
 
 Tensor Conv2D::forward_direct(const Tensor& padded) const {
@@ -117,13 +136,13 @@ Tensor Conv2D::forward_direct(const Tensor& padded) const {
   return out;
 }
 
-Tensor Conv2D::forward_im2col(const Tensor& padded) const {
+Tensor Conv2D::forward_im2col(const Tensor& padded, Tensor& cols) const {
   const std::size_t oh = padded.shape()[1] - kernel_ + 1;
   const std::size_t ow = padded.shape()[2] - kernel_ + 1;
   const std::size_t pixels = oh * ow;
   const std::size_t patch = in_channels_ * kernel_ * kernel_;
 
-  const Tensor cols = im2col(padded, kernel_);
+  im2col_into(padded, kernel_, cols);
   // (out_c, patch) x (patch, pixels): weights are already laid out so each
   // output map's kernel flattens to one contiguous row.
   Tensor out(Shape{out_channels_, oh, ow});
@@ -216,8 +235,14 @@ OpCount Conv2D::forward_ops(const Shape& input_shape) const {
 std::string Conv2D::name() const {
   std::string n = "conv" + std::to_string(kernel_) + "x" +
                   std::to_string(kernel_) + "x" + std::to_string(out_channels_);
-  if (geometry_.stride != 1) n += "s" + std::to_string(geometry_.stride);
-  if (geometry_.padding != 0) n += "p" + std::to_string(geometry_.padding);
+  if (geometry_.stride != 1) {
+    n += 's';
+    n += std::to_string(geometry_.stride);
+  }
+  if (geometry_.padding != 0) {
+    n += 'p';
+    n += std::to_string(geometry_.padding);
+  }
   return n;
 }
 

@@ -29,6 +29,7 @@ class Conv2D final : public Layer {
          ConvAlgo algo = ConvAlgo::kDirect, ConvGeometry geometry = {});
 
   Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
@@ -51,9 +52,12 @@ class Conv2D final : public Layer {
 
  private:
   void check_input(const Shape& s) const;
-  [[nodiscard]] Tensor pad_input(const Tensor& input) const;
+  /// Writes the zero-padded input into `padded` (resized; storage reused).
+  void pad_into(const Tensor& input, Tensor& padded) const;
   [[nodiscard]] Tensor forward_direct(const Tensor& padded) const;
-  [[nodiscard]] Tensor forward_im2col(const Tensor& padded) const;
+  /// `cols` is the im2col scratch: the member buffer on the training path,
+  /// a thread-local buffer on the infer path.
+  [[nodiscard]] Tensor forward_im2col(const Tensor& padded, Tensor& cols) const;
 
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -67,6 +71,7 @@ class Conv2D final : public Layer {
   Tensor grad_bias_;
   Tensor cached_input_;  ///< padded input of the most recent forward()
   Shape cached_raw_shape_;  ///< unpadded input shape of that forward()
+  Tensor cols_scratch_;  ///< im2col buffer reused across forward() calls
 };
 
 }  // namespace cdl

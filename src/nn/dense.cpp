@@ -40,13 +40,18 @@ Tensor Dense::forward(const Tensor& input) {
   (void)output_shape(input.shape());  // validates
   cached_input_shape_ = input.shape();
   cached_input_ = input.reshaped(Shape{in_features_});
+  return infer(input);
+}
 
+Tensor Dense::infer(const Tensor& input) const {
+  (void)output_shape(input.shape());  // validates
+  const float* in = input.data();  // flattened view, no copy
   Tensor out(Shape{out_features_});
   for (std::size_t o = 0; o < out_features_; ++o) {
     const float* w_row = weights_.data() + o * in_features_;
     float acc = bias_[o];
     for (std::size_t i = 0; i < in_features_; ++i) {
-      acc += w_row[i] * cached_input_[i];
+      acc += w_row[i] * in[i];
     }
     out[o] = acc;
   }

@@ -12,6 +12,7 @@ class Dense final : public Layer {
   Dense(std::size_t in_features, std::size_t out_features);
 
   Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;

@@ -2,18 +2,168 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "core/thread_pool.h"
 
 namespace cdl {
 
 namespace {
-// Block sizes sized for a ~32 KiB L1D: a 64x64 float tile is 16 KiB.
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockK = 64;
-constexpr std::size_t kBlockN = 64;
+
+// Micro-kernel tile: kMr rows of A against kNr columns of B, accumulated in
+// a register tile over the full k extent. 4x8 floats = 8 SSE registers of
+// accumulators, leaving room for the A broadcast and the B panel loads.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+// Runtime-dispatched micro-kernel clones: on x86-64 ELF builds GCC emits an
+// AVX2/FMA (x86-64-v3) clone next to the baseline one and selects at load
+// time via ifunc, so one binary runs everywhere while wide-SIMD machines get
+// the wide kernel. Everything stays plain C++ — the clones come from the
+// auto-vectorizer, not intrinsics.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define CDL_GEMM_TARGET_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define CDL_GEMM_TARGET_CLONES
+#endif
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Packs B(k,n) into kNr-wide column panels: panel j holds columns
+/// [j*kNr, j*kNr + kNr) as k consecutive groups of kNr floats, zero-padded
+/// past column n. The micro-kernel then streams each panel contiguously.
+void pack_b_panels(std::size_t k, std::size_t n, const float* b, float* pb) {
+  const std::size_t panels = ceil_div(n, kNr);
+  for (std::size_t panel = 0; panel < panels; ++panel) {
+    const std::size_t j0 = panel * kNr;
+    const std::size_t width = std::min(kNr, n - j0);
+    float* dst = pb + panel * k * kNr;
+    const float* src = b + j0;
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t jj = 0; jj < width; ++jj) dst[jj] = src[p * n + jj];
+      for (std::size_t jj = width; jj < kNr; ++jj) dst[jj] = 0.0F;
+      dst += kNr;
+    }
+  }
+}
+
+/// Packs `rows` (<= kMr) rows of A starting at `a` into k groups of kMr
+/// floats (column-major within the panel), zero-padding missing rows.
+void pack_a_panel(std::size_t k, std::size_t rows, const float* a, float* pa) {
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t r = 0; r < rows; ++r) pa[p * kMr + r] = a[r * k + p];
+    for (std::size_t r = rows; r < kMr; ++r) pa[p * kMr + r] = 0.0F;
+  }
+}
+
+/// acc(kMr,kNr) = packed_A(k,kMr) * packed_B(k,kNr); the 4x8 accumulator
+/// tile lives in registers for the whole k loop. The 2-D tile (rather than
+/// one array per row) and the __restrict qualifiers are what let GCC keep
+/// the whole tile vectorized without reload checks.
+CDL_GEMM_TARGET_CLONES
+void micro_kernel_4x8(std::size_t k, const float* __restrict pa,
+                      const float* __restrict pb, float* __restrict acc) {
+  float tile[kMr][kNr] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* bp = pb + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = pa[p * kMr + r];
+      for (std::size_t jj = 0; jj < kNr; ++jj) {
+        tile[r][jj] += av * bp[jj];
+      }
+    }
+  }
+  std::memcpy(acc, tile, sizeof(tile));
+}
+
+/// Computes row panels [panel0, panel1) of C against pre-packed B. The
+/// write-back applies beta semantics directly (overwrite or add), so no
+/// upfront memset of C is needed.
+void run_row_panels(const GemmDims& dims, const float* a, const float* pb,
+                    float* c, bool accumulate, std::size_t panel0,
+                    std::size_t panel1) {
+  const std::size_t m = dims.m;
+  const std::size_t k = dims.k;
+  const std::size_t n = dims.n;
+  const std::size_t jpanels = ceil_div(n, kNr);
+  thread_local std::vector<float> pa;
+  pa.resize(k * kMr);
+
+  for (std::size_t ip = panel0; ip < panel1; ++ip) {
+    const std::size_t i0 = ip * kMr;
+    const std::size_t mr = std::min(kMr, m - i0);
+    pack_a_panel(k, mr, a + i0 * k, pa.data());
+    for (std::size_t jp = 0; jp < jpanels; ++jp) {
+      const std::size_t j0 = jp * kNr;
+      const std::size_t nr = std::min(kNr, n - j0);
+      float acc[kMr * kNr];
+      micro_kernel_4x8(k, pa.data(), pb + jp * k * kNr, acc);
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* c_row = c + (i0 + r) * n + j0;
+        const float* acc_row = acc + r * kNr;
+        if (accumulate) {
+          for (std::size_t jj = 0; jj < nr; ++jj) c_row[jj] += acc_row[jj];
+        } else {
+          for (std::size_t jj = 0; jj < nr; ++jj) c_row[jj] = acc_row[jj];
+        }
+      }
+    }
+  }
+}
+
+/// Degenerate-dimension handling shared by both entry points. Returns true
+/// when the call is already fully handled.
+bool handle_trivial(const GemmDims& dims, float* c, bool accumulate) {
+  if (dims.m == 0 || dims.n == 0) return true;
+  if (dims.k == 0) {
+    // beta = 0: an empty product overwrites C with zeros.
+    if (!accumulate) std::memset(c, 0, dims.m * dims.n * sizeof(float));
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void sgemm(GemmDims dims, const float* a, const float* b, float* c,
            bool accumulate) {
+  if (handle_trivial(dims, c, accumulate)) return;
+  thread_local std::vector<float> pb;
+  pb.resize(ceil_div(dims.n, kNr) * dims.k * kNr);
+  pack_b_panels(dims.k, dims.n, b, pb.data());
+  run_row_panels(dims, a, pb.data(), c, accumulate, 0, ceil_div(dims.m, kMr));
+}
+
+void sgemm_parallel(GemmDims dims, const float* a, const float* b, float* c,
+                    ThreadPool& pool, bool accumulate) {
+  if (pool.size() <= 1) {
+    sgemm(dims, a, b, c, accumulate);
+    return;
+  }
+  if (handle_trivial(dims, c, accumulate)) return;
+  thread_local std::vector<float> pb;
+  pb.resize(ceil_div(dims.n, kNr) * dims.k * kNr);
+  pack_b_panels(dims.k, dims.n, b, pb.data());
+  // The packed-B pointer must be hoisted out of the lambda: `pb` is
+  // thread_local, so naming it inside the worker body would resolve to the
+  // worker's own (empty) instance.
+  const float* packed_b = pb.data();
+  // Workers own disjoint row panels, so writes never overlap, and each row
+  // accumulates in the same order as the serial kernel -> bit-identical.
+  pool.parallel_for(0, ceil_div(dims.m, kMr),
+                    [&](std::size_t, std::size_t p0, std::size_t p1) {
+                      run_row_panels(dims, a, packed_b, c, accumulate, p0, p1);
+                    });
+}
+
+void sgemm_blocked_reference(GemmDims dims, const float* a, const float* b,
+                             float* c, bool accumulate) {
+  // Block sizes sized for a ~32 KiB L1D: a 64x64 float tile is 16 KiB.
+  constexpr std::size_t kBlockM = 64;
+  constexpr std::size_t kBlockK = 64;
+  constexpr std::size_t kBlockN = 64;
   const std::size_t m = dims.m;
   const std::size_t k = dims.k;
   const std::size_t n = dims.n;

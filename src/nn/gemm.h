@@ -1,12 +1,21 @@
-// Minimal single-precision GEMM used by the im2col convolution path.
+// Single-precision GEMM used by the im2col convolution path.
 //
-// Row-major C(m,n) = A(m,k) * B(k,n) (+ C when accumulate). Blocked for L1
-// locality; no SIMD intrinsics — the compiler vectorizes the inner loop.
+// Row-major C(m,n) = A(m,k) * B(k,n) (+ C when accumulate). The kernel packs
+// B into kNr-wide column panels and A into kMr-tall row panels once per call,
+// then runs a register-blocked 4x8 micro-kernel over full k — no SIMD
+// intrinsics, the accumulator tile auto-vectorizes (on x86-64/GCC an
+// AVX2/FMA clone of the micro-kernel is emitted and picked at load time).
+// `sgemm_parallel` splits row panels across a ThreadPool; because every
+// output row is accumulated in the same order regardless of the split, its
+// results are bit-identical to the single-thread kernel for any thread
+// count.
 #pragma once
 
 #include <cstddef>
 
 namespace cdl {
+
+class ThreadPool;
 
 struct GemmDims {
   std::size_t m = 0;
@@ -16,8 +25,19 @@ struct GemmDims {
 
 /// C = A * B (row-major, contiguous). If `accumulate`, adds into C instead
 /// of overwriting it. All pointers must reference non-overlapping storage of
-/// at least m*k, k*n and m*n floats respectively.
+/// at least m*k, k*n and m*n floats respectively. Thread-safe: packing
+/// scratch is per-thread and reused across calls.
 void sgemm(GemmDims dims, const float* a, const float* b, float* c,
            bool accumulate = false);
+
+/// Same contract as sgemm(), with row panels divided over `pool`. Results
+/// are bit-identical to sgemm() for every pool size.
+void sgemm_parallel(GemmDims dims, const float* a, const float* b, float* c,
+                    ThreadPool& pool, bool accumulate = false);
+
+/// The original cache-blocked (unpacked, branchy) kernel, retained as the
+/// comparison baseline for the micro_kernels bench and the GEMM tests.
+void sgemm_blocked_reference(GemmDims dims, const float* a, const float* b,
+                             float* c, bool accumulate = false);
 
 }  // namespace cdl

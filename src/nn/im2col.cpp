@@ -4,7 +4,7 @@
 
 namespace cdl {
 
-Tensor im2col(const Tensor& input, std::size_t kernel) {
+void im2col_into(const Tensor& input, std::size_t kernel, Tensor& cols) {
   if (input.shape().rank() != 3) {
     throw std::invalid_argument("im2col: expected CHW input, got " +
                                 input.shape().to_string());
@@ -22,7 +22,7 @@ Tensor im2col(const Tensor& input, std::size_t kernel) {
   const std::size_t patch = c * kernel * kernel;
   const std::size_t pixels = oh * ow;
 
-  Tensor cols(Shape{patch, pixels});
+  cols.resize(Shape{patch, pixels});
   float* out = cols.data();
   for (std::size_t ch = 0; ch < c; ++ch) {
     for (std::size_t ky = 0; ky < kernel; ++ky) {
@@ -39,6 +39,11 @@ Tensor im2col(const Tensor& input, std::size_t kernel) {
       }
     }
   }
+}
+
+Tensor im2col(const Tensor& input, std::size_t kernel) {
+  Tensor cols;
+  im2col_into(input, kernel, cols);
   return cols;
 }
 

@@ -12,4 +12,8 @@ namespace cdl {
 /// layout matching Conv2D's (out_c, in_c, K, K) weights flattened per row.
 [[nodiscard]] Tensor im2col(const Tensor& input, std::size_t kernel);
 
+/// Same lowering, written into `cols` (resized as needed). Passing a scratch
+/// tensor that is reused across calls avoids the per-forward allocation.
+void im2col_into(const Tensor& input, std::size_t kernel, Tensor& cols);
+
 }  // namespace cdl

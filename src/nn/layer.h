@@ -24,6 +24,13 @@ class Layer {
   /// Runs the layer on one sample and caches state for backward().
   virtual Tensor forward(const Tensor& input) = 0;
 
+  /// Inference-only forward: arithmetic identical to forward() (bit-exact),
+  /// but const — no state is cached, so backward() cannot follow. Must be
+  /// safe to call concurrently from many threads on one layer instance
+  /// (parameters are shared read-only; any scratch is per-thread). This is
+  /// the path the batched inference driver executes.
+  [[nodiscard]] virtual Tensor infer(const Tensor& input) const = 0;
+
   /// Propagates `grad_output` (d-loss / d-output) backwards. Accumulates
   /// parameter gradients internally and returns d-loss / d-input.
   /// Must be preceded by a forward() on the same sample.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace cdl {
 
 std::size_t Network::add(LayerPtr layer) {
@@ -28,6 +30,35 @@ Tensor Network::forward_range(const Tensor& input, std::size_t begin,
   Tensor x = input;
   for (std::size_t i = begin; i < end; ++i) x = layers_[i]->forward(x);
   return x;
+}
+
+Tensor Network::infer(const Tensor& input) const {
+  return infer_range(input, 0, layers_.size());
+}
+
+Tensor Network::infer_range(const Tensor& input, std::size_t begin,
+                            std::size_t end) const {
+  check_range(begin, end);
+  Tensor x = input;
+  for (std::size_t i = begin; i < end; ++i) x = layers_[i]->infer(x);
+  return x;
+}
+
+std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
+                                           ThreadPool* pool) const {
+  std::vector<Tensor> outputs(inputs.size());
+  const auto run = [&](std::size_t, std::size_t chunk_begin,
+                       std::size_t chunk_end) {
+    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+      outputs[i] = infer(inputs[i]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, inputs.size(), run);
+  } else {
+    run(0, 0, inputs.size());
+  }
+  return outputs;
 }
 
 Tensor Network::backward(const Tensor& grad_output) {

@@ -14,6 +14,8 @@
 
 namespace cdl {
 
+class ThreadPool;
+
 class Network {
  public:
   Network() = default;
@@ -46,6 +48,20 @@ class Network {
   /// Forward through layers [begin, end). `end` may equal size().
   [[nodiscard]] Tensor forward_range(const Tensor& input, std::size_t begin,
                                      std::size_t end);
+
+  /// Inference-only forward (Layer::infer): bit-identical to forward() but
+  /// const — caches nothing, so backward() cannot follow. Safe to call
+  /// concurrently from many threads on one network instance.
+  [[nodiscard]] Tensor infer(const Tensor& input) const;
+  [[nodiscard]] Tensor infer_range(const Tensor& input, std::size_t begin,
+                                   std::size_t end) const;
+
+  /// Batched inference driver: runs infer() on every input, partitioning
+  /// the batch across `pool` (static contiguous chunks; serial when `pool`
+  /// is null or has one worker). Output i corresponds to input i, and every
+  /// output is bit-identical to a serial infer() for any thread count.
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      const std::vector<Tensor>& inputs, ThreadPool* pool = nullptr) const;
 
   /// Backward through all layers (after a full forward); returns d-loss/d-input.
   Tensor backward(const Tensor& grad_output);

@@ -70,6 +70,44 @@ Tensor Pool2D::forward(const Tensor& input) {
   return out;
 }
 
+Tensor Pool2D::infer(const Tensor& input) const {
+  check_input(input.shape());
+  const std::size_t c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  const std::size_t oh = h / window_;
+  const std::size_t ow = w / window_;
+
+  Tensor out(Shape{c, oh, ow});
+  const float inv_area = 1.0F / static_cast<float>(window_ * window_);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        if (mode_ == PoolMode::kMax) {
+          float best = input.at(ch, y * window_, x * window_);
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              const float v =
+                  input.at(ch, y * window_ + dy, x * window_ + dx);
+              if (v > best) best = v;
+            }
+          }
+          out.at(ch, y, x) = best;
+        } else {
+          float acc = 0.0F;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              acc += input.at(ch, y * window_ + dy, x * window_ + dx);
+            }
+          }
+          out.at(ch, y, x) = acc * inv_area;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 Tensor Pool2D::backward(const Tensor& grad_output) {
   if (cached_input_shape_.rank() == 0) {
     throw std::logic_error("Pool2D::backward called before forward");

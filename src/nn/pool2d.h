@@ -16,6 +16,7 @@ class Pool2D final : public Layer {
   Pool2D(std::size_t window, PoolMode mode = PoolMode::kMax);
 
   Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;

@@ -1,0 +1,168 @@
+// Determinism tests for the batched inference paths: Layer::infer vs
+// forward, Network::forward_batch, ConditionalNetwork::classify_batch and
+// the pooled evaluators must all be bit-identical to their serial
+// counterparts for every thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "data/dataset.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/pool2d.h"
+
+namespace cdl {
+namespace {
+
+Tensor random_image(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(shape);
+  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+/// Small LeNet-style network on 1x12x12 inputs: padded conv, pool, valid
+/// conv, dense head. Exercises both conv scratch buffers and the flattening
+/// dense path.
+Network conv_net(ConvAlgo algo, Rng& rng) {
+  Network net;
+  net.emplace<Conv2D>(1, 4, 3, algo, ConvGeometry{1, 1});
+  net.emplace<ReLU>();
+  net.emplace<Pool2D>(2);
+  net.emplace<Conv2D>(4, 6, 3, algo);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(6 * 4 * 4, 5);
+  net.init(rng);
+  return net;
+}
+
+ConditionalNetwork conv_cdln(ConvAlgo algo, Rng& rng) {
+  ConditionalNetwork net(conv_net(algo, rng), Shape{1, 12, 12});
+  net.attach_classifier(3, LcTrainingRule::kLms, rng);
+  net.attach_classifier(5, LcTrainingRule::kLms, rng);
+  net.set_delta(0.4F);
+  return net;
+}
+
+TEST(BatchInference, InferMatchesForwardForBothConvAlgos) {
+  for (ConvAlgo algo : {ConvAlgo::kDirect, ConvAlgo::kIm2col}) {
+    Rng rng(3);
+    Network net = conv_net(algo, rng);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const Tensor x = random_image(Shape{1, 12, 12}, seed);
+      const Tensor inferred = net.infer(x);
+      const Tensor trained = net.forward(x);
+      EXPECT_EQ(inferred, trained) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BatchInference, Conv2DInferSurvivesAlternatingShapes) {
+  // The infer path reuses thread-local scratch across calls; alternating
+  // input sizes must not leak stale padding or column data.
+  Rng rng(5);
+  Conv2D conv(2, 3, 3, ConvAlgo::kIm2col, ConvGeometry{1, 1});
+  conv.init(rng);
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t size : {9U, 13U, 9U, 6U}) {
+      const Tensor x = random_image(Shape{2, size, size}, round * 10 + size);
+      EXPECT_EQ(conv.infer(x), conv.forward(x)) << "size " << size;
+    }
+  }
+}
+
+TEST(BatchInference, ForwardBatchBitIdenticalAcrossPoolSizes) {
+  Rng rng(7);
+  const Network net = conv_net(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> inputs;
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    inputs.push_back(random_image(Shape{1, 12, 12}, 100 + i));
+  }
+
+  const std::vector<Tensor> serial = net.forward_batch(inputs, nullptr);
+  ASSERT_EQ(serial.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(serial[i], net.infer(inputs[i])) << "sample " << i;
+  }
+
+  for (std::size_t workers : {1U, 2U, 4U, 8U}) {
+    ThreadPool pool(workers);
+    const std::vector<Tensor> pooled = net.forward_batch(inputs, &pool);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(pooled[i], serial[i])
+          << "sample " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(BatchInference, ClassifyBatchMatchesSerialClassify) {
+  Rng rng(11);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> inputs;
+  for (std::uint64_t i = 0; i < 17; ++i) {
+    inputs.push_back(random_image(Shape{1, 12, 12}, 200 + i));
+  }
+
+  std::vector<ClassificationResult> serial;
+  for (const Tensor& x : inputs) serial.push_back(net.classify(x));
+
+  for (std::size_t workers : {1U, 3U, 4U}) {
+    ThreadPool pool(workers);
+    const auto batch = net.classify_batch(inputs, &pool);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(batch[i].label, serial[i].label) << "sample " << i;
+      EXPECT_EQ(batch[i].exit_stage, serial[i].exit_stage) << "sample " << i;
+      EXPECT_EQ(batch[i].confidence, serial[i].confidence) << "sample " << i;
+      EXPECT_EQ(batch[i].probabilities, serial[i].probabilities)
+          << "sample " << i;
+      EXPECT_EQ(batch[i].ops, serial[i].ops) << "sample " << i;
+    }
+  }
+}
+
+TEST(BatchInference, EvaluationsIdenticalSerialAndPooled) {
+  Rng rng(13);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kDirect, rng);
+  Dataset data;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    data.add(random_image(Shape{1, 12, 12}, 300 + i), i % 5);
+  }
+  const EnergyModel energy;
+  ThreadPool pool(4);
+
+  for (const bool conditional : {true, false}) {
+    const Evaluation serial = conditional
+                                  ? evaluate_cdl(net, data, energy)
+                                  : evaluate_baseline(net, data, energy);
+    const Evaluation pooled = conditional
+                                  ? evaluate_cdl(net, data, energy, &pool)
+                                  : evaluate_baseline(net, data, energy, &pool);
+    EXPECT_EQ(pooled.total, serial.total);
+    EXPECT_EQ(pooled.correct, serial.correct);
+    // Aggregation is serial in sample order either way, so sums are exact.
+    EXPECT_EQ(pooled.sum_ops, serial.sum_ops);
+    EXPECT_EQ(pooled.sum_energy_pj, serial.sum_energy_pj);
+    EXPECT_EQ(pooled.exit_counts, serial.exit_counts);
+    EXPECT_EQ(pooled.exit_correct, serial.exit_correct);
+    ASSERT_EQ(pooled.per_class.size(), serial.per_class.size());
+    for (std::size_t c = 0; c < serial.per_class.size(); ++c) {
+      EXPECT_EQ(pooled.per_class[c].total, serial.per_class[c].total);
+      EXPECT_EQ(pooled.per_class[c].correct, serial.per_class[c].correct);
+      EXPECT_EQ(pooled.per_class[c].sum_ops, serial.per_class[c].sum_ops);
+      EXPECT_EQ(pooled.per_class[c].exit_counts,
+                serial.per_class[c].exit_counts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdl

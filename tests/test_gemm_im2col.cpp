@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
 #include "nn/im2col.h"
@@ -72,6 +73,78 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GemmCase{1, 1, 1}, GemmCase{2, 3, 4}, GemmCase{7, 5, 9},
                       GemmCase{64, 64, 64}, GemmCase{65, 63, 70},
                       GemmCase{12, 150, 25}, GemmCase{128, 17, 3}));
+
+// Exhaustive panel-edge sweep: every combination of dimensions around the
+// kMr=4 / kNr=8 register-tile boundaries (1, 63, 64, 65, 130) must match the
+// naive reference — this is where packing padding bugs hide.
+constexpr std::size_t kPanelEdges[] = {1, 63, 64, 65, 130};
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelEdges, GemmReferenceSweep,
+    ::testing::Combine(::testing::ValuesIn(kPanelEdges),
+                       ::testing::ValuesIn(kPanelEdges),
+                       ::testing::ValuesIn(kPanelEdges)));
+
+TEST(Gemm, AccumulateMatchesReferenceAtPanelEdges) {
+  // beta=1 write-back path over a partially-filled accumulator tile.
+  const GemmDims d{9, 31, 13};
+  Rng rng(77);
+  const Tensor a = random_tensor(Shape{d.m, d.k}, rng);
+  const Tensor b = random_tensor(Shape{d.k, d.n}, rng);
+  Tensor c = random_tensor(Shape{d.m, d.n}, rng);
+  Tensor expected(Shape{d.m, d.n});
+  reference_gemm(d, a.data(), b.data(), expected.data());
+  for (std::size_t i = 0; i < expected.numel(); ++i) expected[i] += c[i];
+  sgemm(d, a.data(), b.data(), c.data(), /*accumulate=*/true);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4F) << "element " << i;
+  }
+}
+
+TEST(Gemm, BlockedReferenceAgreesWithPackedKernel) {
+  // The retained seed kernel and the packed kernel are both valid GEMMs; they
+  // must agree to float accumulation tolerance.
+  const GemmDims d{65, 70, 33};
+  Rng rng(123);
+  const Tensor a = random_tensor(Shape{d.m, d.k}, rng);
+  const Tensor b = random_tensor(Shape{d.k, d.n}, rng);
+  Tensor packed(Shape{d.m, d.n});
+  Tensor blocked(Shape{d.m, d.n});
+  sgemm(d, a.data(), b.data(), packed.data());
+  sgemm_blocked_reference(d, a.data(), b.data(), blocked.data());
+  for (std::size_t i = 0; i < packed.numel(); ++i) {
+    EXPECT_NEAR(packed[i], blocked[i], 1e-3F) << "element " << i;
+  }
+}
+
+TEST(Gemm, ParallelBitIdenticalToSerial) {
+  // sgemm_parallel must produce bit-identical output for any pool size: each
+  // output row is accumulated in the same order regardless of the split.
+  for (std::size_t workers : {1U, 2U, 3U, 4U, 7U}) {
+    ThreadPool pool(workers);
+    for (const GemmDims d : {GemmDims{1, 5, 3}, GemmDims{4, 8, 8},
+                             GemmDims{65, 63, 70}, GemmDims{130, 17, 9}}) {
+      Rng rng(d.m * 131 + d.k * 17 + d.n + workers);
+      const Tensor a = random_tensor(Shape{d.m, d.k}, rng);
+      const Tensor b = random_tensor(Shape{d.k, d.n}, rng);
+      Tensor serial(Shape{d.m, d.n});
+      Tensor parallel(Shape{d.m, d.n});
+      sgemm(d, a.data(), b.data(), serial.data());
+      sgemm_parallel(d, a.data(), b.data(), parallel.data(), pool);
+      EXPECT_EQ(serial, parallel)
+          << "m=" << d.m << " k=" << d.k << " n=" << d.n
+          << " workers=" << workers;
+
+      // Accumulate path too: start from identical non-zero C.
+      Tensor serial_acc = random_tensor(Shape{d.m, d.n}, rng);
+      Tensor parallel_acc = serial_acc;
+      sgemm(d, a.data(), b.data(), serial_acc.data(), /*accumulate=*/true);
+      sgemm_parallel(d, a.data(), b.data(), parallel_acc.data(), pool,
+                     /*accumulate=*/true);
+      EXPECT_EQ(serial_acc, parallel_acc);
+    }
+  }
+}
 
 TEST(Im2col, ValidatesInput) {
   EXPECT_THROW((void)im2col(Tensor(Shape{4, 4}), 2), std::invalid_argument);

@@ -1,0 +1,145 @@
+// Tests for the ThreadPool: deterministic static chunking, exactly-once
+// coverage, exception propagation, reuse across submits, and the inline
+// single-worker path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace cdl {
+namespace {
+
+TEST(ThreadPool, ChunksPartitionTheRangeContiguously) {
+  for (std::size_t workers : {1U, 2U, 3U, 4U, 8U}) {
+    ThreadPool pool(workers);
+    for (std::size_t begin : {0U, 5U}) {
+      for (std::size_t total : {0U, 1U, 3U, 7U, 8U, 9U, 100U}) {
+        const std::size_t end = begin + total;
+        std::size_t cursor = begin;
+        for (std::size_t w = 0; w < pool.size(); ++w) {
+          const auto [b, e] = pool.chunk(w, begin, end);
+          EXPECT_EQ(b, cursor) << "workers=" << workers << " total=" << total
+                               << " w=" << w;
+          EXPECT_LE(e - b, total / pool.size() + 1);
+          cursor = e;
+        }
+        EXPECT_EQ(cursor, end) << "workers=" << workers << " total=" << total;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnRangeAndSize) {
+  ThreadPool a(4);
+  ThreadPool b(4);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(a.chunk(w, 3, 103), b.chunk(w, 3, 103));
+  }
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(997);
+  pool.parallel_for(0, visits.size(), [&](std::size_t, std::size_t begin,
+                                          std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WorkerReceivesItsOwnChunk) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> seen(pool.size());
+  pool.parallel_for(10, 40, [&](std::size_t worker, std::size_t begin,
+                                std::size_t end) {
+    seen[worker] = {begin, end};
+  });
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    EXPECT_EQ(seen[w], pool.chunk(w, 10, 40));
+  }
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, MoreWorkersThanItemsLeavesTrailingChunksEmpty) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    }
+  });
+  EXPECT_EQ(sum.load(), 6);  // 1 + 2 + 3: each of the 3 items exactly once
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.parallel_for(0, 10, [&](std::size_t worker, std::size_t begin,
+                               std::size_t end) {
+    EXPECT_EQ(worker, 0U);
+    EXPECT_EQ(begin, 0U);
+    EXPECT_EQ(end, 10U);
+    executed = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t, std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("chunk 0");
+                        }),
+      std::runtime_error);
+
+  // The pool must accept and complete new jobs after a failed one.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmits) {
+  ThreadPool pool(4);
+  std::vector<long> values(256);
+  std::iota(values.begin(), values.end(), 1);
+  const long expected = std::accumulate(values.begin(), values.end(), 0L);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<long> partial(pool.size(), 0);
+    pool.parallel_for(0, values.size(), [&](std::size_t worker,
+                                            std::size_t begin,
+                                            std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) partial[worker] += values[i];
+    });
+    const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+    ASSERT_EQ(total, expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1U);
+}
+
+}  // namespace
+}  // namespace cdl
