@@ -1,7 +1,9 @@
 // Throughput harness: measures the packed SGEMM kernel against the seed
 // blocked kernel (GFLOP/s, single- and multi-thread) and end-to-end batch
-// inference (images/sec) for both paper CDLNs, serial vs thread-pool, then
-// writes the numbers to a JSON file (default BENCH_throughput.json).
+// inference (images/sec, batch-latency percentiles, tracing overhead) for
+// both paper CDLNs, serial vs thread-pool, then writes the numbers to a JSON
+// file (default BENCH_throughput.json). --trace-out captures one traced
+// parallel batch per network as Chrome trace JSON.
 //
 // The parallel batch path is required to be bit-identical to the serial one;
 // this harness re-checks that on the measured batches and fails loudly if the
@@ -9,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -19,6 +22,9 @@
 #include "core/thread_pool.h"
 #include "eval/table.h"
 #include "nn/gemm.h"
+#include "obs/exit_profile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
 namespace {
@@ -59,6 +65,11 @@ struct BatchRow {
   std::size_t images = 0;
   double serial_ips = 0.0;
   double parallel_ips = 0.0;
+  double p50_ms = 0.0;  ///< parallel per-batch latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double trace_off_delta_pct = 0.0;  ///< repeat measurement, hooks disabled
+  double trace_on_delta_pct = 0.0;   ///< hooks enabled vs disabled
   bool identical = false;
 };
 
@@ -85,6 +96,10 @@ int main(int argc, char** argv) {
   args.add_option("out", "BENCH_throughput.json", "output JSON path");
   args.add_option("gemm-size", "256", "square GEMM dimension m = k = n");
   args.add_option("min-time", "0.2", "min seconds accumulated per measurement");
+  args.add_option("lat-reps", "20", "batch calls sampled for the latency "
+                                    "percentiles");
+  args.add_option("trace-out", "", "write a Chrome trace JSON of one traced "
+                                   "parallel batch per network");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -100,10 +115,12 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   std::size_t gemm_size = 0;
   double min_time = 0.0;
+  std::size_t lat_reps = 0;
   try {
     threads = args.get_size("threads");
     gemm_size = args.get_size("gemm-size");
     min_time = args.get_double("min-time");
+    lat_reps = std::max<std::size_t>(2, args.get_size("lat-reps"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: invalid option value (%s)\n%s", e.what(),
                  args.help("throughput").c_str());
@@ -156,22 +173,30 @@ int main(int argc, char** argv) {
               gemm_rows[2].gflops / gemm_rows[1].gflops);
 
   // --- batch inference images/sec ------------------------------------------
+  cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
+  const std::string trace_out = args.get("trace-out");
+  const bool trace_was_enabled = cdl::obs::Tracer::enabled();
+  tracer.set_enabled(false);  // hooks must be quiet while we measure
+
   std::vector<BatchRow> batch_rows;
+  std::vector<std::string> profile_summaries;
   cdl::TextTable batch_table({"network", "images", "serial img/s",
                               std::to_string(threads) + "-thread img/s",
                               "speedup"});
+  cdl::TextTable lat_table({"network", "p50 ms", "p95 ms", "p99 ms",
+                            "trace-off delta", "trace-on delta"});
   bool all_identical = true;
+  std::vector<cdl::Tensor> inputs;
+  inputs.reserve(data.test.size());
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    inputs.push_back(data.test.image(i));
+  }
+  std::vector<cdl::ConditionalNetwork> kept_nets;  // for the traced capture
   for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
     auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
                                             data.train, config);
     cdl::bench::select_operating_delta(trained.net, data);
     const cdl::ConditionalNetwork& net = trained.net;
-
-    std::vector<cdl::Tensor> inputs;
-    inputs.reserve(data.test.size());
-    for (std::size_t i = 0; i < data.test.size(); ++i) {
-      inputs.push_back(data.test.image(i));
-    }
 
     const auto serial = net.classify_batch(inputs, nullptr);
     const auto parallel = net.classify_batch(inputs, &pool);
@@ -187,20 +212,94 @@ int main(int argc, char** argv) {
         [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
     row.serial_ips = static_cast<double>(row.images) / serial_sec;
     row.parallel_ips = static_cast<double>(row.images) / parallel_sec;
+
+    // Per-call latency distribution of the parallel path.
+    std::vector<double> lat_ms;
+    lat_ms.reserve(lat_reps);
+    for (std::size_t i = 0; i < lat_reps; ++i) {
+      const auto start = Clock::now();
+      (void)net.classify_batch(inputs, &pool);
+      lat_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+    row.p50_ms = cdl::obs::percentile(lat_ms, 0.50);
+    row.p95_ms = cdl::obs::percentile(lat_ms, 0.95);
+    row.p99_ms = cdl::obs::percentile(lat_ms, 0.99);
+
+    // Tracing cost: a repeat run with the hooks still disabled bounds the
+    // measurement noise (the <2 % disabled-overhead budget), then a run with
+    // the hooks live shows the price of actually recording.
+    const double repeat_sec = time_per_call(
+        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+    row.trace_off_delta_pct = 100.0 * (repeat_sec - parallel_sec) / parallel_sec;
+    tracer.set_enabled(true);
+    const double traced_sec = time_per_call(
+        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+    tracer.set_enabled(false);
+    row.trace_on_delta_pct = 100.0 * (traced_sec - parallel_sec) / parallel_sec;
+    tracer.clear();  // drop the measurement runs' events
+
+    // Exit profile of the serial (reference) results.
+    std::vector<std::string> stage_names;
+    stage_names.reserve(net.num_stages() + 1);
+    for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+      stage_names.push_back(net.stage_name(s));
+    }
+    cdl::obs::ExitProfile profile(std::move(stage_names));
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      profile.record(serial[i].exit_stage,
+                     static_cast<double>(serial[i].confidence),
+                     static_cast<double>(serial[i].ops.total_compute()),
+                     serial[i].label == data.test.label(i));
+    }
+    profile_summaries.push_back(arch.name + " " + profile.summary());
+
     batch_table.add_row({row.network, std::to_string(row.images),
                          cdl::fmt(row.serial_ips, 1),
                          cdl::fmt(row.parallel_ips, 1),
                          cdl::fmt(row.parallel_ips / row.serial_ips, 2) + "x"});
+    lat_table.add_row({row.network, cdl::fmt(row.p50_ms, 2),
+                       cdl::fmt(row.p95_ms, 2), cdl::fmt(row.p99_ms, 2),
+                       cdl::fmt(row.trace_off_delta_pct, 2) + " %",
+                       cdl::fmt(row.trace_on_delta_pct, 2) + " %"});
     batch_rows.push_back(std::move(row));
+    if (!trace_out.empty()) kept_nets.push_back(std::move(trained.net));
   }
   std::printf("CDLN batch inference (Algorithm 2, whole test set per call):\n%s",
               batch_table.to_string().c_str());
+  std::printf("\nparallel batch latency (%zu samples; trace deltas vs the "
+              "first hooks-disabled run):\n%s",
+              lat_reps, lat_table.to_string().c_str());
+  for (const std::string& s : profile_summaries) {
+    std::printf("\n%s", s.c_str());
+  }
   if (!all_identical) {
     std::fprintf(stderr, "\nerror: parallel batch results differ from serial "
                          "classification -- determinism guarantee broken\n");
     return 1;
   }
   std::printf("\nserial and %zu-thread results bit-identical: yes\n", threads);
+
+  if (!trace_out.empty()) {
+    tracer.clear();
+    tracer.set_enabled(true);
+    for (const cdl::ConditionalNetwork& net : kept_nets) {
+      (void)net.classify_batch(inputs, &pool);
+    }
+    tracer.set_enabled(trace_was_enabled);
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    tracer.write_chrome_trace(os);
+    std::printf("\n%s[bench] trace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                tracer.summary().c_str(), trace_out.c_str());
+  } else {
+    tracer.set_enabled(trace_was_enabled);
+  }
 
   // --- JSON export ----------------------------------------------------------
   const std::string out_path = args.get("out");
@@ -229,9 +328,14 @@ int main(int argc, char** argv) {
                  "    {\"network\": \"%s\", \"images\": %zu, "
                  "\"serial_images_per_sec\": %.2f, "
                  "\"parallel_images_per_sec\": %.2f, \"speedup\": %.3f, "
+                 "\"latency_ms_p50\": %.3f, \"latency_ms_p95\": %.3f, "
+                 "\"latency_ms_p99\": %.3f, "
+                 "\"trace_disabled_delta_pct\": %.3f, "
+                 "\"trace_enabled_delta_pct\": %.3f, "
                  "\"results_identical\": %s}%s\n",
                  r.network.c_str(), r.images, r.serial_ips, r.parallel_ips,
-                 r.parallel_ips / r.serial_ips,
+                 r.parallel_ips / r.serial_ips, r.p50_ms, r.p95_ms, r.p99_ms,
+                 r.trace_off_delta_pct, r.trace_on_delta_pct,
                  r.identical ? "true" : "false",
                  i + 1 < batch_rows.size() ? "," : "");
   }

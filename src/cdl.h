@@ -11,6 +11,11 @@
 #include "core/shape.h"     // IWYU pragma: export
 #include "core/tensor.h"    // IWYU pragma: export
 
+// Observability: tracing, metrics, exit profiles.
+#include "obs/exit_profile.h"  // IWYU pragma: export
+#include "obs/metrics.h"       // IWYU pragma: export
+#include "obs/trace.h"         // IWYU pragma: export
+
 // Neural-network substrate.
 #include "nn/activations.h"  // IWYU pragma: export
 #include "nn/conv2d.h"       // IWYU pragma: export

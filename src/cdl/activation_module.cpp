@@ -39,13 +39,21 @@ ActivationDecision ActivationModule::evaluate(const Tensor& probabilities) const
 
   switch (policy_) {
     case ConfidencePolicy::kMaxProbability: {
-      // The paper's rule: terminate iff exactly one label clears δ.
+      // The paper's rule: terminate iff exactly one label clears δ, with
+      // that label. (When it does, it is necessarily the argmax among finite
+      // scores — but taking it directly keeps the decision in range even for
+      // NaN-polluted inputs, where argmax may point at a NaN slot.)
       std::size_t above = 0;
+      std::size_t above_idx = 0;
       for (std::size_t i = 0; i < probabilities.numel(); ++i) {
-        if (probabilities[i] >= delta_) ++above;
+        if (probabilities[i] >= delta_) {  // NaN compares false: never counted
+          ++above;
+          above_idx = i;
+        }
       }
       decision.confidence = max_probability(probabilities);
       decision.terminate = (above == 1);
+      if (decision.terminate) decision.label = above_idx;
       break;
     }
     case ConfidencePolicy::kMargin:

@@ -7,6 +7,7 @@
 #include "core/thread_pool.h"
 #include "nn/serialize.h"
 #include "nn/softmax.h"
+#include "obs/trace.h"
 
 namespace cdl {
 
@@ -120,11 +121,13 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
                                 input.shape().to_string() + " != " +
                                 input_shape_.to_string());
   }
+  CDL_TRACE_SPAN(classify_span, "classify", -1);
   ClassificationResult result;
   Tensor x = input;
   std::size_t done_layers = 0;
 
   for (std::size_t s = 0; s < stages_.size(); ++s) {
+    CDL_TRACE_SPAN(stage_span, "stage", static_cast<std::int32_t>(s));
     const Stage& stage = stages_[s];
     x = baseline_.infer_range(x, done_layers, stage.prefix_layers);
     done_layers = stage.prefix_layers;
@@ -139,11 +142,13 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
       result.exit_stage = s;
       result.confidence = decision.confidence;
       result.probabilities = probs;
+      CDL_TRACE_INSTANT("exit", static_cast<std::int32_t>(s));
       return result;
     }
   }
 
   // Hardest path: run the remaining baseline layers and take the FC output.
+  CDL_TRACE_SPAN(fc_span, "stage", static_cast<std::int32_t>(stages_.size()));
   x = baseline_.infer_range(x, done_layers, baseline_.size());
   result.ops += final_stage_ops();
   const Tensor probs = softmax(x);
@@ -151,6 +156,7 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
   result.exit_stage = stages_.size();
   result.confidence = max_probability(probs);
   result.probabilities = probs;
+  CDL_TRACE_INSTANT("exit", static_cast<std::int32_t>(stages_.size()));
   return result;
 }
 
@@ -170,6 +176,8 @@ ClassificationResult ConditionalNetwork::classify_baseline(
 
 std::vector<ClassificationResult> ConditionalNetwork::classify_batch(
     const std::vector<Tensor>& inputs, ThreadPool* pool) const {
+  CDL_TRACE_SPAN(batch_span, "classify_batch",
+                 static_cast<std::int32_t>(inputs.size()));
   std::vector<ClassificationResult> results(inputs.size());
   const auto run = [&](std::size_t, std::size_t chunk_begin,
                        std::size_t chunk_end) {

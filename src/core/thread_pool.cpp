@@ -1,6 +1,9 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace cdl {
 
@@ -44,6 +47,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     fn(0, begin, end);
     return;
   }
+  CDL_TRACE_SPAN(span, "parallel_for", static_cast<std::int32_t>(end - begin));
   const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -62,6 +66,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+#ifndef CDL_TRACE_DISABLED
+  // Name the worker's trace buffer up front; the ring itself is allocated
+  // lazily on the first recorded event, so this is cheap when tracing is off.
+  obs::Tracer::instance().set_thread_name("cdl-worker-" +
+                                          std::to_string(worker));
+#endif
   std::uint64_t seen = 0;
   for (;;) {
     const ChunkFn* job = nullptr;
@@ -79,6 +89,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     const auto [c0, c1] = chunk(worker, begin, end);
     std::exception_ptr error;
     if (c0 < c1) {
+      CDL_TRACE_SPAN(span, "chunk", static_cast<std::int32_t>(worker));
       try {
         (*job)(worker, c0, c1);
       } catch (...) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace cdl {
 
@@ -47,6 +48,7 @@ Evaluation evaluate_with(
     const std::function<ClassificationResult(const Tensor&)>& run,
     ThreadPool* pool) {
   if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  CDL_TRACE_SPAN(span, "evaluate", static_cast<std::int32_t>(data.size()));
 
   const std::size_t n_stages = net.num_stages() + 1;  // + final FC stage
   Evaluation eval;
@@ -54,6 +56,12 @@ Evaluation evaluate_with(
   eval.exit_correct.assign(n_stages, 0);
   eval.per_class.assign(data.num_classes(), ClassStats{});
   for (ClassStats& c : eval.per_class) c.exit_counts.assign(n_stages, 0);
+  std::vector<std::string> stage_names;
+  stage_names.reserve(n_stages);
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    stage_names.push_back(net.stage_name(s));
+  }
+  eval.profile = obs::ExitProfile(std::move(stage_names));
 
   // Classification may run in parallel (per-sample results are independent
   // and deterministic); aggregation below is always serial in sample order,
@@ -84,6 +92,8 @@ Evaluation evaluate_with(
     eval.sum_energy_pj += energy;
     ++eval.exit_counts[result.exit_stage];
     if (ok) ++eval.exit_correct[result.exit_stage];
+    eval.profile.record(result.exit_stage,
+                        static_cast<double>(result.confidence), ops, ok);
 
     ClassStats& cls = eval.per_class[truth];
     ++cls.total;

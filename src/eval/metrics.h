@@ -8,6 +8,7 @@
 #include "cdl/conditional_network.h"
 #include "data/dataset.h"
 #include "energy/energy_model.h"
+#include "obs/exit_profile.h"
 
 namespace cdl {
 
@@ -39,6 +40,11 @@ struct Evaluation {
   std::vector<std::size_t> exit_counts;   ///< per exit stage (last = FC)
   std::vector<std::size_t> exit_correct;  ///< correct decisions per stage
   std::vector<ClassStats> per_class;
+  /// Observability view of the same run: per-stage exits, correctness, OPS
+  /// and confidence-at-exit histograms. Filled by the same serial loop that
+  /// fills the aggregates above, so profile.exit_counts() == exit_counts and
+  /// profile.sum_ops() == sum_ops bit-exactly, for any thread count.
+  obs::ExitProfile profile;
 
   [[nodiscard]] double accuracy() const {
     return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);

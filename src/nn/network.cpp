@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace cdl {
 
@@ -39,6 +40,7 @@ Tensor Network::infer(const Tensor& input) const {
 Tensor Network::infer_range(const Tensor& input, std::size_t begin,
                             std::size_t end) const {
   check_range(begin, end);
+  CDL_TRACE_SPAN(span, "infer_range", static_cast<std::int32_t>(end));
   Tensor x = input;
   for (std::size_t i = begin; i < end; ++i) x = layers_[i]->infer(x);
   return x;
@@ -46,6 +48,8 @@ Tensor Network::infer_range(const Tensor& input, std::size_t begin,
 
 std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& inputs,
                                            ThreadPool* pool) const {
+  CDL_TRACE_SPAN(span, "forward_batch",
+                 static_cast<std::int32_t>(inputs.size()));
   std::vector<Tensor> outputs(inputs.size());
   const auto run = [&](std::size_t, std::size_t chunk_begin,
                        std::size_t chunk_end) {

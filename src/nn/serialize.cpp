@@ -12,6 +12,12 @@ namespace {
 constexpr std::array<char, 4> kMagic = {'C', 'D', 'L', 'W'};
 constexpr std::uint32_t kVersion = 1;
 
+// Sanity bounds for untrusted headers: a corrupted rank/dim/count field must
+// produce a clean error, not a multi-gigabyte allocation attempt.
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::uint64_t kMaxTensors = 1U << 20;
+constexpr std::uint64_t kMaxElements = 1ULL << 31;
+
 template <typename T>
 void write_pod(std::ostream& os, T value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -54,6 +60,10 @@ void load_parameters(std::istream& is, const std::vector<Tensor*>& params) {
                              std::to_string(version));
   }
   const auto count = read_pod<std::uint64_t>(is);
+  if (count > kMaxTensors) {
+    throw std::runtime_error("serialize: implausible tensor count " +
+                             std::to_string(count));
+  }
   if (count != params.size()) {
     throw std::runtime_error("serialize: file has " + std::to_string(count) +
                              " tensors, network expects " +
@@ -61,8 +71,20 @@ void load_parameters(std::istream& is, const std::vector<Tensor*>& params) {
   }
   for (Tensor* t : params) {
     const auto rank = read_pod<std::uint32_t>(is);
+    if (rank == 0 || rank > kMaxRank) {
+      throw std::runtime_error("serialize: implausible tensor rank " +
+                               std::to_string(rank));
+    }
     std::vector<std::size_t> dims(rank);
-    for (auto& d : dims) d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    std::uint64_t numel = 1;
+    for (auto& d : dims) {
+      const auto dim = read_pod<std::uint64_t>(is);
+      if (dim == 0 || dim > kMaxElements || numel > kMaxElements / dim) {
+        throw std::runtime_error("serialize: implausible tensor dimensions");
+      }
+      numel *= dim;
+      d = static_cast<std::size_t>(dim);
+    }
     const Shape shape{dims};
     if (shape != t->shape()) {
       throw std::runtime_error("serialize: shape mismatch, file " +

@@ -1,0 +1,96 @@
+#include "obs/exit_profile.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cdl::obs {
+
+ExitProfile::ExitProfile(std::vector<std::string> stage_names) {
+  if (stage_names.empty()) {
+    throw std::invalid_argument("ExitProfile: need at least one stage");
+  }
+  stages_.reserve(stage_names.size());
+  for (std::string& name : stage_names) {
+    StageExit s;
+    s.name = std::move(name);
+    stages_.push_back(std::move(s));
+  }
+}
+
+void ExitProfile::record(std::size_t stage, double confidence, double ops,
+                         bool correct) {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ExitProfile::record: stage " +
+                            std::to_string(stage) + " of " +
+                            std::to_string(stages_.size()));
+  }
+  StageExit& s = stages_[stage];
+  ++s.exits;
+  s.correct += correct ? 1 : 0;
+  s.sum_ops += ops;
+  s.confidence.record(confidence);
+  ++total_;
+  sum_ops_ += ops;
+}
+
+const StageExit& ExitProfile::stage(std::size_t i) const {
+  if (i >= stages_.size()) throw std::out_of_range("ExitProfile::stage");
+  return stages_[i];
+}
+
+std::vector<std::size_t> ExitProfile::exit_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(stages_.size());
+  for (const StageExit& s : stages_) counts.push_back(s.exits);
+  return counts;
+}
+
+double ExitProfile::exit_fraction(std::size_t stage) const {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ExitProfile::exit_fraction");
+  }
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(stages_[stage].exits) /
+                           static_cast<double>(total_);
+}
+
+std::string ExitProfile::summary() const {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "exit profile (%zu inputs, avg %.0f OPS):\n", total_,
+                total_ == 0 ? 0.0 : sum_ops_ / static_cast<double>(total_));
+  std::string out = line;
+  out += "  stage      exits    share  stage-acc     avg OPS  conf-mean"
+         "   conf-p50   conf-p95\n";
+  for (const StageExit& s : stages_) {
+    std::snprintf(line, sizeof line,
+                  "  %-6s %9zu  %6.1f %%  %8.1f %%  %10.0f  %9.3f  %9.3f"
+                  "  %9.3f\n",
+                  s.name.c_str(), s.exits,
+                  100.0 * (total_ == 0
+                               ? 0.0
+                               : static_cast<double>(s.exits) /
+                                     static_cast<double>(total_)),
+                  100.0 * s.accuracy(), s.avg_ops(), s.confidence.mean(),
+                  s.confidence.quantile(0.5), s.confidence.quantile(0.95));
+    out += line;
+  }
+  return out;
+}
+
+void ExitProfile::write_csv(std::ostream& os) const {
+  os << "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
+        "conf_p95\n";
+  char line[192];
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageExit& s = stages_[i];
+    std::snprintf(line, sizeof line,
+                  "%s,%zu,%.6f,%zu,%.6f,%.3f,%.6f,%.6f,%.6f\n",
+                  s.name.c_str(), s.exits, exit_fraction(i), s.correct,
+                  s.accuracy(), s.avg_ops(), s.confidence.mean(),
+                  s.confidence.quantile(0.5), s.confidence.quantile(0.95));
+    os << line;
+  }
+}
+
+}  // namespace cdl::obs

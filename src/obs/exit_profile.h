@@ -1,0 +1,68 @@
+// ExitProfile: per-exit-stage accounting for a cascade run — exit counts,
+// correctness, OPS actually spent, and the confidence distribution at each
+// exit. This is the quantity behind the paper's Fig. 5/9 per-stage numbers
+// and the statistic threshold-tuning methods consume.
+//
+// record() is the only mutator and aggregation is serial in sample order, so
+// a profile built next to an Evaluation is bit-exactly consistent with its
+// accuracy/OPS aggregates for any thread count.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdl::obs {
+
+struct StageExit {
+  std::string name;             ///< "O1".."On", "FC"
+  std::size_t exits = 0;        ///< inputs that terminated here
+  std::size_t correct = 0;      ///< of those, correctly labeled
+  double sum_ops = 0.0;         ///< cumulative OPS spent by those inputs
+  Histogram confidence{0.0, 1.0, 20};  ///< confidence at the exit decision
+
+  [[nodiscard]] double accuracy() const {
+    return exits == 0 ? 0.0
+                      : static_cast<double>(correct) / static_cast<double>(exits);
+  }
+  [[nodiscard]] double avg_ops() const {
+    return exits == 0 ? 0.0 : sum_ops / static_cast<double>(exits);
+  }
+
+  friend bool operator==(const StageExit&, const StageExit&) = default;
+};
+
+class ExitProfile {
+ public:
+  ExitProfile() = default;
+  /// One slot per stage name, in cascade order (last = final/FC stage).
+  explicit ExitProfile(std::vector<std::string> stage_names);
+
+  void record(std::size_t stage, double confidence, double ops, bool correct);
+
+  [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double sum_ops() const { return sum_ops_; }
+  [[nodiscard]] const StageExit& stage(std::size_t i) const;
+
+  /// Per-stage exit counts in stage order (for consistency checks against
+  /// Evaluation::exit_counts).
+  [[nodiscard]] std::vector<std::size_t> exit_counts() const;
+  [[nodiscard]] double exit_fraction(std::size_t stage) const;
+
+  /// Human-readable per-stage table; first line starts with "exit profile".
+  [[nodiscard]] std::string summary() const;
+  /// stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,conf_p95
+  void write_csv(std::ostream& os) const;
+
+  friend bool operator==(const ExitProfile&, const ExitProfile&) = default;
+
+ private:
+  std::vector<StageExit> stages_;
+  std::size_t total_ = 0;
+  double sum_ops_ = 0.0;
+};
+
+}  // namespace cdl::obs

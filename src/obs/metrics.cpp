@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cdl::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (bins == 0) {
+    throw std::invalid_argument("Histogram: need at least one bin");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Histogram: lo must be < hi");
+  }
+  bins_.assign(bins, 0);
+}
+
+void Histogram::record(double value, std::uint64_t weight) {
+  if (std::isnan(value)) {
+    nan_ += weight;
+    return;
+  }
+  count_ += weight;
+  sum_ += value * static_cast<double>(weight);
+  if (value < lo_) {
+    underflow_ += weight;
+  } else if (value > hi_) {
+    overflow_ += weight;
+  } else {
+    // value == hi_ folds into the last bin.
+    auto bin = static_cast<std::size_t>((value - lo_) / width_);
+    bin = std::min(bin, bins_.size() - 1);
+    bins_[bin] += weight;
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.bins_.size() != bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return i + 1 == bins_.size() ? hi_ : lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0, 1]");
+  }
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;  // mass below range reported at lo
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto in_bin = static_cast<double>(bins_[i]);
+    if (cum + in_bin >= target && in_bin > 0) {
+      return bin_lo(i) + (bin_hi(i) - bin_lo(i)) * (target - cum) / in_bin;
+    }
+    cum += in_bin;
+  }
+  return hi_;  // remaining mass is overflow, reported at hi
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  char line[96];
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    std::snprintf(line, sizeof line, "[%.3f, %.3f%c %llu\n", bin_lo(i),
+                  bin_hi(i), i + 1 == bins_.size() ? ']' : ')',
+                  static_cast<unsigned long long>(bins_[i]));
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "underflow %llu, overflow %llu, nan %llu, mean %.4f\n",
+                static_cast<unsigned long long>(underflow_),
+                static_cast<unsigned long long>(overflow_),
+                static_cast<unsigned long long>(nan_), mean());
+  out += line;
+  return out;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile: q outside [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto below = static_cast<std::size_t>(rank);
+  const std::size_t above = std::min(below + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(below);
+  return values[below] + (values[above] - values[below]) * frac;
+}
+
+}  // namespace cdl::obs

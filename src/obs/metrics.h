@@ -1,0 +1,70 @@
+// Typed metrics for the observability layer: fixed-bin histograms with
+// deterministic bin-interpolated quantiles (confidence-at-exit, per-stage
+// distributions) and an exact percentile helper for latency samples.
+//
+// Everything here is plain value types aggregated serially, so results are
+// bit-identical for any thread count when the recording order is fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdl::obs {
+
+/// Uniform-width histogram over [lo, hi) with explicit underflow/overflow
+/// counters. Values equal to `hi` land in the last bin (confidence 1.0 is
+/// common and meaningful); NaN is counted separately and excluded from
+/// mean/quantiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void record(double value) { record(value, 1); }
+  void record(double value, std::uint64_t weight);
+
+  /// Adds another histogram's counts; layouts must match exactly.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Recorded non-NaN values (includes under/overflow).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t nan_count() const { return nan_; }
+
+  /// Exact mean of recorded non-NaN values (0 when empty).
+  [[nodiscard]] double mean() const;
+
+  /// Bin-interpolated quantile, q in [0, 1]; underflow contributes at lo,
+  /// overflow at hi. Returns 0 when empty. Deterministic.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t nan_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of a sample set, q in [0, 1], linear interpolation
+/// between order statistics (the common "linear" / type-7 definition).
+/// Throws std::invalid_argument on an empty set or q outside [0, 1].
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+}  // namespace cdl::obs

@@ -1,0 +1,235 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace cdl::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for names we control (literals, thread names).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string span_key(const TraceEvent& e) {
+  std::string key = e.name;
+  if (e.id >= 0) {
+    key += '#';
+    key += std::to_string(e.id);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceRing::push(const TraceEvent& event) {
+  if (events_.empty()) events_.resize(capacity_);  // lazy first-push alloc
+  events_[static_cast<std::size_t>(next_ % capacity_)] = event;
+  ++next_;
+}
+
+std::size_t TraceRing::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_, capacity_));
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  const std::uint64_t first = next_ - held;
+  for (std::uint64_t i = first; i < next_; ++i) {
+    out.push_back(events_[static_cast<std::size_t>(i % capacity_)]);
+  }
+  return out;
+}
+
+Tracer::Tracer() : capacity_(65536) {
+  if (const char* env = std::getenv("CDL_TRACE_RING")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) capacity_.store(static_cast<std::size_t>(v));
+  }
+  if (const char* env = std::getenv("CDL_TRACE")) {
+    const std::string s(env);
+    if (s == "1" || s == "on" || s == "true") enabled_.store(true);
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  capacity_.store(std::max<std::size_t>(1, events),
+                  std::memory_order_relaxed);
+}
+
+Tracer::ThreadTrace& Tracer::local() {
+  thread_local std::shared_ptr<ThreadTrace> tls;
+  if (!tls) {
+    tls = std::make_shared<ThreadTrace>(ring_capacity(),
+                                        next_tid_.fetch_add(1));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(tls);
+  }
+  return *tls;
+}
+
+void Tracer::record(const TraceEvent& event) { local().ring.push(event); }
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadTrace& t = local();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  t.name = name;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = threads_.begin();
+  while (it != threads_.end()) {
+    if (it->use_count() == 1) {
+      it = threads_.erase(it);  // owning thread exited; forget its ring
+    } else {
+      (*it)->ring.clear();
+      ++it;
+    }
+  }
+}
+
+std::vector<Tracer::TaggedEvent> Tracer::collect() const {
+  std::vector<TaggedEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t : threads_) {
+      for (const TraceEvent& e : t->ring.snapshot()) {
+        out.push_back(TaggedEvent{e, t->tid, t->name});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TaggedEvent& a, const TaggedEvent& b) {
+                     return a.event.start_ns < b.event.start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t lost = 0;
+  for (const auto& t : threads_) {
+    lost += t->ring.recorded() - t->ring.size();
+  }
+  return lost;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TaggedEvent> events = collect();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t : threads_) {
+      if (t->name.empty()) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << t->tid << ",\"args\":{\"name\":\"" << json_escape(t->name)
+         << "\"}}";
+    }
+  }
+  char buf[64];
+  for (const TaggedEvent& te : events) {
+    const TraceEvent& e = te.event;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
+       << te.tid << ",\"ts\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.start_ns) / 1e3);
+    os << buf;
+    if (e.kind == EventKind::kSpan) {
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      os << ",\"ph\":\"X\",\"dur\":" << buf;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (e.id >= 0) os << ",\"args\":{\"id\":" << e.id << "}";
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "thread,tid,kind,name,id,start_ns,dur_ns\n";
+  for (const TaggedEvent& te : collect()) {
+    const TraceEvent& e = te.event;
+    os << te.thread_name << ',' << te.tid << ','
+       << (e.kind == EventKind::kSpan ? "span" : "instant") << ',' << e.name
+       << ',' << e.id << ',' << e.start_ns << ',' << e.dur_ns << '\n';
+  }
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    bool instant = false;
+  };
+  std::map<std::string, Agg> by_name;  // ordered -> deterministic output
+  for (const TaggedEvent& te : collect()) {
+    Agg& a = by_name[span_key(te.event)];
+    ++a.count;
+    a.total_ns += te.event.dur_ns;
+    a.instant = te.event.kind == EventKind::kInstant;
+  }
+  std::string out = "obs summary:\n";
+  char line[160];
+  for (const auto& [name, a] : by_name) {
+    if (a.instant) {
+      std::snprintf(line, sizeof line, "  %-20s %8llu events\n", name.c_str(),
+                    static_cast<unsigned long long>(a.count));
+    } else {
+      const double total_ms = static_cast<double>(a.total_ns) / 1e6;
+      std::snprintf(line, sizeof line,
+                    "  %-20s %8llu spans, total %10.3f ms, mean %8.4f ms\n",
+                    name.c_str(), static_cast<unsigned long long>(a.count),
+                    total_ms,
+                    total_ms / static_cast<double>(a.count));
+    }
+    out += line;
+  }
+  const std::uint64_t lost = dropped();
+  if (lost > 0) {
+    std::snprintf(line, sizeof line,
+                  "  (%llu events overwritten; raise CDL_TRACE_RING)\n",
+                  static_cast<unsigned long long>(lost));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cdl::obs

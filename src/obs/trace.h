@@ -1,0 +1,189 @@
+// Tracing: low-overhead span/instant event capture for the inference stack.
+//
+// Each thread owns a fixed-capacity ring of events that only it writes, so
+// recording is wait-free; the registry mutex is taken only on a thread's
+// first event and by whole-trace operations (collect / clear / export).
+// Disabled tracing costs one relaxed atomic load per span site, and the
+// CDL_TRACE_DISABLED compile definition (CMake option CDL_TRACE=OFF) removes
+// the hooks entirely.
+//
+// Event names must be string literals (static storage); a per-event integer
+// id carries dynamic context such as the cascade stage index. Exporters:
+// Chrome trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev),
+// CSV, and an aggregated human-readable summary.
+//
+// collect() and the exporters read the per-thread rings without locking the
+// writers: call them only when no traced work is in flight (e.g. after a
+// parallel_for returned, which establishes the necessary happens-before).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdl::obs {
+
+/// Nanoseconds on the steady clock since an anchor fixed at first use.
+[[nodiscard]] std::uint64_t now_ns();
+
+enum class EventKind : std::uint8_t { kSpan, kInstant };
+
+struct TraceEvent {
+  const char* name = "";       ///< string literal; never owned
+  std::uint64_t start_ns = 0;  ///< see now_ns()
+  std::uint64_t dur_ns = 0;    ///< 0 for instants
+  std::int32_t id = -1;        ///< dynamic payload (stage/worker index), -1 = none
+  EventKind kind = EventKind::kSpan;
+};
+
+/// Single-writer fixed-capacity ring; overwrites the oldest event when full.
+/// Storage is allocated lazily on the first push, so idle threads cost a few
+/// words even with large capacities.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void push(const TraceEvent& event);
+  void clear() { next_ = 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  /// Events ever pushed, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const { return next_; }
+  /// Held events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t next_ = 0;
+};
+
+/// Process-wide trace sink. `CDL_TRACE=1` in the environment enables tracing
+/// at startup; `CDL_TRACE_RING=<n>` overrides the default per-thread ring
+/// capacity (65536 events).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  [[nodiscard]] static bool enabled() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t ring_capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  /// Applies to rings of threads that record their first event afterwards.
+  void set_ring_capacity(std::size_t events);
+
+  /// Pushes to the calling thread's ring regardless of enabled(); span/
+  /// instant helpers do the enabled() check so the hot path skips this call.
+  void record(const TraceEvent& event);
+
+  /// Names the calling thread in exports ("cdl-worker-0", ...).
+  void set_thread_name(const std::string& name);
+
+  /// Drops all held events; forgets threads that have exited.
+  void clear();
+
+  struct TaggedEvent {
+    TraceEvent event;
+    std::uint32_t tid = 0;
+    std::string thread_name;  ///< empty when the thread was never named
+  };
+  /// Every held event across all threads, sorted by start time.
+  [[nodiscard]] std::vector<TaggedEvent> collect() const;
+
+  /// Events lost to ring overwrites since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of X/i/M records).
+  void write_chrome_trace(std::ostream& os) const;
+  /// One row per event: thread,tid,kind,name,id,start_ns,dur_ns.
+  void write_csv(std::ostream& os) const;
+  /// Spans aggregated by name (+id where set): count, total and mean ms.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  Tracer();
+
+  struct ThreadTrace {
+    ThreadTrace(std::size_t capacity, std::uint32_t thread_id)
+        : ring(capacity), tid(thread_id) {}
+    TraceRing ring;
+    std::uint32_t tid;
+    std::string name;
+  };
+
+  ThreadTrace& local();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_;
+  std::atomic<std::uint32_t> next_tid_{0};
+  mutable std::mutex mutex_;  ///< guards threads_
+  std::vector<std::shared_ptr<ThreadTrace>> threads_;
+};
+
+/// RAII span: samples the clock on construction and records on destruction,
+/// both skipped entirely while tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int32_t id = -1) {
+    if (Tracer::enabled()) {
+      name_ = name;
+      id_ = id;
+      start_ = now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceEvent event;
+      event.name = name_;
+      event.start_ns = start_;
+      event.dur_ns = now_ns() - start_;
+      event.id = id_;
+      Tracer::instance().record(event);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Updates the id payload before the span closes (e.g. the exit stage
+  /// becomes known mid-span).
+  void set_id(std::int32_t id) {
+    if (name_ != nullptr) id_ = id;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int32_t id_ = -1;
+  std::uint64_t start_ = 0;
+};
+
+inline void trace_instant(const char* name, std::int32_t id = -1) {
+  if (!Tracer::enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = now_ns();
+  event.id = id;
+  event.kind = EventKind::kInstant;
+  Tracer::instance().record(event);
+}
+
+}  // namespace cdl::obs
+
+#ifndef CDL_TRACE_DISABLED
+#define CDL_TRACE_SPAN(var, name, id) ::cdl::obs::TraceSpan var((name), (id))
+#define CDL_TRACE_INSTANT(name, id) ::cdl::obs::trace_instant((name), (id))
+#else
+#define CDL_TRACE_SPAN(var, name, id) ((void)0)
+#define CDL_TRACE_INSTANT(name, id) ((void)0)
+#endif

@@ -1,0 +1,145 @@
+// Property and fuzz tests for the ActivationModule delta-decision rule.
+//
+// The invariants under test (Section II of the paper, hardened for hostile
+// inputs): the cascade terminates iff exactly one class clears delta; the
+// returned label is always in range, even for NaN/Inf-polluted probability
+// vectors; and a max-probability termination always points at a class that
+// actually cleared the threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cdl/activation_module.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace cdl {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+Tensor probs(std::initializer_list<float> values) {
+  Tensor t(Shape{values.size()});
+  std::size_t i = 0;
+  for (float v : values) t[i++] = v;
+  return t;
+}
+
+TEST(ActivationFuzz, ExactTieAtDeltaTerminates) {
+  // >= delta counts as clearing the threshold, so a value exactly at delta
+  // with everything else below it terminates with that label.
+  const ActivationModule am(0.5F);
+  const ActivationDecision d = am.evaluate(probs({0.2F, 0.5F, 0.3F}));
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.label, 1U);
+}
+
+TEST(ActivationFuzz, TwoClassesAtDeltaIsAmbiguous) {
+  const ActivationModule am(0.5F);
+  EXPECT_FALSE(am.evaluate(probs({0.5F, 0.5F, 0.0F})).terminate);
+  EXPECT_FALSE(am.evaluate(probs({0.9F, 0.6F, 0.0F})).terminate);
+}
+
+TEST(ActivationFuzz, NoClassAtDeltaPassesOn) {
+  const ActivationModule am(0.5F);
+  EXPECT_FALSE(am.evaluate(probs({0.4F, 0.3F, 0.3F})).terminate);
+}
+
+TEST(ActivationFuzz, DeltaZeroNeverTerminatesMultiClass) {
+  // At delta = 0 every class clears the threshold, so the "exactly one"
+  // rule can only fire for a single-class vector.
+  const ActivationModule am(0.0F);
+  EXPECT_FALSE(am.evaluate(probs({0.9F, 0.1F})).terminate);
+  EXPECT_FALSE(am.evaluate(probs({1.0F, 0.0F, 0.0F})).terminate);
+  EXPECT_TRUE(am.evaluate(probs({1.0F})).terminate);
+}
+
+TEST(ActivationFuzz, DeltaOneTerminatesOnlyOnOneHot) {
+  const ActivationModule am(1.0F);
+  const ActivationDecision one_hot = am.evaluate(probs({0.0F, 1.0F, 0.0F}));
+  EXPECT_TRUE(one_hot.terminate);
+  EXPECT_EQ(one_hot.label, 1U);
+  EXPECT_FALSE(am.evaluate(probs({0.5F, 0.5F, 0.0F})).terminate);
+  EXPECT_FALSE(am.evaluate(probs({0.99F, 0.01F, 0.0F})).terminate);
+}
+
+TEST(ActivationFuzz, NanNeverClearsTheThreshold) {
+  const ActivationModule am(0.5F);
+  // NaN in a slot must not count as "above delta"; the one real confident
+  // class still terminates, and with its own index.
+  const ActivationDecision d = am.evaluate(probs({kNan, 0.8F, 0.1F}));
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.label, 1U);
+  // All-NaN: nothing clears delta, never terminate.
+  EXPECT_FALSE(am.evaluate(probs({kNan, kNan})).terminate);
+}
+
+TEST(ActivationFuzz, InfiniteValuesStayInRange) {
+  const ActivationModule am(0.5F);
+  const ActivationDecision d = am.evaluate(probs({-kInf, kInf, 0.1F}));
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.label, 1U);
+}
+
+TEST(ActivationFuzz, RejectsEmptyVectorAndNegativeDelta) {
+  const ActivationModule am(0.5F);
+  EXPECT_THROW((void)am.evaluate(Tensor{}), std::invalid_argument);
+  EXPECT_THROW(ActivationModule(-0.1F), std::invalid_argument);
+}
+
+TEST(ActivationFuzz, RandomVectorsKeepEveryPolicyInRange) {
+  // Fuzz all three confidence policies with vectors containing ordinary,
+  // negative, huge, NaN and Inf entries. Hard invariants: evaluate() never
+  // throws on non-empty input, the label is always < n, and a terminating
+  // max-probability decision points at a class that cleared delta.
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t n = 1 + rng.index(9);
+    Tensor p(Shape{n});
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.index(8)) {
+        case 0: p[i] = kNan; break;
+        case 1: p[i] = kInf; break;
+        case 2: p[i] = -kInf; break;
+        case 3: p[i] = rng.uniform(-2.0F, 2.0F); break;
+        default: p[i] = rng.uniform(0.0F, 1.0F); break;
+      }
+    }
+    const float delta = rng.uniform(0.0F, 1.0F);
+    for (ConfidencePolicy policy :
+         {ConfidencePolicy::kMaxProbability, ConfidencePolicy::kMargin,
+          ConfidencePolicy::kEntropy}) {
+      const ActivationModule am(delta, policy);
+      const ActivationDecision d = am.evaluate(p);
+      ASSERT_LT(d.label, n) << to_string(policy) << " iter " << iter;
+      if (d.terminate && policy == ConfidencePolicy::kMaxProbability) {
+        ASSERT_GE(p[d.label], delta) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(ActivationFuzz, CleanDistributionsBehaveIdenticallyAcrossRuns) {
+  // Determinism: the same vector always yields the same decision.
+  Rng rng(5);
+  const ActivationModule am(0.6F);
+  for (int iter = 0; iter < 200; ++iter) {
+    Tensor p(Shape{4});
+    float sum = 0.0F;
+    for (std::size_t i = 0; i < 4; ++i) {
+      p[i] = rng.uniform(0.0F, 1.0F);
+      sum += p[i];
+    }
+    for (std::size_t i = 0; i < 4; ++i) p[i] /= sum;
+    const ActivationDecision a = am.evaluate(p);
+    const ActivationDecision b = am.evaluate(p);
+    EXPECT_EQ(a.terminate, b.terminate);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+}
+
+}  // namespace
+}  // namespace cdl

@@ -12,44 +12,16 @@
 #include "data/dataset.h"
 #include "energy/energy_model.h"
 #include "eval/metrics.h"
-#include "nn/activations.h"
 #include "nn/conv2d.h"
-#include "nn/dense.h"
 #include "nn/network.h"
-#include "nn/pool2d.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Tensor random_image(const Shape& shape, std::uint64_t seed) {
-  Rng rng(seed);
-  Tensor x(shape);
-  for (float& v : x.values()) v = rng.uniform(0.0F, 1.0F);
-  return x;
-}
-
-/// Small LeNet-style network on 1x12x12 inputs: padded conv, pool, valid
-/// conv, dense head. Exercises both conv scratch buffers and the flattening
-/// dense path.
-Network conv_net(ConvAlgo algo, Rng& rng) {
-  Network net;
-  net.emplace<Conv2D>(1, 4, 3, algo, ConvGeometry{1, 1});
-  net.emplace<ReLU>();
-  net.emplace<Pool2D>(2);
-  net.emplace<Conv2D>(4, 6, 3, algo);
-  net.emplace<Tanh>();
-  net.emplace<Dense>(6 * 4 * 4, 5);
-  net.init(rng);
-  return net;
-}
-
-ConditionalNetwork conv_cdln(ConvAlgo algo, Rng& rng) {
-  ConditionalNetwork net(conv_net(algo, rng), Shape{1, 12, 12});
-  net.attach_classifier(3, LcTrainingRule::kLms, rng);
-  net.attach_classifier(5, LcTrainingRule::kLms, rng);
-  net.set_delta(0.4F);
-  return net;
-}
+using test::conv_cdln;
+using test::conv_net;
+using test::random_image;
 
 TEST(BatchInference, InferMatchesForwardForBothConvAlgos) {
   for (ConvAlgo algo : {ConvAlgo::kDirect, ConvAlgo::kIm2col}) {

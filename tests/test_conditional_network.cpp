@@ -7,21 +7,12 @@
 #include "core/rng.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-ConditionalNetwork small_cdln(Rng& rng, float delta = 0.5F) {
-  Network base;
-  base.emplace<Dense>(4, 6);
-  base.emplace<Sigmoid>();
-  base.emplace<Dense>(6, 3);
-  base.init(rng);
-  ConditionalNetwork net(std::move(base), Shape{4});
-  net.attach_classifier(2, LcTrainingRule::kLms, rng);
-  net.set_delta(delta);
-  return net;
-}
+using test::small_cdln;
 
 TEST(ConditionalNetwork, RequiresRankOneOutput) {
   Network base;

@@ -4,15 +4,12 @@
 
 #include "core/rng.h"
 #include "nn/conv2d.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Tensor random_tensor(const Shape& shape, Rng& rng) {
-  Tensor t(shape);
-  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
-  return t;
-}
+using test::random_tensor;
 
 /// Naive reference convolution written independently of the production loop
 /// order, used to cross-check Conv2D::forward.

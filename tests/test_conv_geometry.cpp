@@ -9,15 +9,12 @@
 #include "nn/dense.h"
 #include "nn/loss.h"
 #include "nn/network.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Tensor random_tensor(const Shape& shape, Rng& rng) {
-  Tensor t(shape);
-  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
-  return t;
-}
+using test::random_tensor;
 
 /// Reference convolution with explicit zero padding and stride, written
 /// independently of the production loops.

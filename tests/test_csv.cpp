@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
-#include <filesystem>
 #include <fstream>
 
 #include "eval/csv.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
@@ -35,9 +35,8 @@ TEST(CsvWriter, SpecialFieldsQuotedAndEscaped) {
 }
 
 TEST(CsvWriter, WritesFile) {
-  namespace fs = std::filesystem;
-  const std::string path =
-      (fs::temp_directory_path() / "cdl_csv_test.csv").string();
+  const test::TempDir tmp("cdl_csv_test");
+  const std::string path = tmp.path("out.csv");
   CsvWriter csv({"x", "y"});
   csv.add_row({"1", "2"});
   csv.write(path);
@@ -45,7 +44,6 @@ TEST(CsvWriter, WritesFile) {
   std::string content((std::istreambuf_iterator<char>(is)),
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "x,y\n1,2\n");
-  fs::remove(path);
 }
 
 TEST(CsvWriter, BadPathThrows) {

@@ -1,0 +1,135 @@
+// Tests for ExitProfile, including the acceptance invariant: the profile an
+// Evaluation carries is bit-exactly consistent with the Evaluation's own
+// aggregates for any thread count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "data/dataset.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
+#include "obs/exit_profile.h"
+#include "test_util.h"
+
+namespace cdl::obs {
+namespace {
+
+ExitProfile three_stage_profile() {
+  return ExitProfile({"O1", "O2", "FC"});
+}
+
+TEST(ExitProfile, RejectsEmptyStageList) {
+  EXPECT_THROW(ExitProfile(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(ExitProfile, StartsEmpty) {
+  const ExitProfile p = three_stage_profile();
+  EXPECT_EQ(p.num_stages(), 3U);
+  EXPECT_EQ(p.total(), 0U);
+  EXPECT_DOUBLE_EQ(p.sum_ops(), 0.0);
+  EXPECT_EQ(p.exit_counts(), (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST(ExitProfile, RecordRejectsOutOfRangeStage) {
+  ExitProfile p = three_stage_profile();
+  EXPECT_THROW(p.record(3, 0.5, 10.0, true), std::out_of_range);
+}
+
+TEST(ExitProfile, RecordAccumulatesPerStage) {
+  ExitProfile p = three_stage_profile();
+  p.record(0, 0.9, 100.0, true);
+  p.record(0, 0.8, 100.0, false);
+  p.record(2, 0.6, 300.0, true);
+  EXPECT_EQ(p.total(), 3U);
+  EXPECT_DOUBLE_EQ(p.sum_ops(), 500.0);
+  EXPECT_EQ(p.exit_counts(), (std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_EQ(p.stage(0).exits, 2U);
+  EXPECT_EQ(p.stage(0).correct, 1U);
+  EXPECT_DOUBLE_EQ(p.stage(0).accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(p.stage(0).avg_ops(), 100.0);
+  EXPECT_EQ(p.stage(0).confidence.count(), 2U);
+  EXPECT_DOUBLE_EQ(p.stage(1).accuracy(), 0.0);  // no exits -> 0
+}
+
+TEST(ExitProfile, ExitFraction) {
+  ExitProfile p = three_stage_profile();
+  EXPECT_DOUBLE_EQ(p.exit_fraction(0), 0.0);  // empty profile
+  p.record(0, 0.9, 1.0, true);
+  p.record(1, 0.9, 1.0, true);
+  p.record(1, 0.9, 1.0, true);
+  p.record(2, 0.9, 1.0, true);
+  EXPECT_DOUBLE_EQ(p.exit_fraction(1), 0.5);
+  EXPECT_THROW((void)p.exit_fraction(3), std::out_of_range);
+}
+
+TEST(ExitProfile, StageAccessorBoundsChecked) {
+  const ExitProfile p = three_stage_profile();
+  EXPECT_THROW((void)p.stage(3), std::out_of_range);
+}
+
+TEST(ExitProfile, SummaryListsEveryStage) {
+  ExitProfile p = three_stage_profile();
+  p.record(0, 0.9, 100.0, true);
+  const std::string s = p.summary();
+  EXPECT_EQ(s.rfind("exit profile", 0), 0U);  // first line marker
+  EXPECT_NE(s.find("O1"), std::string::npos);
+  EXPECT_NE(s.find("O2"), std::string::npos);
+  EXPECT_NE(s.find("FC"), std::string::npos);
+}
+
+TEST(ExitProfile, CsvHasHeaderAndOneRowPerStage) {
+  ExitProfile p = three_stage_profile();
+  p.record(1, 0.7, 50.0, true);
+  std::ostringstream os;
+  p.write_csv(os);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line,
+            "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
+            "conf_p95");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, 3U);
+}
+
+TEST(ExitProfile, EqualityComparesContents) {
+  ExitProfile a = three_stage_profile();
+  ExitProfile b = three_stage_profile();
+  EXPECT_EQ(a, b);
+  a.record(0, 0.9, 1.0, true);
+  EXPECT_NE(a, b);
+  b.record(0, 0.9, 1.0, true);
+  EXPECT_EQ(a, b);
+}
+
+// The acceptance invariant: the profile inside an Evaluation must agree
+// bit-exactly with the Evaluation's aggregates, for any thread count, and
+// the profile itself must be identical across thread counts.
+TEST(ExitProfile, BitExactlyConsistentWithEvaluationForAnyThreadCount) {
+  Rng rng(17);
+  const ConditionalNetwork net = test::conv_cdln(ConvAlgo::kIm2col, rng);
+  Dataset data;
+  for (std::size_t i = 0; i < 60; ++i) {
+    data.add(test::random_image(Shape{1, 12, 12}, 500 + i), i % 5);
+  }
+  const EnergyModel energy;
+
+  const Evaluation serial = evaluate_cdl(net, data, energy);
+  EXPECT_EQ(serial.profile.exit_counts(), serial.exit_counts);
+  EXPECT_EQ(serial.profile.sum_ops(), serial.sum_ops);  // bitwise, no tolerance
+  EXPECT_EQ(serial.profile.total(), serial.total);
+
+  for (std::size_t threads : {2U, 3U, 5U}) {
+    ThreadPool pool(threads);
+    const Evaluation pooled = evaluate_cdl(net, data, energy, &pool);
+    EXPECT_EQ(pooled.profile, serial.profile) << threads << " threads";
+    EXPECT_EQ(pooled.profile.exit_counts(), pooled.exit_counts);
+    EXPECT_EQ(pooled.profile.sum_ops(), pooled.sum_ops);
+  }
+}
+
+}  // namespace
+}  // namespace cdl::obs

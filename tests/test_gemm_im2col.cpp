@@ -9,15 +9,12 @@
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
 #include "nn/im2col.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Tensor random_tensor(const Shape& shape, Rng& rng) {
-  Tensor t(shape);
-  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
-  return t;
-}
+using test::random_tensor;
 
 void reference_gemm(GemmDims d, const float* a, const float* b, float* c) {
   for (std::size_t i = 0; i < d.m; ++i) {

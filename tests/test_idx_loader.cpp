@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/idx_loader.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
@@ -46,12 +47,8 @@ void write_idx_pair(const fs::path& img_path, const fs::path& lbl_path,
 
 class IdxLoaderTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() / "cdl_idx_test";
-    fs::create_directories(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-  fs::path dir_;
+  test::TempDir tmp_{"cdl_idx_test"};
+  fs::path dir_ = tmp_.dir();
 };
 
 TEST_F(IdxLoaderTest, RoundTripSmallFile) {

@@ -1,25 +1,19 @@
 #include <gtest/gtest.h>
 
-#include <filesystem>
+#include <fstream>
 
 #include "cdl/architectures.h"
 #include "core/rng.h"
 #include "model_io.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-namespace fs = std::filesystem;
-
 class ModelIoTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() / "cdl_model_io_test";
-    fs::create_directories(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-  std::string path(const std::string& name) { return (dir_ / name).string(); }
-  fs::path dir_;
+  std::string path(const std::string& name) { return tmp_.path(name); }
+  test::TempDir tmp_{"cdl_model_io_test"};
 };
 
 ConditionalNetwork make_net(const CdlArchitecture& arch, Rng& rng,
@@ -78,6 +72,63 @@ TEST_F(ModelIoTest, UnknownArchitectureRejected) {
   ConditionalNetwork net = make_net(arch, rng);
   tools::save_model(path("bad"), net, "NOT_AN_ARCH");
   EXPECT_THROW((void)tools::load_model(path("bad")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, MissingWeightsFileRejected) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(13);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("orphan"), net, arch.name);
+  std::filesystem::remove(path("orphan") + ".cdlw");
+  EXPECT_THROW((void)tools::load_model(path("orphan")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, TruncatedWeightsRejected) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(13);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("cut"), net, arch.name);
+
+  const std::string cdlw = path("cut") + ".cdlw";
+  const auto full = std::filesystem::file_size(cdlw);
+  std::filesystem::resize_file(cdlw, full / 2);
+  EXPECT_THROW((void)tools::load_model(path("cut")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, GarbageMetaRejected) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(13);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("g"), net, arch.name);
+  std::ofstream meta(path("g") + ".meta");
+  meta << "this is not a model meta file\n";
+  meta.close();
+  EXPECT_THROW((void)tools::load_model(path("g")), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, BadStagePrefixInMetaRejected) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(13);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("s"), net, arch.name);
+  std::ofstream meta(path("s") + ".meta");
+  meta << "arch " << arch.name << "\nstages 999\nrule lms\ndelta 0.5\n";
+  meta.close();
+  EXPECT_ANY_THROW((void)tools::load_model(path("s")));
+}
+
+TEST_F(ModelIoTest, MetaWeightsArchMismatchRejected) {
+  // Weights saved for one architecture, meta claiming another: the tensor
+  // list no longer matches and the CDLW loader must refuse it.
+  const CdlArchitecture arch3 = mnist_3c();
+  Rng rng(13);
+  ConditionalNetwork net = make_net(arch3, rng);
+  tools::save_model(path("mix"), net, arch3.name);
+  std::ofstream meta(path("mix") + ".meta");
+  meta << "arch " << mnist_2c().name << "\nstages "
+       << mnist_2c().default_stages[0] << "\nrule lms\ndelta 0.5\n";
+  meta.close();
+  EXPECT_THROW((void)tools::load_model(path("mix")), std::runtime_error);
 }
 
 TEST_F(ModelIoTest, PrunedStageSetRoundTrips) {

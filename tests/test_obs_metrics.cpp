@@ -1,0 +1,159 @@
+// Tests for the observability metric types: fixed-bin histograms and the
+// exact percentile helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdl::obs {
+namespace {
+
+TEST(Histogram, RejectsBadLayout) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsCoverTheRangeUniformly) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.num_bins(), 4U);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(Histogram, RecordsIntoCorrectBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(0.1);   // bin 0
+  h.record(0.3);   // bin 1
+  h.record(0.55);  // bin 2
+  h.record(0.9);   // bin 3
+  EXPECT_EQ(h.bins(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 4U);
+}
+
+TEST(Histogram, UpperEdgeLandsInLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(1.0);  // == hi: meaningful (confidence 1.0), not overflow
+  EXPECT_EQ(h.bins().back(), 1U);
+  EXPECT_EQ(h.overflow(), 0U);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(-0.5);
+  h.record(1.5);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_EQ(h.count(), 2U);  // both still count as recorded values
+}
+
+TEST(Histogram, NanExcludedFromStatistics) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(0.5);
+  EXPECT_EQ(h.nan_count(), 1U);
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.5);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h(0.0, 10.0, 5);
+  h.record(1.0);
+  h.record(2.0);
+  h.record(6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).mean(), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, WeightedRecord) {
+  Histogram h(0.0, 1.0, 2);
+  h.record(0.25, 3);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.bins()[0], 3U);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.25);
+}
+
+TEST(Histogram, QuantileIsMonotoneAndBounded) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i % 10) / 10.0);
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.record(0.25);  // all mass in bin [0, 0.5)
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 0.0);
+  EXPECT_LE(median, 0.5);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.record(0.1);
+  b.record(0.1);
+  b.record(0.9);
+  b.record(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3U);
+  EXPECT_EQ(a.bins()[0], 2U);
+  EXPECT_EQ(a.bins()[3], 1U);
+  EXPECT_EQ(a.nan_count(), 1U);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 1.0, 4);
+  EXPECT_THROW(a.merge(Histogram(0.0, 1.0, 8)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 2.0, 4)), std::invalid_argument);
+}
+
+TEST(Histogram, EqualityComparesContents) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  EXPECT_EQ(a, b);
+  a.record(0.5);
+  EXPECT_NE(a, b);
+  b.record(0.5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_DOUBLE_EQ(percentile({3.5}, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile({3.5}, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(percentile({3.5}, 1.0), 3.5);
+}
+
+TEST(Percentile, LinearInterpolationBetweenOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, InputOrderIrrelevant) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.5), 3.0);
+}
+
+}  // namespace
+}  // namespace cdl::obs

@@ -1,25 +1,18 @@
 #include <gtest/gtest.h>
 
-#include <filesystem>
 #include <fstream>
 
 #include "data/synthetic_mnist.h"
 #include "eval/pgm.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-namespace fs = std::filesystem;
-
 class PgmTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() / "cdl_pgm_test";
-    fs::create_directories(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-  std::string path(const std::string& name) { return (dir_ / name).string(); }
-  fs::path dir_;
+  std::string path(const std::string& name) { return tmp_.path(name); }
+  test::TempDir tmp_{"cdl_pgm_test"};
 };
 
 TEST_F(PgmTest, RoundTripWithinQuantization) {

@@ -2,15 +2,12 @@
 
 #include "core/rng.h"
 #include "nn/pool2d.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Tensor random_tensor(const Shape& shape, Rng& rng) {
-  Tensor t(shape);
-  for (float& v : t.values()) v = rng.uniform(-1.0F, 1.0F);
-  return t;
-}
+using test::random_tensor;
 
 TEST(Pool2D, RejectsZeroWindow) {
   EXPECT_THROW(Pool2D(0), std::invalid_argument);

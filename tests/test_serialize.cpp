@@ -1,25 +1,16 @@
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <filesystem>
 #include <sstream>
 
 #include "core/rng.h"
-#include "nn/activations.h"
-#include "nn/dense.h"
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "test_util.h"
 
 namespace cdl {
 namespace {
 
-Network two_layer_net() {
-  Network net;
-  net.emplace<Dense>(4, 3);
-  net.emplace<Sigmoid>();
-  net.emplace<Dense>(3, 2);
-  return net;
-}
+using test::two_layer_net;
 
 TEST(Serialize, StreamRoundTripIsBitExact) {
   Network a = two_layer_net();
@@ -39,9 +30,8 @@ TEST(Serialize, StreamRoundTripIsBitExact) {
 }
 
 TEST(Serialize, FileRoundTrip) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "cdl_serialize_test.cdlw")
-          .string();
+  const test::TempDir tmp("cdl_serialize_test");
+  const std::string path = tmp.path("net.cdlw");
   Network a = two_layer_net();
   Rng rng(11);
   a.init(rng);
@@ -50,7 +40,6 @@ TEST(Serialize, FileRoundTrip) {
   Network b = two_layer_net();
   load_network(path, b);
   EXPECT_EQ(*a.parameters()[0], *b.parameters()[0]);
-  std::remove(path.c_str());
 }
 
 TEST(Serialize, BadMagicRejected) {

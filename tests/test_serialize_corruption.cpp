@@ -1,0 +1,184 @@
+// Corruption-robustness tests for the CDLW weight format, anchored on a
+// committed golden file (tests/data/golden_two_layer.cdlw: two_layer_net
+// initialised with Rng(7)). Every malformed input must fail with a clean
+// std::runtime_error -- never a crash, hang, or huge allocation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/rng.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+#include "test_util.h"
+
+namespace cdl {
+namespace {
+
+using test::two_layer_net;
+
+// CDLW layout of the golden file: magic(4) version(4) count(8), then per
+// tensor rank(4) + dims(8 each) + float32 data. First tensor header starts
+// at byte 16, its first dimension at byte 20.
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kCountOffset = 8;
+constexpr std::size_t kFirstRankOffset = 16;
+constexpr std::size_t kFirstDimOffset = 20;
+
+std::string golden_path() {
+  return std::string(CDL_TEST_DATA_DIR) + "/golden_two_layer.cdlw";
+}
+
+std::string golden_bytes() {
+  std::ifstream is(golden_path(), std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing " << golden_path();
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void load_bytes(const std::string& bytes) {
+  Network net = two_layer_net();
+  std::istringstream is(bytes);
+  load_parameters(is, net.parameters());
+}
+
+/// Returns the golden bytes with `count` bytes at `offset` overwritten by
+/// the little-endian value.
+std::string patched(std::string bytes, std::size_t offset, std::uint64_t value,
+                    std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    bytes[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST(SerializeCorruption, GoldenFileLoads) {
+  Network net = two_layer_net();
+  EXPECT_NO_THROW(load_network(golden_path(), net));
+}
+
+TEST(SerializeCorruption, GoldenFileMatchesSeededInit) {
+  Network golden = two_layer_net();
+  load_network(golden_path(), golden);
+
+  Network fresh = two_layer_net();
+  Rng rng(7);
+  fresh.init(rng);
+
+  const auto pa = golden.parameters();
+  const auto pb = fresh.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i], *pb[i]);
+}
+
+TEST(SerializeCorruption, FormatIsByteStable) {
+  // The writer must keep producing exactly the committed bytes; any change
+  // to the on-disk format needs a version bump and a new golden file.
+  Network net = two_layer_net();
+  Rng rng(7);
+  net.init(rng);
+  std::ostringstream os;
+  save_parameters(os, net.parameters());
+  EXPECT_EQ(os.str(), golden_bytes());
+}
+
+TEST(SerializeCorruption, EveryTruncationFailsCleanly) {
+  const std::string full = golden_bytes();
+  ASSERT_GT(full.size(), 16U);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_THROW(load_bytes(full.substr(0, len)), std::runtime_error)
+        << "prefix of " << len << " bytes was accepted";
+  }
+  EXPECT_NO_THROW(load_bytes(full));
+}
+
+TEST(SerializeCorruption, BadMagicRejected) {
+  std::string bytes = golden_bytes();
+  bytes[0] = 'X';
+  try {
+    load_bytes(bytes);
+    FAIL() << "bad magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(SerializeCorruption, UnsupportedVersionRejected) {
+  try {
+    load_bytes(patched(golden_bytes(), kVersionOffset, 999, 4));
+    FAIL() << "future version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SerializeCorruption, ImplausibleTensorCountRejected) {
+  // A corrupted count must hit the sanity bound, not attempt 2^40 reads.
+  try {
+    load_bytes(patched(golden_bytes(), kCountOffset, 1ULL << 40, 8));
+    FAIL() << "absurd tensor count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+}
+
+TEST(SerializeCorruption, WrongTensorCountRejected) {
+  EXPECT_THROW(load_bytes(patched(golden_bytes(), kCountOffset, 3, 8)),
+               std::runtime_error);
+}
+
+TEST(SerializeCorruption, ZeroRankRejected) {
+  EXPECT_THROW(load_bytes(patched(golden_bytes(), kFirstRankOffset, 0, 4)),
+               std::runtime_error);
+}
+
+TEST(SerializeCorruption, HugeRankRejected) {
+  // rank 2 -> 200 would imply reading 200 dimension words; the bound check
+  // must fire first.
+  try {
+    load_bytes(patched(golden_bytes(), kFirstRankOffset, 200, 4));
+    FAIL() << "absurd rank accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+}
+
+TEST(SerializeCorruption, ZeroDimensionRejected) {
+  EXPECT_THROW(load_bytes(patched(golden_bytes(), kFirstDimOffset, 0, 8)),
+               std::runtime_error);
+}
+
+TEST(SerializeCorruption, HugeDimensionRejected) {
+  // A multi-terabyte dimension must be refused before any allocation.
+  try {
+    load_bytes(patched(golden_bytes(), kFirstDimOffset, 1ULL << 44, 8));
+    FAIL() << "absurd dimension accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dimensions"), std::string::npos);
+  }
+}
+
+TEST(SerializeCorruption, OverflowingDimProductRejected) {
+  // Each dimension individually plausible, product overflows the element
+  // bound: the guarded multiply must catch it.
+  std::string bytes = patched(golden_bytes(), kFirstDimOffset, 1ULL << 30, 8);
+  bytes = patched(std::move(bytes), kFirstDimOffset + 8, 1ULL << 30, 8);
+  EXPECT_THROW(load_bytes(bytes), std::runtime_error);
+}
+
+TEST(SerializeCorruption, WrongShapeHeaderRejected) {
+  // Plausible but mismatching shape (first dim 3 -> 5) must be reported as
+  // a shape mismatch, not read as data.
+  try {
+    load_bytes(patched(golden_bytes(), kFirstDimOffset, 5, 8));
+    FAIL() << "wrong shape accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shape mismatch"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cdl

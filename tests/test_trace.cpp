@@ -1,0 +1,246 @@
+// Tests for the tracing subsystem: ring semantics, the process-wide Tracer
+// (a singleton -- every test starts from set_enabled(false) + clear()),
+// span/instant capture, and the exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cdl::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TraceEvent make_event(const char* name, std::uint64_t start,
+                      std::int32_t id = -1) {
+  TraceEvent e;
+  e.name = name;
+  e.start_ns = start;
+  e.dur_ns = 1;
+  e.id = id;
+  return e;
+}
+
+TEST_F(TraceTest, NowNsIsMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(TraceTest, RingStartsEmpty) {
+  const TraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8U);
+  EXPECT_EQ(ring.size(), 0U);
+  EXPECT_EQ(ring.recorded(), 0U);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST_F(TraceTest, RingHoldsUpToCapacity) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.push(make_event("e", i));
+  EXPECT_EQ(ring.size(), 3U);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3U);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(events[i].start_ns, i);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(make_event("e", i));
+  EXPECT_EQ(ring.size(), 4U);
+  EXPECT_EQ(ring.recorded(), 10U);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4U);
+  // Oldest-first: 6, 7, 8, 9 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].start_ns, 6U + i);
+  }
+}
+
+TEST_F(TraceTest, RingClearForgetsEventsButKeepsCapacity) {
+  TraceRing ring(4);
+  ring.push(make_event("e", 1));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0U);
+  EXPECT_EQ(ring.capacity(), 4U);
+}
+
+TEST_F(TraceTest, ZeroCapacityClampedToOne) {
+  TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1U);
+  ring.push(make_event("e", 1));
+  EXPECT_EQ(ring.size(), 1U);
+}
+
+TEST_F(TraceTest, SpanNotRecordedWhileDisabled) {
+  {
+    CDL_TRACE_SPAN(span, "disabled_span", 1);
+  }
+  CDL_TRACE_INSTANT("disabled_instant", 2);
+  EXPECT_TRUE(Tracer::instance().collect().empty());
+}
+
+TEST_F(TraceTest, SpanRecordedWhileEnabled) {
+  Tracer::instance().set_enabled(true);
+  {
+    CDL_TRACE_SPAN(span, "my_span", 7);
+  }
+  Tracer::instance().set_enabled(false);
+  const auto events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_STREQ(events[0].event.name, "my_span");
+  EXPECT_EQ(events[0].event.id, 7);
+  EXPECT_EQ(events[0].event.kind, EventKind::kSpan);
+}
+
+TEST_F(TraceTest, SpanEnabledCheckHappensAtConstruction) {
+  // A span opened while disabled must not record even if tracing turns on
+  // before it closes (the start timestamp was never taken).
+  {
+    TraceSpan span("late_enable", 1);
+    Tracer::instance().set_enabled(true);
+  }
+  Tracer::instance().set_enabled(false);
+  EXPECT_TRUE(Tracer::instance().collect().empty());
+}
+
+TEST_F(TraceTest, SetIdUpdatesPayload) {
+  Tracer::instance().set_enabled(true);
+  {
+    TraceSpan span("span_with_late_id", -1);
+    span.set_id(42);
+  }
+  Tracer::instance().set_enabled(false);
+  const auto events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].event.id, 42);
+}
+
+TEST_F(TraceTest, InstantRecordedWhileEnabled) {
+  Tracer::instance().set_enabled(true);
+  trace_instant("tick", 3);
+  Tracer::instance().set_enabled(false);
+  const auto events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].event.kind, EventKind::kInstant);
+  EXPECT_EQ(events[0].event.dur_ns, 0U);
+}
+
+TEST_F(TraceTest, CollectSortsByStartTime) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record(make_event("b", 20));
+  tracer.record(make_event("a", 10));
+  tracer.record(make_event("c", 30));
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_STREQ(events[0].event.name, "a");
+  EXPECT_STREQ(events[1].event.name, "b");
+  EXPECT_STREQ(events[2].event.name, "c");
+}
+
+TEST_F(TraceTest, CollectSeesEventsFromManyThreads) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      tracer.set_thread_name("test-worker-" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        CDL_TRACE_SPAN(span, "worker_span", t);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.collect().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(TraceTest, DroppedCountsRingOverwrites) {
+  Tracer& tracer = Tracer::instance();
+  const std::size_t old_capacity = tracer.ring_capacity();
+  tracer.set_ring_capacity(8);
+  // A fresh thread picks up the small capacity (the main thread's ring was
+  // already allocated at the old one).
+  std::thread worker([&tracer] {
+    for (std::uint64_t i = 0; i < 20; ++i) tracer.record(make_event("x", i));
+  });
+  worker.join();
+  EXPECT_EQ(tracer.dropped(), 12U);
+  tracer.set_ring_capacity(old_capacity);
+}
+
+TEST_F(TraceTest, ChromeTraceIsWellFormed) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.set_thread_name("main-test-thread");
+  {
+    CDL_TRACE_SPAN(span, "stage", 2);
+  }
+  trace_instant("exit", 1);
+  tracer.set_enabled(false);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);   // thread name
+  EXPECT_NE(json.find("main-test-thread"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":2}"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, CsvExportHasHeaderAndRows) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record(make_event("alpha", 5, 1));
+  std::ostringstream os;
+  tracer.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("thread,tid,kind,name,id,start_ns,dur_ns\n", 0), 0U);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+}
+
+TEST_F(TraceTest, SummaryAggregatesByNameAndId) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record(make_event("stage", 1, 0));
+  tracer.record(make_event("stage", 2, 0));
+  tracer.record(make_event("stage", 3, 1));
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("stage#0"), std::string::npos);
+  EXPECT_NE(summary.find("stage#1"), std::string::npos);
+  EXPECT_NE(summary.find("2 spans"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record(make_event("x", 1));
+  tracer.clear();
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.dropped(), 0U);
+}
+
+}  // namespace
+}  // namespace cdl::obs

@@ -15,10 +15,25 @@ test -f "$WORK_DIR/model.meta"
 grep -q "model saved" "$WORK_DIR/train.log"
 
 "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 100 --seed 3 \
-    --per-digit --confusion > "$WORK_DIR/eval.log"
+    --per-digit --confusion --trace-out "$WORK_DIR/trace.json" \
+    --profile-csv "$WORK_DIR/profile.csv" > "$WORK_DIR/eval.log"
 grep -q "accuracy" "$WORK_DIR/eval.log"
 grep -q "exit distribution" "$WORK_DIR/eval.log"
+grep -q "exit profile" "$WORK_DIR/eval.log"
+grep -q "obs summary" "$WORK_DIR/eval.log"
 grep -q "truth" "$WORK_DIR/eval.log"
+
+# The trace must be valid Chrome trace-event JSON and the profile CSV must
+# carry the expected header. (python3 is present on CI; skip quietly where
+# it is not.)
+test -s "$WORK_DIR/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json, sys; \
+d = json.load(open(sys.argv[1])); \
+assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'no events'" \
+      "$WORK_DIR/trace.json"
+fi
+head -n 1 "$WORK_DIR/profile.csv" | grep -q "^stage,exits,share"
 
 # Delta override must be reflected in the report header.
 "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \
@@ -32,6 +47,19 @@ test -f "$WORK_DIR/pgms/digit7_001.pgm"
 # Bad usage must fail loudly.
 if "$TOOLS_DIR/cdl_train" --no-such-flag 2>/dev/null; then
   echo "cdl_train accepted an unknown flag" >&2
+  exit 1
+fi
+if "$TOOLS_DIR/cdl_eval" --no-such-flag 2>/dev/null; then
+  echo "cdl_eval accepted an unknown flag" >&2
+  exit 1
+fi
+if "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/does_not_exist" 2>/dev/null; then
+  echo "cdl_eval accepted a missing model" >&2
+  exit 1
+fi
+if "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \
+    --trace-out "$WORK_DIR/no_such_dir/t.json" 2>/dev/null; then
+  echo "cdl_eval accepted an unwritable trace path" >&2
   exit 1
 fi
 

@@ -1,7 +1,10 @@
 // cdl_eval: loads a model bundle produced by cdl_train and evaluates it —
-// accuracy, ops/energy vs the unconditional baseline, exit distribution,
-// optional per-digit table and confusion matrix.
+// accuracy, ops/energy vs the unconditional baseline, exit distribution and
+// per-stage exit profile, optional per-digit table, confusion matrix,
+// exit-profile CSV and Chrome trace JSON (chrome://tracing / Perfetto).
 #include <cstdio>
+#include <fstream>
+#include <functional>
 
 #include "data/synthetic_mnist.h"
 #include "energy/energy_model.h"
@@ -10,30 +13,20 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "model_io.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
-int main(int argc, char** argv) {
-  cdl::ArgParser args;
-  args.add_option("model", "cdl_model", "model path prefix from cdl_train");
-  args.add_option("test-n", "2000", "test samples");
-  args.add_option("seed", "42", "data seed (must differ from training data "
-                                "only via the disjoint test split)");
-  args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
-  args.add_flag("per-digit", "print the per-digit breakdown (paper Fig. 5)");
-  args.add_flag("confusion", "print the confusion matrix");
+namespace {
 
-  try {
-    args.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(),
-                 args.help("cdl_eval").c_str());
-    return 1;
-  }
-  if (args.help_requested()) {
-    std::printf("%s", args.help("cdl_eval").c_str());
-    return 0;
-  }
+void write_file_or_throw(const std::string& path,
+                         const std::function<void(std::ostream&)>& emit) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  emit(os);
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
 
+int run(const cdl::ArgParser& args) {
   cdl::tools::ModelMeta meta;
   cdl::ConditionalNetwork net = cdl::tools::load_model(args.get("model"), &meta);
   if (args.get_double("delta") >= 0.0) {
@@ -43,6 +36,10 @@ int main(int argc, char** argv) {
               meta.arch_name.c_str(), net.num_stages(),
               to_string(meta.rule).c_str(),
               static_cast<double>(net.activation_module().delta()));
+
+  const std::string trace_out = args.get("trace-out");
+  cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
+  if (!trace_out.empty()) tracer.set_enabled(true);
 
   const cdl::MnistPair data = cdl::load_mnist_or_synthetic(
       0, args.get_size("test-n"), args.get_size("seed"));
@@ -67,7 +64,7 @@ int main(int argc, char** argv) {
     std::printf("  %s %.1f %%", net.stage_name(s).c_str(),
                 100.0 * cond.exit_fraction(s));
   }
-  std::printf("\n");
+  std::printf("\n\n%s", cond.profile.summary().c_str());
 
   if (args.get_flag("per-digit")) {
     cdl::TextTable digits({"digit", "accuracy", "OPS improvement", "FC exit"});
@@ -90,5 +87,54 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", cm.to_string().c_str());
   }
+
+  const std::string profile_csv = args.get("profile-csv");
+  if (!profile_csv.empty()) {
+    write_file_or_throw(profile_csv,
+                        [&](std::ostream& os) { cond.profile.write_csv(os); });
+    std::printf("exit profile CSV written to %s\n", profile_csv.c_str());
+  }
+  if (!trace_out.empty()) {
+    write_file_or_throw(trace_out, [&](std::ostream& os) {
+      tracer.write_chrome_trace(os);
+    });
+    std::printf("\n%strace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                tracer.summary().c_str(), trace_out.c_str());
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("model", "cdl_model", "model path prefix from cdl_train");
+  args.add_option("test-n", "2000", "test samples");
+  args.add_option("seed", "42", "data seed (must differ from training data "
+                                "only via the disjoint test split)");
+  args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
+  args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
+                                   "tracing for the run)");
+  args.add_option("profile-csv", "", "write the exit profile as CSV here");
+  args.add_flag("per-digit", "print the per-digit breakdown (paper Fig. 5)");
+  args.add_flag("confusion", "print the confusion matrix");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("cdl_eval").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("cdl_eval").c_str());
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -3,37 +3,22 @@
 //   cdl_train --arch mnist_3c --train-n 6000 --out my_model
 //   cdl_eval  --model my_model --test-n 2000
 #include <cstdio>
+#include <fstream>
 
 #include "cdl/architectures.h"
 #include "cdl/cdl_trainer.h"
 #include "cdl/delta_selection.h"
 #include "data/synthetic_mnist.h"
 #include "model_io.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
-int main(int argc, char** argv) {
-  cdl::ArgParser args;
-  args.add_option("arch", "mnist_3c", "architecture: mnist_2c or mnist_3c");
-  args.add_option("train-n", "6000", "training samples");
-  args.add_option("val-n", "1500", "validation samples for delta selection");
-  args.add_option("seed", "42", "experiment seed");
-  args.add_option("epochs", "6", "baseline training epochs");
-  args.add_option("lc-epochs", "12", "linear-classifier training epochs");
-  args.add_option("rule", "lms", "stage classifier rule: lms or softmax");
-  args.add_option("out", "cdl_model", "output path prefix (.cdlw/.meta)");
-  args.add_flag("prune", "apply Algorithm 1's gain-based stage admission");
+namespace {
 
-  try {
-    args.parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(),
-                 args.help("cdl_train").c_str());
-    return 1;
-  }
-  if (args.help_requested()) {
-    std::printf("%s", args.help("cdl_train").c_str());
-    return 0;
-  }
+int run(const cdl::ArgParser& args) {
+  const std::string trace_out = args.get("trace-out");
+  cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
+  if (!trace_out.empty()) tracer.set_enabled(true);
 
   const std::string arch_name = args.get("arch");
   const cdl::CdlArchitecture arch =
@@ -43,8 +28,11 @@ int main(int argc, char** argv) {
   std::printf("loading data (%zu train / %zu val, seed %llu)...\n",
               args.get_size("train-n"), args.get_size("val-n"),
               static_cast<unsigned long long>(seed));
-  const cdl::MnistPair data = cdl::load_mnist_or_synthetic(
-      args.get_size("train-n"), 0, seed, args.get_size("val-n"));
+  const cdl::MnistPair data = [&] {
+    CDL_TRACE_SPAN(span, "load_data", -1);
+    return cdl::load_mnist_or_synthetic(args.get_size("train-n"), 0, seed,
+                                        args.get_size("val-n"));
+  }();
 
   cdl::Rng rng(seed);
   cdl::Network baseline = arch.make_baseline();
@@ -54,7 +42,10 @@ int main(int argc, char** argv) {
   cdl::BaselineTrainConfig bcfg;
   bcfg.epochs = args.get_size("epochs");
   bcfg.log_every = 1;
-  cdl::train_baseline(baseline, data.train, bcfg, rng);
+  {
+    CDL_TRACE_SPAN(span, "train_baseline", -1);
+    cdl::train_baseline(baseline, data.train, bcfg, rng);
+  }
 
   cdl::ConditionalNetwork net(std::move(baseline), arch.input_shape);
   const cdl::LcTrainingRule rule = args.get("rule") == "softmax"
@@ -71,7 +62,10 @@ int main(int argc, char** argv) {
   cdl::CdlTrainConfig cfg;
   cfg.lc_epochs = args.get_size("lc-epochs");
   cfg.prune_by_gain = args.get_flag("prune");
-  const cdl::CdlTrainReport report = cdl::train_cdl(net, data.train, cfg, rng);
+  const cdl::CdlTrainReport report = [&] {
+    CDL_TRACE_SPAN(span, "train_cdl", -1);
+    return cdl::train_cdl(net, data.train, cfg, rng);
+  }();
   for (const auto& s : report.stages) {
     std::printf("  %s: reached %zu, classified %zu -> %s\n",
                 s.stage_name.c_str(), s.reached, s.classified,
@@ -79,6 +73,7 @@ int main(int argc, char** argv) {
   }
 
   if (!data.validation.empty()) {
+    CDL_TRACE_SPAN(span, "select_delta", -1);
     const cdl::DeltaSelection sel = cdl::select_delta(net, data.validation);
     std::printf("delta selected on validation: %.2f (accuracy %.2f %%)\n",
                 static_cast<double>(sel.best.delta), 100.0 * sel.best.accuracy);
@@ -87,5 +82,50 @@ int main(int argc, char** argv) {
   cdl::tools::save_model(args.get("out"), net, arch.name);
   std::printf("model saved to %s.cdlw / %s.meta\n", args.get("out").c_str(),
               args.get("out").c_str());
+
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) throw std::runtime_error("cannot write " + trace_out);
+    tracer.write_chrome_trace(os);
+    if (!os) throw std::runtime_error("write failure on " + trace_out);
+    std::printf("\n%strace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                tracer.summary().c_str(), trace_out.c_str());
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("arch", "mnist_3c", "architecture: mnist_2c or mnist_3c");
+  args.add_option("train-n", "6000", "training samples");
+  args.add_option("val-n", "1500", "validation samples for delta selection");
+  args.add_option("seed", "42", "experiment seed");
+  args.add_option("epochs", "6", "baseline training epochs");
+  args.add_option("lc-epochs", "12", "linear-classifier training epochs");
+  args.add_option("rule", "lms", "stage classifier rule: lms or softmax");
+  args.add_option("out", "cdl_model", "output path prefix (.cdlw/.meta)");
+  args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
+                                   "tracing for the run)");
+  args.add_flag("prune", "apply Algorithm 1's gain-based stage admission");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("cdl_train").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("cdl_train").c_str());
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
