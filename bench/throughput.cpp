@@ -10,6 +10,7 @@
 // guarantee is ever violated.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "cdl/conditional_network.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "eval/table.h"
@@ -94,6 +96,10 @@ int main(int argc, char** argv) {
                   "pool workers for the parallel columns (0 = CDL_THREADS, "
                   "else hardware concurrency, min 2)");
   args.add_option("out", "BENCH_throughput.json", "output JSON path");
+  args.add_option("seed", "42",
+                  "workload seed; fixed here (NOT read from CDL_SEED) so "
+                  "repeated runs measure the identical batch composition and "
+                  "bench_check.py diffs are not input-mix noise");
   args.add_option("gemm-size", "256", "square GEMM dimension m = k = n");
   args.add_option("min-time", "0.2", "min seconds accumulated per measurement");
   args.add_option("lat-reps", "20", "batch calls sampled for the latency "
@@ -116,17 +122,23 @@ int main(int argc, char** argv) {
   std::size_t gemm_size = 0;
   double min_time = 0.0;
   std::size_t lat_reps = 0;
+  std::uint64_t seed = 0;
   try {
     threads = args.get_size("threads");
     gemm_size = args.get_size("gemm-size");
     min_time = args.get_double("min-time");
     lat_reps = std::max<std::size_t>(2, args.get_size("lat-reps"));
+    seed = args.get_size("seed");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: invalid option value (%s)\n%s", e.what(),
                  args.help("throughput").c_str());
     return 1;
   }
   auto config = cdl::bench::bench_config();
+  // Deterministic workload: this harness feeds bench_check.py regression
+  // diffs, so the dataset seed (and with it the batch composition and the
+  // trained weights) must not drift with the CDL_SEED environment.
+  config.seed = seed;
   if (threads == 0) threads = config.threads;
   if (threads <= 1) {
     threads = std::max<std::size_t>(
@@ -206,10 +218,19 @@ int main(int argc, char** argv) {
     row.identical = same_results(serial, parallel);
     all_identical = all_identical && row.identical;
 
+    // Timed loops reuse warm workspaces and a warm results vector so the
+    // measured steady state is the zero-allocation classify_batch_into path
+    // (one workspace per pool configuration; sharing one would replan on
+    // every serial<->parallel switch).
+    cdl::BatchWorkspace ws_serial;
+    cdl::BatchWorkspace ws_parallel;
+    std::vector<cdl::ClassificationResult> timed;
     const double serial_sec = time_per_call(
-        [&] { (void)net.classify_batch(inputs, nullptr); }, min_time);
+        [&] { net.classify_batch_into(inputs, timed, ws_serial, nullptr); },
+        min_time);
     const double parallel_sec = time_per_call(
-        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+        [&] { net.classify_batch_into(inputs, timed, ws_parallel, &pool); },
+        min_time);
     row.serial_ips = static_cast<double>(row.images) / serial_sec;
     row.parallel_ips = static_cast<double>(row.images) / parallel_sec;
 
@@ -218,7 +239,7 @@ int main(int argc, char** argv) {
     lat_ms.reserve(lat_reps);
     for (std::size_t i = 0; i < lat_reps; ++i) {
       const auto start = Clock::now();
-      (void)net.classify_batch(inputs, &pool);
+      net.classify_batch_into(inputs, timed, ws_parallel, &pool);
       lat_ms.push_back(
           std::chrono::duration<double, std::milli>(Clock::now() - start)
               .count());
@@ -231,11 +252,13 @@ int main(int argc, char** argv) {
     // measurement noise (the <2 % disabled-overhead budget), then a run with
     // the hooks live shows the price of actually recording.
     const double repeat_sec = time_per_call(
-        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+        [&] { net.classify_batch_into(inputs, timed, ws_parallel, &pool); },
+        min_time);
     row.trace_off_delta_pct = 100.0 * (repeat_sec - parallel_sec) / parallel_sec;
     tracer.set_enabled(true);
     const double traced_sec = time_per_call(
-        [&] { (void)net.classify_batch(inputs, &pool); }, min_time);
+        [&] { net.classify_batch_into(inputs, timed, ws_parallel, &pool); },
+        min_time);
     tracer.set_enabled(false);
     row.trace_on_delta_pct = 100.0 * (traced_sec - parallel_sec) / parallel_sec;
     tracer.clear();  // drop the measurement runs' events
@@ -308,8 +331,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"threads\": %zu,\n  \"gemm_size\": %zu,\n",
-               threads, gemm_size);
+  std::fprintf(out,
+               "{\n  \"threads\": %zu,\n  \"gemm_size\": %zu,\n"
+               "  \"seed\": %llu,\n",
+               threads, gemm_size, static_cast<unsigned long long>(seed));
   std::fprintf(out, "  \"gemm\": [\n");
   for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
     std::fprintf(out,

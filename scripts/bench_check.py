@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_throughput.json against the committed baseline.
+
+Fails (exit 1) when the fresh run regresses by more than --threshold
+(default 15 %) on either of the two headline metrics:
+
+  * packed single-thread GEMM GFLOP/s
+  * per-network batch inference images/sec (parallel)
+
+Runs whose workloads are not comparable (different seed, gemm_size or
+image count) fail immediately rather than producing a meaningless diff --
+the throughput harness pins its seed via --seed exactly so that this
+comparison is apples-to-apples.
+
+Improvements are reported but never fail the check. Stdlib only.
+
+With --determinism-only the baseline is not read at all: the check passes
+iff the fresh JSON is well-formed and every network's serial and threaded
+results are bit-identical. That is the mode CI uses -- hosted runners have
+different hardware from the machine that produced the committed baseline,
+so absolute images/sec are not comparable there, but the determinism
+guarantee must hold everywhere.
+
+Usage:
+    python3 scripts/bench_check.py --fresh build/BENCH_throughput.json \
+        [--baseline BENCH_throughput.json] [--threshold 0.15] \
+        [--determinism-only]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def gemm_gflops(doc, kernel):
+    for row in doc.get("gemm", []):
+        if row.get("kernel") == kernel:
+            return float(row["gflops"])
+    sys.exit(f"error: no '{kernel}' row in gemm section")
+
+
+def batch_rows(doc):
+    rows = {}
+    for row in doc.get("batch_inference", []):
+        rows[row["network"]] = row
+    if not rows:
+        sys.exit("error: empty batch_inference section")
+    return rows
+
+
+def check_workload_match(baseline, fresh):
+    """Same seed / gemm_size / batch composition, else the diff is noise."""
+    mismatches = []
+    for key in ("gemm_size", "seed"):
+        b, f = baseline.get(key), fresh.get(key)
+        # Older baselines predate the "seed" field; skip absent keys.
+        if b is not None and f is not None and b != f:
+            mismatches.append(f"{key}: baseline={b} fresh={f}")
+    b_rows, f_rows = batch_rows(baseline), batch_rows(fresh)
+    for net in sorted(set(b_rows) & set(f_rows)):
+        bi, fi = b_rows[net].get("images"), f_rows[net].get("images")
+        if bi != fi:
+            mismatches.append(f"{net} images: baseline={bi} fresh={fi}")
+    if mismatches:
+        for m in mismatches:
+            print(f"workload mismatch -- {m}", file=sys.stderr)
+        sys.exit("error: runs are not comparable (did CDL_TEST_N or --seed "
+                 "change?); re-run both sides with the same workload")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True,
+                    help="freshly measured BENCH_throughput.json")
+    ap.add_argument("--baseline", default="BENCH_throughput.json",
+                    help="committed baseline JSON (default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated fractional regression "
+                         "(default: %(default)s)")
+    ap.add_argument("--determinism-only", action="store_true",
+                    help="skip the baseline comparison; only verify the "
+                         "fresh run's serial/threaded bit-identity")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    failures = []
+
+    if args.determinism_only:
+        for net, row in sorted(batch_rows(fresh).items()):
+            identical = row.get("results_identical", False)
+            print(f"{net:42s} results_identical={identical}")
+            if not identical:
+                failures.append(f"{net} results_identical")
+        if failures:
+            sys.exit(f"error: determinism guarantee broken in: "
+                     f"{', '.join(failures)}")
+        print("bench determinism check passed")
+        return
+
+    baseline = load(args.baseline)
+    check_workload_match(baseline, fresh)
+
+    def compare(label, base_val, fresh_val):
+        ratio = fresh_val / base_val if base_val > 0 else float("inf")
+        delta_pct = 100.0 * (ratio - 1.0)
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(label)
+        print(f"{label:42s} baseline {base_val:12.2f}  "
+              f"fresh {fresh_val:12.2f}  {delta_pct:+7.2f} %  {status}")
+
+    compare("packed GEMM GFLOP/s",
+            gemm_gflops(baseline, "packed"), gemm_gflops(fresh, "packed"))
+
+    b_rows, f_rows = batch_rows(baseline), batch_rows(fresh)
+    for net in sorted(set(b_rows) & set(f_rows)):
+        compare(f"{net} parallel images/sec",
+                float(b_rows[net]["parallel_images_per_sec"]),
+                float(f_rows[net]["parallel_images_per_sec"]))
+
+    for net, row in sorted(f_rows.items()):
+        if not row.get("results_identical", False):
+            failures.append(f"{net} results_identical")
+            print(f"{net}: serial/parallel results differ -- determinism "
+                  f"guarantee broken", file=sys.stderr)
+
+    if failures:
+        sys.exit(f"error: bench regression beyond {args.threshold:.0%} "
+                 f"tolerance in: {', '.join(failures)}")
+    print(f"bench check passed (tolerance {args.threshold:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "cdl/activation_module.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/softmax.h"
@@ -31,11 +32,18 @@ void ActivationModule::set_delta(float delta) {
 }
 
 ActivationDecision ActivationModule::evaluate(const Tensor& probabilities) const {
-  if (probabilities.numel() == 0) {
+  return evaluate(probabilities.data(), probabilities.numel());
+}
+
+ActivationDecision ActivationModule::evaluate(const float* probabilities,
+                                              std::size_t n) const {
+  if (n == 0) {
     throw std::invalid_argument("ActivationModule: empty probabilities");
   }
   ActivationDecision decision;
-  decision.label = probabilities.argmax();
+  // Same argmax as Tensor::argmax (std::max_element: first max on ties).
+  decision.label = static_cast<std::size_t>(
+      std::max_element(probabilities, probabilities + n) - probabilities);
 
   switch (policy_) {
     case ConfidencePolicy::kMaxProbability: {
@@ -45,23 +53,23 @@ ActivationDecision ActivationModule::evaluate(const Tensor& probabilities) const
       // NaN-polluted inputs, where argmax may point at a NaN slot.)
       std::size_t above = 0;
       std::size_t above_idx = 0;
-      for (std::size_t i = 0; i < probabilities.numel(); ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         if (probabilities[i] >= delta_) {  // NaN compares false: never counted
           ++above;
           above_idx = i;
         }
       }
-      decision.confidence = max_probability(probabilities);
+      decision.confidence = max_probability(probabilities, n);
       decision.terminate = (above == 1);
       if (decision.terminate) decision.label = above_idx;
       break;
     }
     case ConfidencePolicy::kMargin:
-      decision.confidence = probability_margin(probabilities);
+      decision.confidence = probability_margin(probabilities, n);
       decision.terminate = decision.confidence >= delta_;
       break;
     case ConfidencePolicy::kEntropy:
-      decision.confidence = entropy_confidence(probabilities);
+      decision.confidence = entropy_confidence(probabilities, n);
       decision.terminate = decision.confidence >= delta_;
       break;
   }

@@ -36,6 +36,12 @@ class ActivationModule {
 
   [[nodiscard]] ActivationDecision evaluate(const Tensor& probabilities) const;
 
+  /// Span form used by the batched path: identical decision logic over `n`
+  /// probabilities starting at `probabilities` (no Tensor construction, so
+  /// the steady-state batch loop stays allocation-free).
+  [[nodiscard]] ActivationDecision evaluate(const float* probabilities,
+                                            std::size_t n) const;
+
   /// Cost of one decision over `n` class probabilities.
   [[nodiscard]] OpCount decision_ops(std::size_t n) const;
 

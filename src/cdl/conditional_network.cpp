@@ -1,6 +1,7 @@
 #include "cdl/conditional_network.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -23,7 +24,80 @@ ConditionalNetwork::ConditionalNetwork(Network baseline, Shape input_shape)
         out.to_string());
   }
   num_classes_ = out.numel();
+  classes_shape_ = Shape{num_classes_};
   rebuild_ops_cache();
+}
+
+void BatchWorkspace::plan(const ConditionalNetwork& net, std::size_t tile,
+                          std::size_t workers) {
+  if (tile == 0) {
+    throw std::invalid_argument("BatchWorkspace::plan: tile must be > 0");
+  }
+  if (workers == 0) workers = 1;
+  const Network& base = net.baseline();
+  net_ = &net;
+  tile_ = tile;
+  workers_ = workers;
+  baseline_layers_ = base.size();
+  prefixes_.clear();
+  stages_.clear();
+
+  const std::size_t classes =
+      base.output_shape(net.input_shape()).numel();
+  std::size_t max_feat = net.input_shape().numel();
+  WorkspacePlanner planner;
+  std::size_t prev = 0;
+  Shape prev_shape = net.input_shape();
+  for (std::size_t i = 0; i < net.num_stages(); ++i) {
+    const std::size_t prefix = net.stage_prefix(i);
+    StageExec e;
+    e.seg = base.plan_block_range(prev_shape, prev, prefix, tile, workers);
+    prev_shape = base.output_shape_after(net.input_shape(), prefix);
+    max_feat = std::max(max_feat, prev_shape.numel());
+    // The segment scratch and the classifier's pack scratch never coexist
+    // (segment output lands in the feature ping-pong first), so they share
+    // one frame slot sized for the larger of the two.
+    planner.begin_frame();
+    e.scratch = planner.reserve(
+        std::max(e.seg.scratch_floats(),
+                 net.classifier(i).block_scratch_floats(tile)));
+    e.probs = planner.reserve(tile * classes);
+    planner.end_frame();
+    prefixes_.push_back(prefix);
+    stages_.push_back(std::move(e));
+    prev = prefix;
+  }
+  final_.seg = base.plan_block_range(prev_shape, prev, base.size(), tile,
+                                     workers);
+  planner.begin_frame();
+  final_.scratch = planner.reserve(final_.seg.scratch_floats());
+  final_.probs = planner.reserve(tile * classes);
+  planner.end_frame();
+
+  feat_[0] = planner.reserve_persistent(max_feat * tile);
+  feat_[1] = planner.reserve_persistent(max_feat * tile);
+  active_.resize(tile);
+  arena_.allocate(planner);
+}
+
+std::size_t BatchWorkspace::auto_tile(std::size_t count, std::size_t workers) {
+  if (workers <= 1) return kDefaultTile;
+  // kDefaultTile rows per worker keeps every stage-level parallel_for busy
+  // for far longer than its fork/join barrier; the cap bounds arena memory
+  // and a tile never exceeds the batch itself.
+  const std::size_t threaded = std::min<std::size_t>(kDefaultTile * workers, 512);
+  return std::max(kDefaultTile, std::min(threaded, std::max<std::size_t>(count, 1)));
+}
+
+bool BatchWorkspace::matches(const ConditionalNetwork& net,
+                             std::size_t workers) const {
+  if (net_ != &net || tile_ == 0 || workers > workers_) return false;
+  if (baseline_layers_ != net.baseline().size()) return false;
+  if (prefixes_.size() != net.num_stages()) return false;
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    if (prefixes_[i] != net.stage_prefix(i)) return false;
+  }
+  return true;
 }
 
 std::size_t ConditionalNetwork::attach_classifier(std::size_t prefix_layers,
@@ -178,19 +252,118 @@ std::vector<ClassificationResult> ConditionalNetwork::classify_batch(
     const std::vector<Tensor>& inputs, ThreadPool* pool) const {
   CDL_TRACE_SPAN(batch_span, "classify_batch",
                  static_cast<std::int32_t>(inputs.size()));
-  std::vector<ClassificationResult> results(inputs.size());
-  const auto run = [&](std::size_t, std::size_t chunk_begin,
-                       std::size_t chunk_end) {
-    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-      results[i] = classify(inputs[i]);
-    }
-  };
-  if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(0, inputs.size(), run);
-  } else {
-    run(0, 0, inputs.size());
-  }
+  std::vector<ClassificationResult> results;
+  BatchWorkspace ws;
+  classify_batch_into(inputs, results, ws, pool);
   return results;
+}
+
+void ConditionalNetwork::store_probabilities(Tensor& dst,
+                                             const float* row) const {
+  if (dst.shape() != classes_shape_) dst.resize(Shape{num_classes_});
+  std::memcpy(dst.data(), row, num_classes_ * sizeof(float));
+}
+
+void ConditionalNetwork::classify_batch_into(
+    const std::vector<Tensor>& inputs,
+    std::vector<ClassificationResult>& results, BatchWorkspace& ws,
+    ThreadPool* pool) const {
+  for (const Tensor& t : inputs) {
+    if (t.shape() != input_shape_) {
+      throw std::invalid_argument("classify_batch_into: input shape " +
+                                  t.shape().to_string() + " != " +
+                                  input_shape_.to_string());
+    }
+  }
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (!ws.matches(*this, workers)) {
+    ws.plan(*this, BatchWorkspace::auto_tile(inputs.size(), workers), workers);
+  }
+  results.resize(inputs.size());
+  if (inputs.empty()) return;
+  CDL_TRACE_SPAN(batch_span, "classify_batch_staged",
+                 static_cast<std::int32_t>(inputs.size()));
+
+  const std::size_t tile = ws.tile_;
+  const std::size_t in_floats = input_shape_.numel();
+  float* const feat[2] = {ws.arena_.data(ws.feat_[0]),
+                          ws.arena_.data(ws.feat_[1])};
+
+  for (std::size_t t0 = 0; t0 < inputs.size(); t0 += tile) {
+    const std::size_t n = std::min(tile, inputs.size() - t0);
+    float* cur = feat[0];
+    std::size_t cur_buf = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(cur + i * in_floats, inputs[t0 + i].data(),
+                  in_floats * sizeof(float));
+      ws.active_[i] = static_cast<std::uint32_t>(t0 + i);
+    }
+    std::size_t live = n;
+
+    for (std::size_t s = 0; s < stages_.size() && live > 0; ++s) {
+      CDL_TRACE_SPAN(stage_span, "batch_stage", static_cast<std::int32_t>(s));
+      const BatchWorkspace::StageExec& ex = ws.stages_[s];
+      float* nxt = feat[1 - cur_buf];
+      float* scratch = ws.arena_.data(ex.scratch);
+      baseline_.infer_block_range(ex.seg, cur, nxt, live, scratch, pool);
+      cur_buf = 1 - cur_buf;
+      cur = nxt;
+      const std::size_t feat_floats = ex.seg.out_floats;
+
+      float* probs = ws.arena_.data(ex.probs);
+      stages_[s].classifier.probabilities_block(cur, live, probs, scratch,
+                                                pool);
+
+      const ActivationModule gate(
+          stages_[s].delta_override.value_or(activation_.delta()),
+          activation_.policy());
+      // Per-row decisions in original order; exited rows scatter results to
+      // their original batch index, survivors compact downward in place
+      // (dst <= src, so row-by-row copies never overlap a pending row).
+      std::size_t kept = 0;
+      for (std::size_t r = 0; r < live; ++r) {
+        const float* row = probs + r * num_classes_;
+        const ActivationDecision decision = gate.evaluate(row, num_classes_);
+        if (decision.terminate) {
+          ClassificationResult& res = results[ws.active_[r]];
+          res.label = decision.label;
+          res.exit_stage = s;
+          res.confidence = decision.confidence;
+          res.ops = exit_ops(s);
+          store_probabilities(res.probabilities, row);
+        } else {
+          if (kept != r) {
+            std::memcpy(cur + kept * feat_floats, cur + r * feat_floats,
+                        feat_floats * sizeof(float));
+            ws.active_[kept] = ws.active_[r];
+          }
+          ++kept;
+        }
+      }
+      live = kept;
+      CDL_TRACE_INSTANT("batch_survivors", static_cast<std::int32_t>(live));
+    }
+
+    if (live == 0) continue;
+    // FC fallthrough for rows no stage resolved.
+    CDL_TRACE_SPAN(fc_span, "batch_stage",
+                   static_cast<std::int32_t>(stages_.size()));
+    const BatchWorkspace::StageExec& ex = ws.final_;
+    float* logits = ws.arena_.data(ex.probs);
+    baseline_.infer_block_range(ex.seg, cur, logits, live,
+                                ws.arena_.data(ex.scratch), pool);
+    for (std::size_t r = 0; r < live; ++r) {
+      float* row = logits + r * num_classes_;
+      softmax_into(row, row, num_classes_);
+      ClassificationResult& res = results[ws.active_[r]];
+      res.label = static_cast<std::size_t>(
+          std::max_element(row, row + num_classes_) - row);
+      res.exit_stage = stages_.size();
+      res.confidence = max_probability(row, num_classes_);
+      res.ops = exit_ops(stages_.size());
+      store_probabilities(res.probabilities, row);
+    }
+  }
 }
 
 Tensor ConditionalNetwork::stage_features(const Tensor& input,

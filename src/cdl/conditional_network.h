@@ -3,12 +3,14 @@
 // module that terminates inference early for easy inputs (Algorithm 2).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cdl/activation_module.h"
 #include "cdl/linear_classifier.h"
+#include "core/workspace.h"
 #include "nn/network.h"
 
 namespace cdl {
@@ -21,6 +23,66 @@ struct ClassificationResult {
   float confidence = 0.0F;
   OpCount ops;           ///< operations actually spent on this input
   Tensor probabilities;  ///< class distribution of the deciding stage
+};
+
+class ConditionalNetwork;
+
+/// Pre-planned arena for ConditionalNetwork::classify_batch_into. One walk
+/// of the network sizes every stage's segment plan, packed-GEMM scratch and
+/// score block (sequential stages share frame space), so the steady-state
+/// batch loop performs zero heap allocations. A workspace planned for
+/// (tile, workers) serves any batch size and any pool up to `workers`
+/// threads; classify_batch_into replans automatically when the workspace
+/// does not match the network.
+class BatchWorkspace {
+ public:
+  static constexpr std::size_t kDefaultTile = 64;
+
+  BatchWorkspace() = default;
+
+  /// Plans buffers for `net`: sub-batches ("tiles") of up to `tile` images
+  /// and pools of up to `workers` threads.
+  void plan(const ConditionalNetwork& net, std::size_t tile = kDefaultTile,
+            std::size_t workers = 1);
+
+  /// Tile classify_batch_into auto-plans for a `count`-image batch on
+  /// `workers` threads. Serial runs keep kDefaultTile (small tiles keep a
+  /// stage's activations cache-resident); threaded runs grow the tile to
+  /// kDefaultTile rows per worker (capped at 512 and at the batch size) so
+  /// each stage-level parallel_for carries enough rows per worker to
+  /// amortize its fork/join barrier. An explicitly planned workspace is
+  /// never re-tiled.
+  [[nodiscard]] static std::size_t auto_tile(std::size_t count,
+                                             std::size_t workers);
+
+  /// True when this plan fits `net` driven by a pool of `workers` threads.
+  [[nodiscard]] bool matches(const ConditionalNetwork& net,
+                             std::size_t workers) const;
+
+  [[nodiscard]] std::size_t tile() const { return tile_; }
+  [[nodiscard]] std::size_t capacity_floats() const {
+    return arena_.capacity_floats();
+  }
+
+ private:
+  friend class ConditionalNetwork;
+
+  struct StageExec {
+    BlockPlan seg;      ///< baseline segment feeding this stage
+    BufferRef scratch;  ///< segment + classifier GEMM scratch (shared)
+    BufferRef probs;    ///< tile x classes score/probability block
+  };
+
+  const ConditionalNetwork* net_ = nullptr;
+  std::size_t tile_ = 0;
+  std::size_t workers_ = 0;
+  std::size_t baseline_layers_ = 0;
+  std::vector<std::size_t> prefixes_;  ///< stage prefixes at plan time
+  BufferRef feat_[2];                  ///< ping/pong feature blocks
+  std::vector<StageExec> stages_;
+  StageExec final_;                    ///< last prefix -> FC logits
+  std::vector<std::uint32_t> active_;  ///< original index of each live row
+  Workspace arena_;
 };
 
 class ConditionalNetwork {
@@ -79,13 +141,28 @@ class ConditionalNetwork {
   /// Unconditional baseline inference (all layers, no linear classifiers).
   [[nodiscard]] ClassificationResult classify_baseline(const Tensor& input) const;
 
-  /// Batched Algorithm 2: classifies every input, partitioning the batch
-  /// across `pool` (serial when null or single-worker). Early-exit decisions
+  /// Batched Algorithm 2, stage-major: the whole batch runs through stage i
+  /// as one batched segment (one packed GEMM per conv/dense layer) before
+  /// any row reaches stage i+1. The stage's linear classifier scores the
+  /// entire surviving block with one GEMM, the δ-decision is applied per
+  /// row, exited rows scatter their results back to original indices, and
+  /// survivors are compacted into a dense sub-batch. Early-exit decisions
   /// are made per sample exactly as in classify(); result i corresponds to
   /// input i and is bit-identical (label, exit stage, confidence,
-  /// probabilities, ops) to a serial classify() for any thread count.
+  /// probabilities, ops) to a serial classify() for any batch size, thread
+  /// count and δ. Convenience wrapper over classify_batch_into with a local
+  /// workspace.
   [[nodiscard]] std::vector<ClassificationResult> classify_batch(
       const std::vector<Tensor>& inputs, ThreadPool* pool = nullptr) const;
+
+  /// Zero-allocation form of classify_batch: all scratch lives in `ws`
+  /// (replanned automatically when it does not match this network/pool).
+  /// With a warm workspace and warm `results` vector, the steady state
+  /// performs no heap allocation at all.
+  void classify_batch_into(const std::vector<Tensor>& inputs,
+                           std::vector<ClassificationResult>& results,
+                           BatchWorkspace& ws,
+                           ThreadPool* pool = nullptr) const;
 
   /// Features the stage's linear classifier sees for `input` (prefix forward).
   [[nodiscard]] Tensor stage_features(const Tensor& input, std::size_t stage) const;
@@ -116,6 +193,9 @@ class ConditionalNetwork {
 
   [[nodiscard]] std::vector<Tensor*> all_parameters();
   void check_stage(std::size_t stage) const;
+  /// Copies a deciding stage's probability row into `dst`, reusing its
+  /// allocation when the shape is already right (warm steady state).
+  void store_probabilities(Tensor& dst, const float* row) const;
   [[nodiscard]] OpCount segment_ops(std::size_t from_layer,
                                     std::size_t to_layer) const;
   /// Rebuilds the cached per-stage/final op tables (classify() consults them
@@ -127,6 +207,7 @@ class ConditionalNetwork {
   std::vector<Stage> stages_;
   ActivationModule activation_;
   std::size_t num_classes_;
+  Shape classes_shape_;  ///< Shape{num_classes_}, cached for warm resizes
   std::vector<OpCount> stage_ops_cache_;  ///< incremental cost per stage
   OpCount final_stage_ops_cache_;
 };

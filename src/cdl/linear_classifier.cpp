@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/workspace.h"
+#include "nn/gemm.h"
 #include "nn/softmax.h"
 
 namespace cdl {
@@ -49,14 +51,13 @@ void LinearClassifier::check_features(const Tensor& features) const {
 
 Tensor LinearClassifier::scores(const Tensor& features) const {
   check_features(features);
+  // Same packed micro-kernel as scores_block so per-image classify() and the
+  // stage-major batched path agree bit-exactly (the wide kernel clone
+  // contracts mul+add into FMAs; a scalar chain would round differently).
+  thread_local std::vector<float> scratch;
+  scratch.resize(block_scratch_floats(1));
   Tensor out(Shape{num_classes_});
-  const float* x = features.data();
-  for (std::size_t c = 0; c < num_classes_; ++c) {
-    const float* w_row = weights_.data() + c * in_features_;
-    float acc = bias_[c];
-    for (std::size_t i = 0; i < in_features_; ++i) acc += w_row[i] * x[i];
-    out[c] = acc;
-  }
+  scores_block(features.data(), 1, out.data(), scratch.data(), nullptr);
   return out;
 }
 
@@ -65,6 +66,40 @@ Tensor LinearClassifier::probabilities(const Tensor& features) const {
   Tensor conf = scores(features);
   for (float& v : conf.values()) v = std::clamp(v, 0.0F, 1.0F);
   return conf;
+}
+
+std::size_t LinearClassifier::block_scratch_floats(std::size_t count) const {
+  return align_floats(gemm_packed_a_floats(count, in_features_)) +
+         align_floats(gemm_packed_b_floats(in_features_, num_classes_));
+}
+
+void LinearClassifier::scores_block(const float* features, std::size_t count,
+                                    float* out, float* scratch,
+                                    ThreadPool* pool) const {
+  float* pa = scratch;
+  float* pb = pa + align_floats(gemm_packed_a_floats(count, in_features_));
+  gemm_pack_a(count, in_features_, features, pa);
+  gemm_pack_b_transposed(in_features_, num_classes_, weights_.data(), pb);
+  sgemm_packed({count, in_features_, num_classes_}, pa, pb, out, bias_.data(),
+               pool);
+}
+
+void LinearClassifier::probabilities_block(const float* features,
+                                           std::size_t count, float* out,
+                                           float* scratch,
+                                           ThreadPool* pool) const {
+  scores_block(features, count, out, scratch, pool);
+  if (rule_ == LcTrainingRule::kSoftmaxXent) {
+    for (std::size_t i = 0; i < count; ++i) {
+      float* row = out + i * num_classes_;
+      softmax_into(row, row, num_classes_);
+    }
+  } else {
+    const std::size_t total = count * num_classes_;
+    for (std::size_t i = 0; i < total; ++i) {
+      out[i] = std::clamp(out[i], 0.0F, 1.0F);
+    }
+  }
 }
 
 float LinearClassifier::train_step(const Tensor& features, std::size_t target,

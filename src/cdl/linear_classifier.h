@@ -17,6 +17,8 @@
 
 namespace cdl {
 
+class ThreadPool;
+
 enum class LcTrainingRule { kLms, kSoftmaxXent };
 
 [[nodiscard]] std::string to_string(LcTrainingRule rule);
@@ -38,6 +40,23 @@ class LinearClassifier {
   /// *without* normalization (the paper's "confidence value of the output").
   /// For the softmax-cross-entropy rule this is softmax(scores).
   [[nodiscard]] Tensor probabilities(const Tensor& features) const;
+
+  // --- stage-resident batched scoring ---------------------------------------
+
+  /// Scratch floats needed by scores_block / probabilities_block for `count`
+  /// feature rows.
+  [[nodiscard]] std::size_t block_scratch_floats(std::size_t count) const;
+
+  /// Scores for `count` contiguous feature rows as one bias-initialized
+  /// GEMM: out row i is bit-identical to scores(features_i) (the packed
+  /// kernel reproduces the scalar "acc = bias; acc += w*x" chain exactly).
+  /// `out` receives count * num_classes floats.
+  void scores_block(const float* features, std::size_t count, float* out,
+                    float* scratch, ThreadPool* pool) const;
+
+  /// Batched probabilities(): scores_block + per-row clamp (LMS) or softmax.
+  void probabilities_block(const float* features, std::size_t count,
+                           float* out, float* scratch, ThreadPool* pool) const;
 
   /// One online update on (features, target). Returns the per-sample loss
   /// before the update (squared error for LMS, cross-entropy otherwise).

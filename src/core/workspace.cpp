@@ -1,0 +1,65 @@
+#include "core/workspace.h"
+
+#include <stdexcept>
+
+namespace cdl {
+
+BufferRef WorkspacePlanner::reserve_persistent(std::size_t floats) {
+  BufferRef ref;
+  ref.offset = persistent_top_;
+  ref.floats = floats;
+  ref.persistent = true;
+  ref.valid = true;
+  persistent_top_ += align_floats(floats);
+  return ref;
+}
+
+void WorkspacePlanner::begin_frame() {
+  if (frame_open_) {
+    throw std::logic_error("WorkspacePlanner: frame already open");
+  }
+  frame_open_ = true;
+  frame_top_ = 0;
+}
+
+BufferRef WorkspacePlanner::reserve(std::size_t floats) {
+  if (!frame_open_) {
+    throw std::logic_error("WorkspacePlanner: reserve outside a frame");
+  }
+  BufferRef ref;
+  ref.offset = frame_top_;
+  ref.floats = floats;
+  ref.persistent = false;
+  ref.valid = true;
+  frame_top_ += align_floats(floats);
+  return ref;
+}
+
+void WorkspacePlanner::end_frame() {
+  if (!frame_open_) {
+    throw std::logic_error("WorkspacePlanner: end_frame without begin_frame");
+  }
+  frame_open_ = false;
+  if (frame_top_ > frame_max_) frame_max_ = frame_top_;
+  frame_top_ = 0;
+}
+
+void Workspace::allocate(const WorkspacePlanner& plan) {
+  if (plan.frame_open()) {
+    throw std::logic_error("Workspace::allocate: plan has an open frame");
+  }
+  persistent_floats_ = plan.persistent_floats();
+  capacity_ = plan.capacity_floats();
+  if (storage_.size() < capacity_) storage_.resize(capacity_);
+}
+
+float* Workspace::data(const BufferRef& ref) {
+  if (!ref.valid) throw std::logic_error("Workspace::data: invalid BufferRef");
+  const std::size_t base = ref.persistent ? 0 : persistent_floats_;
+  if (base + ref.offset + ref.floats > capacity_) {
+    throw std::out_of_range("Workspace::data: buffer outside arena");
+  }
+  return storage_.data() + base + ref.offset;
+}
+
+}  // namespace cdl

@@ -1,0 +1,87 @@
+// Workspace: a planned bump arena for allocation-free hot paths.
+//
+// A WorkspacePlanner is walked once over the work a hot loop will do (e.g.
+// every stage of a conditional network at the worst-case batch size) and
+// records every scratch buffer the loop needs. Buffers reserved inside a
+// *frame* share storage with other frames — frames model phases that run
+// one after another, so the arena only needs the largest frame — while
+// *persistent* buffers (state that survives across frames, such as the
+// activations carried from stage to stage) get private storage. allocate()
+// then performs the single heap allocation; afterwards data() hands out
+// stable slices and the steady state never touches the allocator again.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cdl {
+
+/// Reservations are rounded up to this many floats (64 bytes), so distinct
+/// buffers never share a cache line.
+inline constexpr std::size_t kWorkspaceAlignFloats = 16;
+
+[[nodiscard]] constexpr std::size_t align_floats(std::size_t floats) {
+  return (floats + kWorkspaceAlignFloats - 1) / kWorkspaceAlignFloats *
+         kWorkspaceAlignFloats;
+}
+
+/// Handle to a planned buffer; resolved to a pointer by Workspace::data().
+/// Value-semantic and trivially copyable so plans can be stored in tables.
+struct BufferRef {
+  std::size_t offset = 0;  ///< float offset within its region
+  std::size_t floats = 0;  ///< usable size (the un-rounded request)
+  bool persistent = false;
+  bool valid = false;
+};
+
+class WorkspacePlanner {
+ public:
+  /// Reserves storage that lives for the whole run (never reused by frames).
+  BufferRef reserve_persistent(std::size_t floats);
+
+  /// Opens a frame: buffers reserved until end_frame() coexist with each
+  /// other but reuse the same storage as every other frame.
+  void begin_frame();
+  /// Reserves scratch inside the open frame; throws std::logic_error when no
+  /// frame is open.
+  BufferRef reserve(std::size_t floats);
+  void end_frame();
+
+  [[nodiscard]] std::size_t persistent_floats() const {
+    return persistent_top_;
+  }
+  /// Largest closed frame (the shared frame region's size).
+  [[nodiscard]] std::size_t frame_floats() const { return frame_max_; }
+  [[nodiscard]] std::size_t capacity_floats() const {
+    return persistent_top_ + frame_max_;
+  }
+  [[nodiscard]] bool frame_open() const { return frame_open_; }
+
+ private:
+  std::size_t persistent_top_ = 0;
+  std::size_t frame_top_ = 0;
+  std::size_t frame_max_ = 0;
+  bool frame_open_ = false;
+};
+
+class Workspace {
+ public:
+  /// Sizes the arena for `plan` (one heap allocation, reused when the
+  /// existing capacity suffices). Throws std::logic_error if a frame is
+  /// still open.
+  void allocate(const WorkspacePlanner& plan);
+
+  [[nodiscard]] bool allocated() const { return !storage_.empty() || capacity_ == 0; }
+  [[nodiscard]] std::size_t capacity_floats() const { return capacity_; }
+
+  /// Pointer for a buffer reserved on the plan this workspace was allocated
+  /// for. Frame buffers from different frames may alias by design.
+  [[nodiscard]] float* data(const BufferRef& ref);
+
+ private:
+  std::vector<float> storage_;
+  std::size_t persistent_floats_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace cdl

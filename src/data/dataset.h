@@ -22,6 +22,9 @@ class Dataset {
   [[nodiscard]] const Tensor& image(std::size_t i) const { return images_.at(i); }
   [[nodiscard]] std::size_t label(std::size_t i) const { return labels_.at(i); }
 
+  /// All images in sample order (for batched inference paths).
+  [[nodiscard]] const std::vector<Tensor>& images() const { return images_; }
+
   /// Shape shared by all images; dataset must be non-empty.
   [[nodiscard]] const Shape& image_shape() const;
 

@@ -1,6 +1,5 @@
 #include "eval/metrics.h"
 
-#include <functional>
 #include <stdexcept>
 
 #include "core/thread_pool.h"
@@ -42,14 +41,7 @@ double Evaluation::stage_error_share(std::size_t stage) const {
 
 namespace {
 
-Evaluation evaluate_with(
-    const ConditionalNetwork& net, const Dataset& data,
-    const EnergyModel& model,
-    const std::function<ClassificationResult(const Tensor&)>& run,
-    ThreadPool* pool) {
-  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
-  CDL_TRACE_SPAN(span, "evaluate", static_cast<std::int32_t>(data.size()));
-
+Evaluation prepare_eval(const ConditionalNetwork& net, const Dataset& data) {
   const std::size_t n_stages = net.num_stages() + 1;  // + final FC stage
   Evaluation eval;
   eval.exit_counts.assign(n_stages, 0);
@@ -62,23 +54,13 @@ Evaluation evaluate_with(
     stage_names.push_back(net.stage_name(s));
   }
   eval.profile = obs::ExitProfile(std::move(stage_names));
+  return eval;
+}
 
-  // Classification may run in parallel (per-sample results are independent
-  // and deterministic); aggregation below is always serial in sample order,
-  // so sums are identical for every thread count.
-  std::vector<ClassificationResult> results(data.size());
-  const auto classify_chunk = [&](std::size_t, std::size_t chunk_begin,
-                                  std::size_t chunk_end) {
-    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-      results[i] = run(data.image(i));
-    }
-  };
-  if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(0, data.size(), classify_chunk);
-  } else {
-    classify_chunk(0, 0, data.size());
-  }
-
+// Aggregation is always serial in sample order, so sums are identical for
+// every thread count and for the batched vs per-image classify paths.
+void aggregate(Evaluation& eval, const Dataset& data, const EnergyModel& model,
+               const std::vector<ClassificationResult>& results) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     const ClassificationResult& result = results[i];
     const std::size_t truth = data.label(i);
@@ -102,23 +84,49 @@ Evaluation evaluate_with(
     cls.sum_energy_pj += energy;
     ++cls.exit_counts[result.exit_stage];
   }
-  return eval;
 }
 
 }  // namespace
 
 Evaluation evaluate_cdl(const ConditionalNetwork& net, const Dataset& data,
                         const EnergyModel& model, ThreadPool* pool) {
-  return evaluate_with(
-      net, data, model, [&](const Tensor& x) { return net.classify(x); },
-      pool);
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  CDL_TRACE_SPAN(span, "evaluate", static_cast<std::int32_t>(data.size()));
+  Evaluation eval = prepare_eval(net, data);
+
+  // Stage-major batched inference: bit-identical to per-image classify(),
+  // but one packed GEMM per (stage, tile) instead of per image.
+  std::vector<ClassificationResult> results;
+  BatchWorkspace ws;
+  net.classify_batch_into(data.images(), results, ws, pool);
+
+  aggregate(eval, data, model, results);
+  return eval;
 }
 
 Evaluation evaluate_baseline(const ConditionalNetwork& net, const Dataset& data,
                              const EnergyModel& model, ThreadPool* pool) {
-  return evaluate_with(
-      net, data, model,
-      [&](const Tensor& x) { return net.classify_baseline(x); }, pool);
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  CDL_TRACE_SPAN(span, "evaluate", static_cast<std::int32_t>(data.size()));
+  Evaluation eval = prepare_eval(net, data);
+
+  // Per-sample results are independent and deterministic, so classification
+  // may run in parallel; aggregation stays serial in sample order.
+  std::vector<ClassificationResult> results(data.size());
+  const auto classify_chunk = [&](std::size_t, std::size_t chunk_begin,
+                                  std::size_t chunk_end) {
+    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+      results[i] = net.classify_baseline(data.image(i));
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, data.size(), classify_chunk);
+  } else {
+    classify_chunk(0, 0, data.size());
+  }
+
+  aggregate(eval, data, model, results);
+  return eval;
 }
 
 }  // namespace cdl

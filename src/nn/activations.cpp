@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace cdl {
 
 Tensor ElementwiseActivation::forward(const Tensor& input) {
@@ -15,6 +17,31 @@ Tensor ElementwiseActivation::infer(const Tensor& input) const {
   Tensor out(input.shape());
   for (std::size_t i = 0; i < input.numel(); ++i) out[i] = apply(input[i]);
   return out;
+}
+
+void ElementwiseActivation::infer_block(const Shape& in_shape, const float* in,
+                                        float* out, std::size_t count,
+                                        float* scratch,
+                                        ThreadPool* pool) const {
+  (void)scratch;
+  const std::size_t total = count * in_shape.numel();
+  // Single-reference capture keeps the ChunkFn inside std::function's
+  // small-object buffer, so even the threaded path allocates nothing.
+  struct Ctx {
+    const ElementwiseActivation* act;
+    const float* in;
+    float* out;
+  } ctx{this, in, out};
+  const auto run = [&ctx](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ctx.out[i] = ctx.act->apply(ctx.in[i]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, total, run);
+  } else {
+    run(0, 0, total);
+  }
 }
 
 Tensor ElementwiseActivation::backward(const Tensor& grad_output) {

@@ -16,11 +16,24 @@ class ElementwiseActivation : public Layer {
  public:
   Tensor forward(const Tensor& input) final;
   [[nodiscard]] Tensor infer(const Tensor& input) const final;
+  /// Elementwise over the whole block (in-place safe: `out` may equal `in`).
+  void infer_block(const Shape& in_shape, const float* in, float* out,
+                   std::size_t count, float* scratch,
+                   ThreadPool* pool) const final;
   Tensor backward(const Tensor& grad_output) final;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const final {
     return input_shape;
   }
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const final;
+
+  /// True when the map is monotone non-decreasing over floats, which lets
+  /// the batched executor commute it past max-pooling bit-exactly (the
+  /// pooled maximum of activated values equals the activation of the pooled
+  /// raw maximum). Sigmoid, tanh and relu all qualify.
+  [[nodiscard]] virtual bool monotone_nondecreasing() const { return false; }
+
+  /// Public entry to the scalar map (apply() is protected).
+  [[nodiscard]] float evaluate_one(float x) const { return apply(x); }
 
  protected:
   [[nodiscard]] virtual float apply(float x) const = 0;
@@ -33,6 +46,7 @@ class ElementwiseActivation : public Layer {
 
 class Sigmoid final : public ElementwiseActivation {
  public:
+  [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "sigmoid"; }
 
  protected:
@@ -44,6 +58,7 @@ class Sigmoid final : public ElementwiseActivation {
 
 class Tanh final : public ElementwiseActivation {
  public:
+  [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "tanh"; }
 
  protected:
@@ -55,6 +70,7 @@ class Tanh final : public ElementwiseActivation {
 
 class ReLU final : public ElementwiseActivation {
  public:
+  [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "relu"; }
 
  protected:

@@ -1,10 +1,221 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
-#include "nn/gemm.h"
-#include "nn/im2col.h"
+#include "core/thread_pool.h"
+#include "core/workspace.h"
+
+// Runtime-dispatched direct-convolution kernels. Unlike the GEMM
+// micro-kernels, these cannot use the target_clones/auto-vectorizer scheme:
+// GCC lowers both generic vector extensions and the would-be-vectorized
+// loops against the *default* target before the per-clone target is applied,
+// so the "v3 clone" ends up as scalar shuffle soup. Instead the wide path is
+// written directly in AVX2/FMA intrinsics inside a target("avx2,fma")
+// function and selected once at first use via __builtin_cpu_supports; other
+// ISAs (and pre-AVX2 x86) run the portable scalar kernels.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CDL_CONV_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace {
+
+/// One output row of TWO output maps, stride-1 valid convolution over a
+/// padded (c, ph, pw) image. Accumulators start at zero and taps run in
+/// (ic, ky, kx) order with the bias added last — the exact per-element
+/// operation sequence of the im2col GEMM lowering this kernel replaces, so
+/// results stay consistent across the forward/infer/batched entry points.
+/// Pairing two maps halves the input loads per multiply; pixels are the
+/// vector axis so every lane does useful work even for 6-map networks
+/// (the 4x8 GEMM tile wastes a quarter of its lanes at m = 6 and pays the
+/// full im2col + packing traffic on top).
+void conv_row2_generic(const float* in, std::size_t c, std::size_t ph,
+                       std::size_t pw, std::size_t kernel, const float* w0,
+                       const float* w1, float b0, float b1, std::size_t y,
+                       std::size_t ow, float* o0, float* o1) {
+  for (std::size_t x = 0; x < ow; ++x) {
+    float a0 = 0.0F;
+    float a1 = 0.0F;
+    const float* p0 = w0;
+    const float* p1 = w1;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          a0 += *p0++ * irow[kx];
+          a1 += *p1++ * irow[kx];
+        }
+      }
+    }
+    o0[x] = a0 + b0;
+    o1[x] = a1 + b1;
+  }
+}
+
+/// Single-map variant of conv_row2_generic for the odd remainder channel.
+void conv_row1_generic(const float* in, std::size_t c, std::size_t ph,
+                       std::size_t pw, std::size_t kernel, const float* w0,
+                       float b0, std::size_t y, std::size_t ow, float* o0) {
+  for (std::size_t x = 0; x < ow; ++x) {
+    float a0 = 0.0F;
+    const float* p0 = w0;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          a0 += *p0++ * irow[kx];
+        }
+      }
+    }
+    o0[x] = a0 + b0;
+  }
+}
+
+#ifdef CDL_CONV_AVX2
+
+/// AVX2/FMA conv_row2: 16- then 8-pixel tiles, one FMA chain per
+/// (map, tile) pair so the four YMM accumulators stay register-resident for
+/// the whole tap loop; each input tile load is shared by both maps. The
+/// per-element operation sequence (zero init, fmadd per tap in (ic, ky, kx)
+/// order, bias added last) matches the scalar tail and the generic kernel
+/// up to FMA contraction.
+__attribute__((target("avx2,fma"))) void conv_row2_avx2(
+    const float* in, std::size_t c, std::size_t ph, std::size_t pw,
+    std::size_t kernel, const float* w0, const float* w1, float b0, float b1,
+    std::size_t y, std::size_t ow, float* o0, float* o1) {
+  std::size_t x = 0;
+  for (; x + 16 <= ow; x += 16) {
+    __m256 a00 = _mm256_setzero_ps();
+    __m256 a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps();
+    __m256 a11 = _mm256_setzero_ps();
+    const float* p0 = w0;
+    const float* p1 = w1;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          const __m256 s0 = _mm256_loadu_ps(irow + kx);
+          const __m256 s1 = _mm256_loadu_ps(irow + kx + 8);
+          const __m256 v0 = _mm256_set1_ps(*p0++);
+          const __m256 v1 = _mm256_set1_ps(*p1++);
+          a00 = _mm256_fmadd_ps(v0, s0, a00);
+          a01 = _mm256_fmadd_ps(v0, s1, a01);
+          a10 = _mm256_fmadd_ps(v1, s0, a10);
+          a11 = _mm256_fmadd_ps(v1, s1, a11);
+        }
+      }
+    }
+    const __m256 vb0 = _mm256_set1_ps(b0);
+    const __m256 vb1 = _mm256_set1_ps(b1);
+    _mm256_storeu_ps(o0 + x, _mm256_add_ps(a00, vb0));
+    _mm256_storeu_ps(o0 + x + 8, _mm256_add_ps(a01, vb0));
+    _mm256_storeu_ps(o1 + x, _mm256_add_ps(a10, vb1));
+    _mm256_storeu_ps(o1 + x + 8, _mm256_add_ps(a11, vb1));
+  }
+  for (; x + 8 <= ow; x += 8) {
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    const float* p0 = w0;
+    const float* p1 = w1;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          const __m256 s = _mm256_loadu_ps(irow + kx);
+          a0 = _mm256_fmadd_ps(_mm256_set1_ps(*p0++), s, a0);
+          a1 = _mm256_fmadd_ps(_mm256_set1_ps(*p1++), s, a1);
+        }
+      }
+    }
+    _mm256_storeu_ps(o0 + x, _mm256_add_ps(a0, _mm256_set1_ps(b0)));
+    _mm256_storeu_ps(o1 + x, _mm256_add_ps(a1, _mm256_set1_ps(b1)));
+  }
+  if (x < ow) {
+    // The x offset is additive in the row address, so shifting the input
+    // base re-anchors the generic kernel at pixel column x.
+    conv_row2_generic(in + x, c, ph, pw, kernel, w0, w1, b0, b1, y, ow - x,
+                      o0 + x, o1 + x);
+  }
+}
+
+/// AVX2/FMA conv_row1 for the odd remainder channel.
+__attribute__((target("avx2,fma"))) void conv_row1_avx2(
+    const float* in, std::size_t c, std::size_t ph, std::size_t pw,
+    std::size_t kernel, const float* w0, float b0, std::size_t y,
+    std::size_t ow, float* o0) {
+  std::size_t x = 0;
+  for (; x + 16 <= ow; x += 16) {
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    const float* p0 = w0;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          const __m256 v0 = _mm256_set1_ps(*p0++);
+          a0 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(irow + kx), a0);
+          a1 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(irow + kx + 8), a1);
+        }
+      }
+    }
+    const __m256 vb0 = _mm256_set1_ps(b0);
+    _mm256_storeu_ps(o0 + x, _mm256_add_ps(a0, vb0));
+    _mm256_storeu_ps(o0 + x + 8, _mm256_add_ps(a1, vb0));
+  }
+  for (; x + 8 <= ow; x += 8) {
+    __m256 a0 = _mm256_setzero_ps();
+    const float* p0 = w0;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        const float* irow = in + (ic * ph + y + ky) * pw + x;
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          a0 = _mm256_fmadd_ps(_mm256_set1_ps(*p0++), _mm256_loadu_ps(irow + kx),
+                               a0);
+        }
+      }
+    }
+    _mm256_storeu_ps(o0 + x, _mm256_add_ps(a0, _mm256_set1_ps(b0)));
+  }
+  if (x < ow) {
+    conv_row1_generic(in + x, c, ph, pw, kernel, w0, b0, y, ow - x, o0 + x);
+  }
+}
+
+#endif  // CDL_CONV_AVX2
+
+using Row2Fn = void (*)(const float*, std::size_t, std::size_t, std::size_t,
+                        std::size_t, const float*, const float*, float, float,
+                        std::size_t, std::size_t, float*, float*);
+using Row1Fn = void (*)(const float*, std::size_t, std::size_t, std::size_t,
+                        std::size_t, const float*, float, std::size_t,
+                        std::size_t, float*);
+
+struct RowKernels {
+  Row2Fn row2;
+  Row1Fn row1;
+};
+
+RowKernels select_row_kernels() {
+#ifdef CDL_CONV_AVX2
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {conv_row2_avx2, conv_row1_avx2};
+  }
+#endif
+  return {conv_row2_generic, conv_row1_generic};
+}
+
+/// Kernel pair for this machine, selected on first use (one branch per
+/// lowered_into call, hoisted out of the row loops).
+const RowKernels& row_kernels() {
+  static const RowKernels kernels = select_row_kernels();
+  return kernels;
+}
+
+}  // namespace
 
 namespace cdl {
 
@@ -63,12 +274,19 @@ void Conv2D::pad_into(const Tensor& input, Tensor& padded) const {
   const std::size_t h = input.shape()[1];
   const std::size_t w = input.shape()[2];
   padded.resize(Shape{in_channels_, h + 2 * p, w + 2 * p});
-  padded.zero();
+  pad_image(input.data(), h, w, padded.data());
+}
+
+void Conv2D::pad_image(const float* img, std::size_t h, std::size_t w,
+                       float* padded) const {
+  const std::size_t p = geometry_.padding;
+  const std::size_t ph = h + 2 * p;
+  const std::size_t pw = w + 2 * p;
+  std::memset(padded, 0, in_channels_ * ph * pw * sizeof(float));
   for (std::size_t c = 0; c < in_channels_; ++c) {
     for (std::size_t y = 0; y < h; ++y) {
-      const float* src = input.data() + (c * h + y) * w;
-      float* dst =
-          padded.data() + (c * (h + 2 * p) + y + p) * (w + 2 * p) + p;
+      const float* src = img + (c * h + y) * w;
+      float* dst = padded + (c * ph + y + p) * pw + p;
       for (std::size_t x = 0; x < w; ++x) dst[x] = src[x];
     }
   }
@@ -82,36 +300,41 @@ Tensor Conv2D::forward(const Tensor& input) {
   } else {
     pad_into(input, cached_input_);
   }
-  // The im2col lowering assumes stride 1; strided convs use the direct path.
-  const bool lowered = algo_ == ConvAlgo::kIm2col && geometry_.stride == 1;
-  return lowered ? forward_im2col(cached_input_, cols_scratch_)
-                 : forward_direct(cached_input_);
+  // The vectorized kernel assumes stride 1; strided convs use the scalar
+  // direct path.
+  return block_lowered() ? forward_lowered(cached_input_)
+                         : forward_direct(cached_input_);
 }
 
 Tensor Conv2D::infer(const Tensor& input) const {
   check_input(input.shape());
   // Per-thread scratch shared by every Conv2D instance: batched inference
-  // runs many samples per worker, so the steady state performs no padded /
-  // im2col allocations at all.
+  // runs many samples per worker, so the steady state performs no padded
+  // allocations at all.
   thread_local Tensor padded;
-  thread_local Tensor cols;
   const Tensor* x = &input;
   if (geometry_.padding != 0) {
     pad_into(input, padded);
     x = &padded;
   }
-  const bool lowered = algo_ == ConvAlgo::kIm2col && geometry_.stride == 1;
-  return lowered ? forward_im2col(*x, cols) : forward_direct(*x);
+  return block_lowered() ? forward_lowered(*x) : forward_direct(*x);
 }
 
 Tensor Conv2D::forward_direct(const Tensor& padded) const {
   const std::size_t h = padded.shape()[1];
   const std::size_t w = padded.shape()[2];
   const std::size_t stride = geometry_.stride;
+  Tensor out(Shape{out_channels_, (h - kernel_) / stride + 1,
+                   (w - kernel_) / stride + 1});
+  direct_into(padded.data(), h, w, out.data());
+  return out;
+}
+
+void Conv2D::direct_into(const float* padded, std::size_t h, std::size_t w,
+                         float* out) const {
+  const std::size_t stride = geometry_.stride;
   const std::size_t oh = (h - kernel_) / stride + 1;
   const std::size_t ow = (w - kernel_) / stride + 1;
-
-  Tensor out(Shape{out_channels_, oh, ow});
   for (std::size_t oc = 0; oc < out_channels_; ++oc) {
     const float b = bias_[oc];
     for (std::size_t y = 0; y < oh; ++y) {
@@ -120,7 +343,7 @@ Tensor Conv2D::forward_direct(const Tensor& padded) const {
         for (std::size_t ic = 0; ic < in_channels_; ++ic) {
           for (std::size_t ky = 0; ky < kernel_; ++ky) {
             const float* in_row =
-                padded.data() + (ic * h + (y * stride + ky)) * w + x * stride;
+                padded + (ic * h + (y * stride + ky)) * w + x * stride;
             const float* w_row =
                 weights_.data() +
                 ((oc * in_channels_ + ic) * kernel_ + ky) * kernel_;
@@ -129,31 +352,195 @@ Tensor Conv2D::forward_direct(const Tensor& padded) const {
             }
           }
         }
-        out.at(oc, y, x) = acc;
+        out[(oc * oh + y) * ow + x] = acc;
       }
     }
   }
+}
+
+void Conv2D::lowered_into(const float* padded, std::size_t h, std::size_t w,
+                          float* out, std::size_t out_ch_stride) const {
+  const std::size_t oh = h - kernel_ + 1;
+  const std::size_t ow = w - kernel_ + 1;
+  const std::size_t wsz = in_channels_ * kernel_ * kernel_;
+  const RowKernels& kern = row_kernels();
+  std::size_t oc = 0;
+  for (; oc + 2 <= out_channels_; oc += 2) {
+    const float* w0 = weights_.data() + oc * wsz;
+    const float* w1 = w0 + wsz;
+    float* o0 = out + oc * out_ch_stride;
+    float* o1 = o0 + out_ch_stride;
+    for (std::size_t y = 0; y < oh; ++y) {
+      kern.row2(padded, in_channels_, h, w, kernel_, w0, w1, bias_[oc],
+                bias_[oc + 1], y, ow, o0 + y * ow, o1 + y * ow);
+    }
+  }
+  if (oc < out_channels_) {
+    const float* w0 = weights_.data() + oc * wsz;
+    float* o0 = out + oc * out_ch_stride;
+    for (std::size_t y = 0; y < oh; ++y) {
+      kern.row1(padded, in_channels_, h, w, kernel_, w0, bias_[oc], y, ow,
+                o0 + y * ow);
+    }
+  }
+}
+
+Tensor Conv2D::forward_lowered(const Tensor& padded) const {
+  const std::size_t h = padded.shape()[1];
+  const std::size_t w = padded.shape()[2];
+  const std::size_t oh = h - kernel_ + 1;
+  const std::size_t ow = w - kernel_ + 1;
+  Tensor out(Shape{out_channels_, oh, ow});
+  lowered_into(padded.data(), h, w, out.data(), oh * ow);
   return out;
 }
 
-Tensor Conv2D::forward_im2col(const Tensor& padded, Tensor& cols) const {
-  const std::size_t oh = padded.shape()[1] - kernel_ + 1;
-  const std::size_t ow = padded.shape()[2] - kernel_ + 1;
-  const std::size_t pixels = oh * ow;
-  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+std::size_t Conv2D::interleaved_scratch_floats(const Shape& in_shape,
+                                               std::size_t count,
+                                               std::size_t workers) const {
+  (void)workers;
+  check_input(in_shape);
+  // The direct kernel reads the (padded) input in place, so the only scratch
+  // is the zero-padded copy of the tile when the conv pads.
+  if (geometry_.padding == 0) return 0;
+  const std::size_t pad2 = 2 * geometry_.padding;
+  return align_floats(count * in_channels_ * (in_shape[1] + pad2) *
+                      (in_shape[2] + pad2));
+}
 
-  im2col_into(padded, kernel_, cols);
-  // (out_c, patch) x (patch, pixels): weights are already laid out so each
-  // output map's kernel flattens to one contiguous row.
-  Tensor out(Shape{out_channels_, oh, ow});
-  sgemm({out_channels_, patch, pixels}, weights_.data(), cols.data(),
-        out.data());
-  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-    const float b = bias_[oc];
-    float* row = out.data() + oc * pixels;
-    for (std::size_t p = 0; p < pixels; ++p) row[p] += b;
+void Conv2D::infer_block_interleaved(const Shape& in_shape, const float* in,
+                                     std::size_t count, float* raw_out,
+                                     float* scratch, ThreadPool* pool) const {
+  if (!block_lowered()) {
+    throw std::logic_error(
+        "Conv2D::infer_block_interleaved requires im2col / stride 1");
   }
-  return out;
+  check_input(in_shape);
+  const std::size_t pad2 = 2 * geometry_.padding;
+  const std::size_t h = in_shape[1];
+  const std::size_t w = in_shape[2];
+  const std::size_t ph = h + pad2;
+  const std::size_t pw = w + pad2;
+  const std::size_t padded_floats = in_channels_ * ph * pw;
+  const std::size_t pixels = (ph - kernel_ + 1) * (pw - kernel_ + 1);
+  const bool threaded = pool != nullptr && pool->size() > 1;
+
+  const float* src = in;
+  if (geometry_.padding != 0) {
+    float* padded = scratch;
+    struct PadCtx {
+      const Conv2D* conv;
+      const float* in;
+      float* padded;
+      std::size_t in_floats, padded_floats, h, w;
+    } ctx{this, in, padded, in_shape.numel(), padded_floats, h, w};
+    const auto run = [&ctx](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        ctx.conv->pad_image(ctx.in + i * ctx.in_floats, ctx.h, ctx.w,
+                            ctx.padded + i * ctx.padded_floats);
+      }
+    };
+    if (threaded) {
+      pool->parallel_for(0, count, run);
+    } else {
+      run(0, 0, count);
+    }
+    src = padded;
+  }
+  // One direct-kernel call per image, each writing its pixel columns of
+  // every channel row. Images are the parallel axis — a far coarser grain
+  // than the GEMM column panels this replaces.
+  struct ConvCtx {
+    const Conv2D* conv;
+    const float* src;
+    float* raw_out;
+    std::size_t padded_floats, ph, pw, pixels, ch_stride;
+  } ctx{this, src, raw_out, padded_floats, ph, pw, pixels, count * pixels};
+  const auto run = [&ctx](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      ctx.conv->lowered_into(ctx.src + i * ctx.padded_floats, ctx.ph, ctx.pw,
+                             ctx.raw_out + i * ctx.pixels, ctx.ch_stride);
+    }
+  };
+  if (threaded) {
+    pool->parallel_for(0, count, run);
+  } else {
+    run(0, 0, count);
+  }
+}
+
+std::size_t Conv2D::infer_block_scratch_floats(const Shape& in_shape,
+                                               std::size_t count,
+                                               std::size_t workers) const {
+  check_input(in_shape);
+  (void)count;
+  // Both the vectorized and the scalar per-image paths write straight into
+  // the caller's output block; scratch is one padded image per worker.
+  if (geometry_.padding == 0) return 0;
+  const std::size_t pad2 = 2 * geometry_.padding;
+  return workers * align_floats(in_channels_ * (in_shape[1] + pad2) *
+                                (in_shape[2] + pad2));
+}
+
+void Conv2D::infer_block(const Shape& in_shape, const float* in, float* out,
+                         std::size_t count, float* scratch,
+                         ThreadPool* pool) const {
+  check_input(in_shape);
+  // Output geometry computed arithmetically: output_shape() builds a Shape,
+  // which would heap-allocate on the steady-state path.
+  const std::size_t pad2 = 2 * geometry_.padding;
+  const std::size_t pixels =
+      ((in_shape[1] + pad2 - kernel_) / geometry_.stride + 1) *
+      ((in_shape[2] + pad2 - kernel_) / geometry_.stride + 1);
+  const std::size_t out_floats = out_channels_ * pixels;
+  const bool threaded = pool != nullptr && pool->size() > 1;
+  // One image at a time with a per-worker padded buffer; block_lowered()
+  // convs use the vectorized stride-1 kernel (the same one infer() and the
+  // fused interleaved path run, so all entry points agree bit-exactly),
+  // everything else the scalar direct loops.
+  struct Ctx {
+    const Conv2D* conv;
+    const float* in;
+    float* out;
+    float* scratch;
+    std::size_t in_floats, out_floats, pixels, h, w, padded_floats;
+    bool pad, lowered;
+  } ctx{this,
+        in,
+        out,
+        scratch,
+        in_shape.numel(),
+        out_floats,
+        pixels,
+        in_shape[1],
+        in_shape[2],
+        align_floats(in_channels_ * (in_shape[1] + pad2) *
+                     (in_shape[2] + pad2)),
+        geometry_.padding != 0,
+        block_lowered()};
+  const auto run = [&ctx](std::size_t worker, std::size_t b, std::size_t e) {
+    float* padded =
+        ctx.pad ? ctx.scratch + worker * ctx.padded_floats : nullptr;
+    const std::size_t p2 = 2 * ctx.conv->geometry_.padding;
+    for (std::size_t i = b; i < e; ++i) {
+      const float* img = ctx.in + i * ctx.in_floats;
+      float* dst = ctx.out + i * ctx.out_floats;
+      if (ctx.pad) {
+        ctx.conv->pad_image(img, ctx.h, ctx.w, padded);
+        img = padded;
+      }
+      if (ctx.lowered) {
+        ctx.conv->lowered_into(img, ctx.h + p2, ctx.w + p2, dst, ctx.pixels);
+      } else {
+        ctx.conv->direct_into(img, ctx.h + p2, ctx.w + p2, dst);
+      }
+    }
+  };
+  if (threaded) {
+    pool->parallel_for(0, count, run);
+  } else {
+    run(0, 0, count);
+  }
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {

@@ -10,9 +10,12 @@
 namespace cdl {
 
 /// Forward-pass implementation strategy. Both produce identical results
-/// (within float rounding); kIm2col lowers the convolution to one GEMM,
-/// which is faster for larger maps at the cost of a temporary column matrix.
-/// Strided convolutions always use the direct path.
+/// (within float rounding). kIm2col historically lowered the convolution to
+/// one GEMM; at stride 1 it now runs a vectorized direct kernel with the
+/// same per-element accumulation order (taps in im2col order, bias last),
+/// which skips the im2col + packing traffic entirely. kDirect keeps the
+/// scalar bias-first reference loops. Strided convolutions always use the
+/// scalar direct path.
 enum class ConvAlgo { kDirect, kIm2col };
 
 /// Spatial geometry: symmetric zero padding and stride. Output extent is
@@ -30,10 +33,40 @@ class Conv2D final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   [[nodiscard]] Tensor infer(const Tensor& input) const override;
+  [[nodiscard]] std::size_t infer_block_scratch_floats(
+      const Shape& in_shape, std::size_t count,
+      std::size_t workers) const override;
+  void infer_block(const Shape& in_shape, const float* in, float* out,
+                   std::size_t count, float* scratch,
+                   ThreadPool* pool) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
   [[nodiscard]] std::string name() const override;
+
+  // --- stage-resident batched lowering --------------------------------------
+
+  /// True when this conv runs the vectorized stride-1 kernel (im2col algo,
+  /// stride 1) — the precondition for infer_block_interleaved and for the
+  /// executor's conv->activation->maxpool fusion. Every entry point
+  /// (forward, infer, infer_block, infer_block_interleaved) dispatches on
+  /// this same predicate, so per-image and batched results are bit-identical.
+  [[nodiscard]] bool block_lowered() const {
+    return algo_ == ConvAlgo::kIm2col && geometry_.stride == 1;
+  }
+
+  [[nodiscard]] std::size_t interleaved_scratch_floats(
+      const Shape& in_shape, std::size_t count, std::size_t workers) const;
+
+  /// Batched convolution of `count` contiguous CHW images into the
+  /// stage-resident interleaved layout: `raw_out` receives (out_c, count *
+  /// OH*OW) where image i's pixels occupy columns [i*OH*OW, (i+1)*OH*OW) of
+  /// every channel row. Bias is applied last, exactly like the serial
+  /// im2col path, so each image's values are bit-identical to infer().
+  /// Requires block_lowered().
+  void infer_block_interleaved(const Shape& in_shape, const float* in,
+                               std::size_t count, float* raw_out,
+                               float* scratch, ThreadPool* pool) const;
 
   std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
   std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
@@ -54,10 +87,24 @@ class Conv2D final : public Layer {
   void check_input(const Shape& s) const;
   /// Writes the zero-padded input into `padded` (resized; storage reused).
   void pad_into(const Tensor& input, Tensor& padded) const;
+  /// Raw-pointer core of pad_into: one CHW image (h x w planes) into a
+  /// zero-padded buffer of (h+2p) x (w+2p) planes.
+  void pad_image(const float* img, std::size_t h, std::size_t w,
+                 float* padded) const;
   [[nodiscard]] Tensor forward_direct(const Tensor& padded) const;
-  /// `cols` is the im2col scratch: the member buffer on the training path,
-  /// a thread-local buffer on the infer path.
-  [[nodiscard]] Tensor forward_im2col(const Tensor& padded, Tensor& cols) const;
+  /// Scalar core of forward_direct, writing into `out` (CHW, contiguous).
+  void direct_into(const float* padded, std::size_t h, std::size_t w,
+                   float* out) const;
+  /// Vectorized stride-1 kernel shared by every block_lowered() entry point:
+  /// output map `oc` of the padded (in_c, h, w) image goes to
+  /// `out + oc * out_ch_stride` (contiguous oh x ow row-major). With
+  /// out_ch_stride = count * pixels this writes the stage-resident
+  /// interleaved layout directly; with out_ch_stride = pixels it writes a
+  /// plain CHW image.
+  void lowered_into(const float* padded, std::size_t h, std::size_t w,
+                    float* out, std::size_t out_ch_stride) const;
+  /// Tensor-building wrapper over lowered_into for forward()/infer().
+  [[nodiscard]] Tensor forward_lowered(const Tensor& padded) const;
 
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -71,7 +118,6 @@ class Conv2D final : public Layer {
   Tensor grad_bias_;
   Tensor cached_input_;  ///< padded input of the most recent forward()
   Shape cached_raw_shape_;  ///< unpadded input shape of that forward()
-  Tensor cols_scratch_;  ///< im2col buffer reused across forward() calls
 };
 
 }  // namespace cdl

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "core/workspace.h"
+#include "nn/gemm.h"
 
 namespace cdl {
 
@@ -45,17 +49,41 @@ Tensor Dense::forward(const Tensor& input) {
 
 Tensor Dense::infer(const Tensor& input) const {
   (void)output_shape(input.shape());  // validates
-  const float* in = input.data();  // flattened view, no copy
+  // Runs the same packed micro-kernel as infer_block so per-image and
+  // batched inference agree bit-exactly: the wide kernel clone contracts
+  // mul+add into FMAs, so a plain scalar loop would round differently.
+  thread_local std::vector<float> scratch;
+  scratch.resize(infer_block_scratch_floats(input.shape(), 1, 1));
   Tensor out(Shape{out_features_});
-  for (std::size_t o = 0; o < out_features_; ++o) {
-    const float* w_row = weights_.data() + o * in_features_;
-    float acc = bias_[o];
-    for (std::size_t i = 0; i < in_features_; ++i) {
-      acc += w_row[i] * in[i];
-    }
-    out[o] = acc;
-  }
+  infer_block(input.shape(), input.data(), out.data(), 1, scratch.data(),
+              nullptr);
   return out;
+}
+
+std::size_t Dense::infer_block_scratch_floats(const Shape& in_shape,
+                                              std::size_t count,
+                                              std::size_t workers) const {
+  (void)in_shape;
+  (void)workers;
+  return align_floats(gemm_packed_a_floats(count, in_features_)) +
+         align_floats(gemm_packed_b_floats(in_features_, out_features_));
+}
+
+void Dense::infer_block(const Shape& in_shape, const float* in, float* out,
+                        std::size_t count, float* scratch,
+                        ThreadPool* pool) const {
+  // Validate without output_shape(): constructing the result Shape would
+  // heap-allocate on the steady-state path.
+  if (in_shape.numel() != in_features_) {
+    throw std::invalid_argument("Dense(" + name() + "): bad block input " +
+                                in_shape.to_string());
+  }
+  float* pa = scratch;
+  float* pb = pa + align_floats(gemm_packed_a_floats(count, in_features_));
+  gemm_pack_a(count, in_features_, in, pa);
+  gemm_pack_b_transposed(in_features_, out_features_, weights_.data(), pb);
+  sgemm_packed({count, in_features_, out_features_}, pa, pb, out,
+               bias_.data(), pool);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

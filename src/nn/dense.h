@@ -13,6 +13,15 @@ class Dense final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   [[nodiscard]] Tensor infer(const Tensor& input) const override;
+  [[nodiscard]] std::size_t infer_block_scratch_floats(
+      const Shape& in_shape, std::size_t count,
+      std::size_t workers) const override;
+  /// One bias-initialized GEMM over the whole block: C(count, out) =
+  /// X(count, in) * W^T with accumulators starting at the bias, which is the
+  /// same "acc = bias; acc += w*x" chain as infer() — bit-identical per row.
+  void infer_block(const Shape& in_shape, const float* in, float* out,
+                   std::size_t count, float* scratch,
+                   ThreadPool* pool) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;

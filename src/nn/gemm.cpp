@@ -13,8 +13,8 @@ namespace {
 // Micro-kernel tile: kMr rows of A against kNr columns of B, accumulated in
 // a register tile over the full k extent. 4x8 floats = 8 SSE registers of
 // accumulators, leaving room for the A broadcast and the B panel loads.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 8;
+constexpr std::size_t kMr = kGemmMr;
+constexpr std::size_t kNr = kGemmNr;
 
 // Runtime-dispatched micro-kernel clones: on x86-64 ELF builds GCC emits an
 // AVX2/FMA (x86-64-v3) clone next to the baseline one and selects at load
@@ -76,6 +76,67 @@ void micro_kernel_4x8(std::size_t k, const float* __restrict pa,
     }
   }
   std::memcpy(acc, tile, sizeof(tile));
+}
+
+/// Same accumulation as micro_kernel_4x8, but every row of the tile starts
+/// at `init` (kNr floats) instead of zero. With init = a bias vector this is
+/// exactly the scalar "acc = bias; acc += w*x" chain, one lane per column.
+CDL_GEMM_TARGET_CLONES
+void micro_kernel_4x8_init(std::size_t k, const float* __restrict pa,
+                           const float* __restrict pb,
+                           const float* __restrict init,
+                           float* __restrict acc) {
+  float tile[kMr][kNr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t jj = 0; jj < kNr; ++jj) tile[r][jj] = init[jj];
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* bp = pb + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = pa[p * kMr + r];
+      for (std::size_t jj = 0; jj < kNr; ++jj) {
+        tile[r][jj] += av * bp[jj];
+      }
+    }
+  }
+  std::memcpy(acc, tile, sizeof(tile));
+}
+
+/// Computes column panels [jp0, jp1) of C against fully pre-packed A and B
+/// (overwrite semantics, optional per-column accumulator init). Column
+/// panels are the parallel axis for batched operands: m is a handful of
+/// output maps while n is pixels x batch.
+void run_col_panels(const GemmDims& dims, const float* pa, const float* pb,
+                    float* c, const float* col_init, std::size_t jp0,
+                    std::size_t jp1) {
+  const std::size_t m = dims.m;
+  const std::size_t k = dims.k;
+  const std::size_t n = dims.n;
+  const std::size_t ipanels = ceil_div(m, kMr);
+  for (std::size_t jp = jp0; jp < jp1; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, n - j0);
+    float init[kNr] = {};
+    if (col_init != nullptr) {
+      for (std::size_t jj = 0; jj < nr; ++jj) init[jj] = col_init[j0 + jj];
+    }
+    for (std::size_t ip = 0; ip < ipanels; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mr = std::min(kMr, m - i0);
+      float acc[kMr * kNr];
+      if (col_init != nullptr) {
+        micro_kernel_4x8_init(k, pa + ip * k * kMr, pb + jp * k * kNr, init,
+                              acc);
+      } else {
+        micro_kernel_4x8(k, pa + ip * k * kMr, pb + jp * k * kNr, acc);
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* c_row = c + (i0 + r) * n + j0;
+        const float* acc_row = acc + r * kNr;
+        for (std::size_t jj = 0; jj < nr; ++jj) c_row[jj] = acc_row[jj];
+      }
+    }
+  }
 }
 
 /// Computes row panels [panel0, panel1) of C against pre-packed B. The
@@ -156,6 +217,79 @@ void sgemm_parallel(GemmDims dims, const float* a, const float* b, float* c,
                     [&](std::size_t, std::size_t p0, std::size_t p1) {
                       run_row_panels(dims, a, packed_b, c, accumulate, p0, p1);
                     });
+}
+
+std::size_t gemm_packed_a_floats(std::size_t m, std::size_t k) {
+  return ceil_div(m, kMr) * k * kMr;
+}
+
+std::size_t gemm_packed_b_floats(std::size_t k, std::size_t n) {
+  return ceil_div(n, kNr) * k * kNr;
+}
+
+void gemm_pack_a(std::size_t m, std::size_t k, const float* a, float* pa) {
+  const std::size_t panels = ceil_div(m, kMr);
+  for (std::size_t ip = 0; ip < panels; ++ip) {
+    const std::size_t i0 = ip * kMr;
+    const std::size_t rows = std::min(kMr, m - i0);
+    pack_a_panel(k, rows, a + i0 * k, pa + ip * k * kMr);
+  }
+}
+
+void gemm_pack_b(std::size_t k, std::size_t n, const float* b, float* pb) {
+  pack_b_panels(k, n, b, pb);
+}
+
+void gemm_pack_b_transposed(std::size_t k, std::size_t n, const float* src,
+                            float* pb) {
+  // Logical B(p, j) = src[j * k + p]: panel reads walk rows of src, so each
+  // lane streams one contiguous weight row.
+  const std::size_t panels = ceil_div(n, kNr);
+  for (std::size_t panel = 0; panel < panels; ++panel) {
+    const std::size_t j0 = panel * kNr;
+    const std::size_t width = std::min(kNr, n - j0);
+    float* dst = pb + panel * k * kNr;
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t jj = 0; jj < width; ++jj) {
+        dst[p * kNr + jj] = src[(j0 + jj) * k + p];
+      }
+      for (std::size_t jj = width; jj < kNr; ++jj) dst[p * kNr + jj] = 0.0F;
+    }
+  }
+}
+
+void sgemm_packed(GemmDims dims, const float* pa, const float* pb, float* c,
+                  const float* col_init, ThreadPool* pool) {
+  if (dims.m == 0 || dims.n == 0) return;
+  if (dims.k == 0) {
+    for (std::size_t i = 0; i < dims.m; ++i) {
+      for (std::size_t j = 0; j < dims.n; ++j) {
+        c[i * dims.n + j] = col_init == nullptr ? 0.0F : col_init[j];
+      }
+    }
+    return;
+  }
+  const std::size_t jpanels = ceil_div(dims.n, kNr);
+  if (pool == nullptr || pool->size() <= 1 || jpanels == 1) {
+    run_col_panels(dims, pa, pb, c, col_init, 0, jpanels);
+    return;
+  }
+  // Workers own disjoint column panels; every output element accumulates in
+  // the same k order regardless of the split -> bit-identical to serial.
+  // Single-reference capture keeps the ChunkFn in std::function's
+  // small-object buffer: no allocation even when threaded.
+  struct Ctx {
+    const GemmDims* dims;
+    const float* pa;
+    const float* pb;
+    float* c;
+    const float* col_init;
+  } ctx{&dims, pa, pb, c, col_init};
+  pool->parallel_for(0, jpanels,
+                     [&ctx](std::size_t, std::size_t jp0, std::size_t jp1) {
+                       run_col_panels(*ctx.dims, ctx.pa, ctx.pb, ctx.c,
+                                      ctx.col_init, jp0, jp1);
+                     });
 }
 
 void sgemm_blocked_reference(GemmDims dims, const float* a, const float* b,

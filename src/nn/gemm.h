@@ -23,6 +23,12 @@ struct GemmDims {
   std::size_t n = 0;
 };
 
+/// Micro-kernel tile extents (A row panels are kGemmMr tall, B column panels
+/// kGemmNr wide). Exposed so batched producers (e.g. the fused im2col
+/// packer) can emit pre-packed operands directly.
+inline constexpr std::size_t kGemmMr = 4;
+inline constexpr std::size_t kGemmNr = 8;
+
 /// C = A * B (row-major, contiguous). If `accumulate`, adds into C instead
 /// of overwriting it. All pointers must reference non-overlapping storage of
 /// at least m*k, k*n and m*n floats respectively. Thread-safe: packing
@@ -39,5 +45,36 @@ void sgemm_parallel(GemmDims dims, const float* a, const float* b, float* c,
 /// comparison baseline for the micro_kernels bench and the GEMM tests.
 void sgemm_blocked_reference(GemmDims dims, const float* a, const float* b,
                              float* c, bool accumulate = false);
+
+// --- pre-packed entry points (stage-resident batched inference) -----------
+//
+// The staged batch engine keeps operands packed in planner-assigned arena
+// slices instead of the per-call thread_local scratch sgemm() uses, so the
+// hot path performs no allocation and no redundant packing passes.
+
+/// Floats needed for a packed A(m,k) / packed B(k,n) operand.
+[[nodiscard]] std::size_t gemm_packed_a_floats(std::size_t m, std::size_t k);
+[[nodiscard]] std::size_t gemm_packed_b_floats(std::size_t k, std::size_t n);
+
+/// Packs row-major A(m,k) into kGemmMr-tall row panels (zero-padded).
+void gemm_pack_a(std::size_t m, std::size_t k, const float* a, float* pa);
+/// Packs row-major B(k,n) into kGemmNr-wide column panels (zero-padded).
+void gemm_pack_b(std::size_t k, std::size_t n, const float* b, float* pb);
+/// Packs B = src^T where `src` is row-major (n,k) — the layout Dense and
+/// LinearClassifier weights are stored in, so batched "X * W^T" products
+/// need no materialized transpose.
+void gemm_pack_b_transposed(std::size_t k, std::size_t n, const float* src,
+                            float* pb);
+
+/// C(m,n) = A*B over pre-packed operands (overwrite semantics). When
+/// `col_init` is non-null, the accumulator of column j starts at col_init[j]
+/// instead of zero before the k loop — this reproduces bit-exactly the
+/// "acc = bias; acc += w[i]*x[i]" scalar chains of Dense::infer and
+/// LinearClassifier::scores. Work splits over *column* panels when `pool`
+/// has more than one worker (batched operands are wide, not tall); every
+/// output element accumulates over k in one fixed order, so results are
+/// bit-identical for any pool size.
+void sgemm_packed(GemmDims dims, const float* pa, const float* pb, float* c,
+                  const float* col_init = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace cdl

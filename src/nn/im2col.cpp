@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace cdl {
 
 void im2col_into(const Tensor& input, std::size_t kernel, Tensor& cols) {
@@ -45,6 +47,70 @@ Tensor im2col(const Tensor& input, std::size_t kernel) {
   Tensor cols;
   im2col_into(input, kernel, cols);
   return cols;
+}
+
+namespace {
+
+void check_batched_geometry(std::size_t h, std::size_t w, std::size_t kernel) {
+  if (kernel == 0 || h < kernel || w < kernel) {
+    throw std::invalid_argument("im2col_pack_panels: kernel " +
+                                std::to_string(kernel) +
+                                " too large for input " + std::to_string(h) +
+                                "x" + std::to_string(w));
+  }
+}
+
+}  // namespace
+
+std::size_t im2col_panel_count(std::size_t h, std::size_t w,
+                               std::size_t kernel, std::size_t count) {
+  check_batched_geometry(h, w, kernel);
+  const std::size_t pixels = (h - kernel + 1) * (w - kernel + 1);
+  return (count * pixels + kGemmNr - 1) / kGemmNr;
+}
+
+void im2col_pack_panels(const float* images, std::size_t count, std::size_t c,
+                        std::size_t h, std::size_t w, std::size_t kernel,
+                        float* pb, std::size_t panel_begin,
+                        std::size_t panel_end) {
+  check_batched_geometry(h, w, kernel);
+  const std::size_t ow = w - kernel + 1;
+  const std::size_t oh = h - kernel + 1;
+  const std::size_t pixels = oh * ow;
+  const std::size_t patch = c * kernel * kernel;
+  const std::size_t cols = count * pixels;
+  const std::size_t img_floats = c * h * w;
+
+  for (std::size_t panel = panel_begin; panel < panel_end; ++panel) {
+    const std::size_t j0 = panel * kGemmNr;
+    // Decompose each lane's global column into (image, output y, output x)
+    // once per panel; the k loop below then only adds kernel offsets.
+    const float* lane_base[kGemmNr];
+    std::size_t lane_y[kGemmNr];
+    std::size_t lane_x[kGemmNr];
+    std::size_t width = 0;
+    for (std::size_t jj = 0; jj < kGemmNr && j0 + jj < cols; ++jj, ++width) {
+      const std::size_t col = j0 + jj;
+      const std::size_t img = col / pixels;
+      const std::size_t pix = col % pixels;
+      lane_base[jj] = images + img * img_floats;
+      lane_y[jj] = pix / ow;
+      lane_x[jj] = pix % ow;
+    }
+    float* dst = pb + panel * patch * kGemmNr;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          for (std::size_t jj = 0; jj < width; ++jj) {
+            dst[jj] = lane_base[jj][(ch * h + lane_y[jj] + ky) * w +
+                                    lane_x[jj] + kx];
+          }
+          for (std::size_t jj = width; jj < kGemmNr; ++jj) dst[jj] = 0.0F;
+          dst += kGemmNr;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace cdl

@@ -16,4 +16,26 @@ namespace cdl {
 /// tensor that is reused across calls avoids the per-forward allocation.
 void im2col_into(const Tensor& input, std::size_t kernel, Tensor& cols);
 
+// --- batched lowering straight into packed GEMM panels --------------------
+
+/// Number of kGemmNr-wide column panels in the concatenated column matrix of
+/// `count` images of (c, h, w) — i.e. (C*K*K) x (count*OH*OW). Raw dims (not
+/// a Shape) so the zero-allocation hot path never builds a descriptor.
+[[nodiscard]] std::size_t im2col_panel_count(std::size_t h, std::size_t w,
+                                             std::size_t kernel,
+                                             std::size_t count);
+
+/// Lowers `count` contiguous CHW images (`images` holds count * c*h*w
+/// floats) for a valid KxK / stride-1 convolution directly into packed GEMM
+/// B panels (gemm_pack_b layout) of the concatenated (C*K*K) x (count*OH*OW)
+/// column matrix, where column i*OH*OW + p is image i's patch for its output
+/// pixel p. Writes panels [panel_begin, panel_end) only, so workers can emit
+/// disjoint ranges in parallel. Emitting panels directly skips a separate
+/// multi-megabyte pack pass over the column matrix, and iterating
+/// panel-major keeps writes sequential.
+void im2col_pack_panels(const float* images, std::size_t count, std::size_t c,
+                        std::size_t h, std::size_t w, std::size_t kernel,
+                        float* pb, std::size_t panel_begin,
+                        std::size_t panel_end);
+
 }  // namespace cdl

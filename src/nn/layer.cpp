@@ -1,0 +1,30 @@
+#include "nn/layer.h"
+
+#include <cstring>
+
+#include "core/thread_pool.h"
+
+namespace cdl {
+
+void Layer::infer_block(const Shape& in_shape, const float* in, float* out,
+                        std::size_t count, float* scratch,
+                        ThreadPool* pool) const {
+  (void)scratch;
+  const std::size_t in_floats = in_shape.numel();
+  const std::size_t out_floats = output_shape(in_shape).numel();
+  const auto run = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Tensor x(in_shape);
+      std::memcpy(x.data(), in + i * in_floats, in_floats * sizeof(float));
+      const Tensor y = infer(x);
+      std::memcpy(out + i * out_floats, y.data(), out_floats * sizeof(float));
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, count, run);
+  } else {
+    run(0, 0, count);
+  }
+}
+
+}  // namespace cdl

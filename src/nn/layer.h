@@ -17,6 +17,8 @@
 
 namespace cdl {
 
+class ThreadPool;
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -30,6 +32,31 @@ class Layer {
   /// (parameters are shared read-only; any scratch is per-thread). This is
   /// the path the batched inference driver executes.
   [[nodiscard]] virtual Tensor infer(const Tensor& input) const = 0;
+
+  // --- batched (block) inference -------------------------------------------
+  // The stage-resident batch engine runs whole sub-batches through one layer
+  // at a time. Samples are stored sample-major and contiguous: `in` holds
+  // count x in_shape.numel() floats, `out` receives count x out_numel.
+
+  /// Scratch floats infer_block() needs for `count` samples when up to
+  /// `workers` pool workers may run concurrently (0 and 1 are equivalent).
+  [[nodiscard]] virtual std::size_t infer_block_scratch_floats(
+      const Shape& in_shape, std::size_t count, std::size_t workers) const {
+    (void)in_shape;
+    (void)count;
+    (void)workers;
+    return 0;
+  }
+
+  /// Batched inference over `count` contiguous samples. Every sample's
+  /// result is bit-identical to a per-sample infer() for any count, worker
+  /// count, and scratch placement; `scratch` must provide at least
+  /// infer_block_scratch_floats() floats. The base implementation falls
+  /// back to per-sample infer() (and therefore allocates); layers on the
+  /// batched hot path override it with allocation-free block kernels.
+  virtual void infer_block(const Shape& in_shape, const float* in, float* out,
+                           std::size_t count, float* scratch,
+                           ThreadPool* pool) const;
 
   /// Propagates `grad_output` (d-loss / d-output) backwards. Accumulates
   /// parameter gradients internally and returns d-loss / d-input.

@@ -16,6 +16,36 @@ namespace cdl {
 
 class ThreadPool;
 
+/// One step of the stage-resident block executor: a single layer, or a fused
+/// conv(im2col) -> monotone activation -> max-pool triple (span == 3).
+struct BlockStep {
+  std::size_t first = 0;  ///< index of the step's first layer
+  std::size_t span = 1;   ///< layers consumed: 1, or 3 when fused
+  Shape in_shape;         ///< per-sample input shape of the step
+  Shape out_shape;        ///< per-sample output shape of the step
+  Shape conv_out;         ///< raw convolution output shape (fused steps only)
+};
+
+/// Precomputed execution plan for infer_block_range. Step decomposition,
+/// fusion decisions, shapes and the scratch layout are all resolved once at
+/// plan time so the per-tile hot path performs zero heap allocations (Shape
+/// construction included). A plan sized for (count, workers) serves any
+/// smaller tile and pool.
+struct BlockPlan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t count = 0;    ///< planned max samples per call
+  std::size_t workers = 1;  ///< planned max pool size
+  std::size_t in_floats = 0;
+  std::size_t out_floats = 0;
+  std::vector<BlockStep> steps;
+  std::size_t ping_floats = 0;          ///< one inter-step buffer (aligned)
+  std::size_t step_scratch_floats = 0;  ///< max scratch over all steps
+  [[nodiscard]] std::size_t scratch_floats() const {
+    return 2 * ping_floats + step_scratch_floats;
+  }
+};
+
 class Network {
  public:
   Network() = default;
@@ -56,12 +86,47 @@ class Network {
   [[nodiscard]] Tensor infer_range(const Tensor& input, std::size_t begin,
                                    std::size_t end) const;
 
-  /// Batched inference driver: runs infer() on every input, partitioning
-  /// the batch across `pool` (static contiguous chunks; serial when `pool`
-  /// is null or has one worker). Output i corresponds to input i, and every
-  /// output is bit-identical to a serial infer() for any thread count.
+  /// Batched inference driver: equivalent to infer() on every input. Uniform
+  /// batches run through the stage-resident block executor in tiles (one
+  /// batched GEMM per conv/dense layer instead of one per image); mixed-shape
+  /// batches fall back to per-image infer(). Either way output i is
+  /// bit-identical to a serial infer(inputs[i]) for any thread count.
   [[nodiscard]] std::vector<Tensor> forward_batch(
       const std::vector<Tensor>& inputs, ThreadPool* pool = nullptr) const;
+
+  /// Builds the execution plan for infer_block_range over layers
+  /// [begin, end) with tiles of up to `count` samples and pools of up to
+  /// `workers` threads.
+  [[nodiscard]] BlockPlan plan_block_range(const Shape& in_shape,
+                                           std::size_t begin, std::size_t end,
+                                           std::size_t count,
+                                           std::size_t workers) const;
+
+  /// Plan-driven form of infer_block_range: `count` must not exceed
+  /// plan.count nor the pool plan.workers. Performs no heap allocation.
+  void infer_block_range(const BlockPlan& plan, const float* in, float* out,
+                         std::size_t count, float* scratch,
+                         ThreadPool* pool) const;
+
+  /// Scratch floats needed by infer_block_range for `count` samples through
+  /// layers [begin, end) with up to `workers` pool workers.
+  [[nodiscard]] std::size_t infer_block_scratch_floats(
+      const Shape& in_shape, std::size_t begin, std::size_t end,
+      std::size_t count, std::size_t workers) const;
+
+  /// Stage-resident batched inference through layers [begin, end): `in` holds
+  /// `count` contiguous samples of `in_shape`, `out` receives the `count`
+  /// outputs contiguously. Per-sample results are bit-identical to
+  /// infer_range() for any count and thread count. Runs
+  /// conv(im2col) -> monotone activation -> max-pool triples fused: the
+  /// convolution of the whole block is one packed GEMM into an interleaved
+  /// (out_c, count*pixels) buffer, pooling reads it directly, and the
+  /// activation — which commutes with max bit-exactly when monotone — is
+  /// applied to the (4x smaller) pooled block. `scratch` must hold
+  /// infer_block_scratch_floats(); no heap allocation happens inside.
+  void infer_block_range(const Shape& in_shape, const float* in, float* out,
+                         std::size_t count, std::size_t begin, std::size_t end,
+                         float* scratch, ThreadPool* pool) const;
 
   /// Backward through all layers (after a full forward); returns d-loss/d-input.
   Tensor backward(const Tensor& grad_output);

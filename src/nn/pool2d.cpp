@@ -2,6 +2,47 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
+// Same runtime-dispatch scheme as the GEMM / conv kernels: GCC emits an AVX2
+// clone of the pooling loop next to the baseline one and selects at load
+// time. Max is compare-only, so every clone is bit-identical by construction.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define CDL_POOL_TARGET_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define CDL_POOL_TARGET_CLONES
+#endif
+
+namespace {
+
+/// 2x2 max-pool of one (h, w) plane. Each output pixel is the data-parallel
+/// rewrite of the sequential scan the generic loop performs — the ternary
+/// chain visits the window in the same (dy, dx) order, so ties and NaNs
+/// resolve identically while the x loop vectorizes.
+CDL_POOL_TARGET_CLONES
+void max_pool2_plane(const float* __restrict plane, std::size_t w,
+                     std::size_t oh, std::size_t ow, float* __restrict out) {
+  for (std::size_t y = 0; y < oh; ++y) {
+    const float* r0 = plane + (2 * y) * w;
+    const float* r1 = r0 + w;
+    float* orow = out + y * ow;
+    for (std::size_t x = 0; x < ow; ++x) {
+      const float a = r0[2 * x];
+      const float b = r0[2 * x + 1];
+      const float c = r1[2 * x];
+      const float d = r1[2 * x + 1];
+      float m = b > a ? b : a;
+      m = c > m ? c : m;
+      m = d > m ? d : m;
+      orow[x] = m;
+    }
+  }
+}
+
+}  // namespace
+
 namespace cdl {
 
 Pool2D::Pool2D(std::size_t window, PoolMode mode)
@@ -72,40 +113,79 @@ Tensor Pool2D::forward(const Tensor& input) {
 
 Tensor Pool2D::infer(const Tensor& input) const {
   check_input(input.shape());
-  const std::size_t c = input.shape()[0];
-  const std::size_t h = input.shape()[1];
-  const std::size_t w = input.shape()[2];
+  const Shape& s = input.shape();
+  Tensor out(output_shape(s));
+  pool_image(input.data(), s[1] * s[2], s[0], s[1], s[2], out.data());
+  return out;
+}
+
+void Pool2D::pool_image(const float* in, std::size_t channel_stride,
+                        std::size_t c, std::size_t h, std::size_t w,
+                        float* out) const {
   const std::size_t oh = h / window_;
   const std::size_t ow = w / window_;
-
-  Tensor out(Shape{c, oh, ow});
+  if (mode_ == PoolMode::kMax && window_ == 2) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      max_pool2_plane(in + ch * channel_stride, w, oh, ow,
+                      out + ch * oh * ow);
+    }
+    return;
+  }
   const float inv_area = 1.0F / static_cast<float>(window_ * window_);
   for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* plane = in + ch * channel_stride;
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
         if (mode_ == PoolMode::kMax) {
-          float best = input.at(ch, y * window_, x * window_);
+          float best = plane[y * window_ * w + x * window_];
           for (std::size_t dy = 0; dy < window_; ++dy) {
             for (std::size_t dx = 0; dx < window_; ++dx) {
               const float v =
-                  input.at(ch, y * window_ + dy, x * window_ + dx);
+                  plane[(y * window_ + dy) * w + x * window_ + dx];
               if (v > best) best = v;
             }
           }
-          out.at(ch, y, x) = best;
+          out[(ch * oh + y) * ow + x] = best;
         } else {
           float acc = 0.0F;
           for (std::size_t dy = 0; dy < window_; ++dy) {
             for (std::size_t dx = 0; dx < window_; ++dx) {
-              acc += input.at(ch, y * window_ + dy, x * window_ + dx);
+              acc += plane[(y * window_ + dy) * w + x * window_ + dx];
             }
           }
-          out.at(ch, y, x) = acc * inv_area;
+          out[(ch * oh + y) * ow + x] = acc * inv_area;
         }
       }
     }
   }
-  return out;
+}
+
+void Pool2D::infer_block(const Shape& in_shape, const float* in, float* out,
+                         std::size_t count, float* scratch,
+                         ThreadPool* pool) const {
+  (void)scratch;
+  check_input(in_shape);
+  const std::size_t c = in_shape[0];
+  const std::size_t h = in_shape[1];
+  const std::size_t w = in_shape[2];
+  struct Ctx {
+    const Pool2D* pool;
+    const float* in;
+    float* out;
+    std::size_t in_floats, out_floats, c, h, w;
+  } ctx{this,          in, out, in_shape.numel(),
+        c * (h / window_) * (w / window_), c,   h, w};
+  const auto run = [&ctx](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ctx.pool->pool_image(ctx.in + i * ctx.in_floats, ctx.h * ctx.w, ctx.c,
+                           ctx.h, ctx.w, ctx.out + i * ctx.out_floats);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, count, run);
+  } else {
+    run(0, 0, count);
+  }
 }
 
 Tensor Pool2D::backward(const Tensor& grad_output) {

@@ -17,6 +17,9 @@ class Pool2D final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   [[nodiscard]] Tensor infer(const Tensor& input) const override;
+  void infer_block(const Shape& in_shape, const float* in, float* out,
+                   std::size_t count, float* scratch,
+                   ThreadPool* pool) const override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
   [[nodiscard]] OpCount forward_ops(const Shape& input_shape) const override;
@@ -24,6 +27,15 @@ class Pool2D final : public Layer {
 
   [[nodiscard]] std::size_t window() const { return window_; }
   [[nodiscard]] PoolMode mode() const { return mode_; }
+
+  /// Pools one image whose channel c plane starts at
+  /// `in + c * channel_stride` (h x w row-major), writing the pooled CHW
+  /// output contiguously at `out`. Scan order and comparisons are exactly
+  /// those of infer(), so results stay bit-identical whether the input is a
+  /// standalone tensor (channel_stride = h*w) or one image's column block
+  /// inside a stage-resident batch matrix.
+  void pool_image(const float* in, std::size_t channel_stride, std::size_t c,
+                  std::size_t h, std::size_t w, float* out) const;
 
  private:
   void check_input(const Shape& s) const;

@@ -11,14 +11,21 @@ Tensor softmax(const Tensor& logits) {
     throw std::invalid_argument("softmax: empty input");
   }
   Tensor probs(logits.shape());
-  const float m = logits.max();
-  float denom = 0.0F;
-  for (std::size_t i = 0; i < logits.numel(); ++i) {
-    probs[i] = std::exp(logits[i] - m);
-    denom += probs[i];
-  }
-  for (std::size_t i = 0; i < probs.numel(); ++i) probs[i] /= denom;
+  softmax_into(logits.data(), probs.data(), logits.numel());
   return probs;
+}
+
+void softmax_into(const float* in, float* out, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("softmax: empty input");
+  // Same max as Tensor::max (std::max_element) so results stay bit-identical
+  // to the Tensor overload.
+  const float m = *std::max_element(in, in + n);
+  float denom = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(in[i] - m);
+    denom += out[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] /= denom;
 }
 
 OpCount softmax_ops(std::size_t n) {
@@ -34,10 +41,19 @@ OpCount softmax_ops(std::size_t n) {
 
 float max_probability(const Tensor& probs) { return probs.max(); }
 
+float max_probability(const float* probs, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("max_probability: empty input");
+  return *std::max_element(probs, probs + n);
+}
+
 float probability_margin(const Tensor& probs) {
-  if (probs.numel() < 2) return probs.numel() == 1 ? probs[0] : 0.0F;
+  return probability_margin(probs.data(), probs.numel());
+}
+
+float probability_margin(const float* probs, std::size_t n) {
+  if (n < 2) return n == 1 ? probs[0] : 0.0F;
   float best = -1.0F, second = -1.0F;
-  for (std::size_t i = 0; i < probs.numel(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (probs[i] > best) {
       second = best;
       best = probs[i];
@@ -49,7 +65,10 @@ float probability_margin(const Tensor& probs) {
 }
 
 float entropy_confidence(const Tensor& probs) {
-  const std::size_t n = probs.numel();
+  return entropy_confidence(probs.data(), probs.numel());
+}
+
+float entropy_confidence(const float* probs, std::size_t n) {
   if (n < 2) return 1.0F;
   // Normalize defensively: LMS stages emit clamped scores, not a simplex.
   float total = 0.0F;

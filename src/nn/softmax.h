@@ -10,18 +10,26 @@ namespace cdl {
 /// Numerically stable softmax over a rank-1 tensor of scores.
 [[nodiscard]] Tensor softmax(const Tensor& logits);
 
+/// Span form of softmax, writing into `out` (in == out is allowed). Uses the
+/// same max-subtraction and accumulation order as the Tensor overload, so
+/// results are bit-identical.
+void softmax_into(const float* in, float* out, std::size_t n);
+
 /// Operation cost of one softmax evaluation over `n` scores.
 [[nodiscard]] OpCount softmax_ops(std::size_t n);
 
 /// Largest probability in a distribution (the paper's confidence measure).
 [[nodiscard]] float max_probability(const Tensor& probs);
+[[nodiscard]] float max_probability(const float* probs, std::size_t n);
 
 /// Difference between the two largest probabilities (margin confidence,
 /// used by the confidence-policy ablation).
 [[nodiscard]] float probability_margin(const Tensor& probs);
+[[nodiscard]] float probability_margin(const float* probs, std::size_t n);
 
 /// 1 - normalized Shannon entropy: 1 for a one-hot distribution, 0 for
 /// uniform (entropy confidence, used by the confidence-policy ablation).
 [[nodiscard]] float entropy_confidence(const Tensor& probs);
+[[nodiscard]] float entropy_confidence(const float* probs, std::size_t n);
 
 }  // namespace cdl

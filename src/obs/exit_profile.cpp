@@ -54,23 +54,36 @@ double ExitProfile::exit_fraction(std::size_t stage) const {
                            static_cast<double>(total_);
 }
 
+double ExitProfile::entering_fraction(std::size_t stage) const {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ExitProfile::entering_fraction");
+  }
+  if (total_ == 0) return 0.0;
+  std::size_t exited_before = 0;
+  for (std::size_t i = 0; i < stage; ++i) exited_before += stages_[i].exits;
+  return static_cast<double>(total_ - exited_before) /
+         static_cast<double>(total_);
+}
+
+double ExitProfile::surviving_fraction(std::size_t stage) const {
+  return entering_fraction(stage) - exit_fraction(stage);
+}
+
 std::string ExitProfile::summary() const {
-  char line[160];
+  char line[192];
   std::snprintf(line, sizeof line,
                 "exit profile (%zu inputs, avg %.0f OPS):\n", total_,
                 total_ == 0 ? 0.0 : sum_ops_ / static_cast<double>(total_));
   std::string out = line;
-  out += "  stage      exits    share  stage-acc     avg OPS  conf-mean"
-         "   conf-p50   conf-p95\n";
-  for (const StageExit& s : stages_) {
+  out += "  stage      exits    share  entering  surviving  stage-acc"
+         "     avg OPS  conf-mean   conf-p50   conf-p95\n";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageExit& s = stages_[i];
     std::snprintf(line, sizeof line,
-                  "  %-6s %9zu  %6.1f %%  %8.1f %%  %10.0f  %9.3f  %9.3f"
-                  "  %9.3f\n",
-                  s.name.c_str(), s.exits,
-                  100.0 * (total_ == 0
-                               ? 0.0
-                               : static_cast<double>(s.exits) /
-                                     static_cast<double>(total_)),
+                  "  %-6s %9zu  %6.1f %%  %6.1f %%   %6.1f %%  %8.1f %%"
+                  "  %10.0f  %9.3f  %9.3f  %9.3f\n",
+                  s.name.c_str(), s.exits, 100.0 * exit_fraction(i),
+                  100.0 * entering_fraction(i), 100.0 * surviving_fraction(i),
                   100.0 * s.accuracy(), s.avg_ops(), s.confidence.mean(),
                   s.confidence.quantile(0.5), s.confidence.quantile(0.95));
     out += line;
@@ -80,15 +93,16 @@ std::string ExitProfile::summary() const {
 
 void ExitProfile::write_csv(std::ostream& os) const {
   os << "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
-        "conf_p95\n";
-  char line[192];
+        "conf_p95,entering,surviving\n";
+  char line[224];
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageExit& s = stages_[i];
     std::snprintf(line, sizeof line,
-                  "%s,%zu,%.6f,%zu,%.6f,%.3f,%.6f,%.6f,%.6f\n",
+                  "%s,%zu,%.6f,%zu,%.6f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
                   s.name.c_str(), s.exits, exit_fraction(i), s.correct,
                   s.accuracy(), s.avg_ops(), s.confidence.mean(),
-                  s.confidence.quantile(0.5), s.confidence.quantile(0.95));
+                  s.confidence.quantile(0.5), s.confidence.quantile(0.95),
+                  entering_fraction(i), surviving_fraction(i));
     os << line;
   }
 }

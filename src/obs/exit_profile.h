@@ -52,9 +52,18 @@ class ExitProfile {
   [[nodiscard]] std::vector<std::size_t> exit_counts() const;
   [[nodiscard]] double exit_fraction(std::size_t stage) const;
 
+  /// Fraction of all inputs that *entered* `stage` (survived every earlier
+  /// exit): 1.0 at stage 0, decreasing along the cascade. This is the
+  /// surviving-batch fraction the stage-major batched path processes.
+  [[nodiscard]] double entering_fraction(std::size_t stage) const;
+  /// Fraction of all inputs still alive *after* `stage`'s exit decision:
+  /// entering_fraction(stage) - exit_fraction(stage); 0.0 at the last stage.
+  [[nodiscard]] double surviving_fraction(std::size_t stage) const;
+
   /// Human-readable per-stage table; first line starts with "exit profile".
   [[nodiscard]] std::string summary() const;
-  /// stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,conf_p95
+  /// stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,conf_p95,
+  /// entering,surviving
   void write_csv(std::ostream& os) const;
 
   friend bool operator==(const ExitProfile&, const ExitProfile&) = default;

@@ -64,6 +64,24 @@ TEST(ExitProfile, ExitFraction) {
   EXPECT_THROW((void)p.exit_fraction(3), std::out_of_range);
 }
 
+TEST(ExitProfile, EnteringAndSurvivingFractions) {
+  ExitProfile p = three_stage_profile();
+  EXPECT_DOUBLE_EQ(p.entering_fraction(0), 0.0);  // empty profile
+  EXPECT_DOUBLE_EQ(p.surviving_fraction(0), 0.0);
+  // 4 samples: 1 exits at O1, 2 at O2, 1 falls through to FC.
+  p.record(0, 0.9, 1.0, true);
+  p.record(1, 0.9, 1.0, true);
+  p.record(1, 0.9, 1.0, true);
+  p.record(2, 0.9, 1.0, true);
+  EXPECT_DOUBLE_EQ(p.entering_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.surviving_fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(p.entering_fraction(1), 0.75);
+  EXPECT_DOUBLE_EQ(p.surviving_fraction(1), 0.25);
+  EXPECT_DOUBLE_EQ(p.entering_fraction(2), 0.25);
+  EXPECT_DOUBLE_EQ(p.surviving_fraction(2), 0.0);  // last stage drains
+  EXPECT_THROW((void)p.entering_fraction(3), std::out_of_range);
+}
+
 TEST(ExitProfile, StageAccessorBoundsChecked) {
   const ExitProfile p = three_stage_profile();
   EXPECT_THROW((void)p.stage(3), std::out_of_range);
@@ -89,7 +107,7 @@ TEST(ExitProfile, CsvHasHeaderAndOneRowPerStage) {
   ASSERT_TRUE(std::getline(is, line));
   EXPECT_EQ(line,
             "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
-            "conf_p95");
+            "conf_p95,entering,surviving");
   std::size_t rows = 0;
   while (std::getline(is, line)) ++rows;
   EXPECT_EQ(rows, 3U);

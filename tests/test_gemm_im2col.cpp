@@ -143,6 +143,128 @@ TEST(Gemm, ParallelBitIdenticalToSerial) {
   }
 }
 
+TEST(Gemm, PackedEntryPointBitIdenticalToSgemm) {
+  // The fully pre-packed entry point must agree bit-exactly with sgemm: both
+  // run the same micro-kernel, so every output element accumulates in the
+  // same k order.
+  for (const GemmDims d : {GemmDims{1, 5, 3}, GemmDims{4, 8, 8},
+                           GemmDims{6, 30, 144}, GemmDims{13, 17, 9}}) {
+    Rng rng(d.m * 7 + d.k * 3 + d.n);
+    const Tensor a = random_tensor(Shape{d.m, d.k}, rng);
+    const Tensor b = random_tensor(Shape{d.k, d.n}, rng);
+    std::vector<float> pa(gemm_packed_a_floats(d.m, d.k));
+    std::vector<float> pb(gemm_packed_b_floats(d.k, d.n));
+    gemm_pack_a(d.m, d.k, a.data(), pa.data());
+    gemm_pack_b(d.k, d.n, b.data(), pb.data());
+    Tensor expected(Shape{d.m, d.n});
+    Tensor packed(Shape{d.m, d.n});
+    sgemm(d, a.data(), b.data(), expected.data());
+    sgemm_packed(d, pa.data(), pb.data(), packed.data(), nullptr, nullptr);
+    EXPECT_EQ(expected, packed) << "m=" << d.m << " k=" << d.k << " n=" << d.n;
+
+    // Column panels are the parallel axis; any split is bit-identical.
+    for (std::size_t workers : {2U, 5U}) {
+      ThreadPool pool(workers);
+      Tensor pooled(Shape{d.m, d.n});
+      sgemm_packed(d, pa.data(), pb.data(), pooled.data(), nullptr, &pool);
+      EXPECT_EQ(expected, pooled) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Gemm, ColInitReproducesBiasFirstChain) {
+  // col_init = bias must reproduce the scalar "acc = bias; acc += w*x" chain
+  // bit-exactly — the init seeds the accumulator, it is not added after.
+  const GemmDims d{3, 29, 10};  // count x in_features x classes
+  Rng rng(77);
+  const Tensor x = random_tensor(Shape{d.m, d.k}, rng);       // features
+  const Tensor w = random_tensor(Shape{d.n, d.k}, rng);       // class-major
+  const Tensor bias = random_tensor(Shape{d.n}, rng);
+  std::vector<float> pa(gemm_packed_a_floats(d.m, d.k));
+  std::vector<float> pb(gemm_packed_b_floats(d.k, d.n));
+  gemm_pack_a(d.m, d.k, x.data(), pa.data());
+  gemm_pack_b_transposed(d.k, d.n, w.data(), pb.data());
+  Tensor out(Shape{d.m, d.n});
+  sgemm_packed(d, pa.data(), pb.data(), out.data(), bias.data(), nullptr);
+
+  // micro_kernel_4x8_init accumulates each element independently in k order,
+  // exactly like this scalar chain (FMA contraction applies to both).
+  for (std::size_t r = 0; r < d.m; ++r) {
+    Tensor row(Shape{d.n});
+    for (std::size_t c = 0; c < d.n; ++c) {
+      float acc = bias[c];
+      for (std::size_t i = 0; i < d.k; ++i) {
+        acc += w.at(c, i) * x.at(r, i);
+      }
+      row[c] = acc;
+    }
+    // The chains only differ by FMA contraction inside the kernel clone, so
+    // agreement is to the last-ulp scale of the accumulation, and the packed
+    // result must also be reproducible (deterministic) across calls.
+    for (std::size_t c = 0; c < d.n; ++c) {
+      EXPECT_NEAR(out.at(r, c), row[c], 1e-5F) << "row " << r << " col " << c;
+    }
+  }
+  Tensor again(Shape{d.m, d.n});
+  sgemm_packed(d, pa.data(), pb.data(), again.data(), bias.data(), nullptr);
+  EXPECT_EQ(out, again);
+}
+
+TEST(Im2col, PackPanelsMatchesPerImageLoweringPlusPack) {
+  // im2col_pack_panels lowers a whole image block straight into packed-B
+  // panels; the result must be byte-identical to concatenating per-image
+  // im2col matrices and packing the concatenation.
+  const std::size_t count = 3, c = 2, h = 7, w = 6, kernel = 3;
+  const std::size_t pixels = (h - kernel + 1) * (w - kernel + 1);
+  const std::size_t patch = c * kernel * kernel;
+  Rng rng(99);
+  std::vector<Tensor> images;
+  for (std::size_t i = 0; i < count; ++i) {
+    images.push_back(random_tensor(Shape{c, h, w}, rng));
+  }
+  // Contiguous image block.
+  std::vector<float> block(count * c * h * w);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::copy(images[i].data(), images[i].data() + images[i].numel(),
+              block.begin() + static_cast<std::ptrdiff_t>(i * c * h * w));
+  }
+  // Reference: concatenated per-image im2col, then gemm_pack_b.
+  std::vector<float> cols(patch * count * pixels);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tensor one = im2col(images[i], kernel);
+    for (std::size_t p = 0; p < patch; ++p) {
+      std::copy(one.data() + p * pixels, one.data() + (p + 1) * pixels,
+                cols.begin() +
+                    static_cast<std::ptrdiff_t>(p * count * pixels +
+                                                i * pixels));
+    }
+  }
+  std::vector<float> expected(gemm_packed_b_floats(patch, count * pixels));
+  gemm_pack_b(patch, count * pixels, cols.data(), expected.data());
+
+  std::vector<float> direct(expected.size(), -1.0F);
+  const std::size_t panels = im2col_panel_count(h, w, kernel, count);
+  im2col_pack_panels(block.data(), count, c, h, w, kernel, direct.data(), 0,
+                     panels);
+  EXPECT_EQ(expected, direct);
+
+  // Disjoint panel ranges compose to the same packing (the parallel split).
+  std::vector<float> split(expected.size(), -1.0F);
+  const std::size_t mid = panels / 2;
+  im2col_pack_panels(block.data(), count, c, h, w, kernel, split.data(), 0,
+                     mid);
+  im2col_pack_panels(block.data(), count, c, h, w, kernel, split.data(), mid,
+                     panels);
+  EXPECT_EQ(expected, split);
+}
+
+TEST(Im2col, PackPanelsValidatesGeometry) {
+  std::vector<float> buf(64);
+  EXPECT_THROW((void)im2col_panel_count(3, 3, 4, 1), std::invalid_argument);
+  EXPECT_THROW(im2col_pack_panels(buf.data(), 1, 1, 3, 3, 0, buf.data(), 0, 1),
+               std::invalid_argument);
+}
+
 TEST(Im2col, ValidatesInput) {
   EXPECT_THROW((void)im2col(Tensor(Shape{4, 4}), 2), std::invalid_argument);
   EXPECT_THROW((void)im2col(Tensor(Shape{1, 3, 3}), 4), std::invalid_argument);

@@ -1,0 +1,307 @@
+// Tests for the stage-major batched CDL path: classify_batch /
+// classify_batch_into must be bit-identical to a serial per-image classify()
+// for any batch size, thread count, δ and confidence policy, and the warm
+// steady state must perform zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/pool2d.h"
+#include "test_util.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every global new/delete bumps a counter, so a test
+// can assert that a warm steady-state call performs zero heap allocations.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cdl {
+namespace {
+
+using test::conv_cdln;
+using test::random_image;
+
+std::vector<Tensor> make_inputs(std::size_t n, std::uint64_t seed_base) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    inputs.push_back(random_image(Shape{1, 12, 12}, seed_base + i));
+  }
+  return inputs;
+}
+
+void expect_results_identical(const std::vector<ClassificationResult>& a,
+                              const std::vector<ClassificationResult>& b,
+                              const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label) << context << " sample " << i;
+    EXPECT_EQ(a[i].exit_stage, b[i].exit_stage) << context << " sample " << i;
+    EXPECT_EQ(a[i].confidence, b[i].confidence) << context << " sample " << i;
+    EXPECT_EQ(a[i].probabilities, b[i].probabilities)
+        << context << " sample " << i;
+    EXPECT_EQ(a[i].ops, b[i].ops) << context << " sample " << i;
+  }
+}
+
+std::vector<ClassificationResult> classify_serial(
+    const ConditionalNetwork& net, const std::vector<Tensor>& inputs) {
+  std::vector<ClassificationResult> out;
+  out.reserve(inputs.size());
+  for (const Tensor& x : inputs) out.push_back(net.classify(x));
+  return out;
+}
+
+// The correctness bar: batched + compacted results bit-identical to serial
+// per-image classify for any batch size, thread count and δ.
+TEST(StagedBatch, BitIdenticalToSerialClassifyAcrossSizesThreadsAndDeltas) {
+  Rng rng(23);
+  ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  for (const float delta : {0.2F, 0.5F, 0.9F}) {
+    net.set_delta(delta);
+    for (const std::size_t size : {1U, 7U, 64U}) {
+      const std::vector<Tensor> inputs = make_inputs(size, 1000 + size);
+      const std::vector<ClassificationResult> serial =
+          classify_serial(net, inputs);
+      for (const std::size_t workers : {1U, 4U}) {
+        ThreadPool pool(workers);
+        const auto batched = net.classify_batch(inputs, &pool);
+        expect_results_identical(serial, batched,
+                                 "delta " + std::to_string(delta) + " size " +
+                                     std::to_string(size) + " workers " +
+                                     std::to_string(workers));
+      }
+      // Null pool (fully serial batched path).
+      expect_results_identical(serial, net.classify_batch(inputs, nullptr),
+                               "null pool size " + std::to_string(size));
+    }
+  }
+}
+
+// Batches larger than the workspace tile exercise the tile loop boundary.
+TEST(StagedBatch, BatchLargerThanTileMatchesSerial) {
+  Rng rng(29);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  const std::vector<Tensor> inputs =
+      make_inputs(BatchWorkspace::kDefaultTile + 17, 4000);
+  expect_results_identical(classify_serial(net, inputs),
+                           net.classify_batch(inputs), "over-tile batch");
+}
+
+// Non-fusable networks (direct conv, average pool, strided conv) take the
+// unfused per-layer block path and must stay bit-identical too.
+TEST(StagedBatch, UnfusedVariantsMatchSerial) {
+  {
+    Rng rng(31);
+    const ConditionalNetwork net = conv_cdln(ConvAlgo::kDirect, rng);
+    const std::vector<Tensor> inputs = make_inputs(13, 5000);
+    expect_results_identical(classify_serial(net, inputs),
+                             net.classify_batch(inputs), "direct conv");
+  }
+  {
+    // Average pool after a sigmoid: fusion requires max pool, so this runs
+    // conv / act / pool as separate block steps.
+    Rng rng(37);
+    Network base;
+    base.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col, ConvGeometry{1, 1});
+    base.emplace<Sigmoid>();
+    base.emplace<Pool2D>(2, PoolMode::kAverage);
+    base.emplace<Dense>(4 * 6 * 6, 5);
+    base.init(rng);
+    ConditionalNetwork net(std::move(base), Shape{1, 12, 12});
+    net.attach_classifier(3, LcTrainingRule::kLms, rng);
+    net.set_delta(0.4F);
+    const std::vector<Tensor> inputs = make_inputs(13, 6000);
+    expect_results_identical(classify_serial(net, inputs),
+                             net.classify_batch(inputs), "avg pool");
+  }
+  {
+    // Strided conv is not im2col-lowerable: direct block path.
+    Rng rng(41);
+    Network base;
+    base.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col, ConvGeometry{2, 1});
+    base.emplace<Tanh>();
+    base.emplace<Dense>(4 * 6 * 6, 5);
+    base.init(rng);
+    ConditionalNetwork net(std::move(base), Shape{1, 12, 12});
+    net.attach_classifier(2, LcTrainingRule::kSoftmaxXent, rng);
+    net.set_delta(0.4F);
+    const std::vector<Tensor> inputs = make_inputs(13, 7000);
+    expect_results_identical(classify_serial(net, inputs),
+                             net.classify_batch(inputs), "strided conv");
+  }
+}
+
+// Margin policy with δ = 0 terminates every input at stage 0: the batch
+// drains in one stage and later stages see an empty survivor set.
+TEST(StagedBatch, AllExitAtStageZero) {
+  Rng rng(43);
+  ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  net.set_policy(ConfidencePolicy::kMargin);
+  net.set_delta(0.0F);
+  const std::vector<Tensor> inputs = make_inputs(9, 8000);
+  const auto batched = net.classify_batch(inputs);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].exit_stage, 0U) << "sample " << i;
+  }
+  expect_results_identical(classify_serial(net, inputs), batched, "all-exit");
+}
+
+// An unreachable δ sends every input through the full cascade to the FC
+// stage: no compaction ever fires and the final segment sees the whole batch.
+TEST(StagedBatch, NoneExitFallsThroughToFinalStage) {
+  Rng rng(47);
+  ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  net.set_policy(ConfidencePolicy::kMargin);
+  net.set_delta(1.0e9F);
+  const std::vector<Tensor> inputs = make_inputs(9, 9000);
+  const auto batched = net.classify_batch(inputs);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].exit_stage, net.num_stages()) << "sample " << i;
+  }
+  expect_results_identical(classify_serial(net, inputs), batched, "none-exit");
+}
+
+TEST(StagedBatch, SingleImageBatchMatchesClassify) {
+  Rng rng(53);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  const std::vector<Tensor> inputs = make_inputs(1, 10000);
+  expect_results_identical(classify_serial(net, inputs),
+                           net.classify_batch(inputs), "single image");
+}
+
+TEST(StagedBatch, EmptyBatchYieldsEmptyResults) {
+  Rng rng(59);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  EXPECT_TRUE(net.classify_batch({}).empty());
+}
+
+TEST(StagedBatch, WorkspaceReportsPlanAndReplansAcrossNetworks) {
+  Rng rng(61);
+  const ConditionalNetwork a = conv_cdln(ConvAlgo::kIm2col, rng);
+  const ConditionalNetwork b = conv_cdln(ConvAlgo::kIm2col, rng);
+  BatchWorkspace ws;
+  EXPECT_FALSE(ws.matches(a, 1));
+  ws.plan(a, 16, 2);
+  EXPECT_TRUE(ws.matches(a, 1));
+  EXPECT_TRUE(ws.matches(a, 2));
+  EXPECT_FALSE(ws.matches(a, 4));  // more workers than planned
+  EXPECT_FALSE(ws.matches(b, 1));  // different network object
+  EXPECT_EQ(ws.tile(), 16U);
+  EXPECT_GT(ws.capacity_floats(), 0U);
+
+  // classify_batch_into replans automatically for the other network.
+  const std::vector<Tensor> inputs = make_inputs(5, 11000);
+  std::vector<ClassificationResult> results;
+  b.classify_batch_into(inputs, results, ws);
+  EXPECT_TRUE(ws.matches(b, 1));
+  expect_results_identical(classify_serial(b, inputs), results, "replanned");
+}
+
+// The acceptance criterion behind the workspace planner: with a warm
+// workspace and warm results vector, a repeat classify_batch_into performs
+// zero heap allocations — serial and threaded.
+TEST(StagedBatch, WarmSteadyStateAllocatesNothing) {
+  Rng rng(67);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  const std::vector<Tensor> inputs = make_inputs(24, 12000);
+
+  BatchWorkspace ws;
+  std::vector<ClassificationResult> results;
+  net.classify_batch_into(inputs, results, ws, nullptr);  // warm-up
+  const auto expected = results;
+
+  const std::uint64_t before = g_alloc_count.load();
+  net.classify_batch_into(inputs, results, ws, nullptr);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0U) << "serial steady state allocated";
+  expect_results_identical(expected, results, "warm serial");
+
+  ThreadPool pool(4);
+  net.classify_batch_into(inputs, results, ws, &pool);  // warm-up (replan)
+  const std::uint64_t pooled_before = g_alloc_count.load();
+  net.classify_batch_into(inputs, results, ws, &pool);
+  const std::uint64_t pooled_after = g_alloc_count.load();
+  EXPECT_EQ(pooled_after - pooled_before, 0U) << "pooled steady state allocated";
+  expect_results_identical(expected, results, "warm pooled");
+}
+
+// Same guarantee for the plain Network batch executor: a planned block range
+// driven over a warm scratch buffer never touches the allocator.
+TEST(StagedBatch, NetworkBlockRangeIsAllocationFreeWhenWarm) {
+  Rng rng(71);
+  const Network net = test::conv_net(ConvAlgo::kIm2col, rng);
+  const Shape in_shape{1, 12, 12};
+  const std::size_t count = 8;
+  const BlockPlan plan = net.plan_block_range(in_shape, 0, net.size(), count, 1);
+  std::vector<float> scratch(plan.scratch_floats());
+  std::vector<float> in(count * plan.in_floats);
+  std::vector<float> out(count * plan.out_floats);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tensor img = random_image(in_shape, 13000 + i);
+    std::copy(img.data(), img.data() + plan.in_floats,
+              in.begin() + static_cast<std::ptrdiff_t>(i * plan.in_floats));
+  }
+  net.infer_block_range(plan, in.data(), out.data(), count, scratch.data(),
+                        nullptr);  // warm-up
+  const std::uint64_t before = g_alloc_count.load();
+  net.infer_block_range(plan, in.data(), out.data(), count, scratch.data(),
+                        nullptr);
+  EXPECT_EQ(g_alloc_count.load() - before, 0U);
+}
+
+TEST(StagedBatch, RejectsTileBeyondPlanCapacity) {
+  Rng rng(73);
+  const Network net = test::conv_net(ConvAlgo::kIm2col, rng);
+  const Shape in_shape{1, 12, 12};
+  const BlockPlan plan = net.plan_block_range(in_shape, 0, net.size(), 4, 1);
+  std::vector<float> scratch(plan.scratch_floats());
+  std::vector<float> buf(8 * plan.in_floats, 0.0F);
+  std::vector<float> out(8 * plan.out_floats);
+  EXPECT_THROW(net.infer_block_range(plan, buf.data(), out.data(), 8,
+                                     scratch.data(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(StagedBatch, RejectsMismatchedInputShape) {
+  Rng rng(79);
+  const ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> inputs = make_inputs(3, 14000);
+  inputs[1] = random_image(Shape{1, 6, 6}, 99);
+  BatchWorkspace ws;
+  std::vector<ClassificationResult> results;
+  EXPECT_THROW(net.classify_batch_into(inputs, results, ws),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdl

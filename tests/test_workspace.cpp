@@ -1,0 +1,162 @@
+// Tests for WorkspacePlanner / Workspace: the planned bump arena behind the
+// zero-allocation batched inference hot path. The planner's accounting
+// (persistent vs frame regions, frame reuse, alignment) must match what
+// Workspace::data() later resolves, or buffers would silently alias.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/workspace.h"
+
+namespace cdl {
+namespace {
+
+TEST(WorkspacePlanner, AlignFloatsRoundsUpToCacheLine) {
+  EXPECT_EQ(align_floats(0), 0U);
+  EXPECT_EQ(align_floats(1), kWorkspaceAlignFloats);
+  EXPECT_EQ(align_floats(kWorkspaceAlignFloats), kWorkspaceAlignFloats);
+  EXPECT_EQ(align_floats(kWorkspaceAlignFloats + 1), 2 * kWorkspaceAlignFloats);
+}
+
+TEST(WorkspacePlanner, StartsEmpty) {
+  const WorkspacePlanner plan;
+  EXPECT_EQ(plan.persistent_floats(), 0U);
+  EXPECT_EQ(plan.frame_floats(), 0U);
+  EXPECT_EQ(plan.capacity_floats(), 0U);
+  EXPECT_FALSE(plan.frame_open());
+}
+
+TEST(WorkspacePlanner, PersistentBuffersStack) {
+  WorkspacePlanner plan;
+  const BufferRef a = plan.reserve_persistent(3);
+  const BufferRef b = plan.reserve_persistent(20);
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(a.persistent);
+  EXPECT_EQ(a.offset, 0U);
+  EXPECT_EQ(a.floats, 3U);
+  EXPECT_EQ(b.offset, align_floats(3));
+  EXPECT_EQ(b.floats, 20U);
+  EXPECT_EQ(plan.persistent_floats(), align_floats(3) + align_floats(20));
+}
+
+TEST(WorkspacePlanner, FramesShareStorage) {
+  WorkspacePlanner plan;
+  plan.begin_frame();
+  const BufferRef a = plan.reserve(100);
+  plan.end_frame();
+  plan.begin_frame();
+  const BufferRef b = plan.reserve(10);
+  const BufferRef c = plan.reserve(10);
+  plan.end_frame();
+  // Both frames start at offset 0 in the shared frame region.
+  EXPECT_EQ(a.offset, 0U);
+  EXPECT_EQ(b.offset, 0U);
+  EXPECT_EQ(c.offset, align_floats(10));
+  EXPECT_FALSE(a.persistent);
+  // Region is the max frame, not the sum.
+  EXPECT_EQ(plan.frame_floats(), align_floats(100));
+  EXPECT_EQ(plan.capacity_floats(), align_floats(100));
+}
+
+TEST(WorkspacePlanner, ReserveOutsideFrameThrows) {
+  WorkspacePlanner plan;
+  EXPECT_THROW((void)plan.reserve(4), std::logic_error);
+  plan.begin_frame();
+  EXPECT_NO_THROW((void)plan.reserve(4));
+  plan.end_frame();
+  EXPECT_THROW((void)plan.reserve(4), std::logic_error);
+}
+
+TEST(WorkspacePlanner, MixedPersistentAndFrames) {
+  WorkspacePlanner plan;
+  const BufferRef p = plan.reserve_persistent(5);
+  plan.begin_frame();
+  const BufferRef f = plan.reserve(7);
+  plan.end_frame();
+  EXPECT_TRUE(p.persistent);
+  EXPECT_FALSE(f.persistent);
+  EXPECT_EQ(plan.capacity_floats(), align_floats(5) + align_floats(7));
+}
+
+TEST(Workspace, ResolvesDistinctNonOverlappingSlices) {
+  WorkspacePlanner plan;
+  const BufferRef p0 = plan.reserve_persistent(8);
+  const BufferRef p1 = plan.reserve_persistent(8);
+  plan.begin_frame();
+  const BufferRef f0 = plan.reserve(8);
+  const BufferRef f1 = plan.reserve(8);
+  plan.end_frame();
+
+  Workspace ws;
+  ws.allocate(plan);
+  EXPECT_TRUE(ws.allocated());
+  EXPECT_EQ(ws.capacity_floats(), plan.capacity_floats());
+
+  float* a = ws.data(p0);
+  float* b = ws.data(p1);
+  float* c = ws.data(f0);
+  float* d = ws.data(f1);
+  // Same-lifetime buffers never overlap (each is 8 floats).
+  EXPECT_GE(b, a + 8);
+  EXPECT_GE(d, c + 8);
+  // Frame region sits beyond every persistent buffer.
+  EXPECT_GE(c, b + 8);
+
+  // Writing one buffer must not disturb its neighbours.
+  for (std::size_t i = 0; i < 8; ++i) a[i] = 1.0F;
+  for (std::size_t i = 0; i < 8; ++i) b[i] = 2.0F;
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a[i], 1.0F);
+}
+
+TEST(Workspace, FrameBuffersFromDifferentFramesAlias) {
+  WorkspacePlanner plan;
+  plan.begin_frame();
+  const BufferRef f0 = plan.reserve(16);
+  plan.end_frame();
+  plan.begin_frame();
+  const BufferRef f1 = plan.reserve(16);
+  plan.end_frame();
+  Workspace ws;
+  ws.allocate(plan);
+  EXPECT_EQ(ws.data(f0), ws.data(f1));  // by design: frames run sequentially
+}
+
+TEST(Workspace, AllocateWithOpenFrameThrows) {
+  WorkspacePlanner plan;
+  plan.begin_frame();
+  (void)plan.reserve(4);
+  Workspace ws;
+  EXPECT_THROW(ws.allocate(plan), std::logic_error);
+}
+
+TEST(Workspace, ReallocateReusesWhenCapacitySuffices) {
+  WorkspacePlanner big;
+  big.begin_frame();
+  (void)big.reserve(1024);
+  big.end_frame();
+  Workspace ws;
+  ws.allocate(big);
+  const std::size_t cap = ws.capacity_floats();
+
+  WorkspacePlanner small;
+  small.begin_frame();
+  const BufferRef f = small.reserve(16);
+  small.end_frame();
+  ws.allocate(small);
+  EXPECT_GE(ws.capacity_floats(), align_floats(16));
+  EXPECT_LE(ws.capacity_floats(), cap);
+  float* data = ws.data(f);
+  for (std::size_t i = 0; i < 16; ++i) data[i] = 3.0F;
+  EXPECT_EQ(data[15], 3.0F);
+}
+
+TEST(Workspace, EmptyPlanAllocatesNothingButIsAllocated) {
+  const WorkspacePlanner plan;
+  Workspace ws;
+  ws.allocate(plan);
+  EXPECT_TRUE(ws.allocated());
+  EXPECT_EQ(ws.capacity_floats(), 0U);
+}
+
+}  // namespace
+}  // namespace cdl
