@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +26,10 @@
 #include "eval/table.h"
 #include "nn/gemm.h"
 #include "obs/exit_profile.h"
+#include "obs/layer_profile.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "util/args.h"
 
@@ -62,6 +66,21 @@ struct GemmRow {
   double ms_per_call = 0.0;
 };
 
+/// One attributed (profiled) pass over the batch: per-layer rows, fork/join
+/// stats and wall time. OPS totals are exact, so serial.ops == parallel.ops
+/// is a structural determinism invariant bench_check.py re-checks.
+struct Attribution {
+  std::uint64_t time_ns = 0;
+  std::vector<cdl::obs::LayerProfileRow> rows;
+  cdl::obs::LayerProfiler::ParallelForStats parallel_for;
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t total = 0;
+    for (const auto& row : rows) total += row.ops;
+    return total;
+  }
+};
+
 struct BatchRow {
   std::string network;
   std::size_t images = 0;
@@ -73,7 +92,45 @@ struct BatchRow {
   double trace_off_delta_pct = 0.0;  ///< repeat measurement, hooks disabled
   double trace_on_delta_pct = 0.0;   ///< hooks enabled vs disabled
   bool identical = false;
+  Attribution serial_attr;
+  Attribution parallel_attr;
+  bool perf_attempted = false;
+  std::string perf_reason;
+  cdl::obs::PerfReading perf;  ///< parallel attributed pass
 };
+
+void write_attribution_json(std::FILE* out, const char* key,
+                            const Attribution& attr, const char* indent) {
+  std::fprintf(out, "%s\"%s\": {\"time_ns\": %llu, \"ops\": %llu,\n", indent,
+               key, static_cast<unsigned long long>(attr.time_ns),
+               static_cast<unsigned long long>(attr.total_ops()));
+  std::fprintf(out,
+               "%s  \"parallel_for\": {\"invocations\": %llu, \"items\": "
+               "%llu, \"time_ns\": %llu},\n",
+               indent,
+               static_cast<unsigned long long>(attr.parallel_for.invocations),
+               static_cast<unsigned long long>(attr.parallel_for.items),
+               static_cast<unsigned long long>(attr.parallel_for.time_ns));
+  std::fprintf(out, "%s  \"rows\": [", indent);
+  for (std::size_t i = 0; i < attr.rows.size(); ++i) {
+    const cdl::obs::LayerProfileRow& row = attr.rows[i];
+    std::fprintf(out,
+                 "%s\n%s    {\"stage\": %d, \"layer\": %d, \"name\": "
+                 "\"%s\", \"span\": %llu, \"samples\": %llu, \"ops\": %llu, "
+                 "\"time_ns\": %llu}",
+                 i == 0 ? "" : ",", indent, row.stage, row.layer,
+                 cdl::obs::json_escape(row.name).c_str(),
+                 static_cast<unsigned long long>(row.span),
+                 static_cast<unsigned long long>(row.samples),
+                 static_cast<unsigned long long>(row.ops),
+                 static_cast<unsigned long long>(row.time_ns));
+  }
+  if (attr.rows.empty()) {
+    std::fprintf(out, "]}");
+  } else {
+    std::fprintf(out, "\n%s  ]}", indent);
+  }
+}
 
 bool same_results(const std::vector<cdl::ClassificationResult>& a,
                   const std::vector<cdl::ClassificationResult>& b) {
@@ -106,6 +163,9 @@ int main(int argc, char** argv) {
                                     "percentiles");
   args.add_option("trace-out", "", "write a Chrome trace JSON of one traced "
                                    "parallel batch per network");
+  args.add_flag("perf", "read hardware perf counters over the parallel "
+                        "attributed pass (degrades to wall clock when "
+                        "perf_event_open is unavailable)");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -263,6 +323,36 @@ int main(int argc, char** argv) {
     row.trace_on_delta_pct = 100.0 * (traced_sec - parallel_sec) / parallel_sec;
     tracer.clear();  // drop the measurement runs' events
 
+    // Attributed passes (profiler on): one serial, one parallel, after the
+    // timed loops so the attribution overhead never skews the img/s numbers.
+    // The exact per-row OPS make serial vs parallel attribution a structural
+    // determinism check on top of the per-result one above.
+    cdl::obs::LayerProfiler& profiler = cdl::obs::LayerProfiler::instance();
+    const auto attribute_pass = [&](cdl::ThreadPool* p,
+                                    cdl::BatchWorkspace& ws) {
+      profiler.clear();
+      profiler.set_enabled(true);
+      const std::uint64_t t0 = cdl::obs::now_ns();
+      net.classify_batch_into(inputs, timed, ws, p);
+      Attribution attr;
+      attr.time_ns = cdl::obs::now_ns() - t0;
+      profiler.set_enabled(false);
+      attr.rows = profiler.snapshot();
+      attr.parallel_for = profiler.parallel_for_stats();
+      return attr;
+    };
+    row.serial_attr = attribute_pass(nullptr, ws_serial);
+    row.perf_attempted = args.get_flag("perf");
+    if (row.perf_attempted) {
+      cdl::obs::PerfGroup perf_group;
+      row.perf_reason = perf_group.unavailable_reason();
+      perf_group.start();
+      row.parallel_attr = attribute_pass(&pool, ws_parallel);
+      row.perf = perf_group.stop();
+    } else {
+      row.parallel_attr = attribute_pass(&pool, ws_parallel);
+    }
+
     // Exit profile of the serial (reference) results.
     std::vector<std::string> stage_names;
     stage_names.reserve(net.num_stages() + 1);
@@ -296,6 +386,44 @@ int main(int argc, char** argv) {
               lat_reps, lat_table.to_string().c_str());
   for (const std::string& s : profile_summaries) {
     std::printf("\n%s", s.c_str());
+  }
+
+  // Per-layer attribution of the parallel pass (where did the time go?).
+  for (const BatchRow& r : batch_rows) {
+    cdl::TextTable attr_table(
+        {"stage", "step", "samples", "MOPS", "ms", "GFLOP/s"});
+    for (const cdl::obs::LayerProfileRow& lrow : r.parallel_attr.rows) {
+      attr_table.add_row(
+          {lrow.stage == cdl::obs::kNoStage ? "-" : std::to_string(lrow.stage),
+           lrow.name, std::to_string(lrow.samples),
+           cdl::fmt(static_cast<double>(lrow.ops) / 1e6, 1),
+           cdl::fmt(static_cast<double>(lrow.time_ns) / 1e6, 2),
+           cdl::fmt(lrow.gops(), 2)});
+    }
+    const double serial_ms =
+        static_cast<double>(r.serial_attr.time_ns) / 1e6;
+    const double parallel_ms =
+        static_cast<double>(r.parallel_attr.time_ns) / 1e6;
+    const auto& pf = r.parallel_attr.parallel_for;
+    std::printf("\n%s parallel-pass attribution (serial pass %.2f ms, "
+                "parallel pass %.2f ms, %llu fork/join dispatches, "
+                "%.2f ms inside parallel_for):\n%s",
+                r.network.c_str(), serial_ms, parallel_ms,
+                static_cast<unsigned long long>(pf.invocations),
+                static_cast<double>(pf.time_ns) / 1e6,
+                attr_table.to_string().c_str());
+    if (r.perf_attempted) {
+      std::printf("%s\n", r.perf.summary(r.perf_reason).c_str());
+    }
+    if (r.serial_attr.total_ops() != r.parallel_attr.total_ops()) {
+      std::fprintf(stderr,
+                   "\nerror: attributed OPS differ serial vs parallel "
+                   "(%llu vs %llu) -- attribution determinism broken\n",
+                   static_cast<unsigned long long>(r.serial_attr.total_ops()),
+                   static_cast<unsigned long long>(
+                       r.parallel_attr.total_ops()));
+      return 1;
+    }
   }
   if (!all_identical) {
     std::fprintf(stderr, "\nerror: parallel batch results differ from serial "
@@ -357,12 +485,24 @@ int main(int argc, char** argv) {
                  "\"latency_ms_p99\": %.3f, "
                  "\"trace_disabled_delta_pct\": %.3f, "
                  "\"trace_enabled_delta_pct\": %.3f, "
-                 "\"results_identical\": %s}%s\n",
+                 "\"results_identical\": %s,\n",
                  r.network.c_str(), r.images, r.serial_ips, r.parallel_ips,
                  r.parallel_ips / r.serial_ips, r.p50_ms, r.p95_ms, r.p99_ms,
                  r.trace_off_delta_pct, r.trace_on_delta_pct,
-                 r.identical ? "true" : "false",
-                 i + 1 < batch_rows.size() ? "," : "");
+                 r.identical ? "true" : "false");
+    std::fprintf(out, "     \"attribution\": {\n");
+    write_attribution_json(out, "serial", r.serial_attr, "      ");
+    std::fprintf(out, ",\n");
+    write_attribution_json(out, "parallel", r.parallel_attr, "      ");
+    std::fprintf(out, "},\n");
+    std::ostringstream perf_os;
+    cdl::obs::write_perf_json(perf_os, r.perf);
+    std::fprintf(out,
+                 "     \"perf\": {\"attempted\": %s, \"reason\": \"%s\", "
+                 "\"reading\": %s}}%s\n",
+                 r.perf_attempted ? "true" : "false",
+                 cdl::obs::json_escape(r.perf_reason).c_str(),
+                 perf_os.str().c_str(), i + 1 < batch_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -1,50 +1,84 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_throughput.json against the committed baseline.
+"""Validate and compare CDL benchmark / run-report JSON artifacts.
 
-Fails (exit 1) when the fresh run regresses by more than --threshold
-(default 15 %) on either of the two headline metrics:
+Two modes:
+
+**Throughput mode** (default): compare a fresh BENCH_throughput.json against
+the committed baseline. Fails (exit 1) when the fresh run regresses by more
+than --tolerance (default 15 %) on either headline metric:
 
   * packed single-thread GEMM GFLOP/s
   * per-network batch inference images/sec (parallel)
 
-Runs whose workloads are not comparable (different seed, gemm_size or
-image count) fail immediately rather than producing a meaningless diff --
-the throughput harness pins its seed via --seed exactly so that this
-comparison is apples-to-apples.
+Runs whose workloads are not comparable (different seed, gemm_size or image
+count) fail immediately rather than producing a meaningless diff -- the
+throughput harness pins its seed via --seed exactly so that this comparison
+is apples-to-apples. Improvements are reported but never fail the check.
 
-Improvements are reported but never fail the check. Stdlib only.
+With --determinism-only the baseline is not read at all: the check passes iff
+the fresh JSON is well-formed, every network's serial and threaded results
+are bit-identical, and (when the attribution section is present) the serial
+and parallel attributed OPS totals agree exactly. That is the mode CI uses --
+hosted runners have different hardware from the machine that produced the
+committed baseline, so absolute images/sec are not comparable there, but the
+determinism guarantees must hold everywhere.
 
-With --determinism-only the baseline is not read at all: the check passes
-iff the fresh JSON is well-formed and every network's serial and threaded
-results are bit-identical. That is the mode CI uses -- hosted runners have
-different hardware from the machine that produced the committed baseline,
-so absolute images/sec are not comparable there, but the determinism
-guarantee must hold everywhere.
+**Report mode** (--validate-report FILE): validate a cdl-run-report/1 JSON
+produced by `cdl_eval --report` / `cdl_train --report`. Checks the schema,
+that the per-layer attribution rows sum bit-exactly (OPS) to the whole-run
+total, that attributed time is within --tolerance of the measured wall time,
+and that perf fields degrade to null (never garbage) when hardware counters
+were unavailable.
+
+Stdlib only.
 
 Usage:
     python3 scripts/bench_check.py --fresh build/BENCH_throughput.json \
-        [--baseline BENCH_throughput.json] [--threshold 0.15] \
+        [--baseline BENCH_throughput.json] [--tolerance 0.15] \
         [--determinism-only]
+    python3 scripts/bench_check.py --validate-report report.json \
+        [--tolerance 0.5]
 """
 
 import argparse
 import json
 import sys
 
+RUN_REPORT_SCHEMA = "cdl-run-report/1"
+
 
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot load {path}: {e}")
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e.msg} at line "
+                 f"{e.lineno} column {e.colno}")
+
+
+def fail(msg):
+    sys.exit(f"error: {msg}")
+
+
+def require(doc, key, types, where):
+    """Presence + type check with a readable error."""
+    if key not in doc:
+        fail(f"{where}: missing required field '{key}'")
+    if not isinstance(doc[key], types):
+        names = (types if isinstance(types, tuple) else (types,))
+        fail(f"{where}: field '{key}' should be "
+             f"{'/'.join(t.__name__ for t in names)}, got "
+             f"{type(doc[key]).__name__} ({doc[key]!r})")
+    return doc[key]
 
 
 def gemm_gflops(doc, kernel):
     for row in doc.get("gemm", []):
         if row.get("kernel") == kernel:
             return float(row["gflops"])
-    sys.exit(f"error: no '{kernel}' row in gemm section")
+    fail(f"no '{kernel}' row in gemm section")
 
 
 def batch_rows(doc):
@@ -52,9 +86,169 @@ def batch_rows(doc):
     for row in doc.get("batch_inference", []):
         rows[row["network"]] = row
     if not rows:
-        sys.exit("error: empty batch_inference section")
+        fail("empty batch_inference section")
     return rows
 
+
+# --- attribution / perf schema (shared by bench rows and run reports) --------
+
+LAYER_ROW_KEYS = ("stage", "layer", "name", "span", "samples", "ops",
+                  "time_ns")
+PERF_VALUE_KEYS = ("cycles", "instructions", "cache_references",
+                   "cache_misses", "branch_misses")
+
+
+def check_layer_rows(rows, where):
+    total_ops = 0
+    total_time = 0
+    for i, row in enumerate(rows):
+        row_where = f"{where}[{i}]"
+        for key in LAYER_ROW_KEYS:
+            types = str if key == "name" else int
+            require(row, key, types, row_where)
+        for key in ("span", "samples", "ops", "time_ns"):
+            if row[key] < 0:
+                fail(f"{row_where}: '{key}' is negative ({row[key]})")
+        total_ops += row["ops"]
+        total_time += row["time_ns"]
+    return total_ops, total_time
+
+
+def check_parallel_for(pf, where):
+    for key in ("invocations", "items", "time_ns"):
+        require(pf, key, int, where)
+
+
+def check_perf_reading(reading, where):
+    available = require(reading, "available", bool, where)
+    require(reading, "wall_ns", int, where)
+    for key in PERF_VALUE_KEYS:
+        if key not in reading:
+            fail(f"{where}: missing counter field '{key}'")
+        value = reading[key]
+        if value is not None and not isinstance(value, int):
+            fail(f"{where}: counter '{key}' should be int or null, got "
+                 f"{type(value).__name__}")
+        if not available and value is not None:
+            fail(f"{where}: counters unavailable but '{key}' is not null "
+                 f"({value}) -- degraded readings must be null")
+
+
+def check_attribution(attr, where):
+    """One attributed pass (bench JSON); returns its exact OPS total."""
+    require(attr, "time_ns", int, where)
+    declared_ops = require(attr, "ops", int, where)
+    check_parallel_for(require(attr, "parallel_for", dict, where),
+                       f"{where}.parallel_for")
+    rows = require(attr, "rows", list, where)
+    row_ops, _ = check_layer_rows(rows, f"{where}.rows")
+    if row_ops != declared_ops:
+        fail(f"{where}: rows sum to {row_ops} OPS but 'ops' says "
+             f"{declared_ops}")
+    return declared_ops
+
+
+def validate_throughput_schema(doc, path):
+    """Validates the optional attribution/perf sections of each batch row and
+    the serial-vs-parallel attributed-OPS invariant. Returns the list of
+    networks that carried an attribution section."""
+    attributed = []
+    for net, row in sorted(batch_rows(doc).items()):
+        where = f"{path}:{net}"
+        if "attribution" in row:
+            attr = require(row, "attribution", dict, where)
+            serial_ops = check_attribution(
+                require(attr, "serial", dict, f"{where}.attribution"),
+                f"{where}.attribution.serial")
+            parallel_ops = check_attribution(
+                require(attr, "parallel", dict, f"{where}.attribution"),
+                f"{where}.attribution.parallel")
+            if serial_ops != parallel_ops:
+                fail(f"{where}: attributed OPS differ serial vs parallel "
+                     f"({serial_ops} vs {parallel_ops}) -- attribution "
+                     f"determinism broken")
+            attributed.append(net)
+        if "perf" in row:
+            perf = require(row, "perf", dict, where)
+            require(perf, "attempted", bool, f"{where}.perf")
+            check_perf_reading(require(perf, "reading", dict, f"{where}.perf"),
+                               f"{where}.perf.reading")
+    return attributed
+
+
+# --- run-report validation ----------------------------------------------------
+
+def validate_report(path, tolerance):
+    doc = load(path)
+    where = path
+    schema = require(doc, "schema", str, where)
+    if schema != RUN_REPORT_SCHEMA:
+        fail(f"{where}: schema is '{schema}', expected '{RUN_REPORT_SCHEMA}'")
+    require(doc, "tool", str, where)
+    require(doc, "network", str, where)
+    for key in ("threads", "samples", "seed", "total_time_ns", "total_ops",
+                "attributed_ops", "attributed_time_ns"):
+        require(doc, key, int, where)
+
+    rows = require(doc, "layer_profile", list, where)
+    row_ops, row_time = check_layer_rows(rows, f"{where}.layer_profile")
+    if row_ops != doc["attributed_ops"]:
+        fail(f"{where}: layer_profile rows sum to {row_ops} OPS but "
+             f"attributed_ops says {doc['attributed_ops']}")
+    if row_time != doc["attributed_time_ns"]:
+        fail(f"{where}: layer_profile rows sum to {row_time} ns but "
+             f"attributed_time_ns says {doc['attributed_time_ns']}")
+
+    # The load-bearing invariant: attribution reproduces the exit-accounted
+    # whole-run OPS bit-exactly, for any thread count.
+    if doc["attributed_ops"] != doc["total_ops"]:
+        fail(f"{where}: attributed_ops {doc['attributed_ops']} != total_ops "
+             f"{doc['total_ops']} -- per-layer attribution is broken")
+
+    # Time is measured around the region, attribution sits inside it, so the
+    # sums only agree approximately.
+    total_ns = doc["total_time_ns"]
+    if total_ns > 0:
+        drift = abs(doc["attributed_time_ns"] - total_ns) / total_ns
+        if drift > tolerance:
+            fail(f"{where}: attributed_time_ns {doc['attributed_time_ns']} "
+                 f"is {drift:.1%} away from total_time_ns {total_ns} "
+                 f"(tolerance {tolerance:.0%})")
+
+    check_parallel_for(require(doc, "parallel_for", dict, where),
+                       f"{where}.parallel_for")
+
+    perf = require(doc, "perf", dict, where)
+    require(perf, "attempted", bool, f"{where}.perf")
+    require(perf, "reason", str, f"{where}.perf")
+    check_perf_reading(require(perf, "reading", dict, f"{where}.perf"),
+                       f"{where}.perf.reading")
+
+    exit_profile = doc.get("exit_profile")
+    if exit_profile is not None:
+        if not isinstance(exit_profile, list):
+            fail(f"{where}: exit_profile should be a list or null")
+        exits = 0
+        for i, stage in enumerate(exit_profile):
+            stage_where = f"{where}.exit_profile[{i}]"
+            require(stage, "stage", str, stage_where)
+            exits += require(stage, "exits", int, stage_where)
+            require(stage, "accuracy", (int, float), stage_where)
+            require(stage, "exit_fraction", (int, float), stage_where)
+        if exits != doc["samples"]:
+            fail(f"{where}: exit_profile exits sum to {exits} but the run "
+                 f"classified {doc['samples']} samples")
+
+    metrics = doc.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        fail(f"{where}: metrics should be an object or null")
+
+    print(f"{path}: valid {RUN_REPORT_SCHEMA} ({doc['tool']}, "
+          f"{doc['samples']} samples, {len(rows)} attribution rows, "
+          f"ops exact, time within {tolerance:.0%})")
+
+
+# --- throughput comparison ----------------------------------------------------
 
 def check_workload_match(baseline, fresh):
     """Same seed / gemm_size / batch composition, else the diff is noise."""
@@ -72,26 +266,43 @@ def check_workload_match(baseline, fresh):
     if mismatches:
         for m in mismatches:
             print(f"workload mismatch -- {m}", file=sys.stderr)
-        sys.exit("error: runs are not comparable (did CDL_TEST_N or --seed "
-                 "change?); re-run both sides with the same workload")
+        fail("runs are not comparable (did CDL_TEST_N or --seed change?); "
+             "re-run both sides with the same workload")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--fresh", required=True,
+    ap.add_argument("--fresh",
                     help="freshly measured BENCH_throughput.json")
     ap.add_argument("--baseline", default="BENCH_throughput.json",
                     help="committed baseline JSON (default: %(default)s)")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="max tolerated fractional regression "
-                         "(default: %(default)s)")
+    ap.add_argument("--tolerance", "--threshold", type=float, default=0.15,
+                    dest="tolerance",
+                    help="max tolerated fractional regression / time "
+                         "attribution drift (default: %(default)s; "
+                         "--threshold is accepted as an alias)")
     ap.add_argument("--determinism-only", action="store_true",
                     help="skip the baseline comparison; only verify the "
-                         "fresh run's serial/threaded bit-identity")
+                         "fresh run's serial/threaded bit-identity and "
+                         "attribution invariants")
+    ap.add_argument("--validate-report", metavar="FILE",
+                    help="validate a cdl-run-report/1 JSON instead of "
+                         "comparing throughput runs")
     args = ap.parse_args()
+
+    if args.validate_report:
+        validate_report(args.validate_report, args.tolerance)
+        return
+    if not args.fresh:
+        ap.error("--fresh is required (or use --validate-report FILE)")
 
     fresh = load(args.fresh)
     failures = []
+
+    attributed = validate_throughput_schema(fresh, args.fresh)
+    if attributed:
+        print(f"attribution sections valid (serial == parallel OPS) for: "
+              f"{', '.join(attributed)}")
 
     if args.determinism_only:
         for net, row in sorted(batch_rows(fresh).items()):
@@ -100,8 +311,7 @@ def main():
             if not identical:
                 failures.append(f"{net} results_identical")
         if failures:
-            sys.exit(f"error: determinism guarantee broken in: "
-                     f"{', '.join(failures)}")
+            fail(f"determinism guarantee broken in: {', '.join(failures)}")
         print("bench determinism check passed")
         return
 
@@ -112,7 +322,7 @@ def main():
         ratio = fresh_val / base_val if base_val > 0 else float("inf")
         delta_pct = 100.0 * (ratio - 1.0)
         status = "ok"
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - args.tolerance:
             status = "REGRESSION"
             failures.append(label)
         print(f"{label:42s} baseline {base_val:12.2f}  "
@@ -134,9 +344,9 @@ def main():
                   f"guarantee broken", file=sys.stderr)
 
     if failures:
-        sys.exit(f"error: bench regression beyond {args.threshold:.0%} "
-                 f"tolerance in: {', '.join(failures)}")
-    print(f"bench check passed (tolerance {args.threshold:.0%})")
+        fail(f"bench regression beyond {args.tolerance:.0%} "
+             f"tolerance in: {', '.join(failures)}")
+    print(f"bench check passed (tolerance {args.tolerance:.0%})")
 
 
 if __name__ == "__main__":

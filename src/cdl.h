@@ -11,10 +11,14 @@
 #include "core/shape.h"     // IWYU pragma: export
 #include "core/tensor.h"    // IWYU pragma: export
 
-// Observability: tracing, metrics, exit profiles.
-#include "obs/exit_profile.h"  // IWYU pragma: export
-#include "obs/metrics.h"       // IWYU pragma: export
-#include "obs/trace.h"         // IWYU pragma: export
+// Observability: tracing, metrics, exit profiles, attribution, reports.
+#include "obs/exit_profile.h"   // IWYU pragma: export
+#include "obs/layer_profile.h"  // IWYU pragma: export
+#include "obs/metrics.h"        // IWYU pragma: export
+#include "obs/perf_counters.h"  // IWYU pragma: export
+#include "obs/registry.h"       // IWYU pragma: export
+#include "obs/run_report.h"     // IWYU pragma: export
+#include "obs/trace.h"          // IWYU pragma: export
 
 // Neural-network substrate.
 #include "nn/activations.h"  // IWYU pragma: export

@@ -8,9 +8,25 @@
 #include "core/thread_pool.h"
 #include "nn/serialize.h"
 #include "nn/softmax.h"
+#include "obs/layer_profile.h"
 #include "obs/trace.h"
 
 namespace cdl {
+
+namespace {
+
+/// Surviving-row floor below which stage segments run serially even when a
+/// pool is available. Late cascade stages often carry only a handful of
+/// survivors per tile; dispatching those through parallel_for costs more in
+/// fork/join barriers than the parallelism returns (the 0.94x regression
+/// BENCH_throughput.json recorded), and results are bit-identical either way.
+constexpr std::size_t kParallelMinRows = 32;
+
+ThreadPool* gate_pool(ThreadPool* pool, std::size_t rows) {
+  return rows < kParallelMinRows ? nullptr : pool;
+}
+
+}  // namespace
 
 ConditionalNetwork::ConditionalNetwork(Network baseline, Shape input_shape)
     : baseline_(std::move(baseline)), input_shape_(std::move(input_shape)) {
@@ -196,21 +212,32 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
                                 input_shape_.to_string());
   }
   CDL_TRACE_SPAN(classify_span, "classify", -1);
+  const bool profiling = obs::LayerProfiler::enabled();
   ClassificationResult result;
   Tensor x = input;
   std::size_t done_layers = 0;
 
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     CDL_TRACE_SPAN(stage_span, "stage", static_cast<std::int32_t>(s));
+    const obs::LayerProfiler::StageScope prof_scope(
+        static_cast<std::int32_t>(s));
     const Stage& stage = stages_[s];
     x = baseline_.infer_range(x, done_layers, stage.prefix_layers);
     done_layers = stage.prefix_layers;
     result.ops += stage_ops(s);
 
+    const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
     const Tensor probs = stage.classifier.probabilities(x);
     const ActivationModule gate(stage.delta_override.value_or(activation_.delta()),
                                 activation_.policy());
     const ActivationDecision decision = gate.evaluate(probs);
+    if (profiling) {
+      OpCount gate_ops = stage.classifier.forward_ops();
+      gate_ops += activation_.decision_ops(num_classes_);
+      obs::LayerProfiler::instance().record(
+          static_cast<std::int32_t>(s), obs::kStageLevel, "classifier+gate", 1,
+          1, gate_ops.total_compute(), obs::now_ns() - prof_t0);
+    }
     if (decision.terminate) {
       result.label = decision.label;
       result.exit_stage = s;
@@ -223,22 +250,42 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
 
   // Hardest path: run the remaining baseline layers and take the FC output.
   CDL_TRACE_SPAN(fc_span, "stage", static_cast<std::int32_t>(stages_.size()));
+  const obs::LayerProfiler::StageScope prof_scope(
+      static_cast<std::int32_t>(stages_.size()));
   x = baseline_.infer_range(x, done_layers, baseline_.size());
   result.ops += final_stage_ops();
+  const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
   const Tensor probs = softmax(x);
   result.label = probs.argmax();
   result.exit_stage = stages_.size();
   result.confidence = max_probability(probs);
   result.probabilities = probs;
+  if (profiling) {
+    OpCount fc_ops = softmax_ops(num_classes_);
+    fc_ops.compares += num_classes_ - 1;  // argmax scan
+    obs::LayerProfiler::instance().record(
+        static_cast<std::int32_t>(stages_.size()), obs::kStageLevel,
+        "softmax+argmax", 1, 1, fc_ops.total_compute(),
+        obs::now_ns() - prof_t0);
+  }
   CDL_TRACE_INSTANT("exit", static_cast<std::int32_t>(stages_.size()));
   return result;
 }
 
 ClassificationResult ConditionalNetwork::classify_baseline(
     const Tensor& input) const {
+  const bool profiling = obs::LayerProfiler::enabled();
   ClassificationResult result;
   const Tensor logits = baseline_.infer(input);
+  const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
   const Tensor probs = softmax(logits);
+  if (profiling) {
+    // classify_baseline's accounting adds softmax only (no argmax compares),
+    // so the attribution row mirrors that to keep the sums exact.
+    obs::LayerProfiler::instance().record(
+        obs::kNoStage, obs::kStageLevel, "softmax", 1, 1,
+        softmax_ops(num_classes_).total_compute(), obs::now_ns() - prof_t0);
+  }
   result.label = probs.argmax();
   result.exit_stage = stages_.size();
   result.confidence = max_probability(probs);
@@ -284,6 +331,7 @@ void ConditionalNetwork::classify_batch_into(
   CDL_TRACE_SPAN(batch_span, "classify_batch_staged",
                  static_cast<std::int32_t>(inputs.size()));
 
+  const bool profiling = obs::LayerProfiler::enabled();
   const std::size_t tile = ws.tile_;
   const std::size_t in_floats = input_shape_.numel();
   float* const feat[2] = {ws.arena_.data(ws.feat_[0]),
@@ -302,17 +350,22 @@ void ConditionalNetwork::classify_batch_into(
 
     for (std::size_t s = 0; s < stages_.size() && live > 0; ++s) {
       CDL_TRACE_SPAN(stage_span, "batch_stage", static_cast<std::int32_t>(s));
+      const obs::LayerProfiler::StageScope prof_scope(
+          static_cast<std::int32_t>(s));
       const BatchWorkspace::StageExec& ex = ws.stages_[s];
+      ThreadPool* const seg_pool = gate_pool(pool, live);
       float* nxt = feat[1 - cur_buf];
       float* scratch = ws.arena_.data(ex.scratch);
-      baseline_.infer_block_range(ex.seg, cur, nxt, live, scratch, pool);
+      baseline_.infer_block_range(ex.seg, cur, nxt, live, scratch, seg_pool);
       cur_buf = 1 - cur_buf;
       cur = nxt;
       const std::size_t feat_floats = ex.seg.out_floats;
+      const std::size_t entering = live;
+      const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
 
       float* probs = ws.arena_.data(ex.probs);
       stages_[s].classifier.probabilities_block(cur, live, probs, scratch,
-                                                pool);
+                                                seg_pool);
 
       const ActivationModule gate(
           stages_[s].delta_override.value_or(activation_.delta()),
@@ -341,6 +394,14 @@ void ConditionalNetwork::classify_batch_into(
         }
       }
       live = kept;
+      if (profiling) {
+        OpCount gate_ops = stages_[s].classifier.forward_ops();
+        gate_ops += activation_.decision_ops(num_classes_);
+        obs::LayerProfiler::instance().record(
+            static_cast<std::int32_t>(s), obs::kStageLevel, "classifier+gate",
+            1, entering, gate_ops.total_compute() * entering,
+            obs::now_ns() - prof_t0);
+      }
       CDL_TRACE_INSTANT("batch_survivors", static_cast<std::int32_t>(live));
     }
 
@@ -348,10 +409,14 @@ void ConditionalNetwork::classify_batch_into(
     // FC fallthrough for rows no stage resolved.
     CDL_TRACE_SPAN(fc_span, "batch_stage",
                    static_cast<std::int32_t>(stages_.size()));
+    const obs::LayerProfiler::StageScope prof_scope(
+        static_cast<std::int32_t>(stages_.size()));
     const BatchWorkspace::StageExec& ex = ws.final_;
     float* logits = ws.arena_.data(ex.probs);
     baseline_.infer_block_range(ex.seg, cur, logits, live,
-                                ws.arena_.data(ex.scratch), pool);
+                                ws.arena_.data(ex.scratch),
+                                gate_pool(pool, live));
+    const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
     for (std::size_t r = 0; r < live; ++r) {
       float* row = logits + r * num_classes_;
       softmax_into(row, row, num_classes_);
@@ -362,6 +427,14 @@ void ConditionalNetwork::classify_batch_into(
       res.confidence = max_probability(row, num_classes_);
       res.ops = exit_ops(stages_.size());
       store_probabilities(res.probabilities, row);
+    }
+    if (profiling) {
+      OpCount fc_ops = softmax_ops(num_classes_);
+      fc_ops.compares += num_classes_ - 1;  // argmax scan
+      obs::LayerProfiler::instance().record(
+          static_cast<std::int32_t>(stages_.size()), obs::kStageLevel,
+          "softmax+argmax", 1, live, fc_ops.total_compute() * live,
+          obs::now_ns() - prof_t0);
     }
   }
 }

@@ -51,7 +51,10 @@ class BatchWorkspace {
   /// kDefaultTile rows per worker (capped at 512 and at the batch size) so
   /// each stage-level parallel_for carries enough rows per worker to
   /// amortize its fork/join barrier. An explicitly planned workspace is
-  /// never re-tiled.
+  /// never re-tiled. Independently of the tile, classify_batch_into drops to
+  /// serial execution whenever a stage's surviving-row count falls below its
+  /// parallel floor — late stages with a handful of survivors pay more in
+  /// fork/join barriers than parallelism returns (see docs/OBSERVABILITY.md).
   [[nodiscard]] static std::size_t auto_tile(std::size_t count,
                                              std::size_t workers);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/layer_profile.h"
 #include "obs/trace.h"
 
 namespace cdl {
@@ -48,6 +49,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
   CDL_TRACE_SPAN(span, "parallel_for", static_cast<std::int32_t>(end - begin));
+  const bool profiling = obs::LayerProfiler::enabled();
+  const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
   const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -62,6 +65,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
+  if (profiling) {
+    // Dispatch + work + join barrier, as seen by the submitting thread: the
+    // fork/join floor the attribution profiler reports per run.
+    obs::LayerProfiler::instance().record_parallel_for(end - begin,
+                                                       obs::now_ns() - prof_t0);
+  }
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

@@ -9,6 +9,7 @@
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/pool2d.h"
+#include "obs/layer_profile.h"
 #include "obs/trace.h"
 
 namespace cdl {
@@ -47,8 +48,23 @@ Tensor Network::infer_range(const Tensor& input, std::size_t begin,
                             std::size_t end) const {
   check_range(begin, end);
   CDL_TRACE_SPAN(span, "infer_range", static_cast<std::int32_t>(end));
+  const bool profiling = obs::LayerProfiler::enabled();
+  const std::int32_t prof_stage =
+      profiling ? obs::LayerProfiler::current_stage() : obs::kNoStage;
   Tensor x = input;
-  for (std::size_t i = begin; i < end; ++i) x = layers_[i]->infer(x);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!profiling) {
+      x = layers_[i]->infer(x);
+      continue;
+    }
+    const std::uint64_t t0 = obs::now_ns();
+    Tensor y = layers_[i]->infer(x);
+    const std::uint64_t t1 = obs::now_ns();
+    obs::LayerProfiler::instance().record(
+        prof_stage, static_cast<std::int32_t>(i), layers_[i]->name(), 1, 1,
+        layers_[i]->forward_ops(x.shape()).total_compute(), t1 - t0);
+    x = std::move(y);
+  }
   return x;
 }
 
@@ -96,6 +112,15 @@ BlockPlan Network::plan_block_range(const Shape& in_shape, std::size_t begin,
       scratch = layers_[i]->infer_block_scratch_floats(s, count, workers);
     }
     plan.step_scratch_floats = std::max(plan.step_scratch_floats, scratch);
+    OpCount step_ops;
+    Shape model_shape = s;
+    for (std::size_t j = i; j < i + step.span; ++j) {
+      if (j > i) step.name += '+';
+      step.name += layers_[j]->name();
+      step_ops += layers_[j]->forward_ops(model_shape);
+      model_shape = layers_[j]->output_shape(model_shape);
+    }
+    step.ops = step_ops.total_compute();
     s = step.out_shape;
     i += step.span;
     plan.steps.push_back(std::move(step));
@@ -123,6 +148,9 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
     if (out != in) std::memcpy(out, in, count * plan.in_floats * sizeof(float));
     return;
   }
+  const bool profiling = obs::LayerProfiler::enabled();
+  const std::int32_t prof_stage =
+      profiling ? obs::LayerProfiler::current_stage() : obs::kNoStage;
   float* ping = scratch;
   float* pong = scratch + plan.ping_floats;
   float* step_scratch = scratch + 2 * plan.ping_floats;
@@ -130,6 +158,7 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
   const std::size_t last = plan.steps.size() - 1;
   for (std::size_t s = 0; s < plan.steps.size(); ++s) {
     const BlockStep& step = plan.steps[s];
+    const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
     float* dst = s == last ? out : (s % 2 == 0 ? ping : pong);
     if (step.span == 3) {
       const auto& conv = static_cast<const Conv2D&>(*layers_[step.first]);
@@ -175,6 +204,11 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
     } else {
       layers_[step.first]->infer_block(step.in_shape, cur, dst, count,
                                        step_scratch, pool);
+    }
+    if (profiling) {
+      obs::LayerProfiler::instance().record(
+          prof_stage, static_cast<std::int32_t>(step.first), step.name,
+          step.span, count, step.ops * count, obs::now_ns() - prof_t0);
     }
     cur = dst;
   }

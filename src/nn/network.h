@@ -7,6 +7,7 @@
 // only continues into the next range if the activation module demands it.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,13 @@ struct BlockStep {
   Shape in_shape;         ///< per-sample input shape of the step
   Shape out_shape;        ///< per-sample output shape of the step
   Shape conv_out;         ///< raw convolution output shape (fused steps only)
+  std::string name;       ///< layer name, "a+b+c" when fused
+  /// Per-sample modeled cost (OpCount::total_compute) of the step's layers,
+  /// resolved at plan time so the profiled hot path never recomputes it.
+  /// Follows the layer_ops() model — the fused activation is costed at the
+  /// pre-pool shape even though execution applies it post-pool — keeping
+  /// attribution rows bit-consistent with the exit_ops() accounting.
+  std::uint64_t ops = 0;
 };
 
 /// Precomputed execution plan for infer_block_range. Step decomposition,

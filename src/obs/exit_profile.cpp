@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace cdl::obs {
 
 ExitProfile::ExitProfile(std::vector<std::string> stage_names) {
@@ -104,6 +106,56 @@ void ExitProfile::write_csv(std::ostream& os) const {
                   s.confidence.quantile(0.5), s.confidence.quantile(0.95),
                   entering_fraction(i), surviving_fraction(i));
     os << line;
+  }
+}
+
+void ExitProfile::export_to_registry(Registry& registry,
+                                     const std::string& prefix) const {
+  registry
+      .counter(prefix + "_samples", "Inputs classified by the cascade")
+      .inc(static_cast<double>(total_));
+  registry
+      .counter(prefix + "_ops", "Total OPS spent across all inputs")
+      .inc(sum_ops_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageExit& s = stages_[i];
+    const Labels labels = {{"stage", s.name}};
+    registry
+        .counter(prefix + "_stage_exits",
+                 "Inputs that terminated at this stage", labels)
+        .inc(static_cast<double>(s.exits));
+    registry
+        .counter(prefix + "_stage_correct",
+                 "Correctly labeled inputs that terminated at this stage",
+                 labels)
+        .inc(static_cast<double>(s.correct));
+    registry
+        .counter(prefix + "_stage_ops",
+                 "OPS spent by inputs that terminated at this stage", labels)
+        .inc(s.sum_ops);
+    registry
+        .gauge(prefix + "_stage_accuracy",
+               "Accuracy over inputs that terminated at this stage", labels)
+        .set(s.accuracy());
+    registry
+        .gauge(prefix + "_stage_exit_fraction",
+               "Fraction of all inputs that terminated at this stage", labels)
+        .set(exit_fraction(i));
+    registry
+        .gauge(prefix + "_stage_entering_fraction",
+               "Fraction of all inputs that entered this stage", labels)
+        .set(entering_fraction(i));
+    registry
+        .gauge(prefix + "_stage_surviving_fraction",
+               "Fraction of all inputs still alive after this stage's exit",
+               labels)
+        .set(surviving_fraction(i));
+    registry
+        .histogram(prefix + "_stage_confidence",
+                   "Gate confidence at the exit decision",
+                   s.confidence.lo(), s.confidence.hi(),
+                   s.confidence.num_bins(), labels)
+        .merge(s.confidence);
   }
 }
 

@@ -16,6 +16,8 @@
 
 namespace cdl::obs {
 
+class Registry;
+
 struct StageExit {
   std::string name;             ///< "O1".."On", "FC"
   std::size_t exits = 0;        ///< inputs that terminated here
@@ -65,6 +67,14 @@ class ExitProfile {
   /// stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,conf_p95,
   /// entering,surviving
   void write_csv(std::ostream& os) const;
+
+  /// Exports the profile into `registry` as `<prefix>_...` families: per-stage
+  /// exit/correct/ops counters, accuracy and cascade-fraction gauges, and the
+  /// confidence histograms, each sample labeled {stage="<name>"} — the shape
+  /// `cdl_eval --metrics-out` exposes in OpenMetrics text. Re-exporting into
+  /// the same registry accumulates counters and merges histograms.
+  void export_to_registry(Registry& registry,
+                          const std::string& prefix = "cdl") const;
 
   friend bool operator==(const ExitProfile&, const ExitProfile&) = default;
 

@@ -1,0 +1,120 @@
+#include "obs/layer_profile.h"
+
+#include <climits>
+
+namespace cdl::obs {
+
+namespace {
+
+thread_local std::int32_t tls_current_stage = kNoStage;
+
+/// kStageLevel sorts after every real layer index of its stage.
+std::int32_t sort_layer(std::int32_t layer) {
+  return layer == kStageLevel ? INT32_MAX : layer;
+}
+
+}  // namespace
+
+LayerProfiler& LayerProfiler::instance() {
+  static LayerProfiler profiler;
+  return profiler;
+}
+
+LayerProfiler::ThreadState& LayerProfiler::local() {
+  thread_local std::shared_ptr<ThreadState> tls;
+  if (!tls) {
+    tls = std::make_shared<ThreadState>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(tls);
+  }
+  return *tls;
+}
+
+void LayerProfiler::record(std::int32_t stage, std::int32_t layer,
+                           const std::string& name, std::uint64_t span,
+                           std::uint64_t samples, std::uint64_t ops,
+                           std::uint64_t time_ns) {
+  Cell& cell = local().cells[Key{stage, sort_layer(layer), name}];
+  cell.span = span;
+  ++cell.calls;
+  cell.samples += samples;
+  cell.ops += ops;
+  cell.time_ns += time_ns;
+}
+
+void LayerProfiler::record_parallel_for(std::uint64_t items,
+                                        std::uint64_t time_ns) {
+  ParallelForStats& stats = local().parallel_for;
+  ++stats.invocations;
+  stats.items += items;
+  stats.time_ns += time_ns;
+}
+
+void LayerProfiler::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = threads_.begin();
+  while (it != threads_.end()) {
+    if (it->use_count() == 1) {
+      it = threads_.erase(it);  // owning thread exited; forget its table
+    } else {
+      (*it)->cells.clear();
+      (*it)->parallel_for = ParallelForStats{};
+      ++it;
+    }
+  }
+}
+
+std::vector<LayerProfileRow> LayerProfiler::snapshot() const {
+  std::map<Key, Cell> merged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t : threads_) {
+      for (const auto& [key, cell] : t->cells) {
+        Cell& m = merged[key];
+        m.span = cell.span;
+        m.calls += cell.calls;
+        m.samples += cell.samples;
+        m.ops += cell.ops;
+        m.time_ns += cell.time_ns;
+      }
+    }
+  }
+  std::vector<LayerProfileRow> rows;
+  rows.reserve(merged.size());
+  for (const auto& [key, cell] : merged) {
+    LayerProfileRow row;
+    row.stage = std::get<0>(key);
+    row.layer =
+        std::get<1>(key) == INT32_MAX ? kStageLevel : std::get<1>(key);
+    row.name = std::get<2>(key);
+    row.span = cell.span;
+    row.calls = cell.calls;
+    row.samples = cell.samples;
+    row.ops = cell.ops;
+    row.time_ns = cell.time_ns;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+LayerProfiler::ParallelForStats LayerProfiler::parallel_for_stats() const {
+  ParallelForStats total;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& t : threads_) {
+    total.invocations += t->parallel_for.invocations;
+    total.items += t->parallel_for.items;
+    total.time_ns += t->parallel_for.time_ns;
+  }
+  return total;
+}
+
+std::int32_t LayerProfiler::current_stage() { return tls_current_stage; }
+
+LayerProfiler::StageScope::StageScope(std::int32_t stage)
+    : previous_(tls_current_stage) {
+  tls_current_stage = stage;
+}
+
+LayerProfiler::StageScope::~StageScope() { tls_current_stage = previous_; }
+
+}  // namespace cdl::obs

@@ -1,0 +1,135 @@
+// LayerProfiler: per-layer x per-cascade-stage attribution of time, OPS and
+// achieved throughput for the inference stack.
+//
+// Recording follows the tracer's pattern: each thread owns a private
+// accumulation table it alone writes, registered once under a mutex, and a
+// disabled profiler costs one relaxed atomic load per instrumented site.
+// snapshot() merges the per-thread tables by (stage, layer, name) — uint64
+// addition commutes, so the merged counts are deterministic for any thread
+// count — and returns rows sorted in cascade order.
+//
+// The cascade stage a measurement belongs to travels as a thread-local set
+// by StageScope (ConditionalNetwork's batch and per-image drivers open one
+// per stage); work outside any scope lands on kNoStage. OPS are recorded
+// from the layers' own OpCount models (integer, per-sample), so summing the
+// snapshot's ops column reproduces the run's total OPS bit-exactly — the
+// invariant cdl_eval's run report and test_layer_profile assert.
+//
+// snapshot() reads other threads' tables without locking the writers: call
+// it only when no profiled work is in flight (e.g. after classify_batch
+// returned, which establishes the necessary happens-before).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace cdl::obs {
+
+/// Stage value for work that runs outside any cascade stage (plain Network
+/// batches, baseline evaluation).
+inline constexpr std::int32_t kNoStage = -1;
+
+/// Layer value for stage-level costs that belong to no baseline layer (the
+/// stage's linear classifier + exit gate, the final softmax/argmax).
+inline constexpr std::int32_t kStageLevel = -1;
+
+struct LayerProfileRow {
+  std::int32_t stage = kNoStage;  ///< cascade stage, kNoStage outside
+  std::int32_t layer = kStageLevel;  ///< first baseline layer of the step
+  std::string name;               ///< layer name, "a+b+c" for fused steps
+  std::uint64_t span = 1;         ///< baseline layers covered by the row
+  std::uint64_t calls = 0;        ///< instrumented executions
+  std::uint64_t samples = 0;      ///< rows (images) processed
+  std::uint64_t ops = 0;          ///< total_compute, exact
+  std::uint64_t time_ns = 0;
+
+  /// Achieved giga-ops per second (OPS counts one MAC as two operations, so
+  /// for GEMM-dominated layers this is the usual GFLOP/s figure).
+  [[nodiscard]] double gops() const {
+    return time_ns == 0 ? 0.0
+                        : static_cast<double>(ops) /
+                              static_cast<double>(time_ns);
+  }
+};
+
+class LayerProfiler {
+ public:
+  static LayerProfiler& instance();
+
+  [[nodiscard]] static bool enabled() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Accumulates one instrumented execution into the calling thread's table.
+  /// Works regardless of enabled(); instrumentation sites do the enabled()
+  /// check so the disabled hot path never reaches this call.
+  void record(std::int32_t stage, std::int32_t layer, const std::string& name,
+              std::uint64_t span, std::uint64_t samples, std::uint64_t ops,
+              std::uint64_t time_ns);
+
+  /// Fork/join accounting: one ThreadPool::parallel_for dispatch of `items`
+  /// taking `time_ns` on the calling thread (barrier included).
+  void record_parallel_for(std::uint64_t items, std::uint64_t time_ns);
+
+  /// Drops all accumulated rows; forgets threads that have exited.
+  void clear();
+
+  /// Merged rows sorted by (stage, layer, name); stage-level rows (layer ==
+  /// kStageLevel) sort after their stage's baseline layers.
+  [[nodiscard]] std::vector<LayerProfileRow> snapshot() const;
+
+  struct ParallelForStats {
+    std::uint64_t invocations = 0;
+    std::uint64_t items = 0;
+    std::uint64_t time_ns = 0;
+  };
+  [[nodiscard]] ParallelForStats parallel_for_stats() const;
+
+  /// Cascade stage the calling thread is currently attributing to.
+  [[nodiscard]] static std::int32_t current_stage();
+
+  /// RAII thread-local stage context; nests (restores the previous stage).
+  class StageScope {
+   public:
+    explicit StageScope(std::int32_t stage);
+    ~StageScope();
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+   private:
+    std::int32_t previous_;
+  };
+
+ private:
+  LayerProfiler() = default;
+
+  // Keyed by (stage, sort-mapped layer, name); kStageLevel maps to
+  // INT32_MAX so a stage's classifier/gate row follows its layer rows.
+  using Key = std::tuple<std::int32_t, std::int32_t, std::string>;
+  struct Cell {
+    std::uint64_t span = 1;
+    std::uint64_t calls = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t time_ns = 0;
+  };
+  struct ThreadState {
+    std::map<Key, Cell> cells;
+    ParallelForStats parallel_for;
+  };
+
+  ThreadState& local();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  ///< guards threads_
+  std::vector<std::shared_ptr<ThreadState>> threads_;
+};
+
+}  // namespace cdl::obs

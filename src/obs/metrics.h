@@ -42,6 +42,9 @@ class Histogram {
   /// Exact mean of recorded non-NaN values (0 when empty).
   [[nodiscard]] double mean() const;
 
+  /// Exact sum of recorded non-NaN values (exposition's `_sum` sample).
+  [[nodiscard]] double sum() const { return sum_; }
+
   /// Bin-interpolated quantile, q in [0, 1]; underflow contributes at lo,
   /// overflow at hi. Returns 0 when empty. Deterministic.
   [[nodiscard]] double quantile(double q) const;

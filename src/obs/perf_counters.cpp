@@ -1,0 +1,189 @@
+#include "obs/perf_counters.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cdl::obs {
+
+namespace {
+
+#if defined(__linux__)
+constexpr std::uint64_t kEventConfigs[PerfGroup::kNumEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+#endif
+
+}  // namespace
+
+double PerfReading::ipc() const {
+  if (!cycles.valid || !instructions.valid || cycles.value == 0) return 0.0;
+  return static_cast<double>(instructions.value) /
+         static_cast<double>(cycles.value);
+}
+
+double PerfReading::cache_miss_rate() const {
+  if (!cache_references.valid || !cache_misses.valid ||
+      cache_references.value == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cache_misses.value) /
+         static_cast<double>(cache_references.value);
+}
+
+double PerfReading::multiplex_ratio() const {
+  if (time_enabled_ns == 0) return 1.0;
+  return static_cast<double>(time_running_ns) /
+         static_cast<double>(time_enabled_ns);
+}
+
+std::string PerfReading::summary(const std::string& reason) const {
+  char line[256];
+  if (!available) {
+    std::snprintf(line, sizeof line,
+                  "perf: hardware counters unavailable%s%s%s, wall %.3f ms",
+                  reason.empty() ? "" : " (", reason.c_str(),
+                  reason.empty() ? "" : ")",
+                  static_cast<double>(wall_ns) / 1e6);
+    return line;
+  }
+  std::snprintf(line, sizeof line,
+                "perf: %.3e cycles, %.3e instructions (ipc %.2f), cache-miss "
+                "%.1f %%, %.3e branch-misses, sched %.0f %%, wall %.3f ms",
+                static_cast<double>(cycles.value),
+                static_cast<double>(instructions.value), ipc(),
+                100.0 * cache_miss_rate(),
+                static_cast<double>(branch_misses.value),
+                100.0 * multiplex_ratio(),
+                static_cast<double>(wall_ns) / 1e6);
+  return line;
+}
+
+PerfGroup::PerfGroup() {
+  for (int& fd : fds_) fd = -1;
+#if defined(__linux__)
+  int first_errno = 0;
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof attr;
+    attr.config = kEventConfigs[i];
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;  // userspace-only needs a lower paranoid level
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const long fd = perf_event_open(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+      fds_[i] = static_cast<int>(fd);
+      available_ = true;
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  if (!available_) {
+    if (first_errno == EACCES || first_errno == EPERM) {
+      reason_ = "perf_event_open: permission denied -- check "
+                "kernel.perf_event_paranoid (see docs/OBSERVABILITY.md)";
+    } else {
+      reason_ = std::string("perf_event_open: ") + std::strerror(first_errno);
+    }
+  }
+#else
+  reason_ = "perf_event_open is Linux-only";
+#endif
+}
+
+PerfGroup::~PerfGroup() {
+#if defined(__linux__)
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+void PerfGroup::start() {
+#if defined(__linux__)
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+  wall_start_ = now_ns();
+  started_ = true;
+}
+
+PerfReading PerfGroup::stop() {
+  PerfReading reading;
+  reading.wall_ns = started_ ? now_ns() - wall_start_ : 0;
+  started_ = false;
+#if defined(__linux__)
+  PerfValue* const values[kNumEvents] = {
+      &reading.cycles, &reading.instructions, &reading.cache_references,
+      &reading.cache_misses, &reading.branch_misses};
+  for (int i = 0; i < kNumEvents; ++i) {
+    const int fd = fds_[i];
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+    if (read(fd, buf, sizeof buf) != static_cast<ssize_t>(sizeof buf)) continue;
+    if (buf[2] == 0) continue;  // never scheduled onto the PMU
+    values[i]->valid = true;
+    values[i]->value = buf[0];
+    reading.time_enabled_ns = std::max(reading.time_enabled_ns, buf[1]);
+    reading.time_running_ns = std::max(reading.time_running_ns, buf[2]);
+    reading.available = true;
+  }
+#endif
+  return reading;
+}
+
+void write_perf_json(std::ostream& os, const PerfReading& reading) {
+  const auto field = [&os](const char* name, const PerfValue& v,
+                           bool trailing_comma = true) {
+    os << '"' << name << "\": ";
+    if (v.valid) {
+      os << v.value;
+    } else {
+      os << "null";
+    }
+    if (trailing_comma) os << ", ";
+  };
+  os << "{\"available\": " << (reading.available ? "true" : "false")
+     << ", \"wall_ns\": " << reading.wall_ns << ", \"time_enabled_ns\": "
+     << reading.time_enabled_ns << ", \"time_running_ns\": "
+     << reading.time_running_ns << ", ";
+  field("cycles", reading.cycles);
+  field("instructions", reading.instructions);
+  field("cache_references", reading.cache_references);
+  field("cache_misses", reading.cache_misses);
+  field("branch_misses", reading.branch_misses, false);
+  char tail[96];
+  std::snprintf(tail, sizeof tail,
+                ", \"ipc\": %.4f, \"cache_miss_rate\": %.6f, "
+                "\"multiplex_ratio\": %.4f}",
+                reading.ipc(), reading.cache_miss_rate(),
+                reading.multiplex_ratio());
+  os << tail;
+}
+
+}  // namespace cdl::obs

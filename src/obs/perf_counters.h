@@ -1,0 +1,94 @@
+// Hardware performance counters via perf_event_open, with a graceful
+// wall-clock-only fallback.
+//
+// A PerfGroup opens the five counters the attribution profiler cares about
+// (cycles, instructions, cache-references, cache-misses, branch-misses) as
+// plain per-thread userspace events. Opening can fail for many legitimate
+// reasons — containers and CI runners usually deny the syscall
+// (kernel.perf_event_paranoid, seccomp), some VMs virtualize no PMU, and
+// non-Linux platforms lack the syscall entirely — so failure is never an
+// error: available() turns false, readings keep their wall-clock field, and
+// every hardware field degrades to "invalid" (exported as JSON null).
+//
+// Counters may also be individually unsupported (e.g. cache events on some
+// PMUs): each PerfValue carries its own validity. When the kernel multiplexes
+// the group, time_running < time_enabled and multiplex_ratio() reports the
+// scheduled fraction; values are reported raw (unscaled) so they stay exact.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cdl::obs {
+
+/// One hardware counter value; invalid when the event could not be opened or
+/// never got PMU time.
+struct PerfValue {
+  bool valid = false;
+  std::uint64_t value = 0;
+};
+
+struct PerfReading {
+  bool available = false;      ///< at least one hardware counter read
+  std::uint64_t wall_ns = 0;   ///< steady-clock span; always measured
+  std::uint64_t time_enabled_ns = 0;  ///< max over counters (0 if none)
+  std::uint64_t time_running_ns = 0;
+  PerfValue cycles;
+  PerfValue instructions;
+  PerfValue cache_references;
+  PerfValue cache_misses;
+  PerfValue branch_misses;
+
+  /// Instructions per cycle; 0 when either counter is invalid or zero.
+  [[nodiscard]] double ipc() const;
+  /// Cache miss rate (misses / references); 0 when unavailable.
+  [[nodiscard]] double cache_miss_rate() const;
+  /// time_running / time_enabled (1.0 when the group was never multiplexed
+  /// or no counter opened).
+  [[nodiscard]] double multiplex_ratio() const;
+
+  /// Single human-readable line ("perf: 1.23e9 cycles, ipc 2.10, ..." or
+  /// "perf: hardware counters unavailable (<reason>), wall 12.3 ms").
+  [[nodiscard]] std::string summary(const std::string& reason = "") const;
+};
+
+/// Scoped ownership of the five-event group. Never throws on counter
+/// unavailability; copy is disabled because the fds are owned.
+class PerfGroup {
+ public:
+  static constexpr int kNumEvents = 5;
+
+  PerfGroup();
+  ~PerfGroup();
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// True when at least one hardware event opened.
+  [[nodiscard]] bool available() const { return available_; }
+  /// Why no hardware event opened ("" while available()). Mentions
+  /// kernel.perf_event_paranoid on permission errors.
+  [[nodiscard]] const std::string& unavailable_reason() const {
+    return reason_;
+  }
+
+  /// Resets and enables every opened counter and anchors the wall clock.
+  void start();
+  /// Disables the counters and returns the deltas since start(). Without a
+  /// prior start() the reading is wall-only zeros.
+  PerfReading stop();
+
+ private:
+  int fds_[kNumEvents];
+  bool available_ = false;
+  std::string reason_;
+  std::uint64_t wall_start_ = 0;
+  bool started_ = false;
+};
+
+/// JSON object for a reading: hardware fields are numbers when valid, null
+/// otherwise; wall_ns is always a number. `{"available": false, ...}` is the
+/// degraded container/CI shape the run-report schema promises.
+void write_perf_json(std::ostream& os, const PerfReading& reading);
+
+}  // namespace cdl::obs

@@ -1,0 +1,294 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdl::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON value for a possibly non-finite double.
+std::string json_value(double value) {
+  if (!std::isfinite(value)) return "null";
+  return render_value(value);
+}
+
+/// Merges extra labels into a rendered label set: `base` is the canonical
+/// rendering (may be ""), `extra` a single pre-escaped k="v" item.
+std::string labels_with(const std::string& base, const std::string& extra) {
+  if (base.empty()) return "{" + extra + "}";
+  std::string out = base;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void Counter::inc(double delta) {
+  if (!(delta >= 0.0) || !std::isfinite(delta)) {
+    throw std::invalid_argument("Counter::inc: delta must be finite and >= 0");
+  }
+  value_ += delta;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!valid_metric_name(sorted[i].first)) {
+      throw std::invalid_argument("Registry: invalid label name '" +
+                                  sorted[i].first + "'");
+    }
+    if (i != 0) out += ',';
+    out += sorted[i].first + "=\"" + escape_label_value(sorted[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_value(double value) {
+  char buf[40];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    // %.17g round-trips every finite double; non-finite renders as the
+    // OpenMetrics spellings nan/+Inf/-Inf via explicit checks.
+    if (std::isnan(value)) return "NaN";
+    if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  return buf;
+}
+
+Registry::Metric& Registry::sample(const std::string& name,
+                                   const std::string& help,
+                                   const Labels& labels, MetricType type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("Registry: invalid metric name '" + name + "'");
+  }
+  const std::string key = render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    throw std::invalid_argument("Registry: metric '" + name +
+                                "' already registered as " +
+                                to_string(family.type));
+  }
+  auto [sit, sample_inserted] = family.samples.try_emplace(key);
+  if (sample_inserted) {
+    sit->second = std::make_unique<Metric>();
+    sit->second->type = type;
+  }
+  return *sit->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  return sample(name, help, labels, MetricType::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  return sample(name, help, labels, MetricType::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               double lo, double hi, std::size_t bins,
+                               const Labels& labels) {
+  Metric& m = sample(name, help, labels, MetricType::kHistogram);
+  if (!m.hist) {
+    m.hist = std::make_unique<Histogram>(lo, hi, bins);
+  } else if (m.hist->lo() != lo || m.hist->hi() != hi ||
+             m.hist->num_bins() != bins) {
+    throw std::invalid_argument("Registry: histogram '" + name +
+                                "' already registered with a different layout");
+  }
+  return *m.hist;
+}
+
+std::size_t Registry::num_families() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+std::size_t Registry::num_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.samples.size();
+  return n;
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+}
+
+void Registry::write_openmetrics(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      os << "# HELP " << name << ' ' << family.help << '\n';
+    }
+    os << "# TYPE " << name << ' ' << to_string(family.type) << '\n';
+    for (const auto& [labels, metric] : family.samples) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          os << name << "_total" << labels << ' '
+             << render_value(metric->counter.value()) << '\n';
+          break;
+        case MetricType::kGauge:
+          os << name << labels << ' ' << render_value(metric->gauge.value())
+             << '\n';
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *metric->hist;
+          // Cumulative buckets; values below `lo` are <= every bound, so the
+          // underflow mass seeds the running total, and the +Inf bucket adds
+          // the overflow mass.
+          std::uint64_t cum = h.underflow();
+          for (std::size_t b = 0; b < h.num_bins(); ++b) {
+            cum += h.bins()[b];
+            os << name << "_bucket"
+               << labels_with(labels,
+                              "le=\"" + render_value(h.bin_hi(b)) + '"')
+               << ' ' << cum << '\n';
+          }
+          os << name << "_bucket" << labels_with(labels, "le=\"+Inf\"") << ' '
+             << h.count() << '\n';
+          os << name << "_count" << labels << ' ' << h.count() << '\n';
+          os << name << "_sum" << labels << ' ' << render_value(h.sum())
+             << '\n';
+          os << name << "_underflow" << labels << ' ' << h.underflow() << '\n';
+          os << name << "_overflow" << labels << ' ' << h.overflow() << '\n';
+          os << name << "_nan" << labels << ' ' << h.nan_count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+  os << "# EOF\n";
+}
+
+std::string Registry::openmetrics() const {
+  std::ostringstream os;
+  write_openmetrics(os);
+  return os.str();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) os << ",";
+    first_family = false;
+    os << "\n  \"" << escape_json(name) << "\": {\"type\": \""
+       << to_string(family.type) << "\", \"help\": \""
+       << escape_json(family.help) << "\", \"samples\": [";
+    bool first_sample = true;
+    for (const auto& [labels, metric] : family.samples) {
+      if (!first_sample) os << ",";
+      first_sample = false;
+      os << "\n    {\"labels\": \"" << escape_json(labels) << "\", ";
+      switch (family.type) {
+        case MetricType::kCounter:
+          os << "\"value\": " << json_value(metric->counter.value());
+          break;
+        case MetricType::kGauge:
+          os << "\"value\": " << json_value(metric->gauge.value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *metric->hist;
+          os << "\"lo\": " << render_value(h.lo())
+             << ", \"hi\": " << render_value(h.hi()) << ", \"bins\": [";
+          for (std::size_t b = 0; b < h.num_bins(); ++b) {
+            os << (b == 0 ? "" : ", ") << h.bins()[b];
+          }
+          os << "], \"count\": " << h.count() << ", \"sum\": "
+             << json_value(h.sum()) << ", \"underflow\": " << h.underflow()
+             << ", \"overflow\": " << h.overflow() << ", \"nan\": "
+             << h.nan_count();
+          break;
+        }
+      }
+      os << "}";
+    }
+    os << (first_sample ? "]}" : "\n  ]}");
+  }
+  os << (first_family ? "}" : "\n}");
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace cdl::obs

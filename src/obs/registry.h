@@ -1,0 +1,125 @@
+// Metrics registry: named Counter/Gauge/Histogram instruments with labels,
+// deterministic snapshots, OpenMetrics text exposition and JSON export.
+//
+// The registry is the pull-side of the observability stack: code under
+// measurement registers instruments once and bumps them; exporters walk the
+// registry and render every sample in a canonical order (families sorted by
+// name, samples sorted by canonicalized label set), so two registries fed the
+// same values render byte-identical text regardless of registration order.
+// Registration is guarded by a mutex; the returned instrument references are
+// stable for the registry's lifetime. Individual increments are NOT
+// synchronized — aggregate serially (the repo-wide determinism convention)
+// or guard concurrent writers externally.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdl::obs {
+
+/// Label key/value pairs attached to one sample of a metric family. Order is
+/// irrelevant: the registry canonicalizes by sorting on the key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricType type);
+
+/// Monotonically increasing value (totals: samples seen, OPS spent).
+class Counter {
+ public:
+  /// Adds `delta` (>= 0, finite); throws std::invalid_argument otherwise.
+  void inc(double delta = 1.0);
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Instantaneous value (fractions, ratios, configuration echoes).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the counter for (name, labels), creating it on first use.
+  /// Throws std::invalid_argument on an invalid metric/label name or when
+  /// `name` already exists with a different type.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  /// The histogram uses the fixed-bin layout of obs::Histogram; re-requesting
+  /// an existing sample with a different layout throws.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       double lo, double hi, std::size_t bins,
+                       const Labels& labels = {});
+
+  [[nodiscard]] std::size_t num_families() const;
+  [[nodiscard]] std::size_t num_samples() const;
+  void clear();
+
+  /// OpenMetrics-style text: # HELP/# TYPE headers, one line per sample,
+  /// counters suffixed _total, histograms as cumulative _bucket{le=...}
+  /// plus _count/_sum and explicit _underflow/_overflow/_nan auxiliaries
+  /// (obs::Histogram tracks those separately; standard exposition would
+  /// silently fold or drop them). Deterministic byte-for-byte for equal
+  /// contents.
+  void write_openmetrics(std::ostream& os) const;
+  [[nodiscard]] std::string openmetrics() const;
+
+  /// The same snapshot as a JSON object keyed by family name. Non-finite
+  /// gauge values are emitted as null (JSON has no NaN/Inf).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  struct Metric {
+    MetricType type = MetricType::kCounter;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    /// Keyed by the canonical rendered label set ("" for no labels); map
+    /// iteration order makes exposition deterministic.
+    std::map<std::string, std::unique_ptr<Metric>> samples;
+  };
+
+  Metric& sample(const std::string& name, const std::string& help,
+                 const Labels& labels, MetricType type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Canonical `{k="v",...}` rendering (keys sorted, values escaped); empty
+/// labels render as "". Exposed for exporters and tests.
+[[nodiscard]] std::string render_labels(const Labels& labels);
+
+/// Deterministic number rendering shared by both exporters: integers without
+/// a decimal point, everything else with round-trippable precision.
+[[nodiscard]] std::string render_value(double value);
+
+}  // namespace cdl::obs

@@ -1,0 +1,129 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cdl::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t RunReport::attributed_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& row : layers) total += row.ops;
+  return total;
+}
+
+std::uint64_t RunReport::attributed_time_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& row : layers) total += row.time_ns;
+  return total;
+}
+
+namespace {
+
+void write_layer_row(std::ostream& os, const LayerProfileRow& row) {
+  os << "    {\"stage\": " << row.stage << ", \"layer\": " << row.layer
+     << ", \"name\": \"" << json_escape(row.name) << "\", \"span\": "
+     << row.span << ", \"calls\": " << row.calls << ", \"samples\": "
+     << row.samples << ", \"ops\": " << row.ops << ", \"time_ns\": "
+     << row.time_ns;
+  char gops[48];
+  std::snprintf(gops, sizeof gops, ", \"gops\": %.4f}", row.gops());
+  os << gops;
+}
+
+void write_exit_profile(std::ostream& os, const ExitProfile& profile) {
+  os << "[\n";
+  for (std::size_t s = 0; s < profile.num_stages(); ++s) {
+    const StageExit& st = profile.stage(s);
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"stage\": \"%s\", \"exits\": %zu, \"correct\": %zu, "
+                  "\"accuracy\": %.6f, \"avg_ops\": %.1f, "
+                  "\"exit_fraction\": %.6f, \"entering_fraction\": %.6f, "
+                  "\"surviving_fraction\": %.6f}",
+                  json_escape(st.name).c_str(), st.exits, st.correct,
+                  st.accuracy(), st.avg_ops(), profile.exit_fraction(s),
+                  profile.entering_fraction(s), profile.surviving_fraction(s));
+    os << line << (s + 1 < profile.num_stages() ? ",\n" : "\n");
+  }
+  os << "  ]";
+}
+
+}  // namespace
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"schema\": \"" << kRunReportSchema << "\",\n";
+  os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  os << "  \"network\": \"" << json_escape(network) << "\",\n";
+  os << "  \"threads\": " << threads << ",\n";
+  os << "  \"samples\": " << samples << ",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"total_time_ns\": " << total_time_ns << ",\n";
+  os << "  \"total_ops\": " << total_ops << ",\n";
+  os << "  \"attributed_ops\": " << attributed_ops() << ",\n";
+  os << "  \"attributed_time_ns\": " << attributed_time_ns() << ",\n";
+
+  os << "  \"layer_profile\": [\n";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    write_layer_row(os, layers[i]);
+    os << (i + 1 < layers.size() ? ",\n" : "\n");
+  }
+  if (layers.empty()) os << "\n";
+  os << "  ],\n";
+
+  os << "  \"parallel_for\": {\"invocations\": " << parallel_for.invocations
+     << ", \"items\": " << parallel_for.items << ", \"time_ns\": "
+     << parallel_for.time_ns << "},\n";
+
+  os << "  \"perf\": {\"attempted\": " << (perf_attempted ? "true" : "false")
+     << ", \"reason\": \"" << json_escape(perf_reason) << "\", \"reading\": ";
+  write_perf_json(os, perf);
+  os << "},\n";
+
+  os << "  \"exit_profile\": ";
+  if (exit_profile.has_value()) {
+    write_exit_profile(os, *exit_profile);
+  } else {
+    os << "null";
+  }
+  os << ",\n";
+
+  os << "  \"metrics\": ";
+  if (registry != nullptr) {
+    registry->write_json(os);
+  } else {
+    os << "null";
+  }
+  os << "\n}\n";
+}
+
+std::string RunReport::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace cdl::obs

@@ -1,0 +1,69 @@
+// RunReport: the single JSON document a tool emits for one measured run —
+// schema "cdl-run-report/1".
+//
+// It combines the four observability sources into one file so downstream
+// tooling (scripts/bench_check.py --validate-report, dashboards) needs no
+// joins: whole-run totals, the LayerProfiler's per-layer x per-stage
+// attribution rows, fork/join statistics, the hardware perf reading (degraded
+// to nulls when perf_event_open is unavailable), the exit profile, and a
+// Registry snapshot.
+//
+// The report's load-bearing invariant: `attributed_ops` (the sum of the layer
+// rows) equals `total_ops` (computed from exit counts x per-exit OpCounts)
+// bit-exactly for any thread count, while `attributed_time_ns` only
+// approximates `total_time_ns` (instrumentation sits inside the timed
+// region). bench_check.py validates both, the former exactly and the latter
+// within --tolerance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/exit_profile.h"
+#include "obs/layer_profile.h"
+#include "obs/perf_counters.h"
+#include "obs/registry.h"
+
+namespace cdl::obs {
+
+inline constexpr const char* kRunReportSchema = "cdl-run-report/1";
+
+struct RunReport {
+  std::string tool;        ///< emitting binary ("cdl_eval", "cdl_train", ...)
+  std::string network;     ///< architecture / model file label
+  std::uint64_t threads = 1;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t total_time_ns = 0;  ///< wall time of the measured region
+  std::uint64_t total_ops = 0;      ///< exact whole-run OPS (exit accounting)
+
+  std::vector<LayerProfileRow> layers;          ///< LayerProfiler::snapshot()
+  LayerProfiler::ParallelForStats parallel_for; ///< fork/join accounting
+
+  bool perf_attempted = false;  ///< --perf was requested
+  std::string perf_reason;      ///< PerfGroup::unavailable_reason()
+  PerfReading perf;             ///< degraded (nulls) when unavailable
+
+  std::optional<ExitProfile> exit_profile;  ///< cascade runs only
+
+  /// Registry snapshot embedded under "metrics"; not owned, may be null.
+  const Registry* registry = nullptr;
+
+  /// Sum of `layers[i].ops` — exact, compare against total_ops.
+  [[nodiscard]] std::uint64_t attributed_ops() const;
+  /// Sum of `layers[i].time_ns` — approximate, compare within tolerance.
+  [[nodiscard]] std::uint64_t attributed_time_ns() const;
+
+  /// Writes the full "cdl-run-report/1" JSON object (newline-terminated).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for the
+/// report writers. Exposed for the tools' hand-written JSON sections.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace cdl::obs

@@ -1,0 +1,276 @@
+// Tests for the per-layer attribution profiler and the run-report JSON it
+// feeds. The load-bearing invariant: with the profiler enabled, the sum of
+// the snapshot's ops column reproduces a run's exit-accounted OPS total
+// bit-exactly, for any thread count and for both inference drivers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "nn/conv2d.h"
+#include "obs/layer_profile.h"
+#include "obs/run_report.h"
+#include "test_util.h"
+
+namespace cdl {
+namespace {
+
+using obs::LayerProfiler;
+using obs::LayerProfileRow;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// RAII: enables a cleared profiler, disables and clears on exit so the
+/// global singleton never leaks state into other tests.
+class ScopedProfiler {
+ public:
+  ScopedProfiler() {
+    LayerProfiler::instance().clear();
+    LayerProfiler::instance().set_enabled(true);
+  }
+  ~ScopedProfiler() {
+    LayerProfiler::instance().set_enabled(false);
+    LayerProfiler::instance().clear();
+  }
+};
+
+std::uint64_t sum_ops(const std::vector<LayerProfileRow>& rows) {
+  std::uint64_t total = 0;
+  for (const auto& row : rows) total += row.ops;
+  return total;
+}
+
+TEST(LayerProfiler, DisabledByDefault) {
+  EXPECT_FALSE(LayerProfiler::enabled());
+}
+
+TEST(LayerProfiler, RecordAccumulatesByKey) {
+  ScopedProfiler scoped;
+  LayerProfiler& p = LayerProfiler::instance();
+  p.record(0, 0, "conv1", 1, 10, 1000, 50);
+  p.record(0, 0, "conv1", 1, 5, 500, 25);
+  p.record(0, 1, "relu", 1, 10, 10, 1);
+  const auto rows = p.snapshot();
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0].name, "conv1");
+  EXPECT_EQ(rows[0].calls, 2U);
+  EXPECT_EQ(rows[0].samples, 15U);
+  EXPECT_EQ(rows[0].ops, 1500U);
+  EXPECT_EQ(rows[0].time_ns, 75U);
+}
+
+TEST(LayerProfiler, StageLevelRowsSortAfterLayerRows) {
+  ScopedProfiler scoped;
+  LayerProfiler& p = LayerProfiler::instance();
+  p.record(0, obs::kStageLevel, "classifier+gate", 1, 1, 10, 1);
+  p.record(0, 2, "pool", 1, 1, 5, 1);
+  p.record(1, 0, "conv", 1, 1, 7, 1);
+  p.record(obs::kNoStage, obs::kStageLevel, "softmax", 1, 1, 3, 1);
+  const auto rows = p.snapshot();
+  ASSERT_EQ(rows.size(), 4U);
+  // kNoStage (-1) sorts first, then stage 0's layers before its stage-level
+  // row, then stage 1.
+  EXPECT_EQ(rows[0].stage, obs::kNoStage);
+  EXPECT_EQ(rows[1].name, "pool");
+  EXPECT_EQ(rows[2].name, "classifier+gate");
+  EXPECT_EQ(rows[2].layer, obs::kStageLevel);
+  EXPECT_EQ(rows[3].stage, 1);
+}
+
+TEST(LayerProfiler, ClearDropsRows) {
+  ScopedProfiler scoped;
+  LayerProfiler& p = LayerProfiler::instance();
+  p.record(0, 0, "x", 1, 1, 1, 1);
+  p.clear();
+  EXPECT_TRUE(p.snapshot().empty());
+  EXPECT_EQ(p.parallel_for_stats().invocations, 0U);
+}
+
+TEST(LayerProfiler, MergesAcrossThreads) {
+  ScopedProfiler scoped;
+  LayerProfiler& p = LayerProfiler::instance();
+  p.record(0, 0, "conv", 1, 1, 100, 10);
+  std::thread worker([&p] { p.record(0, 0, "conv", 1, 2, 200, 20); });
+  worker.join();  // happens-before the snapshot below
+  const auto rows = p.snapshot();
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0].samples, 3U);
+  EXPECT_EQ(rows[0].ops, 300U);
+  EXPECT_EQ(rows[0].time_ns, 30U);
+}
+
+TEST(LayerProfiler, StageScopeNests) {
+  EXPECT_EQ(LayerProfiler::current_stage(), obs::kNoStage);
+  {
+    LayerProfiler::StageScope outer(2);
+    EXPECT_EQ(LayerProfiler::current_stage(), 2);
+    {
+      LayerProfiler::StageScope inner(5);
+      EXPECT_EQ(LayerProfiler::current_stage(), 5);
+    }
+    EXPECT_EQ(LayerProfiler::current_stage(), 2);
+  }
+  EXPECT_EQ(LayerProfiler::current_stage(), obs::kNoStage);
+}
+
+TEST(LayerProfiler, ParallelForStatsAccumulate) {
+  ScopedProfiler scoped;
+  LayerProfiler& p = LayerProfiler::instance();
+  p.record_parallel_for(64, 1000);
+  p.record_parallel_for(32, 500);
+  const auto stats = p.parallel_for_stats();
+  EXPECT_EQ(stats.invocations, 2U);
+  EXPECT_EQ(stats.items, 96U);
+  EXPECT_EQ(stats.time_ns, 1500U);
+}
+
+// --- the attribution invariant over real inference -------------------------
+
+std::uint64_t exit_accounted_ops(const std::vector<ClassificationResult>& rs) {
+  std::uint64_t total = 0;
+  for (const auto& r : rs) total += r.ops.total_compute();
+  return total;
+}
+
+/// Runs classify_batch over `inputs` with the profiler on; returns the
+/// snapshot rows.
+std::vector<LayerProfileRow> profile_batch(const ConditionalNetwork& net,
+                                           const std::vector<Tensor>& inputs,
+                                           ThreadPool* pool,
+                                           std::uint64_t* result_ops) {
+  ScopedProfiler scoped;
+  const auto results = net.classify_batch(inputs, pool);
+  *result_ops = exit_accounted_ops(results);
+  return LayerProfiler::instance().snapshot();
+}
+
+TEST(LayerProfilerIntegration, BatchedOpsSumBitExactAnyThreadCount) {
+  Rng rng(42);
+  const ConditionalNetwork net = test::conv_cdln(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> inputs;
+  // Enough rows that stage 0 crosses the serial floor and genuinely uses the
+  // pool on the threaded run.
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    inputs.push_back(test::random_image(Shape{1, 12, 12}, 2000 + i));
+  }
+
+  std::uint64_t serial_result_ops = 0;
+  const auto serial =
+      profile_batch(net, inputs, nullptr, &serial_result_ops);
+  EXPECT_EQ(sum_ops(serial), serial_result_ops)
+      << "serial attribution must reproduce the exit-accounted OPS exactly";
+
+  ThreadPool pool(4);
+  std::uint64_t parallel_result_ops = 0;
+  const auto parallel =
+      profile_batch(net, inputs, &pool, &parallel_result_ops);
+  EXPECT_EQ(sum_ops(parallel), parallel_result_ops);
+  EXPECT_EQ(sum_ops(serial), sum_ops(parallel))
+      << "attributed OPS must be thread-count invariant";
+
+  // The merged rows themselves (not just the total) must agree: same keys,
+  // same per-row samples and ops. Time differs, so compare the exact fields.
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].stage, parallel[i].stage) << "row " << i;
+    EXPECT_EQ(serial[i].name, parallel[i].name) << "row " << i;
+    EXPECT_EQ(serial[i].samples, parallel[i].samples) << "row " << i;
+    EXPECT_EQ(serial[i].ops, parallel[i].ops) << "row " << i;
+  }
+}
+
+TEST(LayerProfilerIntegration, PerImageDriverMatchesBatchedAttribution) {
+  Rng rng(7);
+  const ConditionalNetwork net = test::conv_cdln(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> inputs;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    inputs.push_back(test::random_image(Shape{1, 12, 12}, 3000 + i));
+  }
+
+  std::uint64_t batched_ops = 0;
+  const auto batched = profile_batch(net, inputs, nullptr, &batched_ops);
+
+  std::uint64_t per_image_ops = 0;
+  std::vector<LayerProfileRow> per_image;
+  {
+    ScopedProfiler scoped;
+    for (const Tensor& x : inputs) {
+      per_image_ops += net.classify(x).ops.total_compute();
+    }
+    per_image = LayerProfiler::instance().snapshot();
+  }
+
+  EXPECT_EQ(per_image_ops, batched_ops);
+  EXPECT_EQ(sum_ops(per_image), per_image_ops);
+  EXPECT_EQ(sum_ops(batched), sum_ops(per_image))
+      << "both drivers must attribute the same OPS total";
+}
+
+TEST(LayerProfilerIntegration, DisabledProfilerRecordsNothing) {
+  Rng rng(11);
+  const ConditionalNetwork net = test::conv_cdln(ConvAlgo::kIm2col, rng);
+  LayerProfiler::instance().clear();
+  ASSERT_FALSE(LayerProfiler::enabled());
+  (void)net.classify(test::random_image(Shape{1, 12, 12}, 1));
+  EXPECT_TRUE(LayerProfiler::instance().snapshot().empty());
+}
+
+// --- run-report JSON --------------------------------------------------------
+
+TEST(RunReport, JsonCarriesSchemaTotalsAndRows) {
+  obs::RunReport report;
+  report.tool = "cdl_eval";
+  report.network = "mnist_3c";
+  report.threads = 4;
+  report.samples = 100;
+  report.seed = 42;
+  report.total_time_ns = 5000;
+  report.total_ops = 300;
+  report.layers.push_back({0, 0, "conv1", 1, 2, 100, 200, 1500});
+  report.layers.push_back({0, obs::kStageLevel, "classifier+gate", 1, 2, 100,
+                           100, 500});
+  report.parallel_for = {3, 96, 1200};
+
+  EXPECT_EQ(report.attributed_ops(), 300U);
+  EXPECT_EQ(report.attributed_time_ns(), 2000U);
+
+  const std::string json = report.json();
+  EXPECT_TRUE(contains(json, "\"schema\": \"cdl-run-report/1\""));
+  EXPECT_TRUE(contains(json, "\"tool\": \"cdl_eval\""));
+  EXPECT_TRUE(contains(json, "\"threads\": 4"));
+  EXPECT_TRUE(contains(json, "\"total_ops\": 300"));
+  EXPECT_TRUE(contains(json, "\"attributed_ops\": 300"));
+  EXPECT_TRUE(contains(json, "\"attributed_time_ns\": 2000"));
+  EXPECT_TRUE(contains(json, "\"name\": \"classifier+gate\""));
+  EXPECT_TRUE(contains(json, "\"invocations\": 3"));
+  // No exit profile or registry attached: both must be explicit nulls.
+  EXPECT_TRUE(contains(json, "\"exit_profile\": null"));
+  EXPECT_TRUE(contains(json, "\"metrics\": null"));
+  // Perf defaults to the degraded shape.
+  EXPECT_TRUE(contains(json, "\"attempted\": false"));
+  EXPECT_TRUE(contains(json, "\"cycles\": null"));
+}
+
+TEST(RunReport, JsonEscapesStrings) {
+  obs::RunReport report;
+  report.tool = "cdl\"eval\\x";
+  report.network = "net\nline";
+  const std::string json = report.json();
+  EXPECT_TRUE(contains(json, "cdl\\\"eval\\\\x"));
+  EXPECT_TRUE(contains(json, "net\\nline"));
+}
+
+TEST(JsonEscape, ControlCharactersEscaped) {
+  EXPECT_EQ(obs::json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace cdl

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/rng.h"
 #include "obs/metrics.h"
 
 namespace cdl::obs {
@@ -92,6 +93,45 @@ TEST(Histogram, QuantileIsMonotoneAndBounded) {
   EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).quantile(0.5), 0.0);  // empty -> 0
 }
 
+TEST(Histogram, SumIsExact) {
+  Histogram h(0.0, 10.0, 5);
+  h.record(1.5);
+  h.record(2.5, 2);          // weighted
+  h.record(-3.0);            // underflow still contributes to the sum
+  h.record(std::numeric_limits<double>::quiet_NaN());  // excluded
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5 + 2.5 * 2 - 3.0);
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).sum(), 0.0);
+}
+
+// Property test: for arbitrary seeded data (including out-of-range values
+// feeding the underflow/overflow counters), quantile() must be monotone
+// non-decreasing in q and bounded by [lo, hi].
+TEST(Histogram, QuantileMonotonicityProperty) {
+  cdl::Rng rng(20260805);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double lo = static_cast<double>(rng.uniform(-5.0F, 0.0F));
+    const double hi = lo + static_cast<double>(rng.uniform(0.5F, 5.0F));
+    const std::size_t bins = 1 + rng.index(32);
+    Histogram h(lo, hi, bins);
+    const int n = 1 + static_cast<int>(rng.index(200));
+    for (int i = 0; i < n; ++i) {
+      // 20% of values land outside [lo, hi] to exercise the edge counters.
+      const double spread = (hi - lo) * 1.5;
+      h.record(lo - 0.25 * spread +
+               static_cast<double>(rng.uniform(0.0F, 1.0F)) * spread);
+    }
+    double prev = h.quantile(0.0);
+    for (int step = 0; step <= 100; ++step) {
+      const double q = static_cast<double>(step) / 100.0;
+      const double v = h.quantile(q);
+      EXPECT_GE(v, prev) << "trial " << trial << " q " << q;
+      EXPECT_GE(v, lo) << "trial " << trial << " q " << q;
+      EXPECT_LE(v, hi) << "trial " << trial << " q " << q;
+      prev = v;
+    }
+  }
+}
+
 TEST(Histogram, QuantileInterpolatesWithinBin) {
   Histogram h(0.0, 1.0, 2);
   for (int i = 0; i < 10; ++i) h.record(0.25);  // all mass in bin [0, 0.5)
@@ -118,6 +158,19 @@ TEST(Histogram, MergeRejectsLayoutMismatch) {
   Histogram a(0.0, 1.0, 4);
   EXPECT_THROW(a.merge(Histogram(0.0, 1.0, 8)), std::invalid_argument);
   EXPECT_THROW(a.merge(Histogram(0.0, 2.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(-1.0, 1.0, 4)), std::invalid_argument);
+}
+
+TEST(Histogram, MergePreservesSumAndEdgeCounts) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.record(0.5);
+  b.record(-1.0);
+  b.record(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 - 1.0 + 2.0);
+  EXPECT_EQ(a.underflow(), 1U);
+  EXPECT_EQ(a.overflow(), 1U);
 }
 
 TEST(Histogram, EqualityComparesContents) {

@@ -1,0 +1,133 @@
+// Tests for the perf_event_open wrapper. Hardware counters are usually
+// denied in containers and CI (perf_event_paranoid, seccomp, missing PMU),
+// so these tests assert the graceful-degradation contract rather than any
+// particular counter value: wall time is always measured, unavailable
+// hardware fields are invalid and export as JSON null, and nothing throws.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/perf_counters.h"
+
+namespace cdl::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+void burn_some_cycles() {
+  volatile double acc = 0.0;
+  for (int i = 0; i < 200000; ++i) acc = acc + static_cast<double>(i) * 1e-9;
+}
+
+TEST(PerfGroup, ConstructionNeverThrows) {
+  PerfGroup group;
+  if (!group.available()) {
+    // The degraded path must explain itself.
+    EXPECT_FALSE(group.unavailable_reason().empty());
+  } else {
+    EXPECT_TRUE(group.unavailable_reason().empty());
+  }
+}
+
+TEST(PerfGroup, WallClockAlwaysMeasured) {
+  PerfGroup group;
+  group.start();
+  burn_some_cycles();
+  const PerfReading reading = group.stop();
+  EXPECT_GT(reading.wall_ns, 0U);
+}
+
+TEST(PerfGroup, StopWithoutStartIsWallOnlyZeros) {
+  PerfGroup group;
+  const PerfReading reading = group.stop();
+  EXPECT_EQ(reading.wall_ns, 0U);
+  EXPECT_FALSE(reading.available);
+}
+
+TEST(PerfGroup, UnavailableReadingHasOnlyInvalidValues) {
+  PerfGroup group;
+  group.start();
+  burn_some_cycles();
+  const PerfReading reading = group.stop();
+  if (reading.available) {
+    // When the PMU exists at least one counter carries a value; spot-check
+    // internal consistency rather than magnitudes.
+    EXPECT_GT(reading.time_enabled_ns, 0U);
+    if (reading.cycles.valid && reading.instructions.valid &&
+        reading.cycles.value > 0) {
+      EXPECT_GT(reading.ipc(), 0.0);
+    }
+  } else {
+    EXPECT_FALSE(reading.cycles.valid);
+    EXPECT_FALSE(reading.instructions.valid);
+    EXPECT_FALSE(reading.cache_references.valid);
+    EXPECT_FALSE(reading.cache_misses.valid);
+    EXPECT_FALSE(reading.branch_misses.valid);
+    EXPECT_DOUBLE_EQ(reading.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(reading.cache_miss_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(reading.multiplex_ratio(), 1.0);
+  }
+}
+
+TEST(PerfReading, DefaultHelpersAreSafe) {
+  const PerfReading reading;
+  EXPECT_DOUBLE_EQ(reading.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(reading.cache_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(reading.multiplex_ratio(), 1.0);
+  EXPECT_FALSE(reading.summary().empty());
+}
+
+TEST(PerfReading, SummaryMentionsReasonWhenDegraded) {
+  const PerfReading reading;  // unavailable
+  const std::string line = reading.summary("perf_event_open: denied");
+  EXPECT_TRUE(contains(line, "unavailable"));
+  EXPECT_TRUE(contains(line, "perf_event_open: denied"));
+}
+
+// The run-report schema promise: invalid fields are JSON null, never garbage
+// numbers, and wall_ns is always a number.
+TEST(PerfJson, DegradedShapeUsesNulls) {
+  PerfReading reading;
+  reading.wall_ns = 12345;
+  std::ostringstream os;
+  write_perf_json(os, reading);
+  const std::string json = os.str();
+  EXPECT_TRUE(contains(json, "\"available\": false"));
+  EXPECT_TRUE(contains(json, "\"wall_ns\": 12345"));
+  EXPECT_TRUE(contains(json, "\"cycles\": null"));
+  EXPECT_TRUE(contains(json, "\"instructions\": null"));
+  EXPECT_TRUE(contains(json, "\"cache_references\": null"));
+  EXPECT_TRUE(contains(json, "\"cache_misses\": null"));
+  EXPECT_TRUE(contains(json, "\"branch_misses\": null"));
+}
+
+TEST(PerfJson, ValidValuesAreNumbers) {
+  PerfReading reading;
+  reading.available = true;
+  reading.wall_ns = 1;
+  reading.cycles = {true, 987654321};
+  std::ostringstream os;
+  write_perf_json(os, reading);
+  const std::string json = os.str();
+  EXPECT_TRUE(contains(json, "\"available\": true"));
+  EXPECT_TRUE(contains(json, "\"cycles\": 987654321"));
+  EXPECT_TRUE(contains(json, "\"instructions\": null"));
+}
+
+TEST(PerfGroup, RestartableAcrossRegions) {
+  PerfGroup group;
+  group.start();
+  burn_some_cycles();
+  const PerfReading first = group.stop();
+  group.start();
+  burn_some_cycles();
+  const PerfReading second = group.stop();
+  EXPECT_GT(first.wall_ns, 0U);
+  EXPECT_GT(second.wall_ns, 0U);
+}
+
+}  // namespace
+}  // namespace cdl::obs

@@ -1,0 +1,210 @@
+// Tests for the metrics registry: instrument semantics, deterministic
+// OpenMetrics/JSON exposition, histogram edge-case round-trips and the
+// ExitProfile export used by `cdl_eval --metrics-out`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/exit_profile.h"
+#include "obs/registry.h"
+
+namespace cdl::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Counter, AccumulatesAndRejectsBadDeltas) {
+  Counter c;
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  EXPECT_THROW(c.inc(-1.0), std::invalid_argument);
+  EXPECT_THROW(c.inc(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(c.inc(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);  // failed incs leave the value untouched
+}
+
+TEST(Registry, InstrumentReferencesAreStableAndKeyedByLabels) {
+  Registry reg;
+  Counter& a = reg.counter("requests", "help", {{"stage", "O1"}});
+  Counter& b = reg.counter("requests", "help", {{"stage", "O2"}});
+  Counter& a_again = reg.counter("requests", "help", {{"stage", "O1"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a_again);
+  a.inc(5.0);
+  EXPECT_DOUBLE_EQ(a_again.value(), 5.0);
+  EXPECT_EQ(reg.num_families(), 1U);
+  EXPECT_EQ(reg.num_samples(), 2U);
+}
+
+TEST(Registry, LabelOrderDoesNotSplitSamples) {
+  Registry reg;
+  Gauge& a = reg.gauge("g", "", {{"x", "1"}, {"y", "2"}});
+  Gauge& b = reg.gauge("g", "", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, NameReuseWithDifferentTypeThrows) {
+  Registry reg;
+  reg.counter("metric");
+  EXPECT_THROW(reg.gauge("metric"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("metric", "", 0.0, 1.0, 4),
+               std::invalid_argument);
+}
+
+TEST(Registry, HistogramLayoutMismatchThrows) {
+  Registry reg;
+  reg.histogram("h", "", 0.0, 1.0, 4);
+  EXPECT_THROW(reg.histogram("h", "", 0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", "", 0.0, 1.0, 8), std::invalid_argument);
+  EXPECT_NO_THROW(reg.histogram("h", "", 0.0, 1.0, 4));
+}
+
+TEST(Registry, InvalidNamesRejected) {
+  Registry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("1leading_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space"), std::invalid_argument);
+}
+
+// The determinism acceptance criterion: two registries fed the same values
+// in different registration orders render byte-identical text.
+TEST(Registry, ExpositionIsOrderIndependent) {
+  Registry forward;
+  forward.counter("alpha_total_ops", "ops").inc(42.0);
+  forward.gauge("beta_ratio", "ratio", {{"stage", "O1"}}).set(0.5);
+  forward.gauge("beta_ratio", "ratio", {{"stage", "FC"}}).set(0.25);
+  forward.histogram("gamma_conf", "conf", 0.0, 1.0, 4).record(0.3);
+
+  Registry reverse;
+  reverse.histogram("gamma_conf", "conf", 0.0, 1.0, 4).record(0.3);
+  reverse.gauge("beta_ratio", "ratio", {{"stage", "FC"}}).set(0.25);
+  reverse.gauge("beta_ratio", "ratio", {{"stage", "O1"}}).set(0.5);
+  reverse.counter("alpha_total_ops", "ops").inc(42.0);
+
+  EXPECT_EQ(forward.openmetrics(), reverse.openmetrics());
+  EXPECT_EQ(forward.json(), reverse.json());
+}
+
+TEST(Registry, OpenMetricsShape) {
+  Registry reg;
+  reg.counter("cdl_samples", "inputs classified").inc(100.0);
+  reg.gauge("cdl_accuracy", "fraction correct").set(0.75);
+  const std::string text = reg.openmetrics();
+  EXPECT_TRUE(contains(text, "# HELP cdl_samples inputs classified"));
+  EXPECT_TRUE(contains(text, "# TYPE cdl_samples counter"));
+  EXPECT_TRUE(contains(text, "cdl_samples_total 100"));  // counter suffix
+  EXPECT_TRUE(contains(text, "# TYPE cdl_accuracy gauge"));
+  EXPECT_TRUE(contains(text, "cdl_accuracy 0.75"));
+  // OpenMetrics text must end with the EOF marker.
+  EXPECT_TRUE(text.size() >= 6 && text.substr(text.size() - 6) == "# EOF\n");
+}
+
+// NaN / underflow / overflow survive the trip into exposition: the registry
+// promises explicit auxiliary series instead of folding or dropping them.
+TEST(Registry, HistogramEdgeCountsRoundTripThroughExposition) {
+  Registry reg;
+  Histogram& h = reg.histogram("conf", "confidence", 0.0, 1.0, 4);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(-2.0);  // underflow
+  h.record(0.1);
+  h.record(9.0);  // overflow
+  h.record(9.0);  // overflow
+
+  const std::string text = reg.openmetrics();
+  EXPECT_TRUE(contains(text, "conf_underflow 1"));
+  EXPECT_TRUE(contains(text, "conf_overflow 2"));
+  EXPECT_TRUE(contains(text, "conf_nan 1"));
+  // count covers every non-NaN recording, including the out-of-range ones.
+  EXPECT_TRUE(contains(text, "conf_count 4"));
+  // The +Inf cumulative bucket agrees with count.
+  EXPECT_TRUE(contains(text, "le=\"+Inf\"} 4"));
+
+  const std::string json = reg.json();
+  EXPECT_TRUE(contains(json, "\"underflow\": 1"));
+  EXPECT_TRUE(contains(json, "\"overflow\": 2"));
+  EXPECT_TRUE(contains(json, "\"nan\": 1"));
+}
+
+TEST(Registry, NonFiniteGaugeBecomesJsonNull) {
+  Registry reg;
+  reg.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(contains(reg.json(), "null"));
+}
+
+TEST(Registry, ClearEmptiesEverything) {
+  Registry reg;
+  reg.counter("c").inc();
+  reg.clear();
+  EXPECT_EQ(reg.num_families(), 0U);
+  EXPECT_EQ(reg.num_samples(), 0U);
+}
+
+TEST(RenderValue, IntegersWithoutDecimalPoint) {
+  EXPECT_EQ(render_value(42.0), "42");
+  EXPECT_EQ(render_value(0.0), "0");
+  EXPECT_EQ(render_value(0.5), "0.5");
+}
+
+TEST(RenderLabels, CanonicalSortedForm) {
+  EXPECT_EQ(render_labels({}), "");
+  EXPECT_EQ(render_labels({{"b", "2"}, {"a", "1"}}),
+            render_labels({{"a", "1"}, {"b", "2"}}));
+}
+
+// --- ExitProfile export (cdl_eval --metrics-out surface) -------------------
+
+ExitProfile make_profile() {
+  ExitProfile profile({"O1", "FC"});
+  profile.record(0, 0.9, 100.0, true);
+  profile.record(0, 0.8, 100.0, false);
+  profile.record(1, 0.6, 300.0, true);
+  return profile;
+}
+
+TEST(ExitProfileExport, CountersGaugesAndHistogramsLand) {
+  Registry reg;
+  make_profile().export_to_registry(reg);
+  const std::string text = reg.openmetrics();
+  EXPECT_TRUE(contains(text, "cdl_samples_total 3"));
+  EXPECT_TRUE(contains(text, "cdl_ops_total 500"));
+  EXPECT_TRUE(contains(text, "cdl_stage_exits_total{stage=\"O1\"} 2"));
+  EXPECT_TRUE(contains(text, "cdl_stage_exits_total{stage=\"FC\"} 1"));
+  EXPECT_TRUE(contains(text, "cdl_stage_correct_total{stage=\"O1\"} 1"));
+  EXPECT_TRUE(contains(text, "cdl_stage_accuracy{stage=\"O1\"} 0.5"));
+  EXPECT_TRUE(contains(text, "cdl_stage_exit_fraction{stage=\"FC\"}"));
+  EXPECT_TRUE(contains(text, "cdl_stage_confidence_count{stage=\"O1\"} 2"));
+}
+
+TEST(ExitProfileExport, DeterministicAcrossIdenticalRuns) {
+  Registry a;
+  Registry b;
+  make_profile().export_to_registry(a);
+  make_profile().export_to_registry(b);
+  EXPECT_EQ(a.openmetrics(), b.openmetrics());
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(ExitProfileExport, ReExportAccumulates) {
+  Registry reg;
+  const ExitProfile profile = make_profile();
+  profile.export_to_registry(reg);
+  profile.export_to_registry(reg);
+  EXPECT_TRUE(contains(reg.openmetrics(), "cdl_samples_total 6"));
+}
+
+TEST(ExitProfileExport, CustomPrefix) {
+  Registry reg;
+  make_profile().export_to_registry(reg, "run7");
+  EXPECT_TRUE(contains(reg.openmetrics(), "run7_samples_total 3"));
+}
+
+}  // namespace
+}  // namespace cdl::obs

@@ -102,10 +102,16 @@ TEST_F(TraceTest, SpanRecordedWhileEnabled) {
   }
   Tracer::instance().set_enabled(false);
   const auto events = Tracer::instance().collect();
+#ifdef CDL_TRACE_DISABLED
+  // -DCDL_TRACE=OFF compiles the macro out; nothing may be recorded even
+  // with the tracer enabled.
+  EXPECT_TRUE(events.empty());
+#else
   ASSERT_EQ(events.size(), 1U);
   EXPECT_STREQ(events[0].event.name, "my_span");
   EXPECT_EQ(events[0].event.id, 7);
   EXPECT_EQ(events[0].event.kind, EventKind::kSpan);
+#endif
 }
 
 TEST_F(TraceTest, SpanEnabledCheckHappensAtConstruction) {
@@ -170,8 +176,12 @@ TEST_F(TraceTest, CollectSeesEventsFromManyThreads) {
   }
   for (std::thread& w : workers) w.join();
   tracer.set_enabled(false);
+#ifdef CDL_TRACE_DISABLED
+  EXPECT_TRUE(tracer.collect().empty());  // spans compiled out
+#else
   EXPECT_EQ(tracer.collect().size(),
             static_cast<std::size_t>(kThreads * kPerThread));
+#endif
 }
 
 TEST_F(TraceTest, DroppedCountsRingOverwrites) {
@@ -202,11 +212,15 @@ TEST_F(TraceTest, ChromeTraceIsWellFormed) {
   tracer.write_chrome_trace(os);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+#ifndef CDL_TRACE_DISABLED
+  // The macro-recorded span only exists when tracing is compiled in; the
+  // direct trace_instant() call below records either way.
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // complete span
+  EXPECT_NE(json.find("\"args\":{\"id\":2}"), std::string::npos);
+#endif
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);   // thread name
   EXPECT_NE(json.find("main-test-thread"), std::string::npos);
-  EXPECT_NE(json.find("\"args\":{\"id\":2}"), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),

@@ -5,6 +5,9 @@
 set -eu
 
 TOOLS_DIR="$1"
+# CMake passes the CDL_TRACE option value; with tracing compiled out
+# (-DCDL_TRACE=OFF) the trace file is still valid JSON but carries no spans.
+TRACING="${2:-ON}"
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -28,12 +31,47 @@ grep -q "truth" "$WORK_DIR/eval.log"
 # it is not.)
 test -s "$WORK_DIR/trace.json"
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json, sys; \
+  if [ "$TRACING" = "OFF" ]; then
+    python3 -c "import json, sys; \
+d = json.load(open(sys.argv[1])); \
+assert isinstance(d['traceEvents'], list), 'bad traceEvents'" \
+        "$WORK_DIR/trace.json"
+  else
+    python3 -c "import json, sys; \
 d = json.load(open(sys.argv[1])); \
 assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'no events'" \
-      "$WORK_DIR/trace.json"
+        "$WORK_DIR/trace.json"
+  fi
 fi
 head -n 1 "$WORK_DIR/profile.csv" | grep -q "^stage,exits,share"
+
+# Observability surface: --report must emit a valid cdl-run-report/1 whose
+# attribution rows sum bit-exactly to the whole-run OPS (validated by
+# bench_check.py --validate-report, which also checks the perf-degradation
+# null shape), and --metrics-out must be EOF-terminated OpenMetrics text.
+"$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 100 --seed 3 \
+    --threads 2 --perf --report "$WORK_DIR/report.json" \
+    --metrics-out "$WORK_DIR/metrics.txt" > "$WORK_DIR/report.log"
+grep -q "run report written" "$WORK_DIR/report.log"
+grep -q "perf:" "$WORK_DIR/report.log"
+grep -q "cdl_samples_total" "$WORK_DIR/metrics.txt"
+grep -q "cdl_stage_confidence_bucket" "$WORK_DIR/metrics.txt"
+tail -n 1 "$WORK_DIR/metrics.txt" | grep -q "^# EOF"
+SCRIPTS_DIR="$(dirname "$0")/../scripts"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$SCRIPTS_DIR/bench_check.py" \
+      --validate-report "$WORK_DIR/report.json" --tolerance 0.5
+fi
+
+# cdl_train's post-training measured region emits the same artifacts.
+"$TOOLS_DIR/cdl_train" --arch mnist_2c --train-n 200 --val-n 50 \
+    --epochs 1 --lc-epochs 2 --seed 5 --out "$WORK_DIR/model2" \
+    --report "$WORK_DIR/train_report.json" > "$WORK_DIR/train2.log"
+grep -q "run report written" "$WORK_DIR/train2.log"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$SCRIPTS_DIR/bench_check.py" \
+      --validate-report "$WORK_DIR/train_report.json" --tolerance 0.5
+fi
 
 # Delta override must be reflected in the report header.
 "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <optional>
 
+#include "core/thread_pool.h"
 #include "data/synthetic_mnist.h"
 #include "energy/energy_model.h"
 #include "energy/report.h"
@@ -13,7 +15,9 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "model_io.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
+#include "report_io.h"
 #include "util/args.h"
 
 namespace {
@@ -44,9 +48,28 @@ int run(const cdl::ArgParser& args) {
   const cdl::MnistPair data = cdl::load_mnist_or_synthetic(
       0, args.get_size("test-n"), args.get_size("seed"));
 
+  std::optional<cdl::ThreadPool> pool_storage;
+  cdl::ThreadPool* pool = nullptr;
+  if (args.get_size("threads") != 1) {
+    pool_storage.emplace(args.get_size("threads"));
+    if (pool_storage->size() > 1) pool = &*pool_storage;
+  }
+
+  const std::string report_out = args.get("report");
+  const std::string metrics_out = args.get("metrics-out");
+  const bool want_perf = args.get_flag("perf");
+
   const cdl::EnergyModel energy;
-  const cdl::Evaluation base = cdl::evaluate_baseline(net, data.test, energy);
-  const cdl::Evaluation cond = cdl::evaluate_cdl(net, data.test, energy);
+  const cdl::Evaluation base =
+      cdl::evaluate_baseline(net, data.test, energy, pool);
+
+  // Measured region: the CDLN evaluation only, so the attribution rows sum
+  // to exactly the cascade's exit-accounted OPS.
+  cdl::obs::RunReport run_report;
+  cdl::tools::MeasuredRegion region(!report_out.empty(), want_perf);
+  region.start();
+  const cdl::Evaluation cond = cdl::evaluate_cdl(net, data.test, energy, pool);
+  region.finish(run_report);
 
   cdl::TextTable table({"metric", "baseline", "CDLN"});
   table.add_row({"accuracy", cdl::fmt_percent(base.accuracy()),
@@ -94,6 +117,58 @@ int run(const cdl::ArgParser& args) {
                         [&](std::ostream& os) { cond.profile.write_csv(os); });
     std::printf("exit profile CSV written to %s\n", profile_csv.c_str());
   }
+
+  if (want_perf) {
+    std::printf("\n%s\n", run_report.perf.summary(run_report.perf_reason).c_str());
+  }
+
+  cdl::obs::Registry registry;
+  if (!metrics_out.empty() || !report_out.empty()) {
+    cond.profile.export_to_registry(registry);
+    registry.gauge("cdl_accuracy", "CDLN accuracy over the test set")
+        .set(cond.accuracy());
+    registry
+        .gauge("cdl_baseline_accuracy",
+               "Unconditional baseline accuracy over the test set")
+        .set(base.accuracy());
+    registry.gauge("cdl_avg_ops", "Average OPS per input (CDLN)")
+        .set(cond.avg_ops());
+    registry.gauge("cdl_baseline_avg_ops", "Average OPS per input (baseline)")
+        .set(base.avg_ops());
+    registry
+        .gauge("cdl_ops_improvement",
+               "Baseline avg OPS / CDLN avg OPS (paper's efficiency factor)")
+        .set(cond.avg_ops() == 0.0 ? 0.0 : base.avg_ops() / cond.avg_ops());
+    registry.gauge("cdl_delta", "Confidence threshold in effect")
+        .set(static_cast<double>(net.activation_module().delta()));
+  }
+  if (!metrics_out.empty()) {
+    write_file_or_throw(metrics_out, [&](std::ostream& os) {
+      registry.write_openmetrics(os);
+    });
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+
+  if (!report_out.empty()) {
+    run_report.tool = "cdl_eval";
+    run_report.network = meta.arch_name;
+    run_report.threads = pool != nullptr ? pool->size() : 1;
+    run_report.samples = data.test.size();
+    run_report.seed = args.get_size("seed");
+    // Exact whole-run OPS from the exit accounting; the attribution rows
+    // must reproduce this bit-for-bit (bench_check.py --validate-report).
+    std::uint64_t total_ops = 0;
+    for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+      total_ops += static_cast<std::uint64_t>(cond.exit_counts[s]) *
+                   net.exit_ops(s).total_compute();
+    }
+    run_report.total_ops = total_ops;
+    run_report.exit_profile = cond.profile;
+    run_report.registry = &registry;
+    write_file_or_throw(report_out,
+                        [&](std::ostream& os) { run_report.write_json(os); });
+    std::printf("run report written to %s\n", report_out.c_str());
+  }
   if (!trace_out.empty()) {
     write_file_or_throw(trace_out, [&](std::ostream& os) {
       tracer.write_chrome_trace(os);
@@ -114,11 +189,15 @@ int main(int argc, char** argv) {
   args.add_option("seed", "42", "data seed (must differ from training data "
                                 "only via the disjoint test split)");
   args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
+  args.add_option("threads", "1", "evaluation worker threads (0 = hardware "
+                                  "concurrency); results are identical for "
+                                  "any value");
   args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
                                    "tracing for the run)");
   args.add_option("profile-csv", "", "write the exit profile as CSV here");
   args.add_flag("per-digit", "print the per-digit breakdown (paper Fig. 5)");
   args.add_flag("confusion", "print the confusion matrix");
+  cdl::tools::add_report_options(args);
 
   try {
     args.parse(argc, argv);

@@ -9,8 +9,12 @@
 #include "cdl/cdl_trainer.h"
 #include "cdl/delta_selection.h"
 #include "data/synthetic_mnist.h"
+#include "energy/energy_model.h"
+#include "eval/metrics.h"
 #include "model_io.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
+#include "report_io.h"
 #include "util/args.h"
 
 namespace {
@@ -83,6 +87,62 @@ int run(const cdl::ArgParser& args) {
   std::printf("model saved to %s.cdlw / %s.meta\n", args.get("out").c_str(),
               args.get("out").c_str());
 
+  const std::string report_out = args.get("report");
+  const std::string metrics_out = args.get("metrics-out");
+  const bool want_perf = args.get_flag("perf");
+  if (!report_out.empty() || !metrics_out.empty() || want_perf) {
+    // Measured region: one cascade evaluation of the freshly trained model
+    // (validation split when present, else the training set).
+    const cdl::Dataset& eval_data =
+        data.validation.empty() ? data.train : data.validation;
+    const cdl::EnergyModel energy;
+    cdl::obs::RunReport run_report;
+    cdl::tools::MeasuredRegion region(!report_out.empty(), want_perf);
+    region.start();
+    const cdl::Evaluation eval = cdl::evaluate_cdl(net, eval_data, energy);
+    region.finish(run_report);
+
+    if (want_perf) {
+      std::printf("%s\n",
+                  run_report.perf.summary(run_report.perf_reason).c_str());
+    }
+    cdl::obs::Registry registry;
+    eval.profile.export_to_registry(registry);
+    registry.gauge("cdl_accuracy", "CDLN accuracy over the measured split")
+        .set(eval.accuracy());
+    registry.gauge("cdl_avg_ops", "Average OPS per input (CDLN)")
+        .set(eval.avg_ops());
+    registry.gauge("cdl_delta", "Confidence threshold in effect")
+        .set(static_cast<double>(net.activation_module().delta()));
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (!os) throw std::runtime_error("cannot write " + metrics_out);
+      registry.write_openmetrics(os);
+      if (!os) throw std::runtime_error("write failure on " + metrics_out);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!report_out.empty()) {
+      run_report.tool = "cdl_train";
+      run_report.network = arch.name;
+      run_report.threads = 1;
+      run_report.samples = eval_data.size();
+      run_report.seed = seed;
+      std::uint64_t total_ops = 0;
+      for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+        total_ops += static_cast<std::uint64_t>(eval.exit_counts[s]) *
+                     net.exit_ops(s).total_compute();
+      }
+      run_report.total_ops = total_ops;
+      run_report.exit_profile = eval.profile;
+      run_report.registry = &registry;
+      std::ofstream os(report_out);
+      if (!os) throw std::runtime_error("cannot write " + report_out);
+      run_report.write_json(os);
+      if (!os) throw std::runtime_error("write failure on " + report_out);
+      std::printf("run report written to %s\n", report_out.c_str());
+    }
+  }
+
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
     if (!os) throw std::runtime_error("cannot write " + trace_out);
@@ -110,6 +170,7 @@ int main(int argc, char** argv) {
   args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
                                    "tracing for the run)");
   args.add_flag("prune", "apply Algorithm 1's gain-based stage admission");
+  cdl::tools::add_report_options(args);
 
   try {
     args.parse(argc, argv);

@@ -1,0 +1,75 @@
+// Shared observability plumbing for the CLI tools: the --report /
+// --metrics-out / --perf flags and the measured-region bracket that arms the
+// layer profiler and hardware counters around one evaluation and collects
+// the results into a RunReport (schema cdl-run-report/1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/layer_profile.h"
+#include "obs/perf_counters.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "util/args.h"
+
+namespace cdl::tools {
+
+inline void add_report_options(ArgParser& args) {
+  args.add_option("report", "", "write a cdl-run-report/1 JSON run report "
+                                "here (enables per-layer attribution)");
+  args.add_option("metrics-out", "", "write an OpenMetrics snapshot of the "
+                                     "run's metrics here");
+  args.add_flag("perf", "read hardware perf counters over the measured "
+                        "region (degrades to wall clock when "
+                        "perf_event_open is unavailable)");
+}
+
+/// Brackets one measured region. start() clears and enables the layer
+/// profiler (when attribution was requested) and arms the perf counter
+/// group; finish() stops both and fills the report's timing, attribution,
+/// fork/join and perf sections. Everything else in the report (tool,
+/// network, samples, totals, exit profile, registry) stays the caller's job.
+class MeasuredRegion {
+ public:
+  MeasuredRegion(bool attribute, bool want_perf)
+      : attribute_(attribute), want_perf_(want_perf) {}
+
+  void start() {
+    if (attribute_) {
+      obs::LayerProfiler& profiler = obs::LayerProfiler::instance();
+      profiler.clear();
+      profiler.set_enabled(true);
+    }
+    if (want_perf_) {
+      perf_.emplace();
+      perf_->start();
+    }
+    t0_ = obs::now_ns();
+  }
+
+  void finish(obs::RunReport& report) {
+    report.total_time_ns = obs::now_ns() - t0_;
+    if (attribute_) {
+      obs::LayerProfiler& profiler = obs::LayerProfiler::instance();
+      profiler.set_enabled(false);
+      report.layers = profiler.snapshot();
+      report.parallel_for = profiler.parallel_for_stats();
+    }
+    report.perf_attempted = want_perf_;
+    if (want_perf_) {
+      report.perf = perf_->stop();
+      report.perf_reason = perf_->unavailable_reason();
+    } else {
+      report.perf_reason = "not requested (pass --perf)";
+    }
+  }
+
+ private:
+  bool attribute_;
+  bool want_perf_;
+  std::optional<obs::PerfGroup> perf_;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace cdl::tools
