@@ -30,6 +30,17 @@ total, that attributed time is within --tolerance of the measured wall time,
 and that perf fields degrade to null (never garbage) when hardware counters
 were unavailable.
 
+**Train-report mode** (--validate-train-report FILE): validate a
+cdl-train-report/1 JSON produced by `cdl_train --train-report`. Checks the
+schema, the baseline loss curve (one record per epoch with per-parameter
+gradient/weight statistics), the per-stage LC curves, and -- the load-bearing
+invariant -- that every Algorithm-1 admission record's gain reproduces
+    G_i = (gamma_base - gamma_i) * Cl_i - gamma_i * (I_i - Cl_i)
+from its own recorded inputs. With --train-log LOG the companion JSONL event
+stream (cdl-train-events/1) is validated against the report too: every line
+parses, the header/terminator events bracket the run, admission events
+recompute, and the streamed curves match the report's.
+
 Stdlib only.
 
 Usage:
@@ -38,13 +49,18 @@ Usage:
         [--determinism-only]
     python3 scripts/bench_check.py --validate-report report.json \
         [--tolerance 0.5]
+    python3 scripts/bench_check.py --validate-train-report train.json \
+        [--train-log train.jsonl]
 """
 
 import argparse
 import json
+import math
 import sys
 
 RUN_REPORT_SCHEMA = "cdl-run-report/1"
+TRAIN_REPORT_SCHEMA = "cdl-train-report/1"
+TRAIN_EVENTS_SCHEMA = "cdl-train-events/1"
 
 
 def load(path):
@@ -248,6 +264,203 @@ def validate_report(path, tolerance):
           f"ops exact, time within {tolerance:.0%})")
 
 
+# --- train-report validation --------------------------------------------------
+
+PARAM_STAT_KEYS = ("grad_l2", "grad_max", "update_l2", "update_max",
+                   "weight_l2", "weight_max")
+ADMISSION_KEYS = ("stage", "prefix_layers", "gamma_base", "gamma_i",
+                  "reached", "classified", "gain", "epsilon", "train_delta",
+                  "admitted")
+
+
+def check_param_stats(params, where):
+    for i, p in enumerate(params):
+        p_where = f"{where}.params[{i}]"
+        require(p, "layer", int, p_where)
+        require(p, "name", str, p_where)
+        require(p, "param", str, p_where)
+        for key in PARAM_STAT_KEYS:
+            # null encodes a non-finite statistic (JSON has no NaN).
+            if key not in p:
+                fail(f"{p_where}: missing statistic '{key}'")
+            if p[key] is not None and not isinstance(p[key], (int, float)):
+                fail(f"{p_where}: '{key}' should be a number or null, got "
+                     f"{type(p[key]).__name__}")
+
+
+def check_admission(adm, where):
+    """Recompute Algorithm 1's gain from the record's own inputs."""
+    for key in ADMISSION_KEYS:
+        types = {"stage": str, "admitted": bool,
+                 "prefix_layers": int, "reached": int,
+                 "classified": int}.get(key, (int, float))
+        require(adm, key, types, where)
+    reached, classified = adm["reached"], adm["classified"]
+    if classified > reached:
+        fail(f"{where}: classified {classified} exceeds reached {reached}")
+    expected = ((adm["gamma_base"] - adm["gamma_i"]) * classified
+                - adm["gamma_i"] * (reached - classified))
+    if not math.isclose(adm["gain"], expected, rel_tol=1e-12, abs_tol=1e-6):
+        fail(f"{where}: recorded gain {adm['gain']} != recomputed "
+             f"(gamma_base - gamma_i)*Cl_i - gamma_i*(I_i - Cl_i) = "
+             f"{expected}")
+
+
+def check_lc_epochs(epochs, where):
+    for i, rec in enumerate(epochs):
+        e_where = f"{where}[{i}]"
+        require(rec, "epoch", int, e_where)
+        for key in ("loss", "lr"):
+            if rec.get(key) is not None and \
+                    not isinstance(rec.get(key), (int, float)):
+                fail(f"{e_where}: '{key}' should be a number or null")
+        if rec["epoch"] != i + 1:
+            fail(f"{e_where}: epoch numbering broken "
+                 f"(got {rec['epoch']}, expected {i + 1})")
+
+
+def validate_train_report(path, log_path):
+    doc = load(path)
+    where = path
+    schema = require(doc, "schema", str, where)
+    if schema != TRAIN_REPORT_SCHEMA:
+        fail(f"{where}: schema is '{schema}', expected "
+             f"'{TRAIN_REPORT_SCHEMA}'")
+    for key in ("tool", "arch", "rule", "git"):
+        require(doc, key, str, where)
+    for key in ("seed", "train_n", "val_n", "epochs", "lc_epochs",
+                "batch_size"):
+        require(doc, key, int, where)
+    require(doc, "prune", bool, where)
+
+    non_finite = doc.get("non_finite")
+    diverged = non_finite is not None
+    if diverged:
+        nf_where = f"{where}.non_finite"
+        for key in ("phase", "stage", "layer", "param", "stat", "value"):
+            require(non_finite, key, str, nf_where)
+        for key in ("epoch", "step"):
+            require(non_finite, key, int, nf_where)
+
+    baseline = require(doc, "baseline", dict, where)
+    epochs = require(baseline, "epochs", list, f"{where}.baseline")
+    for i, rec in enumerate(epochs):
+        e_where = f"{where}.baseline.epochs[{i}]"
+        require(rec, "epoch", int, e_where)
+        require(rec, "wall_ns", int, e_where)
+        for key in ("loss", "accuracy", "lr"):
+            if rec.get(key) is not None and \
+                    not isinstance(rec.get(key), (int, float)):
+                fail(f"{e_where}: '{key}' should be a number or null")
+        if rec["epoch"] != i + 1:
+            fail(f"{e_where}: epoch numbering broken "
+                 f"(got {rec['epoch']}, expected {i + 1})")
+        check_param_stats(require(rec, "params", list, e_where), e_where)
+    if not diverged and len(epochs) != doc["epochs"]:
+        fail(f"{where}: baseline curve has {len(epochs)} records but the "
+             f"run declared {doc['epochs']} epochs (and did not diverge)")
+
+    stages = require(doc, "stages", list, where)
+    admissions = {}
+    for i, stage in enumerate(stages):
+        s_where = f"{where}.stages[{i}]"
+        name = require(stage, "stage", str, s_where)
+        require(stage, "prefix_layers", int, s_where)
+        check_lc_epochs(require(stage, "epochs", list, s_where),
+                        f"{s_where}.epochs")
+        adm = stage.get("admission")
+        if adm is not None:
+            check_admission(adm, f"{s_where}.admission")
+            admissions[name] = adm
+
+    fc = doc.get("fc_fraction")
+    if not isinstance(fc, (int, float)) or not 0.0 <= fc <= 1.0:
+        fail(f"{where}: fc_fraction should be a number in [0, 1], got {fc!r}")
+
+    sel = doc.get("delta_selection")
+    if sel is not None:
+        for key in ("delta", "accuracy"):
+            require(sel, key, (int, float), f"{where}.delta_selection")
+
+    metrics = doc.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        fail(f"{where}: metrics should be an object or null")
+
+    if log_path:
+        validate_train_log(log_path, doc, admissions)
+
+    status = "diverged run, partial curves" if diverged else "complete"
+    print(f"{path}: valid {TRAIN_REPORT_SCHEMA} ({doc['tool']}, "
+          f"{len(epochs)} baseline epochs, {len(stages)} stage(s), "
+          f"{len(admissions)} admission record(s) recomputed exactly, "
+          f"{status})")
+
+
+def validate_train_log(path, report, report_admissions):
+    """Validates the JSONL event stream against its companion report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not lines:
+        fail(f"{path}: empty train log")
+
+    events = []
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not valid JSON ({e.msg})")
+        if not isinstance(events[-1], dict):
+            fail(f"{path}:{i + 1}: every event must be a JSON object")
+
+    header = events[0]
+    if header.get("event") != "run_start":
+        fail(f"{path}: first event is '{header.get('event')}', expected "
+             f"'run_start'")
+    schema = require(header, "schema", str, f"{path}:1")
+    if schema != TRAIN_EVENTS_SCHEMA:
+        fail(f"{path}: events schema is '{schema}', expected "
+             f"'{TRAIN_EVENTS_SCHEMA}'")
+    for key in ("seed", "train_n", "epochs", "lc_epochs"):
+        if header.get(key) != report.get(key):
+            fail(f"{path}: run_start '{key}' = {header.get(key)!r} "
+                 f"disagrees with the report's {report.get(key)!r}")
+
+    diverged = any(e.get("event") == "non_finite" for e in events)
+    last = events[-1].get("event")
+    if diverged:
+        if last == "run_end":
+            fail(f"{path}: log carries both a non_finite abort and a "
+                 f"run_end -- a diverged run must not end cleanly")
+    elif last != "run_end":
+        fail(f"{path}: last event is '{last}', expected 'run_end' "
+             f"(truncated log?)")
+
+    epoch_events = [e for e in events if e.get("event") == "epoch"]
+    if len(epoch_events) != len(report["baseline"]["epochs"]):
+        fail(f"{path}: {len(epoch_events)} epoch events but the report's "
+             f"baseline curve has {len(report['baseline']['epochs'])}")
+    for stream, rec in zip(epoch_events, report["baseline"]["epochs"]):
+        if stream.get("loss") != rec.get("loss"):
+            fail(f"{path}: epoch {rec['epoch']} loss {stream.get('loss')!r} "
+                 f"disagrees with the report's {rec.get('loss')!r}")
+
+    log_admissions = [e for e in events if e.get("event") == "admission"]
+    for i, adm in enumerate(log_admissions):
+        check_admission(adm, f"{path}:admission[{i}]")
+        ref = report_admissions.get(adm.get("stage"))
+        if ref is not None and adm["gain"] != ref["gain"]:
+            fail(f"{path}: admission gain for {adm['stage']} "
+                 f"({adm['gain']}) disagrees with the report's "
+                 f"({ref['gain']})")
+
+    print(f"{path}: valid {TRAIN_EVENTS_SCHEMA} ({len(events)} events, "
+          f"{len(epoch_events)} epoch records, {len(log_admissions)} "
+          f"admission event(s) recomputed exactly)")
+
+
 # --- throughput comparison ----------------------------------------------------
 
 def check_workload_match(baseline, fresh):
@@ -288,8 +501,20 @@ def main():
     ap.add_argument("--validate-report", metavar="FILE",
                     help="validate a cdl-run-report/1 JSON instead of "
                          "comparing throughput runs")
+    ap.add_argument("--validate-train-report", metavar="FILE",
+                    help="validate a cdl-train-report/1 JSON (schema + "
+                         "Algorithm-1 gain recomputation)")
+    ap.add_argument("--train-log", metavar="FILE",
+                    help="with --validate-train-report: also validate the "
+                         "companion cdl-train-events/1 JSONL stream against "
+                         "the report")
     args = ap.parse_args()
 
+    if args.train_log and not args.validate_train_report:
+        ap.error("--train-log requires --validate-train-report")
+    if args.validate_train_report:
+        validate_train_report(args.validate_train_report, args.train_log)
+        return
     if args.validate_report:
         validate_report(args.validate_report, args.tolerance)
         return

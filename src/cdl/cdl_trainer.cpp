@@ -8,8 +8,62 @@
 
 #include "nn/loss.h"
 #include "nn/softmax.h"
+#include "obs/train_telemetry.h"
 
 namespace cdl {
+
+namespace {
+
+const char* non_finite_spelling(double value) {
+  if (std::isnan(value)) return "nan";
+  return value > 0 ? "inf" : "-inf";
+}
+
+/// Non-finite-loss guard: identifies the first offending tensor (weights
+/// first — the usual root cause — then accumulated gradients), streams the
+/// diagnostic into the telemetry log when one is attached, and aborts the
+/// training loop.
+[[noreturn]] void abort_non_finite(Network& net, obs::TrainTelemetry* tel,
+                                   std::size_t epoch, std::size_t step,
+                                   double loss_value) {
+  obs::NonFiniteRecord rec;
+  rec.phase = "baseline";
+  rec.epoch = epoch;
+  rec.step = step;
+  rec.layer_name = "loss";
+  rec.stat = "loss";
+  rec.value = non_finite_spelling(loss_value);
+
+  const std::vector<Network::ParamInfo> info = net.parameter_info();
+  const std::vector<Tensor*> params = net.parameters();
+  const std::vector<Tensor*> grads = net.gradients();
+  bool found = false;
+  for (std::size_t pass = 0; pass < 2 && !found; ++pass) {
+    const std::vector<Tensor*>& tensors = pass == 0 ? params : grads;
+    for (std::size_t i = 0; i < tensors.size() && !found; ++i) {
+      for (const float v : tensors[i]->values()) {
+        if (!std::isfinite(v)) {
+          rec.layer_name = info[i].layer_name;
+          rec.param_name = info[i].param_name;
+          rec.stat = pass == 0 ? "weight" : "gradient";
+          rec.value = non_finite_spelling(static_cast<double>(v));
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  if (tel != nullptr) tel->record_non_finite(rec);
+  throw TrainingDiverged(
+      "training diverged: non-finite loss at baseline epoch " +
+          std::to_string(epoch) + ", step " + std::to_string(step) +
+          " (first non-finite: " + rec.layer_name +
+          (rec.param_name.empty() ? "" : "." + rec.param_name) + " " +
+          rec.stat + " = " + rec.value + ")",
+      "baseline", epoch, step);
+}
+
+}  // namespace
 
 float train_baseline(Network& net, const Dataset& train,
                      const BaselineTrainConfig& config, Rng& rng) {
@@ -19,9 +73,16 @@ float train_baseline(Network& net, const Dataset& train,
   }
   SoftmaxCrossEntropyLoss loss_fn;
   SgdOptimizer opt(config.sgd);
+  obs::TrainTelemetry* tel = config.telemetry;
+  if (tel != nullptr) {
+    tel->set_param_info(net.parameter_info());
+    opt.set_stats_sink(tel);
+  }
 
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t steps_per_epoch =
+      (train.size() + config.batch_size - 1) / config.batch_size;
 
   float mean_loss = 0.0F;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -30,19 +91,58 @@ float train_baseline(Network& net, const Dataset& train,
       std::swap(order[i - 1], order[rng.index(i)]);
     }
     double epoch_loss = 0.0;
+    std::size_t correct = 0;
     std::size_t in_batch = 0;
+    std::size_t step = 0;  // completed optimizer steps this epoch
+    std::size_t samples_seen = 0;
+    double window_loss = 0.0;  // accumulated since the last batch event
+    std::size_t window_samples = 0;
     for (std::size_t idx : order) {
       const Tensor logits = net.forward(train.image(idx));
-      epoch_loss += loss_fn.value(logits, train.label(idx));
+      const double sample_loss =
+          static_cast<double>(loss_fn.value(logits, train.label(idx)));
+      if (config.abort_on_non_finite && !std::isfinite(sample_loss)) {
+        abort_non_finite(net, tel, epoch + 1, samples_seen + 1, sample_loss);
+      }
+      epoch_loss += sample_loss;
+      window_loss += sample_loss;
+      ++window_samples;
+      ++samples_seen;
+      if (logits.argmax() == train.label(idx)) ++correct;
       net.backward(loss_fn.grad(logits, train.label(idx)));
       if (++in_batch == config.batch_size) {
+        ++step;
+        const bool due = tel != nullptr && tel->batch_due(step);
+        // Stats are recorded for due steps and the epoch's last step (the
+        // epoch record carries the latter).
+        if (due || (tel != nullptr && step == steps_per_epoch)) {
+          tel->arm_stats();
+        }
         opt.step(net);  // step() also zeroes the accumulated gradients
+        if (due) {
+          tel->record_batch(epoch + 1, step, samples_seen,
+                            window_loss / static_cast<double>(window_samples),
+                            static_cast<double>(opt.learning_rate()));
+          window_loss = 0.0;
+          window_samples = 0;
+        }
         in_batch = 0;
       }
     }
-    if (in_batch != 0) opt.step(net);  // trailing partial batch
+    if (in_batch != 0) {  // trailing partial batch
+      if (tel != nullptr) tel->arm_stats();
+      opt.step(net);
+    }
+    const double lr_run = static_cast<double>(opt.learning_rate());
     opt.end_epoch();
     mean_loss = static_cast<float>(epoch_loss / static_cast<double>(train.size()));
+    if (tel != nullptr) {
+      tel->record_epoch(epoch + 1, config.epochs,
+                        static_cast<double>(mean_loss),
+                        static_cast<double>(correct) /
+                            static_cast<double>(train.size()),
+                        lr_run);
+    }
     if (config.log_every != 0 && (epoch + 1) % config.log_every == 0) {
       std::printf("  baseline epoch %zu/%zu: loss %.4f (lr %.4f)\n", epoch + 1,
                   config.epochs, static_cast<double>(mean_loss),
@@ -116,6 +216,7 @@ float train_cdl_joint(ConditionalNetwork& net, const Dataset& train,
 CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
                          const CdlTrainConfig& config, Rng& rng) {
   if (train.empty()) throw std::invalid_argument("train_cdl: empty dataset");
+  obs::TrainTelemetry* tel = config.telemetry;
   CdlTrainReport report;
 
   // Instances still flowing through the cascade: activations are advanced
@@ -164,11 +265,40 @@ CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
       for (std::size_t idx : order) {
         epoch_loss += lc.train_step(acts[idx], labels[idx], lr);
       }
-      lr *= config.lc_lr_decay;
-      if (!acts.empty()) {
-        stage.final_loss =
-            static_cast<float>(epoch_loss / static_cast<double>(acts.size()));
+      const double epoch_mean =
+          acts.empty() ? 0.0 : epoch_loss / static_cast<double>(acts.size());
+      if (config.abort_on_non_finite && !std::isfinite(epoch_mean)) {
+        obs::NonFiniteRecord rec;
+        rec.phase = "lc";
+        rec.stage = stage.stage_name;
+        rec.epoch = epoch + 1;
+        rec.step = acts.size();
+        rec.layer_name = stage.stage_name;
+        rec.param_name = "w";
+        rec.stat = "loss";
+        rec.value = non_finite_spelling(epoch_mean);
+        if (tel != nullptr) tel->record_non_finite(rec);
+        throw TrainingDiverged(
+            "training diverged: non-finite LC loss at stage " +
+                stage.stage_name + ", epoch " + std::to_string(epoch + 1),
+            "lc", epoch + 1, acts.size());
       }
+      if (!acts.empty()) {
+        stage.final_loss = static_cast<float>(epoch_mean);
+      }
+      if (tel != nullptr) {
+        const LinearClassifier::WeightStats ws = lc.weight_stats();
+        tel->record_lc_epoch(stage.stage_name, stage.prefix_layers, epoch + 1,
+                             config.lc_epochs, epoch_mean,
+                             static_cast<double>(lr), acts.size(), ws.l2,
+                             ws.max_abs);
+      }
+      if (config.log_every != 0 && (epoch + 1) % config.log_every == 0) {
+        std::printf("  %s epoch %zu/%zu: loss %.4f (lr %.4f)\n",
+                    stage.stage_name.c_str(), epoch + 1, config.lc_epochs,
+                    epoch_mean, static_cast<double>(lr));
+      }
+      lr *= config.lc_lr_decay;
     }
 
     // Measure Cl_i at the training confidence level (step 8).
@@ -183,6 +313,8 @@ CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
     // cost inflicted on instances passed through this stage.
     const double gamma_i =
         static_cast<double>(net.exit_ops(pos).total_compute());
+    stage.gamma_base = gamma_base;
+    stage.gamma_i = gamma_i;
     stage.gain = (gamma_base - gamma_i) * static_cast<double>(stage.classified) -
                  gamma_i * static_cast<double>(stage.reached - stage.classified);
 
@@ -190,6 +322,21 @@ CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
     // gain test applies from the second stage onwards.
     stage.admitted = !config.prune_by_gain || pos == 0 ||
                      stage.gain > config.epsilon_gain;
+
+    if (tel != nullptr) {
+      obs::AdmissionRecord rec;
+      rec.stage = stage.stage_name;
+      rec.prefix_layers = stage.prefix_layers;
+      rec.gamma_base = gamma_base;
+      rec.gamma_i = gamma_i;
+      rec.reached = stage.reached;
+      rec.classified = stage.classified;
+      rec.gain = stage.gain;
+      rec.epsilon = config.epsilon_gain;
+      rec.train_delta = static_cast<double>(config.train_delta);
+      rec.admitted = stage.admitted;
+      tel->record_admission(rec);
+    }
 
     if (stage.admitted) {
       // Only non-terminated instances flow to the next stage.
@@ -214,6 +361,7 @@ CdlTrainReport train_cdl(ConditionalNetwork& net, const Dataset& train,
 
   report.fc_fraction =
       static_cast<double>(acts.size()) / static_cast<double>(train.size());
+  if (tel != nullptr) tel->set_fc_fraction(report.fc_fraction);
   return report;
 }
 

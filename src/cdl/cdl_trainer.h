@@ -3,6 +3,7 @@
 // admission).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,29 @@
 #include "nn/optimizer.h"
 
 namespace cdl {
+
+namespace obs {
+class TrainTelemetry;
+}
+
+/// Thrown when a training loop hits a non-finite loss (the non-finite guard):
+/// silent NaN propagation would poison every later epoch, so the trainer
+/// aborts with a diagnostic naming the phase, epoch, step and — when one can
+/// be identified — the first offending tensor. When telemetry is attached the
+/// matching "non_finite" event has already been streamed before the throw.
+class TrainingDiverged : public std::runtime_error {
+ public:
+  TrainingDiverged(const std::string& message, std::string phase_,
+                   std::size_t epoch_, std::size_t step_)
+      : std::runtime_error(message),
+        phase(std::move(phase_)),
+        epoch(epoch_),
+        step(step_) {}
+
+  std::string phase;      ///< "baseline" or "lc"
+  std::size_t epoch = 0;  ///< 1-based epoch the abort happened in
+  std::size_t step = 0;   ///< 1-based sample/step index within the epoch
+};
 
 struct BaselineTrainConfig {
   // Deliberately modest: the paper observes that a less-than-fully-trained
@@ -26,6 +50,13 @@ struct BaselineTrainConfig {
   std::size_t batch_size = 1;
   /// Print per-epoch loss every `log_every` epochs (0 = silent).
   std::size_t log_every = 0;
+  /// Abort with TrainingDiverged (instead of silently training on NaNs) when
+  /// a sample's loss is non-finite.
+  bool abort_on_non_finite = true;
+  /// Optional training-telemetry sink (not owned): receives per-epoch and
+  /// per-batch records with gradient/weight/update statistics. Null costs
+  /// one pointer test per step.
+  obs::TrainTelemetry* telemetry = nullptr;
 };
 
 /// Trains `net` in place on softmax-cross-entropy with per-sample SGD.
@@ -48,6 +79,13 @@ struct CdlTrainConfig {
   /// admitted — the paper's admission check runs "from the second CNN layer
   /// or stage onwards".
   bool prune_by_gain = true;
+  /// Print per-LC-epoch loss every `log_every` epochs (0 = silent).
+  std::size_t log_every = 0;
+  /// Abort with TrainingDiverged when an LC epoch's mean loss is non-finite.
+  bool abort_on_non_finite = true;
+  /// Optional training-telemetry sink (not owned): receives LC training
+  /// curves and the Algorithm-1 admission audit events.
+  obs::TrainTelemetry* telemetry = nullptr;
 };
 
 struct StageTrainReport {
@@ -55,6 +93,8 @@ struct StageTrainReport {
   std::size_t prefix_layers = 0;
   bool admitted = true;
   double gain = 0.0;             ///< G_i of Algorithm 1 step 9
+  double gamma_base = 0.0;       ///< γ_base — full baseline cost (G_i input)
+  double gamma_i = 0.0;          ///< γ_i — cumulative cost of exiting here
   std::size_t reached = 0;       ///< I_i — instances reaching the stage
   std::size_t classified = 0;    ///< Cl_i — instances terminating here
   float final_loss = 0.0F;       ///< mean LC loss, last epoch

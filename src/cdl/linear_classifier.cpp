@@ -102,6 +102,20 @@ void LinearClassifier::probabilities_block(const float* features,
   }
 }
 
+LinearClassifier::WeightStats LinearClassifier::weight_stats() const {
+  WeightStats stats;
+  double sum = 0.0;
+  for (const Tensor* t : {&weights_, &bias_}) {
+    for (std::size_t i = 0; i < t->numel(); ++i) {
+      const auto v = static_cast<double>((*t)[i]);
+      sum += v * v;
+      stats.max_abs = std::max(stats.max_abs, std::abs(v));
+    }
+  }
+  stats.l2 = std::sqrt(sum);
+  return stats;
+}
+
 float LinearClassifier::train_step(const Tensor& features, std::size_t target,
                                    float lr) {
   check_features(features);

@@ -73,6 +73,15 @@ class LinearClassifier {
   /// Cost of one inference: linear map + softmax.
   [[nodiscard]] OpCount forward_ops() const;
 
+  /// Weight-norm statistics over W and b together, accumulated serially in
+  /// element order in double precision (the training-telemetry determinism
+  /// contract; LC epoch records carry these alongside the loss curve).
+  struct WeightStats {
+    double l2 = 0.0;
+    double max_abs = 0.0;
+  };
+  [[nodiscard]] WeightStats weight_stats() const;
+
   [[nodiscard]] std::size_t in_features() const { return in_features_; }
   [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
   [[nodiscard]] LcTrainingRule rule() const { return rule_; }

@@ -340,6 +340,26 @@ void Network::zero_gradients() {
   for (const auto& l : layers_) l->zero_gradients();
 }
 
+std::vector<Network::ParamInfo> Network::parameter_info() {
+  std::vector<ParamInfo> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::size_t count = layers_[i]->parameters().size();
+    for (std::size_t k = 0; k < count; ++k) {
+      ParamInfo info;
+      info.layer = i;
+      info.layer_name = layers_[i]->name();
+      // Every trainable layer in the library stores {weights, bias}.
+      if (count == 2) {
+        info.param_name = k == 0 ? "w" : "b";
+      } else {
+        info.param_name = "p" + std::to_string(k);
+      }
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
 void Network::init(Rng& rng) {
   for (const auto& l : layers_) l->init(rng);
 }

@@ -144,6 +144,17 @@ class Network {
   [[nodiscard]] std::vector<Tensor*> gradients();
   void zero_gradients();
 
+  /// Identity of each entry of parameters(): owning layer index/name plus a
+  /// short parameter tag ("w"/"b" for the conventional weights-then-bias
+  /// pair, "p<k>" otherwise). Parallel to parameters() — entry i describes
+  /// parameters()[i]. Telemetry uses this to label per-tensor statistics.
+  struct ParamInfo {
+    std::size_t layer = 0;
+    std::string layer_name;
+    std::string param_name;
+  };
+  [[nodiscard]] std::vector<ParamInfo> parameter_info();
+
   void init(Rng& rng);
 
   /// Output shape after the whole network (or a prefix of `count` layers).

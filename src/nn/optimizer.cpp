@@ -1,8 +1,15 @@
 #include "nn/optimizer.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cdl {
+
+bool ParamStepStats::finite() const {
+  return std::isfinite(grad_l2) && std::isfinite(grad_max_abs) &&
+         std::isfinite(update_l2) && std::isfinite(update_max_abs) &&
+         std::isfinite(weight_l2) && std::isfinite(weight_max_abs);
+}
 
 SgdOptimizer::SgdOptimizer(SgdConfig config)
     : config_(config), lr_(config.learning_rate) {
@@ -40,9 +47,36 @@ void SgdOptimizer::step(Network& net) {
                              std::to_string(i));
     }
     const float mu = config_.momentum;
-    for (std::size_t k = 0; k < p.numel(); ++k) {
-      v[k] = mu * v[k] - lr_ * g[k];
-      p[k] += v[k];
+    if (sink_ == nullptr || !sink_->wants_stats()) {
+      for (std::size_t k = 0; k < p.numel(); ++k) {
+        v[k] = mu * v[k] - lr_ * g[k];
+        p[k] += v[k];
+      }
+    } else {
+      // Recorded step: same update arithmetic, plus serial double-precision
+      // accumulation in element order (deterministic for any thread count).
+      ParamStepStats stats;
+      stats.param = i;
+      double g2 = 0.0;
+      double u2 = 0.0;
+      double w2 = 0.0;
+      for (std::size_t k = 0; k < p.numel(); ++k) {
+        const double gk = static_cast<double>(g[k]);
+        g2 += gk * gk;
+        stats.grad_max_abs = std::max(stats.grad_max_abs, std::abs(gk));
+        v[k] = mu * v[k] - lr_ * g[k];
+        p[k] += v[k];
+        const double uk = static_cast<double>(v[k]);
+        const double wk = static_cast<double>(p[k]);
+        u2 += uk * uk;
+        stats.update_max_abs = std::max(stats.update_max_abs, std::abs(uk));
+        w2 += wk * wk;
+        stats.weight_max_abs = std::max(stats.weight_max_abs, std::abs(wk));
+      }
+      stats.grad_l2 = std::sqrt(g2);
+      stats.update_l2 = std::sqrt(u2);
+      stats.weight_l2 = std::sqrt(w2);
+      sink_->on_param_step(stats);
     }
     g.zero();
   }

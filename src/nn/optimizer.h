@@ -1,6 +1,7 @@
 // SGD optimizer with classical momentum and multiplicative learning-rate decay.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/tensor.h"
@@ -13,6 +14,36 @@ struct SgdConfig {
   float momentum = 0.0F;
   /// Learning rate is multiplied by this factor at every end_epoch() call.
   float lr_decay = 1.0F;
+};
+
+/// Per-parameter-tensor statistics of one optimizer step, computed inside
+/// SgdOptimizer::step() when a GradStatsSink is attached and armed. All
+/// accumulations run serially in element order with double precision, so the
+/// values are bit-identical for any thread count and across repeated runs.
+struct ParamStepStats {
+  std::size_t param = 0;       ///< index in Network::parameters() order
+  double grad_l2 = 0.0;        ///< L2 norm of the accumulated gradient
+  double grad_max_abs = 0.0;
+  double update_l2 = 0.0;      ///< L2 norm of the applied update (velocity)
+  double update_max_abs = 0.0;
+  double weight_l2 = 0.0;      ///< L2 norm of the post-update weights
+  double weight_max_abs = 0.0;
+
+  /// True when every statistic is finite (NaN/Inf anywhere poisons a norm).
+  [[nodiscard]] bool finite() const;
+};
+
+/// Receiver for per-step parameter statistics. The optimizer consults
+/// wants_stats() once per step; when it returns false the stats loops are
+/// skipped entirely, so an attached-but-idle sink costs one virtual call per
+/// step and an absent sink costs one pointer test.
+class GradStatsSink {
+ public:
+  virtual ~GradStatsSink() = default;
+  /// Called once per parameter tensor per recorded step, in parameter order.
+  virtual void on_param_step(const ParamStepStats& stats) = 0;
+  /// Gate evaluated at step() entry; default records every step.
+  [[nodiscard]] virtual bool wants_stats() const { return true; }
 };
 
 class SgdOptimizer {
@@ -30,10 +61,16 @@ class SgdOptimizer {
   [[nodiscard]] float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
 
+  /// Attaches (or clears, with nullptr) the per-step statistics receiver.
+  /// Not owned; must outlive the optimizer or be cleared before destruction.
+  void set_stats_sink(GradStatsSink* sink) { sink_ = sink; }
+  [[nodiscard]] GradStatsSink* stats_sink() const { return sink_; }
+
  private:
   SgdConfig config_;
   float lr_;
   std::vector<Tensor> velocity_;
+  GradStatsSink* sink_ = nullptr;
 };
 
 }  // namespace cdl

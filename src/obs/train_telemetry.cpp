@@ -1,0 +1,411 @@
+#include "obs/train_telemetry.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace cdl::obs {
+
+namespace {
+
+/// JSON-safe number rendering: registry's canonical render_value for finite
+/// values (integers without a decimal point, round-trip %.17g otherwise),
+/// null for NaN/Inf — JSON has no spelling for those.
+std::string json_num(double value) {
+  if (!std::isfinite(value)) return "null";
+  return render_value(value);
+}
+
+std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+void append_admission_fields(std::ostream& os, const AdmissionRecord& a) {
+  os << "\"stage\": " << json_str(a.stage)
+     << ", \"prefix_layers\": " << a.prefix_layers
+     << ", \"gamma_base\": " << json_num(a.gamma_base)
+     << ", \"gamma_i\": " << json_num(a.gamma_i)
+     << ", \"reached\": " << a.reached
+     << ", \"classified\": " << a.classified
+     << ", \"gain\": " << json_num(a.gain)
+     << ", \"epsilon\": " << json_num(a.epsilon)
+     << ", \"train_delta\": " << json_num(a.train_delta)
+     << ", \"admitted\": " << json_bool(a.admitted);
+}
+
+}  // namespace
+
+TrainTelemetry::TrainTelemetry(TrainTelemetryConfig config)
+    : config_(config) {}
+
+void TrainTelemetry::set_param_info(std::vector<Network::ParamInfo> info) {
+  param_info_ = std::move(info);
+}
+
+void TrainTelemetry::write_event(const std::string& line) {
+  if (log_ == nullptr) return;
+  *log_ << line << '\n';
+  if (!*log_) {
+    throw std::runtime_error("TrainTelemetry: write failure on event log");
+  }
+}
+
+std::uint64_t TrainTelemetry::elapsed_ns() {
+  if (!config_.wall_time) return 0;
+  const std::uint64_t now = now_ns();
+  const std::uint64_t elapsed = last_mark_ns_ == 0 ? 0 : now - last_mark_ns_;
+  last_mark_ns_ = now;
+  return elapsed;
+}
+
+void TrainTelemetry::run_start(const TrainRunInfo& info) {
+  info_ = info;
+  last_mark_ns_ = config_.wall_time ? now_ns() : 0;
+  std::ostringstream os;
+  os << "{\"schema\": " << json_str(kTrainEventsSchema)
+     << ", \"event\": \"run_start\""
+     << ", \"tool\": " << json_str(info.tool)
+     << ", \"arch\": " << json_str(info.arch)
+     << ", \"rule\": " << json_str(info.rule)
+     << ", \"git\": " << json_str(info.git)
+     << ", \"seed\": " << info.seed
+     << ", \"train_n\": " << info.train_n
+     << ", \"val_n\": " << info.val_n
+     << ", \"epochs\": " << info.epochs
+     << ", \"lc_epochs\": " << info.lc_epochs
+     << ", \"batch_size\": " << info.batch_size
+     << ", \"log_every_batches\": " << config_.log_every_batches
+     << ", \"prune\": " << json_bool(info.prune) << "}";
+  write_event(os.str());
+}
+
+void TrainTelemetry::run_end() {
+  std::ostringstream os;
+  os << "{\"event\": \"run_end\""
+     << ", \"baseline_final_loss\": " << json_num(final_baseline_loss_)
+     << ", \"fc_fraction\": " << json_num(fc_fraction_)
+     << ", \"stages\": " << stages_.size()
+     << ", \"diverged\": " << json_bool(non_finite_.has_value()) << "}";
+  write_event(os.str());
+}
+
+bool TrainTelemetry::batch_due(std::size_t step) const {
+  return config_.log_every_batches != 0 &&
+         step % config_.log_every_batches == 0;
+}
+
+void TrainTelemetry::arm_stats() {
+  pending_.clear();
+  armed_ = true;
+}
+
+void TrainTelemetry::on_param_step(const ParamStepStats& stats) {
+  if (!armed_) return;
+  TrainParamStat row;
+  row.stats = stats;
+  if (stats.param < param_info_.size()) {
+    const Network::ParamInfo& info = param_info_[stats.param];
+    row.layer = info.layer;
+    row.layer_name = info.layer_name;
+    row.param_name = info.param_name;
+  } else {
+    row.layer = stats.param;
+    row.layer_name = "p" + std::to_string(stats.param);
+    row.param_name = "p" + std::to_string(stats.param);
+  }
+  pending_.push_back(std::move(row));
+}
+
+void TrainTelemetry::write_param_stats(
+    std::ostream& os, const std::vector<TrainParamStat>& params) const {
+  os << "[";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const TrainParamStat& p = params[i];
+    if (i != 0) os << ", ";
+    os << "{\"layer\": " << p.layer
+       << ", \"name\": " << json_str(p.layer_name)
+       << ", \"param\": " << json_str(p.param_name)
+       << ", \"grad_l2\": " << json_num(p.stats.grad_l2)
+       << ", \"grad_max\": " << json_num(p.stats.grad_max_abs)
+       << ", \"update_l2\": " << json_num(p.stats.update_l2)
+       << ", \"update_max\": " << json_num(p.stats.update_max_abs)
+       << ", \"weight_l2\": " << json_num(p.stats.weight_l2)
+       << ", \"weight_max\": " << json_num(p.stats.weight_max_abs) << "}";
+  }
+  os << "]";
+}
+
+void TrainTelemetry::record_batch(std::size_t epoch, std::size_t step,
+                                  std::size_t samples_seen, double mean_loss,
+                                  double lr) {
+  armed_ = false;  // consumed; pending_ stays for the epoch record
+  if (log_ == nullptr) return;
+  std::ostringstream os;
+  os << "{\"event\": \"batch\", \"phase\": \"baseline\""
+     << ", \"epoch\": " << epoch
+     << ", \"step\": " << step
+     << ", \"samples_seen\": " << samples_seen
+     << ", \"loss\": " << json_num(mean_loss)
+     << ", \"lr\": " << json_num(lr)
+     << ", \"params\": ";
+  write_param_stats(os, pending_);
+  os << "}";
+  write_event(os.str());
+}
+
+void TrainTelemetry::record_epoch(std::size_t epoch, std::size_t total_epochs,
+                                  double loss, double accuracy, double lr) {
+  armed_ = false;
+  TrainEpochRecord record;
+  record.epoch = epoch;
+  record.loss = loss;
+  record.accuracy = accuracy;
+  record.lr = lr;
+  record.wall_ns = elapsed_ns();
+  record.params = pending_;
+  std::ostringstream os;
+  os << "{\"event\": \"epoch\", \"phase\": \"baseline\""
+     << ", \"epoch\": " << epoch
+     << ", \"epochs\": " << total_epochs
+     << ", \"loss\": " << json_num(loss)
+     << ", \"accuracy\": " << json_num(accuracy)
+     << ", \"lr\": " << json_num(lr)
+     << ", \"wall_ns\": " << record.wall_ns
+     << ", \"params\": ";
+  write_param_stats(os, record.params);
+  os << "}";
+  write_event(os.str());
+  final_baseline_loss_ = loss;
+  baseline_epochs_.push_back(std::move(record));
+}
+
+TrainStageRecord& TrainTelemetry::stage_record(const std::string& stage,
+                                               std::size_t prefix_layers) {
+  for (TrainStageRecord& s : stages_) {
+    if (s.stage == stage) return s;
+  }
+  TrainStageRecord record;
+  record.stage = stage;
+  record.prefix_layers = prefix_layers;
+  stages_.push_back(std::move(record));
+  return stages_.back();
+}
+
+void TrainTelemetry::record_lc_epoch(const std::string& stage,
+                                     std::size_t prefix_layers,
+                                     std::size_t epoch,
+                                     std::size_t total_epochs, double loss,
+                                     double lr, std::size_t reached,
+                                     double weight_l2, double weight_max_abs) {
+  LcEpochRecord record;
+  record.epoch = epoch;
+  record.loss = loss;
+  record.lr = lr;
+  record.weight_l2 = weight_l2;
+  record.weight_max_abs = weight_max_abs;
+  stage_record(stage, prefix_layers).epochs.push_back(record);
+  std::ostringstream os;
+  os << "{\"event\": \"lc_epoch\", \"stage\": " << json_str(stage)
+     << ", \"prefix_layers\": " << prefix_layers
+     << ", \"epoch\": " << epoch
+     << ", \"epochs\": " << total_epochs
+     << ", \"loss\": " << json_num(loss)
+     << ", \"lr\": " << json_num(lr)
+     << ", \"reached\": " << reached
+     << ", \"weight_l2\": " << json_num(weight_l2)
+     << ", \"weight_max\": " << json_num(weight_max_abs) << "}";
+  write_event(os.str());
+}
+
+void TrainTelemetry::record_admission(const AdmissionRecord& record) {
+  stage_record(record.stage, record.prefix_layers).admission = record;
+  std::ostringstream os;
+  os << "{\"event\": \"admission\", ";
+  append_admission_fields(os, record);
+  os << "}";
+  write_event(os.str());
+}
+
+void TrainTelemetry::record_non_finite(const NonFiniteRecord& record) {
+  non_finite_ = record;
+  std::ostringstream os;
+  os << "{\"event\": \"non_finite\", \"phase\": " << json_str(record.phase)
+     << ", \"stage\": " << json_str(record.stage)
+     << ", \"epoch\": " << record.epoch
+     << ", \"step\": " << record.step
+     << ", \"layer\": " << json_str(record.layer_name)
+     << ", \"param\": " << json_str(record.param_name)
+     << ", \"stat\": " << json_str(record.stat)
+     << ", \"value\": " << json_str(record.value) << "}";
+  write_event(os.str());
+}
+
+void TrainTelemetry::set_delta_selection(double delta, double accuracy) {
+  delta_selection_ = std::make_pair(delta, accuracy);
+}
+
+void TrainTelemetry::export_to_registry(Registry& registry) const {
+  registry.counter("cdl_train_epochs", "Baseline training epochs run")
+      .inc(static_cast<double>(baseline_epochs_.size()));
+  registry
+      .counter("cdl_train_samples",
+               "Training samples consumed by the baseline loop")
+      .inc(static_cast<double>(info_.train_n * baseline_epochs_.size()));
+  registry
+      .gauge("cdl_train_final_loss", "Mean loss of the last baseline epoch")
+      .set(final_baseline_loss_);
+  if (!baseline_epochs_.empty()) {
+    registry
+        .gauge("cdl_train_accuracy",
+               "Training accuracy over the last baseline epoch")
+        .set(baseline_epochs_.back().accuracy);
+  }
+  registry
+      .gauge("cdl_train_fc_fraction",
+             "Fraction of training instances reaching the final FC stage")
+      .set(fc_fraction_);
+  registry
+      .counter("cdl_train_non_finite",
+               "Non-finite-loss aborts recorded during training")
+      .inc(non_finite_.has_value() ? 1.0 : 0.0);
+  for (const TrainStageRecord& s : stages_) {
+    const Labels labels = {{"stage", s.stage}};
+    if (!s.epochs.empty()) {
+      registry
+          .gauge("cdl_train_lc_final_loss",
+                 "Mean LC loss of the stage's last training epoch", labels)
+          .set(s.epochs.back().loss);
+    }
+    if (s.admission.has_value()) {
+      const AdmissionRecord& a = *s.admission;
+      registry
+          .gauge("cdl_train_stage_admitted",
+                 "Algorithm-1 verdict (1 = admitted, 0 = rejected)", labels)
+          .set(a.admitted ? 1.0 : 0.0);
+      registry
+          .gauge("cdl_train_stage_gain",
+                 "Algorithm-1 gain G_i in operation units", labels)
+          .set(a.gain);
+      registry
+          .counter("cdl_train_stage_reached",
+                   "Instances reaching the stage during training (I_i)",
+                   labels)
+          .inc(static_cast<double>(a.reached));
+      registry
+          .counter("cdl_train_stage_classified",
+                   "Instances terminating at the stage at the training "
+                   "delta (Cl_i)",
+                   labels)
+          .inc(static_cast<double>(a.classified));
+    }
+  }
+}
+
+void TrainTelemetry::write_report(std::ostream& os,
+                                  const Registry* registry) const {
+  os << "{\n";
+  os << "  \"schema\": " << json_str(kTrainReportSchema) << ",\n";
+  os << "  \"tool\": " << json_str(info_.tool) << ",\n";
+  os << "  \"arch\": " << json_str(info_.arch) << ",\n";
+  os << "  \"rule\": " << json_str(info_.rule) << ",\n";
+  os << "  \"git\": " << json_str(info_.git) << ",\n";
+  os << "  \"seed\": " << info_.seed << ",\n";
+  os << "  \"train_n\": " << info_.train_n << ",\n";
+  os << "  \"val_n\": " << info_.val_n << ",\n";
+  os << "  \"epochs\": " << info_.epochs << ",\n";
+  os << "  \"lc_epochs\": " << info_.lc_epochs << ",\n";
+  os << "  \"batch_size\": " << info_.batch_size << ",\n";
+  os << "  \"prune\": " << json_bool(info_.prune) << ",\n";
+
+  os << "  \"baseline\": {\n    \"final_loss\": "
+     << json_num(final_baseline_loss_) << ",\n    \"epochs\": [\n";
+  for (std::size_t i = 0; i < baseline_epochs_.size(); ++i) {
+    const TrainEpochRecord& e = baseline_epochs_[i];
+    os << "      {\"epoch\": " << e.epoch
+       << ", \"loss\": " << json_num(e.loss)
+       << ", \"accuracy\": " << json_num(e.accuracy)
+       << ", \"lr\": " << json_num(e.lr)
+       << ", \"wall_ns\": " << e.wall_ns
+       << ", \"params\": ";
+    write_param_stats(os, e.params);
+    os << "}" << (i + 1 < baseline_epochs_.size() ? ",\n" : "\n");
+  }
+  if (baseline_epochs_.empty()) os << "\n";
+  os << "    ]\n  },\n";
+
+  os << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const TrainStageRecord& s = stages_[i];
+    os << "    {\"stage\": " << json_str(s.stage)
+       << ", \"prefix_layers\": " << s.prefix_layers << ",\n     \"epochs\": [";
+    for (std::size_t k = 0; k < s.epochs.size(); ++k) {
+      if (k != 0) os << ", ";
+      os << "{\"epoch\": " << s.epochs[k].epoch
+         << ", \"loss\": " << json_num(s.epochs[k].loss)
+         << ", \"lr\": " << json_num(s.epochs[k].lr)
+         << ", \"weight_l2\": " << json_num(s.epochs[k].weight_l2)
+         << ", \"weight_max\": " << json_num(s.epochs[k].weight_max_abs)
+         << "}";
+    }
+    os << "],\n     \"admission\": ";
+    if (s.admission.has_value()) {
+      os << "{";
+      append_admission_fields(os, *s.admission);
+      os << "}";
+    } else {
+      os << "null";
+    }
+    os << "}" << (i + 1 < stages_.size() ? ",\n" : "\n");
+  }
+  if (stages_.empty()) os << "\n";
+  os << "  ],\n";
+
+  os << "  \"fc_fraction\": " << json_num(fc_fraction_) << ",\n";
+
+  os << "  \"delta_selection\": ";
+  if (delta_selection_.has_value()) {
+    os << "{\"delta\": " << json_num(delta_selection_->first)
+       << ", \"accuracy\": " << json_num(delta_selection_->second) << "}";
+  } else {
+    os << "null";
+  }
+  os << ",\n";
+
+  os << "  \"non_finite\": ";
+  if (non_finite_.has_value()) {
+    const NonFiniteRecord& n = *non_finite_;
+    os << "{\"phase\": " << json_str(n.phase)
+       << ", \"stage\": " << json_str(n.stage)
+       << ", \"epoch\": " << n.epoch
+       << ", \"step\": " << n.step
+       << ", \"layer\": " << json_str(n.layer_name)
+       << ", \"param\": " << json_str(n.param_name)
+       << ", \"stat\": " << json_str(n.stat)
+       << ", \"value\": " << json_str(n.value) << "}";
+  } else {
+    os << "null";
+  }
+  os << ",\n";
+
+  os << "  \"metrics\": ";
+  if (registry != nullptr) {
+    registry->write_json(os);
+  } else {
+    os << "null";
+  }
+  os << "\n}\n";
+}
+
+std::string TrainTelemetry::report_json(const Registry* registry) const {
+  std::ostringstream os;
+  write_report(os, registry);
+  return os.str();
+}
+
+}  // namespace cdl::obs

@@ -1,0 +1,231 @@
+// TrainTelemetry: the training-side counterpart of RunReport.
+//
+// Inference observability (trace rings, exit profiles, layer attribution)
+// answers "what did the cascade do"; this layer answers "why does the
+// cascade look the way it does" — it records baseline backprop progress
+// (loss, accuracy, learning rate, per-parameter gradient/weight/update
+// statistics), every stage classifier's LMS training curve, and each
+// Algorithm-1 admission decision with the inputs of the gain formula
+//   G_i = (γ_base − γ_i)·Cl_i − γ_i·(I_i − Cl_i)
+// so a rejected stage can be audited from the log alone.
+//
+// Two export surfaces:
+//   * a streamed JSONL event log, schema "cdl-train-events/1": one run_start
+//     header line, per-epoch records (and per-N-batch records when
+//     log_every_batches != 0), lc_epoch / admission / non_finite events, one
+//     run_end line;
+//   * a final "cdl-train-report/1" JSON document mirroring run_report: loss
+//     curves, per-stage LC curves, the admission table, non-finite-loss
+//     diagnostics and an embedded Registry snapshot.
+//
+// Determinism contract (the same one the rest of src/obs/ follows): with the
+// default config both surfaces are byte-identical across repeated runs with
+// the same seed and across thread counts — training aggregates serially in
+// sample order, statistics accumulate serially in element order, and numbers
+// render via the registry's canonical render_value. Wall-clock fields are
+// emitted as 0 unless TrainTelemetryConfig::wall_time opts into real timing
+// (which trades the byte-determinism guarantee for timings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace cdl::obs {
+
+class Registry;
+
+inline constexpr const char* kTrainEventsSchema = "cdl-train-events/1";
+inline constexpr const char* kTrainReportSchema = "cdl-train-report/1";
+
+struct TrainTelemetryConfig {
+  /// Emit one "batch" event every N optimizer steps (0 = epoch records only).
+  std::size_t log_every_batches = 0;
+  /// Stamp epoch/batch events and the report with real wall-clock durations.
+  /// Off by default: the logs' contract is byte-determinism across runs.
+  bool wall_time = false;
+};
+
+/// Fields of the run_start header line / report preamble.
+struct TrainRunInfo {
+  std::string tool;        ///< emitting binary ("cdl_train", tests, ...)
+  std::string arch;        ///< architecture label ("MNIST_3C", ...)
+  std::string rule;        ///< stage-classifier rule ("lms"/"softmax_xent")
+  std::string git;         ///< build provenance (git describe), may be empty
+  std::uint64_t seed = 0;
+  std::size_t train_n = 0;
+  std::size_t val_n = 0;
+  std::size_t epochs = 0;     ///< baseline epochs
+  std::size_t lc_epochs = 0;  ///< stage-classifier epochs
+  std::size_t batch_size = 1;
+  bool prune = false;  ///< Algorithm-1 gain admission enabled
+};
+
+/// One parameter tensor's statistics, resolved to its owning layer.
+struct TrainParamStat {
+  std::size_t layer = 0;
+  std::string layer_name;
+  std::string param_name;
+  ParamStepStats stats;
+};
+
+/// One baseline epoch: the loss curve entry embedded in the report.
+struct TrainEpochRecord {
+  std::size_t epoch = 0;  ///< 1-based
+  double loss = 0.0;      ///< mean per-sample loss over the epoch
+  double accuracy = 0.0;  ///< running train accuracy (argmax of the logits)
+  double lr = 0.0;        ///< learning rate the epoch ran at
+  std::uint64_t wall_ns = 0;
+  std::vector<TrainParamStat> params;  ///< stats of the epoch's last step
+};
+
+/// One stage-classifier epoch (Algorithm 1 steps 4-7).
+struct LcEpochRecord {
+  std::size_t epoch = 0;  ///< 1-based
+  double loss = 0.0;      ///< mean LC loss over the instances that reached it
+  double lr = 0.0;
+  double weight_l2 = 0.0;       ///< classifier |[W;b]|_2 after the epoch
+  double weight_max_abs = 0.0;  ///< classifier max|w| after the epoch
+};
+
+/// One Algorithm-1 admission decision with every input of the gain formula.
+struct AdmissionRecord {
+  std::string stage;            ///< candidate name ("O1", "O2", ...)
+  std::size_t prefix_layers = 0;
+  double gamma_base = 0.0;      ///< γ_base: full baseline OPS
+  double gamma_i = 0.0;         ///< γ_i: cumulative OPS of exiting here
+  std::size_t reached = 0;      ///< I_i
+  std::size_t classified = 0;   ///< Cl_i at the training δ
+  double gain = 0.0;            ///< G_i as computed by the trainer
+  double epsilon = 0.0;         ///< admission bar ε
+  double train_delta = 0.0;     ///< δ used to measure Cl_i
+  bool admitted = false;
+};
+
+/// Diagnostic attached to a non-finite-loss abort.
+struct NonFiniteRecord {
+  std::string phase;       ///< "baseline" or "lc"
+  std::string stage;       ///< LC stage name, empty in the baseline phase
+  std::size_t epoch = 0;   ///< 1-based
+  std::size_t step = 0;    ///< optimizer step / sample index within the epoch
+  std::string layer_name;  ///< first offending tensor's layer ("loss" if none)
+  std::string param_name;
+  std::string stat;        ///< offending statistic ("weight", "gradient", "loss")
+  std::string value;       ///< rendered offending value ("nan", "inf", ...)
+};
+
+/// Per-stage block of the final report: LC curve + admission verdict.
+struct TrainStageRecord {
+  std::string stage;
+  std::size_t prefix_layers = 0;
+  std::vector<LcEpochRecord> epochs;
+  std::optional<AdmissionRecord> admission;
+};
+
+class TrainTelemetry final : public GradStatsSink {
+ public:
+  explicit TrainTelemetry(TrainTelemetryConfig config = {});
+
+  /// Streams JSONL events to `os` (not owned; may be null for report-only
+  /// collection). Attach before run_start() so the header is first in file.
+  void set_log(std::ostream* os) { log_ = os; }
+
+  /// Labels for resolving ParamStepStats::param to layer/parameter names.
+  void set_param_info(std::vector<Network::ParamInfo> info);
+
+  // --- run lifecycle --------------------------------------------------------
+  void run_start(const TrainRunInfo& info);
+  void run_end();
+
+  // --- baseline training ----------------------------------------------------
+  /// True when optimizer step `step` (1-based within the epoch) is due for a
+  /// batch event. The trainer arms stats for due steps and the epoch's last.
+  [[nodiscard]] bool batch_due(std::size_t step) const;
+  /// Arms stat collection for the next optimizer step (GradStatsSink gate).
+  void arm_stats();
+  /// Emits a "batch" event for the step that just ran (consumes armed stats
+  /// into the event; the buffer is retained for the epoch record).
+  void record_batch(std::size_t epoch, std::size_t step,
+                    std::size_t samples_seen, double mean_loss, double lr);
+  /// Emits an "epoch" event carrying the last armed step's parameter stats
+  /// and appends the epoch to the report's baseline loss curve.
+  void record_epoch(std::size_t epoch, std::size_t total_epochs, double loss,
+                    double accuracy, double lr);
+
+  // --- Algorithm 1 ----------------------------------------------------------
+  void record_lc_epoch(const std::string& stage, std::size_t prefix_layers,
+                       std::size_t epoch, std::size_t total_epochs,
+                       double loss, double lr, std::size_t reached,
+                       double weight_l2, double weight_max_abs);
+  void record_admission(const AdmissionRecord& record);
+
+  /// Records the diagnostic and emits a "non_finite" event. The trainer
+  /// throws TrainingDiverged right after; the streamed line survives the
+  /// unwind even when no report is ever written.
+  void record_non_finite(const NonFiniteRecord& record);
+
+  // --- post-training annotations (report only) ------------------------------
+  void set_fc_fraction(double fraction) { fc_fraction_ = fraction; }
+  void set_delta_selection(double delta, double accuracy);
+  void set_final_baseline_loss(double loss) { final_baseline_loss_ = loss; }
+
+  // --- GradStatsSink --------------------------------------------------------
+  void on_param_step(const ParamStepStats& stats) override;
+  [[nodiscard]] bool wants_stats() const override { return armed_; }
+
+  // --- export ---------------------------------------------------------------
+  /// Publishes the collected aggregates as cdl_train_* registry families
+  /// (epoch/sample totals, final losses, per-stage admission verdicts/gains).
+  void export_to_registry(Registry& registry) const;
+
+  /// Writes the full "cdl-train-report/1" JSON document. `registry` is
+  /// embedded under "metrics" when non-null (typically after
+  /// export_to_registry on it).
+  void write_report(std::ostream& os, const Registry* registry) const;
+  [[nodiscard]] std::string report_json(const Registry* registry) const;
+
+  // Collected state, exposed read-only for tests and tools.
+  [[nodiscard]] const TrainRunInfo& run_info() const { return info_; }
+  [[nodiscard]] const std::vector<TrainEpochRecord>& baseline_epochs() const {
+    return baseline_epochs_;
+  }
+  [[nodiscard]] const std::vector<TrainStageRecord>& stages() const {
+    return stages_;
+  }
+  [[nodiscard]] const std::optional<NonFiniteRecord>& non_finite() const {
+    return non_finite_;
+  }
+  [[nodiscard]] const TrainTelemetryConfig& config() const { return config_; }
+
+ private:
+  TrainStageRecord& stage_record(const std::string& stage,
+                                 std::size_t prefix_layers);
+  void write_event(const std::string& line);
+  [[nodiscard]] std::uint64_t elapsed_ns();
+  void write_param_stats(std::ostream& os,
+                         const std::vector<TrainParamStat>& params) const;
+
+  TrainTelemetryConfig config_;
+  std::ostream* log_ = nullptr;
+  TrainRunInfo info_;
+  std::vector<Network::ParamInfo> param_info_;
+
+  bool armed_ = false;
+  std::vector<TrainParamStat> pending_;  ///< stats of the last armed step
+
+  std::vector<TrainEpochRecord> baseline_epochs_;
+  std::vector<TrainStageRecord> stages_;
+  std::optional<NonFiniteRecord> non_finite_;
+  double fc_fraction_ = 0.0;
+  double final_baseline_loss_ = 0.0;
+  std::optional<std::pair<double, double>> delta_selection_;
+  std::uint64_t last_mark_ns_ = 0;  ///< wall-time anchor (wall_time only)
+};
+
+}  // namespace cdl::obs

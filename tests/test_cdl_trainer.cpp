@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "cdl/architectures.h"
 #include "cdl/cdl_trainer.h"
 #include "data/synthetic_mnist.h"
@@ -146,6 +149,55 @@ TEST(TrainCdl, GainFormulaMatchesAlgorithmOne) {
       (gamma_base - gamma_1) * static_cast<double>(s.classified) -
       gamma_1 * static_cast<double>(s.reached - s.classified);
   EXPECT_NEAR(s.gain, expected, std::abs(expected) * 1e-9);
+}
+
+TEST(TrainCdl, GammaFieldsReproduceTheRecordedGain) {
+  // The admission audit invariant: every stage's G_i must reproduce from the
+  // gamma_base / gamma_i / reached / classified recorded alongside it.
+  CdlTrainReport report;
+  ConditionalNetwork net = trained_small_cdln(CdlTrainConfig{}, &report);
+  EXPECT_GT(report.stages[0].gamma_base, 0.0);
+  for (const StageTrainReport& s : report.stages) {
+    EXPECT_GT(s.gamma_i, 0.0);
+    EXPECT_DOUBLE_EQ(s.gamma_base, report.stages[0].gamma_base);
+    const double expected =
+        (s.gamma_base - s.gamma_i) * static_cast<double>(s.classified) -
+        s.gamma_i * static_cast<double>(s.reached - s.classified);
+    EXPECT_DOUBLE_EQ(s.gain, expected) << s.stage_name;
+  }
+  // gamma_base is the full baseline cost the trainer measured against.
+  EXPECT_DOUBLE_EQ(
+      report.stages[0].gamma_base,
+      static_cast<double>(net.baseline_forward_ops().total_compute()));
+}
+
+TEST(TrainBaseline, NonFiniteLossAbortsTheEpochLoop) {
+  Network net = make_mnist_2c_baseline();
+  Rng rng(19);
+  net.init(rng);
+  (*net.parameters()[0])[0] = std::numeric_limits<float>::quiet_NaN();
+  BaselineTrainConfig config;
+  config.epochs = 3;
+  try {
+    (void)train_baseline(net, workload().train, config, rng);
+    FAIL() << "NaN weights must abort training";
+  } catch (const TrainingDiverged& e) {
+    EXPECT_EQ(e.phase, "baseline");
+    EXPECT_EQ(e.epoch, 1U);
+    EXPECT_GE(e.step, 1U);
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(TrainBaseline, NonFiniteGuardCanBeDisabled) {
+  Network net = make_mnist_2c_baseline();
+  Rng rng(19);
+  net.init(rng);
+  (*net.parameters()[0])[0] = std::numeric_limits<float>::quiet_NaN();
+  BaselineTrainConfig config;
+  config.epochs = 1;
+  config.abort_on_non_finite = false;
+  EXPECT_NO_THROW((void)train_baseline(net, workload().train, config, rng));
 }
 
 TEST(TrainCdl, TrainedCascadeBeatsChanceAndSavesOps) {

@@ -62,6 +62,53 @@ TEST_F(ModelIoTest, SoftmaxRuleSurvivesRoundTrip) {
   EXPECT_EQ(restored.classifier(0).rule(), LcTrainingRule::kSoftmaxXent);
 }
 
+TEST_F(ModelIoTest, ProvenanceRoundTrips) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(23);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::TrainProvenance prov;
+  prov.seed = 77;
+  prov.epochs = 9;
+  prov.lc_epochs = 4;
+  prov.git_describe = "abc1234-dirty";
+  prov.final_loss = 1.25F;
+  prov.val_accuracy = 0.8675F;
+  tools::save_model(path("prov"), net, arch.name, &prov);
+
+  tools::ModelMeta meta;
+  (void)tools::load_model(path("prov"), &meta);
+  ASSERT_TRUE(meta.provenance.has_value());
+  EXPECT_EQ(meta.provenance->seed, 77U);
+  EXPECT_EQ(meta.provenance->epochs, 9U);
+  EXPECT_EQ(meta.provenance->lc_epochs, 4U);
+  EXPECT_EQ(meta.provenance->git_describe, "abc1234-dirty");
+  // %.9g round-trips any float32 exactly.
+  EXPECT_EQ(meta.provenance->final_loss, 1.25F);
+  EXPECT_EQ(meta.provenance->val_accuracy, 0.8675F);
+}
+
+TEST_F(ModelIoTest, ProvenanceAbsentForLegacyBundles) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(23);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("legacy"), net, arch.name);
+  tools::ModelMeta meta;
+  (void)tools::load_model(path("legacy"), &meta);
+  EXPECT_FALSE(meta.provenance.has_value());
+}
+
+TEST_F(ModelIoTest, UnknownMetaKeysAreSkipped) {
+  // Forward compatibility: a meta file from a newer tool must still load.
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(23);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("fwd"), net, arch.name);
+  std::ofstream meta(path("fwd") + ".meta", std::ios::app);
+  meta << "future_key some value\n";
+  meta.close();
+  EXPECT_NO_THROW((void)tools::load_model(path("fwd")));
+}
+
 TEST_F(ModelIoTest, MissingMetaRejected) {
   EXPECT_THROW((void)tools::load_model(path("absent")), std::runtime_error);
 }

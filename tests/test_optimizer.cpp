@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "core/rng.h"
 #include "nn/dense.h"
 #include "nn/loss.h"
@@ -69,6 +73,127 @@ TEST(SgdOptimizer, LrDecayAppliedPerEpoch) {
   EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5F);
   opt.end_epoch();
   EXPECT_FLOAT_EQ(opt.learning_rate(), 0.25F);
+}
+
+TEST(SgdOptimizer, LrDecaySequenceExactOverManyEpochs) {
+  // The telemetry log records the lr each epoch ran at; the decay sequence
+  // must be the exact float recurrence lr *= decay, not a pow() rederivation.
+  SgdOptimizer opt(
+      {.learning_rate = 0.1F, .momentum = 0.0F, .lr_decay = 0.9F});
+  float expected = 0.1F;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    EXPECT_EQ(opt.learning_rate(), expected) << "epoch " << epoch;
+    opt.end_epoch();
+    expected *= 0.9F;
+  }
+}
+
+TEST(SgdOptimizer, LrDecayOfOneIsExactlyConstant) {
+  SgdOptimizer opt(
+      {.learning_rate = 0.05F, .momentum = 0.2F, .lr_decay = 1.0F});
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    opt.end_epoch();
+    EXPECT_EQ(opt.learning_rate(), 0.05F);
+  }
+}
+
+struct RecordingSink final : GradStatsSink {
+  void on_param_step(const ParamStepStats& stats) override {
+    got.push_back(stats);
+  }
+  [[nodiscard]] bool wants_stats() const override { return armed; }
+  std::vector<ParamStepStats> got;
+  bool armed = true;
+};
+
+TEST(GradStatsSink, ReceivesExactNormsPerParameter) {
+  Network net;
+  net.emplace<Dense>(2, 2);  // params: w (4 elements), b (2 elements)
+  net.parameters()[0]->fill(2.0F);
+  net.parameters()[1]->fill(0.0F);
+  net.gradients()[0]->fill(0.5F);
+  net.gradients()[1]->fill(1.0F);
+
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  RecordingSink sink;
+  opt.set_stats_sink(&sink);
+  opt.step(net);
+
+  ASSERT_EQ(sink.got.size(), 2U);
+  const ParamStepStats& w = sink.got[0];
+  EXPECT_EQ(w.param, 0U);
+  EXPECT_NEAR(w.grad_l2, std::sqrt(4.0 * 0.25), 1e-12);
+  EXPECT_NEAR(w.grad_max_abs, 0.5, 1e-12);
+  EXPECT_NEAR(w.update_l2, std::sqrt(4.0 * 0.05 * 0.05), 1e-7);
+  EXPECT_NEAR(w.update_max_abs, 0.05, 1e-7);
+  EXPECT_NEAR(w.weight_l2, std::sqrt(4.0 * 1.95 * 1.95), 1e-6);
+  EXPECT_NEAR(w.weight_max_abs, 1.95, 1e-6);
+  EXPECT_TRUE(w.finite());
+
+  const ParamStepStats& b = sink.got[1];
+  EXPECT_EQ(b.param, 1U);
+  EXPECT_NEAR(b.grad_l2, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(b.update_l2, std::sqrt(2.0 * 0.01), 1e-7);
+  EXPECT_NEAR(b.weight_max_abs, 0.1, 1e-7);
+}
+
+TEST(GradStatsSink, WantsStatsFalseSkipsCollection) {
+  Network net;
+  net.emplace<Dense>(2, 2);
+  net.gradients()[0]->fill(1.0F);
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  RecordingSink sink;
+  sink.armed = false;
+  opt.set_stats_sink(&sink);
+  opt.step(net);
+  EXPECT_TRUE(sink.got.empty());
+  EXPECT_EQ(net.gradients()[0]->sum(), 0.0F);  // step still ran
+}
+
+TEST(GradStatsSink, RecordedStepMatchesFastPathBitExactly) {
+  // The stats branch must apply the identical update arithmetic as the
+  // sink-free fast path — telemetry must never perturb training.
+  Rng rng(21);
+  Network plain;
+  plain.emplace<Dense>(4, 3);
+  plain.init(rng);
+  Network recorded;
+  recorded.emplace<Dense>(4, 3);
+  for (std::size_t p = 0; p < plain.parameters().size(); ++p) {
+    *recorded.parameters()[p] = *plain.parameters()[p];
+    plain.gradients()[p]->fill(0.25F + static_cast<float>(p));
+    *recorded.gradients()[p] = *plain.gradients()[p];
+  }
+
+  SgdOptimizer opt_plain({.learning_rate = 0.1F, .momentum = 0.5F});
+  SgdOptimizer opt_recorded({.learning_rate = 0.1F, .momentum = 0.5F});
+  RecordingSink sink;
+  opt_recorded.set_stats_sink(&sink);
+  for (int step = 0; step < 3; ++step) {
+    opt_plain.step(plain);
+    opt_recorded.step(recorded);
+    for (std::size_t p = 0; p < plain.parameters().size(); ++p) {
+      plain.gradients()[p]->fill(0.125F);
+      recorded.gradients()[p]->fill(0.125F);
+    }
+  }
+  for (std::size_t p = 0; p < plain.parameters().size(); ++p) {
+    const Tensor& a = *plain.parameters()[p];
+    const Tensor& b = *recorded.parameters()[p];
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "param " << p << " element " << i;
+    }
+  }
+}
+
+TEST(GradStatsSink, FiniteDetectsPoisonedStats) {
+  ParamStepStats stats;
+  EXPECT_TRUE(stats.finite());
+  stats.grad_l2 = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(stats.finite());
+  stats.grad_l2 = 0.0;
+  stats.weight_max_abs = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(stats.finite());
 }
 
 TEST(SgdOptimizer, SteppingDifferentNetworkThrows) {

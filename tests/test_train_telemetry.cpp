@@ -1,0 +1,244 @@
+// Training-telemetry subsystem: byte-determinism of the JSONL event stream
+// and the cdl-train-report/1 document, the Algorithm-1 admission audit, the
+// batch-record cadence and the non-finite-loss guard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "cdl/architectures.h"
+#include "cdl/cdl_trainer.h"
+#include "data/synthetic_mnist.h"
+#include "obs/registry.h"
+#include "obs/train_telemetry.h"
+
+namespace cdl {
+namespace {
+
+const Dataset& small_train() {
+  static const Dataset data = [] {
+    SyntheticMnistConfig config;
+    config.seed = 9;
+    return SyntheticMnist(config).generate(120);
+  }();
+  return data;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+struct TelemetryRun {
+  std::string log;
+  std::string report;
+  CdlTrainReport cdl;
+  std::vector<obs::TrainEpochRecord> epochs;
+  std::vector<obs::TrainStageRecord> stages;
+};
+
+/// One full baseline + Algorithm-1 training pass with telemetry attached.
+TelemetryRun run_once(std::size_t log_batches) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(17);
+  Network base = arch.make_baseline();
+  base.init(rng);
+
+  obs::TrainTelemetryConfig tcfg;
+  tcfg.log_every_batches = log_batches;
+  obs::TrainTelemetry tel(tcfg);
+  std::ostringstream log;
+  tel.set_log(&log);
+
+  obs::TrainRunInfo info;
+  info.tool = "test_train_telemetry";
+  info.arch = arch.name;
+  info.rule = "lms";
+  info.seed = 17;
+  info.train_n = small_train().size();
+  info.epochs = 2;
+  info.lc_epochs = 2;
+  info.prune = true;
+  tel.run_start(info);
+
+  BaselineTrainConfig bcfg;
+  bcfg.epochs = 2;
+  bcfg.telemetry = &tel;
+  (void)train_baseline(base, small_train(), bcfg, rng);
+
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.candidate_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  CdlTrainConfig cfg;
+  cfg.lc_epochs = 2;
+  cfg.prune_by_gain = true;
+  cfg.telemetry = &tel;
+
+  TelemetryRun out;
+  out.cdl = train_cdl(net, small_train(), cfg, rng);
+  tel.run_end();
+
+  obs::Registry registry;
+  tel.export_to_registry(registry);
+  out.report = tel.report_json(&registry);
+  out.log = log.str();
+  out.epochs = tel.baseline_epochs();
+  out.stages = tel.stages();
+  return out;
+}
+
+TEST(TrainTelemetry, RepeatedRunsAreByteIdentical) {
+  const TelemetryRun a = run_once(30);
+  const TelemetryRun b = run_once(30);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.report, b.report);
+}
+
+TEST(TrainTelemetry, StreamBracketsTheRun) {
+  const TelemetryRun run = run_once(0);
+  EXPECT_EQ(run.log.rfind("{\"schema\": \"cdl-train-events/1\", "
+                          "\"event\": \"run_start\"", 0), 0U);
+  EXPECT_NE(run.log.find("\"event\": \"run_end\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(run.log, "\"event\": \"epoch\""), 2U);
+  EXPECT_EQ(count_occurrences(run.log, "\"event\": \"lc_epoch\""),
+            2U * mnist_2c().candidate_stages.size());
+}
+
+TEST(TrainTelemetry, BatchCadenceHonored) {
+  // 120 samples, batch size 1 => 120 steps/epoch: cadence 30 fires at steps
+  // 30/60/90/120 in each of the 2 epochs; cadence 0 never fires.
+  EXPECT_EQ(count_occurrences(run_once(0).log, "\"event\": \"batch\""), 0U);
+  EXPECT_EQ(count_occurrences(run_once(30).log, "\"event\": \"batch\""), 8U);
+}
+
+TEST(TrainTelemetry, EpochRecordsCarryFiniteStatsAndZeroWallTime) {
+  const TelemetryRun run = run_once(0);
+  ASSERT_EQ(run.epochs.size(), 2U);
+  for (std::size_t i = 0; i < run.epochs.size(); ++i) {
+    const obs::TrainEpochRecord& e = run.epochs[i];
+    EXPECT_EQ(e.epoch, i + 1);
+    EXPECT_TRUE(std::isfinite(e.loss));
+    EXPECT_GE(e.accuracy, 0.0);
+    EXPECT_LE(e.accuracy, 1.0);
+    // Determinism contract: wall time renders as 0 unless opted in.
+    EXPECT_EQ(e.wall_ns, 0U);
+    ASSERT_FALSE(e.params.empty());
+    for (const obs::TrainParamStat& p : e.params) {
+      EXPECT_FALSE(p.layer_name.empty());
+      EXPECT_TRUE(p.stats.finite()) << p.layer_name << "." << p.param_name;
+      EXPECT_GT(p.stats.weight_l2, 0.0);
+    }
+  }
+}
+
+TEST(TrainTelemetry, AdmissionRecordsMirrorTrainerReport) {
+  const TelemetryRun run = run_once(0);
+  ASSERT_EQ(run.stages.size(), run.cdl.stages.size());
+  for (std::size_t i = 0; i < run.stages.size(); ++i) {
+    const StageTrainReport& truth = run.cdl.stages[i];
+    ASSERT_TRUE(run.stages[i].admission.has_value()) << truth.stage_name;
+    const obs::AdmissionRecord& adm = *run.stages[i].admission;
+    EXPECT_EQ(adm.stage, truth.stage_name);
+    EXPECT_EQ(adm.prefix_layers, truth.prefix_layers);
+    EXPECT_EQ(adm.reached, truth.reached);
+    EXPECT_EQ(adm.classified, truth.classified);
+    EXPECT_EQ(adm.admitted, truth.admitted);
+    EXPECT_DOUBLE_EQ(adm.gamma_base, truth.gamma_base);
+    EXPECT_DOUBLE_EQ(adm.gamma_i, truth.gamma_i);
+    EXPECT_DOUBLE_EQ(adm.gain, truth.gain);
+    // The audit invariant: G_i reproduces from the record's own inputs.
+    const double expected =
+        (adm.gamma_base - adm.gamma_i) * static_cast<double>(adm.classified) -
+        adm.gamma_i * static_cast<double>(adm.reached - adm.classified);
+    EXPECT_DOUBLE_EQ(adm.gain, expected);
+  }
+}
+
+TEST(TrainTelemetry, ReportDocumentHasTheContractFields) {
+  const TelemetryRun run = run_once(0);
+  EXPECT_NE(run.report.find("\"schema\": \"cdl-train-report/1\""),
+            std::string::npos);
+  EXPECT_NE(run.report.find("\"baseline\""), std::string::npos);
+  EXPECT_NE(run.report.find("\"admission\""), std::string::npos);
+  EXPECT_NE(run.report.find("\"fc_fraction\""), std::string::npos);
+  EXPECT_NE(run.report.find("\"non_finite\": null"), std::string::npos);
+  EXPECT_NE(run.report.find("\"cdl_train_stage_gain\""), std::string::npos);
+}
+
+TEST(TrainTelemetry, BaselineNonFiniteGuardAbortsWithDiagnostic) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(3);
+  Network base = arch.make_baseline();
+  base.init(rng);
+  (*base.parameters()[0])[0] = std::numeric_limits<float>::quiet_NaN();
+
+  obs::TrainTelemetry tel;
+  std::ostringstream log;
+  tel.set_log(&log);
+  BaselineTrainConfig bcfg;
+  bcfg.epochs = 1;
+  bcfg.telemetry = &tel;
+  try {
+    (void)train_baseline(base, small_train(), bcfg, rng);
+    FAIL() << "poisoned weights must abort the epoch loop";
+  } catch (const TrainingDiverged& e) {
+    EXPECT_EQ(e.phase, "baseline");
+    EXPECT_EQ(e.epoch, 1U);
+    EXPECT_GE(e.step, 1U);
+  }
+  ASSERT_TRUE(tel.non_finite().has_value());
+  const obs::NonFiniteRecord& diag = *tel.non_finite();
+  EXPECT_EQ(diag.phase, "baseline");
+  // The first poisoned tensor is the conv weight the test wrote NaN into.
+  EXPECT_FALSE(diag.layer_name.empty());
+  EXPECT_EQ(diag.stat, "weight");
+  EXPECT_NE(log.str().find("\"event\": \"non_finite\""), std::string::npos);
+}
+
+TEST(TrainTelemetry, LcNonFiniteGuardAbortsWithStageDiagnostic) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(3);
+  Network base = arch.make_baseline();
+  base.init(rng);
+  BaselineTrainConfig bcfg;
+  bcfg.epochs = 1;
+  (void)train_baseline(base, small_train(), bcfg, rng);
+
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (std::size_t prefix : arch.candidate_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  // NaN in the trunk poisons the stage activations, so the first LC epoch's
+  // mean loss goes non-finite.
+  (*net.baseline().parameters()[0])[0] =
+      std::numeric_limits<float>::quiet_NaN();
+
+  obs::TrainTelemetry tel;
+  std::ostringstream log;
+  tel.set_log(&log);
+  CdlTrainConfig cfg;
+  cfg.lc_epochs = 2;
+  cfg.telemetry = &tel;
+  try {
+    (void)train_cdl(net, small_train(), cfg, rng);
+    FAIL() << "poisoned activations must abort LC training";
+  } catch (const TrainingDiverged& e) {
+    EXPECT_EQ(e.phase, "lc");
+    EXPECT_EQ(e.epoch, 1U);
+  }
+  ASSERT_TRUE(tel.non_finite().has_value());
+  EXPECT_EQ(tel.non_finite()->phase, "lc");
+  EXPECT_FALSE(tel.non_finite()->stage.empty());
+  EXPECT_NE(log.str().find("\"event\": \"non_finite\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -73,6 +73,35 @@ if command -v python3 >/dev/null 2>&1; then
       --validate-report "$WORK_DIR/train_report.json" --tolerance 0.5
 fi
 
+# Training telemetry: --train-log / --train-report must emit the
+# cdl-train-events/1 JSONL stream and cdl-train-report/1 JSON, both
+# byte-identical across thread counts (training aggregates serially; the
+# determinism contract covers every emitted byte), with every Algorithm-1
+# admission gain recomputable from its own recorded inputs.
+"$TOOLS_DIR/cdl_train" --arch mnist_2c --train-n 200 --val-n 50 \
+    --epochs 2 --lc-epochs 2 --seed 5 --prune --log-batches 50 \
+    --train-log "$WORK_DIR/events1.jsonl" \
+    --train-report "$WORK_DIR/train_telemetry1.json" \
+    --out "$WORK_DIR/model3" > "$WORK_DIR/train3.log"
+grep -q "train report written" "$WORK_DIR/train3.log"
+"$TOOLS_DIR/cdl_train" --arch mnist_2c --train-n 200 --val-n 50 \
+    --epochs 2 --lc-epochs 2 --seed 5 --prune --log-batches 50 \
+    --threads 2 \
+    --train-log "$WORK_DIR/events2.jsonl" \
+    --train-report "$WORK_DIR/train_telemetry2.json" \
+    --out "$WORK_DIR/model3b" > /dev/null
+cmp "$WORK_DIR/events1.jsonl" "$WORK_DIR/events2.jsonl"
+cmp "$WORK_DIR/train_telemetry1.json" "$WORK_DIR/train_telemetry2.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$SCRIPTS_DIR/bench_check.py" \
+      --validate-train-report "$WORK_DIR/train_telemetry1.json" \
+      --train-log "$WORK_DIR/events1.jsonl"
+fi
+# Provenance must round-trip through the model bundle into cdl_eval.
+grep -q "^seed 5$" "$WORK_DIR/model3.meta"
+"$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model3" --test-n 50 --seed 5 \
+    | grep -q "trained: seed 5, 2 epochs"
+
 # Delta override must be reflected in the report header.
 "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \
     --delta 0.75 | grep -q "delta 0.75"

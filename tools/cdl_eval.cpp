@@ -40,6 +40,21 @@ int run(const cdl::ArgParser& args) {
               meta.arch_name.c_str(), net.num_stages(),
               to_string(meta.rule).c_str(),
               static_cast<double>(net.activation_module().delta()));
+  if (meta.provenance) {
+    const cdl::tools::TrainProvenance& prov = *meta.provenance;
+    std::printf("trained: seed %llu, %zu epochs + %zu lc-epochs, "
+                "final loss %.4f", static_cast<unsigned long long>(prov.seed),
+                prov.epochs, prov.lc_epochs,
+                static_cast<double>(prov.final_loss));
+    if (prov.val_accuracy >= 0.0F) {
+      std::printf(", val accuracy %.2f %%",
+                  100.0 * static_cast<double>(prov.val_accuracy));
+    }
+    if (!prov.git_describe.empty()) {
+      std::printf(" (build %s)", prov.git_describe.c_str());
+    }
+    std::printf("\n");
+  }
 
   const std::string trace_out = args.get("trace-out");
   cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();

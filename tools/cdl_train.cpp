@@ -2,18 +2,27 @@
 //
 //   cdl_train --arch mnist_3c --train-n 6000 --out my_model
 //   cdl_eval  --model my_model --test-n 2000
+//
+// With --train-log / --train-report the run also emits the training-telemetry
+// surfaces (cdl-train-events/1 JSONL and cdl-train-report/1 JSON): loss
+// curves with per-layer gradient/weight statistics, every Algorithm-1
+// admission decision, and non-finite-loss diagnostics. Both are
+// byte-deterministic for a given seed unless --train-timing is passed.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "cdl/architectures.h"
 #include "cdl/cdl_trainer.h"
 #include "cdl/delta_selection.h"
+#include "core/thread_pool.h"
 #include "data/synthetic_mnist.h"
 #include "energy/energy_model.h"
 #include "eval/metrics.h"
 #include "model_io.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/train_telemetry.h"
 #include "report_io.h"
 #include "util/args.h"
 
@@ -28,6 +37,48 @@ int run(const cdl::ArgParser& args) {
   const cdl::CdlArchitecture arch =
       arch_name == "mnist_2c" ? cdl::mnist_2c() : cdl::mnist_3c();
   const auto seed = static_cast<std::uint64_t>(args.get_size("seed"));
+  const cdl::LcTrainingRule rule = args.get("rule") == "softmax"
+                                       ? cdl::LcTrainingRule::kSoftmaxXent
+                                       : cdl::LcTrainingRule::kLms;
+
+  std::optional<cdl::ThreadPool> pool_storage;
+  cdl::ThreadPool* pool = nullptr;
+  if (args.get_size("threads") != 1) {
+    pool_storage.emplace(args.get_size("threads"));
+    if (pool_storage->size() > 1) pool = &*pool_storage;
+  }
+
+  // Training telemetry: one sink feeds both the streamed JSONL log and the
+  // final report. Training itself is unchanged when neither is requested.
+  const std::string train_log_out = args.get("train-log");
+  const std::string train_report_out = args.get("train-report");
+  std::optional<cdl::obs::TrainTelemetry> telemetry;
+  std::ofstream train_log_os;
+  if (!train_log_out.empty() || !train_report_out.empty()) {
+    cdl::obs::TrainTelemetryConfig tcfg;
+    tcfg.log_every_batches = args.get_size("log-batches");
+    tcfg.wall_time = args.get_flag("train-timing");
+    telemetry.emplace(tcfg);
+    if (!train_log_out.empty()) {
+      train_log_os.open(train_log_out);
+      if (!train_log_os) {
+        throw std::runtime_error("cannot write " + train_log_out);
+      }
+      telemetry->set_log(&train_log_os);
+    }
+  }
+  cdl::obs::TrainTelemetry* tel = telemetry ? &*telemetry : nullptr;
+
+  const auto write_train_report = [&] {
+    if (train_report_out.empty() || tel == nullptr) return;
+    cdl::obs::Registry train_registry;
+    tel->export_to_registry(train_registry);
+    std::ofstream os(train_report_out);
+    if (!os) throw std::runtime_error("cannot write " + train_report_out);
+    tel->write_report(os, &train_registry);
+    if (!os) throw std::runtime_error("write failure on " + train_report_out);
+    std::printf("train report written to %s\n", train_report_out.c_str());
+  };
 
   std::printf("loading data (%zu train / %zu val, seed %llu)...\n",
               args.get_size("train-n"), args.get_size("val-n"),
@@ -45,47 +96,91 @@ int run(const cdl::ArgParser& args) {
               baseline.summary().c_str());
   cdl::BaselineTrainConfig bcfg;
   bcfg.epochs = args.get_size("epochs");
-  bcfg.log_every = 1;
-  {
-    CDL_TRACE_SPAN(span, "train_baseline", -1);
-    cdl::train_baseline(baseline, data.train, bcfg, rng);
+  bcfg.log_every = args.get_size("log-every");
+  bcfg.telemetry = tel;
+
+  if (tel != nullptr) {
+    cdl::obs::TrainRunInfo info;
+    info.tool = "cdl_train";
+    info.arch = arch.name;
+    info.rule = to_string(rule);
+    info.git = cdl::tools::git_describe();
+    info.seed = seed;
+    info.train_n = data.train.size();
+    info.val_n = data.validation.size();
+    info.epochs = bcfg.epochs;
+    info.lc_epochs = args.get_size("lc-epochs");
+    info.batch_size = bcfg.batch_size;
+    info.prune = args.get_flag("prune");
+    tel->run_start(info);
   }
 
-  cdl::ConditionalNetwork net(std::move(baseline), arch.input_shape);
-  const cdl::LcTrainingRule rule = args.get("rule") == "softmax"
-                                       ? cdl::LcTrainingRule::kSoftmaxXent
-                                       : cdl::LcTrainingRule::kLms;
-  const auto& candidates =
-      args.get_flag("prune") ? arch.candidate_stages : arch.default_stages;
-  for (std::size_t prefix : candidates) {
-    net.attach_classifier(prefix, rule, rng);
-  }
+  float final_loss = 0.0F;
+  cdl::CdlTrainReport report;
+  std::optional<cdl::ConditionalNetwork> net_storage;
+  try {
+    {
+      CDL_TRACE_SPAN(span, "train_baseline", -1);
+      final_loss = cdl::train_baseline(baseline, data.train, bcfg, rng);
+    }
 
-  std::printf("training stage classifiers (Algorithm 1%s)...\n",
-              args.get_flag("prune") ? ", gain pruning on" : "");
-  cdl::CdlTrainConfig cfg;
-  cfg.lc_epochs = args.get_size("lc-epochs");
-  cfg.prune_by_gain = args.get_flag("prune");
-  const cdl::CdlTrainReport report = [&] {
-    CDL_TRACE_SPAN(span, "train_cdl", -1);
-    return cdl::train_cdl(net, data.train, cfg, rng);
-  }();
+    net_storage.emplace(std::move(baseline), arch.input_shape);
+    cdl::ConditionalNetwork& net = *net_storage;
+    const auto& candidates =
+        args.get_flag("prune") ? arch.candidate_stages : arch.default_stages;
+    for (std::size_t prefix : candidates) {
+      net.attach_classifier(prefix, rule, rng);
+    }
+
+    std::printf("training stage classifiers (Algorithm 1%s)...\n",
+                args.get_flag("prune") ? ", gain pruning on" : "");
+    cdl::CdlTrainConfig cfg;
+    cfg.lc_epochs = args.get_size("lc-epochs");
+    cfg.prune_by_gain = args.get_flag("prune");
+    cfg.log_every = args.get_size("log-every");
+    cfg.telemetry = tel;
+    {
+      CDL_TRACE_SPAN(span, "train_cdl", -1);
+      report = cdl::train_cdl(net, data.train, cfg, rng);
+    }
+  } catch (const cdl::TrainingDiverged& e) {
+    // The matching "non_finite" event is already in the stream; still write
+    // the report so the partial curves survive for post-mortem.
+    write_train_report();
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  cdl::ConditionalNetwork& net = *net_storage;
   for (const auto& s : report.stages) {
     std::printf("  %s: reached %zu, classified %zu -> %s\n",
                 s.stage_name.c_str(), s.reached, s.classified,
                 s.admitted ? "admitted" : "rejected");
   }
 
+  cdl::tools::TrainProvenance provenance;
+  provenance.seed = seed;
+  provenance.epochs = bcfg.epochs;
+  provenance.lc_epochs = args.get_size("lc-epochs");
+  provenance.git_describe = cdl::tools::git_describe();
+  provenance.final_loss = final_loss;
   if (!data.validation.empty()) {
     CDL_TRACE_SPAN(span, "select_delta", -1);
     const cdl::DeltaSelection sel = cdl::select_delta(net, data.validation);
     std::printf("delta selected on validation: %.2f (accuracy %.2f %%)\n",
                 static_cast<double>(sel.best.delta), 100.0 * sel.best.accuracy);
+    provenance.val_accuracy = static_cast<float>(sel.best.accuracy);
+    if (tel != nullptr) {
+      tel->set_delta_selection(static_cast<double>(sel.best.delta),
+                               sel.best.accuracy);
+    }
   }
 
-  cdl::tools::save_model(args.get("out"), net, arch.name);
+  cdl::tools::save_model(args.get("out"), net, arch.name, &provenance);
   std::printf("model saved to %s.cdlw / %s.meta\n", args.get("out").c_str(),
               args.get("out").c_str());
+
+  if (tel != nullptr) tel->run_end();
+  write_train_report();
 
   const std::string report_out = args.get("report");
   const std::string metrics_out = args.get("metrics-out");
@@ -99,7 +194,7 @@ int run(const cdl::ArgParser& args) {
     cdl::obs::RunReport run_report;
     cdl::tools::MeasuredRegion region(!report_out.empty(), want_perf);
     region.start();
-    const cdl::Evaluation eval = cdl::evaluate_cdl(net, eval_data, energy);
+    const cdl::Evaluation eval = cdl::evaluate_cdl(net, eval_data, energy, pool);
     region.finish(run_report);
 
     if (want_perf) {
@@ -124,7 +219,7 @@ int run(const cdl::ArgParser& args) {
     if (!report_out.empty()) {
       run_report.tool = "cdl_train";
       run_report.network = arch.name;
-      run_report.threads = 1;
+      run_report.threads = pool != nullptr ? pool->size() : 1;
       run_report.samples = eval_data.size();
       run_report.seed = seed;
       std::uint64_t total_ops = 0;
@@ -167,10 +262,15 @@ int main(int argc, char** argv) {
   args.add_option("lc-epochs", "12", "linear-classifier training epochs");
   args.add_option("rule", "lms", "stage classifier rule: lms or softmax");
   args.add_option("out", "cdl_model", "output path prefix (.cdlw/.meta)");
+  args.add_option("threads", "1", "evaluation worker threads for the "
+                                  "measured region (0 = hardware "
+                                  "concurrency); training is serial and "
+                                  "results are identical for any value");
   args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
                                    "tracing for the run)");
   args.add_flag("prune", "apply Algorithm 1's gain-based stage admission");
   cdl::tools::add_report_options(args);
+  cdl::tools::add_train_report_options(args);
 
   try {
     args.parse(argc, argv);

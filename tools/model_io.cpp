@@ -1,5 +1,6 @@
 #include "model_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -20,8 +21,21 @@ const CdlArchitecture& find_arch(const std::string& name) {
 
 }  // namespace
 
+namespace {
+
+// Round-trippable float rendering for the meta file (%.9g recovers any
+// float32 exactly).
+std::string render_float(float value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", static_cast<double>(value));
+  return buffer;
+}
+
+}  // namespace
+
 void save_model(const std::string& path, ConditionalNetwork& net,
-                const std::string& arch_name) {
+                const std::string& arch_name,
+                const TrainProvenance* provenance) {
   net.save(path + ".cdlw");
   std::ofstream meta(path + ".meta");
   if (!meta) throw std::runtime_error("cannot open " + path + ".meta");
@@ -35,6 +49,16 @@ void save_model(const std::string& path, ConditionalNetwork& net,
        << (net.num_stages() > 0 ? to_string(net.classifier(0).rule()) : "lms")
        << '\n';
   meta << "delta " << net.activation_module().delta() << '\n';
+  if (provenance != nullptr) {
+    meta << "seed " << provenance->seed << '\n';
+    meta << "epochs " << provenance->epochs << '\n';
+    meta << "lc_epochs " << provenance->lc_epochs << '\n';
+    if (!provenance->git_describe.empty()) {
+      meta << "git " << provenance->git_describe << '\n';
+    }
+    meta << "final_loss " << render_float(provenance->final_loss) << '\n';
+    meta << "val_accuracy " << render_float(provenance->val_accuracy) << '\n';
+  }
 }
 
 ConditionalNetwork load_model(const std::string& path, ModelMeta* meta_out) {
@@ -59,7 +83,26 @@ ConditionalNetwork load_model(const std::string& path, ModelMeta* meta_out) {
                                          : LcTrainingRule::kLms;
     } else if (key == "delta") {
       is >> meta.delta;
+    } else if (key == "seed") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->seed;
+    } else if (key == "epochs") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->epochs;
+    } else if (key == "lc_epochs") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->lc_epochs;
+    } else if (key == "git") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->git_describe;
+    } else if (key == "final_loss") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->final_loss;
+    } else if (key == "val_accuracy") {
+      if (!meta.provenance) meta.provenance.emplace();
+      is >> meta.provenance->val_accuracy;
     }
+    // Unknown keys are skipped: newer meta files load in older tools.
   }
 
   const CdlArchitecture& arch = find_arch(meta.arch_name);

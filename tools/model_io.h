@@ -4,6 +4,8 @@
 // enough to reconstruct the network without re-running training.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,16 +13,31 @@
 
 namespace cdl::tools {
 
+/// How the checkpoint was produced: enough to re-run (or audit) the training
+/// without the original shell history. Older .meta files simply lack these
+/// keys; the loader leaves `ModelMeta::provenance` empty for them.
+struct TrainProvenance {
+  std::uint64_t seed = 0;
+  std::size_t epochs = 0;      // baseline backprop epochs
+  std::size_t lc_epochs = 0;   // stage-classifier epochs
+  std::string git_describe;    // build stamp ("unknown" outside git)
+  float final_loss = 0.0F;     // last baseline epoch's mean loss
+  float val_accuracy = -1.0F;  // delta-selection accuracy; -1 = no val split
+};
+
 struct ModelMeta {
   std::string arch_name;               // "MNIST_2C" / "MNIST_3C"
   std::vector<std::size_t> stages;     // admitted prefixes, sorted
   LcTrainingRule rule = LcTrainingRule::kLms;
   float delta = 0.5F;
+  std::optional<TrainProvenance> provenance;
 };
 
-/// Writes <path>.cdlw and <path>.meta for a trained network.
+/// Writes <path>.cdlw and <path>.meta for a trained network. When
+/// `provenance` is non-null its fields are appended to the meta file.
 void save_model(const std::string& path, ConditionalNetwork& net,
-                const std::string& arch_name);
+                const std::string& arch_name,
+                const TrainProvenance* provenance = nullptr);
 
 /// Rebuilds the architecture from the meta file and loads the weights.
 [[nodiscard]] ConditionalNetwork load_model(const std::string& path,

@@ -25,6 +25,34 @@ inline void add_report_options(ArgParser& args) {
                         "perf_event_open is unavailable)");
 }
 
+/// Flags of the training-telemetry surface (tools that train). The logs'
+/// default contract is byte-determinism: --train-timing opts into real
+/// wall-clock stamps at the cost of that guarantee.
+inline void add_train_report_options(ArgParser& args) {
+  args.add_option("train-log", "", "stream a cdl-train-events/1 JSONL "
+                                   "training event log here");
+  args.add_option("train-report", "", "write a cdl-train-report/1 JSON "
+                                      "training report here");
+  args.add_option("log-every", "1", "print training loss every N epochs "
+                                    "(baseline and stage classifiers; "
+                                    "0 = silent)");
+  args.add_option("log-batches", "0", "emit a train-log batch record every "
+                                      "N optimizer steps (0 = epoch records "
+                                      "only)");
+  args.add_flag("train-timing", "stamp training events with real wall-clock "
+                                "durations (trades away the train log's "
+                                "byte-determinism)");
+}
+
+/// Build provenance stamped into train logs and model metadata.
+inline const char* git_describe() {
+#ifdef CDL_GIT_DESCRIBE
+  return CDL_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Brackets one measured region. start() clears and enables the layer
 /// profiler (when attribution was requested) and arms the perf counter
 /// group; finish() stops both and fills the report's timing, attribution,
