@@ -14,6 +14,7 @@
 #include "nn/dense.h"
 #include "nn/gemm.h"
 #include "nn/pool2d.h"
+#include "nn/qgemm.h"
 
 namespace {
 
@@ -80,6 +81,116 @@ void BM_SgemmPackedParallel(benchmark::State& state) {
   state.SetItemsProcessed(gemm_items(state, n));
 }
 BENCHMARK(BM_SgemmPackedParallel)->Args({256, 2})->Args({256, 4});
+
+std::vector<std::int8_t> random_weights_s8(std::size_t numel,
+                                           std::uint64_t seed) {
+  cdl::Rng rng(seed);
+  std::vector<std::int8_t> w(numel);
+  const std::size_t span = 2 * static_cast<std::size_t>(cdl::kQgemmWeightMax);
+  for (std::int8_t& v : w) {
+    v = static_cast<std::int8_t>(static_cast<std::int32_t>(rng.index(span + 1)) -
+                                 cdl::kQgemmWeightMax);
+  }
+  return w;
+}
+
+std::vector<std::uint8_t> random_activations_u8(std::size_t numel,
+                                                std::uint64_t seed) {
+  cdl::Rng rng(seed);
+  std::vector<std::uint8_t> b(numel);
+  for (std::uint8_t& v : b) v = static_cast<std::uint8_t>(rng.index(256));
+  return b;
+}
+
+/// Int8 packed GEMM over pre-packed operands — directly comparable with
+/// BM_SgemmPacked rows (same MACs/iteration), so the items/sec ratio is the
+/// int8-vs-fp32 kernel speedup the acceptance criterion tracks.
+void BM_QgemmPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cdl::QgemmDims dims{n, n, n};
+  const std::vector<std::int8_t> a = random_weights_s8(n * n, 1);
+  const std::vector<std::uint8_t> b = random_activations_u8(n * n, 2);
+  std::vector<std::int8_t> pa(cdl::qgemm_packed_a_bytes(n, n));
+  std::vector<std::uint8_t> pb(cdl::qgemm_packed_b_bytes(n, n));
+  cdl::qgemm_pack_a(n, n, a.data(), pa.data());
+  cdl::qgemm_pack_b(n, n, b.data(), pb.data());
+  std::vector<std::int32_t> c(n * n, 0);
+  for (auto _ : state) {
+    cdl::qgemm_packed(dims, pa.data(), pb.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(cdl::to_string(cdl::qgemm_tier()));
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_QgemmPacked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QgemmPackedReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cdl::QgemmDims dims{n, n, n};
+  const std::vector<std::int8_t> a = random_weights_s8(n * n, 1);
+  const std::vector<std::uint8_t> b = random_activations_u8(n * n, 2);
+  std::vector<std::int8_t> pa(cdl::qgemm_packed_a_bytes(n, n));
+  std::vector<std::uint8_t> pb(cdl::qgemm_packed_b_bytes(n, n));
+  cdl::qgemm_pack_a(n, n, a.data(), pa.data());
+  cdl::qgemm_pack_b(n, n, b.data(), pb.data());
+  std::vector<std::int32_t> c(n * n, 0);
+  for (auto _ : state) {
+    cdl::qgemm_packed_reference(dims, pa.data(), pb.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_QgemmPackedReference)->Arg(256);
+
+void BM_QgemmPackedParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  cdl::ThreadPool pool(workers);
+  const cdl::QgemmDims dims{n, n, n};
+  const std::vector<std::int8_t> a = random_weights_s8(n * n, 1);
+  const std::vector<std::uint8_t> b = random_activations_u8(n * n, 2);
+  std::vector<std::int8_t> pa(cdl::qgemm_packed_a_bytes(n, n));
+  std::vector<std::uint8_t> pb(cdl::qgemm_packed_b_bytes(n, n));
+  cdl::qgemm_pack_a(n, n, a.data(), pa.data());
+  cdl::qgemm_pack_b(n, n, b.data(), pb.data());
+  std::vector<std::int32_t> c(n * n, 0);
+  for (auto _ : state) {
+    cdl::qgemm_packed(dims, pa.data(), pb.data(), c.data(), &pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(gemm_items(state, n));
+}
+BENCHMARK(BM_QgemmPackedParallel)->Args({256, 2})->Args({256, 4});
+
+/// Int8 conv lowering (byte im2col + qgemm), the fused-triple front half —
+/// comparable with the BM_Conv2DForward* rows at the same shape.
+void BM_QConv2DForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto maps = static_cast<std::size_t>(state.range(1));
+  const auto kernel = static_cast<std::size_t>(state.range(2));
+  const std::size_t h = 28, w = 28;
+  const std::size_t oh = h - kernel + 1, ow = w - kernel + 1;
+  const std::size_t pixels = oh * ow;
+  const std::size_t k = channels * kernel * kernel;
+  const std::vector<std::int8_t> weights = random_weights_s8(maps * k, 1);
+  std::vector<std::int8_t> pa(cdl::qgemm_packed_a_bytes(maps, k));
+  cdl::qgemm_pack_a(maps, k, weights.data(), pa.data());
+  const std::vector<std::uint8_t> image =
+      random_activations_u8(channels * h * w, 2);
+  std::vector<std::uint8_t> pb(cdl::qgemm_packed_b_bytes(k, pixels));
+  const std::size_t panels = (pixels + cdl::kQgemmNr - 1) / cdl::kQgemmNr;
+  std::vector<std::int32_t> c(maps * pixels, 0);
+  const cdl::QgemmDims dims{maps, k, pixels};
+  for (auto _ : state) {
+    cdl::qgemm_pack_b_im2col(image.data(), 1, channels, h, w, kernel,
+                             pb.data(), 0, panels);
+    cdl::qgemm_packed(dims, pa.data(), pb.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(maps * k * pixels));
+}
+BENCHMARK(BM_QConv2DForward)->Args({1, 6, 5})->Args({1, 3, 3})->Args({6, 12, 5});
 
 void BM_Conv2DForward(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));

@@ -21,10 +21,12 @@
 
 #include "bench_common.h"
 #include "cdl/conditional_network.h"
+#include "cdl/quantized_cascade.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "eval/table.h"
 #include "nn/gemm.h"
+#include "nn/qgemm.h"
 #include "obs/exit_profile.h"
 #include "obs/layer_profile.h"
 #include "obs/metrics.h"
@@ -83,6 +85,8 @@ struct Attribution {
 
 struct BatchRow {
   std::string network;
+  std::string precision;  ///< "fp32" or "int8" (whole-cascade quantized)
+  double accuracy = 0.0;  ///< serial-pass accuracy on the measured batch
   std::size_t images = 0;
   double serial_ips = 0.0;
   double parallel_ips = 0.0;
@@ -244,6 +248,59 @@ int main(int argc, char** argv) {
               gemm_rows[1].gflops / gemm_rows[0].gflops, threads,
               gemm_rows[2].gflops / gemm_rows[1].gflops);
 
+  // --- int8 GEMM GOPS -------------------------------------------------------
+  // Same dimensions as the fp32 rows so the int8-vs-fp32 ratio is apples to
+  // apples. The "gflops" slot holds GOPS (one multiply-add = 2 ops, as for
+  // fp32). Operands respect the qgemm contract: u8 activations, s8 weights
+  // bounded to +/-kQgemmWeightMax.
+  std::vector<std::int8_t> qa(dims.m * dims.k);
+  std::vector<std::uint8_t> qb(dims.k * dims.n);
+  {
+    cdl::Rng qrng(3);
+    const std::size_t wspan =
+        2 * static_cast<std::size_t>(cdl::kQgemmWeightMax);
+    for (std::int8_t& v : qa) {
+      v = static_cast<std::int8_t>(static_cast<std::int64_t>(
+              qrng.index(wspan + 1)) - cdl::kQgemmWeightMax);
+    }
+    for (std::uint8_t& v : qb) {
+      v = static_cast<std::uint8_t>(qrng.index(256));
+    }
+  }
+  std::vector<std::int32_t> qc(dims.m * dims.n, 0);
+  const cdl::QgemmDims qdims{dims.m, dims.k, dims.n};
+  std::vector<std::int8_t> qpa(cdl::qgemm_packed_a_bytes(dims.m, dims.k));
+  std::vector<std::uint8_t> qpb(cdl::qgemm_packed_b_bytes(dims.k, dims.n));
+  cdl::qgemm_pack_a(dims.m, dims.k, qa.data(), qpa.data());
+  cdl::qgemm_pack_b(dims.k, dims.n, qb.data(), qpb.data());
+  std::vector<GemmRow> qgemm_rows;
+  const std::vector<
+      std::pair<std::string, std::function<void()>>> qgemm_kernels = {
+      {"int8_pack_and_multiply",
+       [&] { cdl::qgemm(qdims, qa.data(), qb.data(), qc.data()); }},
+      {"int8_packed",
+       [&] { cdl::qgemm_packed(qdims, qpa.data(), qpb.data(), qc.data()); }},
+      {"int8_packed_parallel",
+       [&] {
+         cdl::qgemm_packed(qdims, qpa.data(), qpb.data(), qc.data(), &pool);
+       }},
+  };
+  cdl::TextTable qgemm_table({"kernel", "GOPS", "ms/call"});
+  for (const auto& [name, fn] : qgemm_kernels) {
+    const double sec = time_per_call(fn, min_time);
+    GemmRow row{name, flops / sec / 1e9, sec * 1e3};
+    qgemm_table.add_row({row.kernel, cdl::fmt(row.gflops, 2),
+                         cdl::fmt(row.ms_per_call, 3)});
+    qgemm_rows.push_back(std::move(row));
+  }
+  const double int8_vs_fp32_gemm =
+      qgemm_rows[1].gflops / gemm_rows[1].gflops;
+  std::printf("int8 GEMM %zux%zux%zu (tier %s):\n%s", gemm_size, gemm_size,
+              gemm_size, cdl::to_string(cdl::qgemm_tier()),
+              qgemm_table.to_string().c_str());
+  std::printf("int8_packed vs fp32 packed: %.2fx (target >= 2x)\n\n",
+              int8_vs_fp32_gemm);
+
   // --- batch inference images/sec ------------------------------------------
   cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
   const std::string trace_out = args.get("trace-out");
@@ -252,7 +309,8 @@ int main(int argc, char** argv) {
 
   std::vector<BatchRow> batch_rows;
   std::vector<std::string> profile_summaries;
-  cdl::TextTable batch_table({"network", "images", "serial img/s",
+  cdl::TextTable batch_table({"network", "precision", "accuracy", "images",
+                              "serial img/s",
                               std::to_string(threads) + "-thread img/s",
                               "speedup"});
   cdl::TextTable lat_table({"network", "p50 ms", "p95 ms", "p99 ms",
@@ -268,13 +326,29 @@ int main(int argc, char** argv) {
     auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
                                             data.train, config);
     cdl::bench::select_operating_delta(trained.net, data);
+    // Both paper nets (sigmoid, valid stride-1 convs, max pool) quantize;
+    // calibrate once per arch and measure each precision as its own row.
+    trained.net.set_quantization(cdl::collect_quant_calibration(
+        trained.net.baseline(), trained.net.input_shape(),
+        data.train.images(), std::min<std::size_t>(512, data.train.size()),
+        &pool));
+    for (const cdl::StagePrecision prec :
+         {cdl::StagePrecision::kFp32, cdl::StagePrecision::kInt8}) {
+    trained.net.set_cascade_precision(prec);
     const cdl::ConditionalNetwork& net = trained.net;
 
     const auto serial = net.classify_batch(inputs, nullptr);
     const auto parallel = net.classify_batch(inputs, &pool);
     BatchRow row;
     row.network = arch.name;
+    row.precision = cdl::to_string(prec);
     row.images = inputs.size();
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      if (serial[i].label == data.test.label(i)) ++correct;
+    }
+    row.accuracy =
+        static_cast<double>(correct) / static_cast<double>(serial.size());
     row.identical = same_results(serial, parallel);
     all_identical = all_identical && row.identical;
 
@@ -366,21 +440,40 @@ int main(int argc, char** argv) {
                      static_cast<double>(serial[i].ops.total_compute()),
                      serial[i].label == data.test.label(i));
     }
-    profile_summaries.push_back(arch.name + " " + profile.summary());
+    profile_summaries.push_back(arch.name + "/" + row.precision + " " +
+                                profile.summary());
 
-    batch_table.add_row({row.network, std::to_string(row.images),
+    batch_table.add_row({row.network, row.precision,
+                         cdl::fmt_percent(row.accuracy),
+                         std::to_string(row.images),
                          cdl::fmt(row.serial_ips, 1),
                          cdl::fmt(row.parallel_ips, 1),
                          cdl::fmt(row.parallel_ips / row.serial_ips, 2) + "x"});
-    lat_table.add_row({row.network, cdl::fmt(row.p50_ms, 2),
+    lat_table.add_row({row.network + "/" + row.precision,
+                       cdl::fmt(row.p50_ms, 2),
                        cdl::fmt(row.p95_ms, 2), cdl::fmt(row.p99_ms, 2),
                        cdl::fmt(row.trace_off_delta_pct, 2) + " %",
                        cdl::fmt(row.trace_on_delta_pct, 2) + " %"});
     batch_rows.push_back(std::move(row));
-    if (!trace_out.empty()) kept_nets.push_back(std::move(trained.net));
+    }  // precision loop
+    if (!trace_out.empty()) {
+      // Traced capture stays on the fp32 path, as before the int8 rows.
+      trained.net.set_cascade_precision(cdl::StagePrecision::kFp32);
+      kept_nets.push_back(std::move(trained.net));
+    }
   }
   std::printf("CDLN batch inference (Algorithm 2, whole test set per call):\n%s",
               batch_table.to_string().c_str());
+  // The quantized-vs-fp32 acceptance numbers (rows come in fp32/int8 pairs).
+  for (std::size_t i = 0; i + 1 < batch_rows.size(); i += 2) {
+    const BatchRow& f = batch_rows[i];
+    const BatchRow& q = batch_rows[i + 1];
+    std::printf("%s int8 vs fp32: %.2fx serial img/s, %.2fx %zu-thread "
+                "img/s, accuracy %+.2f pp (targets >= 1.5x, >= -0.5 pp)\n",
+                f.network.c_str(), q.serial_ips / f.serial_ips,
+                q.parallel_ips / f.parallel_ips, threads,
+                100.0 * (q.accuracy - f.accuracy));
+  }
   std::printf("\nparallel batch latency (%zu samples; trace deltas vs the "
               "first hooks-disabled run):\n%s",
               lat_reps, lat_table.to_string().c_str());
@@ -474,11 +567,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ],\n  \"packed_vs_seed_speedup\": %.3f,\n",
                gemm_rows[1].gflops / gemm_rows[0].gflops);
+  std::fprintf(out, "  \"qgemm_tier\": \"%s\",\n",
+               cdl::to_string(cdl::qgemm_tier()));
+  std::fprintf(out, "  \"qgemm\": [\n");
+  for (std::size_t i = 0; i < qgemm_rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"gops\": %.3f, "
+                 "\"ms_per_call\": %.4f}%s\n",
+                 qgemm_rows[i].kernel.c_str(), qgemm_rows[i].gflops,
+                 qgemm_rows[i].ms_per_call,
+                 i + 1 < qgemm_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"int8_vs_fp32_gemm_speedup\": %.3f,\n",
+               int8_vs_fp32_gemm);
   std::fprintf(out, "  \"batch_inference\": [\n");
   for (std::size_t i = 0; i < batch_rows.size(); ++i) {
     const BatchRow& r = batch_rows[i];
     std::fprintf(out,
-                 "    {\"network\": \"%s\", \"images\": %zu, "
+                 "    {\"network\": \"%s\", \"precision\": \"%s\", "
+                 "\"accuracy\": %.4f, \"images\": %zu, "
                  "\"serial_images_per_sec\": %.2f, "
                  "\"parallel_images_per_sec\": %.2f, \"speedup\": %.3f, "
                  "\"latency_ms_p50\": %.3f, \"latency_ms_p95\": %.3f, "
@@ -486,7 +593,8 @@ int main(int argc, char** argv) {
                  "\"trace_disabled_delta_pct\": %.3f, "
                  "\"trace_enabled_delta_pct\": %.3f, "
                  "\"results_identical\": %s,\n",
-                 r.network.c_str(), r.images, r.serial_ips, r.parallel_ips,
+                 r.network.c_str(), r.precision.c_str(), r.accuracy, r.images,
+                 r.serial_ips, r.parallel_ips,
                  r.parallel_ips / r.serial_ips, r.p50_ms, r.p95_ms, r.p99_ms,
                  r.trace_off_delta_pct, r.trace_on_delta_pct,
                  r.identical ? "true" : "false");

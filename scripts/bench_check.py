@@ -8,7 +8,12 @@ the committed baseline. Fails (exit 1) when the fresh run regresses by more
 than --tolerance (default 15 %) on either headline metric:
 
   * packed single-thread GEMM GFLOP/s
-  * per-network batch inference images/sec (parallel)
+  * per-network batch inference images/sec (parallel), per precision row
+    (fp32 and, when present, int8)
+
+Both modes also validate the int8 schema additions when present (qgemm_tier,
+the qgemm kernel table, int8_vs_fp32_gemm_speedup) and enforce that every
+int8 batch row's accuracy stays within 0.5 pp of its fp32 twin.
 
 Runs whose workloads are not comparable (different seed, gemm_size or image
 count) fail immediately rather than producing a meaningless diff -- the
@@ -98,12 +103,43 @@ def gemm_gflops(doc, kernel):
 
 
 def batch_rows(doc):
+    """Rows keyed by network/precision. Pre-int8 baselines carry no
+    'precision' field; their rows key as fp32."""
     rows = {}
     for row in doc.get("batch_inference", []):
-        rows[row["network"]] = row
+        rows[row["network"] + "/" + row.get("precision", "fp32")] = row
     if not rows:
         fail("empty batch_inference section")
     return rows
+
+
+def validate_qgemm_section(doc, path):
+    """Schema of the int8 GEMM section (absent in pre-int8 baselines)."""
+    if "qgemm" not in doc:
+        return
+    require(doc, "qgemm_tier", str, path)
+    rows = require(doc, "qgemm", list, path)
+    for i, row in enumerate(rows):
+        where = f"{path}.qgemm[{i}]"
+        require(row, "kernel", str, where)
+        require(row, "gops", (int, float), where)
+        require(row, "ms_per_call", (int, float), where)
+    require(doc, "int8_vs_fp32_gemm_speedup", (int, float), path)
+
+
+def check_int8_accuracy(doc, path):
+    """Every int8 batch row must stay within 0.5 pp of its fp32 twin."""
+    rows = batch_rows(doc)
+    for key, row in sorted(rows.items()):
+        if row.get("precision") != "int8":
+            continue
+        fp32 = rows.get(row["network"] + "/fp32")
+        if fp32 is None or "accuracy" not in row or "accuracy" not in fp32:
+            continue
+        drop = float(fp32["accuracy"]) - float(row["accuracy"])
+        if drop > 0.005 + 1e-9:
+            fail(f"{path}:{row['network']}: int8 accuracy drops "
+                 f"{100.0 * drop:.2f} pp vs fp32 (limit 0.5 pp)")
 
 
 # --- attribution / perf schema (shared by bench rows and run reports) --------
@@ -528,6 +564,8 @@ def main():
     if attributed:
         print(f"attribution sections valid (serial == parallel OPS) for: "
               f"{', '.join(attributed)}")
+    validate_qgemm_section(fresh, args.fresh)
+    check_int8_accuracy(fresh, args.fresh)
 
     if args.determinism_only:
         for net, row in sorted(batch_rows(fresh).items()):

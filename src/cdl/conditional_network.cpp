@@ -28,6 +28,10 @@ ThreadPool* gate_pool(ThreadPool* pool, std::size_t rows) {
 
 }  // namespace
 
+const char* to_string(StagePrecision p) {
+  return p == StagePrecision::kInt8 ? "int8" : "fp32";
+}
+
 ConditionalNetwork::ConditionalNetwork(Network baseline, Shape input_shape)
     : baseline_(std::move(baseline)), input_shape_(std::move(input_shape)) {
   if (baseline_.size() == 0) {
@@ -56,6 +60,7 @@ void BatchWorkspace::plan(const ConditionalNetwork& net, std::size_t tile,
   workers_ = workers;
   baseline_layers_ = base.size();
   prefixes_.clear();
+  precision_.clear();
   stages_.clear();
 
   const std::size_t classes =
@@ -67,28 +72,41 @@ void BatchWorkspace::plan(const ConditionalNetwork& net, std::size_t tile,
   for (std::size_t i = 0; i < net.num_stages(); ++i) {
     const std::size_t prefix = net.stage_prefix(i);
     StageExec e;
+    // The BlockPlan is built even for int8 stages: the batch loop reads its
+    // shape metadata (out_floats) and an fp32 replan stays warm after a
+    // precision flip back.
     e.seg = base.plan_block_range(prev_shape, prev, prefix, tile, workers);
     prev_shape = base.output_shape_after(net.input_shape(), prefix);
     max_feat = std::max(max_feat, prev_shape.numel());
     // The segment scratch and the classifier's pack scratch never coexist
     // (segment output lands in the feature ping-pong first), so they share
     // one frame slot sized for the larger of the two.
+    const QuantizedSegment* qseg = net.quantized_segment(i);
     planner.begin_frame();
     e.scratch = planner.reserve(
-        std::max(e.seg.scratch_floats(),
-                 net.classifier(i).block_scratch_floats(tile)));
+        qseg != nullptr
+            ? std::max(qseg->scratch_floats(tile),
+                       net.quantized_classifier(i)->scratch_floats(tile))
+            : std::max(e.seg.scratch_floats(),
+                       net.classifier(i).block_scratch_floats(tile)));
     e.probs = planner.reserve(tile * classes);
     planner.end_frame();
     prefixes_.push_back(prefix);
+    precision_.push_back(static_cast<std::uint8_t>(net.stage_precision(i)));
     stages_.push_back(std::move(e));
     prev = prefix;
   }
   final_.seg = base.plan_block_range(prev_shape, prev, base.size(), tile,
                                      workers);
+  const QuantizedSegment* final_qseg = net.quantized_segment(net.num_stages());
   planner.begin_frame();
-  final_.scratch = planner.reserve(final_.seg.scratch_floats());
+  final_.scratch = planner.reserve(final_qseg != nullptr
+                                       ? final_qseg->scratch_floats(tile)
+                                       : final_.seg.scratch_floats());
   final_.probs = planner.reserve(tile * classes);
   planner.end_frame();
+  precision_.push_back(
+      static_cast<std::uint8_t>(net.stage_precision(net.num_stages())));
 
   feat_[0] = planner.reserve_persistent(max_feat * tile);
   feat_[1] = planner.reserve_persistent(max_feat * tile);
@@ -112,6 +130,14 @@ bool BatchWorkspace::matches(const ConditionalNetwork& net,
   if (prefixes_.size() != net.num_stages()) return false;
   for (std::size_t i = 0; i < prefixes_.size(); ++i) {
     if (prefixes_[i] != net.stage_prefix(i)) return false;
+  }
+  // Precision flips replan: int8 and fp32 stages size their scratch slots
+  // differently.
+  if (precision_.size() != net.num_stages() + 1) return false;
+  for (std::size_t i = 0; i < precision_.size(); ++i) {
+    if (precision_[i] != static_cast<std::uint8_t>(net.stage_precision(i))) {
+      return false;
+    }
   }
   return true;
 }
@@ -141,6 +167,7 @@ std::size_t ConditionalNetwork::attach_classifier(std::size_t prefix_layers,
   const auto inserted =
       stages_.insert(pos, Stage{prefix_layers, std::move(lc), std::nullopt});
   const auto stage_index = static_cast<std::size_t>(inserted - stages_.begin());
+  reset_precision_state();  // stage boundaries moved under the compiled execs
   rebuild_ops_cache();
   return stage_index;
 }
@@ -148,7 +175,112 @@ std::size_t ConditionalNetwork::attach_classifier(std::size_t prefix_layers,
 void ConditionalNetwork::detach_classifier(std::size_t stage) {
   check_stage(stage);
   stages_.erase(stages_.begin() + static_cast<std::ptrdiff_t>(stage));
+  reset_precision_state();
   rebuild_ops_cache();
+}
+
+void ConditionalNetwork::reset_precision_state() {
+  quant_execs_.clear();
+  stage_precision_.clear();
+}
+
+std::pair<std::size_t, std::size_t> ConditionalNetwork::stage_segment(
+    std::size_t stage) const {
+  const std::size_t begin = stage == 0 ? 0 : stages_[stage - 1].prefix_layers;
+  const std::size_t end = stage == stages_.size()
+                              ? baseline_.size()
+                              : stages_[stage].prefix_layers;
+  return {begin, end};
+}
+
+ConditionalNetwork::QuantExec ConditionalNetwork::build_quant_exec(
+    std::size_t stage) const {
+  QuantExec exec;
+  const auto [begin, end] = stage_segment(stage);
+  const Shape in_shape =
+      begin == 0 ? input_shape_
+                 : baseline_.output_shape_after(input_shape_, begin);
+  exec.seg = QuantizedSegment::build(baseline_, in_shape, begin, end, quant_cal_);
+  if (exec.seg == nullptr) return exec;
+  if (stage < stages_.size()) {
+    exec.classifier = QuantizedClassifier::build(
+        stages_[stage].classifier, quant_cal_.amax[end], quant_cal_.vmin[end]);
+    if (exec.classifier == nullptr) exec.seg.reset();
+  }
+  return exec;
+}
+
+void ConditionalNetwork::set_quantization(QuantCalibration cal) {
+  if (cal.vmin.size() != cal.amax.size()) {
+    throw std::invalid_argument(
+        "set_quantization: amax/vmin length mismatch");
+  }
+  if (!cal.empty() && cal.boundaries() != baseline_.size() + 1) {
+    throw std::invalid_argument(
+        "set_quantization: calibration has " +
+        std::to_string(cal.boundaries()) + " boundaries, baseline needs " +
+        std::to_string(baseline_.size() + 1));
+  }
+  quant_cal_ = std::move(cal);
+  reset_precision_state();
+}
+
+void ConditionalNetwork::set_stage_precision(std::size_t stage,
+                                             StagePrecision precision) {
+  if (stage > stages_.size()) {
+    throw std::out_of_range("set_stage_precision: stage " +
+                            std::to_string(stage) + " of " +
+                            std::to_string(stages_.size() + 1));
+  }
+  stage_precision_.resize(stages_.size() + 1, StagePrecision::kFp32);
+  quant_execs_.resize(stages_.size() + 1);
+  if (precision == StagePrecision::kInt8) {
+    if (quant_cal_.empty()) {
+      throw std::logic_error(
+          "set_stage_precision: no calibration installed; call "
+          "set_quantization first");
+    }
+    QuantExec exec = build_quant_exec(stage);
+    if (exec.seg == nullptr) {
+      throw std::invalid_argument("set_stage_precision: stage " +
+                                  stage_name(stage) + " is not quantizable");
+    }
+    quant_execs_[stage] = std::move(exec);
+  } else {
+    quant_execs_[stage] = QuantExec{};
+  }
+  stage_precision_[stage] = precision;
+}
+
+StagePrecision ConditionalNetwork::stage_precision(std::size_t stage) const {
+  if (stage > stages_.size()) {
+    throw std::out_of_range("stage_precision: stage " + std::to_string(stage) +
+                            " of " + std::to_string(stages_.size() + 1));
+  }
+  return stage < stage_precision_.size() ? stage_precision_[stage]
+                                         : StagePrecision::kFp32;
+}
+
+bool ConditionalNetwork::stage_quantizable(std::size_t stage) const {
+  if (stage > stages_.size() || quant_cal_.empty()) return false;
+  return build_quant_exec(stage).seg != nullptr;
+}
+
+void ConditionalNetwork::set_cascade_precision(StagePrecision precision) {
+  for (std::size_t s = 0; s <= stages_.size(); ++s) {
+    set_stage_precision(s, precision);
+  }
+}
+
+const QuantizedSegment* ConditionalNetwork::quantized_segment(
+    std::size_t stage) const {
+  return stage < quant_execs_.size() ? quant_execs_[stage].seg.get() : nullptr;
+}
+
+const QuantizedClassifier* ConditionalNetwork::quantized_classifier(
+    std::size_t stage) const {
+  return stage < quant_execs_.size() ? quant_execs_[stage].classifier.get()
+                                     : nullptr;
 }
 
 void ConditionalNetwork::check_stage(std::size_t stage) const {
@@ -216,18 +348,38 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
   ClassificationResult result;
   Tensor x = input;
   std::size_t done_layers = 0;
+  // Single-image scratch for int8 stages; thread_local keeps classify()
+  // safe to call concurrently (resize is a no-op once warm).
+  thread_local std::vector<float> qscratch;
 
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     CDL_TRACE_SPAN(stage_span, "stage", static_cast<std::int32_t>(s));
     const obs::LayerProfiler::StageScope prof_scope(
         static_cast<std::int32_t>(s));
     const Stage& stage = stages_[s];
-    x = baseline_.infer_range(x, done_layers, stage.prefix_layers);
+    const QuantizedSegment* qseg = quantized_segment(s);
+    const QuantizedClassifier* qlc = quantized_classifier(s);
+    if (qseg != nullptr) {
+      qscratch.resize(
+          std::max(qseg->scratch_floats(1), qlc->scratch_floats(1)));
+      Tensor out(baseline_.output_shape_after(input_shape_, stage.prefix_layers));
+      qseg->infer_block(x.data(), out.data(), 1, qscratch.data(), nullptr);
+      x = std::move(out);
+    } else {
+      x = baseline_.infer_range(x, done_layers, stage.prefix_layers);
+    }
     done_layers = stage.prefix_layers;
     result.ops += stage_ops(s);
 
     const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
-    const Tensor probs = stage.classifier.probabilities(x);
+    Tensor probs;
+    if (qlc != nullptr) {
+      probs.resize(classes_shape_);
+      qlc->probabilities_block(x.data(), 1, probs.data(), qscratch.data(),
+                               nullptr);
+    } else {
+      probs = stage.classifier.probabilities(x);
+    }
     const ActivationModule gate(stage.delta_override.value_or(activation_.delta()),
                                 activation_.policy());
     const ActivationDecision decision = gate.evaluate(probs);
@@ -235,8 +387,9 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
       OpCount gate_ops = stage.classifier.forward_ops();
       gate_ops += activation_.decision_ops(num_classes_);
       obs::LayerProfiler::instance().record(
-          static_cast<std::int32_t>(s), obs::kStageLevel, "classifier+gate", 1,
-          1, gate_ops.total_compute(), obs::now_ns() - prof_t0);
+          static_cast<std::int32_t>(s), obs::kStageLevel,
+          qlc != nullptr ? "classifier+gate[int8]" : "classifier+gate", 1, 1,
+          gate_ops.total_compute(), obs::now_ns() - prof_t0);
     }
     if (decision.terminate) {
       result.label = decision.label;
@@ -252,7 +405,15 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
   CDL_TRACE_SPAN(fc_span, "stage", static_cast<std::int32_t>(stages_.size()));
   const obs::LayerProfiler::StageScope prof_scope(
       static_cast<std::int32_t>(stages_.size()));
-  x = baseline_.infer_range(x, done_layers, baseline_.size());
+  const QuantizedSegment* final_qseg = quantized_segment(stages_.size());
+  if (final_qseg != nullptr) {
+    qscratch.resize(final_qseg->scratch_floats(1));
+    Tensor out(classes_shape_);
+    final_qseg->infer_block(x.data(), out.data(), 1, qscratch.data(), nullptr);
+    x = std::move(out);
+  } else {
+    x = baseline_.infer_range(x, done_layers, baseline_.size());
+  }
   result.ops += final_stage_ops();
   const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
   const Tensor probs = softmax(x);
@@ -356,7 +517,12 @@ void ConditionalNetwork::classify_batch_into(
       ThreadPool* const seg_pool = gate_pool(pool, live);
       float* nxt = feat[1 - cur_buf];
       float* scratch = ws.arena_.data(ex.scratch);
-      baseline_.infer_block_range(ex.seg, cur, nxt, live, scratch, seg_pool);
+      const QuantizedSegment* qseg = quantized_segment(s);
+      if (qseg != nullptr) {
+        qseg->infer_block(cur, nxt, live, scratch, seg_pool);
+      } else {
+        baseline_.infer_block_range(ex.seg, cur, nxt, live, scratch, seg_pool);
+      }
       cur_buf = 1 - cur_buf;
       cur = nxt;
       const std::size_t feat_floats = ex.seg.out_floats;
@@ -364,8 +530,13 @@ void ConditionalNetwork::classify_batch_into(
       const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
 
       float* probs = ws.arena_.data(ex.probs);
-      stages_[s].classifier.probabilities_block(cur, live, probs, scratch,
-                                                seg_pool);
+      const QuantizedClassifier* qlc = quantized_classifier(s);
+      if (qlc != nullptr) {
+        qlc->probabilities_block(cur, live, probs, scratch, seg_pool);
+      } else {
+        stages_[s].classifier.probabilities_block(cur, live, probs, scratch,
+                                                  seg_pool);
+      }
 
       const ActivationModule gate(
           stages_[s].delta_override.value_or(activation_.delta()),
@@ -398,8 +569,9 @@ void ConditionalNetwork::classify_batch_into(
         OpCount gate_ops = stages_[s].classifier.forward_ops();
         gate_ops += activation_.decision_ops(num_classes_);
         obs::LayerProfiler::instance().record(
-            static_cast<std::int32_t>(s), obs::kStageLevel, "classifier+gate",
-            1, entering, gate_ops.total_compute() * entering,
+            static_cast<std::int32_t>(s), obs::kStageLevel,
+            qlc != nullptr ? "classifier+gate[int8]" : "classifier+gate", 1,
+            entering, gate_ops.total_compute() * entering,
             obs::now_ns() - prof_t0);
       }
       CDL_TRACE_INSTANT("batch_survivors", static_cast<std::int32_t>(live));
@@ -413,9 +585,15 @@ void ConditionalNetwork::classify_batch_into(
         static_cast<std::int32_t>(stages_.size()));
     const BatchWorkspace::StageExec& ex = ws.final_;
     float* logits = ws.arena_.data(ex.probs);
-    baseline_.infer_block_range(ex.seg, cur, logits, live,
-                                ws.arena_.data(ex.scratch),
-                                gate_pool(pool, live));
+    const QuantizedSegment* final_qseg = quantized_segment(stages_.size());
+    if (final_qseg != nullptr) {
+      final_qseg->infer_block(cur, logits, live, ws.arena_.data(ex.scratch),
+                              gate_pool(pool, live));
+    } else {
+      baseline_.infer_block_range(ex.seg, cur, logits, live,
+                                  ws.arena_.data(ex.scratch),
+                                  gate_pool(pool, live));
+    }
     const std::uint64_t prof_t0 = profiling ? obs::now_ns() : 0;
     for (std::size_t r = 0; r < live; ++r) {
       float* row = logits + r * num_classes_;
@@ -520,6 +698,7 @@ void ConditionalNetwork::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("ConditionalNetwork::load: cannot open " + path);
   load_parameters(is, all_parameters());
+  reset_precision_state();  // packed int8 parameters derive from the weights
 }
 
 }  // namespace cdl

@@ -4,16 +4,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cdl/activation_module.h"
 #include "cdl/linear_classifier.h"
+#include "cdl/quantized_cascade.h"
 #include "core/workspace.h"
 #include "nn/network.h"
 
 namespace cdl {
+
+/// Numeric precision a cascade stage executes in. kInt8 runs the stage's
+/// baseline segment and linear classifier through the quantized executors
+/// (cdl/quantized_cascade.h); probabilities reach the activation module as
+/// fp32 either way, so the delta-decision semantics are identical.
+enum class StagePrecision : std::uint8_t { kFp32 = 0, kInt8 = 1 };
+
+[[nodiscard]] const char* to_string(StagePrecision p);
 
 struct ClassificationResult {
   std::size_t label = 0;
@@ -80,7 +91,8 @@ class BatchWorkspace {
   std::size_t tile_ = 0;
   std::size_t workers_ = 0;
   std::size_t baseline_layers_ = 0;
-  std::vector<std::size_t> prefixes_;  ///< stage prefixes at plan time
+  std::vector<std::size_t> prefixes_;    ///< stage prefixes at plan time
+  std::vector<std::uint8_t> precision_;  ///< per-stage precision at plan time
   BufferRef feat_[2];                  ///< ping/pong feature blocks
   std::vector<StageExec> stages_;
   StageExec final_;                    ///< last prefix -> FC logits
@@ -135,6 +147,39 @@ class ConditionalNetwork {
   void set_stage_delta(std::size_t stage, float delta);
   /// Effective δ used at `stage` (the override if present, else the global).
   [[nodiscard]] float stage_delta(std::size_t stage) const;
+
+  // --- per-stage precision (int8 quantized execution) -----------------------
+  /// Installs calibration ranges for this network (one boundary per baseline
+  /// layer plus the final output; see collect_quant_calibration). Resets all
+  /// stage precisions to fp32 — packed int8 parameters derive from both the
+  /// calibration and the current weights, so they are rebuilt on demand by
+  /// set_stage_precision. Throws std::invalid_argument on a boundary-count
+  /// mismatch.
+  void set_quantization(QuantCalibration cal);
+  [[nodiscard]] bool has_quantization() const { return !quant_cal_.empty(); }
+  [[nodiscard]] const QuantCalibration& quantization() const {
+    return quant_cal_;
+  }
+
+  /// Sets the execution precision of `stage` (num_stages() = the final FC
+  /// segment). kInt8 eagerly compiles the stage's quantized executors from
+  /// the installed calibration; throws std::logic_error without calibration
+  /// and std::invalid_argument when the stage cannot be quantized (see
+  /// QuantizedSegment::build). Weight edits after this call do not propagate
+  /// to the packed int8 parameters until the precision is set again.
+  void set_stage_precision(std::size_t stage, StagePrecision precision);
+  [[nodiscard]] StagePrecision stage_precision(std::size_t stage) const;
+  /// True when set_stage_precision(stage, kInt8) would succeed.
+  [[nodiscard]] bool stage_quantizable(std::size_t stage) const;
+  /// set_stage_precision over every stage including the final FC segment.
+  void set_cascade_precision(StagePrecision precision);
+
+  /// The stage's compiled int8 executors; null unless its precision is kInt8
+  /// (the final stage has no classifier, so its second member stays null).
+  [[nodiscard]] const QuantizedSegment* quantized_segment(
+      std::size_t stage) const;
+  [[nodiscard]] const QuantizedClassifier* quantized_classifier(
+      std::size_t stage) const;
 
   /// Algorithm 2: staged inference with early termination. Const and
   /// cache-free (runs the baseline through Network::infer_range), so it is
@@ -194,8 +239,22 @@ class ConditionalNetwork {
     std::optional<float> delta_override;
   };
 
+  struct QuantExec {
+    std::unique_ptr<QuantizedSegment> seg;
+    std::unique_ptr<QuantizedClassifier> classifier;
+  };
+
   [[nodiscard]] std::vector<Tensor*> all_parameters();
   void check_stage(std::size_t stage) const;
+  /// Baseline layer range [begin, end) that stage `stage` executes
+  /// (num_stages() = the final segment after the last classifier prefix).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> stage_segment(
+      std::size_t stage) const;
+  /// Compiles `stage`'s int8 executors; `.seg` is null when unquantizable.
+  [[nodiscard]] QuantExec build_quant_exec(std::size_t stage) const;
+  /// Drops compiled int8 executors and resets precisions to fp32 (stage
+  /// boundaries or weights changed under them).
+  void reset_precision_state();
   /// Copies a deciding stage's probability row into `dst`, reusing its
   /// allocation when the shape is already right (warm steady state).
   void store_probabilities(Tensor& dst, const float* row) const;
@@ -208,6 +267,9 @@ class ConditionalNetwork {
   Network baseline_;
   Shape input_shape_;
   std::vector<Stage> stages_;
+  QuantCalibration quant_cal_;
+  std::vector<StagePrecision> stage_precision_;  ///< num_stages() + 1 entries
+  std::vector<QuantExec> quant_execs_;           ///< parallel to precisions
   ActivationModule activation_;
   std::size_t num_classes_;
   Shape classes_shape_;  ///< Shape{num_classes_}, cached for warm resizes

@@ -89,6 +89,9 @@ class LinearClassifier {
   /// Parameter tensors for (de)serialization: {weights, bias}.
   [[nodiscard]] std::vector<Tensor*> parameters() { return {&weights_, &bias_}; }
 
+  [[nodiscard]] const Tensor& weights() const { return weights_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+
  private:
   void check_features(const Tensor& features) const;
 

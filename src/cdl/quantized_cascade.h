@@ -1,0 +1,166 @@
+// INT8 execution of cascade stage segments: calibration, quantized fused
+// conv->act->pool / dense segments, and quantized stage classifiers.
+//
+// Quantization scheme (see nn/quantize.h and nn/qgemm.h): activations are
+// unsigned 8-bit with zero point 0 and per-boundary scale amax/255 — valid
+// for the paper's architectures because every quantized boundary carries
+// sigmoid outputs or nonnegative input pixels (the calibrator records the
+// observed minimum so this is *checked*, not assumed). Weights are signed
+// 8-bit per output channel, bounded to +/-kQgemmWeightMax. The integer GEMM
+// runs SIMD; (re)quantization uses quantize_activations_u8, whose vector
+// lane is bit-identical to its scalar rule; the remaining float math
+// (dequantize + activation, classifier scores) is scalar with one fixed
+// rounding per element. Int8 results are therefore bit-identical across
+// batch size, tile size, thread count and kernel dispatch tier.
+//
+// Exit semantics are unchanged: segments emit fp32 features, classifiers
+// emit fp32 probabilities, and the activation module's delta decision runs
+// on those dequantized values exactly as in the fp32 cascade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdl/linear_classifier.h"
+#include "core/shape.h"
+#include "nn/activations.h"
+#include "nn/network.h"
+
+namespace cdl {
+
+class ThreadPool;
+
+/// Per-boundary activation ranges from a calibration split. Boundary b is
+/// the input of baseline layer b; boundary size() - 1 (== layer count) is
+/// the final output. amax drives the u8 scale; vmin guards the zero-point-0
+/// assumption (a boundary with vmin < 0 is not quantizable).
+struct QuantCalibration {
+  std::vector<float> amax;
+  std::vector<float> vmin;
+
+  [[nodiscard]] bool empty() const { return amax.empty(); }
+  [[nodiscard]] std::size_t boundaries() const { return amax.size(); }
+};
+
+/// Runs the first `n` images (all when n >= images.size()) through the
+/// baseline layer by layer, recording per-boundary max / min. Per-worker
+/// accumulators merge by max/min — order-independent — so the result is
+/// identical for any `pool` size. Throws if no image matches `input_shape`.
+[[nodiscard]] QuantCalibration collect_quant_calibration(
+    const Network& baseline, const Shape& input_shape,
+    const std::vector<Tensor>& images, std::size_t n,
+    ThreadPool* pool = nullptr);
+
+/// A contiguous run of baseline layers compiled to int8: the same fused
+/// conv->monotone-act->max-pool triples as the fp32 block executor (conv as
+/// byte-im2col + u8 x s8 GEMM, pooling on the s32 accumulators — exact,
+/// since the per-channel dequant slope is positive — then scalar
+/// dequantize + activation + requantize), optionally ending with one dense
+/// layer. build() returns nullptr when the range does not fit this shape
+/// (non-fused steps, padding, average pooling, negative boundary minima):
+/// such segments stay fp32.
+class QuantizedSegment {
+ public:
+  [[nodiscard]] static std::unique_ptr<QuantizedSegment> build(
+      const Network& net, const Shape& in_shape, std::size_t begin,
+      std::size_t end, const QuantCalibration& cal);
+
+  /// Scratch floats infer_block needs for `count` samples (holds the u8
+  /// ping/pong buffers, the packed-B panels and the s32 accumulators,
+  /// carved from the caller's float arena).
+  [[nodiscard]] std::size_t scratch_floats(std::size_t count) const;
+
+  /// fp32 in -> fp32 out over `count` contiguous sample-major samples.
+  /// Bit-identical for any (count, pool) and any qgemm dispatch tier;
+  /// performs no heap allocation. Records one attribution-profiler row per
+  /// step, named "<fused name>[int8]".
+  void infer_block(const float* in, float* out, std::size_t count,
+                   float* scratch, ThreadPool* pool) const;
+
+  [[nodiscard]] std::size_t in_floats() const { return in_floats_; }
+  [[nodiscard]] std::size_t out_floats() const { return out_floats_; }
+  [[nodiscard]] std::size_t begin() const { return begin_; }
+  [[nodiscard]] std::size_t end() const { return end_; }
+
+ private:
+  struct Step {
+    enum class Kind : std::uint8_t { kConvTriple, kDense };
+    /// Activation identity resolved at build time so the dequantize loop can
+    /// inline the math instead of paying a virtual call per element. The
+    /// inlined expressions are the exact ones the activation classes use, so
+    /// results are unchanged; kGeneric falls back to the virtual call.
+    enum class Act : std::uint8_t { kGeneric, kSigmoid, kTanh, kRelu };
+    Kind kind = Kind::kConvTriple;
+    Act act_kind = Act::kGeneric;
+    std::size_t first = 0;  ///< index of the step's first baseline layer
+    std::size_t span = 1;
+    std::string name;       ///< profiler row name (fp32 step name + [int8])
+    std::uint64_t ops = 0;  ///< per-sample modeled cost (fp32 plan's value)
+    // Conv-triple geometry (unused for dense).
+    std::size_t in_c = 0, in_h = 0, in_w = 0, kernel = 0;
+    std::size_t conv_oh = 0, conv_ow = 0, pool_window = 1;
+    std::size_t out_h = 0, out_w = 0;
+    const ElementwiseActivation* act = nullptr;
+    // Dense geometry.
+    std::size_t in_features = 0;
+    std::size_t out_c = 0;  ///< conv output maps / dense output features
+    std::size_t in_numel = 0, out_numel = 0;  ///< per-sample extents
+    // Quantized parameters.
+    std::vector<std::int8_t> packed_w;  ///< qgemm packed-A weight panels
+    std::vector<float> mult;            ///< per-channel in_scale * w_scale
+    std::vector<float> bias;
+    float in_inv_scale = 1.0F;   ///< fp32 -> u8 for this step's input
+    float out_inv_scale = 0.0F;  ///< u8 requant scale; 0 = fp32 output
+  };
+
+  void run_conv_triple(const Step& step, const std::uint8_t* in_u8,
+                       std::uint8_t* out_u8, float* out_f32,
+                       std::size_t count, std::uint8_t* pb,
+                       std::int32_t* raw, std::int32_t* pooled, float* stage,
+                       ThreadPool* pool) const;
+  void run_dense(const Step& step, const std::uint8_t* in_u8, float* out_f32,
+                 std::size_t count, std::uint8_t* pb, std::int32_t* raw,
+                 ThreadPool* pool) const;
+
+  std::vector<Step> steps_;
+  std::size_t begin_ = 0, end_ = 0;
+  std::size_t in_floats_ = 0, out_floats_ = 0;
+  std::size_t max_u8_floats_ = 0;    ///< one u8 ping buffer, in floats
+  std::size_t max_pb_floats_ = 0;    ///< packed-B panels, in floats
+  std::size_t max_raw_floats_ = 0;   ///< s32 GEMM output, in floats
+  std::size_t max_pool_floats_ = 0;  ///< s32 pooled output, in floats
+};
+
+/// A stage classifier compiled to int8: features quantize with the stage
+/// boundary's scale, scores come from one u8 x s8 GEMM, and the per-class
+/// dequantized scores go through the same clamp (LMS) or softmax rule as
+/// the fp32 classifier. build() returns nullptr when the boundary is not
+/// quantizable (vmin < 0 or degenerate amax).
+class QuantizedClassifier {
+ public:
+  [[nodiscard]] static std::unique_ptr<QuantizedClassifier> build(
+      const LinearClassifier& lc, float feat_amax, float feat_vmin);
+
+  [[nodiscard]] std::size_t scratch_floats(std::size_t count) const;
+
+  /// Batched probabilities for `count` contiguous feature rows; `out`
+  /// receives count * num_classes floats. No heap allocation.
+  void probabilities_block(const float* features, std::size_t count,
+                           float* out, float* scratch,
+                           ThreadPool* pool) const;
+
+  [[nodiscard]] std::size_t num_classes() const { return classes_; }
+
+ private:
+  std::size_t in_features_ = 0;
+  std::size_t classes_ = 0;
+  LcTrainingRule rule_ = LcTrainingRule::kLms;
+  std::vector<std::int8_t> packed_w_;
+  std::vector<float> mult_;
+  std::vector<float> bias_;
+  float in_inv_scale_ = 1.0F;
+};
+
+}  // namespace cdl

@@ -4,6 +4,14 @@
 
 namespace cdl {
 
+EnergyCosts EnergyCosts::cmos_45nm_int8() {
+  EnergyCosts costs;
+  costs.mac_pj = 0.23;  // 8-bit multiply (0.2) + 8-bit add (0.03)
+  costs.mem_read_pj = 1.25;   // byte operands: 5 pJ / 4 per 32-bit word
+  costs.mem_write_pj = 1.375;
+  return costs;
+}
+
 EnergyCosts EnergyCosts::compute_only() {
   EnergyCosts costs;
   costs.mem_read_pj = 0.0;

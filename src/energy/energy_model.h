@@ -24,6 +24,15 @@ struct EnergyCosts {
   /// The default 45 nm CMOS profile described above.
   [[nodiscard]] static EnergyCosts cmos_45nm() { return {}; }
 
+  /// 45 nm profile for int8 stages. Same Horowitz ISSCC 2014 source: an
+  /// 8-bit integer multiply ≈ 0.2 pJ and 8-bit add ≈ 0.03 pJ (vs 3.7 + 0.9
+  /// for fp32), so a MAC ≈ 0.23 pJ — the ~20x datapath advantage int8
+  /// inference accelerators exploit. Elementwise adds/compares stay on
+  /// 32-bit accumulators (0.9 / 0.5 pJ), activations are still evaluated in
+  /// float after dequantization, and memory traffic moves byte-sized
+  /// operands, which we charge at a quarter of the 32-bit SRAM word energy.
+  [[nodiscard]] static EnergyCosts cmos_45nm_int8();
+
   /// Compute-only profile (memory free): isolates datapath energy, used by
   /// the energy-model tests and the ablation bench.
   [[nodiscard]] static EnergyCosts compute_only();

@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -196,16 +197,28 @@ using Row1Fn = void (*)(const float*, std::size_t, std::size_t, std::size_t,
 struct RowKernels {
   Row2Fn row2;
   Row1Fn row1;
+  const char* tier;
 };
 
+/// Same contract as the int8 GEMM's kill switch (nn/qgemm.cpp): any
+/// non-empty value other than "0" pins the scalar kernels.
+bool conv_force_scalar_env() {
+  const char* value = std::getenv("CDL_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
 RowKernels select_row_kernels() {
+  if (conv_force_scalar_env()) {
+    return {conv_row2_generic, conv_row1_generic, "scalar"};
+  }
 #ifdef CDL_CONV_AVX2
   __builtin_cpu_init();
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {conv_row2_avx2, conv_row1_avx2};
+    return {conv_row2_avx2, conv_row1_avx2, "avx2-fma"};
   }
 #endif
-  return {conv_row2_generic, conv_row1_generic};
+  return {conv_row2_generic, conv_row1_generic, "scalar"};
 }
 
 /// Kernel pair for this machine, selected on first use (one branch per
@@ -218,6 +231,8 @@ const RowKernels& row_kernels() {
 }  // namespace
 
 namespace cdl {
+
+const char* conv_dispatch_tier() { return row_kernels().tier; }
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, ConvAlgo algo, ConvGeometry geometry)

@@ -25,6 +25,12 @@ struct ConvGeometry {
   std::size_t padding = 0;
 };
 
+/// Name of the row-kernel tier the stride-1 conv path dispatches to on this
+/// machine ("avx2-fma" or "scalar"), resolved once at first use. Honors
+/// CDL_FORCE_SCALAR like the int8 GEMM (nn/qgemm.h), so a forced-scalar run
+/// exercises the portable kernels end to end.
+[[nodiscard]] const char* conv_dispatch_tier();
+
 class Conv2D final : public Layer {
  public:
   /// `kernel` is the square kernel side K.

@@ -1,0 +1,485 @@
+#include "nn/qgemm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+// Raw-intrinsics tiers, selected once at runtime. Unlike the fp32 GEMM's
+// target_clones trick this must be explicit dispatch: the byte dot products
+// (`vpmaddubsw`, `vpdpbusd`) have no portable-C++ spelling the
+// auto-vectorizer would find against a baseline target.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CDL_QGEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace cdl {
+
+namespace {
+
+constexpr std::size_t kMr = kQgemmMr;
+constexpr std::size_t kNr = kQgemmNr;
+constexpr std::size_t kKg = kQgemmKGroup;
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+// One panel-runner per tier, all computing column panels [jp0, jp1) of C
+// against fully packed operands. Integer accumulation is exact, so the
+// tiers are interchangeable bit-for-bit (packed-A bound, see header).
+using PanelFn = void (*)(const QgemmDims&, const std::int8_t*,
+                         const std::uint8_t*, std::int32_t*, std::size_t,
+                         std::size_t);
+
+/// Writes the kMr x kNr accumulator tile into C, clipped to the matrix edge.
+void store_tile(const std::int32_t* acc, std::int32_t* c, std::size_t n,
+                std::size_t i0, std::size_t j0, std::size_t mr,
+                std::size_t nr) {
+  for (std::size_t r = 0; r < mr; ++r) {
+    std::int32_t* c_row = c + (i0 + r) * n + j0;
+    const std::int32_t* acc_row = acc + r * kNr;
+    for (std::size_t jj = 0; jj < nr; ++jj) c_row[jj] = acc_row[jj];
+  }
+}
+
+void run_panels_scalar(const QgemmDims& dims, const std::int8_t* pa,
+                       const std::uint8_t* pb, std::int32_t* c,
+                       std::size_t jp0, std::size_t jp1) {
+  const std::size_t kpad = qgemm_padded_k(dims.k);
+  const std::size_t groups = kpad / kKg;
+  const std::size_t ipanels = ceil_div(dims.m, kMr);
+  for (std::size_t jp = jp0; jp < jp1; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, dims.n - j0);
+    const std::uint8_t* bp = pb + jp * kpad * kNr;
+    for (std::size_t ip = 0; ip < ipanels; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mr = std::min(kMr, dims.m - i0);
+      const std::int8_t* ap = pa + ip * kpad * kMr;
+      std::int32_t acc[kMr * kNr] = {};
+      for (std::size_t g = 0; g < groups; ++g) {
+        const std::int8_t* ag = ap + g * kMr * kKg;
+        const std::uint8_t* bg = bp + g * kNr * kKg;
+        for (std::size_t r = 0; r < kMr; ++r) {
+          for (std::size_t jj = 0; jj < kNr; ++jj) {
+            std::int32_t dot = 0;
+            for (std::size_t t = 0; t < kKg; ++t) {
+              dot += static_cast<std::int32_t>(ag[r * kKg + t]) *
+                     static_cast<std::int32_t>(bg[jj * kKg + t]);
+            }
+            acc[r * kNr + jj] += dot;
+          }
+        }
+      }
+      store_tile(acc, c, dims.n, i0, j0, mr, nr);
+    }
+  }
+}
+
+#ifdef CDL_QGEMM_X86
+
+/// Broadcasts one packed-A row's k-group (4 consecutive s8 bytes) to every
+/// 32-bit lane. memcpy keeps the byte-buffer read strict-aliasing clean; it
+/// compiles to a single broadcast load.
+inline std::int32_t load_a_group(const std::int8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx2"))) void run_panels_avx2(
+    const QgemmDims& dims, const std::int8_t* pa, const std::uint8_t* pb,
+    std::int32_t* c, std::size_t jp0, std::size_t jp1) {
+  const std::size_t kpad = qgemm_padded_k(dims.k);
+  const std::size_t groups = kpad / kKg;
+  const std::size_t ipanels = ceil_div(dims.m, kMr);
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::size_t jp = jp0; jp < jp1; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, dims.n - j0);
+    const std::uint8_t* bp = pb + jp * kpad * kNr;
+    for (std::size_t ip = 0; ip < ipanels; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mr = std::min(kMr, dims.m - i0);
+      const std::int8_t* ap = pa + ip * kpad * kMr;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t g = 0; g < groups; ++g) {
+        // One 256-bit load covers the k-group for all 8 columns; each row's
+        // 4 weights broadcast as an int32. vpmaddubsw forms u8*s8 pair sums
+        // (s16, never saturating under the packed-A bound), vpmaddwd
+        // finishes the 4-way dot into s32 lanes.
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bp + g * kNr * kKg));
+        const std::int8_t* ag = ap + g * kMr * kKg;
+        const __m256i a0 = _mm256_set1_epi32(load_a_group(ag + 0 * kKg));
+        const __m256i a1 = _mm256_set1_epi32(load_a_group(ag + 1 * kKg));
+        const __m256i a2 = _mm256_set1_epi32(load_a_group(ag + 2 * kKg));
+        const __m256i a3 = _mm256_set1_epi32(load_a_group(ag + 3 * kKg));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, a0), ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, a1), ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, a2), ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, a3), ones));
+      }
+      alignas(32) std::int32_t acc[kMr * kNr];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 0 * kNr), acc0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 1 * kNr), acc1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 2 * kNr), acc2);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 3 * kNr), acc3);
+      store_tile(acc, c, dims.n, i0, j0, mr, nr);
+    }
+  }
+}
+
+__attribute__((target("avx512vnni,avx512vl"))) void run_panels_vnni(
+    const QgemmDims& dims, const std::int8_t* pa, const std::uint8_t* pb,
+    std::int32_t* c, std::size_t jp0, std::size_t jp1) {
+  const std::size_t kpad = qgemm_padded_k(dims.k);
+  const std::size_t groups = kpad / kKg;
+  const std::size_t ipanels = ceil_div(dims.m, kMr);
+  for (std::size_t jp = jp0; jp < jp1; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, dims.n - j0);
+    const std::uint8_t* bp = pb + jp * kpad * kNr;
+    for (std::size_t ip = 0; ip < ipanels; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mr = std::min(kMr, dims.m - i0);
+      const std::int8_t* ap = pa + ip * kpad * kMr;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t g = 0; g < groups; ++g) {
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bp + g * kNr * kKg));
+        const std::int8_t* ag = ap + g * kMr * kKg;
+        // vpdpbusd fuses the whole u8*s8 4-way dot product with the s32
+        // accumulate; no s16 intermediate exists, so this tier is exact for
+        // the full s8 range, not just the packed-A bound.
+        acc0 = _mm256_dpbusd_epi32(
+            acc0, bv, _mm256_set1_epi32(load_a_group(ag + 0 * kKg)));
+        acc1 = _mm256_dpbusd_epi32(
+            acc1, bv, _mm256_set1_epi32(load_a_group(ag + 1 * kKg)));
+        acc2 = _mm256_dpbusd_epi32(
+            acc2, bv, _mm256_set1_epi32(load_a_group(ag + 2 * kKg)));
+        acc3 = _mm256_dpbusd_epi32(
+            acc3, bv, _mm256_set1_epi32(load_a_group(ag + 3 * kKg)));
+      }
+      alignas(32) std::int32_t acc[kMr * kNr];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 0 * kNr), acc0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 1 * kNr), acc1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 2 * kNr), acc2);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 3 * kNr), acc3);
+      store_tile(acc, c, dims.n, i0, j0, mr, nr);
+    }
+  }
+}
+
+#endif  // CDL_QGEMM_X86
+
+/// CDL_FORCE_SCALAR=<non-empty, not "0"> pins dispatch to the scalar tier
+/// (read once, at first dispatch — the CI scalar job sets it before launch).
+bool force_scalar_env() {
+  const char* v = std::getenv("CDL_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+struct Dispatch {
+  PanelFn fn;
+  QgemmTier tier;
+};
+
+Dispatch select_dispatch() {
+#ifdef CDL_QGEMM_X86
+  if (!force_scalar_env()) {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512vnni") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return {run_panels_vnni, QgemmTier::kAvx512Vnni};
+    }
+    if (__builtin_cpu_supports("avx2")) {
+      return {run_panels_avx2, QgemmTier::kAvx2};
+    }
+  }
+#endif
+  return {run_panels_scalar, QgemmTier::kScalar};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = select_dispatch();
+  return d;
+}
+
+}  // namespace
+
+std::size_t qgemm_padded_k(std::size_t k) {
+  return ceil_div(k, kKg) * kKg;
+}
+
+std::size_t qgemm_packed_a_bytes(std::size_t m, std::size_t k) {
+  return ceil_div(m, kMr) * qgemm_padded_k(k) * kMr;
+}
+
+std::size_t qgemm_packed_b_bytes(std::size_t k, std::size_t n) {
+  return ceil_div(n, kNr) * qgemm_padded_k(k) * kNr;
+}
+
+void qgemm_pack_a(std::size_t m, std::size_t k, const std::int8_t* a,
+                  std::int8_t* pa) {
+  const std::size_t kpad = qgemm_padded_k(k);
+  const std::size_t panels = ceil_div(m, kMr);
+  std::memset(pa, 0, panels * kpad * kMr);
+  for (std::size_t ip = 0; ip < panels; ++ip) {
+    const std::size_t i0 = ip * kMr;
+    const std::size_t rows = std::min(kMr, m - i0);
+    std::int8_t* panel = pa + ip * kpad * kMr;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::int8_t* src = a + (i0 + r) * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        panel[(p / kKg) * kMr * kKg + r * kKg + (p % kKg)] = src[p];
+      }
+    }
+  }
+}
+
+void qgemm_pack_b(std::size_t k, std::size_t n, const std::uint8_t* b,
+                  std::uint8_t* pb) {
+  const std::size_t kpad = qgemm_padded_k(k);
+  const std::size_t panels = ceil_div(n, kNr);
+  std::memset(pb, 0, panels * kpad * kNr);
+  for (std::size_t panel = 0; panel < panels; ++panel) {
+    const std::size_t j0 = panel * kNr;
+    const std::size_t width = std::min(kNr, n - j0);
+    std::uint8_t* dst = pb + panel * kpad * kNr;
+    for (std::size_t p = 0; p < k; ++p) {
+      std::uint8_t* group = dst + (p / kKg) * kNr * kKg + (p % kKg);
+      const std::uint8_t* src = b + p * n + j0;
+      for (std::size_t jj = 0; jj < width; ++jj) group[jj * kKg] = src[jj];
+    }
+  }
+}
+
+void qgemm_pack_b_transposed(std::size_t k, std::size_t n,
+                             const std::uint8_t* src, std::uint8_t* pb) {
+  const std::size_t kpad = qgemm_padded_k(k);
+  const std::size_t panels = ceil_div(n, kNr);
+  std::memset(pb, 0, panels * kpad * kNr);
+  const std::size_t full_groups = k / kKg;
+  const std::size_t tail = k % kKg;
+  for (std::size_t panel = 0; panel < panels; ++panel) {
+    const std::size_t j0 = panel * kNr;
+    const std::size_t width = std::min(kNr, n - j0);
+    std::uint8_t* dst = pb + panel * kpad * kNr;
+    for (std::size_t jj = 0; jj < width; ++jj) {
+      const std::uint8_t* row = src + (j0 + jj) * k;
+      // One kKg-byte (dword) move per k-group instead of per-byte stores
+      // with div/mod index math; pure byte movement, layout unchanged.
+      std::uint8_t* col = dst + jj * kKg;
+      for (std::size_t g = 0; g < full_groups; ++g) {
+        std::memcpy(col + g * kNr * kKg, row + g * kKg, kKg);
+      }
+      if (tail != 0) {
+        std::memcpy(col + full_groups * kNr * kKg, row + full_groups * kKg,
+                    tail);
+      }
+    }
+  }
+}
+
+void qgemm_pack_b_im2col(const std::uint8_t* images, std::size_t count,
+                         std::size_t c, std::size_t h, std::size_t w,
+                         std::size_t kernel, std::uint8_t* pb,
+                         std::size_t panel_begin, std::size_t panel_end) {
+  const std::size_t oh = h - kernel + 1;
+  const std::size_t ow = w - kernel + 1;
+  const std::size_t pixels = oh * ow;
+  const std::size_t n = count * pixels;
+  const std::size_t k = c * kernel * kernel;
+  const std::size_t kpad = qgemm_padded_k(k);
+  // Fast path: stage each kernel patch contiguously (row-wise byte copies),
+  // then scatter it into the panel one k-group dword at a time — ~4x fewer
+  // stores and no per-byte index arithmetic. Byte moves only, so the packed
+  // layout is bit-identical to the general path below.
+  constexpr std::size_t kMaxStagedK = 512;
+  if (kpad <= kMaxStagedK) {
+    // Per-patch-element source offsets relative to the patch origin pixel;
+    // stack-resident so the hot batch path stays allocation free.
+    std::size_t off[kMaxStagedK];
+    {
+      std::size_t p = 0;
+      for (std::size_t ic = 0; ic < c; ++ic) {
+        for (std::size_t ky = 0; ky < kernel; ++ky) {
+          for (std::size_t kx = 0; kx < kernel; ++kx, ++p) {
+            off[p] = ic * h * w + ky * w + kx;
+          }
+        }
+      }
+    }
+    std::uint8_t patch[kMaxStagedK];
+    std::memset(patch + k, 0, kpad - k);
+    const std::size_t groups = kpad / kKg;
+    for (std::size_t panel = panel_begin; panel < panel_end; ++panel) {
+      const std::size_t j0 = panel * kNr;
+      const std::size_t width = std::min(kNr, n - j0);
+      std::uint8_t* dst = pb + panel * kpad * kNr;
+      const std::size_t img = j0 / pixels;
+      const std::size_t pix = j0 % pixels;
+      const std::size_t oy = pix / ow;
+      const std::size_t ox = pix % ow;
+#if defined(CDL_QGEMM_X86)
+      // Interior panel: all 8 columns sit in one output row, so each patch
+      // element's 8 source bytes are contiguous (stride-1 conv) and the
+      // panel is a 4x8 byte transpose per k-group — two unpack rounds in
+      // SSE registers. Pure byte movement: bit-identical to the scalar path.
+      if (width == kNr && ox + kNr <= ow) {
+        const std::uint8_t* base = images + img * c * h * w + oy * w + ox;
+        const __m128i zero = _mm_setzero_si128();
+        for (std::size_t g = 0; g < groups; ++g) {
+          const std::size_t p0 = g * kKg;
+          const auto load_row = [&](std::size_t p) {
+            return p < k ? _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+                               base + off[p]))
+                         : zero;
+          };
+          const __m128i r0 = load_row(p0);
+          const __m128i r1 = load_row(p0 + 1);
+          const __m128i r2 = load_row(p0 + 2);
+          const __m128i r3 = load_row(p0 + 3);
+          const __m128i t0 = _mm_unpacklo_epi8(r0, r1);
+          const __m128i t1 = _mm_unpacklo_epi8(r2, r3);
+          std::uint8_t* out = dst + g * kNr * kKg;
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                           _mm_unpacklo_epi16(t0, t1));
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16),
+                           _mm_unpackhi_epi16(t0, t1));
+        }
+        continue;
+      }
+#endif
+      // Edge panel (or no SIMD): stage each kernel patch contiguously
+      // (row-wise byte copies), then scatter whole k-group dwords.
+      if (width < kNr) std::memset(dst, 0, kpad * kNr);
+      for (std::size_t jj = 0; jj < width; ++jj) {
+        const std::size_t col = j0 + jj;
+        const std::uint8_t* base = images + (col / pixels) * c * h * w +
+                                   ((col % pixels) / ow) * w +
+                                   (col % pixels) % ow;
+        std::uint8_t* staged = patch;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          const std::uint8_t* plane = base + ic * h * w;
+          for (std::size_t ky = 0; ky < kernel; ++ky, staged += kernel) {
+            std::memcpy(staged, plane + ky * w, kernel);
+          }
+        }
+        std::uint8_t* out = dst + jj * kKg;
+        for (std::size_t g = 0; g < groups; ++g) {
+          std::memcpy(out + g * kNr * kKg, patch + g * kKg, kKg);
+        }
+      }
+    }
+    return;
+  }
+  for (std::size_t panel = panel_begin; panel < panel_end; ++panel) {
+    const std::size_t j0 = panel * kNr;
+    const std::size_t width = std::min(kNr, n - j0);
+    std::uint8_t* dst = pb + panel * kpad * kNr;
+    std::memset(dst, 0, kpad * kNr);
+    for (std::size_t jj = 0; jj < width; ++jj) {
+      const std::size_t col = j0 + jj;
+      const std::size_t img = col / pixels;
+      const std::size_t pix = col % pixels;
+      const std::size_t oy = pix / ow;
+      const std::size_t ox = pix % ow;
+      const std::uint8_t* base = images + img * c * h * w + oy * w + ox;
+      std::size_t p = 0;
+      for (std::size_t ic = 0; ic < c; ++ic) {
+        const std::uint8_t* plane = base + ic * h * w;
+        for (std::size_t ky = 0; ky < kernel; ++ky) {
+          const std::uint8_t* row = plane + ky * w;
+          for (std::size_t kx = 0; kx < kernel; ++kx, ++p) {
+            dst[(p / kKg) * kNr * kKg + jj * kKg + (p % kKg)] = row[kx];
+          }
+        }
+      }
+    }
+  }
+}
+
+const char* to_string(QgemmTier tier) {
+  switch (tier) {
+    case QgemmTier::kAvx512Vnni:
+      return "avx512-vnni";
+    case QgemmTier::kAvx2:
+      return "avx2";
+    case QgemmTier::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+QgemmTier qgemm_tier() { return dispatch().tier; }
+
+void qgemm_packed(QgemmDims dims, const std::int8_t* pa,
+                  const std::uint8_t* pb, std::int32_t* c, ThreadPool* pool) {
+  if (dims.m == 0 || dims.n == 0) return;
+  if (dims.k == 0) {
+    std::memset(c, 0, dims.m * dims.n * sizeof(std::int32_t));
+    return;
+  }
+  const PanelFn fn = dispatch().fn;
+  const std::size_t jpanels = ceil_div(dims.n, kNr);
+  if (pool == nullptr || pool->size() <= 1 || jpanels == 1) {
+    fn(dims, pa, pb, c, 0, jpanels);
+    return;
+  }
+  // Workers own disjoint column panels; integer accumulation is exact, so
+  // any split is bit-identical to serial. Single-reference capture keeps the
+  // ChunkFn in std::function's small-object buffer (no allocation).
+  struct Ctx {
+    PanelFn fn;
+    const QgemmDims* dims;
+    const std::int8_t* pa;
+    const std::uint8_t* pb;
+    std::int32_t* c;
+  } ctx{fn, &dims, pa, pb, c};
+  pool->parallel_for(0, jpanels,
+                     [&ctx](std::size_t, std::size_t jp0, std::size_t jp1) {
+                       ctx.fn(*ctx.dims, ctx.pa, ctx.pb, ctx.c, jp0, jp1);
+                     });
+}
+
+void qgemm_packed_reference(QgemmDims dims, const std::int8_t* pa,
+                            const std::uint8_t* pb, std::int32_t* c) {
+  if (dims.m == 0 || dims.n == 0) return;
+  if (dims.k == 0) {
+    std::memset(c, 0, dims.m * dims.n * sizeof(std::int32_t));
+    return;
+  }
+  run_panels_scalar(dims, pa, pb, c, 0, ceil_div(dims.n, kNr));
+}
+
+void qgemm(QgemmDims dims, const std::int8_t* a, const std::uint8_t* b,
+           std::int32_t* c) {
+  if (dims.m == 0 || dims.n == 0) return;
+  if (dims.k == 0) {
+    std::memset(c, 0, dims.m * dims.n * sizeof(std::int32_t));
+    return;
+  }
+  thread_local std::vector<std::int8_t> pa;
+  thread_local std::vector<std::uint8_t> pb;
+  pa.resize(qgemm_packed_a_bytes(dims.m, dims.k));
+  pb.resize(qgemm_packed_b_bytes(dims.k, dims.n));
+  qgemm_pack_a(dims.m, dims.k, a, pa.data());
+  qgemm_pack_b(dims.k, dims.n, b, pb.data());
+  qgemm_packed(dims, pa.data(), pb.data(), c);
+}
+
+}  // namespace cdl

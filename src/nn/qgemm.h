@@ -1,0 +1,108 @@
+// Quantized (u8 x s8 -> s32) packed GEMM for the INT8 cascade path.
+//
+// Row-major C(m,n) = A(m,k) * B(k,n) where A holds signed 8-bit weights and
+// B holds unsigned 8-bit activations; C accumulates in int32. Operands are
+// packed into micro-kernel panels once (weights at quantization time,
+// activations per block), then a register-tiled 4x8 kernel runs over k in
+// groups of 4 — the shape `vpmaddubsw`+`vpmaddwd` (AVX2) and `vpdpbusd`
+// (AVX-512 VNNI) consume natively. Dispatch follows the conv2d.cpp pattern:
+// raw intrinsics selected once via __builtin_cpu_supports, with a scalar
+// reference tier that is also forced by CDL_FORCE_SCALAR=1.
+//
+// Exactness contract: integer arithmetic has no rounding, so all tiers
+// produce bit-identical C provided the AVX2 tier's intermediate s16 pair
+// sums cannot saturate. Callers must keep |A| <= kQgemmWeightMax (= 63):
+// 2 * 255 * 63 = 32130 < 32767, so `vpmaddubsw` never clips and every tier
+// equals the plain int32 reference for any B in [0, 255].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdl {
+
+class ThreadPool;
+
+struct QgemmDims {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+};
+
+/// Micro-kernel tile extents: A row panels are kQgemmMr tall, B column
+/// panels kQgemmNr wide, and k is consumed in groups of kQgemmKGroup bytes
+/// (zero-padded), matching the 4-way byte dot products of the SIMD tiers.
+inline constexpr std::size_t kQgemmMr = 4;
+inline constexpr std::size_t kQgemmNr = 8;
+inline constexpr std::size_t kQgemmKGroup = 4;
+
+/// Largest |weight| the packed-A operand may hold without breaking the
+/// cross-tier exactness contract (see header comment).
+inline constexpr std::int32_t kQgemmWeightMax = 63;
+
+/// k rounded up to a whole number of kQgemmKGroup groups.
+[[nodiscard]] std::size_t qgemm_padded_k(std::size_t k);
+
+/// Bytes needed for a packed A(m,k) / packed B(k,n) operand.
+[[nodiscard]] std::size_t qgemm_packed_a_bytes(std::size_t m, std::size_t k);
+[[nodiscard]] std::size_t qgemm_packed_b_bytes(std::size_t k, std::size_t n);
+
+/// Packs row-major A(m,k) into kQgemmMr-tall row panels: panel groups hold
+/// kQgemmKGroup consecutive k bytes per row (so one row's group reads as a
+/// single int32 broadcast), zero-padded past row m and depth k.
+void qgemm_pack_a(std::size_t m, std::size_t k, const std::int8_t* a,
+                  std::int8_t* pa);
+
+/// Packs row-major B(k,n) into kQgemmNr-wide column panels: each k group
+/// stores kQgemmKGroup bytes per column for kQgemmNr columns (32 bytes = one
+/// 256-bit load), zero-padded past column n and depth k.
+void qgemm_pack_b(std::size_t k, std::size_t n, const std::uint8_t* b,
+                  std::uint8_t* pb);
+
+/// Packs B = src^T where `src` is row-major (n,k) — the layout quantized
+/// feature blocks are stored in, so batched "X * W^T" products need no
+/// materialized transpose.
+void qgemm_pack_b_transposed(std::size_t k, std::size_t n,
+                             const std::uint8_t* src, std::uint8_t* pb);
+
+/// Fused im2col + pack for quantized conv inputs: emits packed-B column
+/// panels [panel_begin, panel_end) for the lowered patch matrix of `count`
+/// CHW u8 images (stride 1, no padding). Column i*out_pixels + p is image
+/// i's receptive field for output pixel p; depth index (ic*kernel + ky) *
+/// kernel + kx matches the Conv2D weight tap order. Panel ranges touch
+/// disjoint output bytes, so ranges can be packed concurrently.
+void qgemm_pack_b_im2col(const std::uint8_t* images, std::size_t count,
+                         std::size_t c, std::size_t h, std::size_t w,
+                         std::size_t kernel, std::uint8_t* pb,
+                         std::size_t panel_begin, std::size_t panel_end);
+
+enum class QgemmTier : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512Vnni = 2 };
+[[nodiscard]] const char* to_string(QgemmTier tier);
+
+/// The tier qgemm_packed() dispatches to on this machine — resolved once on
+/// first use from __builtin_cpu_supports, or pinned to kScalar when the
+/// CDL_FORCE_SCALAR environment variable is set to a non-empty value other
+/// than "0" at first call.
+[[nodiscard]] QgemmTier qgemm_tier();
+
+/// C(m,n) = A*B over pre-packed operands (overwrite semantics, s32
+/// accumulation). Work splits over *column* panels when `pool` has more than
+/// one worker; integer accumulation is exact, so results are bit-identical
+/// for any pool size and any tier (given the packed-A weight bound).
+void qgemm_packed(QgemmDims dims, const std::int8_t* pa,
+                  const std::uint8_t* pb, std::int32_t* c,
+                  ThreadPool* pool = nullptr);
+
+/// Scalar reference kernel over the same packed operands — always available
+/// regardless of dispatch, used by the exact-arithmetic kernel tests and the
+/// micro_kernels bench baseline.
+void qgemm_packed_reference(QgemmDims dims, const std::int8_t* pa,
+                            const std::uint8_t* pb, std::int32_t* c);
+
+/// Convenience pack-and-multiply over unpacked row-major operands
+/// (thread_local packing scratch; tests and benches only — the hot path
+/// keeps operands packed in planner arenas).
+void qgemm(QgemmDims dims, const std::int8_t* a, const std::uint8_t* b,
+           std::int32_t* c);
+
+}  // namespace cdl

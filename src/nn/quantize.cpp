@@ -4,6 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/qgemm.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 namespace cdl {
 
 double fake_quantize_tensor(Tensor& t, unsigned bits) {
@@ -52,6 +58,96 @@ QuantizationReport fake_quantize_cdln(ConditionalNetwork& net, unsigned bits) {
     for (Tensor* p : net.classifier(s).parameters()) params.push_back(p);
   }
   return fake_quantize(params, bits);
+}
+
+float activation_quant_scale(float amax) {
+  if (!std::isfinite(amax) || amax <= 0.0F) return 1.0F;
+  return amax / static_cast<float>(kActQuantLevels);
+}
+
+namespace {
+
+void quantize_u8_scalar(const float* in, std::size_t n, float inv_scale,
+                        std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float q = std::nearbyintf(in[i] * inv_scale);
+    const float clamped =
+        std::clamp(q, 0.0F, static_cast<float>(kActQuantLevels));
+    out[i] = static_cast<std::uint8_t>(clamped);
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/// AVX2 lane: clamp in the float domain, then vcvtps2dq — which rounds
+/// round-to-nearest-even exactly like nearbyintf under the default rounding
+/// mode — so every byte is bit-identical to quantize_u8_scalar. The pack
+/// stages only reorder values already in [0, 255].
+__attribute__((target("avx2"))) void quantize_u8_avx2(const float* in,
+                                                      std::size_t n,
+                                                      float inv_scale,
+                                                      std::uint8_t* out) {
+  const __m256 vscale = _mm256_set1_ps(inv_scale);
+  const __m256 lo = _mm256_setzero_ps();
+  const __m256 hi = _mm256_set1_ps(static_cast<float>(kActQuantLevels));
+// Lambdas do not inherit the enclosing target attribute, so this is a macro.
+#define CDL_Q8_TO_S32(p)                                              \
+  _mm256_cvtps_epi32(_mm256_min_ps(                                   \
+      _mm256_max_ps(_mm256_mul_ps(_mm256_loadu_ps(p), vscale), lo), hi))
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    // packs interleave 128-bit lanes; the permute restores element order.
+    const __m256i words_ab =
+        _mm256_packus_epi32(CDL_Q8_TO_S32(in + i), CDL_Q8_TO_S32(in + i + 8));
+    const __m256i words_cd = _mm256_packus_epi32(
+        CDL_Q8_TO_S32(in + i + 16), CDL_Q8_TO_S32(in + i + 24));
+#undef CDL_Q8_TO_S32
+    const __m256i bytes = _mm256_packus_epi16(words_ab, words_cd);
+    const __m256i ordered = _mm256_permutevar8x32_epi32(
+        bytes, _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), ordered);
+  }
+  quantize_u8_scalar(in + i, n - i, inv_scale, out + i);
+}
+#endif
+
+using QuantU8Fn = void (*)(const float*, std::size_t, float, std::uint8_t*);
+
+QuantU8Fn select_quantize_u8() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return quantize_u8_avx2;
+#endif
+  return quantize_u8_scalar;
+}
+
+}  // namespace
+
+void quantize_activations_u8(const float* in, std::size_t n, float inv_scale,
+                             std::uint8_t* out) {
+  static const QuantU8Fn fn = select_quantize_u8();
+  fn(in, n, inv_scale, out);
+}
+
+std::vector<float> quantize_weights_s8(const float* w, std::size_t out_ch,
+                                       std::size_t k, std::int8_t* out) {
+  const float levels = static_cast<float>(kQgemmWeightMax);
+  std::vector<float> scales(out_ch, 1.0F);
+  for (std::size_t oc = 0; oc < out_ch; ++oc) {
+    const float* row = w + oc * k;
+    float max_abs = 0.0F;
+    for (std::size_t p = 0; p < k; ++p) {
+      max_abs = std::max(max_abs, std::abs(row[p]));
+    }
+    const float scale = max_abs > 0.0F ? max_abs / levels : 1.0F;
+    const float inv_scale = 1.0F / scale;
+    scales[oc] = scale;
+    std::int8_t* dst = out + oc * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float q =
+          std::clamp(std::nearbyintf(row[p] * inv_scale), -levels, levels);
+      dst[p] = static_cast<std::int8_t>(q);
+    }
+  }
+  return scales;
 }
 
 }  // namespace cdl

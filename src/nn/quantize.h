@@ -1,13 +1,22 @@
-// Fake quantization: symmetric uniform per-tensor weight quantization.
+// Quantization helpers: fake (simulated) per-tensor weight quantization for
+// the precision ablation, plus the real u8/s8 conversions used by the INT8
+// cascade path.
 //
 // The paper implements its classifiers at RTL on 45 nm silicon, where
-// datapaths are fixed-point. This module emulates that by snapping trained
-// parameters to a b-bit grid (values stay float, hence "fake"), letting the
-// quantization ablation measure how CDL accuracy holds up at hardware
-// precisions.
+// datapaths are fixed-point. fake_quantize_* emulates that by snapping
+// trained parameters to a b-bit grid (values stay float, hence "fake"),
+// letting the quantization ablation measure how CDL accuracy holds up at
+// hardware precisions. The quantize_*_u8/s8 helpers below perform the actual
+// integer conversions for the quantized inference kernels (nn/qgemm.h):
+// activations map to unsigned 8-bit with zero point 0 (valid because every
+// quantized boundary in the paper's architectures is sigmoid output or
+// nonnegative input data), weights to signed 8-bit per output channel,
+// bounded to kQgemmWeightMax so the AVX2 tier stays exact.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "cdl/conditional_network.h"
 #include "core/tensor.h"
@@ -35,5 +44,30 @@ QuantizationReport fake_quantize_network(Network& net, unsigned bits);
 
 /// Quantizes the baseline and every stage classifier of a CDLN.
 QuantizationReport fake_quantize_cdln(ConditionalNetwork& net, unsigned bits);
+
+// --- real int8 conversions (INT8 cascade path) ----------------------------
+
+/// Number of representable activation levels above zero: u8 in [0, 255]
+/// with zero point 0.
+inline constexpr std::int32_t kActQuantLevels = 255;
+
+/// Scale mapping the nonnegative activation range [0, amax] onto [0, 255].
+/// A degenerate (<= 0, non-finite) amax yields 1.0f so the conversion stays
+/// well defined.
+[[nodiscard]] float activation_quant_scale(float amax);
+
+/// q = clamp(nearbyint(v * inv_scale), 0, 255), elementwise. Uses
+/// nearbyintf under the default rounding mode (round-to-nearest-even) and
+/// stays scalar: every float step of the int8 path rounds identically no
+/// matter the batch shape, tile or SIMD tier.
+void quantize_activations_u8(const float* in, std::size_t n, float inv_scale,
+                             std::uint8_t* out);
+
+/// Per-output-channel symmetric weight quantization: row oc of w(out_ch, k)
+/// maps onto [-kQgemmWeightMax, kQgemmWeightMax] (see nn/qgemm.h — the bound
+/// keeps the AVX2 vpmaddubsw tier saturation-free). Returns the per-channel
+/// scales; an all-zero channel gets scale 1.0f.
+std::vector<float> quantize_weights_s8(const float* w, std::size_t out_ch,
+                                       std::size_t k, std::int8_t* out);
 
 }  // namespace cdl

@@ -178,6 +178,65 @@ TEST_F(ModelIoTest, MetaWeightsArchMismatchRejected) {
   EXPECT_THROW((void)tools::load_model(path("mix")), std::runtime_error);
 }
 
+TEST_F(ModelIoTest, QuantCalibrationRoundTripsExactly) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(31);
+  ConditionalNetwork net = make_net(arch, rng);
+  QuantCalibration cal;
+  const std::size_t boundaries = net.baseline().size() + 1;
+  for (std::size_t b = 0; b < boundaries; ++b) {
+    cal.amax.push_back(0.125F + 0.33F * static_cast<float>(b));
+    cal.vmin.push_back(b == boundaries - 1 ? -1.71875F : 0.0F);
+  }
+  net.set_quantization(cal);
+  tools::save_model(path("q"), net, arch.name, nullptr, &cal);
+
+  tools::ModelMeta meta;
+  const ConditionalNetwork restored = tools::load_model(path("q"), &meta);
+  ASSERT_TRUE(meta.quant.has_value());
+  ASSERT_TRUE(restored.has_quantization());
+  ASSERT_EQ(restored.quantization().boundaries(), boundaries);
+  for (std::size_t b = 0; b < boundaries; ++b) {
+    // %.9g round-trips any float32 exactly.
+    EXPECT_EQ(restored.quantization().amax[b], cal.amax[b]) << b;
+    EXPECT_EQ(restored.quantization().vmin[b], cal.vmin[b]) << b;
+  }
+  // Precision always starts at fp32; int8 is an explicit opt-in after load.
+  for (std::size_t s = 0; s <= restored.num_stages(); ++s) {
+    EXPECT_EQ(restored.stage_precision(s), StagePrecision::kFp32) << s;
+  }
+}
+
+TEST_F(ModelIoTest, ForeignQuantCalibrationDegradesToFp32) {
+  // A calibration whose boundary count does not match the architecture
+  // (e.g. a meta file edited by hand or written for another net) must not
+  // install; the model still loads and runs fp32.
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(31);
+  ConditionalNetwork net = make_net(arch, rng);
+  tools::save_model(path("fq"), net, arch.name);
+  std::ofstream meta(path("fq") + ".meta", std::ios::app);
+  meta << "quant_amax 1 2 3\nquant_vmin 0 0 0\n";
+  meta.close();
+  const ConditionalNetwork restored = tools::load_model(path("fq"));
+  EXPECT_FALSE(restored.has_quantization());
+}
+
+TEST_F(ModelIoTest, QuantKeysCoexistWithUnknownKeys) {
+  const CdlArchitecture arch = mnist_2c();
+  Rng rng(37);
+  ConditionalNetwork net = make_net(arch, rng);
+  QuantCalibration cal;
+  cal.amax.assign(net.baseline().size() + 1, 2.0F);
+  cal.vmin.assign(net.baseline().size() + 1, 0.0F);
+  tools::save_model(path("qf"), net, arch.name, nullptr, &cal);
+  std::ofstream meta(path("qf") + ".meta", std::ios::app);
+  meta << "future_key some value\n";
+  meta.close();
+  const ConditionalNetwork restored = tools::load_model(path("qf"));
+  EXPECT_TRUE(restored.has_quantization());
+}
+
 TEST_F(ModelIoTest, PrunedStageSetRoundTrips) {
   const CdlArchitecture arch = mnist_3c();
   Rng rng(11);

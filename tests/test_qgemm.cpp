@@ -1,0 +1,316 @@
+// Exact-arithmetic tests for the quantized u8 x s8 GEMM: every tier must
+// reproduce the naive int32 product bit-for-bit (within the packed-A weight
+// bound), including the saturation-prone edges of the AVX2 vpmaddubsw tier,
+// plus packing-layout equivalences and the real quantize/dequantize helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cfenv>
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "nn/qgemm.h"
+#include "nn/quantize.h"
+
+namespace cdl {
+namespace {
+
+void naive_qgemm(QgemmDims d, const std::int8_t* a, const std::uint8_t* b,
+                 std::int32_t* c) {
+  for (std::size_t i = 0; i < d.m; ++i) {
+    for (std::size_t j = 0; j < d.n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < d.k; ++p) {
+        acc += static_cast<std::int32_t>(a[i * d.k + p]) *
+               static_cast<std::int32_t>(b[p * d.n + j]);
+      }
+      c[i * d.n + j] = acc;
+    }
+  }
+}
+
+std::vector<std::int8_t> random_weights(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> w(n);
+  for (std::int8_t& v : w) {
+    v = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(rng.index(2 * kQgemmWeightMax + 1)) -
+        kQgemmWeightMax);
+  }
+  return w;
+}
+
+std::vector<std::uint8_t> random_activations(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> a(n);
+  for (std::uint8_t& v : a) v = static_cast<std::uint8_t>(rng.index(256));
+  return a;
+}
+
+using QgemmCase = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class QgemmSweep : public ::testing::TestWithParam<QgemmCase> {};
+
+TEST_P(QgemmSweep, DispatchedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 131 + k * 17 + n);
+  const auto a = random_weights(m * k, rng);
+  const auto b = random_activations(k * n, rng);
+  std::vector<std::int32_t> expected(m * n, -1);
+  naive_qgemm({m, k, n}, a.data(), b.data(), expected.data());
+
+  std::vector<std::int32_t> c(m * n, -1);
+  qgemm({m, k, n}, a.data(), b.data(), c.data());
+  EXPECT_EQ(c, expected);
+}
+
+TEST_P(QgemmSweep, ReferenceMatchesDispatchOnPackedOperands) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 7 + k * 911 + n);
+  const auto a = random_weights(m * k, rng);
+  const auto b = random_activations(k * n, rng);
+  std::vector<std::int8_t> pa(qgemm_packed_a_bytes(m, k));
+  std::vector<std::uint8_t> pb(qgemm_packed_b_bytes(k, n));
+  qgemm_pack_a(m, k, a.data(), pa.data());
+  qgemm_pack_b(k, n, b.data(), pb.data());
+
+  std::vector<std::int32_t> ref(m * n, -1);
+  std::vector<std::int32_t> got(m * n, -2);
+  qgemm_packed_reference({m, k, n}, pa.data(), pb.data(), ref.data());
+  qgemm_packed({m, k, n}, pa.data(), pb.data(), got.data());
+  EXPECT_EQ(got, ref) << "dispatch tier " << to_string(qgemm_tier());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QgemmSweep,
+    ::testing::Values(QgemmCase{1, 1, 1}, QgemmCase{4, 4, 8},
+                      QgemmCase{3, 5, 7}, QgemmCase{6, 25, 144},
+                      QgemmCase{12, 150, 100}, QgemmCase{10, 192, 33},
+                      QgemmCase{9, 54, 36}, QgemmCase{17, 31, 63}));
+
+TEST(Qgemm, SaturationEdgeCases) {
+  // Worst case for the AVX2 tier: |a| = kQgemmWeightMax against b = 255.
+  // Adjacent-pair sums reach +/-2*255*63 = +/-32130, just inside s16; any
+  // saturation bug shows up as a mismatch vs the naive product. Sweep the
+  // sign patterns that maximize and alternate the pair sums.
+  const std::size_t k = 64;
+  const std::int8_t w = static_cast<std::int8_t>(kQgemmWeightMax);
+  const std::int8_t patterns[4][2] = {
+      {w, w},
+      {static_cast<std::int8_t>(-w), static_cast<std::int8_t>(-w)},
+      {w, static_cast<std::int8_t>(-w)},
+      {static_cast<std::int8_t>(-w), w}};
+  for (const auto& pat : patterns) {
+    std::vector<std::int8_t> a(k);
+    for (std::size_t p = 0; p < k; ++p) a[p] = pat[p % 2];
+    std::vector<std::uint8_t> b(k, 255);
+    std::int32_t expected = 0;
+    naive_qgemm({1, k, 1}, a.data(), b.data(), &expected);
+    std::int32_t got = -1;
+    qgemm({1, k, 1}, a.data(), b.data(), &got);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Qgemm, ZeroPaddedTailsDoNotContaminate) {
+  // k = 5 forces 3 bytes of k-group padding; m/n force row/column padding.
+  // Use extreme values so any stray padded term would visibly shift C.
+  const std::size_t m = 5, k = 5, n = 9;
+  std::vector<std::int8_t> a(m * k, static_cast<std::int8_t>(-63));
+  std::vector<std::uint8_t> b(k * n, 255);
+  std::vector<std::int32_t> expected(m * n);
+  naive_qgemm({m, k, n}, a.data(), b.data(), expected.data());
+  std::vector<std::int32_t> c(m * n);
+  qgemm({m, k, n}, a.data(), b.data(), c.data());
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Qgemm, ParallelIsBitIdenticalToSerial) {
+  const QgemmDims dims{6, 150, 531};
+  Rng rng(99);
+  const auto a = random_weights(dims.m * dims.k, rng);
+  const auto b = random_activations(dims.k * dims.n, rng);
+  std::vector<std::int8_t> pa(qgemm_packed_a_bytes(dims.m, dims.k));
+  std::vector<std::uint8_t> pb(qgemm_packed_b_bytes(dims.k, dims.n));
+  qgemm_pack_a(dims.m, dims.k, a.data(), pa.data());
+  qgemm_pack_b(dims.k, dims.n, b.data(), pb.data());
+
+  std::vector<std::int32_t> serial(dims.m * dims.n);
+  qgemm_packed(dims, pa.data(), pb.data(), serial.data());
+  for (std::size_t workers : {2U, 3U, 7U}) {
+    ThreadPool pool(workers);
+    std::vector<std::int32_t> parallel(dims.m * dims.n, -1);
+    qgemm_packed(dims, pa.data(), pb.data(), parallel.data(), &pool);
+    EXPECT_EQ(parallel, serial) << workers << " workers";
+  }
+}
+
+TEST(Qgemm, PackBTransposedMatchesPackB) {
+  const std::size_t k = 37, n = 10;
+  Rng rng(7);
+  const auto xt = random_activations(n * k, rng);  // row-major (n, k)
+  std::vector<std::uint8_t> b(k * n);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) b[p * n + j] = xt[j * k + p];
+  }
+  std::vector<std::uint8_t> pb_direct(qgemm_packed_b_bytes(k, n), 0xAA);
+  std::vector<std::uint8_t> pb_trans(qgemm_packed_b_bytes(k, n), 0x55);
+  qgemm_pack_b(k, n, b.data(), pb_direct.data());
+  qgemm_pack_b_transposed(k, n, xt.data(), pb_trans.data());
+  EXPECT_EQ(pb_trans, pb_direct);
+}
+
+TEST(Qgemm, Im2colPackMatchesNaiveLowering) {
+  // 2 images, 3 channels, 6x5 input, 3x3 kernel -> k = 27 (padded to 28),
+  // n = 2 * 4 * 3 = 24 columns = 3 panels.
+  const std::size_t count = 2, c = 3, h = 6, w = 5, kernel = 3;
+  const std::size_t oh = h - kernel + 1, ow = w - kernel + 1;
+  const std::size_t pixels = oh * ow;
+  const std::size_t k = c * kernel * kernel;
+  const std::size_t n = count * pixels;
+  Rng rng(21);
+  const auto images = random_activations(count * c * h * w, rng);
+
+  std::vector<std::uint8_t> lowered(k * n);
+  for (std::size_t img = 0; img < count; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t col = img * pixels + oy * ow + ox;
+        std::size_t p = 0;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx, ++p) {
+              lowered[p * n + col] =
+                  images[img * c * h * w + ic * h * w + (oy + ky) * w +
+                         (ox + kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::uint8_t> expected(qgemm_packed_b_bytes(k, n));
+  qgemm_pack_b(k, n, lowered.data(), expected.data());
+
+  const std::size_t panels = (n + kQgemmNr - 1) / kQgemmNr;
+  std::vector<std::uint8_t> got(qgemm_packed_b_bytes(k, n), 0xCC);
+  // Pack in two disjoint ranges to exercise the parallel-split contract.
+  qgemm_pack_b_im2col(images.data(), count, c, h, w, kernel, got.data(), 0, 2);
+  qgemm_pack_b_im2col(images.data(), count, c, h, w, kernel, got.data(), 2,
+                      panels);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Qgemm, TrivialDims) {
+  std::vector<std::int32_t> c(6, 42);
+  qgemm({0, 3, 2}, nullptr, nullptr, c.data());
+  EXPECT_EQ(c[0], 42);  // m == 0: untouched
+  qgemm({2, 0, 3}, nullptr, nullptr, c.data());
+  for (std::int32_t v : c) EXPECT_EQ(v, 0);  // k == 0: overwritten with zeros
+}
+
+TEST(QuantizeU8, RoundsToNearestEvenAndClamps) {
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  const float in[] = {0.5F, 1.5F, 2.5F, -3.0F, 254.49F, 255.5F, 400.0F};
+  std::uint8_t out[7];
+  quantize_activations_u8(in, 7, 1.0F, out);
+  EXPECT_EQ(out[0], 0);    // ties to even
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 2);
+  EXPECT_EQ(out[3], 0);    // clamped below
+  EXPECT_EQ(out[4], 254);
+  EXPECT_EQ(out[5], 255);  // 255.5 ties to 256, clamped
+  EXPECT_EQ(out[6], 255);  // clamped above
+}
+
+TEST(QuantizeU8, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(3);
+  const float amax = 1.7F;
+  const float scale = activation_quant_scale(amax);
+  const float inv_scale = 1.0F / scale;
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.uniform(0.0F, amax);
+    std::uint8_t q = 0;
+    quantize_activations_u8(&v, 1, inv_scale, &q);
+    const float back = static_cast<float>(q) * scale;
+    EXPECT_NEAR(back, v, 0.5F * scale + 1e-6F);
+  }
+}
+
+// The cascade's bit-determinism contract hinges on the AVX2 lane of
+// quantize_activations_u8 matching the scalar rule byte-for-byte. Feed it
+// adversarial values (round-to-nearest-even ties, negatives, values far past
+// the u8 range) at lengths that cover the 32-wide vector body and every
+// ragged-tail size, and compare against the rule computed inline.
+TEST(QuantizeU8, VectorLaneMatchesScalarRuleOnAdversarialInputs) {
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  std::vector<float> in(300);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    switch (i % 6) {
+      case 0: in[i] = static_cast<float>(i) + 0.5F; break;   // RNE ties
+      case 1: in[i] = -static_cast<float>(i); break;         // clamp below
+      case 2: in[i] = 300.0F + static_cast<float>(i); break; // clamp above
+      case 3: in[i] = 1e30F; break;   // overflows the s32 convert
+      case 4: in[i] = -1e30F; break;
+      default: in[i] = 0.137F * static_cast<float>(i); break;
+    }
+  }
+  for (const std::size_t n :
+       {std::size_t{300}, std::size_t{64}, std::size_t{37}, std::size_t{33},
+        std::size_t{32}, std::size_t{31}, std::size_t{1}, std::size_t{0}}) {
+    for (const float inv_scale : {1.0F, 0.37F, 254.9F}) {
+      std::vector<std::uint8_t> got(n + 1, 0xCD);
+      quantize_activations_u8(in.data(), n, inv_scale, got.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const float q = std::nearbyintf(in[i] * inv_scale);
+        const float c = std::clamp(q, 0.0F,
+                                   static_cast<float>(kActQuantLevels));
+        ASSERT_EQ(got[i], static_cast<std::uint8_t>(c))
+            << "n=" << n << " inv=" << inv_scale << " i=" << i;
+      }
+      EXPECT_EQ(got[n], 0xCD);  // no write past the end
+    }
+  }
+}
+
+TEST(QuantizeS8, PerChannelWeightsBoundedAndTight) {
+  Rng rng(11);
+  const std::size_t oc = 5, k = 40;
+  std::vector<float> w(oc * k);
+  for (float& v : w) v = rng.uniform(-2.0F, 2.0F);
+  for (std::size_t p = 0; p < k; ++p) w[2 * k + p] = 0.0F;  // zero channel
+
+  std::vector<std::int8_t> q(oc * k, 99);
+  const std::vector<float> scales = quantize_weights_s8(w.data(), oc, k,
+                                                        q.data());
+  ASSERT_EQ(scales.size(), oc);
+  EXPECT_EQ(scales[2], 1.0F);
+  for (std::size_t c = 0; c < oc; ++c) {
+    float max_abs = 0.0F;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t qv = q[c * k + p];
+      EXPECT_LE(qv, kQgemmWeightMax);
+      EXPECT_GE(qv, -kQgemmWeightMax);
+      max_abs = std::max(max_abs, std::abs(w[c * k + p]));
+      // Round trip within half a step of the channel grid.
+      EXPECT_NEAR(static_cast<float>(qv) * scales[c], w[c * k + p],
+                  0.5F * scales[c] + 1e-6F);
+    }
+    if (max_abs > 0.0F) {
+      // The channel max must land exactly on the top level.
+      EXPECT_FLOAT_EQ(scales[c] * static_cast<float>(kQgemmWeightMax),
+                      max_abs);
+    }
+  }
+}
+
+TEST(Qgemm, TierNameIsKnown) {
+  const char* name = to_string(qgemm_tier());
+  EXPECT_TRUE(name == std::string("scalar") || name == std::string("avx2") ||
+              name == std::string("avx512-vnni"));
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,440 @@
+// Tests for the int8 cascade: calibration determinism, quantized segment /
+// classifier fidelity against fp32, batch == per-image bit-identity for any
+// (tile, thread count), precision API error handling, and checkpoint resets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+#include "cdl/quantized_cascade.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/pool2d.h"
+#include "test_util.h"
+
+namespace cdl {
+namespace {
+
+using test::random_image;
+
+constexpr std::size_t kSide = 14;
+const Shape kInShape{1, kSide, kSide};
+
+/// Paper-shaped (sigmoid, valid conv, max pool) network on 1x14x14 inputs:
+/// every boundary carries nonnegative values, so the whole cascade is
+/// quantizable. Layout: conv(1,4,3) sig pool2 conv(4,6,3) sig pool2 dense.
+Network quantizable_net(Rng& rng) {
+  Network net;
+  net.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col);  // 14 -> 12
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);  // 12 -> 6
+  net.emplace<Conv2D>(4, 6, 3, ConvAlgo::kIm2col);  // 6 -> 4
+  net.emplace<Sigmoid>();
+  net.emplace<Pool2D>(2);  // 4 -> 2
+  net.emplace<Dense>(6 * 2 * 2, 5);
+  net.init(rng);
+  return net;
+}
+
+ConditionalNetwork quantizable_cdln(Rng& rng, float delta = 0.4F) {
+  ConditionalNetwork net(quantizable_net(rng), kInShape);
+  net.attach_classifier(3, LcTrainingRule::kLms, rng);
+  net.attach_classifier(6, LcTrainingRule::kSoftmaxXent, rng);
+  net.set_delta(delta);
+  return net;
+}
+
+std::vector<Tensor> make_images(std::size_t n, std::uint64_t seed_base) {
+  std::vector<Tensor> images;
+  images.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    images.push_back(random_image(kInShape, seed_base + i));
+  }
+  return images;
+}
+
+QuantCalibration calibrate(const ConditionalNetwork& net,
+                           const std::vector<Tensor>& images,
+                           ThreadPool* pool = nullptr) {
+  return collect_quant_calibration(net.baseline(), net.input_shape(), images,
+                                   images.size(), pool);
+}
+
+void expect_results_identical(const std::vector<ClassificationResult>& a,
+                              const std::vector<ClassificationResult>& b,
+                              const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label) << context << " sample " << i;
+    EXPECT_EQ(a[i].exit_stage, b[i].exit_stage) << context << " sample " << i;
+    EXPECT_EQ(a[i].confidence, b[i].confidence) << context << " sample " << i;
+    EXPECT_EQ(a[i].probabilities, b[i].probabilities)
+        << context << " sample " << i;
+    EXPECT_EQ(a[i].ops, b[i].ops) << context << " sample " << i;
+  }
+}
+
+std::vector<ClassificationResult> classify_serial(
+    const ConditionalNetwork& net, const std::vector<Tensor>& inputs) {
+  std::vector<ClassificationResult> out;
+  out.reserve(inputs.size());
+  for (const Tensor& x : inputs) out.push_back(net.classify(x));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+TEST(QuantCalibrationTest, BoundariesCoverEveryLayerAndRangesAreSane) {
+  Rng rng(101);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const QuantCalibration cal = calibrate(net, make_images(16, 500));
+  ASSERT_EQ(cal.boundaries(), net.baseline().size() + 1);
+  ASSERT_EQ(cal.vmin.size(), cal.amax.size());
+  for (std::size_t b = 0; b < cal.boundaries(); ++b) {
+    EXPECT_TRUE(std::isfinite(cal.amax[b])) << "boundary " << b;
+    EXPECT_GT(cal.amax[b], 0.0F) << "boundary " << b;
+    EXPECT_LE(cal.vmin[b], cal.amax[b]) << "boundary " << b;
+  }
+  // Segment-input boundaries (image, post-sigmoid-pool features) carry only
+  // nonnegative values; interior pre-activation boundaries and the logits
+  // boundary may be negative and are never quantized as inputs.
+  for (const std::size_t b : {0U, 3U, 6U}) {
+    EXPECT_GE(cal.vmin[b], 0.0F) << "boundary " << b;
+  }
+}
+
+// Per-worker accumulators merge with max/min, so the result must be bitwise
+// identical for any pool size (the calibration determinism contract).
+TEST(QuantCalibrationTest, IdenticalAcrossThreadCounts) {
+  Rng rng(103);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const std::vector<Tensor> images = make_images(24, 900);
+  const QuantCalibration serial = calibrate(net, images, nullptr);
+  for (const std::size_t workers : {2U, 3U, 7U}) {
+    ThreadPool pool(workers);
+    const QuantCalibration pooled = calibrate(net, images, &pool);
+    ASSERT_EQ(pooled.boundaries(), serial.boundaries()) << workers;
+    for (std::size_t b = 0; b < serial.boundaries(); ++b) {
+      EXPECT_EQ(pooled.amax[b], serial.amax[b])
+          << "workers " << workers << " boundary " << b;
+      EXPECT_EQ(pooled.vmin[b], serial.vmin[b])
+          << "workers " << workers << " boundary " << b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedSegment
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedSegmentTest, BuildsPaperShapedSegmentsAndRejectsUnsupported) {
+  Rng rng(107);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const QuantCalibration cal = calibrate(net, make_images(8, 1500));
+  const Network& base = net.baseline();
+  // Conv triples and the dense tail all build.
+  EXPECT_NE(QuantizedSegment::build(base, kInShape, 0, 3, cal), nullptr);
+  const Shape mid = base.output_shape_after(kInShape, 3);
+  EXPECT_NE(QuantizedSegment::build(base, mid, 3, 6, cal), nullptr);
+  const Shape tail = base.output_shape_after(kInShape, 6);
+  EXPECT_NE(QuantizedSegment::build(base, tail, 6, 7, cal), nullptr);
+
+  // Tanh produces negative boundary values. A trailing tanh triple still
+  // builds (the segment dequantizes its output to fp32), but a segment that
+  // would feed the negative boundary into a quantized dense input does not.
+  Rng rng2(109);
+  Network neg;
+  neg.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col);
+  neg.emplace<Tanh>();
+  neg.emplace<Pool2D>(2);
+  neg.emplace<Dense>(4 * 6 * 6, 5);
+  neg.init(rng2);
+  Tensor probe = random_image(kInShape, 77);
+  const QuantCalibration neg_cal =
+      collect_quant_calibration(neg, kInShape, {probe}, 1);
+  EXPECT_NE(QuantizedSegment::build(neg, kInShape, 0, 3, neg_cal), nullptr);
+  EXPECT_EQ(QuantizedSegment::build(neg, kInShape, 0, 4, neg_cal), nullptr);
+
+  // Padded conv is not byte-im2col lowerable -> rejected.
+  Rng rng3(113);
+  Network padded;
+  padded.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col, ConvGeometry{1, 1});
+  padded.emplace<Sigmoid>();
+  padded.emplace<Pool2D>(2);
+  padded.emplace<Dense>(4 * 7 * 7, 5);
+  padded.init(rng3);
+  const QuantCalibration pad_cal =
+      collect_quant_calibration(padded, kInShape, {probe}, 1);
+  EXPECT_EQ(QuantizedSegment::build(padded, kInShape, 0, 3, pad_cal), nullptr);
+}
+
+TEST(QuantizedSegmentTest, OutputTracksFp32WithinQuantizationError) {
+  Rng rng(127);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const QuantCalibration cal = calibrate(net, make_images(16, 2500));
+  const auto seg =
+      QuantizedSegment::build(net.baseline(), kInShape, 0, 3, cal);
+  ASSERT_NE(seg, nullptr);
+  const Tensor x = random_image(kInShape, 3000);
+  const Tensor ref = net.baseline().infer_range(x, 0, 3);
+  ASSERT_EQ(ref.numel(), seg->out_floats());
+  std::vector<float> scratch(seg->scratch_floats(1));
+  std::vector<float> out(seg->out_floats());
+  seg->infer_block(x.data(), out.data(), 1, scratch.data(), nullptr);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Sigmoid outputs live in [0,1]; int8 conv inputs and +/-63 weights keep
+    // the error well under this loose bound.
+    EXPECT_NEAR(out[i], ref[i], 0.05F) << "at " << i;
+    EXPECT_GE(out[i], 0.0F);
+    EXPECT_LE(out[i], 1.0F);
+  }
+}
+
+// The determinism contract: batched inference is bit-identical to one-by-one
+// inference for any count and thread pool.
+TEST(QuantizedSegmentTest, BatchBitIdenticalAcrossCountAndThreads) {
+  Rng rng(131);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const QuantCalibration cal = calibrate(net, make_images(8, 4000));
+  const auto seg =
+      QuantizedSegment::build(net.baseline(), kInShape, 0, 3, cal);
+  ASSERT_NE(seg, nullptr);
+  const std::size_t count = 9;
+  const std::vector<Tensor> images = make_images(count, 4500);
+  const std::size_t in_floats = seg->in_floats();
+  const std::size_t out_floats = seg->out_floats();
+
+  // Reference: per-image serial runs.
+  std::vector<float> expected(count * out_floats);
+  std::vector<float> scratch1(seg->scratch_floats(1));
+  for (std::size_t i = 0; i < count; ++i) {
+    seg->infer_block(images[i].data(), expected.data() + i * out_floats, 1,
+                     scratch1.data(), nullptr);
+  }
+
+  std::vector<float> in(count * in_floats);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::copy(images[i].data(), images[i].data() + in_floats,
+              in.begin() + static_cast<std::ptrdiff_t>(i * in_floats));
+  }
+  std::vector<float> scratch(seg->scratch_floats(count));
+  std::vector<float> out(count * out_floats);
+  seg->infer_block(in.data(), out.data(), count, scratch.data(), nullptr);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], expected[i]) << "serial batch at " << i;
+  }
+  for (const std::size_t workers : {2U, 5U}) {
+    ThreadPool pool(workers);
+    std::vector<float> pooled(count * out_floats, -1.0F);
+    seg->infer_block(in.data(), pooled.data(), count, scratch.data(), &pool);
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+      ASSERT_EQ(pooled[i], expected[i])
+          << "workers " << workers << " at " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedClassifier
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedClassifierTest, ProbabilitiesTrackFp32AndRespectRule) {
+  Rng rng(137);
+  const ConditionalNetwork net = quantizable_cdln(rng);
+  const QuantCalibration cal = calibrate(net, make_images(16, 5000));
+  for (std::size_t s = 0; s < net.num_stages(); ++s) {
+    const std::size_t boundary = net.stage_prefix(s);
+    const auto qlc = QuantizedClassifier::build(
+        net.classifier(s), cal.amax[boundary], cal.vmin[boundary]);
+    ASSERT_NE(qlc, nullptr) << "stage " << s;
+    const Tensor x = random_image(kInShape, 5100 + s);
+    const Tensor feat = net.stage_features(x, s);
+    const Tensor ref = net.classifier(s).probabilities(feat);
+    std::vector<float> scratch(qlc->scratch_floats(1));
+    std::vector<float> probs(qlc->num_classes());
+    qlc->probabilities_block(feat.data(), 1, probs.data(), scratch.data(),
+                             nullptr);
+    for (std::size_t c = 0; c < probs.size(); ++c) {
+      EXPECT_NEAR(probs[c], ref[c], 0.05F) << "stage " << s << " class " << c;
+      EXPECT_GE(probs[c], 0.0F);
+      EXPECT_LE(probs[c], 1.0F);
+    }
+  }
+}
+
+TEST(QuantizedClassifierTest, RejectsNegativeFeatureRanges) {
+  Rng rng(139);
+  LinearClassifier lc(8, 3, LcTrainingRule::kLms);
+  lc.init(rng);
+  EXPECT_EQ(QuantizedClassifier::build(lc, 1.0F, -0.5F), nullptr);
+  EXPECT_EQ(QuantizedClassifier::build(lc, 0.0F, 0.0F), nullptr);
+  EXPECT_NE(QuantizedClassifier::build(lc, 1.0F, 0.0F), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end int8 cascade through ConditionalNetwork
+// ---------------------------------------------------------------------------
+
+TEST(Int8CascadeTest, BatchBitIdenticalToSerialAcrossSizesThreadsAndTiles) {
+  Rng rng(149);
+  ConditionalNetwork net = quantizable_cdln(rng);
+  net.set_quantization(calibrate(net, make_images(16, 6000)));
+  net.set_cascade_precision(StagePrecision::kInt8);
+  for (const float delta : {0.2F, 0.6F}) {
+    net.set_delta(delta);
+    for (const std::size_t size : {1U, 7U, 40U}) {
+      const std::vector<Tensor> inputs = make_images(size, 7000 + size);
+      const std::vector<ClassificationResult> serial =
+          classify_serial(net, inputs);
+      for (const std::size_t workers : {1U, 4U}) {
+        ThreadPool pool(workers);
+        expect_results_identical(
+            serial, net.classify_batch(inputs, &pool),
+            "delta " + std::to_string(delta) + " size " +
+                std::to_string(size) + " workers " + std::to_string(workers));
+      }
+      // Explicit small tile exercises the tile-loop boundary.
+      BatchWorkspace ws;
+      ws.plan(net, 8, 1);
+      std::vector<ClassificationResult> tiled;
+      net.classify_batch_into(inputs, tiled, ws, nullptr);
+      expect_results_identical(serial, tiled,
+                               "tile 8 size " + std::to_string(size));
+    }
+  }
+}
+
+TEST(Int8CascadeTest, MixedPrecisionStagesMatchSerial) {
+  Rng rng(151);
+  ConditionalNetwork net = quantizable_cdln(rng);
+  net.set_quantization(calibrate(net, make_images(16, 8000)));
+  // Quantize only the first stage; stage 1 and the FC tail stay fp32.
+  net.set_stage_precision(0, StagePrecision::kInt8);
+  EXPECT_EQ(net.stage_precision(0), StagePrecision::kInt8);
+  EXPECT_EQ(net.stage_precision(1), StagePrecision::kFp32);
+  const std::vector<Tensor> inputs = make_images(11, 8500);
+  expect_results_identical(classify_serial(net, inputs),
+                           net.classify_batch(inputs), "stage0 int8");
+  // Flip back to fp32: results must match a never-quantized network exactly.
+  net.set_stage_precision(0, StagePrecision::kFp32);
+  Rng rng2(151);
+  const ConditionalNetwork fresh = quantizable_cdln(rng2);
+  expect_results_identical(classify_serial(fresh, inputs),
+                           net.classify_batch(inputs), "back to fp32");
+}
+
+TEST(Int8CascadeTest, ExitStageDistributionStaysCloseToFp32) {
+  Rng rng(157);
+  ConditionalNetwork net = quantizable_cdln(rng, 0.5F);
+  const std::vector<Tensor> inputs = make_images(60, 9000);
+  const auto fp32 = net.classify_batch(inputs);
+  net.set_quantization(calibrate(net, make_images(16, 9500)));
+  net.set_cascade_precision(StagePrecision::kInt8);
+  const auto int8 = net.classify_batch(inputs);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (fp32[i].exit_stage == int8[i].exit_stage) ++agree;
+  }
+  // Quantization may flip a handful of near-threshold gate decisions but
+  // must not rewrite the exit profile wholesale.
+  EXPECT_GE(agree * 10, inputs.size() * 8)
+      << agree << "/" << inputs.size() << " exit stages agree";
+}
+
+TEST(Int8CascadeTest, PrecisionApiValidatesArguments) {
+  Rng rng(163);
+  ConditionalNetwork net = quantizable_cdln(rng);
+  // No calibration installed yet.
+  EXPECT_FALSE(net.has_quantization());
+  EXPECT_FALSE(net.stage_quantizable(0));
+  EXPECT_THROW(net.set_stage_precision(0, StagePrecision::kInt8),
+               std::logic_error);
+  EXPECT_THROW((void)net.stage_precision(net.num_stages() + 1),
+               std::out_of_range);
+  EXPECT_THROW(net.set_stage_precision(net.num_stages() + 1,
+                                       StagePrecision::kFp32),
+               std::out_of_range);
+  // Wrong boundary count.
+  QuantCalibration bad;
+  bad.amax.assign(2, 1.0F);
+  bad.vmin.assign(2, 0.0F);
+  EXPECT_THROW(net.set_quantization(bad), std::invalid_argument);
+
+  net.set_quantization(calibrate(net, make_images(8, 10000)));
+  EXPECT_TRUE(net.has_quantization());
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    EXPECT_TRUE(net.stage_quantizable(s)) << "stage " << s;
+    EXPECT_EQ(net.stage_precision(s), StagePrecision::kFp32);
+    EXPECT_EQ(net.quantized_segment(s), nullptr);
+  }
+  net.set_stage_precision(1, StagePrecision::kInt8);
+  EXPECT_NE(net.quantized_segment(1), nullptr);
+  EXPECT_NE(net.quantized_classifier(1), nullptr);
+  EXPECT_EQ(net.quantized_segment(0), nullptr);
+
+  EXPECT_STREQ(to_string(StagePrecision::kFp32), "fp32");
+  EXPECT_STREQ(to_string(StagePrecision::kInt8), "int8");
+}
+
+TEST(Int8CascadeTest, UnquantizableNetworkRejectsInt8) {
+  // conv_cdln uses a padded first conv and a tanh boundary: nothing builds.
+  Rng rng(167);
+  ConditionalNetwork net = test::conv_cdln(ConvAlgo::kIm2col, rng);
+  std::vector<Tensor> images;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    images.push_back(random_image(Shape{1, 12, 12}, 11000 + i));
+  }
+  net.set_quantization(collect_quant_calibration(
+      net.baseline(), net.input_shape(), images, images.size()));
+  EXPECT_FALSE(net.stage_quantizable(0));
+  EXPECT_THROW(net.set_stage_precision(0, StagePrecision::kInt8),
+               std::invalid_argument);
+  EXPECT_EQ(net.stage_precision(0), StagePrecision::kFp32);
+}
+
+TEST(Int8CascadeTest, WorkspaceReplansOnPrecisionFlip) {
+  Rng rng(173);
+  ConditionalNetwork net = quantizable_cdln(rng);
+  net.set_quantization(calibrate(net, make_images(8, 12000)));
+  BatchWorkspace ws;
+  ws.plan(net, 16, 1);
+  EXPECT_TRUE(ws.matches(net, 1));
+  net.set_stage_precision(0, StagePrecision::kInt8);
+  EXPECT_FALSE(ws.matches(net, 1));
+  const std::vector<Tensor> inputs = make_images(5, 12500);
+  std::vector<ClassificationResult> results;
+  net.classify_batch_into(inputs, results, ws);  // auto-replans
+  EXPECT_TRUE(ws.matches(net, 1));
+  expect_results_identical(classify_serial(net, inputs), results, "replanned");
+}
+
+TEST(Int8CascadeTest, LoadingParametersResetsPrecisionState) {
+  test::TempDir tmp("cdl_test_quantized_cascade");
+  Rng rng(179);
+  ConditionalNetwork net = quantizable_cdln(rng);
+  net.set_quantization(calibrate(net, make_images(8, 13000)));
+  net.set_cascade_precision(StagePrecision::kInt8);
+  net.save(tmp.path("net.bin"));
+  net.load(tmp.path("net.bin"));
+  // Packed int8 parameters derive from the weights, so a load drops them;
+  // the calibration itself survives and precision can be re-enabled.
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    EXPECT_EQ(net.stage_precision(s), StagePrecision::kFp32) << s;
+    EXPECT_EQ(net.quantized_segment(s), nullptr) << s;
+  }
+  EXPECT_TRUE(net.has_quantization());
+  net.set_cascade_precision(StagePrecision::kInt8);
+  EXPECT_NE(net.quantized_segment(0), nullptr);
+}
+
+}  // namespace
+}  // namespace cdl

@@ -255,6 +255,44 @@ TEST(StagedBatch, WarmSteadyStateAllocatesNothing) {
   expect_results_identical(expected, results, "warm pooled");
 }
 
+// Int8 stages keep the same contract: quantized segments and classifiers
+// carve their u8/s32 scratch out of the warm arena, so a steady-state int8
+// batch performs zero heap allocations too.
+TEST(StagedBatch, WarmInt8SteadyStateAllocatesNothing) {
+  Rng rng(83);
+  Network base;
+  base.emplace<Conv2D>(1, 4, 3, ConvAlgo::kIm2col);
+  base.emplace<Sigmoid>();
+  base.emplace<Pool2D>(2);
+  base.emplace<Dense>(4 * 5 * 5, 5);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), Shape{1, 12, 12});
+  net.attach_classifier(3, LcTrainingRule::kLms, rng);
+  net.set_delta(0.4F);
+  const std::vector<Tensor> inputs = make_inputs(24, 15000);
+  net.set_quantization(collect_quant_calibration(
+      net.baseline(), net.input_shape(), inputs, inputs.size()));
+  net.set_cascade_precision(StagePrecision::kInt8);
+
+  BatchWorkspace ws;
+  std::vector<ClassificationResult> results;
+  net.classify_batch_into(inputs, results, ws, nullptr);  // warm-up
+  const auto expected = results;
+  const std::uint64_t before = g_alloc_count.load();
+  net.classify_batch_into(inputs, results, ws, nullptr);
+  EXPECT_EQ(g_alloc_count.load() - before, 0U)
+      << "int8 serial steady state allocated";
+  expect_results_identical(expected, results, "warm int8 serial");
+
+  ThreadPool pool(4);
+  net.classify_batch_into(inputs, results, ws, &pool);  // warm-up (replan)
+  const std::uint64_t pooled_before = g_alloc_count.load();
+  net.classify_batch_into(inputs, results, ws, &pool);
+  EXPECT_EQ(g_alloc_count.load() - pooled_before, 0U)
+      << "int8 pooled steady state allocated";
+  expect_results_identical(expected, results, "warm int8 pooled");
+}
+
 // Same guarantee for the plain Network batch executor: a planned block range
 // driven over a warm scratch buffer never touches the allocator.
 TEST(StagedBatch, NetworkBlockRangeIsAllocationFreeWhenWarm) {

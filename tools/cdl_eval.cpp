@@ -7,8 +7,12 @@
 #include <functional>
 #include <optional>
 
+#include <sstream>
+
 #include "core/thread_pool.h"
 #include "data/synthetic_mnist.h"
+#include "nn/conv2d.h"
+#include "nn/qgemm.h"
 #include "energy/energy_model.h"
 #include "energy/report.h"
 #include "eval/confusion.h"
@@ -30,16 +34,57 @@ void write_file_or_throw(const std::string& path,
   if (!os) throw std::runtime_error("write failure on " + path);
 }
 
+/// Applies --int8 ("all" or a comma list of stage indices; num_stages() is
+/// the FC tail) to a loaded network. Throws with a re-train hint when the
+/// checkpoint carries no calibration.
+void apply_int8_selection(cdl::ConditionalNetwork& net,
+                          const std::string& selection,
+                          const std::string& model_path) {
+  if (selection.empty()) return;
+  if (!net.has_quantization()) {
+    throw std::runtime_error(
+        "--int8 requested but " + model_path +
+        ".meta carries no quant_amax/quant_vmin calibration; re-train with "
+        "cdl_train --calib-n > 0");
+  }
+  if (selection == "all") {
+    net.set_cascade_precision(cdl::StagePrecision::kInt8);
+    return;
+  }
+  std::istringstream is(selection);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t pos = 0;
+    const unsigned long stage = std::stoul(item, &pos);
+    if (pos != item.size()) {
+      throw std::runtime_error("--int8: bad stage index '" + item + "'");
+    }
+    net.set_stage_precision(static_cast<std::size_t>(stage),
+                            cdl::StagePrecision::kInt8);
+  }
+}
+
 int run(const cdl::ArgParser& args) {
   cdl::tools::ModelMeta meta;
   cdl::ConditionalNetwork net = cdl::tools::load_model(args.get("model"), &meta);
   if (args.get_double("delta") >= 0.0) {
     net.set_delta(static_cast<float>(args.get_double("delta")));
   }
+  apply_int8_selection(net, args.get("int8"), args.get("model"));
   std::printf("model: %s, %zu stage(s), rule %s, delta %.2f\n",
               meta.arch_name.c_str(), net.num_stages(),
               to_string(meta.rule).c_str(),
               static_cast<double>(net.activation_module().delta()));
+  // Active kernel dispatch: which code paths this process will actually run.
+  std::printf("kernels: fp32 conv %s, int8 gemm %s\n",
+              cdl::conv_dispatch_tier(), cdl::to_string(cdl::qgemm_tier()));
+  std::printf("stage precision:");
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    std::printf(" %s=%s", net.stage_name(s).c_str(),
+                cdl::to_string(net.stage_precision(s)));
+  }
+  std::printf("\n");
   if (meta.provenance) {
     const cdl::tools::TrainProvenance& prov = *meta.provenance;
     std::printf("trained: seed %llu, %zu epochs + %zu lc-epochs, "
@@ -204,6 +249,9 @@ int main(int argc, char** argv) {
   args.add_option("seed", "42", "data seed (must differ from training data "
                                 "only via the disjoint test split)");
   args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
+  args.add_option("int8", "", "run stages quantized: \"all\" or a comma list "
+                              "of stage indices (last index = the FC tail); "
+                              "needs calibration in the .meta");
   args.add_option("threads", "1", "evaluation worker threads (0 = hardware "
                                   "concurrency); results are identical for "
                                   "any value");

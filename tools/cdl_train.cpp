@@ -8,6 +8,7 @@
 // curves with per-layer gradient/weight statistics, every Algorithm-1
 // admission decision, and non-finite-loss diagnostics. Both are
 // byte-deterministic for a given seed unless --train-timing is passed.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -175,7 +176,24 @@ int run(const cdl::ArgParser& args) {
     }
   }
 
-  cdl::tools::save_model(args.get("out"), net, arch.name, &provenance);
+  // Int8 calibration: record per-boundary activation ranges over a slice of
+  // the training split so the checkpoint can run quantized stages without
+  // re-seeing data. Thread-count independent (max/min merges), so the meta
+  // file stays byte-deterministic for a given seed.
+  const std::size_t calib_n =
+      std::min<std::size_t>(args.get_size("calib-n"), data.train.size());
+  cdl::QuantCalibration quant_cal;
+  if (calib_n > 0) {
+    CDL_TRACE_SPAN(span, "calibrate_quant", -1);
+    quant_cal = cdl::collect_quant_calibration(
+        net.baseline(), arch.input_shape, data.train.images(), calib_n, pool);
+    net.set_quantization(quant_cal);
+    std::printf("int8 calibration over %zu samples (%zu boundaries)\n",
+                calib_n, quant_cal.boundaries());
+  }
+
+  cdl::tools::save_model(args.get("out"), net, arch.name, &provenance,
+                         quant_cal.empty() ? nullptr : &quant_cal);
   std::printf("model saved to %s.cdlw / %s.meta\n", args.get("out").c_str(),
               args.get("out").c_str());
 
@@ -262,6 +280,9 @@ int main(int argc, char** argv) {
   args.add_option("lc-epochs", "12", "linear-classifier training epochs");
   args.add_option("rule", "lms", "stage classifier rule: lms or softmax");
   args.add_option("out", "cdl_model", "output path prefix (.cdlw/.meta)");
+  args.add_option("calib-n", "512", "training samples for int8 activation "
+                                    "calibration (0 disables; ranges are "
+                                    "stored in the .meta file)");
   args.add_option("threads", "1", "evaluation worker threads for the "
                                   "measured region (0 = hardware "
                                   "concurrency); training is serial and "

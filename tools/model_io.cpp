@@ -35,7 +35,8 @@ std::string render_float(float value) {
 
 void save_model(const std::string& path, ConditionalNetwork& net,
                 const std::string& arch_name,
-                const TrainProvenance* provenance) {
+                const TrainProvenance* provenance,
+                const QuantCalibration* quant) {
   net.save(path + ".cdlw");
   std::ofstream meta(path + ".meta");
   if (!meta) throw std::runtime_error("cannot open " + path + ".meta");
@@ -58,6 +59,14 @@ void save_model(const std::string& path, ConditionalNetwork& net,
     }
     meta << "final_loss " << render_float(provenance->final_loss) << '\n';
     meta << "val_accuracy " << render_float(provenance->val_accuracy) << '\n';
+  }
+  if (quant != nullptr && !quant->empty()) {
+    meta << "quant_amax";
+    for (const float v : quant->amax) meta << ' ' << render_float(v);
+    meta << '\n';
+    meta << "quant_vmin";
+    for (const float v : quant->vmin) meta << ' ' << render_float(v);
+    meta << '\n';
   }
 }
 
@@ -101,6 +110,14 @@ ConditionalNetwork load_model(const std::string& path, ModelMeta* meta_out) {
     } else if (key == "val_accuracy") {
       if (!meta.provenance) meta.provenance.emplace();
       is >> meta.provenance->val_accuracy;
+    } else if (key == "quant_amax") {
+      if (!meta.quant) meta.quant.emplace();
+      float v = 0.0F;
+      while (is >> v) meta.quant->amax.push_back(v);
+    } else if (key == "quant_vmin") {
+      if (!meta.quant) meta.quant.emplace();
+      float v = 0.0F;
+      while (is >> v) meta.quant->vmin.push_back(v);
     }
     // Unknown keys are skipped: newer meta files load in older tools.
   }
@@ -115,6 +132,12 @@ ConditionalNetwork load_model(const std::string& path, ModelMeta* meta_out) {
   }
   net.load(path + ".cdlw");
   net.set_delta(meta.delta);
+  // Install calibration ranges when present and consistent with this
+  // baseline (a truncated or foreign meta file degrades to fp32-only).
+  if (meta.quant && meta.quant->amax.size() == meta.quant->vmin.size() &&
+      meta.quant->boundaries() == net.baseline().size() + 1) {
+    net.set_quantization(*meta.quant);
+  }
   if (meta_out != nullptr) *meta_out = std::move(meta);
   return net;
 }

@@ -31,13 +31,21 @@ struct ModelMeta {
   LcTrainingRule rule = LcTrainingRule::kLms;
   float delta = 0.5F;
   std::optional<TrainProvenance> provenance;
+  /// Per-boundary int8 calibration ranges (quant_amax / quant_vmin keys);
+  /// empty when the checkpoint was saved without calibration. load_model
+  /// installs them via ConditionalNetwork::set_quantization (precision
+  /// stays fp32 until the caller opts in with set_stage_precision).
+  std::optional<QuantCalibration> quant;
 };
 
 /// Writes <path>.cdlw and <path>.meta for a trained network. When
-/// `provenance` is non-null its fields are appended to the meta file.
+/// `provenance` is non-null its fields are appended to the meta file; when
+/// `quant` is non-null its ranges are persisted as quant_amax / quant_vmin
+/// (%.9g, so every float32 round-trips exactly).
 void save_model(const std::string& path, ConditionalNetwork& net,
                 const std::string& arch_name,
-                const TrainProvenance* provenance = nullptr);
+                const TrainProvenance* provenance = nullptr,
+                const QuantCalibration* quant = nullptr);
 
 /// Rebuilds the architecture from the meta file and loads the weights.
 [[nodiscard]] ConditionalNetwork load_model(const std::string& path,
