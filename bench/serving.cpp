@@ -1,0 +1,330 @@
+// Serving harness: drives the ServingEngine with an open-loop Poisson
+// arrival process (seeded exponential inter-arrival times, arrivals never
+// wait for service) and reports sustained img/s, tail latency and SLO
+// counters per (network, precision) row. Each row re-checks the serving
+// determinism contract: every completed response must be bit-identical to an
+// offline classify_batch_into of the same image.
+//
+// Results merge into the throughput harness's JSON file as a final
+// "serving" top-level section (default BENCH_throughput.json), so one file
+// carries both offline and serving numbers for bench_check.py.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cdl/conditional_network.h"
+#include "cdl/quantized_cascade.h"
+#include "eval/table.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "util/args.h"
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+struct ServingRow {
+  std::string network;
+  std::string precision;
+  double offered_rate_ips = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t slo_miss = 0;
+  double sustained_ips = 0.0;  ///< completions / wall time
+  double mean_batch = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  bool identical_to_offline = false;
+};
+
+/// Serves `inputs` through a fresh engine at `rate` img/s (Poisson arrivals
+/// from `seed`) and fills a row. `reference` is the offline result per input.
+ServingRow serve_row(const std::string& network, const std::string& precision,
+                     cdl::ConditionalNetwork net,
+                     const std::vector<cdl::Tensor>& inputs,
+                     const std::vector<cdl::ClassificationResult>& reference,
+                     double rate, std::uint64_t seed,
+                     const cdl::serve::EngineConfig& engine_config) {
+  cdl::serve::ModelRegistry models;
+  models.add(network, std::move(net));  // the engine owns its networks
+  cdl::serve::ServingEngine engine(std::move(models), engine_config);
+
+  // Pre-draw the arrival schedule so the submit loop does no RNG work.
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> inter_arrival(rate);
+  std::vector<double> arrival_s(inputs.size());
+  double t = 0.0;
+  for (double& a : arrival_s) {
+    t += inter_arrival(rng);
+    a = t;
+  }
+
+  std::vector<std::future<cdl::serve::Response>> futures;
+  futures.reserve(inputs.size());
+  const WallClock::time_point start = WallClock::now();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    // Open loop: arrival i fires at its scheduled offset regardless of how
+    // far service has fallen behind (that is what makes overload visible).
+    const auto due = start + std::chrono::nanoseconds(
+                                 static_cast<std::uint64_t>(1e9 * arrival_s[i]));
+    std::this_thread::sleep_until(due);
+    futures.push_back(engine.submit(0, cdl::Tensor(inputs[i])).response);
+  }
+  engine.shutdown();  // drain everything accepted
+  const double wall_s =
+      std::chrono::duration<double>(WallClock::now() - start).count();
+
+  ServingRow row;
+  row.network = network;
+  row.precision = precision;
+  row.offered_rate_ips = rate;
+  row.identical_to_offline = true;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const cdl::serve::Response resp = futures[i].get();
+    if (resp.status != cdl::serve::RequestStatus::kOk) continue;
+    const cdl::ClassificationResult& want = reference[i];
+    const cdl::ClassificationResult& got = resp.result;
+    if (got.label != want.label || got.exit_stage != want.exit_stage ||
+        got.confidence != want.confidence ||
+        got.probabilities != want.probabilities || !(got.ops == want.ops)) {
+      row.identical_to_offline = false;
+    }
+  }
+  const cdl::serve::SloSummary slo = engine.slo().summary(0);
+  row.submitted = slo.submitted;
+  row.completed = slo.completed;
+  row.rejected = slo.rejected;
+  row.expired = slo.expired;
+  row.slo_miss = slo.slo_miss;
+  row.mean_batch = slo.mean_batch;
+  row.p50_ms = slo.p50_ms;
+  row.p95_ms = slo.p95_ms;
+  row.p99_ms = slo.p99_ms;
+  row.sustained_ips =
+      wall_s > 0.0 ? static_cast<double>(slo.completed) / wall_s : 0.0;
+  return row;
+}
+
+/// Splices the "serving" section into `path` as the LAST top-level key: an
+/// existing serving section is truncated away, otherwise the final "}" is
+/// reopened. The file need not exist (a fresh object is written).
+void merge_serving_section(const std::string& path,
+                           const std::string& serving_json) {
+  std::string existing;
+  {
+    std::ifstream is(path);
+    if (is) {
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      existing = buf.str();
+    }
+  }
+  const std::string marker = ",\n  \"serving\":";
+  std::string head;
+  const std::size_t at = existing.find(marker);
+  if (at != std::string::npos) {
+    head = existing.substr(0, at);  // replace the previous serving section
+  } else {
+    const std::size_t close = existing.rfind("\n}");
+    if (close != std::string::npos) {
+      head = existing.substr(0, close);  // reopen the object
+    }
+  }
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  if (head.empty()) {
+    os << "{\n  \"serving\": " << serving_json << "\n}\n";
+  } else {
+    os << head << marker << " " << serving_json << "\n}\n";
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("out", "BENCH_throughput.json",
+                  "JSON file to merge the serving section into");
+  args.add_option("images", "600", "Poisson arrivals per row");
+  args.add_option("seed", "42", "workload seed (fixed, as in throughput)");
+  args.add_option("rate", "0",
+                  "offered load in img/s (0 = 70% of the row's measured "
+                  "offline serial throughput)");
+  args.add_option("workers", "1", "serving worker threads");
+  args.add_option("queue-capacity", "256", "bounded request queue size");
+  args.add_option("max-batch", "32", "dynamic batcher size trigger");
+  args.add_option("max-delay-us", "2000", "dynamic batcher timeout trigger");
+  args.add_option("deadline-ms", "100",
+                  "per-request SLO deadline in ms (0 = none)");
+  args.add_flag("smoke", "tiny run (few arrivals) for CI wiring checks");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("serving").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("serving").c_str());
+    return 0;
+  }
+
+  auto config = cdl::bench::bench_config();
+  config.seed = args.get_size("seed");  // fixed workload, as in throughput
+  const bool smoke = args.get_flag("smoke");
+  const std::size_t images =
+      smoke ? std::min<std::size_t>(96, args.get_size("images"))
+            : args.get_size("images");
+  if (smoke) {
+    config.train_n = std::min<std::size_t>(config.train_n, 1000);
+    config.test_n = std::min<std::size_t>(config.test_n, 400);
+    config.val_n = std::min<std::size_t>(config.val_n, 300);
+  }
+
+  const cdl::MnistPair data = cdl::bench::bench_data(config);
+  cdl::bench::print_banner("Serving: Poisson open-loop load vs the engine",
+                           config, data);
+
+  cdl::serve::EngineConfig engine_config;
+  engine_config.queue_capacity = args.get_size("queue-capacity");
+  engine_config.workers = std::max<std::size_t>(1, args.get_size("workers"));
+  engine_config.batcher.max_batch = args.get_size("max-batch");
+  engine_config.batcher.max_delay_ns = args.get_size("max-delay-us") * 1000;
+  engine_config.default_deadline_ns =
+      static_cast<std::uint64_t>(args.get_double("deadline-ms") * 1e6);
+
+  std::vector<cdl::Tensor> pool_inputs;
+  pool_inputs.reserve(data.test.size());
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    pool_inputs.push_back(data.test.image(i));
+  }
+  // Arrivals cycle through the test set when images > test_n.
+  std::vector<cdl::Tensor> inputs;
+  inputs.reserve(images);
+  for (std::size_t i = 0; i < images; ++i) {
+    inputs.push_back(pool_inputs[i % pool_inputs.size()]);
+  }
+
+  std::vector<ServingRow> rows;
+  cdl::TextTable table({"network", "precision", "offered img/s",
+                        "sustained img/s", "completed", "rejected", "expired",
+                        "slo miss", "mean batch", "p50 ms", "p95 ms",
+                        "p99 ms"});
+  bool all_identical = true;
+  for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
+    for (const cdl::StagePrecision prec :
+         {cdl::StagePrecision::kFp32, cdl::StagePrecision::kInt8}) {
+      // ConditionalNetwork is move-only and the engine takes ownership, so
+      // each row re-fetches the trained net (disk cache hit after the first).
+      auto trained = cdl::bench::trained_cdln(arch, arch.default_stages,
+                                              data.train, config);
+      cdl::bench::select_operating_delta(trained.net, data);
+      if (prec == cdl::StagePrecision::kInt8) {
+        trained.net.set_quantization(cdl::collect_quant_calibration(
+            trained.net.baseline(), trained.net.input_shape(),
+            data.train.images(), std::min<std::size_t>(512, data.train.size()),
+            nullptr));
+        trained.net.set_cascade_precision(prec);
+      }
+
+      // Offline reference pass: determinism oracle AND the rate calibration
+      // (the serving engine cannot beat the raw batch path it wraps).
+      const WallClock::time_point t0 = WallClock::now();
+      const std::vector<cdl::ClassificationResult> reference =
+          trained.net.classify_batch(inputs, nullptr);
+      const double offline_s =
+          std::chrono::duration<double>(WallClock::now() - t0).count();
+      const double offline_ips =
+          offline_s > 0.0 ? static_cast<double>(inputs.size()) / offline_s
+                          : 1000.0;
+      double rate = args.get_double("rate");
+      if (rate <= 0.0) rate = 0.70 * offline_ips;
+
+      ServingRow row = serve_row(arch.name, cdl::to_string(prec),
+                                 std::move(trained.net), inputs, reference,
+                                 rate, config.seed, engine_config);
+      all_identical = all_identical && row.identical_to_offline;
+      table.add_row({row.network, row.precision,
+                     cdl::fmt(row.offered_rate_ips, 1),
+                     cdl::fmt(row.sustained_ips, 1),
+                     std::to_string(row.completed),
+                     std::to_string(row.rejected),
+                     std::to_string(row.expired),
+                     std::to_string(row.slo_miss),
+                     cdl::fmt(row.mean_batch, 2), cdl::fmt(row.p50_ms, 3),
+                     cdl::fmt(row.p95_ms, 3), cdl::fmt(row.p99_ms, 3)});
+      rows.push_back(std::move(row));
+    }
+  }
+  std::printf("Serving engine under Poisson load (%zu arrivals/row, "
+              "%zu worker(s), max batch %zu, max delay %llu us, deadline "
+              "%.1f ms):\n%s",
+              images, engine_config.workers, engine_config.batcher.max_batch,
+              static_cast<unsigned long long>(
+                  engine_config.batcher.max_delay_ns / 1000),
+              args.get_double("deadline-ms"), table.to_string().c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "\nerror: served results differ from offline "
+                         "classify_batch_into -- serving determinism "
+                         "contract broken\n");
+    return 1;
+  }
+  std::printf("\nserved results bit-identical to offline inference: yes\n");
+
+  std::ostringstream js;
+  js << "{\n    \"images\": " << images
+     << ",\n    \"workers\": " << engine_config.workers
+     << ",\n    \"queue_capacity\": " << engine_config.queue_capacity
+     << ",\n    \"max_batch\": " << engine_config.batcher.max_batch
+     << ",\n    \"max_delay_us\": " << engine_config.batcher.max_delay_ns / 1000
+     << ",\n    \"deadline_ms\": " << args.get_double("deadline-ms")
+     << ",\n    \"seed\": " << config.seed
+     << ",\n    \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServingRow& r = rows[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "      {\"network\": \"%s\", \"precision\": \"%s\", "
+        "\"offered_rate_ips\": %.2f, \"submitted\": %llu, "
+        "\"completed\": %llu, \"rejected\": %llu, \"expired\": %llu, "
+        "\"slo_miss\": %llu, \"sustained_ips\": %.2f, \"mean_batch\": %.3f, "
+        "\"latency_ms_p50\": %.3f, \"latency_ms_p95\": %.3f, "
+        "\"latency_ms_p99\": %.3f, \"identical_to_offline\": %s}%s\n",
+        r.network.c_str(), r.precision.c_str(), r.offered_rate_ips,
+        static_cast<unsigned long long>(r.submitted),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.expired),
+        static_cast<unsigned long long>(r.slo_miss), r.sustained_ips,
+        r.mean_batch, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.identical_to_offline ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    js << buf;
+  }
+  js << "    ]\n  }";
+
+  const std::string out_path = args.get("out");
+  try {
+    merge_serving_section(out_path, js.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("[bench] serving numbers merged into %s\n", out_path.c_str());
+  return 0;
+}

@@ -28,12 +28,25 @@ hosted runners have different hardware from the machine that produced the
 committed baseline, so absolute images/sec are not comparable there, but the
 determinism guarantees must hold everywhere.
 
+When the fresh JSON carries a "serving" section (written by bench/serving),
+both throughput modes validate it: per-row request accounting must balance
+(completed + rejected + expired == submitted -- the harness drains on
+shutdown), latency percentiles must be ordered (p50 <= p95 <= p99), and
+every row must report identical_to_offline=true -- the serving path is
+required to be bit-identical to direct batch inference.
+
 **Report mode** (--validate-report FILE): validate a cdl-run-report/1 JSON
 produced by `cdl_eval --report` / `cdl_train --report`. Checks the schema,
 that the per-layer attribution rows sum bit-exactly (OPS) to the whole-run
 total, that attributed time is within --tolerance of the measured wall time,
 and that perf fields degrade to null (never garbage) when hardware counters
 were unavailable.
+
+**Serve-report mode** (--validate-serving FILE): validate a
+cdl-serve-report/1 JSON produced by `cdl_serve --report`. Checks the schema,
+that per-model request accounting balances (submitted = accepted + rejected,
+accepted = completed + expired + shutdown), and that the latency percentiles
+are ordered.
 
 **Train-report mode** (--validate-train-report FILE): validate a
 cdl-train-report/1 JSON produced by `cdl_train --train-report`. Checks the
@@ -64,6 +77,7 @@ import math
 import sys
 
 RUN_REPORT_SCHEMA = "cdl-run-report/1"
+SERVE_REPORT_SCHEMA = "cdl-serve-report/1"
 TRAIN_REPORT_SCHEMA = "cdl-train-report/1"
 TRAIN_EVENTS_SCHEMA = "cdl-train-events/1"
 
@@ -140,6 +154,99 @@ def check_int8_accuracy(doc, path):
         if drop > 0.005 + 1e-9:
             fail(f"{path}:{row['network']}: int8 accuracy drops "
                  f"{100.0 * drop:.2f} pp vs fp32 (limit 0.5 pp)")
+
+
+# --- serving section / serve-report validation --------------------------------
+
+SERVING_ROW_COUNTS = ("submitted", "completed", "rejected", "expired",
+                      "slo_miss")
+SERVING_ROW_NUMBERS = ("offered_rate_ips", "sustained_ips", "mean_batch",
+                       "latency_ms_p50", "latency_ms_p95", "latency_ms_p99")
+
+
+def check_percentile_order(row, where):
+    p50 = float(row["latency_ms_p50"])
+    p95 = float(row["latency_ms_p95"])
+    p99 = float(row["latency_ms_p99"])
+    if not p50 <= p95 <= p99:
+        fail(f"{where}: latency percentiles out of order "
+             f"(p50={p50}, p95={p95}, p99={p99})")
+
+
+def validate_serving_section(doc, path):
+    """Schema + invariants of the bench/serving section, when present."""
+    if "serving" not in doc:
+        return False
+    serving = require(doc, "serving", dict, path)
+    where = f"{path}.serving"
+    for key in ("images", "workers", "queue_capacity", "max_batch",
+                "max_delay_us", "seed"):
+        require(serving, key, int, where)
+    rows = require(serving, "rows", list, where)
+    if not rows:
+        fail(f"{where}: empty rows")
+    for i, row in enumerate(rows):
+        row_where = f"{where}.rows[{i}]"
+        require(row, "network", str, row_where)
+        require(row, "precision", str, row_where)
+        for key in SERVING_ROW_COUNTS:
+            if require(row, key, int, row_where) < 0:
+                fail(f"{row_where}: '{key}' is negative")
+        for key in SERVING_ROW_NUMBERS:
+            require(row, key, (int, float), row_where)
+        # The harness drains on shutdown, so every submitted request ends
+        # completed, rejected (queue full) or expired (deadline).
+        accounted = row["completed"] + row["rejected"] + row["expired"]
+        if accounted != row["submitted"]:
+            fail(f"{row_where}: request accounting broken -- completed "
+                 f"{row['completed']} + rejected {row['rejected']} + expired "
+                 f"{row['expired']} = {accounted} != submitted "
+                 f"{row['submitted']}")
+        check_percentile_order(row, row_where)
+        if not require(row, "identical_to_offline", bool, row_where):
+            fail(f"{row_where}: served results are not bit-identical to "
+                 f"offline batch inference -- serving determinism broken")
+    return True
+
+
+def validate_serve_report(path):
+    doc = load(path)
+    where = path
+    schema = require(doc, "schema", str, where)
+    if schema != SERVE_REPORT_SCHEMA:
+        fail(f"{where}: schema is '{schema}', expected "
+             f"'{SERVE_REPORT_SCHEMA}'")
+    require(doc, "tool", str, where)
+    for key in ("images", "workers", "queue_capacity", "max_batch",
+                "max_delay_us", "scored"):
+        require(doc, key, int, where)
+    for key in ("wall_s", "sustained_ips", "accuracy"):
+        require(doc, key, (int, float), where)
+    models = require(doc, "models", list, where)
+    if not models:
+        fail(f"{where}: empty models list")
+    for i, row in enumerate(models):
+        row_where = f"{where}.models[{i}]"
+        require(row, "name", str, row_where)
+        for key in ("submitted", "accepted", "completed", "rejected",
+                    "expired", "shutdown", "slo_miss", "batches"):
+            if require(row, key, int, row_where) < 0:
+                fail(f"{row_where}: '{key}' is negative")
+        if row["accepted"] + row["rejected"] != row["submitted"]:
+            fail(f"{row_where}: accepted {row['accepted']} + rejected "
+                 f"{row['rejected']} != submitted {row['submitted']}")
+        if row["completed"] + row["expired"] + row["shutdown"] \
+                != row["accepted"]:
+            fail(f"{row_where}: completed {row['completed']} + expired "
+                 f"{row['expired']} + shutdown {row['shutdown']} != "
+                 f"accepted {row['accepted']}")
+        require(row, "mean_batch", (int, float), row_where)
+        check_percentile_order(row, row_where)
+        for key in ("latency_ms_mean", "latency_ms_max"):
+            require(row, key, (int, float), row_where)
+    print(f"{path}: valid {SERVE_REPORT_SCHEMA} ({doc['images']} images, "
+          f"{len(models)} model(s), accounting balanced, percentiles "
+          f"ordered)")
 
 
 # --- attribution / perf schema (shared by bench rows and run reports) --------
@@ -537,6 +644,9 @@ def main():
     ap.add_argument("--validate-report", metavar="FILE",
                     help="validate a cdl-run-report/1 JSON instead of "
                          "comparing throughput runs")
+    ap.add_argument("--validate-serving", metavar="FILE",
+                    help="validate a cdl-serve-report/1 JSON produced by "
+                         "cdl_serve --report")
     ap.add_argument("--validate-train-report", metavar="FILE",
                     help="validate a cdl-train-report/1 JSON (schema + "
                          "Algorithm-1 gain recomputation)")
@@ -550,6 +660,9 @@ def main():
         ap.error("--train-log requires --validate-train-report")
     if args.validate_train_report:
         validate_train_report(args.validate_train_report, args.train_log)
+        return
+    if args.validate_serving:
+        validate_serve_report(args.validate_serving)
         return
     if args.validate_report:
         validate_report(args.validate_report, args.tolerance)
@@ -566,6 +679,10 @@ def main():
               f"{', '.join(attributed)}")
     validate_qgemm_section(fresh, args.fresh)
     check_int8_accuracy(fresh, args.fresh)
+    if validate_serving_section(fresh, args.fresh):
+        print(f"serving section valid "
+              f"({len(fresh['serving']['rows'])} row(s), accounting "
+              f"balanced, bit-identical to offline)")
 
     if args.determinism_only:
         for net, row in sorted(batch_rows(fresh).items()):

@@ -50,6 +50,15 @@
 #include "cdl/delta_selection.h"      // IWYU pragma: export
 #include "cdl/linear_classifier.h"    // IWYU pragma: export
 
+// Serving engine: request queue, dynamic batcher, SLO accounting.
+#include "serve/batcher.h"         // IWYU pragma: export
+#include "serve/clock.h"           // IWYU pragma: export
+#include "serve/engine.h"          // IWYU pragma: export
+#include "serve/model_registry.h"  // IWYU pragma: export
+#include "serve/request.h"         // IWYU pragma: export
+#include "serve/request_queue.h"   // IWYU pragma: export
+#include "serve/slo.h"             // IWYU pragma: export
+
 // Comparison baseline, energy/latency models, evaluation.
 #include "energy/energy_model.h"        // IWYU pragma: export
 #include "energy/op_profile.h"          // IWYU pragma: export

@@ -125,6 +125,10 @@ class ConditionalNetwork {
   /// baseline is not counted; it is stage index num_stages()).
   [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
 
+  /// Output classes every stage scores (the serving layer sizes response
+  /// buffers from this).
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
   [[nodiscard]] LinearClassifier& classifier(std::size_t stage);
   [[nodiscard]] const LinearClassifier& classifier(std::size_t stage) const;
   [[nodiscard]] std::size_t stage_prefix(std::size_t stage) const;

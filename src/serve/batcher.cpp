@@ -1,0 +1,76 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cdl::serve {
+
+DynamicBatcher::DynamicBatcher(BatcherConfig config, const Clock* clock)
+    : config_(config), clock_(clock) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("DynamicBatcher: max_batch must be > 0");
+  }
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("DynamicBatcher: clock must not be null");
+  }
+}
+
+void DynamicBatcher::add(Request request) {
+  pending_.push_back(std::move(request));
+}
+
+bool DynamicBatcher::ready() const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= config_.max_batch) return true;  // size trigger
+  return clock_->now_ns() >=
+         pending_.front().arrival_ns + config_.max_delay_ns;  // timeout
+}
+
+std::uint64_t DynamicBatcher::next_wake_ns() const {
+  if (pending_.empty() || ready()) return Clock::kNever;
+  std::uint64_t wake = pending_.front().arrival_ns + config_.max_delay_ns;
+  for (const Request& r : pending_) {
+    if (r.deadline_ns != 0) wake = std::min(wake, r.deadline_ns);
+  }
+  return wake;
+}
+
+std::vector<Request> DynamicBatcher::take_expired() {
+  const std::uint64_t now = clock_->now_ns();
+  std::vector<Request> expired;
+  // Stable single pass keeps both the expired list and the survivors in
+  // arrival order (the "deadline expiry ordering" contract).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->deadline_ns != 0 && it->deadline_ns <= now) {
+      expired.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+std::vector<Request> DynamicBatcher::take() {
+  const std::size_t n = std::min(pending_.size(), config_.max_batch);
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<Request> DynamicBatcher::drain() {
+  std::vector<Request> all;
+  all.reserve(pending_.size());
+  while (!pending_.empty()) {
+    all.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return all;
+}
+
+}  // namespace cdl::serve

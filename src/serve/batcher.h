@@ -1,0 +1,87 @@
+// DynamicBatcher: coalesces single-image requests into dispatchable batches.
+//
+// A pure state machine with no threads, no blocking and no internal locking:
+// the engine drives one instance per model under its own mutex, and the
+// deterministic simulation tests drive one directly against a ManualClock.
+// Every decision is a function of (pending requests, config, clock->now_ns()),
+// so identical call sequences at identical virtual times make identical
+// batches.
+//
+// Dispatch triggers, checked by ready():
+//   * size    — max_batch requests are pending;
+//   * timeout — the oldest pending request has waited max_delay_ns.
+// Deadlines do not trigger dispatch; they bound how long a request may sit
+// anywhere before service. take_expired() removes requests whose deadline
+// already passed, in arrival order, before they waste a batch slot (the
+// engine fails them with kExpired without running inference), and
+// next_wake_ns() includes the earliest pending deadline so the engine wakes
+// in time to expire it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/clock.h"
+#include "serve/request.h"
+
+namespace cdl::serve {
+
+struct BatcherConfig {
+  /// Dispatch as soon as this many requests are pending (also the tile size
+  /// the engine plans its BatchWorkspace for).
+  std::size_t max_batch = 64;
+  /// Dispatch when the oldest pending request has waited this long, even if
+  /// the batch is not full (bounds queueing latency at low load).
+  std::uint64_t max_delay_ns = 2'000'000;  // 2 ms
+};
+
+class DynamicBatcher {
+ public:
+  /// `clock` must outlive the batcher. Throws std::invalid_argument on
+  /// max_batch == 0.
+  DynamicBatcher(BatcherConfig config, const Clock* clock);
+
+  // Move-only: pending requests hold promises, which cannot be copied.
+  DynamicBatcher(DynamicBatcher&&) = default;
+  DynamicBatcher& operator=(DynamicBatcher&&) = default;
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  /// Appends a request (arrival order is preserved through dispatch).
+  void add(Request request);
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] const BatcherConfig& config() const { return config_; }
+
+  /// True when a batch should dispatch now (size or timeout trigger — see
+  /// header comment). False while empty.
+  [[nodiscard]] bool ready() const;
+
+  /// Earliest future time at which ready() or expiry could newly trigger:
+  /// min(oldest arrival + max_delay, earliest pending deadline). The engine
+  /// sleeps until this. Clock::kNever while empty or when already ready()
+  /// (nothing to wait for — dispatch instead).
+  [[nodiscard]] std::uint64_t next_wake_ns() const;
+
+  /// Removes and returns, in arrival order, every pending request whose
+  /// deadline has already passed. Call before take() so dead requests never
+  /// occupy batch rows.
+  [[nodiscard]] std::vector<Request> take_expired();
+
+  /// Removes and returns the oldest min(pending, max_batch) requests in
+  /// arrival order. Caller checks ready() (or is draining); take() itself
+  /// does not re-check triggers.
+  [[nodiscard]] std::vector<Request> take();
+
+  /// Removes and returns everything pending (shutdown drain), arrival order.
+  [[nodiscard]] std::vector<Request> drain();
+
+ private:
+  BatcherConfig config_;
+  const Clock* clock_;
+  std::deque<Request> pending_;  ///< arrival order: front() is oldest
+};
+
+}  // namespace cdl::serve

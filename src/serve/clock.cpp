@@ -1,0 +1,97 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace cdl::serve {
+
+std::uint64_t RealClock::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool RealClock::wait_until(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk,
+                           std::uint64_t deadline_ns,
+                           const std::function<bool()>& pred) {
+  if (deadline_ns == kNever) {
+    cv.wait(lk, pred);
+    return true;
+  }
+  const std::uint64_t now = now_ns();
+  if (deadline_ns <= now) return pred();
+  return cv.wait_for(lk, std::chrono::nanoseconds(deadline_ns - now), pred);
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+std::uint64_t ManualClock::now_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+bool ManualClock::wait_until(std::condition_variable& cv,
+                             std::unique_lock<std::mutex>& lk,
+                             std::uint64_t deadline_ns,
+                             const std::function<bool()>& pred) {
+  // lk (the caller's state mutex) is held on entry and at every pred() call;
+  // mutex_ is only ever taken nested inside it, so the lock order
+  // caller-then-clock is consistent everywhere.
+  //
+  // Missed-wakeup safety: the waiter registers (cv, lk's mutex) BEFORE its
+  // deadline check, and wake_waiters() bounces through that mutex before
+  // notifying. An advance() that lands after our check therefore either (a)
+  // blocks on lk until cv.wait has atomically parked us — its notify then
+  // wakes us — or (b) completed before we re-checked the time, which the
+  // check observes. Either way the wait cannot sleep through a time move.
+  const Waiter self{&cv, lk.mutex()};
+  while (true) {
+    if (pred()) return true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (now_ >= deadline_ns) return pred();
+      waiters_.push_back(self);
+    }
+    cv.wait(lk);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                           [&](const Waiter& w) { return w.cv == &cv; });
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+}
+
+void ManualClock::advance(std::uint64_t delta_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  now_ += delta_ns;
+  wake_waiters(lock);
+}
+
+void ManualClock::set_ns(std::uint64_t now_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (now_ns < now_) {
+    throw std::invalid_argument("ManualClock::set_ns: time moved backwards");
+  }
+  now_ = now_ns;
+  wake_waiters(lock);
+}
+
+void ManualClock::wake_waiters(std::unique_lock<std::mutex>& lock) {
+  const std::vector<Waiter> waiters = waiters_;
+  lock.unlock();
+  for (const Waiter& w : waiters) {
+    // Acquire-and-release the waiter's state mutex first: a waiter between
+    // its registration and cv.wait holds it, so this blocks until the wait
+    // is parked and the notification can no longer be lost. Never call
+    // advance()/set_ns() while holding a waiter's mutex.
+    { std::lock_guard<std::mutex> parked(*w.mutex); }
+    w.cv->notify_all();
+  }
+}
+
+}  // namespace cdl::serve

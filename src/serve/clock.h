@@ -1,0 +1,89 @@
+// Clock: the serving engine's single source of time, injectable so every
+// queue/batcher/SLO behavior is unit-testable without sleeps.
+//
+// All serving timestamps are plain nanosecond counts from an arbitrary
+// epoch. RealClock reads std::chrono::steady_clock; ManualClock holds a
+// virtual time that tests advance explicitly. The one blocking primitive the
+// engine needs — "wait until this predicate holds or the clock reaches a
+// deadline" — lives on the Clock so a manual clock can wake waiters when
+// test code advances virtual time, instead of anybody sleeping real
+// milliseconds and hoping.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace cdl::serve {
+
+class Clock {
+ public:
+  /// Deadline value meaning "never": wait_until blocks on the predicate only.
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+
+  /// Blocks until `pred()` returns true or now_ns() >= deadline_ns,
+  /// whichever comes first, then returns pred()'s final value. `lk` must
+  /// hold the mutex guarding the state `pred` reads; `cv` must be notified
+  /// by whoever mutates that state. A manual clock additionally wakes the
+  /// wait whenever its virtual time advances.
+  virtual bool wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk,
+                          std::uint64_t deadline_ns,
+                          const std::function<bool()>& pred) = 0;
+};
+
+/// std::chrono::steady_clock behind the Clock interface. Stateless; the
+/// shared instance() is what production code uses by default.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override;
+  bool wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  std::uint64_t deadline_ns,
+                  const std::function<bool()>& pred) override;
+
+  [[nodiscard]] static RealClock& instance();
+};
+
+/// Virtual time under test control. now_ns() starts at `start_ns` and moves
+/// only via advance()/set_ns(); every wait_until() parked on this clock is
+/// re-evaluated when time moves, so timeout paths run deterministically with
+/// zero real waiting.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() const override;
+  bool wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  std::uint64_t deadline_ns,
+                  const std::function<bool()>& pred) override;
+
+  void advance(std::uint64_t delta_ns);
+  /// Jumps to an absolute time; throws std::invalid_argument on moving
+  /// backwards (deadline math assumes monotonic time).
+  void set_ns(std::uint64_t now_ns);
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv = nullptr;
+    std::mutex* mutex = nullptr;  ///< the waiter's state mutex (lk's mutex)
+  };
+
+  void wake_waiters(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mutex_;
+  std::uint64_t now_ = 0;
+  /// Waits currently parked on this clock. Entries repeat when several
+  /// threads wait on one cv; time moves notify each entry once, which is
+  /// enough (notify_all wakes every waiter of that cv).
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace cdl::serve

@@ -1,0 +1,338 @@
+#include "serve/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cdl::serve {
+
+const char* to_string(PushResult r) {
+  switch (r) {
+    case PushResult::kOk:
+      return "ok";
+    case PushResult::kFull:
+      return "full";
+    case PushResult::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+const char* to_string(PopResult r) {
+  switch (r) {
+    case PopResult::kItem:
+      return "item";
+    case PopResult::kTimeout:
+      return "timeout";
+    case PopResult::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kExpired:
+      return "expired";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kQueueFull:
+      return "queue_full";
+    case SubmitStatus::kUnknownModel:
+      return "unknown_model";
+    case SubmitStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A pre-failed receipt for requests that never enter the queue.
+Submitted rejected_receipt(SubmitStatus status, std::uint64_t id,
+                           std::size_t model) {
+  std::promise<Response> promise;
+  Submitted out;
+  out.status = status;
+  out.response = promise.get_future();
+  Response resp;
+  resp.status = RequestStatus::kRejected;
+  resp.request_id = id;
+  resp.model = model;
+  promise.set_value(std::move(resp));
+  return out;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(ModelRegistry models, EngineConfig config)
+    : models_(std::move(models)),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : &RealClock::instance()),
+      slo_(config.registry),
+      queue_(config.queue_capacity) {
+  if (models_.empty()) {
+    throw std::invalid_argument("ServingEngine: model registry is empty");
+  }
+  batchers_.reserve(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    batchers_.emplace_back(config_.batcher, clock_);
+    slo_.name_model(m, models_.name(m));
+  }
+  inline_state_.workspaces.resize(models_.size());
+  slo_.set_queue_depth(0);
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ServingEngine::~ServingEngine() { shutdown(/*drain=*/true); }
+
+Submitted ServingEngine::submit(std::size_t model, Tensor input,
+                                std::uint64_t deadline_ns) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (model >= models_.size()) {
+    return rejected_receipt(SubmitStatus::kUnknownModel, id, model);
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return rejected_receipt(SubmitStatus::kShutdown, id, model);
+  }
+  Request request;
+  request.id = id;
+  request.model = model;
+  request.input = std::move(input);
+  request.arrival_ns = clock_->now_ns();
+  const std::uint64_t relative =
+      deadline_ns != 0 ? deadline_ns : config_.default_deadline_ns;
+  request.deadline_ns = relative != 0 ? request.arrival_ns + relative : 0;
+
+  Submitted out;
+  out.response = request.promise.get_future();
+  switch (queue_.try_push(std::move(request))) {
+    case PushResult::kOk:
+      out.status = SubmitStatus::kAccepted;
+      slo_.record_accepted(model);
+      slo_.set_queue_depth(queue_.size());
+      return out;
+    case PushResult::kFull: {
+      out.status = SubmitStatus::kQueueFull;
+      slo_.record_rejected(model);
+      Response resp;
+      resp.status = RequestStatus::kRejected;
+      resp.request_id = id;
+      resp.model = model;
+      request.promise.set_value(std::move(resp));
+      return out;
+    }
+    case PushResult::kClosed: {
+      out.status = SubmitStatus::kShutdown;
+      Response resp;
+      resp.status = RequestStatus::kRejected;
+      resp.request_id = id;
+      resp.model = model;
+      request.promise.set_value(std::move(resp));
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+Submitted ServingEngine::submit(const std::string& model, Tensor input,
+                                std::uint64_t deadline_ns) {
+  const std::optional<std::size_t> index = models_.find(model);
+  if (!index.has_value()) {
+    const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    return rejected_receipt(SubmitStatus::kUnknownModel, id, 0);
+  }
+  return submit(*index, std::move(input), deadline_ns);
+}
+
+std::size_t ServingEngine::integrate_queue() {
+  std::size_t moved = 0;
+  Request request;
+  while (queue_.try_pop(request) == PopResult::kItem) {
+    {
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batchers_[request.model].add(std::move(request));
+    }
+    batcher_pending_.fetch_add(1, std::memory_order_relaxed);
+    ++moved;
+  }
+  if (moved != 0) slo_.set_queue_depth(queue_.size());
+  return moved;
+}
+
+std::uint64_t ServingEngine::earliest_wake() {
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  std::uint64_t wake = Clock::kNever;
+  for (const DynamicBatcher& batcher : batchers_) {
+    if (batcher.ready()) return 0;  // work due now — do not sleep
+    wake = std::min(wake, batcher.next_wake_ns());
+  }
+  return wake;
+}
+
+std::size_t ServingEngine::dispatch_due(bool draining, WorkerState& state) {
+  // Phase 1: under the batcher lock, decide what to run — but run nothing.
+  std::vector<std::pair<std::size_t, std::vector<Request>>> expired;
+  std::vector<std::pair<std::size_t, std::vector<Request>>> batches;
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    for (std::size_t m = 0; m < batchers_.size(); ++m) {
+      DynamicBatcher& batcher = batchers_[m];
+      std::vector<Request> dead = batcher.take_expired();
+      if (!dead.empty()) {
+        batcher_pending_.fetch_sub(dead.size(), std::memory_order_relaxed);
+        expired.emplace_back(m, std::move(dead));
+      }
+      while (batcher.ready()) {
+        std::vector<Request> batch = batcher.take();
+        batcher_pending_.fetch_sub(batch.size(), std::memory_order_relaxed);
+        batches.emplace_back(m, std::move(batch));
+      }
+      if (draining) {
+        std::vector<Request> rest = batcher.drain();
+        if (!rest.empty()) {
+          batcher_pending_.fetch_sub(rest.size(), std::memory_order_relaxed);
+          batches.emplace_back(m, std::move(rest));
+        }
+      }
+    }
+  }
+
+  // Phase 2: execute outside the lock so models run concurrently.
+  std::size_t terminal = 0;
+  for (auto& [model, dead] : expired) {
+    for (Request& request : dead) {
+      fail_request(std::move(request), RequestStatus::kExpired);
+      ++terminal;
+    }
+  }
+  const bool abort =
+      draining && !drain_on_shutdown_.load(std::memory_order_acquire);
+  for (auto& [model, batch] : batches) {
+    terminal += batch.size();
+    if (abort) {
+      for (Request& request : batch) {
+        fail_request(std::move(request), RequestStatus::kShutdown);
+      }
+    } else {
+      execute_batch(model, std::move(batch), state);
+    }
+  }
+  return terminal;
+}
+
+void ServingEngine::execute_batch(std::size_t model,
+                                  std::vector<Request> batch,
+                                  WorkerState& state) {
+  if (batch.empty()) return;
+  state.inputs.clear();
+  for (Request& request : batch) {
+    state.inputs.push_back(std::move(request.input));
+  }
+  models_.net(model).classify_batch_into(state.inputs, state.results,
+                                         state.workspaces[model],
+                                         config_.pool);
+  const std::uint64_t done_ns = clock_->now_ns();
+  slo_.record_batch(model, batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    Response resp;
+    resp.status = RequestStatus::kOk;
+    resp.result = state.results[i];
+    resp.request_id = request.id;
+    resp.model = model;
+    resp.latency_ns = done_ns - request.arrival_ns;
+    resp.batch_size = batch.size();
+    // Matches DynamicBatcher::take_expired: a request is dead AT its
+    // deadline instant, so completion then is already a miss.
+    resp.slo_miss = request.deadline_ns != 0 && done_ns >= request.deadline_ns;
+    slo_.record_completed(model, resp.latency_ns, resp.slo_miss);
+    request.promise.set_value(std::move(resp));
+  }
+}
+
+void ServingEngine::fail_request(Request request, RequestStatus status) {
+  const std::uint64_t now_ns = clock_->now_ns();
+  Response resp;
+  resp.status = status;
+  resp.request_id = request.id;
+  resp.model = request.model;
+  resp.latency_ns = now_ns > request.arrival_ns ? now_ns - request.arrival_ns
+                                                : 0;
+  resp.slo_miss = status == RequestStatus::kExpired;
+  if (status == RequestStatus::kExpired) {
+    slo_.record_expired(request.model, resp.latency_ns);
+  } else if (status == RequestStatus::kShutdown) {
+    slo_.record_shutdown(request.model);
+  }
+  request.promise.set_value(std::move(resp));
+}
+
+std::size_t ServingEngine::run_once() {
+  std::lock_guard<std::mutex> lock(inline_mutex_);
+  integrate_queue();
+  return dispatch_due(/*draining=*/false, inline_state_);
+}
+
+std::size_t ServingEngine::in_flight() const {
+  return queue_.size() + batcher_pending_.load(std::memory_order_relaxed);
+}
+
+void ServingEngine::worker_loop(std::size_t worker) {
+  (void)worker;
+  WorkerState state;
+  state.workspaces.resize(models_.size());
+  for (;;) {
+    dispatch_due(/*draining=*/false, state);
+    const std::uint64_t wake = earliest_wake();
+    Request request;
+    const PopResult popped = queue_.pop_until(request, *clock_, wake);
+    if (popped == PopResult::kItem) {
+      {
+        std::lock_guard<std::mutex> lock(batch_mutex_);
+        batchers_[request.model].add(std::move(request));
+      }
+      batcher_pending_.fetch_add(1, std::memory_order_relaxed);
+      slo_.set_queue_depth(queue_.size());
+      integrate_queue();  // opportunistically grab anything else queued
+      continue;
+    }
+    if (popped == PopResult::kTimeout) continue;  // a batcher is due
+    // kClosed: queue drained. Serve (or abort) what this worker can see and
+    // exit. A racing worker that integrates a last request after our drain
+    // performs its own kClosed drain, so nothing is stranded.
+    dispatch_due(/*draining=*/true, state);
+    return;
+  }
+}
+
+void ServingEngine::shutdown(bool drain) {
+  std::call_once(shutdown_once_, [&] {
+    drain_on_shutdown_.store(drain, std::memory_order_release);
+    accepting_.store(false, std::memory_order_release);
+    queue_.close();
+    for (std::thread& t : workers_) t.join();
+    // Inline mode (and belt-and-braces after workers exit): integrate any
+    // stragglers and drain the batchers so every accepted future resolves.
+    std::lock_guard<std::mutex> lock(inline_mutex_);
+    integrate_queue();
+    dispatch_due(/*draining=*/true, inline_state_);
+    slo_.set_queue_depth(0);
+  });
+}
+
+}  // namespace cdl::serve

@@ -1,0 +1,41 @@
+#include "serve/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cdl::serve {
+
+std::size_t ModelRegistry::add(std::string name, ConditionalNetwork net) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry: model name must not be empty");
+  }
+  if (find(name).has_value()) {
+    throw std::invalid_argument("ModelRegistry: duplicate model name '" +
+                                name + "'");
+  }
+  entries_.push_back(Entry{std::move(name), std::move(net)});
+  return entries_.size() - 1;
+}
+
+std::optional<std::size_t> ModelRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const ConditionalNetwork& ModelRegistry::net(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("ModelRegistry: bad model index");
+  }
+  return entries_[index].net;
+}
+
+const std::string& ModelRegistry::name(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("ModelRegistry: bad model index");
+  }
+  return entries_[index].name;
+}
+
+}  // namespace cdl::serve

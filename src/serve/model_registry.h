@@ -1,0 +1,44 @@
+// ModelRegistry: the set of checkpoints a serving engine serves.
+//
+// Models are registered once (by name) before the engine starts and are
+// immutable afterwards — worker threads call the const classify path
+// concurrently, which is safe exactly because nothing mutates the networks.
+// Registration order defines the dense model index used on the hot path
+// (requests carry the index, not the name).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdl/conditional_network.h"
+
+namespace cdl::serve {
+
+class ModelRegistry {
+ public:
+  /// Takes ownership of a ready-to-serve network (trained, δ set, precision
+  /// chosen). Returns the model's index. Throws std::invalid_argument on a
+  /// duplicate or empty name.
+  std::size_t add(std::string name, ConditionalNetwork net);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Index lookup by name; nullopt when unknown.
+  [[nodiscard]] std::optional<std::size_t> find(const std::string& name) const;
+
+  /// Throws std::out_of_range on a bad index.
+  [[nodiscard]] const ConditionalNetwork& net(std::size_t index) const;
+  [[nodiscard]] const std::string& name(std::size_t index) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ConditionalNetwork net;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cdl::serve

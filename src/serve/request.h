@@ -1,0 +1,52 @@
+// Request/Response: the unit of work flowing through the serving engine.
+//
+// A request is one image bound for one registered model, stamped with its
+// arrival time and an optional completion deadline. The response carries the
+// cascade's ClassificationResult (bit-identical to an offline
+// classify_batch_into over the same image — the serving determinism
+// contract) plus the latency/SLO accounting for that request.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "cdl/conditional_network.h"
+#include "core/tensor.h"
+
+namespace cdl::serve {
+
+/// Terminal state of a request. kRejected never enters the queue (bounded
+/// queue full — the backpressure contract); kExpired was accepted but its
+/// deadline passed before dispatch, so no inference ran; kShutdown was
+/// accepted but the engine aborted before serving it (only possible via
+/// abort(), never via the draining shutdown()).
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,
+  kExpired = 2,
+  kShutdown = 3,
+};
+
+[[nodiscard]] const char* to_string(RequestStatus s);
+
+struct Response {
+  RequestStatus status = RequestStatus::kOk;
+  ClassificationResult result;    ///< valid only when status == kOk
+  std::uint64_t request_id = 0;
+  std::size_t model = 0;          ///< ModelRegistry index
+  std::uint64_t latency_ns = 0;   ///< completion - arrival (engine clock)
+  std::uint64_t batch_size = 0;   ///< rows in the dispatched batch (kOk only)
+  bool slo_miss = false;          ///< completed after the deadline (or expired)
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::size_t model = 0;           ///< ModelRegistry index
+  Tensor input;
+  std::uint64_t arrival_ns = 0;    ///< stamped by the engine at submit
+  std::uint64_t deadline_ns = 0;   ///< absolute engine-clock time; 0 = none
+  std::promise<Response> promise;  ///< fulfilled exactly once
+};
+
+}  // namespace cdl::serve

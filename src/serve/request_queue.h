@@ -1,0 +1,149 @@
+// MpmcQueue: the bounded multi-producer/multi-consumer request queue at the
+// front of the serving engine.
+//
+// A fixed-capacity ring buffer guarded by one mutex and two condition
+// variables. The interface is deliberately index-and-slot shaped (power-of-
+// two-free, no iterator exposure, no reallocation after construction) so a
+// lock-free ring can replace the implementation without touching callers.
+//
+// Backpressure contract: try_push never blocks — a full queue returns kFull
+// and the caller rejects the request upstream. close() flips the queue into
+// drain mode: further pushes return kClosed, while pops keep returning the
+// items already queued and only report kClosed once empty. Every item pushed
+// successfully is popped exactly once (the MPMC invariant the stress test
+// asserts).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "serve/clock.h"
+
+namespace cdl::serve {
+
+enum class PushResult { kOk, kFull, kClosed };
+enum class PopResult { kItem, kTimeout, kClosed };
+
+[[nodiscard]] const char* to_string(PushResult r);
+[[nodiscard]] const char* to_string(PopResult r);
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Throws std::invalid_argument on zero capacity (a queue that can hold
+  /// nothing would make every push a rejection).
+  explicit MpmcQueue(std::size_t capacity)
+      : slots_(capacity == 0 ? throw std::invalid_argument(
+                                   "MpmcQueue: capacity must be > 0")
+                             : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Non-blocking enqueue; kFull is the backpressure signal.
+  [[nodiscard]] PushResult try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (count_ == slots_.size()) return PushResult::kFull;
+      slots_[(head_ + count_) % slots_.size()] = std::move(item);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking enqueue: waits (on `clock`) until space, close, or
+  /// deadline_ns. Used by closed-loop producers; the engine's submit path
+  /// uses try_push.
+  [[nodiscard]] PushResult push_until(T&& item, Clock& clock,
+                                      std::uint64_t deadline_ns) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      clock.wait_until(not_full_, lock, deadline_ns, [&] {
+        return closed_ || count_ < slots_.size();
+      });
+      if (closed_) return PushResult::kClosed;
+      if (count_ == slots_.size()) return PushResult::kFull;  // timed out
+      slots_[(head_ + count_) % slots_.size()] = std::move(item);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Non-blocking dequeue.
+  [[nodiscard]] PopResult try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (count_ == 0) return closed_ ? PopResult::kClosed : PopResult::kTimeout;
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+    }
+    not_full_.notify_one();
+    return PopResult::kItem;
+  }
+
+  /// Dequeue, waiting (on `clock`) until an item arrives, the queue is
+  /// closed and drained, or the clock reaches deadline_ns (Clock::kNever =
+  /// wait indefinitely). kTimeout means "nothing yet", not "empty forever".
+  [[nodiscard]] PopResult pop_until(T& out, Clock& clock,
+                                    std::uint64_t deadline_ns) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      clock.wait_until(not_empty_, lock, deadline_ns,
+                       [&] { return closed_ || count_ > 0; });
+      if (count_ == 0) return closed_ ? PopResult::kClosed : PopResult::kTimeout;
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+    }
+    not_full_.notify_one();
+    return PopResult::kItem;
+  }
+
+  /// Blocking dequeue with no deadline: kItem or (closed and drained)
+  /// kClosed.
+  [[nodiscard]] PopResult pop(T& out, Clock& clock) {
+    return pop_until(out, clock, Clock::kNever);
+  }
+
+  /// Stops accepting pushes and wakes every waiter; queued items remain
+  /// poppable (drain-on-shutdown).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;   ///< index of the oldest item
+  std::size_t count_ = 0;  ///< items currently queued
+  bool closed_ = false;
+};
+
+}  // namespace cdl::serve

@@ -1,0 +1,167 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cdl::serve {
+
+namespace {
+constexpr std::size_t kLatencyBins = 64;
+}  // namespace
+
+SloTracker::SloTracker(obs::Registry* registry, double latency_hi_ms)
+    : registry_(registry), latency_hi_ms_(latency_hi_ms) {}
+
+SloTracker::PerModel& SloTracker::model_slot(std::size_t model) {
+  if (model >= models_.size()) models_.resize(model + 1);
+  PerModel& m = models_[model];
+  if (m.name.empty()) m.name = "model" + std::to_string(model);
+  return m;
+}
+
+void SloTracker::name_model(std::size_t model, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (model >= models_.size()) models_.resize(model + 1);
+  models_[model].name = std::move(name);
+}
+
+void SloTracker::bump(const PerModel& m, const char* status) {
+  if (registry_ == nullptr) return;
+  registry_
+      ->counter("cdl_serve_requests_total", "Serving requests by outcome",
+                {{"model", m.name}, {"status", status}})
+      .inc();
+}
+
+void SloTracker::record_rejected(std::size_t model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  ++m.rejected;
+  bump(m, "rejected");
+}
+
+void SloTracker::record_accepted(std::size_t model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)model_slot(model).accepted++;
+}
+
+void SloTracker::record_expired(std::size_t model, std::uint64_t queue_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  ++m.expired;
+  ++m.slo_miss;  // an expired request missed its SLO by definition
+  bump(m, "expired");
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("cdl_serve_slo_miss_total",
+                  "Requests that missed their deadline", {{"model", m.name}})
+        .inc();
+    registry_
+        ->histogram("cdl_serve_latency_ms",
+                    "Request latency (queue + inference)", 0.0, latency_hi_ms_,
+                    kLatencyBins, {{"model", m.name}})
+        .record(static_cast<double>(queue_ns) / 1e6);
+  }
+}
+
+void SloTracker::record_shutdown(std::size_t model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  ++m.shutdown;
+  bump(m, "shutdown");
+}
+
+void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
+                                  bool slo_miss) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  const double ms = static_cast<double>(latency_ns) / 1e6;
+  ++m.completed;
+  if (slo_miss) ++m.slo_miss;
+  m.latency_sum_ms += ms;
+  m.latency_max_ms = std::max(m.latency_max_ms, ms);
+  m.latencies_ms.push_back(ms);
+  bump(m, "ok");
+  if (registry_ != nullptr) {
+    if (slo_miss) {
+      registry_
+          ->counter("cdl_serve_slo_miss_total",
+                    "Requests that missed their deadline", {{"model", m.name}})
+          .inc();
+    }
+    registry_
+        ->histogram("cdl_serve_latency_ms",
+                    "Request latency (queue + inference)", 0.0, latency_hi_ms_,
+                    kLatencyBins, {{"model", m.name}})
+        .record(ms);
+  }
+}
+
+void SloTracker::record_batch(std::size_t model, std::size_t rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  ++m.batches;
+  m.batched_rows += rows;
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("cdl_serve_batches_total", "Batches dispatched",
+                  {{"model", m.name}})
+        .inc();
+    registry_
+        ->histogram("cdl_serve_batch_size", "Rows per dispatched batch", 0.0,
+                    512.0, 64, {{"model", m.name}})
+        .record(static_cast<double>(rows));
+  }
+}
+
+void SloTracker::set_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry_ != nullptr) {
+    registry_->gauge("cdl_serve_queue_depth", "Requests currently queued")
+        .set(static_cast<double>(depth));
+  }
+}
+
+SloSummary SloTracker::summary(std::size_t model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SloSummary s;
+  if (model >= models_.size()) return s;
+  const PerModel& m = models_[model];
+  s.model = m.name;
+  s.accepted = m.accepted;
+  s.completed = m.completed;
+  s.rejected = m.rejected;
+  s.expired = m.expired;
+  s.shutdown = m.shutdown;
+  s.submitted = m.accepted + m.rejected;
+  s.slo_miss = m.slo_miss;
+  s.batches = m.batches;
+  s.mean_batch = m.batches == 0 ? 0.0
+                                : static_cast<double>(m.batched_rows) /
+                                      static_cast<double>(m.batches);
+  if (!m.latencies_ms.empty()) {
+    s.p50_ms = obs::percentile(m.latencies_ms, 0.50);
+    s.p95_ms = obs::percentile(m.latencies_ms, 0.95);
+    s.p99_ms = obs::percentile(m.latencies_ms, 0.99);
+    s.mean_ms =
+        m.latency_sum_ms / static_cast<double>(m.latencies_ms.size());
+    s.max_ms = m.latency_max_ms;
+  }
+  return s;
+}
+
+std::vector<SloSummary> SloTracker::summaries() const {
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    n = models_.size();
+  }
+  std::vector<SloSummary> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(summary(i));
+  return out;
+}
+
+}  // namespace cdl::serve

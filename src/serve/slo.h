@@ -1,0 +1,103 @@
+// SloTracker: per-request latency and SLO accounting for the serving engine.
+//
+// Every request outcome is recorded per model: accepted/rejected/expired/
+// completed counters, exact latency samples (for type-7 p50/p95/p99 via
+// obs::percentile), deadline misses, and batch-size statistics. When a
+// Registry is attached the same numbers are mirrored into labelled
+// OpenMetrics families:
+//
+//   cdl_serve_requests_total{model=...,status=ok|rejected|expired|shutdown}
+//   cdl_serve_slo_miss_total{model=...}
+//   cdl_serve_latency_ms{model=...}       (histogram)
+//   cdl_serve_batch_size{model=...}       (histogram)
+//   cdl_serve_batches_total{model=...}
+//   cdl_serve_queue_depth                 (gauge, engine-wide)
+//
+// The tracker serializes its own updates with an internal mutex (worker
+// threads complete requests concurrently), which also guards the registry
+// instruments it owns — the registry's documented "guard concurrent writers
+// externally" contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "serve/request.h"
+
+namespace cdl::serve {
+
+/// One model's aggregated serving statistics (a deterministic snapshot).
+struct SloSummary {
+  std::string model;
+  std::uint64_t submitted = 0;  ///< accepted + rejected
+  std::uint64_t accepted = 0;   ///< entered the queue
+  std::uint64_t completed = 0;  ///< served with inference (status kOk)
+  std::uint64_t rejected = 0;   ///< backpressure (queue full)
+  std::uint64_t expired = 0;    ///< deadline passed before dispatch
+  std::uint64_t shutdown = 0;   ///< aborted before service
+  std::uint64_t slo_miss = 0;   ///< expired + completed past their deadline
+  std::uint64_t batches = 0;    ///< batches dispatched
+  double mean_batch = 0.0;      ///< completed / batches
+  /// Exact percentiles over completed requests' latencies; 0 when none.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class SloTracker {
+ public:
+  /// `registry` may be null (pure in-memory accounting); when set it must
+  /// outlive the tracker. `latency_hi_ms` bounds the exported latency
+  /// histogram (exact percentiles come from the raw samples either way).
+  explicit SloTracker(obs::Registry* registry = nullptr,
+                      double latency_hi_ms = 1000.0);
+
+  void record_rejected(std::size_t model);
+  void record_accepted(std::size_t model);
+  void record_expired(std::size_t model, std::uint64_t queue_ns);
+  void record_shutdown(std::size_t model);
+  void record_completed(std::size_t model, std::uint64_t latency_ns,
+                        bool slo_miss);
+  void record_batch(std::size_t model, std::size_t rows);
+  void set_queue_depth(std::size_t depth);
+
+  /// Deterministic per-model snapshot (models in registration order).
+  [[nodiscard]] SloSummary summary(std::size_t model) const;
+  [[nodiscard]] std::vector<SloSummary> summaries() const;
+
+  /// Registers `name` for model index `model` (labels + summaries). The
+  /// engine calls this once per registry entry before serving starts.
+  void name_model(std::size_t model, std::string name);
+
+ private:
+  struct PerModel {
+    std::string name;
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shutdown = 0;
+    std::uint64_t slo_miss = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_rows = 0;
+    double latency_sum_ms = 0.0;
+    double latency_max_ms = 0.0;
+    std::vector<double> latencies_ms;  ///< completed requests, arrival order
+  };
+
+  PerModel& model_slot(std::size_t model);
+  void bump(const PerModel& m, const char* status);
+
+  mutable std::mutex mutex_;
+  obs::Registry* registry_;
+  double latency_hi_ms_;
+  std::vector<PerModel> models_;
+};
+
+}  // namespace cdl::serve

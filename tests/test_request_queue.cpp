@@ -1,0 +1,286 @@
+// MpmcQueue + Clock: FIFO/backpressure/close semantics on a single thread,
+// deterministic timed waits on a ManualClock, and a multi-producer/multi-
+// consumer stress run asserting the exactly-once invariant (every item pushed
+// successfully is popped exactly once — nothing lost, nothing double-served).
+// No test sleeps: threads block on virtual-clock or queue events only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/clock.h"
+#include "serve/request_queue.h"
+
+namespace cdl::serve {
+namespace {
+
+TEST(MpmcQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+}
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    EXPECT_EQ(q.try_push(std::move(v)), PushResult::kOk);
+  }
+  EXPECT_EQ(q.size(), 5U);
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    EXPECT_EQ(q.try_pop(out), PopResult::kItem);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(MpmcQueue, TryPopEmptyIsTimeoutNotClosed) {
+  MpmcQueue<int> q(2);
+  int out = 0;
+  EXPECT_EQ(q.try_pop(out), PopResult::kTimeout);
+}
+
+TEST(MpmcQueue, BackpressureFullThenRecovers) {
+  MpmcQueue<int> q(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_EQ(q.try_push(std::move(a)), PushResult::kOk);
+  EXPECT_EQ(q.try_push(std::move(b)), PushResult::kOk);
+  EXPECT_EQ(q.try_push(std::move(c)), PushResult::kFull);  // bounded: reject
+  int out = 0;
+  EXPECT_EQ(q.try_pop(out), PopResult::kItem);
+  EXPECT_EQ(out, 1);
+  int d = 4;
+  EXPECT_EQ(q.try_push(std::move(d)), PushResult::kOk);  // space freed
+}
+
+TEST(MpmcQueue, CloseDrainsThenReportsClosed) {
+  MpmcQueue<int> q(4);
+  int a = 7;
+  int b = 8;
+  EXPECT_EQ(q.try_push(std::move(a)), PushResult::kOk);
+  EXPECT_EQ(q.try_push(std::move(b)), PushResult::kOk);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  int rejected = 9;
+  EXPECT_EQ(q.try_push(std::move(rejected)), PushResult::kClosed);
+  // Items queued before close stay poppable (drain-on-shutdown contract).
+  int out = 0;
+  EXPECT_EQ(q.try_pop(out), PopResult::kItem);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(q.try_pop(out), PopResult::kItem);
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(q.try_pop(out), PopResult::kClosed);
+}
+
+TEST(MpmcQueue, PopUntilPastDeadlineReturnsImmediately) {
+  ManualClock clock(500);
+  MpmcQueue<int> q(2);
+  int out = 0;
+  // Deadline already reached: no wait, no wakeup needed.
+  EXPECT_EQ(q.pop_until(out, clock, 500), PopResult::kTimeout);
+  EXPECT_EQ(q.pop_until(out, clock, 100), PopResult::kTimeout);
+}
+
+TEST(MpmcQueue, PopUntilWakesOnManualAdvance) {
+  ManualClock clock(0);
+  MpmcQueue<int> q(2);
+  PopResult result = PopResult::kItem;
+  std::thread waiter([&] {
+    int out = 0;
+    result = q.pop_until(out, clock, 1000);
+  });
+  clock.advance(1000);  // virtual time reaches the deadline -> kTimeout
+  waiter.join();
+  EXPECT_EQ(result, PopResult::kTimeout);
+}
+
+TEST(MpmcQueue, PopWakesOnPush) {
+  ManualClock clock(0);
+  MpmcQueue<int> q(2);
+  int out = 0;
+  PopResult result = PopResult::kTimeout;
+  std::thread waiter([&] { result = q.pop(out, clock); });
+  int v = 42;
+  ASSERT_EQ(q.try_push(std::move(v)), PushResult::kOk);
+  waiter.join();
+  EXPECT_EQ(result, PopResult::kItem);
+  EXPECT_EQ(out, 42);
+}
+
+TEST(MpmcQueue, PopWakesOnClose) {
+  ManualClock clock(0);
+  MpmcQueue<int> q(2);
+  PopResult result = PopResult::kItem;
+  std::thread waiter([&] {
+    int out = 0;
+    result = q.pop(out, clock);
+  });
+  q.close();
+  waiter.join();
+  EXPECT_EQ(result, PopResult::kClosed);
+}
+
+TEST(MpmcQueue, PushUntilBlocksUntilSpace) {
+  ManualClock clock(0);
+  MpmcQueue<int> q(1);
+  int a = 1;
+  ASSERT_EQ(q.try_push(std::move(a)), PushResult::kOk);
+  PushResult result = PushResult::kFull;
+  std::thread producer([&] {
+    int b = 2;
+    result = q.push_until(std::move(b), clock, Clock::kNever);
+  });
+  int out = 0;
+  ASSERT_EQ(q.try_pop(out), PopResult::kItem);  // frees the slot
+  producer.join();
+  EXPECT_EQ(result, PushResult::kOk);
+  ASSERT_EQ(q.try_pop(out), PopResult::kItem);
+  EXPECT_EQ(out, 2);
+}
+
+TEST(ManualClock, AdvanceAndSet) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now_ns(), 100U);
+  clock.advance(50);
+  EXPECT_EQ(clock.now_ns(), 150U);
+  clock.set_ns(400);
+  EXPECT_EQ(clock.now_ns(), 400U);
+  EXPECT_THROW(clock.set_ns(399), std::invalid_argument);  // time is monotonic
+}
+
+TEST(ManualClock, WaitUntilPredicateAlreadyTrue) {
+  ManualClock clock(0);
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(m);
+  EXPECT_TRUE(clock.wait_until(cv, lk, Clock::kNever, [] { return true; }));
+}
+
+TEST(ManualClock, WaitUntilDeadlinePassedReturnsPredicate) {
+  ManualClock clock(10);
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(m);
+  EXPECT_FALSE(clock.wait_until(cv, lk, 5, [] { return false; }));
+}
+
+TEST(RealClock, MonotoneAndSharedInstance) {
+  RealClock& clock = RealClock::instance();
+  const std::uint64_t a = clock.now_ns();
+  const std::uint64_t b = clock.now_ns();
+  EXPECT_LE(a, b);
+  EXPECT_EQ(&clock, &RealClock::instance());
+}
+
+TEST(ResultStrings, Roundtrip) {
+  EXPECT_STREQ(to_string(PushResult::kOk), "ok");
+  EXPECT_STREQ(to_string(PushResult::kFull), "full");
+  EXPECT_STREQ(to_string(PushResult::kClosed), "closed");
+  EXPECT_STREQ(to_string(PopResult::kItem), "item");
+  EXPECT_STREQ(to_string(PopResult::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(PopResult::kClosed), "closed");
+}
+
+/// Stress: P producers each blocking-push M unique ids through a queue far
+/// smaller than P*M, C consumers blocking-pop until the queue closes. The
+/// union of consumed ids must equal the union of produced ids exactly —
+/// no request lost, none double-served. Runs under TSan in CI.
+TEST(MpmcQueueStress, ExactlyOnceUnderContention) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::size_t kPerProducer = 500;
+  RealClock& clock = RealClock::instance();
+  MpmcQueue<std::uint64_t> q(8);  // small: forces full/empty transitions
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t id = p * kPerProducer + i;
+        ASSERT_EQ(q.push_until(std::move(id), clock, Clock::kNever),
+                  PushResult::kOk);
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::uint64_t id = 0;
+      while (q.pop(id, clock) == PopResult::kItem) consumed[c].push_back(id);
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& ids : consumed) all.insert(all.end(), ids.begin(), ids.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kProducers * kPerProducer);
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i);  // sorted unique range 0..N-1 <=> exactly once
+  }
+}
+
+/// Stress with shutdown racing the producers: close() lands mid-stream, so
+/// producers see kClosed on some pushes. The invariant tightens to "consumed
+/// == successfully pushed", still exactly once.
+TEST(MpmcQueueStress, InterleavedShutdownLosesNothingAccepted) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::size_t kPerProducer = 400;
+  constexpr std::uint64_t kCloseAfter = 300;  // consumer-observed items
+  RealClock& clock = RealClock::instance();
+  MpmcQueue<std::uint64_t> q(4);
+
+  std::vector<std::vector<std::uint64_t>> pushed(kProducers);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t id = p * kPerProducer + i;
+        if (q.push_until(std::move(id), clock, Clock::kNever) ==
+            PushResult::kOk) {
+          pushed[p].push_back(p * kPerProducer + i);
+        } else {
+          break;  // closed mid-stream: stop producing
+        }
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> seen{0};
+  std::vector<std::vector<std::uint64_t>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::uint64_t id = 0;
+      while (q.pop(id, clock) == PopResult::kItem) {
+        consumed[c].push_back(id);
+        if (seen.fetch_add(1) + 1 == kCloseAfter) q.close();  // mid-stream
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  q.close();  // in case kCloseAfter was never reached
+  for (std::thread& t : consumers) t.join();
+
+  std::vector<std::uint64_t> want;
+  for (const auto& ids : pushed) want.insert(want.end(), ids.begin(), ids.end());
+  std::vector<std::uint64_t> got;
+  for (const auto& ids : consumed) got.insert(got.end(), ids.begin(), ids.end());
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);  // every accepted item served exactly once
+}
+
+}  // namespace
+}  // namespace cdl::serve

@@ -1,0 +1,173 @@
+// DynamicBatcher under a ManualClock: every dispatch decision is replayed at
+// exact virtual times — batch-size trigger, timeout trigger, deadline expiry
+// ordering, wake-time computation, drain — with zero sleep-based waits.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/clock.h"
+#include "serve/request.h"
+
+namespace cdl::serve {
+namespace {
+
+Request make_request(std::uint64_t id, std::uint64_t arrival_ns,
+                     std::uint64_t deadline_ns = 0) {
+  Request r;
+  r.id = id;
+  r.arrival_ns = arrival_ns;
+  r.deadline_ns = deadline_ns;
+  return r;
+}
+
+std::vector<std::uint64_t> ids(const std::vector<Request>& requests) {
+  std::vector<std::uint64_t> out;
+  out.reserve(requests.size());
+  for (const Request& r : requests) out.push_back(r.id);
+  return out;
+}
+
+TEST(DynamicBatcher, RejectsBadConfig) {
+  ManualClock clock;
+  EXPECT_THROW(DynamicBatcher({/*max_batch=*/0, 1000}, &clock),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher({4, 1000}, nullptr), std::invalid_argument);
+}
+
+TEST(DynamicBatcher, EmptyIsIdle) {
+  ManualClock clock(1000);
+  DynamicBatcher b({4, 1000}, &clock);
+  EXPECT_EQ(b.pending(), 0U);
+  EXPECT_FALSE(b.ready());
+  EXPECT_EQ(b.next_wake_ns(), Clock::kNever);
+  EXPECT_TRUE(b.take_expired().empty());
+  EXPECT_TRUE(b.drain().empty());
+}
+
+TEST(DynamicBatcher, SizeTriggerDispatchesFullBatchInArrivalOrder) {
+  ManualClock clock(1000);
+  DynamicBatcher b({4, 1'000'000}, &clock);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    b.add(make_request(i, clock.now_ns()));
+    EXPECT_FALSE(b.ready()) << "below max_batch with fresh arrivals";
+  }
+  b.add(make_request(3, clock.now_ns()));
+  EXPECT_TRUE(b.ready());  // size trigger: no waiting once full
+  EXPECT_EQ(b.next_wake_ns(), Clock::kNever);  // dispatch now, not later
+  std::vector<Request> batch = b.take();
+  EXPECT_EQ(ids(batch), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b.pending(), 0U);
+  EXPECT_FALSE(b.ready());
+}
+
+TEST(DynamicBatcher, TakeCapsAtMaxBatchLeavingRemainder) {
+  ManualClock clock(1000);
+  DynamicBatcher b({4, 1'000'000}, &clock);
+  for (std::uint64_t i = 0; i < 6; ++i) b.add(make_request(i, clock.now_ns()));
+  ASSERT_TRUE(b.ready());
+  EXPECT_EQ(ids(b.take()), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b.pending(), 2U);
+  EXPECT_FALSE(b.ready());  // remainder is fresh: waits for size or timeout
+}
+
+TEST(DynamicBatcher, TimeoutTriggerFiresAtExactVirtualTime) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, /*max_delay_ns=*/500}, &clock);
+  b.add(make_request(1, clock.now_ns()));
+  EXPECT_FALSE(b.ready());
+  EXPECT_EQ(b.next_wake_ns(), 1500U);  // oldest arrival + max_delay
+  clock.advance(499);
+  EXPECT_FALSE(b.ready()) << "one tick early must not dispatch";
+  clock.advance(1);
+  EXPECT_TRUE(b.ready()) << "deadline tick dispatches a partial batch";
+  EXPECT_EQ(ids(b.take()), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(DynamicBatcher, TimeoutTracksOldestPendingRequest) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, 500}, &clock);
+  b.add(make_request(1, clock.now_ns()));
+  clock.advance(300);
+  b.add(make_request(2, clock.now_ns()));  // newer arrival must not reset
+  EXPECT_EQ(b.next_wake_ns(), 1500U);
+  clock.advance(200);
+  ASSERT_TRUE(b.ready());
+  EXPECT_EQ(ids(b.take()), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(DynamicBatcher, NextWakeIncludesEarliestDeadline) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, 500}, &clock);
+  // Deadline (1200) earlier than the timeout trigger (1500): the engine must
+  // wake in time to expire the request, not just to dispatch it.
+  b.add(make_request(1, clock.now_ns(), /*deadline_ns=*/1200));
+  EXPECT_EQ(b.next_wake_ns(), 1200U);
+  // A later deadline does not shadow the timeout trigger.
+  b.add(make_request(2, clock.now_ns(), /*deadline_ns=*/9000));
+  EXPECT_EQ(b.next_wake_ns(), 1200U);
+}
+
+TEST(DynamicBatcher, ExpiredRequestsLeaveInArrivalOrder) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, 10'000}, &clock);
+  b.add(make_request(1, clock.now_ns(), /*deadline_ns=*/1200));
+  b.add(make_request(2, clock.now_ns()));  // no deadline: never expires
+  b.add(make_request(3, clock.now_ns(), /*deadline_ns=*/1100));
+  b.add(make_request(4, clock.now_ns(), /*deadline_ns=*/5000));
+  clock.set_ns(1300);  // past 1 and 3, before 4
+  EXPECT_EQ(ids(b.take_expired()), (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(b.pending(), 2U);
+  EXPECT_TRUE(b.take_expired().empty()) << "expiry must be one-shot";
+  clock.set_ns(5000);
+  EXPECT_EQ(ids(b.take_expired()), (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(b.pending(), 1U);  // the deadline-free request survives
+}
+
+TEST(DynamicBatcher, RequestDiesExactlyAtItsDeadlineInstant) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, 10'000}, &clock);
+  b.add(make_request(1, clock.now_ns(), /*deadline_ns=*/1200));
+  clock.set_ns(1199);
+  EXPECT_TRUE(b.take_expired().empty()) << "one tick early must not expire";
+  clock.advance(1);  // deadline instant: waking exactly here finds the corpse
+  EXPECT_EQ(ids(b.take_expired()), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(DynamicBatcher, ExpiryDoesNotResetTimeoutTrigger) {
+  ManualClock clock(1000);
+  DynamicBatcher b({64, 500}, &clock);
+  b.add(make_request(1, clock.now_ns(), /*deadline_ns=*/1100));
+  clock.advance(300);
+  b.add(make_request(2, clock.now_ns()));  // arrival 1300
+  clock.advance(200);                      // now 1500: 1 expired; 2 fresh
+  EXPECT_EQ(ids(b.take_expired()), (std::vector<std::uint64_t>{1}));
+  // Oldest surviving request arrived at 1300: timeout fires at 1800.
+  EXPECT_FALSE(b.ready());
+  EXPECT_EQ(b.next_wake_ns(), 1800U);
+  clock.set_ns(1800);
+  EXPECT_TRUE(b.ready());
+}
+
+TEST(DynamicBatcher, DrainReturnsEverythingInArrivalOrder) {
+  ManualClock clock(1000);
+  DynamicBatcher b({4, 1'000'000}, &clock);
+  for (std::uint64_t i = 0; i < 7; ++i) b.add(make_request(i, clock.now_ns()));
+  EXPECT_EQ(ids(b.drain()),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(b.pending(), 0U);
+  EXPECT_EQ(b.next_wake_ns(), Clock::kNever);
+}
+
+TEST(DynamicBatcher, MaxBatchOneDispatchesImmediately) {
+  ManualClock clock(1000);
+  DynamicBatcher b({1, 1'000'000}, &clock);
+  b.add(make_request(42, clock.now_ns()));
+  EXPECT_TRUE(b.ready());
+  EXPECT_EQ(ids(b.take()), (std::vector<std::uint64_t>{42}));
+}
+
+}  // namespace
+}  // namespace cdl::serve

@@ -106,6 +106,32 @@ grep -q "^seed 5$" "$WORK_DIR/model3.meta"
 "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \
     --delta 0.75 | grep -q "delta 0.75"
 
+# Serving: cdl_serve pushes the bundle through the full queue -> dynamic
+# batcher -> cascade pipeline. With drain-on-shutdown every submitted
+# request must complete ("served N/N ok"), the SLO counters must land in
+# the OpenMetrics exposition, and the cdl-serve-report/1 JSON must pass
+# bench_check.py's accounting/percentile validation. Serving two
+# checkpoints at once exercises per-model routing.
+"$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/model,$WORK_DIR/model2" \
+    --images 80 --seed 3 --workers 2 --max-batch 8 --max-delay-us 500 \
+    --deadline-ms 5000 \
+    --report "$WORK_DIR/serve_report.json" \
+    --metrics-out "$WORK_DIR/serve_metrics.txt" > "$WORK_DIR/serve.log"
+grep -q "served 80/80 ok" "$WORK_DIR/serve.log"
+grep -q "serve report written" "$WORK_DIR/serve.log"
+grep -q "cdl_serve_requests_total" "$WORK_DIR/serve_metrics.txt"
+grep -q "cdl_serve_latency_ms" "$WORK_DIR/serve_metrics.txt"
+grep -q 'model="model2"' "$WORK_DIR/serve_metrics.txt"
+tail -n 1 "$WORK_DIR/serve_metrics.txt" | grep -q "^# EOF"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$SCRIPTS_DIR/bench_check.py" \
+      --validate-serving "$WORK_DIR/serve_report.json"
+fi
+# The quantized cascade serves through the same engine (the default
+# cdl_train calibration rides in the bundle's .meta).
+"$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/model2" --int8 --images 20 \
+    --seed 3 --workers 0 | grep -q "int8"
+
 "$TOOLS_DIR/cdl_render" --digit 7 --count 2 --quiet \
     --out-dir "$WORK_DIR/pgms"
 test -f "$WORK_DIR/pgms/digit7_000.pgm"
@@ -122,6 +148,10 @@ if "$TOOLS_DIR/cdl_eval" --no-such-flag 2>/dev/null; then
 fi
 if "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/does_not_exist" 2>/dev/null; then
   echo "cdl_eval accepted a missing model" >&2
+  exit 1
+fi
+if "$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/does_not_exist" 2>/dev/null; then
+  echo "cdl_serve accepted a missing model" >&2
   exit 1
 fi
 if "$TOOLS_DIR/cdl_eval" --model "$WORK_DIR/model" --test-n 50 --seed 3 \

@@ -1,0 +1,264 @@
+// cdl_serve: serves one or more cdl_train model bundles through the
+// ServingEngine — bounded request queue, dynamic batcher, SLO accounting —
+// against a stream of test images, then reports per-model throughput, tail
+// latency and SLO counters (text table, cdl-serve-report/1 JSON, OpenMetrics).
+//
+// This is the command-line face of src/serve/: the e2e suite drives it to
+// validate the full queue -> batcher -> cascade -> metrics pipeline, and it
+// doubles as a quick local load generator (--rate paces an open loop).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "data/synthetic_mnist.h"
+#include "eval/table.h"
+#include "model_io.h"
+#include "obs/registry.h"
+#include "serve/engine.h"
+#include "util/args.h"
+
+namespace {
+
+void write_file_or_throw(const std::string& path,
+                         const std::function<void(std::ostream&)>& emit) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  emit(os);
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Model name for reports/labels: the bundle's path stem ("runs/a/mnist_2c"
+/// -> "mnist_2c"), qualified with its index on collision.
+std::string bundle_name(const std::string& path, std::size_t index,
+                        const cdl::serve::ModelRegistry& so_far) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (stem.empty()) stem = "model";
+  if (so_far.find(stem).has_value()) stem += "#" + std::to_string(index);
+  return stem;
+}
+
+void write_serve_report(std::ostream& os, const cdl::serve::ServingEngine& eng,
+                        const std::vector<cdl::serve::SloSummary>& summaries,
+                        std::size_t images, double wall_s, double accuracy,
+                        std::uint64_t scored) {
+  os << "{\n  \"schema\": \"cdl-serve-report/1\",\n";
+  os << "  \"tool\": \"cdl_serve\",\n";
+  os << "  \"images\": " << images << ",\n";
+  os << "  \"workers\": " << eng.config().workers << ",\n";
+  os << "  \"queue_capacity\": " << eng.config().queue_capacity << ",\n";
+  os << "  \"max_batch\": " << eng.config().batcher.max_batch << ",\n";
+  os << "  \"max_delay_us\": " << eng.config().batcher.max_delay_ns / 1000
+     << ",\n";
+  os << "  \"wall_s\": " << wall_s << ",\n";
+  os << "  \"sustained_ips\": " << (wall_s > 0.0 ? static_cast<double>(images) / wall_s : 0.0)
+     << ",\n";
+  os << "  \"scored\": " << scored << ",\n";
+  os << "  \"accuracy\": " << accuracy << ",\n";
+  os << "  \"models\": [\n";
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const cdl::serve::SloSummary& s = summaries[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << s.model << "\",\n";
+    os << "      \"submitted\": " << s.submitted << ",\n";
+    os << "      \"accepted\": " << s.accepted << ",\n";
+    os << "      \"completed\": " << s.completed << ",\n";
+    os << "      \"rejected\": " << s.rejected << ",\n";
+    os << "      \"expired\": " << s.expired << ",\n";
+    os << "      \"shutdown\": " << s.shutdown << ",\n";
+    os << "      \"slo_miss\": " << s.slo_miss << ",\n";
+    os << "      \"batches\": " << s.batches << ",\n";
+    os << "      \"mean_batch\": " << s.mean_batch << ",\n";
+    os << "      \"latency_ms_p50\": " << s.p50_ms << ",\n";
+    os << "      \"latency_ms_p95\": " << s.p95_ms << ",\n";
+    os << "      \"latency_ms_p99\": " << s.p99_ms << ",\n";
+    os << "      \"latency_ms_mean\": " << s.mean_ms << ",\n";
+    os << "      \"latency_ms_max\": " << s.max_ms << "\n";
+    os << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run(const cdl::ArgParser& args) {
+  const std::vector<std::string> bundles = split_list(args.get("model"));
+  if (bundles.empty()) throw std::runtime_error("--model: no bundles given");
+
+  cdl::serve::ModelRegistry models;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    cdl::tools::ModelMeta meta;
+    cdl::ConditionalNetwork net = cdl::tools::load_model(bundles[i], &meta);
+    if (args.get_double("delta") >= 0.0) {
+      net.set_delta(static_cast<float>(args.get_double("delta")));
+    }
+    if (args.get_flag("int8")) {
+      if (!net.has_quantization()) {
+        throw std::runtime_error("--int8 requested but " + bundles[i] +
+                                 ".meta carries no calibration; re-train with "
+                                 "cdl_train --calib-n > 0");
+      }
+      net.set_cascade_precision(cdl::StagePrecision::kInt8);
+    }
+    const std::string name = bundle_name(bundles[i], i, models);
+    std::printf("model %zu: %s (%s, %zu stage(s), delta %.2f%s)\n", i,
+                name.c_str(), meta.arch_name.c_str(), net.num_stages(),
+                static_cast<double>(net.activation_module().delta()),
+                args.get_flag("int8") ? ", int8" : "");
+    models.add(name, std::move(net));
+  }
+  const std::size_t num_models = models.size();
+
+  cdl::obs::Registry registry;
+  cdl::serve::EngineConfig config;
+  config.queue_capacity = args.get_size("queue-capacity");
+  config.workers = args.get_size("workers");
+  config.batcher.max_batch = args.get_size("max-batch");
+  config.batcher.max_delay_ns = args.get_size("max-delay-us") * 1000;
+  config.default_deadline_ns =
+      static_cast<std::uint64_t>(args.get_double("deadline-ms") * 1e6);
+  config.registry = &registry;
+  cdl::serve::ServingEngine engine(std::move(models), config);
+
+  const std::size_t images = args.get_size("images");
+  const cdl::MnistPair data =
+      cdl::load_mnist_or_synthetic(0, images, args.get_size("seed"));
+  const double rate = args.get_double("rate");
+  std::printf("serving %zu image(s) across %zu model(s): %zu worker(s), "
+              "queue %zu, max batch %zu, max delay %zu us%s\n",
+              data.test.size(), num_models, config.workers,
+              config.queue_capacity, config.batcher.max_batch,
+              config.batcher.max_delay_ns / 1000,
+              rate > 0.0 ? (", " + std::to_string(rate) + " img/s").c_str()
+                         : "");
+
+  using steady = std::chrono::steady_clock;
+  const steady::time_point start = steady::now();
+  std::vector<std::future<cdl::serve::Response>> futures;
+  futures.reserve(data.test.size());
+  std::vector<std::size_t> future_model(data.test.size());
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    if (rate > 0.0) {
+      // Open loop: arrival i is due at i/rate seconds after start,
+      // independent of service progress.
+      const auto due =
+          start + std::chrono::nanoseconds(
+                      static_cast<std::uint64_t>(1e9 * static_cast<double>(i) / rate));
+      std::this_thread::sleep_until(due);
+    }
+    const std::size_t model = i % num_models;  // round-robin across bundles
+    future_model[i] = model;
+    cdl::serve::Submitted receipt =
+        engine.submit(model, cdl::Tensor(data.test.image(i)));
+    futures.push_back(std::move(receipt.response));
+  }
+  engine.shutdown();  // drain: every accepted request completes
+
+  std::uint64_t scored = 0;
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const cdl::serve::Response resp = futures[i].get();
+    if (resp.status != cdl::serve::RequestStatus::kOk) continue;
+    ++scored;
+    if (resp.result.label == data.test.label(i)) ++correct;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(steady::now() - start).count();
+  const double accuracy =
+      scored == 0 ? 0.0
+                  : static_cast<double>(correct) / static_cast<double>(scored);
+
+  const std::vector<cdl::serve::SloSummary> summaries =
+      engine.slo().summaries();
+  cdl::TextTable table({"model", "accepted", "completed", "rejected",
+                        "expired", "slo miss", "mean batch", "p50 ms",
+                        "p95 ms", "p99 ms"});
+  for (const cdl::serve::SloSummary& s : summaries) {
+    table.add_row({s.model, std::to_string(s.accepted),
+                   std::to_string(s.completed), std::to_string(s.rejected),
+                   std::to_string(s.expired), std::to_string(s.slo_miss),
+                   cdl::fmt(s.mean_batch, 2), cdl::fmt(s.p50_ms, 3),
+                   cdl::fmt(s.p95_ms, 3), cdl::fmt(s.p99_ms, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("served %llu/%zu ok, accuracy %.2f %%, %.3f s wall "
+              "(%.1f img/s sustained)\n",
+              static_cast<unsigned long long>(scored), futures.size(),
+              100.0 * accuracy, wall_s,
+              wall_s > 0.0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
+
+  const std::string report_out = args.get("report");
+  if (!report_out.empty()) {
+    write_file_or_throw(report_out, [&](std::ostream& os) {
+      write_serve_report(os, engine, summaries, data.test.size(), wall_s,
+                         accuracy, scored);
+    });
+    std::printf("serve report written to %s\n", report_out.c_str());
+  }
+  const std::string metrics_out = args.get("metrics-out");
+  if (!metrics_out.empty()) {
+    write_file_or_throw(metrics_out, [&](std::ostream& os) {
+      registry.write_openmetrics(os);
+    });
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdl::ArgParser args;
+  args.add_option("model", "cdl_model",
+                  "model bundle prefix(es) from cdl_train; a comma list "
+                  "serves several checkpoints concurrently");
+  args.add_option("images", "200", "test images to serve");
+  args.add_option("seed", "42", "data seed");
+  args.add_option("workers", "1", "serving worker threads (0 = inline)");
+  args.add_option("queue-capacity", "1024",
+                  "bounded request queue size (full = reject)");
+  args.add_option("max-batch", "16", "dynamic batcher size trigger");
+  args.add_option("max-delay-us", "2000",
+                  "dynamic batcher timeout trigger (microseconds)");
+  args.add_option("deadline-ms", "0",
+                  "per-request deadline in ms (0 = none); late or expired "
+                  "requests count as SLO misses");
+  args.add_option("rate", "0",
+                  "offered load in img/s, open loop (0 = submit immediately)");
+  args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
+  args.add_flag("int8", "serve the full cascade quantized (needs calibration "
+                        "in the .meta)");
+  args.add_option("report", "", "write cdl-serve-report/1 JSON here");
+  args.add_option("metrics-out", "", "write OpenMetrics exposition here");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.help("cdl_serve").c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help("cdl_serve").c_str());
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
