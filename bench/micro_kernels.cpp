@@ -3,6 +3,7 @@
 // full staged classification.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include "cdl/architectures.h"
@@ -10,10 +11,12 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "data/synthetic_mnist.h"
+#include "nn/act_kernels.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/gemm.h"
 #include "nn/pool2d.h"
+#include "nn/qconv_direct.h"
 #include "nn/qgemm.h"
 
 namespace {
@@ -228,6 +231,102 @@ BENCHMARK(BM_Conv2DForwardIm2col)
     ->Args({1, 6, 5})
     ->Args({1, 3, 3})
     ->Args({6, 12, 5});
+
+/// Direct (im2col-free) int8 conv — same shapes as BM_QConv2DForward, so the
+/// items/sec ratio is the stage-0 lowering speedup the direct kernel buys.
+void BM_QConvDirect(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto maps = static_cast<std::size_t>(state.range(1));
+  const auto kernel = static_cast<std::size_t>(state.range(2));
+  const std::size_t h = 28, w = 28;
+  const std::size_t oh = h - kernel + 1, ow = w - kernel + 1;
+  const std::size_t k = channels * kernel * kernel;
+  const std::vector<std::int8_t> weights = random_weights_s8(maps * k, 1);
+  std::vector<std::uint8_t> image =
+      random_activations_u8(channels * h * w, 2);
+  image.resize(image.size() + cdl::kQconvSlackBytes);  // kernel read slack
+  std::vector<std::int32_t> c(maps * oh * ow, 0);
+  for (auto _ : state) {
+    cdl::qconv_direct(image.data(), channels, h, w, kernel, weights.data(),
+                      maps, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(cdl::qconv_dispatch_tier());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(maps * k * oh * ow));
+}
+BENCHMARK(BM_QConvDirect)->Args({1, 6, 5})->Args({1, 3, 3})->Args({2, 12, 3});
+
+/// Vectorized activation maps (items = elements mapped per second).
+void BM_ActivationSigmoidMap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n);
+  cdl::Rng rng(12);
+  for (float& v : in) v = rng.uniform(-8.0F, 8.0F);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    cdl::sigmoid_map(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(cdl::act_dispatch_tier());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ActivationSigmoidMap)->Arg(4096)->Arg(65536);
+
+void BM_ActivationTanhMap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n);
+  cdl::Rng rng(13);
+  for (float& v : in) v = rng.uniform(-8.0F, 8.0F);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    cdl::tanh_map(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(cdl::act_dispatch_tier());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ActivationTanhMap)->Arg(65536);
+
+/// The std::exp sigmoid the approximation replaced — the items/sec ratio
+/// against BM_ActivationSigmoidMap is the activation-kernel speedup.
+void BM_ActivationSigmoidExpReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n);
+  cdl::Rng rng(14);
+  for (float& v : in) v = rng.uniform(-8.0F, 8.0F);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = 1.0F / (1.0F + std::exp(-in[i]));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ActivationSigmoidExpReference)->Arg(65536);
+
+/// Fused int8 dequantize + sigmoid plane epilogue.
+void BM_DequantSigmoidPlane(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> in(n);
+  cdl::Rng rng(15);
+  for (std::int32_t& v : in) {
+    v = static_cast<std::int32_t>(rng.index(200000)) - 100000;
+  }
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    cdl::dequant_sigmoid_plane(in.data(), n, 1.27e-4F, -0.31F, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(cdl::act_dispatch_tier());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DequantSigmoidPlane)->Arg(4096);
 
 void BM_MaxPoolForward(benchmark::State& state) {
   cdl::Pool2D pool(2);

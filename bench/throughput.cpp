@@ -10,13 +10,16 @@
 // guarantee is ever violated.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.h"
@@ -25,7 +28,9 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "eval/table.h"
+#include "nn/act_kernels.h"
 #include "nn/gemm.h"
+#include "nn/qconv_direct.h"
 #include "nn/qgemm.h"
 #include "obs/exit_profile.h"
 #include "obs/layer_profile.h"
@@ -208,12 +213,16 @@ int main(int argc, char** argv) {
     threads = std::max<std::size_t>(
         2, static_cast<std::size_t>(std::thread::hardware_concurrency()));
   }
+  // The pool clamps oversubscribed requests to the hardware thread count;
+  // record the *effective* worker count everywhere downstream (tables, JSON)
+  // so speedup columns describe threads that actually ran.
+  cdl::ThreadPool pool(threads);
+  threads = pool.size();
   config.threads = threads;
 
   const cdl::MnistPair data = cdl::bench::bench_data(config);
   cdl::bench::print_banner("Throughput: packed SGEMM + batch inference",
                            config, data);
-  cdl::ThreadPool pool(threads);
 
   // --- GEMM GFLOP/s ---------------------------------------------------------
   const cdl::GemmDims dims{gemm_size, gemm_size, gemm_size};
@@ -300,6 +309,146 @@ int main(int argc, char** argv) {
               qgemm_table.to_string().c_str());
   std::printf("int8_packed vs fp32 packed: %.2fx (target >= 2x)\n\n",
               int8_vs_fp32_gemm);
+
+  // --- activation kernels ---------------------------------------------------
+  // The vectorized maps behind every conv/dense epilogue, with their measured
+  // max error against the double-precision references (the bounds bench_check
+  // enforces are kSigmoidMaxAbsError / kTanhMaxAbsError / exact ReLU).
+  struct ActRow {
+    std::string kernel;
+    double melem_per_sec;
+    double max_abs_error;
+  };
+  std::vector<ActRow> act_rows;
+  {
+    constexpr std::size_t kActN = std::size_t{1} << 14;
+    std::vector<float> act_in(kActN);
+    cdl::Rng arng(7);
+    for (float& v : act_in) v = arng.uniform(-8.0F, 8.0F);
+    std::vector<float> act_out(kActN);
+    double sig_err = 0.0;
+    double tanh_err = 0.0;
+    for (float x = -90.0F; x <= 90.0F; x += 0.00173F) {
+      const double logistic = 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+      sig_err = std::max(
+          sig_err,
+          std::fabs(static_cast<double>(cdl::sigmoid_approx(x)) - logistic));
+      tanh_err = std::max(
+          tanh_err, std::fabs(static_cast<double>(cdl::tanh_approx(x)) -
+                              std::tanh(static_cast<double>(x))));
+    }
+    const std::vector<std::tuple<std::string, std::function<void()>, double>>
+        act_kernels = {
+            {"sigmoid",
+             [&] { cdl::sigmoid_map(act_in.data(), act_out.data(), kActN); },
+             sig_err},
+            {"tanh",
+             [&] { cdl::tanh_map(act_in.data(), act_out.data(), kActN); },
+             tanh_err},
+            {"relu",
+             [&] { cdl::relu_map(act_in.data(), act_out.data(), kActN); },
+             0.0},
+        };
+    cdl::TextTable act_table({"kernel", "Melem/s", "max |err| vs exp"});
+    for (const auto& [name, fn, err] : act_kernels) {
+      const double sec = time_per_call(fn, min_time);
+      char err_str[32];
+      std::snprintf(err_str, sizeof err_str, "%.2e", err);
+      act_rows.push_back({name, static_cast<double>(kActN) / sec / 1e6, err});
+      act_table.add_row(
+          {name, cdl::fmt(act_rows.back().melem_per_sec, 1), err_str});
+    }
+    std::printf("activation maps (%zu elems/call, tier %s):\n%s\n",
+                kActN, cdl::act_dispatch_tier(), act_table.to_string().c_str());
+  }
+
+  // --- direct first-layer conv ----------------------------------------------
+  // Direct (im2col-free) int8 conv versus the pack_b_im2col + packed-GEMM
+  // route it replaces for small-c_in stage-0 layers; the two routes are
+  // all-integer, so their outputs are verified identical before timing is
+  // trusted.
+  struct DirectConvRow {
+    std::string shape;
+    double direct_ns;
+    double im2col_ns;
+    double speedup;
+    bool routed_direct;
+  };
+  std::vector<DirectConvRow> dconv_rows;
+  {
+    struct ConvShape {
+      std::size_t c, h, w, kernel, out_c;
+    };
+    // The two 25-tap paper stage-0 shapes plus MNIST_3C's 9-tap stage-0:
+    // on VNNI hosts the gate keeps only the 9-tap shape on the direct walk
+    // (the "routed" column records the host's decision next to the timings
+    // that justify it).
+    const ConvShape shapes[] = {
+        {1, 28, 28, 5, 6}, {1, 32, 32, 5, 6}, {1, 28, 28, 3, 3}};
+    for (const ConvShape& s : shapes) {
+      const std::size_t oh = s.h - s.kernel + 1;
+      const std::size_t ow = s.w - s.kernel + 1;
+      const std::size_t k = s.c * s.kernel * s.kernel;
+      const std::size_t pixels = oh * ow;
+      cdl::Rng drng(9);
+      std::vector<std::uint8_t> img(s.c * s.h * s.w + cdl::kQconvSlackBytes);
+      for (std::uint8_t& v : img) {
+        v = static_cast<std::uint8_t>(drng.index(256));
+      }
+      std::vector<std::int8_t> w8(s.out_c * k);
+      for (std::int8_t& v : w8) {
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(drng.index(
+                2 * static_cast<std::size_t>(cdl::kQgemmWeightMax) + 1)) -
+            cdl::kQgemmWeightMax);
+      }
+      std::vector<std::int32_t> direct_out(s.out_c * pixels, 0);
+      const double direct_sec = time_per_call(
+          [&] {
+            cdl::qconv_direct(img.data(), s.c, s.h, s.w, s.kernel, w8.data(),
+                              s.out_c, direct_out.data());
+          },
+          min_time);
+      std::vector<std::int8_t> pa(cdl::qgemm_packed_a_bytes(s.out_c, k));
+      cdl::qgemm_pack_a(s.out_c, k, w8.data(), pa.data());
+      std::vector<std::uint8_t> pb(cdl::qgemm_packed_b_bytes(k, pixels));
+      const std::size_t panels =
+          (pixels + cdl::kQgemmNr - 1) / cdl::kQgemmNr;
+      std::vector<std::int32_t> gemm_out(s.out_c * pixels, 0);
+      const double gemm_sec = time_per_call(
+          [&] {
+            cdl::qgemm_pack_b_im2col(img.data(), 1, s.c, s.h, s.w, s.kernel,
+                                     pb.data(), 0, panels);
+            cdl::qgemm_packed({s.out_c, k, pixels}, pa.data(), pb.data(),
+                              gemm_out.data(), nullptr);
+          },
+          min_time);
+      if (std::memcmp(direct_out.data(), gemm_out.data(),
+                      direct_out.size() * sizeof(std::int32_t)) != 0) {
+        std::fprintf(stderr,
+                     "error: direct conv disagrees with im2col+GEMM -- "
+                     "integer kernel equivalence broken\n");
+        return 1;
+      }
+      char shape_name[64];
+      std::snprintf(shape_name, sizeof shape_name, "%zux%zux%zuk%zuoc%zu",
+                    s.c, s.h, s.w, s.kernel, s.out_c);
+      dconv_rows.push_back({shape_name, direct_sec * 1e9, gemm_sec * 1e9,
+                            gemm_sec / direct_sec,
+                            cdl::qconv_direct_profitable(k)});
+    }
+    cdl::TextTable dconv_table(
+        {"shape", "direct ns", "im2col+GEMM ns", "speedup", "routed"});
+    for (const DirectConvRow& r : dconv_rows) {
+      dconv_table.add_row({r.shape, cdl::fmt(r.direct_ns, 0),
+                           cdl::fmt(r.im2col_ns, 0),
+                           cdl::fmt(r.speedup, 2) + "x",
+                           r.routed_direct ? "direct" : "im2col+gemm"});
+    }
+    std::printf("direct conv vs im2col+GEMM (tier %s, outputs verified "
+                "identical):\n%s\n",
+                cdl::qconv_dispatch_tier(), dconv_table.to_string().c_str());
+  }
 
   // --- batch inference images/sec ------------------------------------------
   cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
@@ -580,6 +729,30 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ],\n  \"int8_vs_fp32_gemm_speedup\": %.3f,\n",
                int8_vs_fp32_gemm);
+  std::fprintf(out, "  \"activation\": {\"tier\": \"%s\", \"rows\": [\n",
+               cdl::act_dispatch_tier());
+  for (std::size_t i = 0; i < act_rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"melem_per_sec\": %.2f, "
+                 "\"max_abs_error\": %.3e}%s\n",
+                 act_rows[i].kernel.c_str(), act_rows[i].melem_per_sec,
+                 act_rows[i].max_abs_error,
+                 i + 1 < act_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out, "  \"direct_conv\": {\"tier\": \"%s\", \"rows\": [\n",
+               cdl::qconv_dispatch_tier());
+  for (std::size_t i = 0; i < dconv_rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"shape\": \"%s\", \"direct_ns\": %.1f, "
+                 "\"im2col_gemm_ns\": %.1f, \"speedup\": %.3f, "
+                 "\"routed\": \"%s\"}%s\n",
+                 dconv_rows[i].shape.c_str(), dconv_rows[i].direct_ns,
+                 dconv_rows[i].im2col_ns, dconv_rows[i].speedup,
+                 dconv_rows[i].routed_direct ? "direct" : "im2col+gemm",
+                 i + 1 < dconv_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
   std::fprintf(out, "  \"batch_inference\": [\n");
   for (std::size_t i = 0; i < batch_rows.size(); ++i) {
     const BatchRow& r = batch_rows[i];

@@ -13,7 +13,12 @@ than --tolerance (default 15 %) on either headline metric:
 
 Both modes also validate the int8 schema additions when present (qgemm_tier,
 the qgemm kernel table, int8_vs_fp32_gemm_speedup) and enforce that every
-int8 batch row's accuracy stays within 0.5 pp of its fp32 twin.
+int8 batch row's accuracy stays within 0.5 pp of its fp32 twin. The
+"activation" section, when present, must keep each kernel's measured
+max_abs_error inside the bounds advertised in src/nn/act_kernels.h, and the
+"direct_conv" section's speedups must reproduce from their own timings. In
+compare mode, runs recorded with >= 2 effective threads additionally assert
+parallel speedup >= 0.98 on every batch row.
 
 Runs whose workloads are not comparable (different seed, gemm_size or image
 count) fail immediately rather than producing a meaningless diff -- the
@@ -139,6 +144,83 @@ def validate_qgemm_section(doc, path):
         require(row, "gops", (int, float), where)
         require(row, "ms_per_call", (int, float), where)
     require(doc, "int8_vs_fp32_gemm_speedup", (int, float), path)
+
+
+"""Hard error bounds for the activation approximation rows, mirroring
+kSigmoidMaxAbsError / kTanhMaxAbsError in src/nn/act_kernels.h (relu is
+exact)."""
+ACTIVATION_ERROR_BOUNDS = {"sigmoid": 4.0e-7, "tanh": 1.0e-6, "relu": 0.0}
+
+
+def validate_activation_section(doc, path):
+    """Schema + error bounds of the activation kernel section, when present."""
+    if "activation" not in doc:
+        return
+    section = require(doc, "activation", dict, path)
+    where = f"{path}.activation"
+    require(section, "tier", str, where)
+    rows = require(section, "rows", list, where)
+    if not rows:
+        fail(f"{where}: empty rows")
+    for i, row in enumerate(rows):
+        row_where = f"{where}.rows[{i}]"
+        kernel = require(row, "kernel", str, row_where)
+        if require(row, "melem_per_sec", (int, float), row_where) <= 0:
+            fail(f"{row_where}: melem_per_sec must be positive")
+        err = require(row, "max_abs_error", (int, float), row_where)
+        bound = ACTIVATION_ERROR_BOUNDS.get(kernel)
+        if bound is None:
+            fail(f"{row_where}: unknown activation kernel '{kernel}'")
+        if err > bound:
+            fail(f"{row_where}: {kernel} max_abs_error {err} exceeds the "
+                 f"advertised bound {bound}")
+
+
+def validate_direct_conv_section(doc, path):
+    """Schema of the direct-conv-vs-im2col section, when present. The harness
+    verifies integer equality of the two routes before writing the row, so
+    this check only needs the timings to be sane."""
+    if "direct_conv" not in doc:
+        return
+    section = require(doc, "direct_conv", dict, path)
+    where = f"{path}.direct_conv"
+    require(section, "tier", str, where)
+    rows = require(section, "rows", list, where)
+    if not rows:
+        fail(f"{where}: empty rows")
+    for i, row in enumerate(rows):
+        row_where = f"{where}.rows[{i}]"
+        require(row, "shape", str, row_where)
+        direct = require(row, "direct_ns", (int, float), row_where)
+        im2col = require(row, "im2col_gemm_ns", (int, float), row_where)
+        speedup = require(row, "speedup", (int, float), row_where)
+        if direct <= 0 or im2col <= 0:
+            fail(f"{row_where}: timings must be positive "
+                 f"(direct_ns={direct}, im2col_gemm_ns={im2col})")
+        if not math.isclose(speedup, im2col / direct, rel_tol=0.01):
+            fail(f"{row_where}: speedup {speedup} does not reproduce from "
+                 f"im2col_gemm_ns / direct_ns = {im2col / direct:.3f}")
+        routed = row.get("routed")
+        if routed is not None and routed not in ("direct", "im2col+gemm"):
+            fail(f"{row_where}: routed must be 'direct' or 'im2col+gemm', "
+                 f"got {routed!r}")
+
+
+def check_parallel_speedup(doc, path):
+    """With >= 2 effective worker threads, the parallel batch path must not
+    be slower than serial (the pool clamps oversubscription, so a recorded
+    thread count >= 2 means the threads really ran concurrently). 0.98
+    tolerates timing jitter; anything lower is a real scheduling problem."""
+    if doc.get("threads", 0) < 2:
+        return
+    for net, row in sorted(batch_rows(doc).items()):
+        if "speedup" not in row:
+            continue
+        speedup = float(row["speedup"])
+        if speedup < 0.98:
+            fail(f"{path}:{net}: parallel speedup {speedup:.3f} < 0.98 at "
+                 f"{doc['threads']} threads -- parallel path slower than "
+                 f"serial")
 
 
 def check_int8_accuracy(doc, path):
@@ -678,6 +760,8 @@ def main():
         print(f"attribution sections valid (serial == parallel OPS) for: "
               f"{', '.join(attributed)}")
     validate_qgemm_section(fresh, args.fresh)
+    validate_activation_section(fresh, args.fresh)
+    validate_direct_conv_section(fresh, args.fresh)
     check_int8_accuracy(fresh, args.fresh)
     if validate_serving_section(fresh, args.fresh):
         print(f"serving section valid "
@@ -697,6 +781,7 @@ def main():
 
     baseline = load(args.baseline)
     check_workload_match(baseline, fresh)
+    check_parallel_speedup(fresh, args.fresh)
 
     def compare(label, base_val, fresh_val):
         ratio = fresh_val / base_val if base_val > 0 else float("inf")

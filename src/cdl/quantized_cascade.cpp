@@ -8,9 +8,11 @@
 
 #include "core/thread_pool.h"
 #include "core/workspace.h"
+#include "nn/act_kernels.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/pool2d.h"
+#include "nn/qconv_direct.h"
 #include "nn/qgemm.h"
 #include "nn/quantize.h"
 #include "nn/softmax.h"
@@ -132,8 +134,10 @@ std::uint8_t requant_u8(float v, float inv_scale) {
 }
 
 /// Dequantize one pooled image (fmaf per element, per-channel slope and
-/// bias) and apply `act`. Templated so the caller's lambda inlines; the
-/// virtual per-element dispatch this replaces dominated the conv tail.
+/// bias) and apply `act`. Known activations take the fused nn/act_kernels
+/// plane route instead (vectorized, lanes bit-identical to this rule); this
+/// template serves only the kGeneric fallback, where inlining the caller's
+/// lambda still beats a virtual call per element.
 template <typename StepT, typename Fn>
 void dequant_activate(const std::int32_t* pooled, const StepT& st,
                       std::size_t plane, float* dst, Fn&& act) {
@@ -148,6 +152,20 @@ void dequant_activate(const std::int32_t* pooled, const StepT& st,
   }
 }
 
+/// Per-channel fused dequantize + activate via the nn/act_kernels plane
+/// kernels. Each channel's plane shares one (mult, bias), matching the
+/// template above element for element.
+using DequantPlaneFn = void (*)(const std::int32_t*, std::size_t, float,
+                                float, float*);
+template <typename StepT>
+void dequant_activate_planes(const std::int32_t* pooled, const StepT& st,
+                             std::size_t plane, float* dst,
+                             DequantPlaneFn fn) {
+  for (std::size_t c = 0; c < st.out_c; ++c) {
+    fn(pooled + c * plane, plane, st.mult[c], st.bias[c], dst + c * plane);
+  }
+}
+
 /// True when the boundary's calibrated range supports zero-point-0 u8.
 bool boundary_quantizable(const QuantCalibration& cal, std::size_t b) {
   if (b >= cal.boundaries()) return false;
@@ -159,11 +177,14 @@ bool boundary_quantizable(const QuantCalibration& cal, std::size_t b) {
 
 /// Quantizes and packs a row-major (out_ch, k) weight matrix, returning the
 /// per-channel dequant multipliers (in_scale * w_scale) and the packed-A
-/// operand.
+/// operand. When `raw` is non-null it also keeps the unpacked (out_ch, k)
+/// s8 matrix for the direct-conv route (same quantization, so both routes
+/// multiply identical integers).
 void build_quantized_weights(const float* w, std::size_t out_ch,
                              std::size_t k, float in_scale,
                              std::vector<std::int8_t>& packed,
-                             std::vector<float>& mult) {
+                             std::vector<float>& mult,
+                             std::vector<std::int8_t>* raw = nullptr) {
   std::vector<std::int8_t> q(out_ch * k);
   const std::vector<float> scales = quantize_weights_s8(w, out_ch, k,
                                                         q.data());
@@ -171,6 +192,7 @@ void build_quantized_weights(const float* w, std::size_t out_ch,
   qgemm_pack_a(out_ch, k, q.data(), packed.data());
   mult.resize(out_ch);
   for (std::size_t oc = 0; oc < out_ch; ++oc) mult[oc] = in_scale * scales[oc];
+  if (raw != nullptr) *raw = std::move(q);
 }
 
 }  // namespace
@@ -305,8 +327,12 @@ std::unique_ptr<QuantizedSegment> QuantizedSegment::build(
         step.act_kind = Step::Act::kRelu;
       }
       const std::size_t k = step.in_c * step.kernel * step.kernel;
+      step.direct =
+          qconv_direct_supported(step.in_c, step.kernel, step.conv_ow) &&
+          qconv_direct_profitable(k);
       build_quantized_weights(conv->weights().data(), step.out_c, k, in_scale,
-                              step.packed_w, step.mult);
+                              step.packed_w, step.mult,
+                              step.direct ? &step.raw_w : nullptr);
       step.bias.assign(conv->bias().data(),
                        conv->bias().data() + conv->bias().numel());
     } else if (bs.span == 1 && s == last) {
@@ -372,7 +398,9 @@ std::size_t QuantizedSegment::scratch_floats(std::size_t count) const {
       raw_elems = std::max(raw_elems, step.out_c * count);
     }
   }
-  return 2 * bytes_as_floats(count * max_u8_floats_) +
+  // Each u8 buffer carries kQconvSlackBytes of readable slack for the
+  // direct-conv kernel's tail-block pair loads.
+  return 2 * bytes_as_floats(count * max_u8_floats_ + kQconvSlackBytes) +
          bytes_as_floats(pb_bytes) + align_floats(raw_elems) +
          align_floats(pool_elems) + align_floats(stage_elems);
 }
@@ -421,10 +449,18 @@ void QuantizedSegment::run_conv_triple(const Step& step,
     std::uint8_t* pb_w = ctx.pb + w * ctx.pb_img;
     std::int32_t* raw_w = ctx.raw + w * ctx.raw_img;
     for (std::size_t i = b; i < e; ++i) {
-      qgemm_pack_b_im2col(ctx.in + i * st.in_numel, 1, st.in_c, st.in_h,
-                          st.in_w, st.kernel, pb_w, 0, ctx.panels_img);
-      qgemm_packed({st.out_c, ctx.k, ctx.pixels}, st.packed_w.data(), pb_w,
-                   raw_w, nullptr);
+      if (st.direct) {
+        // im2col-free route: convolve the CHW u8 image directly. Both
+        // routes multiply the same u8 x s8 integers, so raw_w holds the
+        // identical s32 accumulators either way.
+        qconv_direct(ctx.in + i * st.in_numel, st.in_c, st.in_h, st.in_w,
+                     st.kernel, st.raw_w.data(), st.out_c, raw_w);
+      } else {
+        qgemm_pack_b_im2col(ctx.in + i * st.in_numel, 1, st.in_c, st.in_h,
+                            st.in_w, st.kernel, pb_w, 0, ctx.panels_img);
+        qgemm_packed({st.out_c, ctx.k, ctx.pixels}, st.packed_w.data(), pb_w,
+                     raw_w, nullptr);
+      }
       std::int32_t* pooled_img = ctx.pooled + i * st.out_numel;
       pool_image_s32(raw_w, ctx.pixels, st.out_c, st.conv_oh, st.conv_ow,
                      st.pool_window, pooled_img);
@@ -432,17 +468,16 @@ void QuantizedSegment::run_conv_triple(const Step& step,
                                          : ctx.out_f32 + i * st.out_numel;
       switch (st.act_kind) {
         case Step::Act::kSigmoid:
-          dequant_activate(pooled_img, st, plane, dst, [](float x) {
-            return 1.0F / (1.0F + std::exp(-x));
-          });
+          dequant_activate_planes(pooled_img, st, plane, dst,
+                                  dequant_sigmoid_plane);
           break;
         case Step::Act::kTanh:
-          dequant_activate(pooled_img, st, plane, dst,
-                           [](float x) { return std::tanh(x); });
+          dequant_activate_planes(pooled_img, st, plane, dst,
+                                  dequant_tanh_plane);
           break;
         case Step::Act::kRelu:
-          dequant_activate(pooled_img, st, plane, dst,
-                           [](float x) { return x > 0.0F ? x : 0.0F; });
+          dequant_activate_planes(pooled_img, st, plane, dst,
+                                  dequant_relu_plane);
           break;
         case Step::Act::kGeneric:
           dequant_activate(pooled_img, st, plane, dst, [&st](float x) {
@@ -507,7 +542,8 @@ void QuantizedSegment::infer_block(const float* in, float* out,
       raw_elems = std::max(raw_elems, step.out_c * count);
     }
   }
-  const std::size_t u8f = bytes_as_floats(count * max_u8_floats_);
+  const std::size_t u8f =
+      bytes_as_floats(count * max_u8_floats_ + kQconvSlackBytes);
   auto* ping = reinterpret_cast<std::uint8_t*>(scratch);
   auto* pong = reinterpret_cast<std::uint8_t*>(scratch + u8f);
   auto* pb = reinterpret_cast<std::uint8_t*>(scratch + 2 * u8f);

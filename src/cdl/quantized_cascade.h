@@ -7,11 +7,14 @@
 // sigmoid outputs or nonnegative input pixels (the calibrator records the
 // observed minimum so this is *checked*, not assumed). Weights are signed
 // 8-bit per output channel, bounded to +/-kQgemmWeightMax. The integer GEMM
-// runs SIMD; (re)quantization uses quantize_activations_u8, whose vector
-// lane is bit-identical to its scalar rule; the remaining float math
-// (dequantize + activation, classifier scores) is scalar with one fixed
-// rounding per element. Int8 results are therefore bit-identical across
-// batch size, tile size, thread count and kernel dispatch tier.
+// runs SIMD; small-c_in first-layer convs skip the im2col entirely via the
+// direct nn/qconv_direct kernel (integer-exact, so GEMM and direct routes
+// agree bit for bit); (re)quantization uses quantize_activations_u8 and the
+// dequantize + activation epilogue runs the nn/act_kernels plane kernels —
+// both with vector lanes bit-identical to their scalar rules. The remaining
+// float math (classifier scores) is scalar with one fixed rounding per
+// element. Int8 results are therefore bit-identical across batch size, tile
+// size, thread count and kernel dispatch tier.
 //
 // Exit semantics are unchanged: segments emit fp32 features, classifiers
 // emit fp32 probabilities, and the activation module's delta decision runs
@@ -109,6 +112,11 @@ class QuantizedSegment {
     std::size_t in_numel = 0, out_numel = 0;  ///< per-sample extents
     // Quantized parameters.
     std::vector<std::int8_t> packed_w;  ///< qgemm packed-A weight panels
+    std::vector<std::int8_t> raw_w;     ///< unpacked (out_c, k) s8 weights
+    /// True when the conv runs nn/qconv_direct instead of im2col + GEMM
+    /// (small c_in, ow >= 8). Both routes are integer-exact, so this is a
+    /// pure performance switch.
+    bool direct = false;
     std::vector<float> mult;            ///< per-channel in_scale * w_scale
     std::vector<float> bias;
     float in_inv_scale = 1.0F;   ///< fp32 -> u8 for this step's input

@@ -9,8 +9,16 @@
 namespace cdl {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t hw = std::thread::hardware_concurrency();
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::max<std::size_t>(1, hw);
+  } else if (hw > 0) {
+    // Cap at the hardware thread count: the pool is a fork/join pool whose
+    // workers all run the whole job, so oversubscribing cores only adds
+    // context-switch and barrier contention (measured as parallel speedups
+    // below 1.0 on machines with fewer cores than the requested size).
+    // hw == 0 means "unknown" — keep the caller's request in that case.
+    threads = std::min(threads, hw);
   }
   size_ = threads;
   if (size_ <= 1) return;  // inline mode: no OS threads

@@ -26,8 +26,10 @@ class ThreadPool {
       std::function<void(std::size_t, std::size_t, std::size_t)>;
 
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
-  /// (at least 1). A pool of size 1 spawns no OS threads at all: every
-  /// parallel_for runs inline on the caller.
+  /// (at least 1). Requests above the hardware thread count are clamped to
+  /// it (oversubscribing a fork/join pool only adds contention); size()
+  /// reports the effective count. A pool of size 1 spawns no OS threads at
+  /// all: every parallel_for runs inline on the caller.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 

@@ -1,0 +1,455 @@
+#include "nn/act_kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+// Like nn/conv2d.cpp, the wide paths are written directly in intrinsics
+// inside target("...") functions and selected once at first use: GCC lowers
+// generic-vector / auto-vectorized code against the *default* target before
+// per-clone targets apply, so target_clones cannot express these kernels.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CDL_ACT_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace cdl {
+
+namespace {
+
+// --- scalar reference ------------------------------------------------------
+//
+// sigmoid(x) = 1 / (1 + exp(-x)) with exp evaluated as:
+//   t  = -clamp(x, +/-kClampX)           (clamp keeps 2^n finite/normal)
+//   n  = nearbyint(t * log2(e))          (round-to-nearest-even)
+//   f  = t - n*ln2                       (Cody-Waite two-constant split)
+//   p  = f + f^2 * P(f) + 1              (degree-5 minimax for e^f, P(0)=p5)
+//   e  = p * 2^n                         (exponent-field integer add)
+// Every step maps 1:1 onto a vector instruction with identical rounding
+// (see the AVX2/AVX-512 lanes below), which is what makes the scalar form
+// the *reference*, not merely an approximation of the vector form.
+//
+// |f| <= ln2/2, so p is in [0.7071, 1.4143) and its biased exponent is 126
+// or 127; |n| <= round(87 * log2e) = 126, and p >= 1 whenever n = -126
+// (f >= 0 there, since t >= -87 > -126*ln2), so the exponent add stays in
+// [1, 253]: no overflow, no denormals, valid for plain integer arithmetic
+// on the exponent field.
+
+constexpr float kClampX = 87.0F;
+constexpr float kLog2e = 1.44269504088896341F;
+// ln2 = 0.693359375 - 2.12194440e-4 (cephes split: hi exact in 11 bits).
+constexpr float kNegLn2Hi = -0.693359375F;
+constexpr float kNegLn2Lo = 2.12194440e-4F;
+constexpr float kExpP0 = 1.9875691500e-4F;
+constexpr float kExpP1 = 1.3981999507e-3F;
+constexpr float kExpP2 = 8.3334519073e-3F;
+constexpr float kExpP3 = 4.1665795894e-2F;
+constexpr float kExpP4 = 1.6666665459e-1F;
+constexpr float kExpP5 = 5.0000001201e-1F;
+
+/// p * 2^n by adding n to p's exponent field (n integral, result exponent
+/// in [1, 253] by the argument above). The vector lanes do the same int32
+/// add after a vcvtps2dq + shift.
+inline float scale_pow2(float p, std::int32_t n) {
+  std::int32_t bits;
+  std::memcpy(&bits, &p, sizeof(bits));
+  bits += n << 23;
+  float r;
+  std::memcpy(&r, &bits, sizeof(r));
+  return r;
+}
+
+/// Clamp written in comparison form so NaN behaves exactly like
+/// _mm256_min_ps/_mm256_max_ps (which return the second operand when either
+/// input is NaN); the final unordered check then puts the *input bits* back,
+/// so NaN propagates — the trainer's non-finite divergence guard depends on
+/// poisoned weights surfacing as a non-finite loss. The vector lanes do the
+/// same with a cmp-unordered + blend of the original input, so the
+/// propagated payload is bit-identical across tiers.
+inline float sigmoid_core(float x) {
+  float z = x < kClampX ? x : kClampX;
+  z = z > -kClampX ? z : -kClampX;
+  const float t = -z;
+  const float n = std::nearbyintf(t * kLog2e);
+  float f = std::fmaf(n, kNegLn2Hi, t);
+  f = std::fmaf(n, kNegLn2Lo, f);
+  const float f2 = f * f;
+  float p = kExpP0;
+  p = std::fmaf(p, f, kExpP1);
+  p = std::fmaf(p, f, kExpP2);
+  p = std::fmaf(p, f, kExpP3);
+  p = std::fmaf(p, f, kExpP4);
+  p = std::fmaf(p, f, kExpP5);
+  p = std::fmaf(p, f2, f);
+  p += 1.0F;
+  const float e = scale_pow2(p, static_cast<std::int32_t>(n));
+  const float r = 1.0F / (1.0F + e);
+  return x == x ? r : x;
+}
+
+inline float tanh_core(float x) {
+  // The inner sigmoid's NaN pass-through is discarded: blend the *original*
+  // input back, matching the vector lanes' blend of x (not 2x).
+  const float r = std::fmaf(2.0F, sigmoid_core(x * 2.0F), -1.0F);
+  return x == x ? r : x;
+}
+
+inline float relu_core(float x) { return x > 0.0F ? x : 0.0F; }
+
+void sigmoid_map_scalar(const float* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sigmoid_core(in[i]);
+}
+
+void tanh_map_scalar(const float* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tanh_core(in[i]);
+}
+
+void relu_map_scalar(const float* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = relu_core(in[i]);
+}
+
+/// Fused dequant epilogues: static_cast<float>(s32) rounds to nearest even
+/// exactly like vcvtdq2ps, so the scalar and vector fusions agree bitwise.
+void dq_sigmoid_scalar(const std::int32_t* in, std::size_t n, float mult,
+                       float bias, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = sigmoid_core(std::fmaf(static_cast<float>(in[i]), mult, bias));
+  }
+}
+
+void dq_tanh_scalar(const std::int32_t* in, std::size_t n, float mult,
+                    float bias, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = tanh_core(std::fmaf(static_cast<float>(in[i]), mult, bias));
+  }
+}
+
+void dq_relu_scalar(const std::int32_t* in, std::size_t n, float mult,
+                    float bias, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = relu_core(std::fmaf(static_cast<float>(in[i]), mult, bias));
+  }
+}
+
+// --- AVX2/FMA lanes --------------------------------------------------------
+
+#ifdef CDL_ACT_SIMD
+
+__attribute__((target("avx2,fma"))) inline __m256 sigmoid8(__m256 x) {
+  const __m256 clamp = _mm256_set1_ps(kClampX);
+  __m256 z = _mm256_min_ps(x, clamp);
+  z = _mm256_max_ps(z, _mm256_set1_ps(-kClampX));
+  const __m256 t = _mm256_xor_ps(z, _mm256_set1_ps(-0.0F));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(t, _mm256_set1_ps(kLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 f = _mm256_fmadd_ps(n, _mm256_set1_ps(kNegLn2Hi), t);
+  f = _mm256_fmadd_ps(n, _mm256_set1_ps(kNegLn2Lo), f);
+  const __m256 f2 = _mm256_mul_ps(f, f);
+  __m256 p = _mm256_set1_ps(kExpP0);
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(kExpP1));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(kExpP2));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(kExpP3));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(kExpP4));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(kExpP5));
+  p = _mm256_fmadd_ps(p, f2, f);
+  p = _mm256_add_ps(p, _mm256_set1_ps(1.0F));
+  const __m256i shift = _mm256_slli_epi32(_mm256_cvtps_epi32(n), 23);
+  const __m256 e = _mm256_castsi256_ps(
+      _mm256_add_epi32(_mm256_castps_si256(p), shift));
+  const __m256 one = _mm256_set1_ps(1.0F);
+  const __m256 r = _mm256_div_ps(one, _mm256_add_ps(one, e));
+  // NaN propagation: put the input bits back where x is unordered.
+  return _mm256_blendv_ps(r, x, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+}
+
+__attribute__((target("avx2,fma"))) inline __m256 tanh8(__m256 x) {
+  const __m256 s = sigmoid8(_mm256_mul_ps(x, _mm256_set1_ps(2.0F)));
+  const __m256 r =
+      _mm256_fmadd_ps(_mm256_set1_ps(2.0F), s, _mm256_set1_ps(-1.0F));
+  return _mm256_blendv_ps(r, x, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+}
+
+__attribute__((target("avx2,fma"))) void sigmoid_map_avx2(const float* in,
+                                                          float* out,
+                                                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, sigmoid8(_mm256_loadu_ps(in + i)));
+  }
+  sigmoid_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx2,fma"))) void tanh_map_avx2(const float* in,
+                                                       float* out,
+                                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, tanh8(_mm256_loadu_ps(in + i)));
+  }
+  tanh_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void relu_map_avx2(const float* in, float* out,
+                                                   std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(in + i), zero));
+  }
+  relu_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx2,fma"))) void dq_sigmoid_avx2(const std::int32_t* in,
+                                                         std::size_t n,
+                                                         float mult, float bias,
+                                                         float* out) {
+  const __m256 vm = _mm256_set1_ps(mult);
+  const __m256 vb = _mm256_set1_ps(bias);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_fmadd_ps(
+        _mm256_cvtepi32_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i))),
+        vm, vb);
+    _mm256_storeu_ps(out + i, sigmoid8(v));
+  }
+  dq_sigmoid_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+__attribute__((target("avx2,fma"))) void dq_tanh_avx2(const std::int32_t* in,
+                                                      std::size_t n, float mult,
+                                                      float bias, float* out) {
+  const __m256 vm = _mm256_set1_ps(mult);
+  const __m256 vb = _mm256_set1_ps(bias);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_fmadd_ps(
+        _mm256_cvtepi32_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i))),
+        vm, vb);
+    _mm256_storeu_ps(out + i, tanh8(v));
+  }
+  dq_tanh_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+__attribute__((target("avx2,fma"))) void dq_relu_avx2(const std::int32_t* in,
+                                                      std::size_t n, float mult,
+                                                      float bias, float* out) {
+  const __m256 vm = _mm256_set1_ps(mult);
+  const __m256 vb = _mm256_set1_ps(bias);
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_fmadd_ps(
+        _mm256_cvtepi32_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i))),
+        vm, vb);
+    _mm256_storeu_ps(out + i, _mm256_max_ps(v, zero));
+  }
+  dq_relu_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+// --- AVX-512F lanes --------------------------------------------------------
+
+__attribute__((target("avx512f"))) inline __m512 sigmoid16(__m512 x) {
+  const __m512 clamp = _mm512_set1_ps(kClampX);
+  __m512 z = _mm512_min_ps(x, clamp);
+  z = _mm512_max_ps(z, _mm512_set1_ps(-kClampX));
+  const __m512 t = _mm512_castsi512_ps(_mm512_xor_si512(
+      _mm512_castps_si512(z), _mm512_castps_si512(_mm512_set1_ps(-0.0F))));
+  const __m512 n = _mm512_roundscale_ps(
+      _mm512_mul_ps(t, _mm512_set1_ps(kLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m512 f = _mm512_fmadd_ps(n, _mm512_set1_ps(kNegLn2Hi), t);
+  f = _mm512_fmadd_ps(n, _mm512_set1_ps(kNegLn2Lo), f);
+  const __m512 f2 = _mm512_mul_ps(f, f);
+  __m512 p = _mm512_set1_ps(kExpP0);
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(kExpP1));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(kExpP2));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(kExpP3));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(kExpP4));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(kExpP5));
+  p = _mm512_fmadd_ps(p, f2, f);
+  p = _mm512_add_ps(p, _mm512_set1_ps(1.0F));
+  const __m512i shift = _mm512_slli_epi32(_mm512_cvtps_epi32(n), 23);
+  const __m512 e = _mm512_castsi512_ps(
+      _mm512_add_epi32(_mm512_castps_si512(p), shift));
+  const __m512 one = _mm512_set1_ps(1.0F);
+  const __m512 r = _mm512_div_ps(one, _mm512_add_ps(one, e));
+  // NaN propagation: put the input bits back where x is unordered.
+  return _mm512_mask_mov_ps(r, _mm512_cmp_ps_mask(x, x, _CMP_UNORD_Q), x);
+}
+
+__attribute__((target("avx512f"))) inline __m512 tanh16(__m512 x) {
+  const __m512 s = sigmoid16(_mm512_mul_ps(x, _mm512_set1_ps(2.0F)));
+  const __m512 r =
+      _mm512_fmadd_ps(_mm512_set1_ps(2.0F), s, _mm512_set1_ps(-1.0F));
+  return _mm512_mask_mov_ps(r, _mm512_cmp_ps_mask(x, x, _CMP_UNORD_Q), x);
+}
+
+__attribute__((target("avx512f"))) void sigmoid_map_avx512(const float* in,
+                                                           float* out,
+                                                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, sigmoid16(_mm512_loadu_ps(in + i)));
+  }
+  sigmoid_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void tanh_map_avx512(const float* in,
+                                                        float* out,
+                                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, tanh16(_mm512_loadu_ps(in + i)));
+  }
+  tanh_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void relu_map_avx512(const float* in,
+                                                        float* out,
+                                                        std::size_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_max_ps(_mm512_loadu_ps(in + i), zero));
+  }
+  relu_map_scalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void dq_sigmoid_avx512(
+    const std::int32_t* in, std::size_t n, float mult, float bias, float* out) {
+  const __m512 vm = _mm512_set1_ps(mult);
+  const __m512 vb = _mm512_set1_ps(bias);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_fmadd_ps(
+        _mm512_cvtepi32_ps(
+            _mm512_loadu_si512(reinterpret_cast<const void*>(in + i))),
+        vm, vb);
+    _mm512_storeu_ps(out + i, sigmoid16(v));
+  }
+  dq_sigmoid_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+__attribute__((target("avx512f"))) void dq_tanh_avx512(const std::int32_t* in,
+                                                       std::size_t n,
+                                                       float mult, float bias,
+                                                       float* out) {
+  const __m512 vm = _mm512_set1_ps(mult);
+  const __m512 vb = _mm512_set1_ps(bias);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_fmadd_ps(
+        _mm512_cvtepi32_ps(
+            _mm512_loadu_si512(reinterpret_cast<const void*>(in + i))),
+        vm, vb);
+    _mm512_storeu_ps(out + i, tanh16(v));
+  }
+  dq_tanh_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+__attribute__((target("avx512f"))) void dq_relu_avx512(const std::int32_t* in,
+                                                       std::size_t n,
+                                                       float mult, float bias,
+                                                       float* out) {
+  const __m512 vm = _mm512_set1_ps(mult);
+  const __m512 vb = _mm512_set1_ps(bias);
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_fmadd_ps(
+        _mm512_cvtepi32_ps(
+            _mm512_loadu_si512(reinterpret_cast<const void*>(in + i))),
+        vm, vb);
+    _mm512_storeu_ps(out + i, _mm512_max_ps(v, zero));
+  }
+  dq_relu_scalar(in + i, n - i, mult, bias, out + i);
+}
+
+#endif  // CDL_ACT_SIMD
+
+// --- dispatch --------------------------------------------------------------
+
+struct ActKernels {
+  void (*sigmoid)(const float*, float*, std::size_t);
+  void (*tanh)(const float*, float*, std::size_t);
+  void (*relu)(const float*, float*, std::size_t);
+  void (*dq_sigmoid)(const std::int32_t*, std::size_t, float, float, float*);
+  void (*dq_tanh)(const std::int32_t*, std::size_t, float, float, float*);
+  void (*dq_relu)(const std::int32_t*, std::size_t, float, float, float*);
+  const char* tier;
+};
+
+/// Same contract as the conv/qgemm kill switch: any non-empty value other
+/// than "0" pins the scalar kernels.
+bool act_force_scalar_env() {
+  const char* value = std::getenv("CDL_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+ActKernels select_act_kernels() {
+  if (!act_force_scalar_env()) {
+#ifdef CDL_ACT_SIMD
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f")) {
+      return {sigmoid_map_avx512, tanh_map_avx512, relu_map_avx512,
+              dq_sigmoid_avx512,  dq_tanh_avx512,  dq_relu_avx512,
+              "avx512f"};
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return {sigmoid_map_avx2, tanh_map_avx2, relu_map_avx2,
+              dq_sigmoid_avx2,  dq_tanh_avx2,  dq_relu_avx2,
+              "avx2-fma"};
+    }
+#endif
+  }
+  return {sigmoid_map_scalar, tanh_map_scalar, relu_map_scalar,
+          dq_sigmoid_scalar,  dq_tanh_scalar,  dq_relu_scalar,
+          "scalar"};
+}
+
+const ActKernels& act_kernels() {
+  static const ActKernels kernels = select_act_kernels();
+  return kernels;
+}
+
+}  // namespace
+
+const char* act_dispatch_tier() { return act_kernels().tier; }
+
+float sigmoid_approx(float x) { return sigmoid_core(x); }
+
+float tanh_approx(float x) { return tanh_core(x); }
+
+void sigmoid_map(const float* in, float* out, std::size_t n) {
+  act_kernels().sigmoid(in, out, n);
+}
+
+void tanh_map(const float* in, float* out, std::size_t n) {
+  act_kernels().tanh(in, out, n);
+}
+
+void relu_map(const float* in, float* out, std::size_t n) {
+  act_kernels().relu(in, out, n);
+}
+
+void dequant_sigmoid_plane(const std::int32_t* in, std::size_t n, float mult,
+                           float bias, float* out) {
+  act_kernels().dq_sigmoid(in, n, mult, bias, out);
+}
+
+void dequant_tanh_plane(const std::int32_t* in, std::size_t n, float mult,
+                        float bias, float* out) {
+  act_kernels().dq_tanh(in, n, mult, bias, out);
+}
+
+void dequant_relu_plane(const std::int32_t* in, std::size_t n, float mult,
+                        float bias, float* out) {
+  act_kernels().dq_relu(in, n, mult, bias, out);
+}
+
+}  // namespace cdl

@@ -1,0 +1,69 @@
+// Vectorized elementwise activation kernels (sigmoid, tanh, relu) and the
+// fused int8 dequantize+activate plane kernels built on them.
+//
+// The sigmoid is a polynomial exp approximation (Cody-Waite ln2 range
+// reduction, degree-5 minimax polynomial, exponent-field scaling) whose
+// *scalar* form performs exactly the same FP operations per element as the
+// AVX2/AVX-512 lanes — the contract quantize_activations_u8 established:
+// every instruction in the wide path (min/max clamp, mul, round-to-nearest-
+// even, fmadd chain, integer exponent add, IEEE add + div) has a scalar
+// counterpart with identical rounding, so results are bit-identical across
+// dispatch tiers, thread counts and batch/tile splits. Accuracy versus the
+// std::exp sigmoid is bounded by kSigmoidMaxAbsError (asserted in
+// tests/test_act_kernels.cpp).
+//
+// Dispatch follows nn/conv2d.cpp: raw intrinsics selected once at first use
+// via __builtin_cpu_supports, with CDL_FORCE_SCALAR pinning the scalar tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdl {
+
+/// Maximum |sigmoid_approx(x) - 1/(1+exp(-x))| over the reals, with the
+/// reference evaluated in double precision. Pinned by test_act_kernels; the
+/// approximation is a couple of float ulps of the true curve, far below any
+/// task-accuracy-relevant scale (the int8 path's quantization step is
+/// amax/255 ~ 4e-3).
+inline constexpr float kSigmoidMaxAbsError = 4.0e-7F;
+
+/// tanh(x) = 2*sigmoid(2x) - 1 doubles the sigmoid error bound and pays one
+/// extra rounding.
+inline constexpr float kTanhMaxAbsError = 1.0e-6F;
+
+/// Kernel tier the activation maps dispatch to on this machine ("scalar",
+/// "avx2-fma" or "avx512f"), resolved once at first use. Honors
+/// CDL_FORCE_SCALAR like the conv/qgemm kernels.
+[[nodiscard]] const char* act_dispatch_tier();
+
+/// Scalar reference sigmoid/tanh — the exact per-element operation sequence
+/// of the vector lanes (and the tail elements of the maps below). These are
+/// what Sigmoid::apply / Tanh::apply evaluate, so the trainer's forward pass
+/// is bit-consistent with batched inference. NaN inputs propagate with their
+/// payload bits intact on every tier (the trainer's non-finite divergence
+/// guard relies on poisoned values surfacing in the loss).
+[[nodiscard]] float sigmoid_approx(float x);
+[[nodiscard]] float tanh_approx(float x);
+
+/// Bulk maps: out[i] = act(in[i]) for i in [0, n). In-place safe
+/// (out == in). Each element's result is independent of n and of its
+/// position, so any split of a range across calls, threads or tiles yields
+/// bit-identical output.
+void sigmoid_map(const float* in, float* out, std::size_t n);
+void tanh_map(const float* in, float* out, std::size_t n);
+void relu_map(const float* in, float* out, std::size_t n);
+
+/// Fused int8 epilogue over one channel plane of pooled s32 accumulators:
+/// out[i] = act(fmaf(float(in[i]), mult, bias)). The s32 -> float convert
+/// rounds to nearest even in both the scalar form (static_cast) and the
+/// vector form (vcvtdq2ps), so the fusion preserves the bit-identity
+/// contract of the quantized cascade.
+void dequant_sigmoid_plane(const std::int32_t* in, std::size_t n, float mult,
+                           float bias, float* out);
+void dequant_tanh_plane(const std::int32_t* in, std::size_t n, float mult,
+                        float bias, float* out);
+void dequant_relu_plane(const std::int32_t* in, std::size_t n, float mult,
+                        float bias, float* out);
+
+}  // namespace cdl

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/thread_pool.h"
+#include "nn/act_kernels.h"
 
 namespace cdl {
 
@@ -15,8 +16,13 @@ Tensor ElementwiseActivation::forward(const Tensor& input) {
 
 Tensor ElementwiseActivation::infer(const Tensor& input) const {
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < input.numel(); ++i) out[i] = apply(input[i]);
+  map(input.data(), out.data(), input.numel());
   return out;
+}
+
+void ElementwiseActivation::map(const float* in, float* out,
+                                std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = apply(in[i]);
 }
 
 void ElementwiseActivation::infer_block(const Shape& in_shape, const float* in,
@@ -26,16 +32,16 @@ void ElementwiseActivation::infer_block(const Shape& in_shape, const float* in,
   (void)scratch;
   const std::size_t total = count * in_shape.numel();
   // Single-reference capture keeps the ChunkFn inside std::function's
-  // small-object buffer, so even the threaded path allocates nothing.
+  // small-object buffer, so even the threaded path allocates nothing. Each
+  // chunk runs the bulk map; elements are independent, so any chunking is
+  // bit-identical to one serial map over the whole block.
   struct Ctx {
     const ElementwiseActivation* act;
     const float* in;
     float* out;
   } ctx{this, in, out};
   const auto run = [&ctx](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      ctx.out[i] = ctx.act->apply(ctx.in[i]);
-    }
+    ctx.act->map(ctx.in + begin, ctx.out + begin, end - begin);
   };
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(0, total, run);
@@ -67,8 +73,20 @@ OpCount ElementwiseActivation::forward_ops(const Shape& input_shape) const {
   return ops;
 }
 
-float Sigmoid::apply(float x) const { return 1.0F / (1.0F + std::exp(-x)); }
+float Sigmoid::apply(float x) const { return sigmoid_approx(x); }
 
-float Tanh::apply(float x) const { return std::tanh(x); }
+void Sigmoid::map(const float* in, float* out, std::size_t n) const {
+  sigmoid_map(in, out, n);
+}
+
+float Tanh::apply(float x) const { return tanh_approx(x); }
+
+void Tanh::map(const float* in, float* out, std::size_t n) const {
+  tanh_map(in, out, n);
+}
+
+void ReLU::map(const float* in, float* out, std::size_t n) const {
+  relu_map(in, out, n);
+}
 
 }  // namespace cdl

@@ -3,6 +3,12 @@
 // Sigmoid is the paper's activation (the baseline networks follow Palm's
 // convolutional-backprop formulation); Tanh and ReLU are provided for the
 // ablation benches and as general library features.
+//
+// Sigmoid and Tanh evaluate the nn/act_kernels polynomial approximation
+// (max abs error vs the std::exp form bounded by kSigmoidMaxAbsError /
+// kTanhMaxAbsError) in *every* entry point — apply(), map(), forward() and
+// infer() — so training and evaluation see bit-identical activations, and
+// the bulk map()'s vector lanes match apply() element for element.
 #pragma once
 
 #include "nn/layer.h"
@@ -35,6 +41,13 @@ class ElementwiseActivation : public Layer {
   /// Public entry to the scalar map (apply() is protected).
   [[nodiscard]] float evaluate_one(float x) const { return apply(x); }
 
+  /// Bulk map: out[i] = apply(in[i]) for i in [0, n), in-place safe. The
+  /// base implementation is the scalar loop; Sigmoid/Tanh/ReLU override it
+  /// with the vectorized nn/act_kernels maps, whose lanes perform exactly
+  /// the per-element operations of apply() — so map() and apply() agree
+  /// bitwise for any n and any split of a range across calls.
+  virtual void map(const float* in, float* out, std::size_t n) const;
+
  protected:
   [[nodiscard]] virtual float apply(float x) const = 0;
   /// Derivative dy/dx expressed as a function of the output y.
@@ -48,6 +61,7 @@ class Sigmoid final : public ElementwiseActivation {
  public:
   [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "sigmoid"; }
+  void map(const float* in, float* out, std::size_t n) const override;
 
  protected:
   [[nodiscard]] float apply(float x) const override;
@@ -60,6 +74,7 @@ class Tanh final : public ElementwiseActivation {
  public:
   [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "tanh"; }
+  void map(const float* in, float* out, std::size_t n) const override;
 
  protected:
   [[nodiscard]] float apply(float x) const override;
@@ -72,6 +87,7 @@ class ReLU final : public ElementwiseActivation {
  public:
   [[nodiscard]] bool monotone_nondecreasing() const override { return true; }
   [[nodiscard]] std::string name() const override { return "relu"; }
+  void map(const float* in, float* out, std::size_t n) const override;
 
  protected:
   [[nodiscard]] float apply(float x) const override { return x > 0.0F ? x : 0.0F; }

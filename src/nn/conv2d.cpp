@@ -484,6 +484,22 @@ void Conv2D::infer_block_interleaved(const Shape& in_shape, const float* in,
   }
 }
 
+void Conv2D::conv_image(const float* img, std::size_t h, std::size_t w,
+                        float* out, float* pad_scratch) const {
+  if (!block_lowered()) {
+    throw std::logic_error("Conv2D::conv_image requires im2col / stride 1");
+  }
+  const std::size_t pad2 = 2 * geometry_.padding;
+  const float* src = img;
+  if (geometry_.padding != 0) {
+    pad_image(img, h, w, pad_scratch);
+    src = pad_scratch;
+  }
+  const std::size_t ph = h + pad2;
+  const std::size_t pw = w + pad2;
+  lowered_into(src, ph, pw, out, (ph - kernel_ + 1) * (pw - kernel_ + 1));
+}
+
 std::size_t Conv2D::infer_block_scratch_floats(const Shape& in_shape,
                                                std::size_t count,
                                                std::size_t workers) const {

@@ -74,6 +74,16 @@ class Conv2D final : public Layer {
                                std::size_t count, float* raw_out,
                                float* scratch, ThreadPool* pool) const;
 
+  /// Single-image convolution of one raw CHW (in_c, h, w) image into a plain
+  /// CHW output, running the same vectorized stride-1 kernel as every other
+  /// block_lowered() entry point (bit-identical per image). `pad_scratch`
+  /// must hold in_c * (h+2p) * (w+2p) floats when the conv pads (may be
+  /// null for padding-0 convs). This is the per-image building block of the
+  /// fused span-3 executor: conv -> pool -> activate without leaving the
+  /// worker's cache.
+  void conv_image(const float* img, std::size_t h, std::size_t w, float* out,
+                  float* pad_scratch) const;
+
   std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
   std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
   void init(Rng& rng) override;

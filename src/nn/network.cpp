@@ -105,8 +105,16 @@ BlockPlan Network::plan_block_range(const Shape& in_shape, std::size_t begin,
     }
     std::size_t scratch = 0;
     if (step.span == 3) {
-      scratch = conv->interleaved_scratch_floats(s, count, workers) +
-                align_floats(step.conv_out.numel() * count);
+      // Fused per-image execution: each worker holds one raw conv output
+      // image (plus one padded image when the conv pads) — a cache-resident
+      // working set independent of the tile size, instead of the former
+      // batch-sized interleaved block.
+      const std::size_t pad2 = 2 * conv->geometry().padding;
+      std::size_t per_worker = align_floats(step.conv_out.numel());
+      if (pad2 != 0) {
+        per_worker += align_floats(s[0] * (s[1] + pad2) * (s[2] + pad2));
+      }
+      scratch = workers * per_worker;
     } else {
       step.out_shape = layers_[i]->output_shape(s);
       scratch = layers_[i]->infer_block_scratch_floats(s, count, workers);
@@ -165,34 +173,59 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
       const auto& act =
           static_cast<const ElementwiseActivation&>(*layers_[step.first + 1]);
       const auto& pl = static_cast<const Pool2D&>(*layers_[step.first + 2]);
-      float* raw = step_scratch +
-                   conv.interleaved_scratch_floats(step.in_shape, count,
-                                                   plan.workers);
-      conv.infer_block_interleaved(step.in_shape, cur, count, raw, step_scratch,
-                                   pool);
-      // Max-pool straight off the interleaved raw block (image i's pixels sit
-      // in columns [i*pixels, (i+1)*pixels) of every channel row), then apply
-      // the activation to the pooled values. For a monotone activation
-      // max(act(x)) == act(max(x)) bit-exactly, and pooling raw values does
-      // ~window^2 fewer activation evaluations.
+      // Fully fused per image: conv -> raw CHW image in the worker's
+      // scratch slice -> max-pool -> bulk activation map, all before moving
+      // to the next image, so the raw conv output never leaves the worker's
+      // cache. Pooling raw values first does ~window^2
+      // fewer activation evaluations (max(act(x)) == act(max(x)) bit-
+      // exactly for the monotone activations the plan admits), and the
+      // map's vector lanes match apply() element for element, so any
+      // (batch, tile, thread) split is bit-identical to the serial path.
+      const std::size_t pad2 = 2 * conv.geometry().padding;
+      std::size_t per_worker = align_floats(step.conv_out.numel());
+      if (pad2 != 0) {
+        per_worker += align_floats(step.in_shape[0] *
+                                   (step.in_shape[1] + pad2) *
+                                   (step.in_shape[2] + pad2));
+      }
       struct FusedCtx {
+        const Conv2D* conv;
+        const ElementwiseActivation* act;
         const Pool2D* pool;
-        const float* raw;
+        const float* in;
         float* dst;
-        std::size_t pixels, stride, out_c, ch, cw, out_floats;
-      } ctx{&pl,
-            raw,
+        float* scratch;
+        std::size_t per_worker, raw_floats, in_floats, h, w;
+        std::size_t pixels, out_c, ch, cw, out_floats;
+        bool pad;
+      } ctx{&conv,
+            &act,
+            &pl,
+            cur,
             dst,
+            step_scratch,
+            per_worker,
+            align_floats(step.conv_out.numel()),
+            step.in_shape.numel(),
+            step.in_shape[1],
+            step.in_shape[2],
             step.conv_out[1] * step.conv_out[2],
-            count * step.conv_out[1] * step.conv_out[2],
             step.conv_out[0],
             step.conv_out[1],
             step.conv_out[2],
-            step.out_shape.numel()};
-      const auto run = [&ctx](std::size_t, std::size_t b, std::size_t e) {
+            step.out_shape.numel(),
+            pad2 != 0};
+      const auto run = [&ctx](std::size_t worker, std::size_t b,
+                              std::size_t e) {
+        float* raw = ctx.scratch + worker * ctx.per_worker;
+        float* padded = ctx.pad ? raw + ctx.raw_floats : nullptr;
         for (std::size_t i = b; i < e; ++i) {
-          ctx.pool->pool_image(ctx.raw + i * ctx.pixels, ctx.stride, ctx.out_c,
-                               ctx.ch, ctx.cw, ctx.dst + i * ctx.out_floats);
+          ctx.conv->conv_image(ctx.in + i * ctx.in_floats, ctx.h, ctx.w, raw,
+                               padded);
+          float* out_img = ctx.dst + i * ctx.out_floats;
+          ctx.pool->pool_image(raw, ctx.pixels, ctx.out_c, ctx.ch, ctx.cw,
+                               out_img);
+          ctx.act->map(out_img, out_img, ctx.out_floats);
         }
       };
       if (threaded) {
@@ -200,7 +233,6 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
       } else {
         run(0, 0, count);
       }
-      act.infer_block(step.out_shape, dst, dst, count, nullptr, pool);
     } else {
       layers_[step.first]->infer_block(step.in_shape, cur, dst, count,
                                        step_scratch, pool);

@@ -1,0 +1,196 @@
+#include "nn/qconv_direct.h"
+
+#include <cstdlib>
+
+#include "nn/qgemm.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CDL_QCONV_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace cdl {
+
+namespace {
+
+/// Register budget for the tap set: with <= 32 taps the packed pair weights
+/// fit a small stack array and the per-block inner loop stays unrolled-ish;
+/// larger tap sets amortize im2col + GEMM better anyway (stage-1 convs).
+constexpr std::size_t kMaxDirectTaps = 32;
+
+void qconv_scalar(const std::uint8_t* image, std::size_t c, std::size_t h,
+                  std::size_t w, std::size_t kernel,
+                  const std::int8_t* weights, std::size_t out_c,
+                  std::int32_t* out) {
+  const std::size_t oh = h - kernel + 1;
+  const std::size_t ow = w - kernel + 1;
+  const std::size_t wsz = c * kernel * kernel;
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const std::int8_t* wrow = weights + oc * wsz;
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        std::int32_t acc = 0;
+        const std::int8_t* wp = wrow;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            const std::uint8_t* irow = image + (ic * h + y + ky) * w + x;
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              acc += static_cast<std::int32_t>(*wp++) *
+                     static_cast<std::int32_t>(irow[kx]);
+            }
+          }
+        }
+        out[(oc * oh + y) * ow + x] = acc;
+      }
+    }
+  }
+}
+
+#ifdef CDL_QCONV_AVX2
+
+/// 8 output pixels per step: each (ic, ky, kx-pair) contributes one
+/// vpmaddubsw of interleaved pixel pairs against a broadcast (w[kx],
+/// w[kx+1]) byte pair, widened to s32 and accumulated. The interleave
+/// (unpacklo of the row at +kx and +kx+1) puts pixel j's pair at byte
+/// 2j/2j+1, so lane j of the widened product is exactly
+/// w[kx]*img[x+j+kx] + w[kx+1]*img[x+j+kx+1]. Odd kernels pair the last
+/// tap with a zero byte vector (no load past +kernel-1). s16 pair sums
+/// stay below 2*255*63 < 32767 under the kQgemmWeightMax bound, so nothing
+/// saturates and the result equals the scalar reference bit for bit.
+__attribute__((target("avx2"))) void qconv_avx2(const std::uint8_t* image,
+                                                std::size_t c, std::size_t h,
+                                                std::size_t w,
+                                                std::size_t kernel,
+                                                const std::int8_t* weights,
+                                                std::size_t out_c,
+                                                std::int32_t* out) {
+  const std::size_t oh = h - kernel + 1;
+  const std::size_t ow = w - kernel + 1;
+  const std::size_t wsz = c * kernel * kernel;
+  const __m128i zero8 = _mm_setzero_si128();
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    // Pre-broadcast the tap pairs for this output map once per map.
+    __m128i wpair[kMaxDirectTaps];
+    {
+      const std::int8_t* wrow = weights + oc * wsz;
+      std::size_t p = 0;
+      for (std::size_t t = 0; t < c * kernel; ++t) {
+        const std::int8_t* wk = wrow + t * kernel;
+        for (std::size_t kx = 0; kx < kernel; kx += 2) {
+          const std::uint8_t lo = static_cast<std::uint8_t>(wk[kx]);
+          const std::uint8_t hi =
+              kx + 1 < kernel ? static_cast<std::uint8_t>(wk[kx + 1]) : 0;
+          wpair[p++] = _mm_set1_epi16(
+              static_cast<short>(static_cast<std::uint16_t>(lo) |
+                                 (static_cast<std::uint16_t>(hi) << 8)));
+        }
+      }
+    }
+    for (std::size_t y = 0; y < oh; ++y) {
+      std::int32_t* orow = out + (oc * oh + y) * ow;
+      std::size_t x = 0;
+      bool tail_done = false;
+      while (!tail_done) {
+        if (x + 8 > ow) {
+          // Overlapped tail block: integer results are position-independent,
+          // so recomputing pixels [ow-8, ow) is an idempotent overwrite.
+          x = ow - 8;
+          tail_done = true;
+        }
+        __m256i acc = _mm256_setzero_si256();
+        const __m128i* wp = wpair;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            const std::uint8_t* irow = image + (ic * h + y + ky) * w + x;
+            for (std::size_t kx = 0; kx < kernel; kx += 2) {
+              const __m128i a = _mm_loadu_si128(
+                  reinterpret_cast<const __m128i*>(irow + kx));
+              const __m128i b =
+                  kx + 1 < kernel
+                      ? _mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(irow + kx + 1))
+                      : zero8;
+              const __m128i pr = _mm_unpacklo_epi8(a, b);
+              const __m128i prod = _mm_maddubs_epi16(pr, *wp++);
+              acc = _mm256_add_epi32(acc, _mm256_cvtepi16_epi32(prod));
+            }
+          }
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(orow + x), acc);
+        if (!tail_done) {
+          x += 8;
+          if (x == ow) tail_done = true;
+        }
+      }
+    }
+  }
+}
+
+#endif  // CDL_QCONV_AVX2
+
+using QconvFn = void (*)(const std::uint8_t*, std::size_t, std::size_t,
+                         std::size_t, std::size_t, const std::int8_t*,
+                         std::size_t, std::int32_t*);
+
+struct QconvKernel {
+  QconvFn fn;
+  const char* tier;
+};
+
+/// Same contract as the conv/qgemm kill switch.
+bool qconv_force_scalar_env() {
+  const char* value = std::getenv("CDL_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+QconvKernel select_qconv() {
+  if (!qconv_force_scalar_env()) {
+#ifdef CDL_QCONV_AVX2
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) return {qconv_avx2, "avx2-maddubs"};
+#endif
+  }
+  return {qconv_scalar, "scalar"};
+}
+
+const QconvKernel& qconv_kernel() {
+  static const QconvKernel kernel = select_qconv();
+  return kernel;
+}
+
+}  // namespace
+
+bool qconv_direct_supported(std::size_t c, std::size_t kernel,
+                            std::size_t ow) {
+  return c > 0 && kernel > 0 && c * kernel * kernel <= kMaxDirectTaps &&
+         ow >= 8;
+}
+
+const char* qconv_dispatch_tier() { return qconv_kernel().tier; }
+
+bool qconv_direct_profitable(std::size_t taps) {
+  // Measured on the paper shapes (Release, single image): against an AVX2
+  // or scalar GEMM the direct walk always wins (same arithmetic, no pack).
+  // Against an AVX-512-VNNI GEMM (vpdpbusd: 4 MACs/lane/instruction, twice
+  // the maddubs rate) the pack amortizes — 3x3 c=1 still wins ~1.2x, but
+  // 5x5 c=1 (25 taps) loses ~2.2x — so keep only tiny tap sets direct.
+  if (qgemm_tier() != QgemmTier::kAvx512Vnni) return true;
+  return taps <= 9;
+}
+
+void qconv_direct(const std::uint8_t* image, std::size_t c, std::size_t h,
+                  std::size_t w, std::size_t kernel,
+                  const std::int8_t* weights, std::size_t out_c,
+                  std::int32_t* out) {
+  qconv_kernel().fn(image, c, h, w, kernel, weights, out_c, out);
+}
+
+void qconv_direct_reference(const std::uint8_t* image, std::size_t c,
+                            std::size_t h, std::size_t w, std::size_t kernel,
+                            const std::int8_t* weights, std::size_t out_c,
+                            std::int32_t* out) {
+  qconv_scalar(image, c, h, w, kernel, weights, out_c, out);
+}
+
+}  // namespace cdl

@@ -1,0 +1,72 @@
+// Direct (im2col-free) u8 x s8 -> s32 convolution for small-c_in first
+// layers.
+//
+// The quantized cascade's stage-0 convs have c_in = 1 and tiny kernels, so
+// the byte-im2col + packed-GEMM route spends more time materializing the
+// patch matrix than multiplying it. This kernel convolves the CHW u8 image
+// in place: the AVX2 tier processes 8 output pixels per step, consuming
+// kernel taps in adjacent-kx pairs via vpmaddubsw (unsigned pixel x signed
+// weight), widening to s32 per pair. All arithmetic is integer, so the
+// scalar reference and the vector tier are bit-identical by construction —
+// the same exactness argument as nn/qgemm.h, and the same weight bound
+// applies: callers must keep |weights| <= kQgemmWeightMax (63) so the s16
+// pair sums cannot saturate.
+//
+// Row tails are handled by re-running the last full 8-pixel block at
+// x = ow - 8 (integer results are idempotent), which is why
+// qconv_direct_supported requires ow >= 8. The pair loads read up to
+// kQconvSlackBytes past the *buffer* end on the final row; callers must
+// allocate input buffers with that much readable slack (the quantized
+// cascade's u8 arenas do).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdl {
+
+/// Readable bytes the AVX2 tier may touch past the end of the input image
+/// buffer (tail-block pair loads on the last row).
+inline constexpr std::size_t kQconvSlackBytes = 16;
+
+/// True when (c, kernel, ow) fits the direct kernel: the whole tap set must
+/// stay register-resident (c * kernel^2 <= 32 taps) and rows must carry at
+/// least one full 8-pixel block. Callers keep the im2col + GEMM route
+/// otherwise.
+[[nodiscard]] bool qconv_direct_supported(std::size_t c, std::size_t kernel,
+                                          std::size_t ow);
+
+/// Tier qconv_direct dispatches to ("avx2-maddubs" or "scalar"), resolved
+/// once at first use; CDL_FORCE_SCALAR pins the scalar tier.
+[[nodiscard]] const char* qconv_dispatch_tier();
+
+/// True when routing a supported shape through qconv_direct is expected to
+/// beat byte-im2col + qgemm_packed on this CPU. Both routes produce the
+/// same s32 accumulators bit for bit, so this is pure dispatch: without
+/// VNNI the GEMM runs the same maddubs arithmetic as the direct kernel and
+/// skipping the pack always wins; a VNNI GEMM doubles the per-instruction
+/// MAC rate and amortizes the pack across output channels, so the
+/// pack-free walk only wins while the tap set is tiny (measured crossover
+/// between 9 and 25 taps on an AVX-512-VNNI host).
+[[nodiscard]] bool qconv_direct_profitable(std::size_t taps);
+
+/// Valid stride-1 convolution of one CHW u8 image (c, h, w) with row-major
+/// s8 weights (out_c, c*kernel*kernel; taps in (ic, ky, kx) order — the
+/// Conv2D / qgemm_pack_b_im2col tap order), writing the s32 output CHW
+/// (out_c, oh, ow), oh = h-kernel+1, ow = w-kernel+1. No bias: the caller's
+/// dequantize epilogue applies it, exactly like the GEMM route. Requires
+/// qconv_direct_supported(c, kernel, ow) and kQconvSlackBytes of readable
+/// slack after `image`'s buffer.
+void qconv_direct(const std::uint8_t* image, std::size_t c, std::size_t h,
+                  std::size_t w, std::size_t kernel,
+                  const std::int8_t* weights, std::size_t out_c,
+                  std::int32_t* out);
+
+/// Portable scalar reference (plain s32 triple loop) — always available
+/// regardless of dispatch; the kernel tests hold every tier to it.
+void qconv_direct_reference(const std::uint8_t* image, std::size_t c,
+                            std::size_t h, std::size_t w, std::size_t kernel,
+                            const std::int8_t* weights, std::size_t out_c,
+                            std::int32_t* out);
+
+}  // namespace cdl

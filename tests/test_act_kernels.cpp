@@ -1,0 +1,259 @@
+// Bit-identity and accuracy properties of the nn/act_kernels activation
+// kernels.
+//
+// The contract under test (see nn/act_kernels.h): the dispatched vector maps
+// produce byte-identical output to the scalar reference (sigmoid_approx /
+// tanh_approx) for every element, the fused dequant plane kernels match the
+// scalar fusion, any split of a range across calls is bit-identical to one
+// call, and the approximation error versus the double-precision
+// 1/(1+exp(-x)) reference stays within the advertised bounds. The SIMD-vs-
+// scalar comparison is meaningful on AVX2/AVX-512 hosts and degenerates to
+// scalar-vs-scalar elsewhere (and under CDL_FORCE_SCALAR, which CI runs).
+#include "nn/act_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/activations.h"
+
+namespace cdl {
+namespace {
+
+std::uint32_t bits_of(float x) {
+  std::uint32_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+/// Inputs covering the interesting regions: dense sweep of the sigmoid's
+/// useful range, the clamp boundaries, huge magnitudes, zeros, denormals,
+/// and infinities. (NaN is excluded from the sweep; its bitwise propagation
+/// is covered by the explicit NaN test below.)
+std::vector<float> test_inputs() {
+  std::vector<float> xs;
+  for (float x = -30.0F; x <= 30.0F; x += 0.00731F) xs.push_back(x);
+  for (float x = -120.0F; x <= 120.0F; x += 1.37F) xs.push_back(x);
+  const float specials[] = {0.0F,
+                            -0.0F,
+                            1e-30F,
+                            -1e-30F,
+                            1e-38F,
+                            -1e-38F,
+                            1e-45F,  // denormal
+                            -1e-45F,
+                            86.9F,
+                            -86.9F,
+                            87.0F,
+                            -87.0F,
+                            88.0F,
+                            -88.0F,
+                            1e30F,
+                            -1e30F,
+                            std::numeric_limits<float>::max(),
+                            std::numeric_limits<float>::lowest(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity()};
+  xs.insert(xs.end(), std::begin(specials), std::end(specials));
+  return xs;
+}
+
+TEST(ActKernels, SigmoidMapMatchesScalarBitwise) {
+  const std::vector<float> xs = test_inputs();
+  std::vector<float> out(xs.size());
+  sigmoid_map(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(bits_of(out[i]), bits_of(sigmoid_approx(xs[i])))
+        << "x = " << xs[i] << " (tier " << act_dispatch_tier() << ", i = "
+        << i << ")";
+  }
+}
+
+TEST(ActKernels, TanhMapMatchesScalarBitwise) {
+  const std::vector<float> xs = test_inputs();
+  std::vector<float> out(xs.size());
+  tanh_map(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(bits_of(out[i]), bits_of(tanh_approx(xs[i])))
+        << "x = " << xs[i] << " (tier " << act_dispatch_tier() << ")";
+  }
+}
+
+TEST(ActKernels, ReluMapMatchesScalarBitwise) {
+  const std::vector<float> xs = test_inputs();
+  std::vector<float> out(xs.size());
+  relu_map(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const float ref = xs[i] > 0.0F ? xs[i] : 0.0F;
+    ASSERT_EQ(bits_of(out[i]), bits_of(ref)) << "x = " << xs[i];
+  }
+}
+
+TEST(ActKernels, NanInputPropagatesBitwise) {
+  // NaN must come out as NaN with the input's exact payload bits on every
+  // tier (scalar ternary vs SIMD cmp-unordered + blend of the input): the
+  // trainer's non-finite divergence guard depends on poisoned weights
+  // surfacing as a non-finite loss, and bit-identity across tiers depends on
+  // the payload not being rewritten by arithmetic.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  float out = 0.0F;
+  sigmoid_map(&nan, &out, 1);
+  EXPECT_EQ(bits_of(out), bits_of(nan));
+  EXPECT_EQ(bits_of(sigmoid_approx(nan)), bits_of(nan));
+  tanh_map(&nan, &out, 1);
+  EXPECT_EQ(bits_of(out), bits_of(nan));
+  EXPECT_EQ(bits_of(tanh_approx(nan)), bits_of(nan));
+  // A full vector of NaNs exercises the wide lanes, not just the tail.
+  std::vector<float> nans(16, nan);
+  std::vector<float> wide(16, 0.0F);
+  sigmoid_map(nans.data(), wide.data(), nans.size());
+  for (const float v : wide) EXPECT_EQ(bits_of(v), bits_of(nan));
+}
+
+TEST(ActKernels, SplitInvariance) {
+  // Mapping a whole array equals mapping arbitrary subranges: the executor
+  // relies on this when tiles, threads and vector groups slice a batch.
+  const std::vector<float> xs = test_inputs();
+  std::vector<float> whole(xs.size());
+  sigmoid_map(xs.data(), whole.data(), xs.size());
+  const std::size_t cuts[] = {1, 3, 7, 8, 13, 16, 64};
+  for (const std::size_t step : cuts) {
+    std::vector<float> split(xs.size());
+    for (std::size_t b = 0; b < xs.size(); b += step) {
+      const std::size_t n = std::min(step, xs.size() - b);
+      sigmoid_map(xs.data() + b, split.data() + b, n);
+    }
+    ASSERT_EQ(0, std::memcmp(whole.data(), split.data(),
+                             xs.size() * sizeof(float)))
+        << "split step " << step;
+  }
+}
+
+TEST(ActKernels, InPlaceMap) {
+  const std::vector<float> xs = test_inputs();
+  std::vector<float> ref(xs.size());
+  sigmoid_map(xs.data(), ref.data(), xs.size());
+  std::vector<float> buf = xs;
+  sigmoid_map(buf.data(), buf.data(), buf.size());
+  EXPECT_EQ(0, std::memcmp(ref.data(), buf.data(), xs.size() * sizeof(float)));
+}
+
+TEST(ActKernels, SigmoidAccuracyVsExp) {
+  // Dense sweep against the double-precision logistic; the bound must hold
+  // everywhere, including at the clamp boundary (sigmoid(87) vs 1 differs by
+  // ~e^-87, far below the bound).
+  float max_err = 0.0F;
+  for (float x = -90.0F; x <= 90.0F; x += 0.00173F) {
+    const double ref = 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+    const float err =
+        std::fabs(static_cast<float>(static_cast<double>(sigmoid_approx(x)) -
+                                     ref));
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_LE(max_err, kSigmoidMaxAbsError);
+  // The bound is tight enough to be meaningful, not an order too loose.
+  EXPECT_GE(max_err, kSigmoidMaxAbsError / 100.0F);
+}
+
+TEST(ActKernels, TanhAccuracyVsStdTanh) {
+  float max_err = 0.0F;
+  for (float x = -45.0F; x <= 45.0F; x += 0.00173F) {
+    const double ref = std::tanh(static_cast<double>(x));
+    const float err = std::fabs(
+        static_cast<float>(static_cast<double>(tanh_approx(x)) - ref));
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_LE(max_err, kTanhMaxAbsError);
+}
+
+TEST(ActKernels, SigmoidExactAtZeroAndSaturation) {
+  // sigmoid(0) must be exactly 0.5 (the polynomial gives e^0 == 1 exactly),
+  // and the tails must saturate to the correct limits without overflow.
+  EXPECT_EQ(bits_of(sigmoid_approx(0.0F)), bits_of(0.5F));
+  EXPECT_EQ(bits_of(sigmoid_approx(-0.0F)), bits_of(0.5F));
+  EXPECT_EQ(sigmoid_approx(200.0F), sigmoid_approx(87.0F));
+  EXPECT_EQ(sigmoid_approx(-200.0F), sigmoid_approx(-87.0F));
+  EXPECT_NEAR(sigmoid_approx(100.0F), 1.0F, 1e-6F);
+  EXPECT_NEAR(sigmoid_approx(-100.0F), 0.0F, 1e-6F);
+  EXPECT_TRUE(std::isfinite(
+      sigmoid_approx(std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isfinite(
+      sigmoid_approx(-std::numeric_limits<float>::infinity())));
+}
+
+TEST(ActKernels, SigmoidMonotoneOnSweep) {
+  // The batched executor commutes the activation past max-pooling, which
+  // requires monotonicity; verify it holds for the approximation (adjacent
+  // outputs never decrease over a fine sweep).
+  float prev = sigmoid_approx(-90.0F);
+  for (float x = -90.0F; x <= 90.0F; x += 0.0137F) {
+    const float y = sigmoid_approx(x);
+    ASSERT_GE(y, prev) << "x = " << x;
+    prev = y;
+  }
+}
+
+TEST(ActKernels, DequantPlanesMatchScalarFusion) {
+  // The fused s32 -> float -> activate plane kernels must agree with the
+  // scalar composition for every element and activation.
+  std::vector<std::int32_t> acc;
+  for (std::int32_t v = -5000; v <= 5000; v += 7) acc.push_back(v * 101);
+  acc.push_back(std::numeric_limits<std::int32_t>::max());
+  acc.push_back(std::numeric_limits<std::int32_t>::min());
+  const float mult = 3.17e-4F;
+  const float bias = -0.23F;
+  std::vector<float> out(acc.size());
+
+  dequant_sigmoid_plane(acc.data(), acc.size(), mult, bias, out.data());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const float x = std::fmaf(static_cast<float>(acc[i]), mult, bias);
+    ASSERT_EQ(bits_of(out[i]), bits_of(sigmoid_approx(x))) << "i = " << i;
+  }
+  dequant_tanh_plane(acc.data(), acc.size(), mult, bias, out.data());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const float x = std::fmaf(static_cast<float>(acc[i]), mult, bias);
+    ASSERT_EQ(bits_of(out[i]), bits_of(tanh_approx(x))) << "i = " << i;
+  }
+  dequant_relu_plane(acc.data(), acc.size(), mult, bias, out.data());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const float x = std::fmaf(static_cast<float>(acc[i]), mult, bias);
+    const float ref = x > 0.0F ? x : 0.0F;
+    ASSERT_EQ(bits_of(out[i]), bits_of(ref)) << "i = " << i;
+  }
+}
+
+TEST(ActKernels, TrainerForwardMatchesBulkMap) {
+  // Sigmoid::forward (the trainer path, per-element apply()) and the
+  // batched map() must agree bitwise — train/eval consistency.
+  const std::vector<float> xs = test_inputs();
+  Sigmoid sig;
+  Tensor in(Shape{xs.size()});
+  std::memcpy(in.data(), xs.data(), xs.size() * sizeof(float));
+  const Tensor fwd = sig.forward(in);
+  std::vector<float> mapped(xs.size());
+  sig.map(xs.data(), mapped.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(bits_of(fwd[i]), bits_of(mapped[i])) << "x = " << xs[i];
+    ASSERT_EQ(bits_of(fwd[i]), bits_of(sigmoid_approx(xs[i])));
+  }
+
+  Tanh th;
+  const Tensor fwd_t = th.forward(in);
+  th.map(xs.data(), mapped.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(bits_of(fwd_t[i]), bits_of(mapped[i])) << "x = " << xs[i];
+  }
+}
+
+TEST(ActKernels, DispatchTierIsKnown) {
+  const std::string tier = act_dispatch_tier();
+  EXPECT_TRUE(tier == "scalar" || tier == "avx2-fma" || tier == "avx512f")
+      << tier;
+}
+
+}  // namespace
+}  // namespace cdl

@@ -1,0 +1,158 @@
+// nn/qconv_direct: the direct (im2col-free) u8 x s8 convolution must equal
+// both its scalar reference and the byte-im2col + packed-GEMM route bit for
+// bit — all-integer arithmetic, so "close" is not a thing. Shapes cover the
+// supported envelope (c * k^2 <= 32 taps, ow >= 8) including odd kernels
+// (zero-paired last tap), ow == 8 (tail block == first block) and ow % 8 != 0
+// (overlapped tail). Inputs are allocated with kQconvSlackBytes of readable
+// slack, as the kernel contract requires.
+#include "nn/qconv_direct.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "nn/qgemm.h"
+
+namespace cdl {
+namespace {
+
+/// Deterministic LCG so failures reproduce; values span the full u8 range
+/// and the full legal weight range [-kQgemmWeightMax, kQgemmWeightMax].
+struct Lcg {
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  std::uint32_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(state >> 33);
+  }
+};
+
+struct Case {
+  std::size_t c, h, w, kernel, out_c;
+};
+
+void run_case(const Case& cs) {
+  const std::size_t oh = cs.h - cs.kernel + 1;
+  const std::size_t ow = cs.w - cs.kernel + 1;
+  ASSERT_TRUE(qconv_direct_supported(cs.c, cs.kernel, ow))
+      << cs.c << "x" << cs.h << "x" << cs.w << " k" << cs.kernel;
+  const std::size_t wsz = cs.c * cs.kernel * cs.kernel;
+
+  Lcg rng;
+  std::vector<std::uint8_t> image(cs.c * cs.h * cs.w + kQconvSlackBytes);
+  for (auto& v : image) v = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::int8_t> weights(cs.out_c * wsz);
+  for (auto& v : weights) {
+    v = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(rng.next() % 127U) - kQgemmWeightMax);
+  }
+
+  const std::size_t out_elems = cs.out_c * oh * ow;
+  std::vector<std::int32_t> got(out_elems, -1);
+  std::vector<std::int32_t> ref(out_elems, -2);
+  qconv_direct(image.data(), cs.c, cs.h, cs.w, cs.kernel, weights.data(),
+               cs.out_c, got.data());
+  qconv_direct_reference(image.data(), cs.c, cs.h, cs.w, cs.kernel,
+                         weights.data(), cs.out_c, ref.data());
+  ASSERT_EQ(0,
+            std::memcmp(got.data(), ref.data(),
+                        out_elems * sizeof(std::int32_t)))
+      << "direct vs reference, " << cs.c << "x" << cs.h << "x" << cs.w << " k"
+      << cs.kernel << " oc" << cs.out_c << " (tier " << qconv_dispatch_tier()
+      << ")";
+
+  // Cross-check against the im2col + packed-GEMM route the cascade used
+  // before: same integers in, so the s32 accumulators must be identical.
+  const std::size_t pixels = oh * ow;
+  std::vector<std::int8_t> packed_a(qgemm_packed_a_bytes(cs.out_c, wsz));
+  qgemm_pack_a(cs.out_c, wsz, weights.data(), packed_a.data());
+  std::vector<std::uint8_t> packed_b(qgemm_packed_b_bytes(wsz, pixels));
+  const std::size_t panels = (pixels + kQgemmNr - 1) / kQgemmNr;
+  qgemm_pack_b_im2col(image.data(), 1, cs.c, cs.h, cs.w, cs.kernel,
+                      packed_b.data(), 0, panels);
+  std::vector<std::int32_t> gemm_out(out_elems, -3);
+  qgemm_packed({cs.out_c, wsz, pixels}, packed_a.data(), packed_b.data(),
+               gemm_out.data(), nullptr);
+  ASSERT_EQ(0,
+            std::memcmp(got.data(), gemm_out.data(),
+                        out_elems * sizeof(std::int32_t)))
+      << "direct vs im2col+GEMM, " << cs.c << "x" << cs.h << "x" << cs.w
+      << " k" << cs.kernel << " oc" << cs.out_c;
+}
+
+TEST(QconvDirect, MatchesReferenceAndGemmAcrossShapes) {
+  const Case cases[] = {
+      {1, 28, 28, 5, 6},   // MNIST stage-0 geometry
+      {1, 32, 32, 5, 6},   // CIFAR-sized plane
+      {1, 12, 12, 5, 12},  // small plane, ow == 8 exactly
+      {1, 16, 16, 3, 7},   // odd tap count per row, ow % 8 != 0
+      {1, 9, 9, 2, 4},     // even kernel, ow == 8
+      {1, 15, 31, 1, 3},   // 1x1 kernel, non-square
+      {2, 14, 14, 3, 5},   // two input channels (18 taps)
+      {2, 11, 19, 2, 8},   // two channels, even kernel
+      {32, 4, 11, 1, 2},   // tap budget boundary: 32 * 1 * 1 == 32 taps
+  };
+  for (const Case& cs : cases) run_case(cs);
+}
+
+TEST(QconvDirect, SupportedGate) {
+  // Tap budget: c * k^2 <= 32.
+  EXPECT_TRUE(qconv_direct_supported(1, 5, 24));   // 25 taps
+  EXPECT_FALSE(qconv_direct_supported(2, 5, 24));  // 50 taps
+  EXPECT_TRUE(qconv_direct_supported(3, 3, 24));   // 27 taps
+  EXPECT_FALSE(qconv_direct_supported(4, 3, 24));  // 36 taps
+  // Row width: at least one full 8-pixel block.
+  EXPECT_TRUE(qconv_direct_supported(1, 5, 8));
+  EXPECT_FALSE(qconv_direct_supported(1, 5, 7));
+  // Degenerate geometry.
+  EXPECT_FALSE(qconv_direct_supported(0, 5, 24));
+  EXPECT_FALSE(qconv_direct_supported(1, 0, 24));
+}
+
+TEST(QconvDirect, ProfitabilityGateTracksGemmTier) {
+  // Pure dispatch policy (both routes are bit-identical), but it must be
+  // deterministic per host: direct always wins against non-VNNI GEMMs (same
+  // maddubs arithmetic, no pack step); on VNNI hosts the packed GEMM's
+  // doubled MAC rate wins back everything but tiny tap sets.
+  if (qgemm_tier() == QgemmTier::kAvx512Vnni) {
+    EXPECT_TRUE(qconv_direct_profitable(9));    // 3x3 c=1 still wins
+    EXPECT_FALSE(qconv_direct_profitable(25));  // 5x5 c=1 loses to vpdpbusd
+  } else {
+    EXPECT_TRUE(qconv_direct_profitable(9));
+    EXPECT_TRUE(qconv_direct_profitable(25));
+  }
+}
+
+TEST(QconvDirect, DispatchTierIsKnown) {
+  const std::string tier = qconv_dispatch_tier();
+  EXPECT_TRUE(tier == "scalar" || tier == "avx2-maddubs") << tier;
+}
+
+TEST(QconvDirect, ExtremeWeightsDoNotSaturate) {
+  // All-ones image at 255 with all weights at +/-kQgemmWeightMax maximizes
+  // the s16 pair sums the AVX2 tier forms; the result must still equal the
+  // plain s32 reference (the saturation-safety argument in the header).
+  const Case cs{1, 12, 20, 5, 2};
+  const std::size_t oh = cs.h - cs.kernel + 1;
+  const std::size_t ow = cs.w - cs.kernel + 1;
+  const std::size_t wsz = cs.kernel * cs.kernel;
+  std::vector<std::uint8_t> image(cs.h * cs.w + kQconvSlackBytes, 255);
+  std::vector<std::int8_t> weights(cs.out_c * wsz);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] =
+        static_cast<std::int8_t>(i % 2 == 0 ? kQgemmWeightMax
+                                            : -kQgemmWeightMax);
+  }
+  std::vector<std::int32_t> got(cs.out_c * oh * ow);
+  std::vector<std::int32_t> ref(cs.out_c * oh * ow);
+  qconv_direct(image.data(), cs.c, cs.h, cs.w, cs.kernel, weights.data(),
+               cs.out_c, got.data());
+  qconv_direct_reference(image.data(), cs.c, cs.h, cs.w, cs.kernel,
+                         weights.data(), cs.out_c, ref.data());
+  EXPECT_EQ(0, std::memcmp(got.data(), ref.data(),
+                           got.size() * sizeof(std::int32_t)));
+}
+
+}  // namespace
+}  // namespace cdl
