@@ -46,6 +46,12 @@ struct ServingRow {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  /// Mean per-phase latency decomposition: these three sum to mean_ms (the
+  /// engine's stamps partition each request's latency exactly).
+  double queue_mean_ms = 0.0;
+  double batch_mean_ms = 0.0;
+  double compute_mean_ms = 0.0;
   bool identical_to_offline = false;
 };
 
@@ -112,6 +118,10 @@ ServingRow serve_row(const std::string& network, const std::string& precision,
   row.p50_ms = slo.p50_ms;
   row.p95_ms = slo.p95_ms;
   row.p99_ms = slo.p99_ms;
+  row.mean_ms = slo.mean_ms;
+  row.queue_mean_ms = slo.queue_mean_ms;
+  row.batch_mean_ms = slo.batch_mean_ms;
+  row.compute_mean_ms = slo.compute_mean_ms;
   row.sustained_ips =
       wall_s > 0.0 ? static_cast<double>(slo.completed) / wall_s : 0.0;
   return row;
@@ -296,7 +306,7 @@ int main(int argc, char** argv) {
      << ",\n    \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ServingRow& r = rows[i];
-    char buf[640];
+    char buf[1024];
     std::snprintf(
         buf, sizeof buf,
         "      {\"network\": \"%s\", \"precision\": \"%s\", "
@@ -304,14 +314,18 @@ int main(int argc, char** argv) {
         "\"completed\": %llu, \"rejected\": %llu, \"expired\": %llu, "
         "\"slo_miss\": %llu, \"sustained_ips\": %.2f, \"mean_batch\": %.3f, "
         "\"latency_ms_p50\": %.3f, \"latency_ms_p95\": %.3f, "
-        "\"latency_ms_p99\": %.3f, \"identical_to_offline\": %s}%s\n",
+        "\"latency_ms_p99\": %.3f, \"latency_ms_mean\": %.4f, "
+        "\"phase_ms_queue_mean\": %.4f, \"phase_ms_batch_mean\": %.4f, "
+        "\"phase_ms_compute_mean\": %.4f, "
+        "\"identical_to_offline\": %s}%s\n",
         r.network.c_str(), r.precision.c_str(), r.offered_rate_ips,
         static_cast<unsigned long long>(r.submitted),
         static_cast<unsigned long long>(r.completed),
         static_cast<unsigned long long>(r.rejected),
         static_cast<unsigned long long>(r.expired),
         static_cast<unsigned long long>(r.slo_miss), r.sustained_ips,
-        r.mean_batch, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.mean_batch, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms,
+        r.queue_mean_ms, r.batch_mean_ms, r.compute_mean_ms,
         r.identical_to_offline ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
     js << buf;

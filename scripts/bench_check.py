@@ -50,8 +50,17 @@ were unavailable.
 **Serve-report mode** (--validate-serving FILE): validate a
 cdl-serve-report/1 JSON produced by `cdl_serve --report`. Checks the schema,
 that per-model request accounting balances (submitted = accepted + rejected,
-accepted = completed + expired + shutdown), and that the latency percentiles
-are ordered.
+accepted = completed + expired + shutdown), that the latency percentiles are
+ordered, that the per-phase latency means (queue / batch / compute) sum to
+the end-to-end mean, that exit counts balance against completions, and that
+the drift block respects its bounds.
+
+**Telemetry mode** (--validate-telemetry FILE): validate a
+cdl-serve-telemetry/1 JSONL stream produced by `cdl_serve --telemetry-out`.
+Every line must parse, the header must lead, timestamps must be monotonic,
+per-model counters may only increase across samples, exit counts must sum to
+completions, and drift scores must stay in bounds. May be combined with
+--validate-serving to check both artifacts of one run.
 
 **Train-report mode** (--validate-train-report FILE): validate a
 cdl-train-report/1 JSON produced by `cdl_train --train-report`. Checks the
@@ -255,6 +264,65 @@ def check_percentile_order(row, where):
              f"(p50={p50}, p95={p95}, p99={p99})")
 
 
+def check_phase_sum(queue_ms, batch_ms, compute_ms, mean_ms, where,
+                    abs_tol=2e-3):
+    """The engine derives the three phases from the latency's own clock
+    stamps, so their means must sum to the end-to-end mean (tolerance covers
+    JSON rounding only)."""
+    for name, value in (("queue", queue_ms), ("batch", batch_ms),
+                        ("compute", compute_ms)):
+        if value < 0:
+            fail(f"{where}: phase '{name}' mean is negative ({value})")
+    total = queue_ms + batch_ms + compute_ms
+    if not math.isclose(total, mean_ms, rel_tol=1e-4, abs_tol=abs_tol):
+        fail(f"{where}: phase decomposition broken -- queue {queue_ms} + "
+             f"batch {batch_ms} + compute {compute_ms} = {total} != "
+             f"latency mean {mean_ms}")
+
+
+def check_drift_block(drift, where):
+    windows = require(drift, "windows", int, where)
+    events = require(drift, "events", int, where)
+    score = require(drift, "score", (int, float), where)
+    max_score = require(drift, "max_score", (int, float), where)
+    first = require(drift, "first_drift_window", int, where)
+    if windows < 0 or events < 0:
+        fail(f"{where}: negative drift counters")
+    if events > windows:
+        fail(f"{where}: drift events {events} exceed scored windows "
+             f"{windows}")
+    # Scores are chi-square distances (>= 0) once a window scored; the
+    # sentinel -1 means no window completed yet.
+    for name, value in (("score", score), ("max_score", max_score)):
+        if value < 0 and value != -1:
+            fail(f"{where}: drift {name} {value} outside [0, inf) and not "
+                 f"the -1 sentinel")
+    if windows == 0 and (score != -1 or max_score != -1):
+        fail(f"{where}: no scored windows but drift score is {score}")
+    if score > max_score:
+        fail(f"{where}: latest drift score {score} exceeds max_score "
+             f"{max_score}")
+    if events > 0 and first < 0:
+        fail(f"{where}: {events} drift events but first_drift_window is "
+             f"{first}")
+    if events == 0 and first != -1:
+        fail(f"{where}: no drift events but first_drift_window is {first}")
+
+
+def check_exits(exits, completed, where):
+    if not isinstance(exits, list):
+        fail(f"{where}: exits should be a list")
+    total = 0
+    for i, count in enumerate(exits):
+        if not isinstance(count, int) or count < 0:
+            fail(f"{where}: exits[{i}] should be a non-negative int, got "
+                 f"{count!r}")
+        total += count
+    if total != completed:
+        fail(f"{where}: exit counts sum to {total} but {completed} requests "
+             f"completed")
+
+
 def validate_serving_section(doc, path):
     """Schema + invariants of the bench/serving section, when present."""
     if "serving" not in doc:
@@ -285,6 +353,18 @@ def validate_serving_section(doc, path):
                  f"{row['expired']} = {accounted} != submitted "
                  f"{row['submitted']}")
         check_percentile_order(row, row_where)
+        # Phase breakdown fields (absent in pre-phase baselines).
+        if "phase_ms_queue_mean" in row:
+            check_phase_sum(
+                float(require(row, "phase_ms_queue_mean", (int, float),
+                              row_where)),
+                float(require(row, "phase_ms_batch_mean", (int, float),
+                              row_where)),
+                float(require(row, "phase_ms_compute_mean", (int, float),
+                              row_where)),
+                float(require(row, "latency_ms_mean", (int, float),
+                              row_where)),
+                row_where)
         if not require(row, "identical_to_offline", bool, row_where):
             fail(f"{row_where}: served results are not bit-identical to "
                  f"offline batch inference -- serving determinism broken")
@@ -326,9 +406,127 @@ def validate_serve_report(path):
         check_percentile_order(row, row_where)
         for key in ("latency_ms_mean", "latency_ms_max"):
             require(row, key, (int, float), row_where)
+        phase = require(row, "phase_ms", dict, row_where)
+        phase_where = f"{row_where}.phase_ms"
+        for key in ("queue_p50", "queue_p95", "queue_p99", "queue_mean",
+                    "batch_p50", "batch_p95", "batch_p99", "batch_mean",
+                    "compute_p50", "compute_p95", "compute_p99",
+                    "compute_mean"):
+            require(phase, key, (int, float), phase_where)
+        if row["completed"] > 0:
+            check_phase_sum(float(phase["queue_mean"]),
+                            float(phase["batch_mean"]),
+                            float(phase["compute_mean"]),
+                            float(row["latency_ms_mean"]), phase_where)
+        check_exits(require(row, "exits", list, row_where), row["completed"],
+                    f"{row_where}.exits")
+        check_drift_block(require(row, "drift", dict, row_where),
+                          f"{row_where}.drift")
     print(f"{path}: valid {SERVE_REPORT_SCHEMA} ({doc['images']} images, "
           f"{len(models)} model(s), accounting balanced, percentiles "
-          f"ordered)")
+          f"ordered, phase decomposition exact, drift block sane)")
+
+
+# --- serve-telemetry (JSONL) validation ---------------------------------------
+
+SERVE_TELEMETRY_SCHEMA = "cdl-serve-telemetry/1"
+TELEMETRY_COUNTER_KEYS = ("submitted", "accepted", "completed", "rejected",
+                          "expired", "slo_miss", "batches")
+
+
+def validate_telemetry(path):
+    """Validates a cdl-serve-telemetry/1 JSONL stream: every line parses, the
+    header leads, timestamps are monotonic, per-model counters only ever
+    increase (counter semantics), gauges stay in range, exit counts balance
+    against completions, and drift scores respect their bounds."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not lines:
+        fail(f"{path}: empty telemetry stream")
+
+    events = []
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not valid JSON ({e.msg})")
+        if not isinstance(events[-1], dict):
+            fail(f"{path}:{i + 1}: every line must be a JSON object")
+        schema = events[-1].get("schema")
+        if schema != SERVE_TELEMETRY_SCHEMA:
+            fail(f"{path}:{i + 1}: schema is {schema!r}, expected "
+                 f"'{SERVE_TELEMETRY_SCHEMA}'")
+
+    header = events[0]
+    if header.get("event") != "start":
+        fail(f"{path}: first event is {header.get('event')!r}, expected "
+             f"'start' (rotated files restart with a fresh header)")
+    for key in ("t_ns", "interval_ns", "rotate_bytes"):
+        require(header, key, int, f"{path}:1")
+    declared = require(header, "models", list, f"{path}:1")
+
+    samples = 0
+    last_t = header["t_ns"]
+    last_counters = {}  # model name -> {counter: value}
+    for i, event in enumerate(events[1:], start=2):
+        where = f"{path}:{i}"
+        kind = event.get("event")
+        if kind != "sample":
+            fail(f"{where}: unexpected event {kind!r} after the header")
+        t = require(event, "t_ns", int, where)
+        if t < last_t:
+            fail(f"{where}: t_ns went backwards ({t} < {last_t}) -- "
+                 f"timestamps must be monotonic")
+        last_t = t
+        for key in ("queue_depth", "in_flight"):
+            if require(event, key, int, where) < 0:
+                fail(f"{where}: gauge '{key}' is negative")
+        models = require(event, "models", list, where)
+        if len(models) > len(declared):
+            fail(f"{where}: sample reports {len(models)} models but the "
+                 f"header declared {len(declared)}")
+        for j, row in enumerate(models):
+            row_where = f"{where}.models[{j}]"
+            name = require(row, "model", str, row_where)
+            for key in TELEMETRY_COUNTER_KEYS:
+                if require(row, key, int, row_where) < 0:
+                    fail(f"{row_where}: '{key}' is negative")
+            if row["accepted"] + row["rejected"] != row["submitted"]:
+                fail(f"{row_where}: accepted {row['accepted']} + rejected "
+                     f"{row['rejected']} != submitted {row['submitted']}")
+            if row["completed"] + row["expired"] > row["accepted"]:
+                fail(f"{row_where}: completed {row['completed']} + expired "
+                     f"{row['expired']} exceed accepted {row['accepted']}")
+            prev = last_counters.get(name)
+            if prev is not None:
+                for key in TELEMETRY_COUNTER_KEYS:
+                    if row[key] < prev[key]:
+                        fail(f"{row_where}: counter '{key}' decreased "
+                             f"({prev[key]} -> {row[key]}) -- counters must "
+                             f"be monotonic")
+            last_counters[name] = {k: row[k] for k in TELEMETRY_COUNTER_KEYS}
+            phase = require(row, "phase_ms", dict, row_where)
+            if row["completed"] > 0:
+                check_phase_sum(float(phase["queue_mean"]),
+                                float(phase["batch_mean"]),
+                                float(phase["compute_mean"]),
+                                float(require(row, "latency_ms", dict,
+                                              row_where)["mean"]),
+                                f"{row_where}.phase_ms", abs_tol=1e-6)
+            check_exits(require(row, "exits", list, row_where),
+                        row["completed"], f"{row_where}.exits")
+            check_drift_block(require(row, "drift", dict, row_where),
+                              f"{row_where}.drift")
+        samples += 1
+
+    if samples == 0:
+        fail(f"{path}: header only -- no samples were written")
+    print(f"{path}: valid {SERVE_TELEMETRY_SCHEMA} ({samples} sample(s), "
+          f"{len(declared)} model(s), timestamps monotonic, counters "
+          f"monotonic, exits balanced, drift scores in bounds)")
 
 
 # --- attribution / perf schema (shared by bench rows and run reports) --------
@@ -729,6 +927,9 @@ def main():
     ap.add_argument("--validate-serving", metavar="FILE",
                     help="validate a cdl-serve-report/1 JSON produced by "
                          "cdl_serve --report")
+    ap.add_argument("--validate-telemetry", metavar="FILE",
+                    help="validate a cdl-serve-telemetry/1 JSONL stream "
+                         "produced by cdl_serve --telemetry-out")
     ap.add_argument("--validate-train-report", metavar="FILE",
                     help="validate a cdl-train-report/1 JSON (schema + "
                          "Algorithm-1 gain recomputation)")
@@ -745,6 +946,11 @@ def main():
         return
     if args.validate_serving:
         validate_serve_report(args.validate_serving)
+        if args.validate_telemetry:
+            validate_telemetry(args.validate_telemetry)
+        return
+    if args.validate_telemetry:
+        validate_telemetry(args.validate_telemetry)
         return
     if args.validate_report:
         validate_report(args.validate_report, args.tolerance)

@@ -1,0 +1,188 @@
+#include "serve/drift.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdl::serve {
+
+ExitDriftMonitor::ExitDriftMonitor(std::size_t num_stages, DriftConfig config)
+    : num_stages_(num_stages), config_(config) {
+  if (num_stages == 0) {
+    throw std::invalid_argument("ExitDriftMonitor: num_stages == 0");
+  }
+  if (config.window == 0) {
+    throw std::invalid_argument("ExitDriftMonitor: window == 0");
+  }
+  if (config.confidence_bins == 0) {
+    throw std::invalid_argument("ExitDriftMonitor: confidence_bins == 0");
+  }
+}
+
+void ExitDriftMonitor::set_reference(
+    const std::vector<double>& exit_fractions) {
+  if (exit_fractions.size() != num_stages_) {
+    throw std::invalid_argument(
+        "ExitDriftMonitor::set_reference: expected " +
+        std::to_string(num_stages_) + " stage fractions, got " +
+        std::to_string(exit_fractions.size()));
+  }
+  double sum = 0.0;
+  for (const double f : exit_fractions) {
+    if (f < 0.0) {
+      throw std::invalid_argument(
+          "ExitDriftMonitor::set_reference: negative fraction");
+    }
+    sum += f;
+  }
+  if (sum <= 0.0) {
+    throw std::invalid_argument(
+        "ExitDriftMonitor::set_reference: fractions sum to zero");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ref_exit_.resize(num_stages_);
+  for (std::size_t s = 0; s < num_stages_; ++s) {
+    ref_exit_[s] = exit_fractions[s] / sum;
+  }
+  ref_confidence_.clear();  // explicit references carry no confidence shape
+}
+
+ExitDriftMonitor::Window& ExitDriftMonitor::window_slot(std::uint64_t index) {
+  Window& w = pending_[index];
+  if (w.exits.empty()) {
+    w.exits.assign(num_stages_, 0);
+    w.confidence.assign(config_.confidence_bins, 0);
+  }
+  return w;
+}
+
+void ExitDriftMonitor::record(std::uint64_t seq, std::size_t stage,
+                              double confidence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Window& w = window_slot(seq / config_.window);
+  const std::size_t s = std::min(stage, num_stages_ - 1);
+  ++w.exits[s];
+  const double clamped = std::clamp(confidence, 0.0, 1.0);
+  std::size_t bin = static_cast<std::size_t>(
+      clamped * static_cast<double>(config_.confidence_bins));
+  bin = std::min(bin, config_.confidence_bins - 1);  // confidence == 1.0
+  ++w.confidence[bin];
+  ++w.samples;
+  ++w.observed;
+  advance();
+}
+
+void ExitDriftMonitor::record_missing(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Window& w = window_slot(seq / config_.window);
+  ++w.observed;
+  advance();
+}
+
+double ExitDriftMonitor::chi_square(
+    const std::vector<std::uint64_t>& observed,
+    const std::vector<double>& ref) const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t o : observed) n += o;
+  if (n == 0) return 0.0;
+  double score = 0.0;
+  for (std::size_t i = 0; i < observed.size() && i < ref.size(); ++i) {
+    const double expected = static_cast<double>(n) * ref[i];
+    const double diff = static_cast<double>(observed[i]) - expected;
+    score += diff * diff / std::max(expected, config_.min_expected);
+  }
+  return score;
+}
+
+void ExitDriftMonitor::advance() {
+  for (;;) {
+    const auto it = pending_.find(next_to_score_);
+    if (it == pending_.end() || it->second.observed < config_.window) return;
+    Window& w = it->second;
+
+    DriftWindowResult result;
+    result.index = next_to_score_;
+    result.samples = w.samples;
+    result.missing = w.observed - w.samples;
+    result.exits = w.exits;
+
+    if (ref_exit_.empty()) {
+      // No reference yet: the first window with samples becomes it. An
+      // all-missing window cannot seed a profile and scores 0.
+      if (w.samples > 0) {
+        ref_exit_.resize(num_stages_);
+        ref_confidence_.resize(config_.confidence_bins);
+        const double n = static_cast<double>(w.samples);
+        for (std::size_t s = 0; s < num_stages_; ++s) {
+          ref_exit_[s] = static_cast<double>(w.exits[s]) / n;
+        }
+        for (std::size_t b = 0; b < config_.confidence_bins; ++b) {
+          ref_confidence_[b] = static_cast<double>(w.confidence[b]) / n;
+        }
+        result.reference = true;
+      }
+    } else if (w.samples > 0) {
+      result.score = chi_square(w.exits, ref_exit_);
+      if (!ref_confidence_.empty()) {
+        result.score += chi_square(w.confidence, ref_confidence_);
+      }
+      result.drift = result.score >= config_.threshold;
+    }
+
+    ++windows_scored_;
+    latest_score_ = result.score;
+    max_score_ = std::max(max_score_, result.score);
+    if (result.drift) {
+      ++drift_events_;
+      if (first_drift_window_ < 0) {
+        first_drift_window_ = static_cast<std::int64_t>(result.index);
+      }
+    }
+    scored_.push_back(std::move(result));
+    pending_.erase(it);
+    ++next_to_score_;
+  }
+}
+
+std::vector<DriftWindowResult> ExitDriftMonitor::take_scored() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DriftWindowResult> out;
+  out.swap(scored_);
+  return out;
+}
+
+std::uint64_t ExitDriftMonitor::windows_scored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_scored_;
+}
+
+std::uint64_t ExitDriftMonitor::drift_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drift_events_;
+}
+
+double ExitDriftMonitor::latest_score() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_scored_ == 0 ? -1.0 : latest_score_;
+}
+
+double ExitDriftMonitor::max_score() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_scored_ == 0 ? -1.0 : max_score_;
+}
+
+std::int64_t ExitDriftMonitor::first_drift_window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_drift_window_;
+}
+
+bool ExitDriftMonitor::has_reference() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !ref_exit_.empty();
+}
+
+std::vector<double> ExitDriftMonitor::reference() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ref_exit_;
+}
+
+}  // namespace cdl::serve

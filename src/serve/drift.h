@@ -1,0 +1,134 @@
+// ExitDriftMonitor: streaming detection of exit-profile drift in the
+// serving engine.
+//
+// The paper's conditional exits make serving cost input-dependent: when the
+// workload shifts (digits -> letters, clean -> cluttered), inputs stop
+// exiting early and the exit-stage distribution moves toward the deep
+// stages. This monitor watches that distribution online: served results are
+// bucketed into fixed-size windows, each completed window's per-stage exit
+// counts and confidence histogram are compared against a reference profile
+// with a chi-square statistic, and a window whose score crosses the
+// threshold raises a drift event.
+//
+// Determinism contract: windows are keyed by the request's dense per-model
+// submission sequence (Request::seq), NOT by completion time or completion
+// order. A window covers seqs [w*window, (w+1)*window) and closes when every
+// seq in that range has been observed — counts merge by commutative
+// addition, and windows are scored strictly in index order — so the same
+// submission stream produces bit-identical window counts, scores, and drift
+// verdicts for ANY worker count or batch interleaving. This mirrors the
+// repo-wide determinism convention and is what lets the drift tests assert
+// the exact drifting window across thread counts.
+//
+// The reference profile comes from set_reference() (e.g. exit fractions
+// stored in a checkpoint .meta or measured offline) or, when none was given,
+// is captured from the first completed window that carries samples — the
+// "startup profile" of the live stream. All methods are internally
+// synchronized; record() is called by concurrent engine workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace cdl::serve {
+
+struct DriftConfig {
+  /// Observations (served + missing) per window. Smaller = faster detection,
+  /// noisier scores.
+  std::size_t window = 256;
+  /// Chi-square score at or above which a scored window counts as drift.
+  /// With S stages + B confidence bins the statistic has roughly S + B - 2
+  /// degrees of freedom under the null; the default sits far above the
+  /// corresponding 99th percentile so ordinary sampling noise stays quiet.
+  double threshold = 50.0;
+  /// Bins of the pooled exit-confidence histogram over [0, 1].
+  std::size_t confidence_bins = 10;
+  /// Floor for expected counts in the chi-square denominator (guards
+  /// reference categories with (near-)zero mass).
+  double min_expected = 1.0;
+};
+
+/// One scored window, drained via take_scored().
+struct DriftWindowResult {
+  std::uint64_t index = 0;     ///< window ordinal (seq / window)
+  std::size_t samples = 0;     ///< observations carrying an exit stage
+  std::size_t missing = 0;     ///< expired/rejected slots (no exit data)
+  std::vector<std::uint64_t> exits;  ///< per-stage exit counts
+  double score = 0.0;          ///< chi-square distance vs the reference
+  bool reference = false;      ///< this window became the reference profile
+  bool drift = false;          ///< score >= threshold (never for reference)
+};
+
+class ExitDriftMonitor {
+ public:
+  /// `num_stages` sizes the per-window exit-count vector. Throws
+  /// std::invalid_argument on window == 0, confidence_bins == 0 or
+  /// num_stages == 0.
+  ExitDriftMonitor(std::size_t num_stages, DriftConfig config);
+
+  /// Installs an explicit reference exit distribution (normalized
+  /// internally; must have num_stages entries with a positive sum, else
+  /// std::invalid_argument). With an explicit reference the confidence term
+  /// is skipped — only exit fractions are scored.
+  void set_reference(const std::vector<double>& exit_fractions);
+
+  /// One served result: submission sequence `seq` exited at `stage` with
+  /// exit confidence `confidence` in [0, 1]. Stages beyond num_stages - 1
+  /// are clamped (defensive; the engine never produces them).
+  void record(std::uint64_t seq, std::size_t stage, double confidence);
+  /// A sequence slot that will never produce a served result (expired,
+  /// rejected after seq assignment, shutdown). Keeps windows dense so they
+  /// still complete.
+  void record_missing(std::uint64_t seq);
+
+  /// Windows scored since the last call, in window-index order. The engine
+  /// drains this after each batch to publish scores/events.
+  [[nodiscard]] std::vector<DriftWindowResult> take_scored();
+
+  [[nodiscard]] std::uint64_t windows_scored() const;
+  [[nodiscard]] std::uint64_t drift_events() const;
+  /// Latest / maximum window score; -1 before the first scored window.
+  [[nodiscard]] double latest_score() const;
+  [[nodiscard]] double max_score() const;
+  /// Index of the first window that raised a drift event; -1 = none.
+  [[nodiscard]] std::int64_t first_drift_window() const;
+  [[nodiscard]] bool has_reference() const;
+  /// Reference exit fractions (empty before one is captured or set).
+  [[nodiscard]] std::vector<double> reference() const;
+  [[nodiscard]] const DriftConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_stages() const { return num_stages_; }
+
+ private:
+  struct Window {
+    std::vector<std::uint64_t> exits;
+    std::vector<std::uint64_t> confidence;
+    std::size_t samples = 0;
+    std::size_t observed = 0;  ///< samples + missing
+  };
+
+  Window& window_slot(std::uint64_t index);
+  /// Scores every complete window at the cursor, in index order.
+  void advance();
+  [[nodiscard]] double chi_square(const std::vector<std::uint64_t>& observed,
+                                  const std::vector<double>& ref) const;
+
+  const std::size_t num_stages_;
+  const DriftConfig config_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Window> pending_;
+  std::uint64_t next_to_score_ = 0;
+  std::vector<double> ref_exit_;        ///< fractions; empty = no reference
+  std::vector<double> ref_confidence_;  ///< empty = confidence term skipped
+  std::vector<DriftWindowResult> scored_;  ///< drained by take_scored()
+  std::uint64_t windows_scored_ = 0;
+  std::uint64_t drift_events_ = 0;
+  double latest_score_ = -1.0;
+  double max_score_ = -1.0;
+  std::int64_t first_drift_window_ = -1;
+};
+
+}  // namespace cdl::serve

@@ -1,7 +1,12 @@
 #include "serve/engine.h"
 
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace cdl::serve {
 
@@ -59,6 +64,36 @@ const char* to_string(SubmitStatus s) {
 
 namespace {
 
+#ifndef CDL_TRACE_DISABLED
+/// Records a span whose endpoints were stamped earlier (the RAII TraceSpan
+/// cannot express request phases that start on one thread and end on
+/// another). Caller has already checked Tracer::enabled().
+void trace_span_between(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::int32_t id) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  event.id = id;
+  obs::Tracer::instance().record(event);
+}
+
+std::int32_t trace_id(std::uint64_t request_id) {
+  return static_cast<std::int32_t>(request_id & 0x7fffffffU);
+}
+#endif
+
+/// Minimal JSON string escaping for model names in telemetry output.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 /// A pre-failed receipt for requests that never enter the queue.
 Submitted rejected_receipt(SubmitStatus status, std::uint64_t id,
                            std::size_t model) {
@@ -86,9 +121,25 @@ ServingEngine::ServingEngine(ModelRegistry models, EngineConfig config)
     throw std::invalid_argument("ServingEngine: model registry is empty");
   }
   batchers_.reserve(models_.size());
+  drift_.reserve(models_.size());
   for (std::size_t m = 0; m < models_.size(); ++m) {
     batchers_.emplace_back(config_.batcher, clock_);
     slo_.name_model(m, models_.name(m));
+    // Exit stages 0..num_stages()-1 plus the baseline FC exit (num_stages()).
+    drift_.push_back(std::make_unique<ExitDriftMonitor>(
+        models_.net(m).num_stages() + 1, config_.drift));
+  }
+  next_seq_ = std::vector<std::atomic<std::uint64_t>>(models_.size());
+  if (!config_.telemetry.path.empty()) {
+    std::ostringstream extra;
+    extra << ",\"models\":[";
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      extra << (m == 0 ? "\"" : ",\"") << json_escape(models_.name(m))
+            << "\"";
+    }
+    extra << "]";
+    telemetry_ = std::make_unique<TelemetrySnapshotter>(config_.telemetry,
+                                                        clock_, extra.str());
   }
   inline_state_.workspaces.resize(models_.size());
   slo_.set_queue_depth(0);
@@ -112,11 +163,20 @@ Submitted ServingEngine::submit(std::size_t model, Tensor input,
   Request request;
   request.id = id;
   request.model = model;
+  // Every request that reaches the push attempt consumes a sequence slot;
+  // rejected slots are reported missing below so drift windows stay dense.
+  request.seq = next_seq_[model].fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(input);
   request.arrival_ns = clock_->now_ns();
   const std::uint64_t relative =
       deadline_ns != 0 ? deadline_ns : config_.default_deadline_ns;
   request.deadline_ns = relative != 0 ? request.arrival_ns + relative : 0;
+#ifndef CDL_TRACE_DISABLED
+  if (obs::Tracer::enabled()) {
+    request.trace_enqueue_ns = obs::now_ns();
+    obs::trace_instant("serve/enqueue", trace_id(id));
+  }
+#endif
 
   Submitted out;
   out.response = request.promise.get_future();
@@ -129,6 +189,8 @@ Submitted ServingEngine::submit(std::size_t model, Tensor input,
     case PushResult::kFull: {
       out.status = SubmitStatus::kQueueFull;
       slo_.record_rejected(model);
+      drift_[model]->record_missing(request.seq);
+      publish_drift(model);
       Response resp;
       resp.status = RequestStatus::kRejected;
       resp.request_id = id;
@@ -138,6 +200,8 @@ Submitted ServingEngine::submit(std::size_t model, Tensor input,
     }
     case PushResult::kClosed: {
       out.status = SubmitStatus::kShutdown;
+      drift_[model]->record_missing(request.seq);
+      publish_drift(model);
       Response resp;
       resp.status = RequestStatus::kRejected;
       resp.request_id = id;
@@ -159,15 +223,35 @@ Submitted ServingEngine::submit(const std::string& model, Tensor input,
   return submit(*index, std::move(input), deadline_ns);
 }
 
+void ServingEngine::integrate_request(Request request, std::uint64_t now_ns) {
+  // The pass-shared stamp can predate a request that was submitted while the
+  // pass was already draining the queue; clamp so queue_ns never underflows
+  // (the phase partition tolerates a zero queue phase, not a negative one).
+  request.dequeue_ns = std::max(now_ns, request.arrival_ns);
+#ifndef CDL_TRACE_DISABLED
+  if (obs::Tracer::enabled()) {
+    request.trace_dequeue_ns = obs::now_ns();
+    if (request.trace_enqueue_ns != 0) {
+      trace_span_between("serve/queue_wait", request.trace_enqueue_ns,
+                         request.trace_dequeue_ns, trace_id(request.id));
+    }
+  }
+#endif
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    batchers_[request.model].add(std::move(request));
+  }
+  batcher_pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::size_t ServingEngine::integrate_queue() {
   std::size_t moved = 0;
   Request request;
+  std::uint64_t now_ns = 0;
   while (queue_.try_pop(request) == PopResult::kItem) {
-    {
-      std::lock_guard<std::mutex> lock(batch_mutex_);
-      batchers_[request.model].add(std::move(request));
-    }
-    batcher_pending_.fetch_add(1, std::memory_order_relaxed);
+    // One clock read covers every request popped in this pass.
+    if (moved == 0) now_ns = clock_->now_ns();
+    integrate_request(std::move(request), now_ns);
     ++moved;
   }
   if (moved != 0) slo_.set_queue_depth(queue_.size());
@@ -239,30 +323,70 @@ void ServingEngine::execute_batch(std::size_t model,
                                   std::vector<Request> batch,
                                   WorkerState& state) {
   if (batch.empty()) return;
+  const std::uint64_t formed_ns = clock_->now_ns();
+#ifndef CDL_TRACE_DISABLED
+  const bool tracing = obs::Tracer::enabled();
+  const std::uint64_t trace_formed_ns = tracing ? obs::now_ns() : 0;
+  if (tracing) {
+    obs::trace_instant("serve/batch_form",
+                       static_cast<std::int32_t>(batch.size()));
+  }
+#endif
   state.inputs.clear();
   for (Request& request : batch) {
+    request.batch_ns = formed_ns;
+#ifndef CDL_TRACE_DISABLED
+    if (tracing) {
+      request.trace_batch_ns = trace_formed_ns;
+      if (request.trace_dequeue_ns != 0) {
+        trace_span_between("serve/batch_wait", request.trace_dequeue_ns,
+                           trace_formed_ns, trace_id(request.id));
+      }
+    }
+#endif
     state.inputs.push_back(std::move(request.input));
   }
   models_.net(model).classify_batch_into(state.inputs, state.results,
                                          state.workspaces[model],
                                          config_.pool);
   const std::uint64_t done_ns = clock_->now_ns();
+#ifndef CDL_TRACE_DISABLED
+  const std::uint64_t trace_done_ns = tracing ? obs::now_ns() : 0;
+#endif
   slo_.record_batch(model, batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Request& request = batch[i];
+    const ClassificationResult& result = state.results[i];
     Response resp;
     resp.status = RequestStatus::kOk;
-    resp.result = state.results[i];
+    resp.result = result;
     resp.request_id = request.id;
     resp.model = model;
     resp.latency_ns = done_ns - request.arrival_ns;
     resp.batch_size = batch.size();
+    // The three phases share the latency's own stamps, so they partition it
+    // exactly: queue + batch_wait + compute == latency.
+    resp.queue_ns = request.dequeue_ns - request.arrival_ns;
+    resp.batch_wait_ns = request.batch_ns - request.dequeue_ns;
+    resp.compute_ns = done_ns - request.batch_ns;
     // Matches DynamicBatcher::take_expired: a request is dead AT its
     // deadline instant, so completion then is already a miss.
     resp.slo_miss = request.deadline_ns != 0 && done_ns >= request.deadline_ns;
-    slo_.record_completed(model, resp.latency_ns, resp.slo_miss);
+    slo_.record_completed(model, resp.latency_ns, resp.queue_ns,
+                          resp.batch_wait_ns, resp.compute_ns, resp.slo_miss);
+    slo_.record_exit(model, result.exit_stage);
+    drift_[model]->record(request.seq, result.exit_stage,
+                          static_cast<double>(result.confidence));
+#ifndef CDL_TRACE_DISABLED
+    if (tracing) {
+      trace_span_between("serve/execute", trace_formed_ns, trace_done_ns,
+                         trace_id(request.id));
+    }
+#endif
     request.promise.set_value(std::move(resp));
+    CDL_TRACE_INSTANT("serve/respond", trace_id(request.id));
   }
+  publish_drift(model);
 }
 
 void ServingEngine::fail_request(Request request, RequestStatus status) {
@@ -279,13 +403,29 @@ void ServingEngine::fail_request(Request request, RequestStatus status) {
   } else if (status == RequestStatus::kShutdown) {
     slo_.record_shutdown(request.model);
   }
+  // The sequence slot will never carry an exit stage; keep windows dense.
+  drift_[request.model]->record_missing(request.seq);
+  publish_drift(request.model);
   request.promise.set_value(std::move(resp));
+  CDL_TRACE_INSTANT("serve/respond", trace_id(request.id));
+}
+
+void ServingEngine::publish_drift(std::size_t model) {
+  for (const DriftWindowResult& window : drift_[model]->take_scored()) {
+    slo_.record_drift(model, window.index, window.score, window.drift);
+    if (window.drift) {
+      CDL_TRACE_INSTANT("serve/drift",
+                        static_cast<std::int32_t>(window.index));
+    }
+  }
 }
 
 std::size_t ServingEngine::run_once() {
   std::lock_guard<std::mutex> lock(inline_mutex_);
   integrate_queue();
-  return dispatch_due(/*draining=*/false, inline_state_);
+  const std::size_t terminal = dispatch_due(/*draining=*/false, inline_state_);
+  pump_telemetry();
+  return terminal;
 }
 
 std::size_t ServingEngine::in_flight() const {
@@ -298,20 +438,21 @@ void ServingEngine::worker_loop(std::size_t worker) {
   state.workspaces.resize(models_.size());
   for (;;) {
     dispatch_due(/*draining=*/false, state);
-    const std::uint64_t wake = earliest_wake();
+    pump_telemetry();
+    std::uint64_t wake = earliest_wake();
+    if (telemetry_ != nullptr) {
+      // Do not sleep past the next telemetry sample.
+      wake = std::min(wake, telemetry_->next_due_ns());
+    }
     Request request;
     const PopResult popped = queue_.pop_until(request, *clock_, wake);
     if (popped == PopResult::kItem) {
-      {
-        std::lock_guard<std::mutex> lock(batch_mutex_);
-        batchers_[request.model].add(std::move(request));
-      }
-      batcher_pending_.fetch_add(1, std::memory_order_relaxed);
+      integrate_request(std::move(request), clock_->now_ns());
       slo_.set_queue_depth(queue_.size());
       integrate_queue();  // opportunistically grab anything else queued
       continue;
     }
-    if (popped == PopResult::kTimeout) continue;  // a batcher is due
+    if (popped == PopResult::kTimeout) continue;  // a batcher/sample is due
     // kClosed: queue drained. Serve (or abort) what this worker can see and
     // exit. A racing worker that integrates a last request after our drain
     // performs its own kClosed drain, so nothing is stranded.
@@ -332,7 +473,46 @@ void ServingEngine::shutdown(bool drain) {
     integrate_queue();
     dispatch_due(/*draining=*/true, inline_state_);
     slo_.set_queue_depth(0);
+    // Final state of the run, regardless of where the interval stood.
+    pump_telemetry(/*force=*/true);
   });
+}
+
+void ServingEngine::pump_telemetry(bool force) {
+  if (telemetry_ == nullptr) return;
+  if (!force && !telemetry_->due()) return;
+  telemetry_->sample([this](std::ostream& os) { write_telemetry_body(os); },
+                     force);
+}
+
+void ServingEngine::write_telemetry_body(std::ostream& os) {
+  os << std::setprecision(17);
+  os << ",\"queue_depth\":" << queue_.size() << ",\"in_flight\":"
+     << in_flight() << ",\"models\":[";
+  const std::vector<SloSummary> summaries = slo_.summaries();
+  for (std::size_t m = 0; m < summaries.size(); ++m) {
+    const SloSummary& s = summaries[m];
+    if (m != 0) os << ",";
+    os << "{\"model\":\"" << json_escape(s.model) << "\""
+       << ",\"submitted\":" << s.submitted << ",\"accepted\":" << s.accepted
+       << ",\"completed\":" << s.completed << ",\"rejected\":" << s.rejected
+       << ",\"expired\":" << s.expired << ",\"slo_miss\":" << s.slo_miss
+       << ",\"batches\":" << s.batches << ",\"mean_batch\":" << s.mean_batch
+       << ",\"latency_ms\":{\"p50\":" << s.p50_ms << ",\"p95\":" << s.p95_ms
+       << ",\"p99\":" << s.p99_ms << ",\"mean\":" << s.mean_ms << "}"
+       << ",\"phase_ms\":{\"queue_mean\":" << s.queue_mean_ms
+       << ",\"batch_mean\":" << s.batch_mean_ms
+       << ",\"compute_mean\":" << s.compute_mean_ms << "}"
+       << ",\"exits\":[";
+    for (std::size_t e = 0; e < s.exits.size(); ++e) {
+      os << (e == 0 ? "" : ",") << s.exits[e];
+    }
+    os << "],\"drift\":{\"windows\":" << s.drift_windows
+       << ",\"events\":" << s.drift_events << ",\"score\":" << s.drift_score
+       << ",\"max_score\":" << s.drift_max_score
+       << ",\"first_drift_window\":" << s.first_drift_window << "}}";
+  }
+  os << "]";
 }
 
 }  // namespace cdl::serve

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,10 +41,12 @@
 #include "obs/registry.h"
 #include "serve/batcher.h"
 #include "serve/clock.h"
+#include "serve/drift.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "serve/slo.h"
+#include "serve/telemetry.h"
 
 namespace cdl::serve {
 
@@ -63,6 +66,13 @@ struct EngineConfig {
   /// Intra-batch parallelism for classify_batch_into; null = serial per
   /// worker (worker-level parallelism across batches instead).
   ThreadPool* pool = nullptr;
+  /// Exit-profile drift monitoring (one ExitDriftMonitor per model, windowed
+  /// on the submission sequence — see serve/drift.h for the determinism
+  /// contract). Always on; costs one uncontended mutex hop per request.
+  DriftConfig drift;
+  /// Live telemetry (JSONL snapshots of queue depth, per-model SLO numbers,
+  /// exit profile and drift scores). Disabled while telemetry.path is empty.
+  TelemetryConfig telemetry;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -115,6 +125,13 @@ class ServingEngine {
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
   [[nodiscard]] SloTracker& slo() { return slo_; }
+  /// The per-model drift monitor, e.g. to install a reference exit profile
+  /// (checkpoint .meta) before traffic arrives. Valid for the engine's life.
+  [[nodiscard]] ExitDriftMonitor& drift_monitor(std::size_t model) {
+    return *drift_[model];
+  }
+  /// Null unless EngineConfig::telemetry.path was set.
+  [[nodiscard]] TelemetrySnapshotter* telemetry() { return telemetry_.get(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   /// Requests accepted but not yet terminal (queued or pending in a
   /// batcher). Engine-wide, approximate while workers are mid-dispatch.
@@ -131,6 +148,10 @@ class ServingEngine {
   };
 
   void worker_loop(std::size_t worker);
+  /// Stamps dequeue time (+ queue-wait trace span) and hands the request to
+  /// its model's batcher. `now_ns` is the shared engine-clock stamp for this
+  /// integration pass (one clock read covers every request popped in it).
+  void integrate_request(Request request, std::uint64_t now_ns);
   /// Moves queued requests into their batchers without blocking. Returns
   /// the number integrated.
   std::size_t integrate_queue();
@@ -142,13 +163,25 @@ class ServingEngine {
   void execute_batch(std::size_t model, std::vector<Request> batch,
                      WorkerState& state);
   void fail_request(Request request, RequestStatus status);
+  /// Drains the model's freshly scored drift windows into the SLO tracker
+  /// (drift gauge/event counter) and the trace stream.
+  void publish_drift(std::size_t model);
+  /// Writes a telemetry sample when one is due (or `force`). No-op while
+  /// telemetry is disabled; costs one clock read + atomic load otherwise.
+  void pump_telemetry(bool force = false);
+  void write_telemetry_body(std::ostream& os);
 
   ModelRegistry models_;
   EngineConfig config_;
   Clock* clock_;
   SloTracker slo_;
   MpmcQueue<Request> queue_;
+  /// One drift monitor per model (unique_ptr: the monitor owns a mutex).
+  std::vector<std::unique_ptr<ExitDriftMonitor>> drift_;
+  std::unique_ptr<TelemetrySnapshotter> telemetry_;
   std::atomic<std::uint64_t> next_id_{1};
+  /// Dense per-model submission sequences backing Request::seq.
+  std::vector<std::atomic<std::uint64_t>> next_seq_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> drain_on_shutdown_{true};
   std::atomic<std::uint64_t> batcher_pending_{0};

@@ -37,15 +37,34 @@ struct Response {
   std::size_t model = 0;          ///< ModelRegistry index
   std::uint64_t latency_ns = 0;   ///< completion - arrival (engine clock)
   std::uint64_t batch_size = 0;   ///< rows in the dispatched batch (kOk only)
+  /// Exact phase decomposition of latency_ns (kOk only, same clock stamps):
+  /// queue_ns + batch_wait_ns + compute_ns == latency_ns.
+  std::uint64_t queue_ns = 0;       ///< submit -> popped off the MPMC queue
+  std::uint64_t batch_wait_ns = 0;  ///< in the batcher until the batch formed
+  std::uint64_t compute_ns = 0;     ///< batch formation -> inference done
   bool slo_miss = false;          ///< completed after the deadline (or expired)
 };
 
 struct Request {
   std::uint64_t id = 0;
   std::size_t model = 0;           ///< ModelRegistry index
+  /// Dense per-model submission sequence (0, 1, 2, ...), assigned at submit
+  /// for every request that reaches the queue-push attempt. The drift
+  /// monitor windows on this, so window membership is a function of
+  /// submission order alone — never of completion order or worker count.
+  std::uint64_t seq = 0;
   Tensor input;
   std::uint64_t arrival_ns = 0;    ///< stamped by the engine at submit
   std::uint64_t deadline_ns = 0;   ///< absolute engine-clock time; 0 = none
+  std::uint64_t dequeue_ns = 0;    ///< engine clock: popped off the MPMC queue
+  std::uint64_t batch_ns = 0;      ///< engine clock: its batch was formed
+  /// Lifecycle timestamps on the tracer's clock (obs::now_ns), stamped only
+  /// while tracing is enabled; 0 otherwise. Kept separate from the engine
+  /// clock so traces stay coherent with the cascade's own spans even under
+  /// a ManualClock.
+  std::uint64_t trace_enqueue_ns = 0;
+  std::uint64_t trace_dequeue_ns = 0;
+  std::uint64_t trace_batch_ns = 0;
   std::promise<Response> promise;  ///< fulfilled exactly once
 };
 

@@ -73,16 +73,35 @@ void SloTracker::record_shutdown(std::size_t model) {
   bump(m, "shutdown");
 }
 
+void SloTracker::record_phase_hist(const char* family, const char* help,
+                                   const PerModel& m, double ms) {
+  registry_
+      ->histogram(family, help, 0.0, latency_hi_ms_, kLatencyBins,
+                  {{"model", m.name}})
+      .record(ms);
+}
+
 void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
-                                  bool slo_miss) {
+                                  std::uint64_t queue_ns,
+                                  std::uint64_t batch_wait_ns,
+                                  std::uint64_t compute_ns, bool slo_miss) {
   std::lock_guard<std::mutex> lock(mutex_);
   PerModel& m = model_slot(model);
   const double ms = static_cast<double>(latency_ns) / 1e6;
+  const double queue_ms = static_cast<double>(queue_ns) / 1e6;
+  const double batch_ms = static_cast<double>(batch_wait_ns) / 1e6;
+  const double compute_ms = static_cast<double>(compute_ns) / 1e6;
   ++m.completed;
   if (slo_miss) ++m.slo_miss;
   m.latency_sum_ms += ms;
   m.latency_max_ms = std::max(m.latency_max_ms, ms);
   m.latencies_ms.push_back(ms);
+  m.queue_ms.push_back(queue_ms);
+  m.batch_ms.push_back(batch_ms);
+  m.compute_ms.push_back(compute_ms);
+  m.queue_sum_ms += queue_ms;
+  m.batch_sum_ms += batch_ms;
+  m.compute_sum_ms += compute_ms;
   bump(m, "ok");
   if (registry_ != nullptr) {
     if (slo_miss) {
@@ -96,6 +115,69 @@ void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
                     "Request latency (queue + inference)", 0.0, latency_hi_ms_,
                     kLatencyBins, {{"model", m.name}})
         .record(ms);
+    record_phase_hist("cdl_serve_phase_queue_ms",
+                      "Latency from submit to queue pop", m, queue_ms);
+    record_phase_hist("cdl_serve_phase_batch_ms",
+                      "Latency from queue pop to batch formation", m,
+                      batch_ms);
+    record_phase_hist("cdl_serve_phase_compute_ms",
+                      "Latency from batch formation to inference done", m,
+                      compute_ms);
+  }
+}
+
+void SloTracker::record_exit(std::size_t model, std::size_t stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  if (stage >= m.exits.size()) m.exits.resize(stage + 1, 0);
+  ++m.exits[stage];
+  if (registry_ != nullptr) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t e : m.exits) total += e;
+    for (std::size_t s = 0; s < m.exits.size(); ++s) {
+      const std::string label = std::to_string(s);
+      if (s == stage) {
+        registry_
+            ->counter("cdl_serve_exits_total",
+                      "Served results by cascade exit stage",
+                      {{"model", m.name}, {"stage", label}})
+            .inc();
+      }
+      registry_
+          ->gauge("cdl_serve_exit_fraction",
+                  "Fraction of served results exiting at each stage",
+                  {{"model", m.name}, {"stage", label}})
+          .set(static_cast<double>(m.exits[s]) / static_cast<double>(total));
+    }
+  }
+}
+
+void SloTracker::record_drift(std::size_t model, std::uint64_t window,
+                              double score, bool drift) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerModel& m = model_slot(model);
+  ++m.drift_windows;
+  m.drift_score = score;
+  m.drift_max_score = std::max(m.drift_max_score, score);
+  if (drift) {
+    ++m.drift_events;
+    if (m.first_drift_window < 0) {
+      m.first_drift_window = static_cast<std::int64_t>(window);
+    }
+  }
+  if (registry_ != nullptr) {
+    registry_
+        ->gauge("cdl_serve_drift_score",
+                "Exit-profile drift score of the latest scored window",
+                {{"model", m.name}})
+        .set(score);
+    if (drift) {
+      registry_
+          ->counter("cdl_serve_drift_events_total",
+                    "Drift windows whose score crossed the threshold",
+                    {{"model", m.name}})
+          .inc();
+    }
   }
 }
 
@@ -142,13 +224,31 @@ SloSummary SloTracker::summary(std::size_t model) const {
                                 : static_cast<double>(m.batched_rows) /
                                       static_cast<double>(m.batches);
   if (!m.latencies_ms.empty()) {
+    const double n = static_cast<double>(m.latencies_ms.size());
     s.p50_ms = obs::percentile(m.latencies_ms, 0.50);
     s.p95_ms = obs::percentile(m.latencies_ms, 0.95);
     s.p99_ms = obs::percentile(m.latencies_ms, 0.99);
-    s.mean_ms =
-        m.latency_sum_ms / static_cast<double>(m.latencies_ms.size());
+    s.mean_ms = m.latency_sum_ms / n;
     s.max_ms = m.latency_max_ms;
+    s.queue_p50_ms = obs::percentile(m.queue_ms, 0.50);
+    s.queue_p95_ms = obs::percentile(m.queue_ms, 0.95);
+    s.queue_p99_ms = obs::percentile(m.queue_ms, 0.99);
+    s.queue_mean_ms = m.queue_sum_ms / n;
+    s.batch_p50_ms = obs::percentile(m.batch_ms, 0.50);
+    s.batch_p95_ms = obs::percentile(m.batch_ms, 0.95);
+    s.batch_p99_ms = obs::percentile(m.batch_ms, 0.99);
+    s.batch_mean_ms = m.batch_sum_ms / n;
+    s.compute_p50_ms = obs::percentile(m.compute_ms, 0.50);
+    s.compute_p95_ms = obs::percentile(m.compute_ms, 0.95);
+    s.compute_p99_ms = obs::percentile(m.compute_ms, 0.99);
+    s.compute_mean_ms = m.compute_sum_ms / n;
   }
+  s.exits = m.exits;
+  s.drift_windows = m.drift_windows;
+  s.drift_events = m.drift_events;
+  s.drift_score = m.drift_score;
+  s.drift_max_score = m.drift_max_score;
+  s.first_drift_window = m.first_drift_window;
   return s;
 }
 

@@ -2,16 +2,26 @@
 //
 // Every request outcome is recorded per model: accepted/rejected/expired/
 // completed counters, exact latency samples (for type-7 p50/p95/p99 via
-// obs::percentile), deadline misses, and batch-size statistics. When a
-// Registry is attached the same numbers are mirrored into labelled
+// obs::percentile), deadline misses, batch-size statistics, the exact
+// per-phase latency decomposition (queue wait / batch wait / compute — the
+// three stamps sum bit-exactly to the end-to-end latency), the per-stage
+// exit counts of served results, and the drift monitor's window scores.
+// When a Registry is attached the same numbers are mirrored into labelled
 // OpenMetrics families:
 //
 //   cdl_serve_requests_total{model=...,status=ok|rejected|expired|shutdown}
 //   cdl_serve_slo_miss_total{model=...}
-//   cdl_serve_latency_ms{model=...}       (histogram)
-//   cdl_serve_batch_size{model=...}       (histogram)
+//   cdl_serve_latency_ms{model=...}         (histogram)
+//   cdl_serve_phase_queue_ms{model=...}     (histogram, submit -> dequeue)
+//   cdl_serve_phase_batch_ms{model=...}     (histogram, dequeue -> batch)
+//   cdl_serve_phase_compute_ms{model=...}   (histogram, batch -> done)
+//   cdl_serve_batch_size{model=...}         (histogram)
 //   cdl_serve_batches_total{model=...}
-//   cdl_serve_queue_depth                 (gauge, engine-wide)
+//   cdl_serve_exits_total{model=...,stage=...}
+//   cdl_serve_exit_fraction{model=...,stage=...}   (gauge)
+//   cdl_serve_drift_score{model=...}        (gauge, latest scored window)
+//   cdl_serve_drift_events_total{model=...}
+//   cdl_serve_queue_depth                   (gauge, engine-wide)
 //
 // The tracker serializes its own updates with an internal mutex (worker
 // threads complete requests concurrently), which also guards the registry
@@ -48,6 +58,26 @@ struct SloSummary {
   double p99_ms = 0.0;
   double mean_ms = 0.0;
   double max_ms = 0.0;
+  /// Per-phase decomposition over the same completed requests. The phase
+  /// means sum to mean_ms (up to double rounding): the three stamps
+  /// partition each request's latency exactly.
+  double queue_p50_ms = 0.0, queue_p95_ms = 0.0, queue_p99_ms = 0.0;
+  double queue_mean_ms = 0.0;
+  double batch_p50_ms = 0.0, batch_p95_ms = 0.0, batch_p99_ms = 0.0;
+  double batch_mean_ms = 0.0;
+  double compute_p50_ms = 0.0, compute_p95_ms = 0.0, compute_p99_ms = 0.0;
+  double compute_mean_ms = 0.0;
+  /// Served results by cascade exit stage (index = stage); sums to
+  /// `completed`. Empty when nothing completed.
+  std::vector<std::uint64_t> exits;
+  /// Drift monitor mirror: scored windows, events raised, latest / max
+  /// window score (-1 before the first scored window), first drifting
+  /// window index (-1 = none yet).
+  std::uint64_t drift_windows = 0;
+  std::uint64_t drift_events = 0;
+  double drift_score = -1.0;
+  double drift_max_score = -1.0;
+  std::int64_t first_drift_window = -1;
 };
 
 class SloTracker {
@@ -62,9 +92,18 @@ class SloTracker {
   void record_accepted(std::size_t model);
   void record_expired(std::size_t model, std::uint64_t queue_ns);
   void record_shutdown(std::size_t model);
+  /// `queue_ns + batch_wait_ns + compute_ns == latency_ns` — the engine
+  /// derives all four from the same clock stamps, so the decomposition is
+  /// exact, not approximate.
   void record_completed(std::size_t model, std::uint64_t latency_ns,
-                        bool slo_miss);
+                        std::uint64_t queue_ns, std::uint64_t batch_wait_ns,
+                        std::uint64_t compute_ns, bool slo_miss);
   void record_batch(std::size_t model, std::size_t rows);
+  /// One served result exited at cascade stage `stage`.
+  void record_exit(std::size_t model, std::size_t stage);
+  /// Mirrors one scored drift window (latest score gauge, event counter).
+  void record_drift(std::size_t model, std::uint64_t window, double score,
+                    bool drift);
   void set_queue_depth(std::size_t depth);
 
   /// Deterministic per-model snapshot (models in registration order).
@@ -89,10 +128,24 @@ class SloTracker {
     double latency_sum_ms = 0.0;
     double latency_max_ms = 0.0;
     std::vector<double> latencies_ms;  ///< completed requests, arrival order
+    std::vector<double> queue_ms;      ///< phase samples, same order
+    std::vector<double> batch_ms;
+    std::vector<double> compute_ms;
+    double queue_sum_ms = 0.0;
+    double batch_sum_ms = 0.0;
+    double compute_sum_ms = 0.0;
+    std::vector<std::uint64_t> exits;  ///< per exit stage
+    std::uint64_t drift_windows = 0;
+    std::uint64_t drift_events = 0;
+    double drift_score = -1.0;
+    double drift_max_score = -1.0;
+    std::int64_t first_drift_window = -1;
   };
 
   PerModel& model_slot(std::size_t model);
   void bump(const PerModel& m, const char* status);
+  void record_phase_hist(const char* family, const char* help,
+                         const PerModel& m, double ms);
 
   mutable std::mutex mutex_;
   obs::Registry* registry_;

@@ -1,0 +1,82 @@
+#include "serve/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdl::serve {
+
+TelemetrySnapshotter::TelemetrySnapshotter(TelemetryConfig config,
+                                           const Clock* clock,
+                                           const std::string& header_extra)
+    : config_(std::move(config)), clock_(clock), header_extra_(header_extra) {
+  if (config_.path.empty()) {
+    throw std::invalid_argument("TelemetrySnapshotter: empty path");
+  }
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("TelemetrySnapshotter: null clock");
+  }
+  if (config_.interval_ns == 0) config_.interval_ns = 1;
+  open_file();
+  next_due_ns_.store(clock_->now_ns() + config_.interval_ns,
+                     std::memory_order_relaxed);
+}
+
+void TelemetrySnapshotter::open_file() {
+  os_.open(config_.path, std::ios::out | std::ios::trunc);
+  if (!os_) {
+    throw std::runtime_error("TelemetrySnapshotter: cannot open " +
+                             config_.path);
+  }
+  bytes_ = 0;
+  std::ostringstream header;
+  header << "{\"schema\":\"" << kSchema << "\",\"event\":\"start\",\"t_ns\":"
+         << clock_->now_ns() << ",\"interval_ns\":" << config_.interval_ns
+         << ",\"rotate_bytes\":" << config_.rotate_bytes << header_extra_
+         << "}";
+  write_line(header.str());
+}
+
+void TelemetrySnapshotter::write_line(const std::string& line) {
+  os_ << line << '\n';
+  os_.flush();  // lines must be tail-able and survive abrupt exits
+  bytes_ += line.size() + 1;
+}
+
+bool TelemetrySnapshotter::due() const {
+  return clock_->now_ns() >= next_due_ns_.load(std::memory_order_relaxed);
+}
+
+bool TelemetrySnapshotter::sample(
+    const std::function<void(std::ostream&)>& body, bool force) {
+  const std::uint64_t now = clock_->now_ns();
+  if (!force && now < next_due_ns_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock: another thread may have just sampled.
+  if (!force && now < next_due_ns_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::ostringstream line;
+  line << "{\"schema\":\"" << kSchema << "\",\"event\":\"sample\",\"t_ns\":"
+       << now;
+  body(line);
+  line << "}";
+
+  if (config_.rotate_bytes != 0 && bytes_ > 0 &&
+      bytes_ + line.str().size() + 1 > config_.rotate_bytes) {
+    os_.close();
+    const std::string old = config_.path + ".1";
+    std::remove(old.c_str());
+    std::rename(config_.path.c_str(), old.c_str());
+    open_file();
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  write_line(line.str());
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  next_due_ns_.store(now + config_.interval_ns, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace cdl::serve

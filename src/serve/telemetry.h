@@ -1,0 +1,98 @@
+// TelemetrySnapshotter: periodic JSONL snapshots of a running server.
+//
+// The SLO tracker and metrics registry describe a run after shutdown; this
+// class makes the same numbers observable while the server is up. At a
+// configurable interval (measured on the engine's injected Clock, so tests
+// drive it with a ManualClock) it appends one self-contained JSON line —
+// schema cdl-serve-telemetry/1 — to an append-only stream that an operator
+// can tail without stopping the server:
+//
+//   {"schema":"cdl-serve-telemetry/1","event":"start","t_ns":...}   (header)
+//   {"schema":"cdl-serve-telemetry/1","event":"sample","t_ns":...,
+//    "queue_depth":...,"in_flight":...,"models":[...],"metrics":{...}}
+//
+// The caller (ServingEngine) renders the body of each sample; the
+// snapshotter owns the cadence, the file, line framing, byte accounting and
+// size-based rotation (the current file is renamed to <path>.1 and a fresh
+// one is started, so disk use stays bounded at ~2x rotate_bytes).
+//
+// Thread safety: sample() is internally serialized and begins with a relaxed
+// load of the next-due time, so calling it from every worker iteration costs
+// one atomic load while not due.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "serve/clock.h"
+
+namespace cdl::serve {
+
+struct TelemetryConfig {
+  /// JSONL output path; empty = telemetry disabled.
+  std::string path;
+  /// Sampling interval on the engine clock.
+  std::uint64_t interval_ns = 1'000'000'000;
+  /// Rotate when the current file reaches this many bytes (0 = never).
+  std::uint64_t rotate_bytes = 0;
+};
+
+class TelemetrySnapshotter {
+ public:
+  /// Opens config.path (throws std::runtime_error when unwritable) and
+  /// writes the header line. `clock` must outlive the snapshotter.
+  /// `header_extra` is an optional pre-rendered JSON fragment appended to
+  /// the header object (e.g. `,"models":["a","b"]`).
+  TelemetrySnapshotter(TelemetryConfig config, const Clock* clock,
+                       const std::string& header_extra = "");
+
+  TelemetrySnapshotter(const TelemetrySnapshotter&) = delete;
+  TelemetrySnapshotter& operator=(const TelemetrySnapshotter&) = delete;
+
+  /// Writes one sample line when the interval has elapsed (or `force`).
+  /// `body` renders the sample's fields — everything after the standard
+  /// `"schema":...,"event":"sample","t_ns":...` prefix, starting with a
+  /// comma. Returns true when a line was written.
+  bool sample(const std::function<void(std::ostream&)>& body,
+              bool force = false);
+
+  /// True when the interval has elapsed since the last written sample.
+  [[nodiscard]] bool due() const;
+
+  /// Absolute clock time of the next scheduled sample (workers cap their
+  /// queue waits at this so sampling keeps its cadence under light load).
+  [[nodiscard]] std::uint64_t next_due_ns() const {
+    return next_due_ns_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+
+  static constexpr const char* kSchema = "cdl-serve-telemetry/1";
+
+ private:
+  void open_file();  ///< (re)opens config_.path and writes the header
+  void write_line(const std::string& line);
+
+  TelemetryConfig config_;
+  const Clock* clock_;
+  std::string header_extra_;
+
+  std::mutex mutex_;  ///< guards os_, bytes_
+  std::ofstream os_;
+  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> next_due_ns_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+};
+
+}  // namespace cdl::serve

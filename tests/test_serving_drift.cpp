@@ -1,0 +1,347 @@
+// ExitDriftMonitor: reference capture, out-of-order determinism, missing
+// slots, threshold triggering, explicit references and input clamping — plus
+// the engine-level covariate-shift scenario: digits -> letters under a
+// ManualClock raises drift at the same window index for any worker count
+// (the windows are keyed by submission sequence, not completion order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "cdl/cdl_trainer.h"
+#include "data/synthetic_letters.h"
+#include "data/synthetic_mnist.h"
+#include "serve/drift.h"
+#include "serve/engine.h"
+#include "test_util.h"
+
+namespace cdl::serve {
+namespace {
+
+using cdl::test::conv_cdln;
+
+DriftConfig small_config(std::size_t window = 8, double threshold = 50.0) {
+  DriftConfig config;
+  config.window = window;
+  config.threshold = threshold;
+  return config;
+}
+
+TEST(ExitDriftMonitor, CtorValidatesConfig) {
+  EXPECT_THROW(ExitDriftMonitor(0, small_config()), std::invalid_argument);
+  EXPECT_THROW(ExitDriftMonitor(3, small_config(0)), std::invalid_argument);
+  DriftConfig no_bins = small_config();
+  no_bins.confidence_bins = 0;
+  EXPECT_THROW(ExitDriftMonitor(3, no_bins), std::invalid_argument);
+}
+
+TEST(ExitDriftMonitor, FirstSampledWindowBecomesReference) {
+  ExitDriftMonitor monitor(3, small_config(8));
+  EXPECT_FALSE(monitor.has_reference());
+  EXPECT_EQ(monitor.latest_score(), -1.0);
+  EXPECT_EQ(monitor.max_score(), -1.0);
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    monitor.record(seq, seq % 2 == 0 ? 0 : 1, 0.9);
+  }
+  const std::vector<DriftWindowResult> scored = monitor.take_scored();
+  ASSERT_EQ(scored.size(), 1U);
+  EXPECT_EQ(scored[0].index, 0U);
+  EXPECT_EQ(scored[0].samples, 8U);
+  EXPECT_EQ(scored[0].missing, 0U);
+  EXPECT_TRUE(scored[0].reference);
+  EXPECT_FALSE(scored[0].drift);
+  EXPECT_EQ(scored[0].score, 0.0);
+  ASSERT_EQ(scored[0].exits.size(), 3U);
+  EXPECT_EQ(scored[0].exits[0], 4U);
+  EXPECT_EQ(scored[0].exits[1], 4U);
+  EXPECT_EQ(scored[0].exits[2], 0U);
+  EXPECT_TRUE(monitor.has_reference());
+  const std::vector<double> ref = monitor.reference();
+  ASSERT_EQ(ref.size(), 3U);
+  EXPECT_DOUBLE_EQ(ref[0], 0.5);
+  EXPECT_DOUBLE_EQ(ref[1], 0.5);
+  EXPECT_DOUBLE_EQ(ref[2], 0.0);
+  // take_scored drains: a second call is empty.
+  EXPECT_TRUE(monitor.take_scored().empty());
+}
+
+TEST(ExitDriftMonitor, RecordingOrderDoesNotChangeScores) {
+  // The same (seq, stage, confidence) set fed forwards and backwards (as a
+  // worker race would reorder completions) scores bit-identically.
+  const std::size_t n = 24;  // 3 windows of 8
+  std::vector<std::uint64_t> stages(n);
+  std::vector<double> confidence(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stages[i] = (i * 7 + 3) % 3;
+    confidence[i] = static_cast<double>((i * 13) % 10) / 10.0;
+  }
+  ExitDriftMonitor forward(3, small_config(8, 1.0));
+  ExitDriftMonitor backward(3, small_config(8, 1.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    forward.record(i, stages[i], confidence[i]);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    backward.record(i, stages[i], confidence[i]);
+  }
+  const std::vector<DriftWindowResult> a = forward.take_scored();
+  const std::vector<DriftWindowResult> b = backward.take_scored();
+  ASSERT_EQ(a.size(), 3U);
+  ASSERT_EQ(b.size(), 3U);
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].index, b[w].index);
+    EXPECT_EQ(a[w].exits, b[w].exits);
+    EXPECT_EQ(a[w].score, b[w].score) << "window " << w;
+    EXPECT_EQ(a[w].drift, b[w].drift);
+  }
+  EXPECT_EQ(forward.latest_score(), backward.latest_score());
+  EXPECT_EQ(forward.max_score(), backward.max_score());
+  EXPECT_EQ(forward.first_drift_window(), backward.first_drift_window());
+}
+
+TEST(ExitDriftMonitor, AllMissingWindowScoresZeroAndKeepsCursorMoving) {
+  ExitDriftMonitor monitor(2, small_config(4));
+  for (std::uint64_t seq = 0; seq < 4; ++seq) monitor.record(seq, 0, 0.8);
+  for (std::uint64_t seq = 4; seq < 8; ++seq) monitor.record_missing(seq);
+  for (std::uint64_t seq = 8; seq < 12; ++seq) monitor.record(seq, 0, 0.8);
+  const std::vector<DriftWindowResult> scored = monitor.take_scored();
+  ASSERT_EQ(scored.size(), 3U);
+  EXPECT_TRUE(scored[0].reference);
+  EXPECT_EQ(scored[1].samples, 0U);
+  EXPECT_EQ(scored[1].missing, 4U);
+  EXPECT_EQ(scored[1].score, 0.0) << "no samples, nothing to compare";
+  EXPECT_FALSE(scored[1].drift);
+  EXPECT_EQ(scored[2].index, 2U) << "cursor advanced past the empty window";
+  EXPECT_EQ(scored[2].samples, 4U);
+}
+
+TEST(ExitDriftMonitor, ShiftedWindowRaisesDriftEvent) {
+  ExitDriftMonitor monitor(3, small_config(8, 5.0));
+  // Reference: everything exits stage 0 with high confidence.
+  for (std::uint64_t seq = 0; seq < 8; ++seq) monitor.record(seq, 0, 0.95);
+  // Shift: everything falls through to the last stage with low confidence.
+  for (std::uint64_t seq = 8; seq < 16; ++seq) monitor.record(seq, 2, 0.15);
+  const std::vector<DriftWindowResult> scored = monitor.take_scored();
+  ASSERT_EQ(scored.size(), 2U);
+  EXPECT_FALSE(scored[0].drift);
+  EXPECT_TRUE(scored[1].drift);
+  EXPECT_GE(scored[1].score, 5.0);
+  EXPECT_EQ(monitor.drift_events(), 1U);
+  EXPECT_EQ(monitor.first_drift_window(), 1);
+  EXPECT_EQ(monitor.windows_scored(), 2U);
+  EXPECT_EQ(monitor.max_score(), scored[1].score);
+}
+
+TEST(ExitDriftMonitor, ExplicitReferenceValidatesAndScoresExitsOnly) {
+  ExitDriftMonitor monitor(3, small_config(8, 5.0));
+  EXPECT_THROW(monitor.set_reference({0.5, 0.5}), std::invalid_argument)
+      << "wrong arity";
+  EXPECT_THROW(monitor.set_reference({0.0, 0.0, 0.0}), std::invalid_argument)
+      << "zero mass";
+  monitor.set_reference({0.5, 0.5, 0.0});
+  EXPECT_TRUE(monitor.has_reference());
+  // A window matching the installed reference stays quiet even though its
+  // confidences are arbitrary (confidence term is skipped with an explicit
+  // reference), and it does NOT become the reference itself.
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    monitor.record(seq, seq % 2, static_cast<double>(seq) / 8.0);
+  }
+  // A shifted window drifts.
+  for (std::uint64_t seq = 8; seq < 16; ++seq) monitor.record(seq, 2, 0.9);
+  const std::vector<DriftWindowResult> scored = monitor.take_scored();
+  ASSERT_EQ(scored.size(), 2U);
+  EXPECT_FALSE(scored[0].reference);
+  EXPECT_EQ(scored[0].score, 0.0);
+  EXPECT_TRUE(scored[1].drift);
+}
+
+TEST(ExitDriftMonitor, ClampsStageAndConfidenceOutOfRange) {
+  ExitDriftMonitor monitor(2, small_config(4, 1e9));
+  monitor.record(0, 99, 2.0);   // stage and confidence both out of range
+  monitor.record(1, 0, -0.5);
+  monitor.record(2, 1, 1.0);
+  monitor.record(3, 0, 0.0);
+  const std::vector<DriftWindowResult> scored = monitor.take_scored();
+  ASSERT_EQ(scored.size(), 1U);
+  ASSERT_EQ(scored[0].exits.size(), 2U);
+  EXPECT_EQ(scored[0].exits[0], 2U);
+  EXPECT_EQ(scored[0].exits[1], 2U) << "stage 99 clamped into the last stage";
+  EXPECT_EQ(scored[0].samples, 4U);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level covariate shift: a random cascade serves synthetic digits
+// (the reference workload), then the stream switches to synthetic letters.
+// The exit/confidence profile moves, the chi-square crosses the threshold,
+// and — because windows are keyed by submission sequence — the FIRST
+// drifting window index and every score are bit-identical whether the
+// engine runs inline (workers = 0) or with a real worker pool.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kImageSize = 12;
+constexpr std::size_t kWindow = 32;
+constexpr std::size_t kDigitWindows = 3;   // reference + 2 quiet windows
+constexpr std::size_t kLetterWindows = 3;  // shifted traffic
+constexpr std::size_t kDigitClasses = 5;   // conv_cdln's head is 5-way
+
+SyntheticMnist shift_digits() {
+  SyntheticMnistConfig config;
+  config.seed = 11;
+  config.image_size = kImageSize;
+  return SyntheticMnist(config);
+}
+
+/// The test cascade with its stage classifiers LMS-trained on the digit
+/// distribution, so exits genuinely depend on the input: in-distribution
+/// digits mostly exit at stage 0 with high confidence, letters fall through
+/// with low confidence. Deterministic — every call builds the same network.
+ConditionalNetwork trained_on_digits() {
+  Rng rng(3);
+  ConditionalNetwork net = conv_cdln(ConvAlgo::kIm2col, rng);
+  const SyntheticMnist digits = shift_digits();
+  Dataset train;
+  for (std::size_t i = 0; i < 400; ++i) {
+    train.add(digits.render(i % kDigitClasses, i), i % kDigitClasses);
+  }
+  CdlTrainConfig config;
+  config.lc_epochs = 8;
+  config.prune_by_gain = false;  // keep both stages; the test needs them
+  Rng train_rng(5);
+  (void)train_cdl(net, train, config, train_rng);
+  net.set_delta(0.3F);
+  return net;
+}
+
+std::vector<Tensor> shift_stream() {
+  const SyntheticMnist digits = shift_digits();
+  SyntheticLettersConfig letters_config;
+  letters_config.seed = 11;
+  letters_config.render.image_size = kImageSize;
+  const SyntheticLetters letters(letters_config);
+
+  std::vector<Tensor> stream;
+  stream.reserve((kDigitWindows + kLetterWindows) * kWindow);
+  for (std::size_t i = 0; i < kDigitWindows * kWindow; ++i) {
+    // Held-out digit samples (training used indices < 400).
+    stream.push_back(digits.render(i % kDigitClasses, 4000 + i));
+  }
+  for (std::size_t i = 0; i < kLetterWindows * kWindow; ++i) {
+    stream.push_back(letters.render(i % SyntheticLetters::kNumClasses, i));
+  }
+  return stream;
+}
+
+struct DriftOutcome {
+  std::uint64_t windows = 0;
+  std::uint64_t events = 0;
+  double latest = -1.0;
+  double max = -1.0;
+  std::int64_t first = -1;
+};
+
+DriftOutcome run_shift_stream(std::size_t workers, double threshold) {
+  ModelRegistry models;
+  models.add("cascade", trained_on_digits());
+
+  ManualClock clock(0);
+  EngineConfig config;
+  config.workers = workers;
+  config.clock = &clock;
+  config.batcher.max_batch = 4;
+  config.batcher.max_delay_ns = 1'000'000;
+  config.drift.window = kWindow;
+  config.drift.threshold = threshold;
+  ServingEngine engine(std::move(models), config);
+
+  std::vector<Submitted> pending;
+  for (Tensor& image : shift_stream()) {
+    Submitted s = engine.submit(0, std::move(image));
+    EXPECT_EQ(s.status, SubmitStatus::kAccepted);
+    pending.push_back(std::move(s));
+    if (workers == 0) engine.run_once();
+  }
+  engine.shutdown();  // drains stragglers on any worker count
+  for (Submitted& s : pending) {
+    EXPECT_EQ(s.response.get().status, RequestStatus::kOk);
+  }
+
+  const ExitDriftMonitor& monitor = engine.drift_monitor(0);
+  DriftOutcome out;
+  out.windows = monitor.windows_scored();
+  out.events = monitor.drift_events();
+  out.latest = monitor.latest_score();
+  out.max = monitor.max_score();
+  out.first = monitor.first_drift_window();
+
+  // The SLO mirror carries the same numbers into summaries/reports.
+  const SloSummary summary = engine.slo().summary(0);
+  EXPECT_EQ(summary.drift_windows, out.windows);
+  EXPECT_EQ(summary.drift_events, out.events);
+  EXPECT_EQ(summary.drift_score, out.latest);
+  EXPECT_EQ(summary.drift_max_score, out.max);
+  EXPECT_EQ(summary.first_drift_window, out.first);
+  return out;
+}
+
+TEST(ServingDrift, CovariateShiftDriftsAtSameWindowAcrossWorkerCounts) {
+  // Offline probe: served results are bit-identical to offline classify(), so
+  // a standalone monitor fed by classify() over the same stream yields the
+  // exact per-window scores the engine will compute. Calibrate the threshold
+  // between the quiet digit windows and the strongest letter window.
+  const ConditionalNetwork net = trained_on_digits();
+  ExitDriftMonitor probe(net.num_stages() + 1, small_config(kWindow, 1e300));
+  {
+    std::uint64_t seq = 0;
+    for (const Tensor& image : shift_stream()) {
+      const ClassificationResult r = net.classify(image);
+      probe.record(seq++, r.exit_stage, static_cast<double>(r.confidence));
+    }
+  }
+  const std::vector<DriftWindowResult> windows = probe.take_scored();
+  ASSERT_EQ(windows.size(), kDigitWindows + kLetterWindows);
+  double quiet_max = 0.0;  // windows after the reference, before the shift
+  for (std::size_t w = 1; w < kDigitWindows; ++w) {
+    quiet_max = std::max(quiet_max, windows[w].score);
+  }
+  double shift_max = 0.0;
+  for (std::size_t w = kDigitWindows; w < windows.size(); ++w) {
+    shift_max = std::max(shift_max, windows[w].score);
+  }
+  ASSERT_GT(shift_max, 2.0 * quiet_max)
+      << "digits -> letters must move the exit/confidence profile well "
+         "clear of same-distribution noise";
+  const double threshold = (quiet_max + shift_max) / 2.0;
+  std::int64_t expected_first = -1;
+  for (std::size_t w = kDigitWindows; w < windows.size(); ++w) {
+    if (windows[w].score >= threshold) {
+      expected_first = static_cast<std::int64_t>(w);
+      break;
+    }
+  }
+  ASSERT_GE(expected_first, static_cast<std::int64_t>(kDigitWindows));
+
+  const DriftOutcome inline_run = run_shift_stream(0, threshold);
+  const DriftOutcome threaded = run_shift_stream(2, threshold);
+  const DriftOutcome threaded4 = run_shift_stream(4, threshold);
+
+  EXPECT_EQ(inline_run.windows, kDigitWindows + kLetterWindows);
+  EXPECT_GE(inline_run.events, 1U) << "letters must trigger drift";
+  EXPECT_EQ(inline_run.first, expected_first)
+      << "engine drifts exactly where the offline probe predicts";
+  EXPECT_EQ(inline_run.max, shift_max);
+
+  // Bit-identical outcomes for every worker count.
+  EXPECT_EQ(threaded.windows, inline_run.windows);
+  EXPECT_EQ(threaded.events, inline_run.events);
+  EXPECT_EQ(threaded.first, inline_run.first);
+  EXPECT_EQ(threaded.latest, inline_run.latest);
+  EXPECT_EQ(threaded.max, inline_run.max);
+  EXPECT_EQ(threaded4.events, inline_run.events);
+  EXPECT_EQ(threaded4.first, inline_run.first);
+  EXPECT_EQ(threaded4.max, inline_run.max);
+}
+
+}  // namespace
+}  // namespace cdl::serve

@@ -1,0 +1,186 @@
+// SloTracker edge cases and the per-phase latency decomposition: zero and
+// single samples, all-expired runs, percentile ordering under ManualClock
+// virtual time, exact phase-sum accounting (queue + batch_wait + compute ==
+// latency), exit counting and the drift mirror.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "serve/engine.h"
+#include "serve/slo.h"
+#include "test_util.h"
+
+namespace cdl::serve {
+namespace {
+
+using cdl::test::conv_cdln;
+using cdl::test::random_image;
+
+const Shape kImageShape{1, 12, 12};
+
+ModelRegistry one_model(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  ModelRegistry models;
+  models.add("cascade", conv_cdln(ConvAlgo::kIm2col, rng));
+  return models;
+}
+
+TEST(SloTracker, ZeroSamplesSummaryIsAllZero) {
+  SloTracker slo;
+  const SloSummary s = slo.summary(0);  // never-touched model index
+  EXPECT_EQ(s.submitted, 0U);
+  EXPECT_EQ(s.completed, 0U);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+  EXPECT_EQ(s.queue_mean_ms, 0.0);
+  EXPECT_EQ(s.compute_p99_ms, 0.0);
+  EXPECT_TRUE(s.exits.empty());
+  EXPECT_EQ(s.drift_windows, 0U);
+  EXPECT_EQ(s.drift_score, -1.0);
+  EXPECT_EQ(s.drift_max_score, -1.0);
+  EXPECT_EQ(s.first_drift_window, -1);
+}
+
+TEST(SloTracker, SingleSampleCollapsesAllPercentiles) {
+  SloTracker slo;
+  slo.record_accepted(0);
+  // 5 ms total: 1 ms queue + 1.5 ms batch wait + 2.5 ms compute.
+  slo.record_completed(0, 5'000'000, 1'000'000, 1'500'000, 2'500'000,
+                       /*slo_miss=*/false);
+  const SloSummary s = slo.summary(0);
+  EXPECT_EQ(s.completed, 1U);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.queue_p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.queue_p99_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.batch_p50_ms, 1.5);
+  EXPECT_DOUBLE_EQ(s.compute_p50_ms, 2.5);
+  EXPECT_DOUBLE_EQ(s.queue_mean_ms + s.batch_mean_ms + s.compute_mean_ms,
+                   s.mean_ms);
+}
+
+TEST(SloTracker, AllExpiredLeavesLatencyEmptyButCountsMisses) {
+  SloTracker slo;
+  for (int i = 0; i < 4; ++i) {
+    slo.record_accepted(0);
+    slo.record_expired(0, 10'000'000);
+  }
+  const SloSummary s = slo.summary(0);
+  EXPECT_EQ(s.accepted, 4U);
+  EXPECT_EQ(s.expired, 4U);
+  EXPECT_EQ(s.completed, 0U);
+  EXPECT_EQ(s.slo_miss, 4U) << "every expired request is an SLO miss";
+  EXPECT_EQ(s.p50_ms, 0.0) << "no completed latencies to rank";
+  EXPECT_EQ(s.queue_mean_ms, 0.0);
+}
+
+TEST(SloTracker, PhaseMeansSumToLatencyMeanAcrossManySamples) {
+  SloTracker slo;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    const std::uint64_t queue = 100'000 * i;
+    const std::uint64_t batch = 50'000 * (i % 7);
+    const std::uint64_t compute = 1'000'000 + 10'000 * i;
+    slo.record_accepted(0);
+    slo.record_completed(0, queue + batch + compute, queue, batch, compute,
+                         false);
+  }
+  const SloSummary s = slo.summary(0);
+  EXPECT_EQ(s.completed, 100U);
+  EXPECT_NEAR(s.queue_mean_ms + s.batch_mean_ms + s.compute_mean_ms,
+              s.mean_ms, 1e-9);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.queue_p50_ms, s.queue_p95_ms);
+  EXPECT_LE(s.queue_p95_ms, s.queue_p99_ms);
+  EXPECT_LE(s.batch_p50_ms, s.batch_p99_ms);
+  EXPECT_LE(s.compute_p50_ms, s.compute_p99_ms);
+}
+
+TEST(SloTracker, ExitCountsAndRegistryFractions) {
+  obs::Registry registry;
+  SloTracker slo(&registry);
+  slo.name_model(0, "m");
+  slo.record_exit(0, 0);
+  slo.record_exit(0, 0);
+  slo.record_exit(0, 2);
+  const SloSummary s = slo.summary(0);
+  ASSERT_EQ(s.exits.size(), 3U);
+  EXPECT_EQ(s.exits[0], 2U);
+  EXPECT_EQ(s.exits[1], 0U);
+  EXPECT_EQ(s.exits[2], 1U);
+  std::ostringstream os;
+  registry.write_openmetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cdl_serve_exits_total"), std::string::npos);
+  EXPECT_NE(text.find("cdl_serve_exit_fraction"), std::string::npos);
+}
+
+TEST(SloTracker, DriftMirrorTracksLatestMaxAndFirstEvent) {
+  obs::Registry registry;
+  SloTracker slo(&registry);
+  slo.name_model(0, "m");
+  slo.record_drift(0, 0, 0.0, false);   // reference window
+  slo.record_drift(0, 1, 12.5, false);
+  slo.record_drift(0, 2, 80.0, true);   // first event
+  slo.record_drift(0, 3, 60.0, true);
+  const SloSummary s = slo.summary(0);
+  EXPECT_EQ(s.drift_windows, 4U);
+  EXPECT_EQ(s.drift_events, 2U);
+  EXPECT_DOUBLE_EQ(s.drift_score, 60.0) << "latest scored window";
+  EXPECT_DOUBLE_EQ(s.drift_max_score, 80.0);
+  EXPECT_EQ(s.first_drift_window, 2);
+  std::ostringstream os;
+  registry.write_openmetrics(os);
+  EXPECT_NE(os.str().find("cdl_serve_drift_score"), std::string::npos);
+  EXPECT_NE(os.str().find("cdl_serve_drift_events_total"), std::string::npos);
+}
+
+// Engine-level: under a ManualClock the decomposition is exact in virtual
+// time — staged clock advances land in the queue phase (before run_once
+// integrates) and the batch-wait phase (between integration and dispatch).
+TEST(SloTracker, EnginePhaseDecompositionIsExactOnManualClock) {
+  ManualClock clock(0);
+  EngineConfig config;
+  config.workers = 0;
+  config.clock = &clock;
+  config.batcher.max_batch = 2;
+  config.batcher.max_delay_ns = 50'000'000;
+  ServingEngine engine(one_model(), config);
+
+  Submitted a = engine.submit(0, random_image(kImageShape, 1));
+  ASSERT_EQ(a.status, SubmitStatus::kAccepted);
+  clock.advance(3'000'000);  // 3 ms sitting in the MPMC queue
+  Submitted b = engine.submit(0, random_image(kImageShape, 2));
+  ASSERT_EQ(b.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(engine.run_once(), 2U);  // size trigger at max_batch = 2
+
+  const Response ra = a.response.get();
+  const Response rb = b.response.get();
+  ASSERT_EQ(ra.status, RequestStatus::kOk);
+  ASSERT_EQ(rb.status, RequestStatus::kOk);
+  // Request a queued for 3 ms; b was submitted at dispatch time.
+  EXPECT_EQ(ra.queue_ns, 3'000'000U);
+  EXPECT_EQ(rb.queue_ns, 0U);
+  EXPECT_EQ(ra.queue_ns + ra.batch_wait_ns + ra.compute_ns, ra.latency_ns);
+  EXPECT_EQ(rb.queue_ns + rb.batch_wait_ns + rb.compute_ns, rb.latency_ns);
+
+  engine.shutdown();
+  const SloSummary s = engine.slo().summary(0);
+  EXPECT_EQ(s.completed, 2U);
+  EXPECT_NEAR(s.queue_mean_ms + s.batch_mean_ms + s.compute_mean_ms,
+              s.mean_ms, 1e-9);
+  // Both requests carried an exit stage.
+  std::uint64_t exits = 0;
+  for (const std::uint64_t e : s.exits) exits += e;
+  EXPECT_EQ(exits, 2U);
+}
+
+}  // namespace
+}  // namespace cdl::serve

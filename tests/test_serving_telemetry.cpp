@@ -1,0 +1,276 @@
+// TelemetrySnapshotter: header/interval/rotation semantics under a
+// ManualClock, the engine's live JSONL samples and forced final snapshot,
+// and (when tracing is compiled in) the full six-phase request-lifecycle
+// span chain with phase durations summing exactly to end-to-end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/engine.h"
+#include "serve/telemetry.h"
+#include "test_util.h"
+
+namespace cdl::serve {
+namespace {
+
+using cdl::test::conv_cdln;
+using cdl::test::random_image;
+
+const Shape kImageShape{1, 12, 12};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TelemetryConfig file_config(const std::string& path,
+                            std::uint64_t interval_ns = 1'000'000'000) {
+  TelemetryConfig config;
+  config.path = path;
+  config.interval_ns = interval_ns;
+  return config;
+}
+
+TEST(TelemetrySnapshotter, CtorValidatesPathAndClock) {
+  ManualClock clock(0);
+  EXPECT_THROW(TelemetrySnapshotter(TelemetryConfig{}, &clock),
+               std::invalid_argument)
+      << "empty path means disabled; constructing is a caller bug";
+  cdl::test::TempDir tmp("cdl_telemetry_ctor_test");
+  EXPECT_THROW(
+      TelemetrySnapshotter(file_config(tmp.path("t.jsonl")), nullptr),
+      std::invalid_argument);
+}
+
+TEST(TelemetrySnapshotter, WritesHeaderLineOnOpen) {
+  cdl::test::TempDir tmp("cdl_telemetry_header_test");
+  ManualClock clock(500);
+  const TelemetrySnapshotter snap(file_config(tmp.path("t.jsonl")), &clock,
+                                  ",\"models\":[\"m\"]");
+  const std::vector<std::string> lines = read_lines(tmp.path("t.jsonl"));
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_TRUE(contains(lines[0], "\"schema\":\"cdl-serve-telemetry/1\""))
+      << lines[0];
+  EXPECT_TRUE(contains(lines[0], "\"event\":\"start\""));
+  EXPECT_TRUE(contains(lines[0], "\"t_ns\":500"));
+  EXPECT_TRUE(contains(lines[0], "\"interval_ns\":1000000000"));
+  EXPECT_TRUE(contains(lines[0], "\"models\":[\"m\"]"));
+  EXPECT_EQ(snap.samples(), 0U);
+}
+
+TEST(TelemetrySnapshotter, IntervalGatesSamplesOnManualClock) {
+  cdl::test::TempDir tmp("cdl_telemetry_interval_test");
+  ManualClock clock(0);
+  TelemetrySnapshotter snap(file_config(tmp.path("t.jsonl"), 1'000'000),
+                            &clock);
+  const auto body = [](std::ostream& os) { os << ",\"x\":1"; };
+  EXPECT_FALSE(snap.due()) << "first sample is due one interval after start";
+  EXPECT_FALSE(snap.sample(body));
+  clock.advance(999'999);
+  EXPECT_FALSE(snap.sample(body));
+  clock.advance(1);  // exactly one interval
+  EXPECT_TRUE(snap.due());
+  EXPECT_TRUE(snap.sample(body));
+  EXPECT_EQ(snap.samples(), 1U);
+  EXPECT_EQ(snap.next_due_ns(), 2'000'000U);
+  EXPECT_FALSE(snap.sample(body)) << "interval re-arms after each sample";
+
+  const std::vector<std::string> lines = read_lines(tmp.path("t.jsonl"));
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_TRUE(contains(lines[1], "\"event\":\"sample\""));
+  EXPECT_TRUE(contains(lines[1], "\"t_ns\":1000000"));
+  EXPECT_TRUE(contains(lines[1], ",\"x\":1"));
+  EXPECT_EQ(lines[1].back(), '}') << "body is spliced inside the object";
+}
+
+TEST(TelemetrySnapshotter, ForceBypassesTheInterval) {
+  cdl::test::TempDir tmp("cdl_telemetry_force_test");
+  ManualClock clock(0);
+  TelemetrySnapshotter snap(file_config(tmp.path("t.jsonl")), &clock);
+  const auto body = [](std::ostream& os) { os << ",\"x\":2"; };
+  EXPECT_TRUE(snap.sample(body, /*force=*/true));
+  EXPECT_TRUE(snap.sample(body, /*force=*/true)) << "force always samples";
+  EXPECT_EQ(snap.samples(), 2U);
+  EXPECT_EQ(read_lines(tmp.path("t.jsonl")).size(), 3U);
+}
+
+TEST(TelemetrySnapshotter, RotatesBySizeAndRewritesHeader) {
+  cdl::test::TempDir tmp("cdl_telemetry_rotate_test");
+  ManualClock clock(0);
+  TelemetryConfig config = file_config(tmp.path("t.jsonl"));
+  config.rotate_bytes = 600;  // room for the header plus a few samples
+  TelemetrySnapshotter snap(config, &clock);
+  const auto body = [](std::ostream& os) {
+    os << ",\"pad\":\"" << std::string(100, 'x') << "\"";
+  };
+  while (snap.rotations() == 0) {
+    ASSERT_TRUE(snap.sample(body, /*force=*/true));
+    ASSERT_LT(snap.samples(), 64U) << "rotation must kick in";
+  }
+  EXPECT_TRUE(std::filesystem::exists(tmp.path("t.jsonl.1")));
+  const std::vector<std::string> fresh = read_lines(tmp.path("t.jsonl"));
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_TRUE(contains(fresh[0], "\"event\":\"start\""))
+      << "rotated file re-announces the stream";
+  const std::vector<std::string> old = read_lines(tmp.path("t.jsonl.1"));
+  ASSERT_FALSE(old.empty());
+  EXPECT_TRUE(contains(old[0], "\"event\":\"start\""));
+  EXPECT_GT(old.size(), 1U) << "rotation happens only after real samples";
+}
+
+ModelRegistry one_model() {
+  Rng rng(7);
+  ModelRegistry models;
+  models.add("cascade", conv_cdln(ConvAlgo::kIm2col, rng));
+  return models;
+}
+
+TEST(ServingTelemetry, EngineEmitsSamplesAndForcedFinalSnapshot) {
+  cdl::test::TempDir tmp("cdl_serving_telemetry_test");
+  const std::string path = tmp.path("telemetry.jsonl");
+  ManualClock clock(0);
+  EngineConfig config;
+  config.workers = 0;
+  config.clock = &clock;
+  config.batcher.max_batch = 2;
+  config.telemetry = file_config(path, 1'000'000'000);
+  ServingEngine engine(one_model(), config);
+  ASSERT_NE(engine.telemetry(), nullptr);
+
+  std::vector<Submitted> pending;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    pending.push_back(engine.submit(0, random_image(kImageShape, 10 + i)));
+    ASSERT_EQ(pending.back().status, SubmitStatus::kAccepted);
+    engine.run_once();
+  }
+  EXPECT_EQ(engine.telemetry()->samples(), 0U)
+      << "nothing due inside the first interval";
+  clock.advance(1'000'000'000);
+  engine.run_once();  // the pump runs on every turn of the engine
+  EXPECT_EQ(engine.telemetry()->samples(), 1U);
+  engine.shutdown();  // forced final snapshot regardless of the interval
+  EXPECT_EQ(engine.telemetry()->samples(), 2U);
+  for (Submitted& s : pending) {
+    EXPECT_EQ(s.response.get().status, RequestStatus::kOk);
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_TRUE(contains(lines[0], "\"event\":\"start\""));
+  EXPECT_TRUE(contains(lines[0], "\"models\":[\"cascade\"]"));
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_TRUE(contains(lines[i], "\"event\":\"sample\"")) << lines[i];
+    EXPECT_TRUE(contains(lines[i], "\"queue_depth\":"));
+    EXPECT_TRUE(contains(lines[i], "\"in_flight\":"));
+    EXPECT_TRUE(contains(lines[i], "\"model\":\"cascade\""));
+    EXPECT_TRUE(contains(lines[i], "\"phase_ms\":"));
+    EXPECT_TRUE(contains(lines[i], "\"drift\":"));
+  }
+  // The final snapshot carries the fully drained counters.
+  EXPECT_TRUE(contains(lines.back(), "\"submitted\":4"));
+  EXPECT_TRUE(contains(lines.back(), "\"completed\":4"));
+  EXPECT_TRUE(contains(lines.back(), "\"queue_depth\":0"));
+  EXPECT_TRUE(contains(lines.back(), "\"in_flight\":0"));
+}
+
+#ifndef CDL_TRACE_DISABLED
+
+/// Enables the process-wide tracer for one test and restores the disabled,
+/// empty state however the test exits.
+struct TracerGuard {
+  TracerGuard() {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  ~TracerGuard() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(ServingTelemetry, TracesSixPhaseLifecycleChainPerRequest) {
+  TracerGuard guard;
+  ManualClock clock(0);
+  EngineConfig config;
+  config.workers = 0;
+  config.clock = &clock;
+  config.batcher.max_batch = 2;
+  ServingEngine engine(one_model(), config);
+  Submitted a = engine.submit(0, random_image(kImageShape, 21));
+  Submitted b = engine.submit(0, random_image(kImageShape, 22));
+  ASSERT_EQ(a.status, SubmitStatus::kAccepted);
+  ASSERT_EQ(b.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(engine.run_once(), 2U);
+  engine.shutdown();
+  ASSERT_EQ(a.response.get().status, RequestStatus::kOk);
+  ASSERT_EQ(b.response.get().status, RequestStatus::kOk);
+
+  const std::vector<obs::Tracer::TaggedEvent> events =
+      obs::Tracer::instance().collect();
+  const auto count = [&](const std::string& name) {
+    std::size_t n = 0;
+    for (const obs::Tracer::TaggedEvent& e : events) {
+      if (name == e.event.name) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("serve/enqueue"), 2U);
+  EXPECT_EQ(count("serve/queue_wait"), 2U);
+  EXPECT_EQ(count("serve/batch_wait"), 2U);
+  EXPECT_EQ(count("serve/batch_form"), 1U) << "one batch of two";
+  EXPECT_EQ(count("serve/execute"), 2U);
+  EXPECT_EQ(count("serve/respond"), 2U);
+
+  // Per request (ids 1 and 2): the three spans chain back-to-back — each
+  // starts where the previous ended — so their durations sum exactly to
+  // enqueue -> execute-end. That is the "phases sum to end-to-end" contract
+  // in trace form.
+  for (std::int32_t id = 1; id <= 2; ++id) {
+    const obs::TraceEvent* queue_wait = nullptr;
+    const obs::TraceEvent* batch_wait = nullptr;
+    const obs::TraceEvent* execute = nullptr;
+    for (const obs::Tracer::TaggedEvent& e : events) {
+      if (e.event.id != id) continue;
+      const std::string name = e.event.name;
+      if (name == "serve/queue_wait") queue_wait = &e.event;
+      if (name == "serve/batch_wait") batch_wait = &e.event;
+      if (name == "serve/execute") execute = &e.event;
+    }
+    ASSERT_NE(queue_wait, nullptr) << "request " << id;
+    ASSERT_NE(batch_wait, nullptr) << "request " << id;
+    ASSERT_NE(execute, nullptr) << "request " << id;
+    EXPECT_EQ(queue_wait->start_ns + queue_wait->dur_ns,
+              batch_wait->start_ns);
+    EXPECT_EQ(batch_wait->start_ns + batch_wait->dur_ns, execute->start_ns);
+    EXPECT_EQ(queue_wait->dur_ns + batch_wait->dur_ns + execute->dur_ns,
+              execute->start_ns + execute->dur_ns - queue_wait->start_ns);
+  }
+  const obs::TraceEvent* batch_form = nullptr;
+  for (const obs::Tracer::TaggedEvent& e : events) {
+    if (std::string("serve/batch_form") == e.event.name) {
+      batch_form = &e.event;
+    }
+  }
+  ASSERT_NE(batch_form, nullptr);
+  EXPECT_EQ(batch_form->id, 2) << "instant id carries the batch size";
+}
+
+#endif  // CDL_TRACE_DISABLED
+
+}  // namespace
+}  // namespace cdl::serve

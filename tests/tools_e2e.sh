@@ -108,24 +108,46 @@ grep -q "^seed 5$" "$WORK_DIR/model3.meta"
 
 # Serving: cdl_serve pushes the bundle through the full queue -> dynamic
 # batcher -> cascade pipeline. With drain-on-shutdown every submitted
-# request must complete ("served N/N ok"), the SLO counters must land in
-# the OpenMetrics exposition, and the cdl-serve-report/1 JSON must pass
-# bench_check.py's accounting/percentile validation. Serving two
-# checkpoints at once exercises per-model routing.
+# request must complete ("served N/N ok"), the SLO counters (including the
+# per-phase latency decomposition and exit/drift families) must land in the
+# OpenMetrics exposition, the cdl-serve-report/1 JSON must pass
+# bench_check.py's accounting/percentile validation, the live telemetry
+# JSONL must pass --validate-telemetry, and --trace-out must capture the
+# request-lifecycle spans. Serving two checkpoints at once exercises
+# per-model routing.
 "$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/model,$WORK_DIR/model2" \
     --images 80 --seed 3 --workers 2 --max-batch 8 --max-delay-us 500 \
-    --deadline-ms 5000 \
+    --deadline-ms 5000 --drift-window 16 \
     --report "$WORK_DIR/serve_report.json" \
-    --metrics-out "$WORK_DIR/serve_metrics.txt" > "$WORK_DIR/serve.log"
+    --metrics-out "$WORK_DIR/serve_metrics.txt" \
+    --telemetry-out "$WORK_DIR/serve_telemetry.jsonl" \
+    --telemetry-interval-ms 10 \
+    --trace-out "$WORK_DIR/serve_trace.json" > "$WORK_DIR/serve.log"
 grep -q "served 80/80 ok" "$WORK_DIR/serve.log"
 grep -q "serve report written" "$WORK_DIR/serve.log"
+grep -q "telemetry" "$WORK_DIR/serve.log"
 grep -q "cdl_serve_requests_total" "$WORK_DIR/serve_metrics.txt"
 grep -q "cdl_serve_latency_ms" "$WORK_DIR/serve_metrics.txt"
+grep -q "cdl_serve_phase_queue_ms" "$WORK_DIR/serve_metrics.txt"
+grep -q "cdl_serve_phase_compute_ms" "$WORK_DIR/serve_metrics.txt"
+grep -q "cdl_serve_exits_total" "$WORK_DIR/serve_metrics.txt"
+grep -q "cdl_serve_drift_score" "$WORK_DIR/serve_metrics.txt"
 grep -q 'model="model2"' "$WORK_DIR/serve_metrics.txt"
 tail -n 1 "$WORK_DIR/serve_metrics.txt" | grep -q "^# EOF"
+test -s "$WORK_DIR/serve_telemetry.jsonl"
+head -n 1 "$WORK_DIR/serve_telemetry.jsonl" | grep -q "cdl-serve-telemetry/1"
+test -s "$WORK_DIR/serve_trace.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 "$SCRIPTS_DIR/bench_check.py" \
-      --validate-serving "$WORK_DIR/serve_report.json"
+      --validate-serving "$WORK_DIR/serve_report.json" \
+      --validate-telemetry "$WORK_DIR/serve_telemetry.jsonl"
+  if [ "$TRACING" != "OFF" ]; then
+    python3 -c "import json, sys; \
+d = json.load(open(sys.argv[1])); \
+names = {e.get('name') for e in d['traceEvents']}; \
+assert 'serve/execute' in names and 'serve/respond' in names, names" \
+        "$WORK_DIR/serve_trace.json"
+  fi
 fi
 # The quantized cascade serves through the same engine (the default
 # cdl_train calibration rides in the bundle's .meta).

@@ -101,9 +101,7 @@ int run(const cdl::ArgParser& args) {
     std::printf("\n");
   }
 
-  const std::string trace_out = args.get("trace-out");
-  cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
-  if (!trace_out.empty()) tracer.set_enabled(true);
+  const cdl::tools::TraceSink trace_sink(args);
 
   const cdl::MnistPair data = cdl::load_mnist_or_synthetic(
       0, args.get_size("test-n"), args.get_size("seed"));
@@ -229,14 +227,7 @@ int run(const cdl::ArgParser& args) {
                         [&](std::ostream& os) { run_report.write_json(os); });
     std::printf("run report written to %s\n", report_out.c_str());
   }
-  if (!trace_out.empty()) {
-    write_file_or_throw(trace_out, [&](std::ostream& os) {
-      tracer.write_chrome_trace(os);
-    });
-    std::printf("\n%strace written to %s (open in chrome://tracing or "
-                "https://ui.perfetto.dev)\n",
-                tracer.summary().c_str(), trace_out.c_str());
-  }
+  trace_sink.write();
   return 0;
 }
 
@@ -255,8 +246,7 @@ int main(int argc, char** argv) {
   args.add_option("threads", "1", "evaluation worker threads (0 = hardware "
                                   "concurrency); results are identical for "
                                   "any value");
-  args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
-                                   "tracing for the run)");
+  cdl::tools::add_trace_option(args);
   args.add_option("profile-csv", "", "write the exit profile as CSV here");
   args.add_flag("per-digit", "print the per-digit breakdown (paper Fig. 5)");
   args.add_flag("confusion", "print the confusion matrix");

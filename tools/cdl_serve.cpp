@@ -19,6 +19,7 @@
 #include "eval/table.h"
 #include "model_io.h"
 #include "obs/registry.h"
+#include "report_io.h"
 #include "serve/engine.h"
 #include "util/args.h"
 
@@ -88,13 +89,40 @@ void write_serve_report(std::ostream& os, const cdl::serve::ServingEngine& eng,
     os << "      \"latency_ms_p95\": " << s.p95_ms << ",\n";
     os << "      \"latency_ms_p99\": " << s.p99_ms << ",\n";
     os << "      \"latency_ms_mean\": " << s.mean_ms << ",\n";
-    os << "      \"latency_ms_max\": " << s.max_ms << "\n";
+    os << "      \"latency_ms_max\": " << s.max_ms << ",\n";
+    os << "      \"phase_ms\": {\n";
+    os << "        \"queue_p50\": " << s.queue_p50_ms << ",\n";
+    os << "        \"queue_p95\": " << s.queue_p95_ms << ",\n";
+    os << "        \"queue_p99\": " << s.queue_p99_ms << ",\n";
+    os << "        \"queue_mean\": " << s.queue_mean_ms << ",\n";
+    os << "        \"batch_p50\": " << s.batch_p50_ms << ",\n";
+    os << "        \"batch_p95\": " << s.batch_p95_ms << ",\n";
+    os << "        \"batch_p99\": " << s.batch_p99_ms << ",\n";
+    os << "        \"batch_mean\": " << s.batch_mean_ms << ",\n";
+    os << "        \"compute_p50\": " << s.compute_p50_ms << ",\n";
+    os << "        \"compute_p95\": " << s.compute_p95_ms << ",\n";
+    os << "        \"compute_p99\": " << s.compute_p99_ms << ",\n";
+    os << "        \"compute_mean\": " << s.compute_mean_ms << "\n";
+    os << "      },\n";
+    os << "      \"exits\": [";
+    for (std::size_t e = 0; e < s.exits.size(); ++e) {
+      os << (e == 0 ? "" : ", ") << s.exits[e];
+    }
+    os << "],\n";
+    os << "      \"drift\": {\n";
+    os << "        \"windows\": " << s.drift_windows << ",\n";
+    os << "        \"events\": " << s.drift_events << ",\n";
+    os << "        \"score\": " << s.drift_score << ",\n";
+    os << "        \"max_score\": " << s.drift_max_score << ",\n";
+    os << "        \"first_drift_window\": " << s.first_drift_window << "\n";
+    os << "      }\n";
     os << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
 
 int run(const cdl::ArgParser& args) {
+  const cdl::tools::TraceSink trace_sink(args);
   const std::vector<std::string> bundles = split_list(args.get("model"));
   if (bundles.empty()) throw std::runtime_error("--model: no bundles given");
 
@@ -131,6 +159,12 @@ int run(const cdl::ArgParser& args) {
   config.default_deadline_ns =
       static_cast<std::uint64_t>(args.get_double("deadline-ms") * 1e6);
   config.registry = &registry;
+  config.drift.window = args.get_size("drift-window");
+  config.drift.threshold = args.get_double("drift-threshold");
+  config.telemetry.path = args.get("telemetry-out");
+  config.telemetry.interval_ns = static_cast<std::uint64_t>(
+      args.get_double("telemetry-interval-ms") * 1e6);
+  config.telemetry.rotate_bytes = args.get_size("telemetry-rotate-kb") * 1024;
   cdl::serve::ServingEngine engine(std::move(models), config);
 
   const std::size_t images = args.get_size("images");
@@ -215,6 +249,14 @@ int run(const cdl::ArgParser& args) {
     });
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
+  if (engine.telemetry() != nullptr) {
+    std::printf("telemetry written to %s (%llu sample(s), %llu rotation(s))\n",
+                config.telemetry.path.c_str(),
+                static_cast<unsigned long long>(engine.telemetry()->samples()),
+                static_cast<unsigned long long>(
+                    engine.telemetry()->rotations()));
+  }
+  trace_sink.write();
   return 0;
 }
 
@@ -241,8 +283,20 @@ int main(int argc, char** argv) {
   args.add_option("delta", "-1", "override confidence threshold (-1 = stored)");
   args.add_flag("int8", "serve the full cascade quantized (needs calibration "
                         "in the .meta)");
+  args.add_option("drift-window", "256",
+                  "requests per exit-profile drift window");
+  args.add_option("drift-threshold", "50",
+                  "chi-square score at which a window raises a drift event");
   args.add_option("report", "", "write cdl-serve-report/1 JSON here");
   args.add_option("metrics-out", "", "write OpenMetrics exposition here");
+  args.add_option("telemetry-out", "",
+                  "stream cdl-serve-telemetry/1 JSONL samples here while "
+                  "serving");
+  args.add_option("telemetry-interval-ms", "1000",
+                  "telemetry sampling interval");
+  args.add_option("telemetry-rotate-kb", "0",
+                  "rotate the telemetry file at this size (0 = never)");
+  cdl::tools::add_trace_option(args);
 
   try {
     args.parse(argc, argv);

@@ -30,9 +30,7 @@
 namespace {
 
 int run(const cdl::ArgParser& args) {
-  const std::string trace_out = args.get("trace-out");
-  cdl::obs::Tracer& tracer = cdl::obs::Tracer::instance();
-  if (!trace_out.empty()) tracer.set_enabled(true);
+  const cdl::tools::TraceSink trace_sink(args);
 
   const std::string arch_name = args.get("arch");
   const cdl::CdlArchitecture arch =
@@ -256,15 +254,7 @@ int run(const cdl::ArgParser& args) {
     }
   }
 
-  if (!trace_out.empty()) {
-    std::ofstream os(trace_out);
-    if (!os) throw std::runtime_error("cannot write " + trace_out);
-    tracer.write_chrome_trace(os);
-    if (!os) throw std::runtime_error("write failure on " + trace_out);
-    std::printf("\n%strace written to %s (open in chrome://tracing or "
-                "https://ui.perfetto.dev)\n",
-                tracer.summary().c_str(), trace_out.c_str());
-  }
+  trace_sink.write();
   return 0;
 }
 
@@ -287,8 +277,7 @@ int main(int argc, char** argv) {
                                   "measured region (0 = hardware "
                                   "concurrency); training is serial and "
                                   "results are identical for any value");
-  args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
-                                   "tracing for the run)");
+  cdl::tools::add_trace_option(args);
   args.add_flag("prune", "apply Algorithm 1's gain-based stage admission");
   cdl::tools::add_report_options(args);
   cdl::tools::add_train_report_options(args);

@@ -4,7 +4,10 @@
 // the results into a RunReport (schema cdl-run-report/1).
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "obs/layer_profile.h"
@@ -43,6 +46,39 @@ inline void add_train_report_options(ArgParser& args) {
                                 "durations (trades away the train log's "
                                 "byte-determinism)");
 }
+
+/// The shared --trace-out flag: cdl_train, cdl_eval and cdl_serve expose the
+/// same Chrome-trace surface through this pair.
+inline void add_trace_option(ArgParser& args) {
+  args.add_option("trace-out", "", "write Chrome trace JSON here (enables "
+                                   "tracing for the run)");
+}
+
+/// Arms the process tracer when --trace-out was given and writes the
+/// collected trace (plus the aggregated span summary) at the end of the run.
+class TraceSink {
+ public:
+  explicit TraceSink(const ArgParser& args) : path_(args.get("trace-out")) {
+    if (!path_.empty()) obs::Tracer::instance().set_enabled(true);
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Call once after the traced work is done (no spans in flight).
+  void write() const {
+    if (path_.empty()) return;
+    std::ofstream os(path_);
+    if (!os) throw std::runtime_error("cannot write " + path_);
+    obs::Tracer::instance().write_chrome_trace(os);
+    if (!os) throw std::runtime_error("write failure on " + path_);
+    std::printf("\n%strace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                obs::Tracer::instance().summary().c_str(), path_.c_str());
+  }
+
+ private:
+  std::string path_;
+};
 
 /// Build provenance stamped into train logs and model metadata.
 inline const char* git_describe() {
