@@ -52,6 +52,10 @@ struct ServingRow {
   double queue_mean_ms = 0.0;
   double batch_mean_ms = 0.0;
   double compute_mean_ms = 0.0;
+  /// Attributed energy over completed requests (the engine's exit-energy
+  /// stamps folded by the SLO tracker).
+  double energy_mean_pj = 0.0;
+  double energy_total_pj = 0.0;
   bool identical_to_offline = false;
 };
 
@@ -122,6 +126,8 @@ ServingRow serve_row(const std::string& network, const std::string& precision,
   row.queue_mean_ms = slo.queue_mean_ms;
   row.batch_mean_ms = slo.batch_mean_ms;
   row.compute_mean_ms = slo.compute_mean_ms;
+  row.energy_mean_pj = slo.energy_mean_pj;
+  row.energy_total_pj = slo.energy_total_pj;
   row.sustained_ips =
       wall_s > 0.0 ? static_cast<double>(slo.completed) / wall_s : 0.0;
   return row;
@@ -232,7 +238,7 @@ int main(int argc, char** argv) {
   cdl::TextTable table({"network", "precision", "offered img/s",
                         "sustained img/s", "completed", "rejected", "expired",
                         "slo miss", "mean batch", "p50 ms", "p95 ms",
-                        "p99 ms"});
+                        "p99 ms", "mJ/img"});
   bool all_identical = true;
   for (const cdl::CdlArchitecture& arch : cdl::paper_architectures()) {
     for (const cdl::StagePrecision prec :
@@ -275,7 +281,8 @@ int main(int argc, char** argv) {
                      std::to_string(row.expired),
                      std::to_string(row.slo_miss),
                      cdl::fmt(row.mean_batch, 2), cdl::fmt(row.p50_ms, 3),
-                     cdl::fmt(row.p95_ms, 3), cdl::fmt(row.p99_ms, 3)});
+                     cdl::fmt(row.p95_ms, 3), cdl::fmt(row.p99_ms, 3),
+                     cdl::fmt(row.energy_mean_pj * 1e-9, 4)});
       rows.push_back(std::move(row));
     }
   }
@@ -317,6 +324,8 @@ int main(int argc, char** argv) {
         "\"latency_ms_p99\": %.3f, \"latency_ms_mean\": %.4f, "
         "\"phase_ms_queue_mean\": %.4f, \"phase_ms_batch_mean\": %.4f, "
         "\"phase_ms_compute_mean\": %.4f, "
+        "\"energy_pj_mean\": %.6g, \"energy_pj_total\": %.6g, "
+        "\"mj_per_image\": %.6g, "
         "\"identical_to_offline\": %s}%s\n",
         r.network.c_str(), r.precision.c_str(), r.offered_rate_ips,
         static_cast<unsigned long long>(r.submitted),
@@ -326,8 +335,24 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.slo_miss), r.sustained_ips,
         r.mean_batch, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms,
         r.queue_mean_ms, r.batch_mean_ms, r.compute_mean_ms,
+        r.energy_mean_pj, r.energy_total_pj, r.energy_mean_pj * 1e-9,
         r.identical_to_offline ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
+    js << buf;
+  }
+  js << "    ],\n    \"energy\": [\n";
+  // Per-network fp32-vs-int8 served energy (rows come in fp32/int8 pairs).
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const ServingRow& f = rows[i];
+    const ServingRow& q = rows[i + 1];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "      {\"network\": \"%s\", \"fp32_mj_per_image\": %.6g, "
+        "\"int8_mj_per_image\": %.6g, \"int8_vs_fp32\": %.4f}%s\n",
+        f.network.c_str(), f.energy_mean_pj * 1e-9, q.energy_mean_pj * 1e-9,
+        f.energy_mean_pj > 0.0 ? q.energy_mean_pj / f.energy_mean_pj : 0.0,
+        i + 2 < rows.size() ? "," : "");
     js << buf;
   }
   js << "    ]\n  }";

@@ -32,6 +32,7 @@
 #include "nn/gemm.h"
 #include "nn/qconv_direct.h"
 #include "nn/qgemm.h"
+#include "obs/energy_meter.h"
 #include "obs/exit_profile.h"
 #include "obs/layer_profile.h"
 #include "obs/metrics.h"
@@ -80,6 +81,11 @@ struct Attribution {
   std::uint64_t time_ns = 0;
   std::vector<cdl::obs::LayerProfileRow> rows;
   cdl::obs::LayerProfiler::ParallelForStats parallel_for;
+  /// Energy fold of `rows` (per-stage, precision-aware) and its total; the
+  /// integer op bundles merge identically for any thread count, so
+  /// serial.energy_pj == parallel.energy_pj bit-exactly — checked below.
+  std::vector<cdl::obs::StageEnergyRow> energy_rows;
+  double energy_pj = 0.0;
 
   [[nodiscard]] std::uint64_t total_ops() const {
     std::uint64_t total = 0;
@@ -106,6 +112,12 @@ struct BatchRow {
   bool perf_attempted = false;
   std::string perf_reason;
   cdl::obs::PerfReading perf;  ///< parallel attributed pass
+  /// Cumulative exit-energy table (pJ at each exit stage) and the serial
+  /// pass's exit counts; the exit-weighted average is the offline analogue
+  /// of the serving engine's per-request attribution.
+  std::vector<double> exit_energy_pj;
+  std::vector<std::uint64_t> exit_counts;
+  double exit_weighted_pj = 0.0;
 };
 
 void write_attribution_json(std::FILE* out, const char* key,
@@ -551,6 +563,7 @@ int main(int argc, char** argv) {
     // The exact per-row OPS make serial vs parallel attribution a structural
     // determinism check on top of the per-result one above.
     cdl::obs::LayerProfiler& profiler = cdl::obs::LayerProfiler::instance();
+    const cdl::obs::EnergyMeter meter;
     const auto attribute_pass = [&](cdl::ThreadPool* p,
                                     cdl::BatchWorkspace& ws) {
       profiler.clear();
@@ -562,6 +575,8 @@ int main(int argc, char** argv) {
       profiler.set_enabled(false);
       attr.rows = profiler.snapshot();
       attr.parallel_for = profiler.parallel_for_stats();
+      attr.energy_rows = meter.attribute(attr.rows);
+      attr.energy_pj = meter.total_pj(attr.energy_rows);
       return attr;
     };
     row.serial_attr = attribute_pass(nullptr, ws_serial);
@@ -576,19 +591,28 @@ int main(int argc, char** argv) {
       row.parallel_attr = attribute_pass(&pool, ws_parallel);
     }
 
-    // Exit profile of the serial (reference) results.
+    // Exit profile of the serial (reference) results, with each result's
+    // energy attributed through the same cumulative exit-energy table the
+    // serving engine stamps responses from.
+    row.exit_energy_pj = net.exit_energy_table(meter);
     std::vector<std::string> stage_names;
     stage_names.reserve(net.num_stages() + 1);
     for (std::size_t s = 0; s <= net.num_stages(); ++s) {
       stage_names.push_back(net.stage_name(s));
     }
     cdl::obs::ExitProfile profile(std::move(stage_names));
+    row.exit_counts.assign(net.num_stages() + 1, 0);
     for (std::size_t i = 0; i < serial.size(); ++i) {
+      ++row.exit_counts[serial[i].exit_stage];
       profile.record(serial[i].exit_stage,
                      static_cast<double>(serial[i].confidence),
                      static_cast<double>(serial[i].ops.total_compute()),
-                     serial[i].label == data.test.label(i));
+                     serial[i].label == data.test.label(i),
+                     row.exit_energy_pj[serial[i].exit_stage]);
     }
+    row.exit_weighted_pj =
+        cdl::obs::EnergyMeter::exit_weighted_pj(row.exit_energy_pj,
+                                                row.exit_counts);
     profile_summaries.push_back(arch.name + "/" + row.precision + " " +
                                 profile.summary());
 
@@ -666,6 +690,20 @@ int main(int argc, char** argv) {
                        r.parallel_attr.total_ops()));
       return 1;
     }
+    // The energy fold prices merged integer op bundles, so it must be
+    // bit-identical across thread counts, not merely close.
+    if (r.serial_attr.energy_pj != r.parallel_attr.energy_pj) {
+      std::fprintf(stderr,
+                   "\nerror: attributed energy differs serial vs parallel "
+                   "(%.17g vs %.17g pJ) -- energy attribution determinism "
+                   "broken\n",
+                   r.serial_attr.energy_pj, r.parallel_attr.energy_pj);
+      return 1;
+    }
+    std::printf("%s/%s energy: %.0f pJ attributed (%.3f pJ/image "
+                "exit-weighted)\n",
+                r.network.c_str(), r.precision.c_str(),
+                r.parallel_attr.energy_pj, r.exit_weighted_pj);
   }
   if (!all_identical) {
     std::fprintf(stderr, "\nerror: parallel batch results differ from serial "
@@ -776,6 +814,33 @@ int main(int argc, char** argv) {
     std::fprintf(out, ",\n");
     write_attribution_json(out, "parallel", r.parallel_attr, "      ");
     std::fprintf(out, "},\n");
+    // Energy block: per-stage attributed energy (parallel pass; bit-equal to
+    // serial per the check above), the cumulative exit-energy table with the
+    // serial exit counts, and the exit-weighted pJ/image they produce.
+    // bench_check.py re-derives total_pj and exit_weighted_pj_per_image from
+    // these stages and requires exact agreement.
+    std::fprintf(out,
+                 "     \"energy\": {\"total_pj\": %.17g, "
+                 "\"exit_weighted_pj_per_image\": %.17g,\n"
+                 "      \"stages\": [",
+                 r.parallel_attr.energy_pj, r.exit_weighted_pj);
+    for (std::size_t s = 0; s < r.parallel_attr.energy_rows.size(); ++s) {
+      const cdl::obs::StageEnergyRow& er = r.parallel_attr.energy_rows[s];
+      std::fprintf(out,
+                   "%s\n        {\"stage\": %d, \"samples\": %llu, "
+                   "\"energy_pj\": %.17g, \"per_image_pj\": %.17g}",
+                   s == 0 ? "" : ",", er.stage,
+                   static_cast<unsigned long long>(er.samples), er.energy_pj,
+                   er.per_image_pj);
+    }
+    std::fprintf(out, "\n      ],\n      \"exit_table\": [");
+    for (std::size_t s = 0; s < r.exit_energy_pj.size(); ++s) {
+      std::fprintf(out, "%s\n        {\"stage\": %zu, \"cum_pj\": %.17g, "
+                   "\"exits\": %llu}",
+                   s == 0 ? "" : ",", s, r.exit_energy_pj[s],
+                   static_cast<unsigned long long>(r.exit_counts[s]));
+    }
+    std::fprintf(out, "\n      ]},\n");
     std::ostringstream perf_os;
     cdl::obs::write_perf_json(perf_os, r.perf);
     std::fprintf(out,

@@ -215,6 +215,61 @@ def validate_direct_conv_section(doc, path):
                  f"got {routed!r}")
 
 
+def check_batch_energy(energy, where):
+    """Energy-balance invariants of a batch row's energy block (written by
+    bench/throughput from the EnergyMeter fold). Both are *exact* equalities:
+    the C++ side sums doubles in stage order and exports them at %.17g (full
+    round-trip precision), so re-summing here in the same order must
+    reproduce the totals bit-for-bit."""
+    total = float(require(energy, "total_pj", (int, float), where))
+    weighted = float(require(energy, "exit_weighted_pj_per_image",
+                             (int, float), where))
+    stages = require(energy, "stages", list, where)
+    acc = 0.0
+    for i, stage in enumerate(stages):
+        s_where = f"{where}.stages[{i}]"
+        require(stage, "stage", int, s_where)
+        if require(stage, "samples", int, s_where) < 0:
+            fail(f"{s_where}: negative sample count")
+        e = float(require(stage, "energy_pj", (int, float), s_where))
+        if e < 0 or float(require(stage, "per_image_pj", (int, float),
+                                  s_where)) < 0:
+            fail(f"{s_where}: negative energy")
+        acc += e
+    if acc != total:
+        fail(f"{where}: per-stage energies sum to {acc!r} but total_pj is "
+             f"{total!r} -- energy balance broken")
+
+    table = require(energy, "exit_table", list, where)
+    if not table:
+        fail(f"{where}: empty exit_table")
+    exits_total = 0
+    prev_cum = 0.0
+    for s, entry in enumerate(table):
+        e_where = f"{where}.exit_table[{s}]"
+        require(entry, "stage", int, e_where)
+        cum = float(require(entry, "cum_pj", (int, float), e_where))
+        if cum < prev_cum:
+            fail(f"{e_where}: cumulative exit energy decreased "
+                 f"({prev_cum} -> {cum})")
+        prev_cum = cum
+        count = require(entry, "exits", int, e_where)
+        if count < 0:
+            fail(f"{e_where}: negative exit count")
+        exits_total += count
+    if exits_total > 0:
+        # The fig6_energy weighting, in the same FP order as the C++ side:
+        # sum of exit_fraction(s) * cumulative(s) over stages in index order.
+        recomputed = 0.0
+        for entry in table:
+            recomputed += (entry["exits"] / exits_total) * \
+                float(entry["cum_pj"])
+        if recomputed != weighted:
+            fail(f"{where}: exit-weighted energy {weighted!r} does not "
+                 f"reproduce from the exit table ({recomputed!r}) -- "
+                 f"offline/live energy accounting diverged")
+
+
 def check_parallel_speedup(doc, path):
     """With >= 2 effective worker threads, the parallel batch path must not
     be slower than serial (the pool clamps oversubscription, so a recorded
@@ -368,7 +423,101 @@ def validate_serving_section(doc, path):
         if not require(row, "identical_to_offline", bool, row_where):
             fail(f"{row_where}: served results are not bit-identical to "
                  f"offline batch inference -- serving determinism broken")
+        # Energy fields (absent in pre-energy baselines).
+        if "energy_pj_mean" in row:
+            mean = float(require(row, "energy_pj_mean", (int, float),
+                                 row_where))
+            total = float(require(row, "energy_pj_total", (int, float),
+                                  row_where))
+            mj = float(require(row, "mj_per_image", (int, float), row_where))
+            if mean < 0 or total < 0:
+                fail(f"{row_where}: negative served energy")
+            if row["completed"] > 0 and mean > 0 and total < mean:
+                fail(f"{row_where}: energy total {total} below the per-"
+                     f"request mean {mean}")
+            if not math.isclose(mj, mean * 1e-9, rel_tol=1e-4,
+                                abs_tol=1e-12):
+                fail(f"{row_where}: mj_per_image {mj} does not reproduce "
+                     f"from energy_pj_mean * 1e-9 = {mean * 1e-9}")
+    # The per-network fp32-vs-int8 served energy summary, when present.
+    if "energy" in serving:
+        pairs = require(serving, "energy", list, where)
+        for i, pair in enumerate(pairs):
+            p_where = f"{where}.energy[{i}]"
+            require(pair, "network", str, p_where)
+            fp32 = float(require(pair, "fp32_mj_per_image", (int, float),
+                                 p_where))
+            int8 = float(require(pair, "int8_mj_per_image", (int, float),
+                                 p_where))
+            ratio = float(require(pair, "int8_vs_fp32", (int, float),
+                                  p_where))
+            if fp32 < 0 or int8 < 0:
+                fail(f"{p_where}: negative mJ/image")
+            if fp32 > 0 and not math.isclose(ratio, int8 / fp32,
+                                             rel_tol=1e-3, abs_tol=1e-4):
+                fail(f"{p_where}: int8_vs_fp32 {ratio} does not reproduce "
+                     f"from {int8} / {fp32}")
+            if fp32 > 0 and int8 > 0 and int8 >= fp32:
+                fail(f"{p_where}: int8 serving energy {int8} mJ/image is "
+                     f"not below fp32 {fp32} -- the int8 datapath benefit "
+                     f"disappeared")
     return True
+
+
+def check_report_energy_block(e, where):
+    """Per-model energy block of a cdl-serve-report/1."""
+    for key in ("pj_p50", "pj_p95", "pj_p99", "pj_mean", "pj_max",
+                "pj_total", "mj_per_image", "joules_total"):
+        require(e, key, (int, float), where)
+    p50, p95, p99 = float(e["pj_p50"]), float(e["pj_p95"]), float(e["pj_p99"])
+    mean, pmax = float(e["pj_mean"]), float(e["pj_max"])
+    total = float(e["pj_total"])
+    if not 0.0 <= p50 <= p95 <= p99:
+        fail(f"{where}: energy percentiles out of order "
+             f"(p50={p50}, p95={p95}, p99={p99})")
+    if p99 > pmax or mean > pmax:
+        fail(f"{where}: p99 {p99} / mean {mean} exceed max {pmax}")
+    if total < 0:
+        fail(f"{where}: negative cumulative energy ({total})")
+    if not math.isclose(float(e["mj_per_image"]), mean * 1e-9,
+                        rel_tol=1e-4, abs_tol=1e-12):
+        fail(f"{where}: mj_per_image does not reproduce from pj_mean")
+    if not math.isclose(float(e["joules_total"]), total * 1e-12,
+                        rel_tol=1e-4, abs_tol=1e-15):
+        fail(f"{where}: joules_total does not reproduce from pj_total")
+
+
+def check_energy_budget_block(budget, where):
+    """The watchdog block (serve report and telemetry samples share it)."""
+    require(budget, "enabled", bool, where)
+    if float(require(budget, "budget_mj_per_s", (int, float), where)) < 0:
+        fail(f"{where}: negative budget")
+    windows = require(budget, "windows", int, where)
+    breaches = require(budget, "breaches", int, where)
+    rate = float(require(budget, "rate_mj_per_s", (int, float), where))
+    max_rate = float(require(budget, "max_rate_mj_per_s", (int, float),
+                             where))
+    first = require(budget, "first_breach_window", int, where)
+    if windows < 0 or breaches < 0:
+        fail(f"{where}: negative window counters")
+    if breaches > windows:
+        fail(f"{where}: breaches {breaches} exceed scored windows {windows}")
+    for name, value in (("rate_mj_per_s", rate),
+                        ("max_rate_mj_per_s", max_rate)):
+        if value < 0 and value != -1:
+            fail(f"{where}: {name} {value} is negative and not the -1 "
+                 f"sentinel")
+    if windows == 0 and (rate != -1 or max_rate != -1):
+        fail(f"{where}: no scored windows but a rate is reported")
+    if rate > max_rate:
+        fail(f"{where}: latest rate {rate} exceeds max rate {max_rate}")
+    if breaches > 0 and first < 0:
+        fail(f"{where}: {breaches} breach(es) but first_breach_window is "
+             f"{first}")
+    if breaches == 0 and first != -1:
+        fail(f"{where}: no breaches but first_breach_window is {first}")
+    if float(require(budget, "total_energy_pj", (int, float), where)) < 0:
+        fail(f"{where}: negative total energy")
 
 
 def validate_serve_report(path):
@@ -422,9 +571,18 @@ def validate_serve_report(path):
                     f"{row_where}.exits")
         check_drift_block(require(row, "drift", dict, row_where),
                           f"{row_where}.drift")
+        # Energy attribution block (absent in pre-energy reports).
+        if "energy" in row:
+            check_report_energy_block(require(row, "energy", dict, row_where),
+                                      f"{row_where}.energy")
+    if "energy_budget" in doc:
+        check_energy_budget_block(
+            require(doc, "energy_budget", dict, where),
+            f"{where}.energy_budget")
     print(f"{path}: valid {SERVE_REPORT_SCHEMA} ({doc['images']} images, "
           f"{len(models)} model(s), accounting balanced, percentiles "
-          f"ordered, phase decomposition exact, drift block sane)")
+          f"ordered, phase decomposition exact, drift block sane, energy "
+          f"blocks sane)")
 
 
 # --- serve-telemetry (JSONL) validation ---------------------------------------
@@ -471,6 +629,7 @@ def validate_telemetry(path):
     samples = 0
     last_t = header["t_ns"]
     last_counters = {}  # model name -> {counter: value}
+    last_energy_total = {}  # model name -> cumulative pJ
     for i, event in enumerate(events[1:], start=2):
         where = f"{path}:{i}"
         kind = event.get("event")
@@ -520,6 +679,26 @@ def validate_telemetry(path):
                         row["completed"], f"{row_where}.exits")
             check_drift_block(require(row, "drift", dict, row_where),
                               f"{row_where}.drift")
+            # Per-interval energy (absent in pre-energy streams): the
+            # cumulative total is a counter, percentiles stay ordered.
+            if "energy_pj" in row:
+                e = require(row, "energy_pj", dict, row_where)
+                e_where = f"{row_where}.energy_pj"
+                for key in ("p50", "p95", "p99", "mean", "max", "total"):
+                    require(e, key, (int, float), e_where)
+                if not 0.0 <= float(e["p50"]) <= float(e["p95"]) \
+                        <= float(e["p99"]) <= float(e["max"]):
+                    fail(f"{e_where}: energy percentiles out of order")
+                total = float(e["total"])
+                if total < last_energy_total.get(name, 0.0):
+                    fail(f"{e_where}: cumulative energy decreased "
+                         f"({last_energy_total[name]} -> {total}) -- energy "
+                         f"totals must be monotonic")
+                last_energy_total[name] = total
+        if "energy_budget" in event:
+            check_energy_budget_block(
+                require(event, "energy_budget", dict, where),
+                f"{where}.energy_budget")
         samples += 1
 
     if samples == 0:
@@ -612,6 +791,9 @@ def validate_throughput_schema(doc, path):
             require(perf, "attempted", bool, f"{where}.perf")
             check_perf_reading(require(perf, "reading", dict, f"{where}.perf"),
                                f"{where}.perf.reading")
+        if "energy" in row:
+            check_batch_energy(require(row, "energy", dict, where),
+                               f"{where}.energy")
     return attributed
 
 

@@ -12,6 +12,7 @@
 #include "core/tensor.h"    // IWYU pragma: export
 
 // Observability: tracing, metrics, exit profiles, attribution, reports.
+#include "obs/energy_meter.h"   // IWYU pragma: export
 #include "obs/exit_profile.h"   // IWYU pragma: export
 #include "obs/layer_profile.h"  // IWYU pragma: export
 #include "obs/metrics.h"        // IWYU pragma: export
@@ -51,10 +52,12 @@
 #include "cdl/linear_classifier.h"    // IWYU pragma: export
 
 // Serving engine: request queue, dynamic batcher, SLO accounting.
-#include "serve/batcher.h"         // IWYU pragma: export
-#include "serve/clock.h"           // IWYU pragma: export
-#include "serve/engine.h"          // IWYU pragma: export
+#include "serve/batcher.h"        // IWYU pragma: export
+#include "serve/clock.h"          // IWYU pragma: export
+#include "serve/energy_budget.h"  // IWYU pragma: export
+#include "serve/engine.h"         // IWYU pragma: export
 #include "serve/model_registry.h"  // IWYU pragma: export
+#include "serve/observer.h"        // IWYU pragma: export
 #include "serve/request.h"         // IWYU pragma: export
 #include "serve/request_queue.h"   // IWYU pragma: export
 #include "serve/slo.h"             // IWYU pragma: export

@@ -8,6 +8,7 @@
 #include "core/thread_pool.h"
 #include "nn/serialize.h"
 #include "nn/softmax.h"
+#include "obs/energy_meter.h"
 #include "obs/layer_profile.h"
 #include "obs/trace.h"
 
@@ -389,7 +390,7 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
       obs::LayerProfiler::instance().record(
           static_cast<std::int32_t>(s), obs::kStageLevel,
           qlc != nullptr ? "classifier+gate[int8]" : "classifier+gate", 1, 1,
-          gate_ops.total_compute(), obs::now_ns() - prof_t0);
+          gate_ops, obs::now_ns() - prof_t0);
     }
     if (decision.terminate) {
       result.label = decision.label;
@@ -426,8 +427,7 @@ ClassificationResult ConditionalNetwork::classify(const Tensor& input) const {
     fc_ops.compares += num_classes_ - 1;  // argmax scan
     obs::LayerProfiler::instance().record(
         static_cast<std::int32_t>(stages_.size()), obs::kStageLevel,
-        "softmax+argmax", 1, 1, fc_ops.total_compute(),
-        obs::now_ns() - prof_t0);
+        "softmax+argmax", 1, 1, fc_ops, obs::now_ns() - prof_t0);
   }
   CDL_TRACE_INSTANT("exit", static_cast<std::int32_t>(stages_.size()));
   return result;
@@ -445,7 +445,7 @@ ClassificationResult ConditionalNetwork::classify_baseline(
     // so the attribution row mirrors that to keep the sums exact.
     obs::LayerProfiler::instance().record(
         obs::kNoStage, obs::kStageLevel, "softmax", 1, 1,
-        softmax_ops(num_classes_).total_compute(), obs::now_ns() - prof_t0);
+        softmax_ops(num_classes_), obs::now_ns() - prof_t0);
   }
   result.label = probs.argmax();
   result.exit_stage = stages_.size();
@@ -571,8 +571,7 @@ void ConditionalNetwork::classify_batch_into(
         obs::LayerProfiler::instance().record(
             static_cast<std::int32_t>(s), obs::kStageLevel,
             qlc != nullptr ? "classifier+gate[int8]" : "classifier+gate", 1,
-            entering, gate_ops.total_compute() * entering,
-            obs::now_ns() - prof_t0);
+            entering, gate_ops * entering, obs::now_ns() - prof_t0);
       }
       CDL_TRACE_INSTANT("batch_survivors", static_cast<std::int32_t>(live));
     }
@@ -611,8 +610,7 @@ void ConditionalNetwork::classify_batch_into(
       fc_ops.compares += num_classes_ - 1;  // argmax scan
       obs::LayerProfiler::instance().record(
           static_cast<std::int32_t>(stages_.size()), obs::kStageLevel,
-          "softmax+argmax", 1, live, fc_ops.total_compute() * live,
-          obs::now_ns() - prof_t0);
+          "softmax+argmax", 1, live, fc_ops * live, obs::now_ns() - prof_t0);
     }
   }
 }
@@ -678,6 +676,36 @@ OpCount ConditionalNetwork::exit_ops(std::size_t stage) const {
   }
   if (stage == stages_.size()) ops += final_stage_ops();
   return ops;
+}
+
+std::vector<double> ConditionalNetwork::exit_energy_table(
+    const obs::EnergyMeter& meter) const {
+  std::vector<obs::PrecisionOps> mix;
+  mix.reserve(stages_.size() + 1);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    obs::PrecisionOps po;
+    if (stage_precision(s) == StagePrecision::kInt8) {
+      po.int8 = stage_ops(s);
+    } else {
+      po.fp32 = stage_ops(s);
+    }
+    mix.push_back(po);
+  }
+  // Final stage: a quantized final segment runs int8, but softmax+argmax is
+  // always evaluated in fp32 — the same precision split the profiler rows
+  // carry, so live attribution and this table agree bit-exactly.
+  obs::PrecisionOps fin;
+  if (stage_precision(stages_.size()) == StagePrecision::kInt8) {
+    OpCount fc = softmax_ops(num_classes_);
+    fc.compares += num_classes_ - 1;  // argmax scan
+    const std::size_t prev = stages_.empty() ? 0 : stages_.back().prefix_layers;
+    fin.int8 = segment_ops(prev, baseline_.size());
+    fin.fp32 = fc;
+  } else {
+    fin.fp32 = final_stage_ops();
+  }
+  mix.push_back(fin);
+  return meter.exit_energy_table(mix);
 }
 
 std::vector<Tensor*> ConditionalNetwork::all_parameters() {

@@ -16,6 +16,10 @@
 #include "core/workspace.h"
 #include "nn/network.h"
 
+namespace cdl::obs {
+class EnergyMeter;
+}  // namespace cdl::obs
+
 namespace cdl {
 
 /// Numeric precision a cascade stage executes in. kInt8 runs the stage's
@@ -231,6 +235,16 @@ class ConditionalNetwork {
   [[nodiscard]] OpCount worst_case_ops() const;
   /// Cumulative cost of exiting exactly at `stage` (num_stages() = FC exit).
   [[nodiscard]] OpCount exit_ops(std::size_t stage) const;
+
+  /// Cumulative exit-energy table under `meter` (index = exit stage,
+  /// num_stages() = FC exit), priced by each stage's *execution* precision:
+  /// quantized stages at the meter's int8 costs, with the final
+  /// softmax+argmax always at fp32 — exactly the precision split the
+  /// profiler rows carry, so folding a profiler snapshot of the same inputs
+  /// through the meter reproduces these figures bit-identically. This is
+  /// the per-request energy the serving engine stamps on each Response.
+  [[nodiscard]] std::vector<double> exit_energy_table(
+      const obs::EnergyMeter& meter) const;
 
   /// Saves/loads baseline + classifier parameters (architecture must match).
   void save(const std::string& path);

@@ -283,6 +283,7 @@ std::unique_ptr<QuantizedSegment> QuantizedSegment::build(
     step.first = bs.first;
     step.span = bs.span;
     step.name = bs.name + "[int8]";
+    step.op_count = bs.op_count;
     step.ops = bs.ops;
     step.in_numel = bs.in_shape.numel();
     step.out_numel = bs.out_shape.numel();
@@ -574,7 +575,7 @@ void QuantizedSegment::infer_block(const float* in, float* out,
     if (profiling) {
       obs::LayerProfiler::instance().record(
           prof_stage, static_cast<std::int32_t>(step.first), step.name,
-          step.span, count, step.ops * count, obs::now_ns() - prof_t0);
+          step.span, count, step.op_count * count, obs::now_ns() - prof_t0);
     }
   }
 }

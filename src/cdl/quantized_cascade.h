@@ -100,7 +100,8 @@ class QuantizedSegment {
     std::size_t first = 0;  ///< index of the step's first baseline layer
     std::size_t span = 1;
     std::string name;       ///< profiler row name (fp32 step name + [int8])
-    std::uint64_t ops = 0;  ///< per-sample modeled cost (fp32 plan's value)
+    OpCount op_count;       ///< per-sample modeled cost (fp32 plan's value)
+    std::uint64_t ops = 0;  ///< total_compute of op_count
     // Conv-triple geometry (unused for dense).
     std::size_t in_c = 0, in_h = 0, in_w = 0, kernel = 0;
     std::size_t conv_oh = 0, conv_ow = 0, pool_window = 1;

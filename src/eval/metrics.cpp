@@ -75,7 +75,8 @@ void aggregate(Evaluation& eval, const Dataset& data, const EnergyModel& model,
     ++eval.exit_counts[result.exit_stage];
     if (ok) ++eval.exit_correct[result.exit_stage];
     eval.profile.record(result.exit_stage,
-                        static_cast<double>(result.confidence), ops, ok);
+                        static_cast<double>(result.confidence), ops, ok,
+                        energy);
 
     ClassStats& cls = eval.per_class[truth];
     ++cls.total;

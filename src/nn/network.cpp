@@ -62,7 +62,7 @@ Tensor Network::infer_range(const Tensor& input, std::size_t begin,
     const std::uint64_t t1 = obs::now_ns();
     obs::LayerProfiler::instance().record(
         prof_stage, static_cast<std::int32_t>(i), layers_[i]->name(), 1, 1,
-        layers_[i]->forward_ops(x.shape()).total_compute(), t1 - t0);
+        layers_[i]->forward_ops(x.shape()), t1 - t0);
     x = std::move(y);
   }
   return x;
@@ -128,6 +128,7 @@ BlockPlan Network::plan_block_range(const Shape& in_shape, std::size_t begin,
       step_ops += layers_[j]->forward_ops(model_shape);
       model_shape = layers_[j]->output_shape(model_shape);
     }
+    step.op_count = step_ops;
     step.ops = step_ops.total_compute();
     s = step.out_shape;
     i += step.span;
@@ -240,7 +241,7 @@ void Network::infer_block_range(const BlockPlan& plan, const float* in,
     if (profiling) {
       obs::LayerProfiler::instance().record(
           prof_stage, static_cast<std::int32_t>(step.first), step.name,
-          step.span, count, step.ops * count, obs::now_ns() - prof_t0);
+          step.span, count, step.op_count * count, obs::now_ns() - prof_t0);
     }
     cur = dst;
   }

@@ -26,11 +26,12 @@ struct BlockStep {
   Shape out_shape;        ///< per-sample output shape of the step
   Shape conv_out;         ///< raw convolution output shape (fused steps only)
   std::string name;       ///< layer name, "a+b+c" when fused
-  /// Per-sample modeled cost (OpCount::total_compute) of the step's layers,
-  /// resolved at plan time so the profiled hot path never recomputes it.
-  /// Follows the layer_ops() model — the fused activation is costed at the
-  /// pre-pool shape even though execution applies it post-pool — keeping
-  /// attribution rows bit-consistent with the exit_ops() accounting.
+  /// Per-sample modeled cost (full op bundle; `ops` caches total_compute) of
+  /// the step's layers, resolved at plan time so the profiled hot path never
+  /// recomputes it. Follows the layer_ops() model — the fused activation is
+  /// costed at the pre-pool shape even though execution applies it post-pool
+  /// — keeping attribution rows bit-consistent with exit_ops() accounting.
+  OpCount op_count;
   std::uint64_t ops = 0;
 };
 

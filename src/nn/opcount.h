@@ -53,6 +53,25 @@ struct OpCount {
     return *this;
   }
 
+  friend OpCount operator*(OpCount lhs, std::uint64_t n) {
+    lhs *= n;
+    return lhs;
+  }
+
+  /// Exact per-sample share of an aggregate recorded over `n` samples; every
+  /// field must be a multiple of `n` (profiler rows accumulate identical
+  /// per-sample bundles, so the division is exact there).
+  OpCount& operator/=(std::uint64_t n) {
+    macs /= n;
+    adds /= n;
+    compares /= n;
+    activations /= n;
+    divides /= n;
+    mem_reads /= n;
+    mem_writes /= n;
+    return *this;
+  }
+
   bool operator==(const OpCount&) const = default;
 
   [[nodiscard]] std::string to_string() const;

@@ -1,0 +1,107 @@
+#include "obs/energy_meter.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace cdl::obs {
+
+EnergyMeter::EnergyMeter(EnergyCosts fp32, EnergyCosts int8)
+    : fp32_(fp32), int8_(int8) {}
+
+bool EnergyMeter::is_int8_row(const std::string& name) {
+  static constexpr char kSuffix[] = "[int8]";
+  static constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+  return name.size() >= kLen &&
+         name.compare(name.size() - kLen, kLen, kSuffix) == 0;
+}
+
+double EnergyMeter::energy_pj(const OpCount& ops, bool int8) const {
+  return int8 ? int8_.energy_pj(ops) : fp32_.energy_pj(ops);
+}
+
+std::vector<StageEnergyRow> EnergyMeter::attribute(
+    const std::vector<LayerProfileRow>& rows) const {
+  struct Merged {
+    std::uint64_t samples = 0;
+    OpCount fp32;
+    OpCount int8;
+    OpCount fp32_per_image;
+    OpCount int8_per_image;
+  };
+  std::map<std::int32_t, Merged> stages;
+  for (const LayerProfileRow& row : rows) {
+    Merged& m = stages[row.stage];
+    if (row.samples > m.samples) m.samples = row.samples;
+    // Rows accumulate `samples` identical per-sample bundles, so dividing
+    // by the sample count recovers the per-image bundle exactly (integer
+    // division of exact multiples).
+    OpCount per_image = row.op_count;
+    if (row.samples > 1) per_image /= row.samples;
+    if (is_int8_row(row.name)) {
+      m.int8 += row.op_count;
+      m.int8_per_image += per_image;
+    } else {
+      m.fp32 += row.op_count;
+      m.fp32_per_image += per_image;
+    }
+  }
+  std::vector<StageEnergyRow> out;
+  out.reserve(stages.size());
+  for (const auto& [stage, m] : stages) {
+    StageEnergyRow row;
+    row.stage = stage;
+    row.samples = m.samples;
+    row.fp32_ops = m.fp32;
+    row.int8_ops = m.int8;
+    // fp32 part first, int8 part second — the same order exit_energy_table
+    // uses, so the per-image figures agree bit-exactly with the table's
+    // increments.
+    row.energy_pj = fp32_.energy_pj(m.fp32) + int8_.energy_pj(m.int8);
+    row.per_image_pj =
+        fp32_.energy_pj(m.fp32_per_image) + int8_.energy_pj(m.int8_per_image);
+    out.push_back(row);
+  }
+  return out;
+}
+
+double EnergyMeter::total_pj(const std::vector<StageEnergyRow>& stages) const {
+  double total = 0.0;
+  for (const StageEnergyRow& s : stages) total += s.energy_pj;
+  return total;
+}
+
+std::vector<double> EnergyMeter::exit_energy_table(
+    const std::vector<PrecisionOps>& stages) const {
+  std::vector<double> table;
+  table.reserve(stages.size());
+  // Running sum in cascade order — fig6_energy's fp32_cum/int8_cum loops do
+  // exactly this, and adding a priced empty bundle contributes an exact 0.0,
+  // so a pure-fp32 (or pure-int8) mix reproduces those sums bit-identically.
+  double run = 0.0;
+  for (const PrecisionOps& s : stages) {
+    run += fp32_.energy_pj(s.fp32) + int8_.energy_pj(s.int8);
+    table.push_back(run);
+  }
+  return table;
+}
+
+double EnergyMeter::exit_weighted_pj(
+    const std::vector<double>& exit_energy,
+    const std::vector<std::uint64_t>& exit_counts) {
+  if (exit_energy.size() != exit_counts.size()) {
+    throw std::invalid_argument(
+        "EnergyMeter::exit_weighted_pj: table/counts size mismatch");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : exit_counts) total += c;
+  if (total == 0) return 0.0;
+  double avg = 0.0;
+  for (std::size_t s = 0; s < exit_energy.size(); ++s) {
+    // exit_fraction(s) * cumulative(s), the fig6_energy weighting order.
+    avg += static_cast<double>(exit_counts[s]) / static_cast<double>(total) *
+           exit_energy[s];
+  }
+  return avg;
+}
+
+}  // namespace cdl::obs

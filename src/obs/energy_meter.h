@@ -1,0 +1,96 @@
+// EnergyMeter: precision-aware energy attribution over profiler rows.
+//
+// The paper's headline quantity is energy per classified input (normalized
+// OPS folded through 45 nm per-op costs). The offline accounting lives in
+// src/energy (EnergyModel) and bench/fig6_energy; this meter makes the same
+// arithmetic available to the live observability plane: it prices the
+// LayerProfiler's per-(stage, layer, precision) op bundles — fp32 rows via
+// EnergyCosts::cmos_45nm(), rows whose name carries the quantized cascade's
+// "[int8]" suffix via cmos_45nm_int8() — into per-stage picojoule totals,
+// and builds the cumulative exit-energy tables the serving engine stamps
+// onto each Response.
+//
+// Determinism: profiler rows merge by integer OpCount addition (commutes),
+// so the merged bundles — and every double computed from them here — are
+// identical for any thread count. Per-stage energies accumulate in cascade
+// order exactly like fig6_energy's running sums, so the exit-energy table
+// and the exit-weighted average are bit-identical to the offline accounting
+// (test_energy_meter asserts this for the paper architectures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "nn/opcount.h"
+#include "obs/layer_profile.h"
+
+namespace cdl::obs {
+
+/// One cascade stage's op bundle split by execution precision. Exactly one
+/// part is typically non-empty; the final FC stage of a quantized cascade
+/// mixes both (int8 segment, fp32 softmax+argmax).
+struct PrecisionOps {
+  OpCount fp32;
+  OpCount int8;
+};
+
+/// Per-stage energy attribution folded from a LayerProfiler snapshot.
+struct StageEnergyRow {
+  std::int32_t stage = kNoStage;
+  std::uint64_t samples = 0;  ///< images that entered the stage
+  OpCount fp32_ops;           ///< merged ops of the stage's fp32 rows
+  OpCount int8_ops;           ///< merged ops of the stage's [int8] rows
+  double energy_pj = 0.0;     ///< total pJ attributed across all samples
+  double per_image_pj = 0.0;  ///< pJ of one image's pass through the stage
+};
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyCosts fp32 = EnergyCosts::cmos_45nm(),
+                       EnergyCosts int8 = EnergyCosts::cmos_45nm_int8());
+
+  /// True when the profiler row was recorded by an int8 execution path (the
+  /// quantized cascade suffixes its row names with "[int8]").
+  [[nodiscard]] static bool is_int8_row(const std::string& name);
+
+  /// Energy of one op bundle under the selected precision, in picojoules.
+  [[nodiscard]] double energy_pj(const OpCount& ops, bool int8) const;
+
+  /// Folds a profiler snapshot into per-stage rows, sorted by stage.
+  /// `per_image_pj` divides each row's bundle by its sample count before
+  /// pricing (exact: rows accumulate identical per-sample bundles), so it
+  /// matches the offline per-image stage cost bit-identically.
+  [[nodiscard]] std::vector<StageEnergyRow> attribute(
+      const std::vector<LayerProfileRow>& rows) const;
+
+  /// Total attributed energy: the per-stage energies summed in stage order,
+  /// so sum-of-stages == total holds bit-exactly (the balance invariant
+  /// bench_check.py re-checks on the exported JSON).
+  [[nodiscard]] double total_pj(const std::vector<StageEnergyRow>& stages) const;
+
+  /// Cumulative exit-energy table: entry s is the energy an input spends
+  /// when it exits at stage s (runs stages 0..s). `stages` holds the
+  /// *incremental* per-stage bundles in cascade order (last entry = final
+  /// FC stage). The accumulation order matches fig6_energy's running sums
+  /// bit-exactly.
+  [[nodiscard]] std::vector<double> exit_energy_table(
+      const std::vector<PrecisionOps>& stages) const;
+
+  /// Exit-weighted average energy per image (pJ): sum over stages of
+  /// exit_fraction(s) * exit_energy[s], the same FP order fig6_energy and
+  /// eval::Evaluation use.
+  [[nodiscard]] static double exit_weighted_pj(
+      const std::vector<double>& exit_energy,
+      const std::vector<std::uint64_t>& exit_counts);
+
+  [[nodiscard]] const EnergyModel& fp32_model() const { return fp32_; }
+  [[nodiscard]] const EnergyModel& int8_model() const { return int8_; }
+
+ private:
+  EnergyModel fp32_;
+  EnergyModel int8_;
+};
+
+}  // namespace cdl::obs

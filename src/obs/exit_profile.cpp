@@ -20,7 +20,7 @@ ExitProfile::ExitProfile(std::vector<std::string> stage_names) {
 }
 
 void ExitProfile::record(std::size_t stage, double confidence, double ops,
-                         bool correct) {
+                         bool correct, double energy_pj) {
   if (stage >= stages_.size()) {
     throw std::out_of_range("ExitProfile::record: stage " +
                             std::to_string(stage) + " of " +
@@ -30,9 +30,11 @@ void ExitProfile::record(std::size_t stage, double confidence, double ops,
   ++s.exits;
   s.correct += correct ? 1 : 0;
   s.sum_ops += ops;
+  s.sum_energy_pj += energy_pj;
   s.confidence.record(confidence);
   ++total_;
   sum_ops_ += ops;
+  sum_energy_pj_ += energy_pj;
 }
 
 const StageExit& ExitProfile::stage(std::size_t i) const {
@@ -71,22 +73,34 @@ double ExitProfile::surviving_fraction(std::size_t stage) const {
   return entering_fraction(stage) - exit_fraction(stage);
 }
 
+double ExitProfile::energy_share(std::size_t stage) const {
+  if (stage >= stages_.size()) {
+    throw std::out_of_range("ExitProfile::energy_share");
+  }
+  return sum_energy_pj_ == 0.0 ? 0.0
+                               : stages_[stage].sum_energy_pj / sum_energy_pj_;
+}
+
 std::string ExitProfile::summary() const {
-  char line[192];
+  char line[256];
   std::snprintf(line, sizeof line,
-                "exit profile (%zu inputs, avg %.0f OPS):\n", total_,
-                total_ == 0 ? 0.0 : sum_ops_ / static_cast<double>(total_));
+                "exit profile (%zu inputs, avg %.0f OPS, avg %.0f pJ):\n",
+                total_,
+                total_ == 0 ? 0.0 : sum_ops_ / static_cast<double>(total_),
+                total_ == 0 ? 0.0
+                            : sum_energy_pj_ / static_cast<double>(total_));
   std::string out = line;
   out += "  stage      exits    share  entering  surviving  stage-acc"
-         "     avg OPS  conf-mean   conf-p50   conf-p95\n";
+         "     avg OPS      avg pJ  e-share  conf-mean   conf-p50   conf-p95\n";
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageExit& s = stages_[i];
     std::snprintf(line, sizeof line,
                   "  %-6s %9zu  %6.1f %%  %6.1f %%   %6.1f %%  %8.1f %%"
-                  "  %10.0f  %9.3f  %9.3f  %9.3f\n",
+                  "  %10.0f  %10.0f  %5.1f %%  %9.3f  %9.3f  %9.3f\n",
                   s.name.c_str(), s.exits, 100.0 * exit_fraction(i),
                   100.0 * entering_fraction(i), 100.0 * surviving_fraction(i),
-                  100.0 * s.accuracy(), s.avg_ops(), s.confidence.mean(),
+                  100.0 * s.accuracy(), s.avg_ops(), s.avg_energy_pj(),
+                  100.0 * energy_share(i), s.confidence.mean(),
                   s.confidence.quantile(0.5), s.confidence.quantile(0.95));
     out += line;
   }
@@ -95,16 +109,18 @@ std::string ExitProfile::summary() const {
 
 void ExitProfile::write_csv(std::ostream& os) const {
   os << "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
-        "conf_p95,entering,surviving\n";
-  char line[224];
+        "conf_p95,entering,surviving,avg_energy_pj,energy_share\n";
+  char line[288];
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageExit& s = stages_[i];
     std::snprintf(line, sizeof line,
-                  "%s,%zu,%.6f,%zu,%.6f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                  "%s,%zu,%.6f,%zu,%.6f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,"
+                  "%.3f,%.6f\n",
                   s.name.c_str(), s.exits, exit_fraction(i), s.correct,
                   s.accuracy(), s.avg_ops(), s.confidence.mean(),
                   s.confidence.quantile(0.5), s.confidence.quantile(0.95),
-                  entering_fraction(i), surviving_fraction(i));
+                  entering_fraction(i), surviving_fraction(i),
+                  s.avg_energy_pj(), energy_share(i));
     os << line;
   }
 }
@@ -117,6 +133,10 @@ void ExitProfile::export_to_registry(Registry& registry,
   registry
       .counter(prefix + "_ops", "Total OPS spent across all inputs")
       .inc(sum_ops_);
+  registry
+      .counter(prefix + "_energy_pj",
+               "Total modeled energy (pJ) across all inputs")
+      .inc(sum_energy_pj_);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const StageExit& s = stages_[i];
     const Labels labels = {{"stage", s.name}};
@@ -133,6 +153,16 @@ void ExitProfile::export_to_registry(Registry& registry,
         .counter(prefix + "_stage_ops",
                  "OPS spent by inputs that terminated at this stage", labels)
         .inc(s.sum_ops);
+    registry
+        .counter(prefix + "_stage_energy_pj",
+                 "Modeled energy (pJ) of inputs that terminated at this stage",
+                 labels)
+        .inc(s.sum_energy_pj);
+    registry
+        .gauge(prefix + "_stage_energy_fraction",
+               "This stage's exit-weighted share of total modeled energy",
+               labels)
+        .set(energy_share(i));
     registry
         .gauge(prefix + "_stage_accuracy",
                "Accuracy over inputs that terminated at this stage", labels)

@@ -23,6 +23,7 @@ struct StageExit {
   std::size_t exits = 0;        ///< inputs that terminated here
   std::size_t correct = 0;      ///< of those, correctly labeled
   double sum_ops = 0.0;         ///< cumulative OPS spent by those inputs
+  double sum_energy_pj = 0.0;   ///< cumulative modeled energy of those inputs
   Histogram confidence{0.0, 1.0, 20};  ///< confidence at the exit decision
 
   [[nodiscard]] double accuracy() const {
@@ -31,6 +32,10 @@ struct StageExit {
   }
   [[nodiscard]] double avg_ops() const {
     return exits == 0 ? 0.0 : sum_ops / static_cast<double>(exits);
+  }
+  /// Modeled pJ per image exiting here (src/energy pricing of exit_ops).
+  [[nodiscard]] double avg_energy_pj() const {
+    return exits == 0 ? 0.0 : sum_energy_pj / static_cast<double>(exits);
   }
 
   friend bool operator==(const StageExit&, const StageExit&) = default;
@@ -42,11 +47,17 @@ class ExitProfile {
   /// One slot per stage name, in cascade order (last = final/FC stage).
   explicit ExitProfile(std::vector<std::string> stage_names);
 
-  void record(std::size_t stage, double confidence, double ops, bool correct);
+  /// `energy_pj` is the input's modeled energy (0.0 when the caller does not
+  /// price energy); aggregation stays serial in sample order either way.
+  void record(std::size_t stage, double confidence, double ops, bool correct,
+              double energy_pj = 0.0);
 
   [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
   [[nodiscard]] double sum_ops() const { return sum_ops_; }
+  [[nodiscard]] double sum_energy_pj() const { return sum_energy_pj_; }
+  /// A stage's exit-weighted share of the profile's total energy.
+  [[nodiscard]] double energy_share(std::size_t stage) const;
   [[nodiscard]] const StageExit& stage(std::size_t i) const;
 
   /// Per-stage exit counts in stage order (for consistency checks against
@@ -65,7 +76,7 @@ class ExitProfile {
   /// Human-readable per-stage table; first line starts with "exit profile".
   [[nodiscard]] std::string summary() const;
   /// stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,conf_p95,
-  /// entering,surviving
+  /// entering,surviving,avg_energy_pj,energy_share
   void write_csv(std::ostream& os) const;
 
   /// Exports the profile into `registry` as `<prefix>_...` families: per-stage
@@ -82,6 +93,7 @@ class ExitProfile {
   std::vector<StageExit> stages_;
   std::size_t total_ = 0;
   double sum_ops_ = 0.0;
+  double sum_energy_pj_ = 0.0;
 };
 
 }  // namespace cdl::obs

@@ -32,7 +32,7 @@ LayerProfiler::ThreadState& LayerProfiler::local() {
 
 void LayerProfiler::record(std::int32_t stage, std::int32_t layer,
                            const std::string& name, std::uint64_t span,
-                           std::uint64_t samples, std::uint64_t ops,
+                           std::uint64_t samples, const OpCount& ops,
                            std::uint64_t time_ns) {
   Cell& cell = local().cells[Key{stage, sort_layer(layer), name}];
   cell.span = span;
@@ -90,7 +90,8 @@ std::vector<LayerProfileRow> LayerProfiler::snapshot() const {
     row.span = cell.span;
     row.calls = cell.calls;
     row.samples = cell.samples;
-    row.ops = cell.ops;
+    row.op_count = cell.ops;
+    row.ops = cell.ops.total_compute();
     row.time_ns = cell.time_ns;
     rows.push_back(std::move(row));
   }

@@ -29,6 +29,8 @@
 #include <tuple>
 #include <vector>
 
+#include "nn/opcount.h"
+
 namespace cdl::obs {
 
 /// Stage value for work that runs outside any cascade stage (plain Network
@@ -46,7 +48,10 @@ struct LayerProfileRow {
   std::uint64_t span = 1;         ///< baseline layers covered by the row
   std::uint64_t calls = 0;        ///< instrumented executions
   std::uint64_t samples = 0;      ///< rows (images) processed
-  std::uint64_t ops = 0;          ///< total_compute, exact
+  std::uint64_t ops = 0;          ///< total_compute of op_count, exact
+  /// Full per-category op bundle across all recorded samples — the quantity
+  /// the energy meter prices per precision (obs/energy_meter.h).
+  OpCount op_count;
   std::uint64_t time_ns = 0;
 
   /// Achieved giga-ops per second (OPS counts one MAC as two operations, so
@@ -68,10 +73,12 @@ class LayerProfiler {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   /// Accumulates one instrumented execution into the calling thread's table.
-  /// Works regardless of enabled(); instrumentation sites do the enabled()
-  /// check so the disabled hot path never reaches this call.
+  /// `ops` is the execution's full op bundle (already scaled by `samples`);
+  /// the snapshot keeps the categories so energy pricing stays exact. Works
+  /// regardless of enabled(); instrumentation sites do the enabled() check
+  /// so the disabled hot path never reaches this call.
   void record(std::int32_t stage, std::int32_t layer, const std::string& name,
-              std::uint64_t span, std::uint64_t samples, std::uint64_t ops,
+              std::uint64_t span, std::uint64_t samples, const OpCount& ops,
               std::uint64_t time_ns);
 
   /// Fork/join accounting: one ThreadPool::parallel_for dispatch of `items`
@@ -117,7 +124,7 @@ class LayerProfiler {
     std::uint64_t span = 1;
     std::uint64_t calls = 0;
     std::uint64_t samples = 0;
-    std::uint64_t ops = 0;
+    OpCount ops;
     std::uint64_t time_ns = 0;
   };
   struct ThreadState {

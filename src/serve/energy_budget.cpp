@@ -1,0 +1,108 @@
+#include "serve/energy_budget.h"
+
+#include <stdexcept>
+
+namespace cdl::serve {
+
+EnergyBudgetWatchdog::EnergyBudgetWatchdog(EnergyBudgetConfig config)
+    : config_(config) {
+  if (config_.window_ns == 0) {
+    throw std::invalid_argument("EnergyBudgetWatchdog: window_ns must be > 0");
+  }
+  if (config_.budget_mj_per_s < 0.0) {
+    throw std::invalid_argument("EnergyBudgetWatchdog: budget must be >= 0");
+  }
+}
+
+void EnergyBudgetWatchdog::close_window(double energy_pj) {
+  EnergyWindowResult result;
+  result.index = next_index_;
+  result.energy_pj = energy_pj;
+  // pJ/ns == mJ/s exactly (1e-12 J / 1e-9 s = 1e-3 J/s): one division, no
+  // unit-conversion factors to round through.
+  result.rate_mj_per_s =
+      energy_pj / static_cast<double>(config_.window_ns);
+  result.breach = result.rate_mj_per_s > config_.budget_mj_per_s;
+  ++windows_scored_;
+  if (result.breach) {
+    ++breaches_;
+    if (first_breach_window_ < 0) {
+      first_breach_window_ = static_cast<std::int64_t>(result.index);
+    }
+  }
+  latest_rate_ = result.rate_mj_per_s;
+  if (result.rate_mj_per_s > max_rate_) max_rate_ = result.rate_mj_per_s;
+  scored_.push_back(result);
+  ++next_index_;
+}
+
+void EnergyBudgetWatchdog::close_through(std::uint64_t now_ns) {
+  // A window [t0 + w*W, t0 + (w+1)*W) closes exactly when now reaches its
+  // end; intermediate idle windows close with zero energy so breach indices
+  // stay aligned with wall-clock windows.
+  while (now_ns >= t0_ns_ + (next_index_ + 1) * config_.window_ns) {
+    close_window(window_energy_pj_);
+    window_energy_pj_ = 0.0;
+  }
+}
+
+void EnergyBudgetWatchdog::record(std::uint64_t now_ns, double energy_pj) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  total_energy_pj_ += energy_pj;
+  if (!enabled()) return;
+  if (!anchored_) {
+    anchored_ = true;
+    t0_ns_ = now_ns;
+  }
+  close_through(now_ns);
+  window_energy_pj_ += energy_pj;
+}
+
+void EnergyBudgetWatchdog::flush(std::uint64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled() || !anchored_) return;
+  close_through(now_ns);
+  if (window_energy_pj_ > 0.0) {
+    close_window(window_energy_pj_);
+    window_energy_pj_ = 0.0;
+  }
+}
+
+std::vector<EnergyWindowResult> EnergyBudgetWatchdog::take_scored() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EnergyWindowResult> out;
+  out.swap(scored_);
+  return out;
+}
+
+std::uint64_t EnergyBudgetWatchdog::windows_scored() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return windows_scored_;
+}
+
+std::uint64_t EnergyBudgetWatchdog::breaches() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return breaches_;
+}
+
+double EnergyBudgetWatchdog::latest_rate_mj_per_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latest_rate_;
+}
+
+double EnergyBudgetWatchdog::max_rate_mj_per_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_rate_;
+}
+
+std::int64_t EnergyBudgetWatchdog::first_breach_window() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return first_breach_window_;
+}
+
+double EnergyBudgetWatchdog::total_energy_pj() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_energy_pj_;
+}
+
+}  // namespace cdl::serve

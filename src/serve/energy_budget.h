@@ -1,0 +1,100 @@
+// EnergyBudgetWatchdog: windowed energy-rate accounting against a serving
+// power budget.
+//
+// The paper's knob is energy per classified input; a deployment's knob is
+// energy per second. This watchdog folds each completed request's attributed
+// energy (Response::energy_pj, the engine's precomputed exit-energy table)
+// into fixed-duration windows on the engine clock and scores each closed
+// window's average power against a configurable mJ/s budget. A window whose
+// rate exceeds the budget raises a breach event, which the engine publishes
+// through the same surfaces the drift monitor uses: a trace instant
+// ("serve/energy_budget"), OpenMetrics counters/gauges, a telemetry block,
+// and a report block.
+//
+// Windowing is anchored at the first recorded completion and runs on the
+// injected engine clock, so under a ManualClock the whole lifecycle is
+// deterministic: a window [t0 + w*window_ns, t0 + (w+1)*window_ns) closes
+// exactly when a record() carries now >= its end (energy recorded at the
+// closing instant belongs to the next window) — the breach-at-exact-instant
+// semantics test_energy_budget pins down. Because pJ/ns == mJ/s, a window's
+// rate is simply its energy sum divided by the window length, with no unit
+// conversion to lose precision over.
+//
+// All methods are internally synchronized; record() is called by concurrent
+// engine workers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cdl::serve {
+
+struct EnergyBudgetConfig {
+  /// Average-power budget per window in mJ/s; 0 disables the watchdog
+  /// (record() still accumulates totals, but no windows are scored).
+  double budget_mj_per_s = 0.0;
+  /// Window length on the engine clock.
+  std::uint64_t window_ns = 1'000'000'000;
+};
+
+/// One closed window, drained via take_scored().
+struct EnergyWindowResult {
+  std::uint64_t index = 0;      ///< window ordinal since the first record
+  double energy_pj = 0.0;       ///< energy completed inside the window
+  double rate_mj_per_s = 0.0;   ///< energy_pj / window_ns (pJ/ns == mJ/s)
+  bool breach = false;          ///< rate > budget
+};
+
+class EnergyBudgetWatchdog {
+ public:
+  /// Throws std::invalid_argument on window_ns == 0 or a negative budget.
+  explicit EnergyBudgetWatchdog(EnergyBudgetConfig config);
+
+  [[nodiscard]] bool enabled() const { return config_.budget_mj_per_s > 0.0; }
+  [[nodiscard]] const EnergyBudgetConfig& config() const { return config_; }
+
+  /// One completed request: `energy_pj` attributed at engine-clock time
+  /// `now_ns`. Closes (and scores) every window that ends at or before
+  /// `now_ns` first, then files the energy into the current window.
+  void record(std::uint64_t now_ns, double energy_pj);
+
+  /// Closes the window in progress (shutdown/final-report path) so its
+  /// partial energy is still scored. Idempotent until the next record().
+  void flush(std::uint64_t now_ns);
+
+  /// Windows closed since the last call, in index order.
+  [[nodiscard]] std::vector<EnergyWindowResult> take_scored();
+
+  [[nodiscard]] std::uint64_t windows_scored() const;
+  [[nodiscard]] std::uint64_t breaches() const;
+  /// Latest / maximum closed-window rate; -1 before the first closed window.
+  [[nodiscard]] double latest_rate_mj_per_s() const;
+  [[nodiscard]] double max_rate_mj_per_s() const;
+  /// Index of the first breaching window; -1 = none.
+  [[nodiscard]] std::int64_t first_breach_window() const;
+  /// Total energy recorded (all windows, open one included).
+  [[nodiscard]] double total_energy_pj() const;
+
+ private:
+  /// Scores windows [next_index_, window_of(now_ns)). Caller holds mutex_.
+  void close_through(std::uint64_t now_ns);
+  void close_window(double energy_pj);
+
+  const EnergyBudgetConfig config_;
+
+  mutable std::mutex mutex_;
+  bool anchored_ = false;
+  std::uint64_t t0_ns_ = 0;        ///< first record's clock stamp
+  std::uint64_t next_index_ = 0;   ///< window currently accumulating
+  double window_energy_pj_ = 0.0;  ///< energy filed into that window
+  double total_energy_pj_ = 0.0;
+  std::vector<EnergyWindowResult> scored_;  ///< drained by take_scored()
+  std::uint64_t windows_scored_ = 0;
+  std::uint64_t breaches_ = 0;
+  double latest_rate_ = -1.0;
+  double max_rate_ = -1.0;
+  std::int64_t first_breach_window_ = -1;
+};
+
+}  // namespace cdl::serve

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/energy_meter.h"
 #include "obs/trace.h"
 
 namespace cdl::serve {
@@ -116,18 +117,25 @@ ServingEngine::ServingEngine(ModelRegistry models, EngineConfig config)
       config_(config),
       clock_(config.clock != nullptr ? config.clock : &RealClock::instance()),
       slo_(config.registry),
-      queue_(config.queue_capacity) {
+      queue_(config.queue_capacity),
+      energy_watchdog_(config.energy_budget) {
   if (models_.empty()) {
     throw std::invalid_argument("ServingEngine: model registry is empty");
   }
   batchers_.reserve(models_.size());
   drift_.reserve(models_.size());
+  exit_energy_.reserve(models_.size());
+  const obs::EnergyMeter meter;  // paper 45nm fp32 + int8 cost tables
   for (std::size_t m = 0; m < models_.size(); ++m) {
     batchers_.emplace_back(config_.batcher, clock_);
     slo_.name_model(m, models_.name(m));
     // Exit stages 0..num_stages()-1 plus the baseline FC exit (num_stages()).
     drift_.push_back(std::make_unique<ExitDriftMonitor>(
         models_.net(m).num_stages() + 1, config_.drift));
+    // Energy is a pure function of the exit stage (like exit_ops), so one
+    // table lookup per response reproduces offline attribution bit-exactly
+    // at any worker count.
+    exit_energy_.push_back(models_.net(m).exit_energy_table(meter));
   }
   next_seq_ = std::vector<std::atomic<std::uint64_t>>(models_.size());
   if (!config_.telemetry.path.empty()) {
@@ -372,11 +380,14 @@ void ServingEngine::execute_batch(std::size_t model,
     // Matches DynamicBatcher::take_expired: a request is dead AT its
     // deadline instant, so completion then is already a miss.
     resp.slo_miss = request.deadline_ns != 0 && done_ns >= request.deadline_ns;
+    resp.energy_pj = exit_energy_[model][result.exit_stage];
     slo_.record_completed(model, resp.latency_ns, resp.queue_ns,
-                          resp.batch_wait_ns, resp.compute_ns, resp.slo_miss);
+                          resp.batch_wait_ns, resp.compute_ns, resp.slo_miss,
+                          resp.energy_pj);
     slo_.record_exit(model, result.exit_stage);
     drift_[model]->record(request.seq, result.exit_stage,
                           static_cast<double>(result.confidence));
+    energy_watchdog_.record(done_ns, resp.energy_pj);
 #ifndef CDL_TRACE_DISABLED
     if (tracing) {
       trace_span_between("serve/execute", trace_formed_ns, trace_done_ns,
@@ -387,6 +398,7 @@ void ServingEngine::execute_batch(std::size_t model,
     CDL_TRACE_INSTANT("serve/respond", trace_id(request.id));
   }
   publish_drift(model);
+  publish_energy();
 }
 
 void ServingEngine::fail_request(Request request, RequestStatus status) {
@@ -415,6 +427,17 @@ void ServingEngine::publish_drift(std::size_t model) {
     slo_.record_drift(model, window.index, window.score, window.drift);
     if (window.drift) {
       CDL_TRACE_INSTANT("serve/drift",
+                        static_cast<std::int32_t>(window.index));
+    }
+  }
+}
+
+void ServingEngine::publish_energy() {
+  for (const EnergyWindowResult& window : energy_watchdog_.take_scored()) {
+    slo_.record_energy_window(window.index, window.rate_mj_per_s,
+                              window.breach);
+    if (window.breach) {
+      CDL_TRACE_INSTANT("serve/energy_budget",
                         static_cast<std::int32_t>(window.index));
     }
   }
@@ -473,6 +496,9 @@ void ServingEngine::shutdown(bool drain) {
     integrate_queue();
     dispatch_due(/*draining=*/true, inline_state_);
     slo_.set_queue_depth(0);
+    // Score the partial energy window so the final accounting is complete.
+    energy_watchdog_.flush(clock_->now_ns());
+    publish_energy();
     // Final state of the run, regardless of where the interval stood.
     pump_telemetry(/*force=*/true);
   });
@@ -510,9 +536,21 @@ void ServingEngine::write_telemetry_body(std::ostream& os) {
     os << "],\"drift\":{\"windows\":" << s.drift_windows
        << ",\"events\":" << s.drift_events << ",\"score\":" << s.drift_score
        << ",\"max_score\":" << s.drift_max_score
-       << ",\"first_drift_window\":" << s.first_drift_window << "}}";
+       << ",\"first_drift_window\":" << s.first_drift_window << "}"
+       << ",\"energy_pj\":{\"p50\":" << s.energy_p50_pj
+       << ",\"p95\":" << s.energy_p95_pj << ",\"p99\":" << s.energy_p99_pj
+       << ",\"mean\":" << s.energy_mean_pj << ",\"max\":" << s.energy_max_pj
+       << ",\"total\":" << s.energy_total_pj << "}}";
   }
-  os << "]";
+  os << "],\"energy_budget\":{\"enabled\":"
+     << (energy_watchdog_.enabled() ? "true" : "false")
+     << ",\"budget_mj_per_s\":" << energy_watchdog_.config().budget_mj_per_s
+     << ",\"windows\":" << energy_watchdog_.windows_scored()
+     << ",\"breaches\":" << energy_watchdog_.breaches()
+     << ",\"rate_mj_per_s\":" << energy_watchdog_.latest_rate_mj_per_s()
+     << ",\"max_rate_mj_per_s\":" << energy_watchdog_.max_rate_mj_per_s()
+     << ",\"first_breach_window\":" << energy_watchdog_.first_breach_window()
+     << ",\"total_energy_pj\":" << energy_watchdog_.total_energy_pj() << "}";
 }
 
 }  // namespace cdl::serve

@@ -42,6 +42,7 @@
 #include "serve/batcher.h"
 #include "serve/clock.h"
 #include "serve/drift.h"
+#include "serve/energy_budget.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -71,8 +72,13 @@ struct EngineConfig {
   /// contract). Always on; costs one uncontended mutex hop per request.
   DriftConfig drift;
   /// Live telemetry (JSONL snapshots of queue depth, per-model SLO numbers,
-  /// exit profile and drift scores). Disabled while telemetry.path is empty.
+  /// exit profile, drift scores and energy accounting). Disabled while
+  /// telemetry.path is empty.
   TelemetryConfig telemetry;
+  /// Energy-budget watchdog over attributed request energy (see
+  /// serve/energy_budget.h). Disabled while budget_mj_per_s == 0; the engine
+  /// always attributes per-request energy either way.
+  EnergyBudgetConfig energy_budget;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -132,6 +138,17 @@ class ServingEngine {
   }
   /// Null unless EngineConfig::telemetry.path was set.
   [[nodiscard]] TelemetrySnapshotter* telemetry() { return telemetry_.get(); }
+  /// The energy-budget watchdog (enabled() false when no budget was set;
+  /// totals still accumulate). Valid for the engine's life.
+  [[nodiscard]] EnergyBudgetWatchdog& energy_watchdog() {
+    return energy_watchdog_;
+  }
+  /// The precomputed cumulative exit-energy table (pJ, index = exit stage)
+  /// responses for `model` are stamped from.
+  [[nodiscard]] const std::vector<double>& exit_energy_table(
+      std::size_t model) const {
+    return exit_energy_[model];
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   /// Requests accepted but not yet terminal (queued or pending in a
   /// batcher). Engine-wide, approximate while workers are mid-dispatch.
@@ -166,6 +183,9 @@ class ServingEngine {
   /// Drains the model's freshly scored drift windows into the SLO tracker
   /// (drift gauge/event counter) and the trace stream.
   void publish_drift(std::size_t model);
+  /// Drains the watchdog's freshly closed energy windows into the SLO
+  /// tracker (rate gauge / breach counter) and the trace stream.
+  void publish_energy();
   /// Writes a telemetry sample when one is due (or `force`). No-op while
   /// telemetry is disabled; costs one clock read + atomic load otherwise.
   void pump_telemetry(bool force = false);
@@ -178,6 +198,10 @@ class ServingEngine {
   MpmcQueue<Request> queue_;
   /// One drift monitor per model (unique_ptr: the monitor owns a mutex).
   std::vector<std::unique_ptr<ExitDriftMonitor>> drift_;
+  EnergyBudgetWatchdog energy_watchdog_;
+  /// Per-model cumulative exit-energy tables (pJ, index = exit stage),
+  /// precomputed at construction so stamping a response is one lookup.
+  std::vector<std::vector<double>> exit_energy_;
   std::unique_ptr<TelemetrySnapshotter> telemetry_;
   std::atomic<std::uint64_t> next_id_{1};
   /// Dense per-model submission sequences backing Request::seq.

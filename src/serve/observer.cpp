@@ -1,0 +1,140 @@
+#include "serve/observer.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace cdl::serve {
+
+namespace {
+
+// The OpenMetrics content type Prometheus negotiates for text exposition.
+constexpr const char* kMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper that disconnects mid-response must not SIGPIPE
+    // the whole process; the EPIPE return simply ends the write loop.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, const char* status, const char* content_type,
+             const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  send_all(fd, os.str());
+}
+
+/// Reads until the end of the request head ("\r\n\r\n") and returns the
+/// request target ("/metrics"), or "" on a malformed / non-GET request.
+/// Bodies are unsupported by design: every route is a read.
+std::string read_target(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  if (head.compare(0, 4, "GET ") != 0) return "";
+  const std::size_t end = head.find(' ', 4);
+  if (end == std::string::npos) return "";
+  return head.substr(4, end - 4);
+}
+
+}  // namespace
+
+HttpObserver::HttpObserver(int port, Handler metrics, Handler report)
+    : metrics_(std::move(metrics)), report_(std::move(report)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpObserver: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observability stays local
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("HttpObserver: cannot listen on port ") +
+                             std::to_string(port) + ": " + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpObserver::~HttpObserver() { stop(); }
+
+void HttpObserver::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() forces the blocking accept() to return so the thread can
+  // observe running_ == false and exit.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpObserver::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener socket is gone; nothing left to serve
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpObserver::handle_connection(int fd) {
+  const std::string target = read_target(fd);
+  served_.fetch_add(1, std::memory_order_acq_rel);
+  if (target == "/metrics") {
+    std::ostringstream body;
+    metrics_(body);
+    respond(fd, "200 OK", kMetricsContentType, body.str());
+  } else if (target == "/healthz") {
+    respond(fd, "200 OK", "text/plain; charset=utf-8", "ok\n");
+  } else if (target == "/report") {
+    std::ostringstream body;
+    report_(body);
+    respond(fd, "200 OK", "application/json", body.str());
+  } else if (target == "/quitquitquit") {
+    quit_.store(true, std::memory_order_release);
+    respond(fd, "200 OK", "text/plain; charset=utf-8", "bye\n");
+  } else {
+    respond(fd, "404 Not Found", "text/plain; charset=utf-8",
+            "not found\n");
+  }
+}
+
+}  // namespace cdl::serve

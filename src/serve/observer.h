@@ -1,0 +1,75 @@
+// HttpObserver: a minimal embedded HTTP endpoint for live serving
+// observability.
+//
+// One blocking listener thread accepts loopback TCP connections and serves
+// three read-only routes:
+//
+//   GET /metrics  -> OpenMetrics text exposition (the engine's registry,
+//                    written under the SLO tracker's mutex so a scrape never
+//                    races the workers)
+//   GET /healthz  -> "ok" (liveness)
+//   GET /report   -> the same JSON report block cdl_serve writes at exit,
+//                    rendered from the live engine state
+//   GET /quitquitquit -> sets the quit flag (polled by cdl_serve's linger
+//                    loop) and answers "bye"
+//
+// The observer holds no reference to the engine itself — both payload routes
+// are std::function callbacks writing into a std::ostream, so the tool
+// decides what a scrape sees and the observer stays a pure transport. One
+// connection is served at a time (scrapes are short and infrequent; there is
+// deliberately no connection pool, TLS, keep-alive or request body support).
+// Port 0 binds an ephemeral port; port() reports the bound one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <thread>
+
+namespace cdl::serve {
+
+class HttpObserver {
+ public:
+  using Handler = std::function<void(std::ostream&)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the listener thread.
+  /// `metrics` backs GET /metrics (OpenMetrics text), `report` backs
+  /// GET /report (JSON). Throws std::runtime_error when the socket cannot
+  /// be bound.
+  HttpObserver(int port, Handler metrics, Handler report);
+  ~HttpObserver();  ///< stop()
+
+  HttpObserver(const HttpObserver&) = delete;
+  HttpObserver& operator=(const HttpObserver&) = delete;
+
+  /// Unblocks the accept loop and joins the listener thread. Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] int port() const { return port_; }
+  /// Set once a client has fetched /quitquitquit.
+  [[nodiscard]] bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+  /// Requests served so far (any route, including 404s).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Handler metrics_;
+  Handler report_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{true};
+  std::atomic<bool> quit_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace cdl::serve

@@ -43,6 +43,11 @@ struct Response {
   std::uint64_t batch_wait_ns = 0;  ///< in the batcher until the batch formed
   std::uint64_t compute_ns = 0;     ///< batch formation -> inference done
   bool slo_miss = false;          ///< completed after the deadline (or expired)
+  /// Modeled 45 nm energy of this request's cascade traversal (kOk only):
+  /// the engine's precomputed exit-energy table indexed by result.exit_stage,
+  /// bit-identical to offline attribution of the same input at any worker
+  /// count (see ConditionalNetwork::exit_energy_table).
+  double energy_pj = 0.0;
 };
 
 struct Request {

@@ -1,6 +1,7 @@
 #include "serve/slo.h"
 
 #include <algorithm>
+#include <ostream>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -11,8 +12,11 @@ namespace {
 constexpr std::size_t kLatencyBins = 64;
 }  // namespace
 
-SloTracker::SloTracker(obs::Registry* registry, double latency_hi_ms)
-    : registry_(registry), latency_hi_ms_(latency_hi_ms) {}
+SloTracker::SloTracker(obs::Registry* registry, double latency_hi_ms,
+                       double energy_hi_pj)
+    : registry_(registry),
+      latency_hi_ms_(latency_hi_ms),
+      energy_hi_pj_(energy_hi_pj) {}
 
 SloTracker::PerModel& SloTracker::model_slot(std::size_t model) {
   if (model >= models_.size()) models_.resize(model + 1);
@@ -84,7 +88,8 @@ void SloTracker::record_phase_hist(const char* family, const char* help,
 void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
                                   std::uint64_t queue_ns,
                                   std::uint64_t batch_wait_ns,
-                                  std::uint64_t compute_ns, bool slo_miss) {
+                                  std::uint64_t compute_ns, bool slo_miss,
+                                  double energy_pj) {
   std::lock_guard<std::mutex> lock(mutex_);
   PerModel& m = model_slot(model);
   const double ms = static_cast<double>(latency_ns) / 1e6;
@@ -102,6 +107,9 @@ void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
   m.queue_sum_ms += queue_ms;
   m.batch_sum_ms += batch_ms;
   m.compute_sum_ms += compute_ms;
+  m.energies_pj.push_back(energy_pj);
+  m.energy_sum_pj += energy_pj;
+  m.energy_max_pj = std::max(m.energy_max_pj, energy_pj);
   bump(m, "ok");
   if (registry_ != nullptr) {
     if (slo_miss) {
@@ -123,6 +131,16 @@ void SloTracker::record_completed(std::size_t model, std::uint64_t latency_ns,
     record_phase_hist("cdl_serve_phase_compute_ms",
                       "Latency from batch formation to inference done", m,
                       compute_ms);
+    registry_
+        ->histogram("cdl_serve_energy_pj",
+                    "Attributed 45nm energy per served request (picojoules)",
+                    0.0, energy_hi_pj_, kLatencyBins, {{"model", m.name}})
+        .record(energy_pj);
+    registry_
+        ->counter("cdl_serve_energy_total_joules",
+                  "Cumulative attributed energy of served requests (joules)",
+                  {{"model", m.name}})
+        .inc(energy_pj * 1e-12);
   }
 }
 
@@ -176,6 +194,24 @@ void SloTracker::record_drift(std::size_t model, std::uint64_t window,
           ->counter("cdl_serve_drift_events_total",
                     "Drift windows whose score crossed the threshold",
                     {{"model", m.name}})
+          .inc();
+    }
+  }
+}
+
+void SloTracker::record_energy_window(std::uint64_t window,
+                                      double rate_mj_per_s, bool breach) {
+  (void)window;  // breach indices live in the watchdog / report block
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry_ != nullptr) {
+    registry_
+        ->gauge("cdl_serve_energy_rate_mj_per_s",
+                "Average power of the latest closed energy-budget window")
+        .set(rate_mj_per_s);
+    if (breach) {
+      registry_
+          ->counter("cdl_serve_energy_budget_breaches_total",
+                    "Energy-budget windows whose rate exceeded the budget")
           .inc();
     }
   }
@@ -242,7 +278,13 @@ SloSummary SloTracker::summary(std::size_t model) const {
     s.compute_p95_ms = obs::percentile(m.compute_ms, 0.95);
     s.compute_p99_ms = obs::percentile(m.compute_ms, 0.99);
     s.compute_mean_ms = m.compute_sum_ms / n;
+    s.energy_p50_pj = obs::percentile(m.energies_pj, 0.50);
+    s.energy_p95_pj = obs::percentile(m.energies_pj, 0.95);
+    s.energy_p99_pj = obs::percentile(m.energies_pj, 0.99);
+    s.energy_mean_pj = m.energy_sum_pj / n;
+    s.energy_max_pj = m.energy_max_pj;
   }
+  s.energy_total_pj = m.energy_sum_pj;
   s.exits = m.exits;
   s.drift_windows = m.drift_windows;
   s.drift_events = m.drift_events;
@@ -250,6 +292,11 @@ SloSummary SloTracker::summary(std::size_t model) const {
   s.drift_max_score = m.drift_max_score;
   s.first_drift_window = m.first_drift_window;
   return s;
+}
+
+void SloTracker::write_openmetrics(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry_ != nullptr) registry_->write_openmetrics(os);
 }
 
 std::vector<SloSummary> SloTracker::summaries() const {

@@ -21,6 +21,10 @@
 //   cdl_serve_exit_fraction{model=...,stage=...}   (gauge)
 //   cdl_serve_drift_score{model=...}        (gauge, latest scored window)
 //   cdl_serve_drift_events_total{model=...}
+//   cdl_serve_energy_pj{model=...}          (histogram, per-request energy)
+//   cdl_serve_energy_total_joules{model=...}
+//   cdl_serve_energy_rate_mj_per_s          (gauge, latest budget window)
+//   cdl_serve_energy_budget_breaches_total  (engine-wide)
 //   cdl_serve_queue_depth                   (gauge, engine-wide)
 //
 // The tracker serializes its own updates with an internal mutex (worker
@@ -31,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -78,15 +83,25 @@ struct SloSummary {
   double drift_score = -1.0;
   double drift_max_score = -1.0;
   std::int64_t first_drift_window = -1;
+  /// Attributed energy over completed requests (exact percentiles over the
+  /// per-request samples, same estimator as latency); 0 when none completed.
+  double energy_p50_pj = 0.0;
+  double energy_p95_pj = 0.0;
+  double energy_p99_pj = 0.0;
+  double energy_mean_pj = 0.0;
+  double energy_max_pj = 0.0;
+  double energy_total_pj = 0.0;  ///< cumulative joules = this * 1e-12
 };
 
 class SloTracker {
  public:
   /// `registry` may be null (pure in-memory accounting); when set it must
-  /// outlive the tracker. `latency_hi_ms` bounds the exported latency
-  /// histogram (exact percentiles come from the raw samples either way).
+  /// outlive the tracker. `latency_hi_ms` / `energy_hi_pj` bound the
+  /// exported latency / energy histograms (exact percentiles come from the
+  /// raw samples either way).
   explicit SloTracker(obs::Registry* registry = nullptr,
-                      double latency_hi_ms = 1000.0);
+                      double latency_hi_ms = 1000.0,
+                      double energy_hi_pj = 1.0e7);
 
   void record_rejected(std::size_t model);
   void record_accepted(std::size_t model);
@@ -94,16 +109,23 @@ class SloTracker {
   void record_shutdown(std::size_t model);
   /// `queue_ns + batch_wait_ns + compute_ns == latency_ns` — the engine
   /// derives all four from the same clock stamps, so the decomposition is
-  /// exact, not approximate.
+  /// exact, not approximate. `energy_pj` is the request's attributed energy
+  /// (Response::energy_pj); sums accumulate in completion-record order.
   void record_completed(std::size_t model, std::uint64_t latency_ns,
                         std::uint64_t queue_ns, std::uint64_t batch_wait_ns,
-                        std::uint64_t compute_ns, bool slo_miss);
+                        std::uint64_t compute_ns, bool slo_miss,
+                        double energy_pj = 0.0);
   void record_batch(std::size_t model, std::size_t rows);
   /// One served result exited at cascade stage `stage`.
   void record_exit(std::size_t model, std::size_t stage);
   /// Mirrors one scored drift window (latest score gauge, event counter).
   void record_drift(std::size_t model, std::uint64_t window, double score,
                     bool drift);
+  /// Mirrors one closed energy-budget window (engine-wide, not per-model):
+  /// latest rate gauge plus a breach counter when the window exceeded the
+  /// budget.
+  void record_energy_window(std::uint64_t window, double rate_mj_per_s,
+                            bool breach);
   void set_queue_depth(std::size_t depth);
 
   /// Deterministic per-model snapshot (models in registration order).
@@ -113,6 +135,12 @@ class SloTracker {
   /// Registers `name` for model index `model` (labels + summaries). The
   /// engine calls this once per registry entry before serving starts.
   void name_model(std::size_t model, std::string name);
+
+  /// Writes the attached registry's OpenMetrics exposition under the
+  /// tracker's mutex — the same lock every record_* takes — so a scraper
+  /// thread (the HTTP observer) never races the engine's workers. Writes
+  /// nothing when no registry is attached.
+  void write_openmetrics(std::ostream& os) const;
 
  private:
   struct PerModel {
@@ -135,6 +163,9 @@ class SloTracker {
     double batch_sum_ms = 0.0;
     double compute_sum_ms = 0.0;
     std::vector<std::uint64_t> exits;  ///< per exit stage
+    std::vector<double> energies_pj;   ///< completed requests, arrival order
+    double energy_sum_pj = 0.0;
+    double energy_max_pj = 0.0;
     std::uint64_t drift_windows = 0;
     std::uint64_t drift_events = 0;
     double drift_score = -1.0;
@@ -150,6 +181,7 @@ class SloTracker {
   mutable std::mutex mutex_;
   obs::Registry* registry_;
   double latency_hi_ms_;
+  double energy_hi_pj_;
   std::vector<PerModel> models_;
 };
 

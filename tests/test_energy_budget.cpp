@@ -1,0 +1,145 @@
+// Tests for the serving energy-budget watchdog (serve/energy_budget.h).
+//
+// Windowing runs on the injected engine clock, so a ManualClock drives every
+// lifecycle deterministically. The pinned-down semantics: a window closes
+// exactly when a record's timestamp reaches its end (energy at the closing
+// instant belongs to the next window), idle windows score zero so indices
+// stay wall-clock aligned, and a window's rate is its pJ sum divided by the
+// window length (pJ/ns == mJ/s, no conversion factors).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/clock.h"
+#include "serve/energy_budget.h"
+
+namespace cdl::serve {
+namespace {
+
+constexpr std::uint64_t kWindow = 1000;  // ns; rates are pJ / 1000
+
+EnergyBudgetConfig budget(double mj_per_s) {
+  EnergyBudgetConfig config;
+  config.budget_mj_per_s = mj_per_s;
+  config.window_ns = kWindow;
+  return config;
+}
+
+TEST(EnergyBudget, InvalidConfigThrows) {
+  EnergyBudgetConfig zero_window;
+  zero_window.window_ns = 0;
+  EXPECT_THROW(EnergyBudgetWatchdog{zero_window}, std::invalid_argument);
+  EnergyBudgetConfig negative;
+  negative.budget_mj_per_s = -1.0;
+  EXPECT_THROW(EnergyBudgetWatchdog{negative}, std::invalid_argument);
+}
+
+TEST(EnergyBudget, DisabledAccumulatesTotalsButScoresNothing) {
+  EnergyBudgetWatchdog wd(budget(0.0));
+  EXPECT_FALSE(wd.enabled());
+  wd.record(0, 100.0);
+  wd.record(5 * kWindow, 200.0);
+  wd.flush(10 * kWindow);
+  EXPECT_EQ(wd.windows_scored(), 0U);
+  EXPECT_TRUE(wd.take_scored().empty());
+  EXPECT_EQ(wd.total_energy_pj(), 300.0);
+  EXPECT_EQ(wd.latest_rate_mj_per_s(), -1.0);
+  EXPECT_EQ(wd.first_breach_window(), -1);
+}
+
+TEST(EnergyBudget, BreachAtExactWindowBoundaryInstant) {
+  // Driven off a ManualClock exactly as the engine drives it: record() takes
+  // the clock's current now_ns.
+  ManualClock clock(100);
+  EnergyBudgetWatchdog wd(budget(1.0));  // 1 mJ/s == 1000 pJ per window
+
+  // Anchor: window 0 = [100, 1100).
+  wd.record(clock.now_ns(), 600.0);
+  EXPECT_EQ(wd.windows_scored(), 0U);
+
+  // The exact closing instant: energy recorded at now == window end belongs
+  // to the NEXT window, so window 0 scores 600 pJ -> 0.6 mJ/s, no breach.
+  clock.advance(kWindow);  // now 1100
+  wd.record(clock.now_ns(), 900.0);
+  ASSERT_EQ(wd.windows_scored(), 1U);
+  EXPECT_EQ(wd.breaches(), 0U);
+  EXPECT_EQ(wd.latest_rate_mj_per_s(), 0.6);
+
+  // Window 1 accumulates 900 + 600 = 1500 pJ -> 1.5 mJ/s > 1.0: breach,
+  // scored the instant the clock reaches its end.
+  clock.advance(kWindow - 1);  // now 2099, still inside window 1
+  wd.record(clock.now_ns(), 600.0);
+  EXPECT_EQ(wd.windows_scored(), 1U);
+  clock.advance(1);  // now 2100 == window 1 end
+  wd.record(clock.now_ns(), 0.0);
+  ASSERT_EQ(wd.windows_scored(), 2U);
+  EXPECT_EQ(wd.breaches(), 1U);
+  EXPECT_EQ(wd.first_breach_window(), 1);
+  EXPECT_EQ(wd.latest_rate_mj_per_s(), 1.5);
+  EXPECT_EQ(wd.max_rate_mj_per_s(), 1.5);
+
+  const std::vector<EnergyWindowResult> scored = wd.take_scored();
+  ASSERT_EQ(scored.size(), 2U);
+  EXPECT_EQ(scored[0].index, 0U);
+  EXPECT_EQ(scored[0].energy_pj, 600.0);
+  EXPECT_FALSE(scored[0].breach);
+  EXPECT_EQ(scored[1].index, 1U);
+  EXPECT_EQ(scored[1].energy_pj, 1500.0);
+  EXPECT_TRUE(scored[1].breach);
+  EXPECT_TRUE(wd.take_scored().empty()) << "take_scored drains";
+}
+
+TEST(EnergyBudget, RateExactlyAtBudgetIsNotABreach) {
+  EnergyBudgetWatchdog wd(budget(1.0));
+  wd.record(0, 1000.0);  // exactly 1.0 mJ/s over the window
+  wd.record(kWindow, 0.0);
+  ASSERT_EQ(wd.windows_scored(), 1U);
+  EXPECT_EQ(wd.breaches(), 0U) << "breach is strict: rate > budget";
+  EXPECT_EQ(wd.latest_rate_mj_per_s(), 1.0);
+}
+
+TEST(EnergyBudget, IdleWindowsScoreZeroKeepingIndicesAligned) {
+  EnergyBudgetWatchdog wd(budget(0.1));
+  wd.record(0, 500.0);
+  // Jump over two whole idle windows into window 3.
+  wd.record(3 * kWindow + 500, 200.0);
+  ASSERT_EQ(wd.windows_scored(), 3U);
+  const auto scored = wd.take_scored();
+  ASSERT_EQ(scored.size(), 3U);
+  EXPECT_EQ(scored[0].energy_pj, 500.0);
+  EXPECT_TRUE(scored[0].breach);  // 0.5 > 0.1
+  EXPECT_EQ(scored[1].index, 1U);
+  EXPECT_EQ(scored[1].energy_pj, 0.0);
+  EXPECT_FALSE(scored[1].breach);
+  EXPECT_EQ(scored[2].energy_pj, 0.0);
+  EXPECT_EQ(wd.first_breach_window(), 0);
+}
+
+TEST(EnergyBudget, FlushScoresThePartialWindow) {
+  EnergyBudgetWatchdog wd(budget(1.0));
+  wd.record(0, 700.0);
+  wd.flush(400);  // mid-window shutdown: the open window still gets scored
+  ASSERT_EQ(wd.windows_scored(), 1U);
+  const auto scored = wd.take_scored();
+  ASSERT_EQ(scored.size(), 1U);
+  EXPECT_EQ(scored[0].energy_pj, 700.0);
+  // The partial window is rated over the full window length (conservative:
+  // a shutdown flush never inflates the rate).
+  EXPECT_EQ(scored[0].rate_mj_per_s, 0.7);
+  // Idempotent until the next record.
+  wd.flush(500);
+  EXPECT_EQ(wd.windows_scored(), 1U);
+  EXPECT_EQ(wd.total_energy_pj(), 700.0);
+}
+
+TEST(EnergyBudget, FlushBeforeAnyRecordIsANoOp) {
+  EnergyBudgetWatchdog wd(budget(1.0));
+  wd.flush(5000);
+  EXPECT_EQ(wd.windows_scored(), 0U);
+  EXPECT_TRUE(wd.take_scored().empty());
+}
+
+}  // namespace
+}  // namespace cdl::serve

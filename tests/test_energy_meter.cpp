@@ -1,0 +1,286 @@
+// Tests for the live energy attribution plane (obs/energy_meter.h).
+//
+// The load-bearing invariants:
+//   * the meter's exit-energy tables reproduce bench/fig6_energy's offline
+//     running sums bit-identically (fp32 and the int8-datapath extension),
+//     for the paper architectures, and
+//   * folding a LayerProfiler snapshot of real inference through the meter
+//     yields per-stage and total energies that are bit-identical for any
+//     thread count and agree bit-exactly with ConditionalNetwork's
+//     exit-energy table (the figure the serving engine stamps per request).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "cdl/architectures.h"
+#include "cdl/conditional_network.h"
+#include "cdl/quantized_cascade.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "energy/energy_model.h"
+#include "obs/energy_meter.h"
+#include "obs/layer_profile.h"
+#include "test_util.h"
+
+namespace cdl {
+namespace {
+
+using obs::EnergyMeter;
+using obs::LayerProfiler;
+using obs::PrecisionOps;
+using obs::StageEnergyRow;
+
+/// A paper CDLN with classifiers at the default attach points, untrained
+/// (energy accounting is a pure function of the architecture).
+ConditionalNetwork paper_cdln(const CdlArchitecture& arch, std::uint64_t seed) {
+  Network base = arch.make_baseline();
+  Rng rng(seed);
+  base.init(rng);
+  ConditionalNetwork net(std::move(base), arch.input_shape);
+  for (const std::size_t prefix : arch.default_stages) {
+    net.attach_classifier(prefix, LcTrainingRule::kLms, rng);
+  }
+  return net;
+}
+
+/// fig6_energy's incremental stage cost: stage s for s < num_stages(), the
+/// final FC stage otherwise.
+OpCount fig6_stage_ops(const ConditionalNetwork& net, std::size_t s) {
+  return s < net.num_stages() ? net.stage_ops(s) : net.final_stage_ops();
+}
+
+std::vector<Tensor> calibration_images(const Shape& shape, std::size_t n) {
+  std::vector<Tensor> images;
+  images.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images.push_back(test::random_image(shape, 9000 + i));
+  }
+  return images;
+}
+
+TEST(EnergyMeter, Int8RowSuffixDetection) {
+  EXPECT_TRUE(EnergyMeter::is_int8_row("conv1[int8]"));
+  EXPECT_TRUE(EnergyMeter::is_int8_row("classifier+gate[int8]"));
+  EXPECT_FALSE(EnergyMeter::is_int8_row("conv1"));
+  EXPECT_FALSE(EnergyMeter::is_int8_row("[int8]suffix-not-at-end"));
+  EXPECT_FALSE(EnergyMeter::is_int8_row(""));
+}
+
+TEST(EnergyMeter, ExitWeightedAverage) {
+  const std::vector<double> table{1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts{2, 1, 1};
+  EXPECT_EQ(EnergyMeter::exit_weighted_pj(table, counts), 2.0);
+  EXPECT_EQ(EnergyMeter::exit_weighted_pj(table, {0, 0, 0}), 0.0);
+  EXPECT_THROW((void)EnergyMeter::exit_weighted_pj(table, {1, 2}),
+               std::invalid_argument);
+}
+
+// --- fig6_energy golden equivalence (offline accounting) --------------------
+
+TEST(EnergyMeterGolden, Fp32ExitTableMatchesFig6RunningSums) {
+  const EnergyMeter meter;
+  const EnergyModel energy;  // EnergyCosts::cmos_45nm(), as fig6_energy uses
+  for (const CdlArchitecture& arch : paper_architectures()) {
+    const ConditionalNetwork net = paper_cdln(arch, 42);
+    // fig6_energy's fp32_cum loop, verbatim arithmetic.
+    std::vector<double> golden;
+    double run = 0.0;
+    for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+      run += energy.energy_pj(fig6_stage_ops(net, s));
+      golden.push_back(run);
+    }
+    const std::vector<double> table = net.exit_energy_table(meter);
+    ASSERT_EQ(table.size(), golden.size()) << arch.name;
+    for (std::size_t s = 0; s < golden.size(); ++s) {
+      EXPECT_EQ(table[s], golden[s])
+          << arch.name << " exit " << s << " must be bit-identical to the "
+          << "offline fig6 accounting";
+    }
+  }
+}
+
+TEST(EnergyMeterGolden, Int8MixMatchesFig6DatapathSums) {
+  const EnergyMeter meter;
+  const EnergyModel fp32_energy;
+  const EnergyModel int8_energy(EnergyCosts::cmos_45nm_int8());
+  for (const CdlArchitecture& arch : paper_architectures()) {
+    ConditionalNetwork net = paper_cdln(arch, 7);
+    net.set_quantization(collect_quant_calibration(
+        net.baseline(), net.input_shape(),
+        calibration_images(net.input_shape(), 32), 32));
+
+    // fig6_energy's int8_cum loop: whole quantizable stages priced at the
+    // int8 datapath costs, unquantizable stages keep their fp32 cost.
+    std::vector<double> golden;
+    std::vector<PrecisionOps> mix;
+    double run = 0.0;
+    for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+      const OpCount ops = fig6_stage_ops(net, s);
+      const bool q = net.stage_quantizable(s);
+      run += q ? int8_energy.energy_pj(ops) : fp32_energy.energy_pj(ops);
+      golden.push_back(run);
+      PrecisionOps po;
+      (q ? po.int8 : po.fp32) = ops;
+      mix.push_back(po);
+    }
+    const std::vector<double> table = meter.exit_energy_table(mix);
+    ASSERT_EQ(table.size(), golden.size()) << arch.name;
+    for (std::size_t s = 0; s < golden.size(); ++s) {
+      EXPECT_EQ(table[s], golden[s]) << arch.name << " exit " << s;
+    }
+  }
+}
+
+// --- profiler-fold equivalence over real inference --------------------------
+
+/// RAII profiler enable (the singleton must not leak into other tests).
+class ScopedProfiler {
+ public:
+  ScopedProfiler() {
+    LayerProfiler::instance().clear();
+    LayerProfiler::instance().set_enabled(true);
+  }
+  ~ScopedProfiler() {
+    LayerProfiler::instance().set_enabled(false);
+    LayerProfiler::instance().clear();
+  }
+};
+
+std::vector<StageEnergyRow> profile_and_attribute(
+    const ConditionalNetwork& net, const std::vector<Tensor>& inputs,
+    ThreadPool* pool, const EnergyMeter& meter) {
+  ScopedProfiler scoped;
+  const auto results = net.classify_batch(inputs, pool);
+  EXPECT_EQ(results.size(), inputs.size());
+  return meter.attribute(LayerProfiler::instance().snapshot());
+}
+
+/// Shared assertion body: rows folded from a profiler snapshot must agree
+/// bit-exactly with the network's op cache and exit-energy table.
+void check_fold_against_exit_table(const ConditionalNetwork& net,
+                                   const EnergyMeter& meter,
+                                   const std::vector<StageEnergyRow>& rows) {
+  const std::vector<double> table = net.exit_energy_table(meter);
+  double run = 0.0;
+  std::size_t next_stage = 0;
+  for (const StageEnergyRow& row : rows) {
+    ASSERT_GE(row.stage, 0);
+    const auto s = static_cast<std::size_t>(row.stage);
+    // Stages are visited in cascade order with no gaps: a row for stage s
+    // implies samples entered every earlier stage.
+    ASSERT_EQ(s, next_stage++);
+    ASSERT_GT(row.samples, 0U);
+    // The merged bundle is exactly `samples` copies of the per-stage cost.
+    const OpCount expected =
+        fig6_stage_ops(net, s) * static_cast<std::uint64_t>(row.samples);
+    EXPECT_EQ(row.fp32_ops + row.int8_ops, expected) << "stage " << s;
+    // Accumulating the per-image stage energies in cascade order reproduces
+    // the exit-energy table bit-exactly — the identity that makes the
+    // serving engine's per-request stamps equal the offline accounting.
+    run += row.per_image_pj;
+    EXPECT_EQ(run, table[s]) << "cumulative energy at stage " << s;
+  }
+}
+
+TEST(EnergyMeterFold, Fp32FoldBitExactAcrossThreadCounts) {
+  const EnergyMeter meter;
+  for (const CdlArchitecture& arch : paper_architectures()) {
+    ConditionalNetwork net = paper_cdln(arch, 42);
+    net.set_delta(0.9F);  // untrained: most rows reach deep stages
+    std::vector<Tensor> inputs;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      inputs.push_back(test::random_image(net.input_shape(), 500 + i));
+    }
+
+    const auto serial = profile_and_attribute(net, inputs, nullptr, meter);
+    check_fold_against_exit_table(net, meter, serial);
+
+    for (const std::size_t workers : {2U, 4U}) {
+      ThreadPool pool(workers);
+      const auto parallel = profile_and_attribute(net, inputs, &pool, meter);
+      ASSERT_EQ(parallel.size(), serial.size()) << arch.name;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].stage, serial[i].stage);
+        EXPECT_EQ(parallel[i].samples, serial[i].samples);
+        EXPECT_TRUE(parallel[i].fp32_ops == serial[i].fp32_ops);
+        EXPECT_TRUE(parallel[i].int8_ops == serial[i].int8_ops);
+        EXPECT_EQ(parallel[i].energy_pj, serial[i].energy_pj)
+            << arch.name << " stage " << serial[i].stage << " at " << workers
+            << " workers must attribute bit-identical energy";
+        EXPECT_EQ(parallel[i].per_image_pj, serial[i].per_image_pj);
+      }
+      EXPECT_EQ(meter.total_pj(parallel), meter.total_pj(serial));
+    }
+  }
+}
+
+TEST(EnergyMeterFold, Int8FoldMatchesLiveExitTable) {
+  const EnergyMeter meter;
+  ConditionalNetwork net = paper_cdln(mnist_2c(), 7);
+  net.set_delta(0.9F);
+  net.set_quantization(collect_quant_calibration(
+      net.baseline(), net.input_shape(),
+      calibration_images(net.input_shape(), 32), 32));
+  std::size_t quantized = 0;
+  for (std::size_t s = 0; s <= net.num_stages(); ++s) {
+    if (net.stage_quantizable(s)) {
+      net.set_stage_precision(s, StagePrecision::kInt8);
+      ++quantized;
+    }
+  }
+  ASSERT_GT(quantized, 0U) << "MNIST_2C must have quantizable stages";
+
+  std::vector<Tensor> inputs;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    inputs.push_back(test::random_image(net.input_shape(), 700 + i));
+  }
+  const auto serial = profile_and_attribute(net, inputs, nullptr, meter);
+  check_fold_against_exit_table(net, meter, serial);
+
+  // The quantized stages' bundles must actually land in the int8 column
+  // (priced via cmos_45nm_int8), not silently fold as fp32.
+  bool saw_int8 = false;
+  for (const StageEnergyRow& row : serial) {
+    if (row.int8_ops.total_compute() > 0) saw_int8 = true;
+  }
+  EXPECT_TRUE(saw_int8);
+
+  ThreadPool pool(4);
+  const auto parallel = profile_and_attribute(net, inputs, &pool, meter);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].energy_pj, serial[i].energy_pj);
+    EXPECT_EQ(parallel[i].per_image_pj, serial[i].per_image_pj);
+  }
+}
+
+TEST(EnergyMeterFold, PerImageDriverMatchesBatchedAttribution) {
+  const EnergyMeter meter;
+  ConditionalNetwork net = paper_cdln(mnist_2c(), 11);
+  net.set_delta(0.9F);
+  std::vector<Tensor> inputs;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    inputs.push_back(test::random_image(net.input_shape(), 800 + i));
+  }
+  const auto batched = profile_and_attribute(net, inputs, nullptr, meter);
+
+  std::vector<StageEnergyRow> per_image;
+  {
+    ScopedProfiler scoped;
+    for (const Tensor& x : inputs) (void)net.classify(x);
+    per_image = meter.attribute(LayerProfiler::instance().snapshot());
+  }
+  ASSERT_EQ(per_image.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(per_image[i].samples, batched[i].samples);
+    EXPECT_EQ(per_image[i].energy_pj, batched[i].energy_pj)
+        << "both drivers must attribute identical energy at stage "
+        << batched[i].stage;
+  }
+  EXPECT_EQ(meter.total_pj(per_image), meter.total_pj(batched));
+}
+
+}  // namespace
+}  // namespace cdl

@@ -107,7 +107,7 @@ TEST(ExitProfile, CsvHasHeaderAndOneRowPerStage) {
   ASSERT_TRUE(std::getline(is, line));
   EXPECT_EQ(line,
             "stage,exits,share,correct,accuracy,avg_ops,conf_mean,conf_p50,"
-            "conf_p95,entering,surviving");
+            "conf_p95,entering,surviving,avg_energy_pj,energy_share");
   std::size_t rows = 0;
   while (std::getline(is, line)) ++rows;
   EXPECT_EQ(rows, 3U);

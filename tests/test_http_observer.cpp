@@ -1,0 +1,149 @@
+// Tests for the embedded HTTP observer (serve/observer.h): route dispatch,
+// the OpenMetrics content type, ephemeral-port binding, the quit flag, and
+// clean shutdown. The client side is a plain blocking loopback socket — the
+// same thing a scraper does — so these tests exercise the real syscalls.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "serve/observer.h"
+
+namespace cdl::serve {
+namespace {
+
+/// Minimal HTTP/1.1 GET over a loopback socket; returns the full response
+/// (head + body). The observer closes the connection after one response, so
+/// reading to EOF delimits it.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to observer port " << port;
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+HttpObserver::Handler text_handler(const std::string& payload) {
+  return [payload](std::ostream& os) { os << payload; };
+}
+
+TEST(HttpObserver, BindsEphemeralPortAndReportsIt) {
+  HttpObserver obs(0, text_handler("m"), text_handler("r"));
+  EXPECT_GT(obs.port(), 0);
+  EXPECT_LE(obs.port(), 65535);
+}
+
+TEST(HttpObserver, MetricsRouteServesOpenMetricsContentType) {
+  const std::string exposition =
+      "# TYPE cdl_serve_energy_total_joules counter\n"
+      "cdl_serve_energy_total_joules{model=\"0\"} 0.5\n"
+      "# EOF\n";
+  HttpObserver obs(0, text_handler(exposition), text_handler("{}"));
+  const std::string response = http_get(obs.port(), "/metrics");
+  EXPECT_TRUE(contains(response, "HTTP/1.1 200 OK")) << response;
+  EXPECT_TRUE(contains(
+      response,
+      "Content-Type: application/openmetrics-text; version=1.0.0; "
+      "charset=utf-8"))
+      << response;
+  EXPECT_TRUE(contains(response, "cdl_serve_energy_total_joules"));
+  EXPECT_TRUE(contains(response, "# EOF"));
+}
+
+TEST(HttpObserver, HealthzAnswersOk) {
+  HttpObserver obs(0, text_handler(""), text_handler(""));
+  const std::string response = http_get(obs.port(), "/healthz");
+  EXPECT_TRUE(contains(response, "200 OK"));
+  EXPECT_TRUE(contains(response, "ok\n"));
+}
+
+TEST(HttpObserver, ReportRouteServesTheJsonHandler) {
+  HttpObserver obs(0, text_handler(""),
+                   text_handler("{\"schema\": \"cdl-serve-report/1\"}"));
+  const std::string response = http_get(obs.port(), "/report");
+  EXPECT_TRUE(contains(response, "200 OK"));
+  EXPECT_TRUE(contains(response, "Content-Type: application/json"));
+  EXPECT_TRUE(contains(response, "cdl-serve-report/1"));
+}
+
+TEST(HttpObserver, UnknownTargetIs404) {
+  HttpObserver obs(0, text_handler(""), text_handler(""));
+  const std::string response = http_get(obs.port(), "/nope");
+  EXPECT_TRUE(contains(response, "404 Not Found"));
+}
+
+TEST(HttpObserver, QuitRouteRaisesTheQuitFlag) {
+  HttpObserver obs(0, text_handler(""), text_handler(""));
+  EXPECT_FALSE(obs.quit_requested());
+  const std::string response = http_get(obs.port(), "/quitquitquit");
+  EXPECT_TRUE(contains(response, "bye"));
+  EXPECT_TRUE(obs.quit_requested());
+}
+
+TEST(HttpObserver, CountsRequestsAcrossRoutes) {
+  HttpObserver obs(0, text_handler("m"), text_handler("r"));
+  EXPECT_EQ(obs.requests_served(), 0U);
+  (void)http_get(obs.port(), "/metrics");
+  (void)http_get(obs.port(), "/healthz");
+  (void)http_get(obs.port(), "/missing");
+  EXPECT_EQ(obs.requests_served(), 3U);
+}
+
+TEST(HttpObserver, HandlersSeeLiveStateAtScrapeTime) {
+  // The observer holds callbacks, not snapshots: each scrape re-renders.
+  int scrapes = 0;
+  HttpObserver obs(
+      0, [&scrapes](std::ostream& os) { os << "scrape " << ++scrapes << "\n"; },
+      text_handler(""));
+  EXPECT_TRUE(contains(http_get(obs.port(), "/metrics"), "scrape 1"));
+  EXPECT_TRUE(contains(http_get(obs.port(), "/metrics"), "scrape 2"));
+}
+
+TEST(HttpObserver, StopIsIdempotentAndReleasesThePort) {
+  int port = 0;
+  {
+    HttpObserver obs(0, text_handler(""), text_handler(""));
+    port = obs.port();
+    obs.stop();
+    obs.stop();  // second stop must be a no-op
+  }
+  // The port is free again: a new observer can bind it explicitly.
+  HttpObserver again(port, text_handler(""), text_handler(""));
+  EXPECT_EQ(again.port(), port);
+  EXPECT_TRUE(contains(http_get(port, "/healthz"), "ok"));
+}
+
+TEST(HttpObserver, BindFailureThrows) {
+  HttpObserver first(0, text_handler(""), text_handler(""));
+  EXPECT_THROW(
+      HttpObserver(first.port(), text_handler(""), text_handler("")),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdl::serve

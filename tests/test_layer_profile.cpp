@@ -26,6 +26,13 @@ bool contains(const std::string& haystack, const std::string& needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
+/// An op bundle whose total_compute() is exactly `n` (adds count 1:1).
+OpCount adds(std::uint64_t n) {
+  OpCount c;
+  c.adds = n;
+  return c;
+}
+
 /// RAII: enables a cleared profiler, disables and clears on exit so the
 /// global singleton never leaks state into other tests.
 class ScopedProfiler {
@@ -53,9 +60,9 @@ TEST(LayerProfiler, DisabledByDefault) {
 TEST(LayerProfiler, RecordAccumulatesByKey) {
   ScopedProfiler scoped;
   LayerProfiler& p = LayerProfiler::instance();
-  p.record(0, 0, "conv1", 1, 10, 1000, 50);
-  p.record(0, 0, "conv1", 1, 5, 500, 25);
-  p.record(0, 1, "relu", 1, 10, 10, 1);
+  p.record(0, 0, "conv1", 1, 10, adds(1000), 50);
+  p.record(0, 0, "conv1", 1, 5, adds(500), 25);
+  p.record(0, 1, "relu", 1, 10, adds(10), 1);
   const auto rows = p.snapshot();
   ASSERT_EQ(rows.size(), 2U);
   EXPECT_EQ(rows[0].name, "conv1");
@@ -68,10 +75,10 @@ TEST(LayerProfiler, RecordAccumulatesByKey) {
 TEST(LayerProfiler, StageLevelRowsSortAfterLayerRows) {
   ScopedProfiler scoped;
   LayerProfiler& p = LayerProfiler::instance();
-  p.record(0, obs::kStageLevel, "classifier+gate", 1, 1, 10, 1);
-  p.record(0, 2, "pool", 1, 1, 5, 1);
-  p.record(1, 0, "conv", 1, 1, 7, 1);
-  p.record(obs::kNoStage, obs::kStageLevel, "softmax", 1, 1, 3, 1);
+  p.record(0, obs::kStageLevel, "classifier+gate", 1, 1, adds(10), 1);
+  p.record(0, 2, "pool", 1, 1, adds(5), 1);
+  p.record(1, 0, "conv", 1, 1, adds(7), 1);
+  p.record(obs::kNoStage, obs::kStageLevel, "softmax", 1, 1, adds(3), 1);
   const auto rows = p.snapshot();
   ASSERT_EQ(rows.size(), 4U);
   // kNoStage (-1) sorts first, then stage 0's layers before its stage-level
@@ -86,7 +93,7 @@ TEST(LayerProfiler, StageLevelRowsSortAfterLayerRows) {
 TEST(LayerProfiler, ClearDropsRows) {
   ScopedProfiler scoped;
   LayerProfiler& p = LayerProfiler::instance();
-  p.record(0, 0, "x", 1, 1, 1, 1);
+  p.record(0, 0, "x", 1, 1, adds(1), 1);
   p.clear();
   EXPECT_TRUE(p.snapshot().empty());
   EXPECT_EQ(p.parallel_for_stats().invocations, 0U);
@@ -95,8 +102,8 @@ TEST(LayerProfiler, ClearDropsRows) {
 TEST(LayerProfiler, MergesAcrossThreads) {
   ScopedProfiler scoped;
   LayerProfiler& p = LayerProfiler::instance();
-  p.record(0, 0, "conv", 1, 1, 100, 10);
-  std::thread worker([&p] { p.record(0, 0, "conv", 1, 2, 200, 20); });
+  p.record(0, 0, "conv", 1, 1, adds(100), 10);
+  std::thread worker([&p] { p.record(0, 0, "conv", 1, 2, adds(200), 20); });
   worker.join();  // happens-before the snapshot below
   const auto rows = p.snapshot();
   ASSERT_EQ(rows.size(), 1U);
@@ -232,9 +239,9 @@ TEST(RunReport, JsonCarriesSchemaTotalsAndRows) {
   report.seed = 42;
   report.total_time_ns = 5000;
   report.total_ops = 300;
-  report.layers.push_back({0, 0, "conv1", 1, 2, 100, 200, 1500});
+  report.layers.push_back({0, 0, "conv1", 1, 2, 100, 200, adds(200), 1500});
   report.layers.push_back({0, obs::kStageLevel, "classifier+gate", 1, 2, 100,
-                           100, 500});
+                           100, adds(100), 500});
   report.parallel_for = {3, 96, 1200};
 
   EXPECT_EQ(report.attributed_ops(), 300U);

@@ -142,6 +142,81 @@ TEST(SloTracker, DriftMirrorTracksLatestMaxAndFirstEvent) {
   EXPECT_NE(os.str().find("cdl_serve_drift_events_total"), std::string::npos);
 }
 
+TEST(SloTracker, EnergyPercentilesTotalsAndRegistryFamilies) {
+  obs::Registry registry;
+  SloTracker slo(&registry);
+  slo.name_model(0, "m");
+  for (int i = 1; i <= 4; ++i) {
+    slo.record_accepted(0);
+    slo.record_completed(0, 1'000'000, 0, 0, 1'000'000, false,
+                         /*energy_pj=*/1000.0 * i);
+  }
+  const SloSummary s = slo.summary(0);
+  EXPECT_EQ(s.energy_total_pj, 10000.0);
+  EXPECT_DOUBLE_EQ(s.energy_mean_pj, 2500.0);
+  EXPECT_EQ(s.energy_max_pj, 4000.0);
+  EXPECT_LE(s.energy_p50_pj, s.energy_p95_pj);
+  EXPECT_LE(s.energy_p95_pj, s.energy_p99_pj);
+  EXPECT_LE(s.energy_p99_pj, s.energy_max_pj);
+
+  std::ostringstream os;
+  slo.write_openmetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cdl_serve_energy_pj"), std::string::npos);
+  EXPECT_NE(text.find("cdl_serve_energy_total_joules"), std::string::npos);
+}
+
+TEST(SloTracker, EnergyWindowMirrorExportsRateAndBreaches) {
+  obs::Registry registry;
+  SloTracker slo(&registry);
+  slo.record_energy_window(0, 0.5, false);
+  slo.record_energy_window(1, 2.0, true);
+  std::ostringstream os;
+  registry.write_openmetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cdl_serve_energy_rate_mj_per_s"), std::string::npos);
+  EXPECT_NE(text.find("cdl_serve_energy_budget_breaches_total"),
+            std::string::npos);
+}
+
+TEST(SloTracker, WriteOpenmetricsWithoutRegistryWritesNothing) {
+  SloTracker slo;  // no registry attached
+  slo.record_accepted(0);
+  slo.record_completed(0, 1'000'000, 0, 0, 1'000'000, false, 42.0);
+  std::ostringstream os;
+  slo.write_openmetrics(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// Engine-level: responses carry the exit-energy-table stamp (a pure function
+// of the exit stage, hence worker-count invariant), and the tracker's total
+// is exactly their sum.
+TEST(SloTracker, EngineStampsExitTableEnergyOnResponses) {
+  ManualClock clock(0);
+  EngineConfig config;
+  config.workers = 0;
+  config.clock = &clock;
+  config.batcher.max_batch = 2;
+  ServingEngine engine(one_model(), config);
+  const std::vector<double>& table = engine.exit_energy_table(0);
+  ASSERT_FALSE(table.empty());
+
+  Submitted a = engine.submit(0, random_image(kImageShape, 1));
+  Submitted b = engine.submit(0, random_image(kImageShape, 2));
+  EXPECT_EQ(engine.run_once(), 2U);
+  const Response ra = a.response.get();
+  const Response rb = b.response.get();
+  ASSERT_EQ(ra.status, RequestStatus::kOk);
+  ASSERT_EQ(rb.status, RequestStatus::kOk);
+  EXPECT_EQ(ra.energy_pj, table[ra.result.exit_stage]);
+  EXPECT_EQ(rb.energy_pj, table[rb.result.exit_stage]);
+  EXPECT_GT(ra.energy_pj, 0.0);
+
+  engine.shutdown();
+  const SloSummary s = engine.slo().summary(0);
+  EXPECT_EQ(s.energy_total_pj, ra.energy_pj + rb.energy_pj);
+}
+
 // Engine-level: under a ManualClock the decomposition is exact in virtual
 // time — staged clock advances land in the queue phase (before run_once
 // integrates) and the batch-wait phase (between integration and dispatch).

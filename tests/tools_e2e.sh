@@ -154,6 +154,72 @@ fi
 "$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/model2" --int8 --images 20 \
     --seed 3 --workers 0 | grep -q "int8"
 
+# Live HTTP observer: cdl_serve binds an ephemeral loopback port
+# (--observe-port 0), we scrape /healthz, /metrics, and /report while the
+# process lingers over its final state, then GET /quitquitquit ends the
+# linger window early. The scrape must be valid OpenMetrics carrying the
+# cdl_serve_energy_* families; the near-zero budget guarantees the watchdog
+# scores at least one breached window so the lazily registered rate gauge
+# and breach counter are present too.
+if command -v python3 >/dev/null 2>&1; then
+  "$TOOLS_DIR/cdl_serve" --model "$WORK_DIR/model" --images 40 --seed 3 \
+      --workers 1 --max-batch 4 --max-delay-us 500 --deadline-ms 5000 \
+      --energy-budget-mj-s 0.000001 --energy-window-ms 50 \
+      --observe-port 0 --observe-linger-ms 20000 \
+      --report "$WORK_DIR/observe_report.json" \
+      > "$WORK_DIR/observe.log" &
+  OBSERVE_PID=$!
+  OBSERVE_PORT=""
+  for _ in $(seq 1 100); do
+    OBSERVE_PORT=$(sed -n \
+        's/^observer listening on port \([0-9][0-9]*\)$/\1/p' \
+        "$WORK_DIR/observe.log")
+    [ -n "$OBSERVE_PORT" ] && break
+    sleep 0.1
+  done
+  test -n "$OBSERVE_PORT"
+  python3 - "$OBSERVE_PORT" "$WORK_DIR/scrape_metrics.txt" <<'PYEOF'
+import sys
+import urllib.request
+
+port, out_path = sys.argv[1], sys.argv[2]
+
+
+def get(target):
+    url = "http://127.0.0.1:%s%s" % (port, target)
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), \
+            resp.read().decode()
+
+
+status, _, body = get("/healthz")
+assert status == 200 and body.strip() == "ok", (status, body)
+
+status, ctype, body = get("/metrics")
+assert status == 200, status
+assert ctype.startswith("application/openmetrics-text"), ctype
+assert body.rstrip().endswith("# EOF"), "missing OpenMetrics EOF terminator"
+for family in ("cdl_serve_requests_total", "cdl_serve_energy_pj",
+               "cdl_serve_energy_total_joules",
+               "cdl_serve_energy_rate_mj_per_s",
+               "cdl_serve_energy_budget_breaches_total"):
+    assert family in body, "missing OpenMetrics family %s" % family
+with open(out_path, "w") as fh:
+    fh.write(body)
+
+status, _, body = get("/report")
+assert status == 200 and '"cdl-serve-report/1"' in body, body[:200]
+
+status, _, _ = get("/quitquitquit")
+assert status == 200
+PYEOF
+  wait "$OBSERVE_PID"
+  grep -q "served 40/40 ok" "$WORK_DIR/observe.log"
+  grep -q "observer served" "$WORK_DIR/observe.log"
+  python3 "$SCRIPTS_DIR/bench_check.py" \
+      --validate-serving "$WORK_DIR/observe_report.json"
+fi
+
 "$TOOLS_DIR/cdl_render" --digit 7 --count 2 --quiet \
     --out-dir "$WORK_DIR/pgms"
 test -f "$WORK_DIR/pgms/digit7_000.pgm"

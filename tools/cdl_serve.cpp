@@ -6,10 +6,18 @@
 // This is the command-line face of src/serve/: the e2e suite drives it to
 // validate the full queue -> batcher -> cascade -> metrics pipeline, and it
 // doubles as a quick local load generator (--rate paces an open loop).
+//
+// --observe-port starts the embedded HTTP observer (serve/observer.h):
+// GET /metrics scrapes live OpenMetrics (energy families included),
+// GET /healthz answers liveness, GET /report renders the live
+// cdl-serve-report/1 JSON, and GET /quitquitquit ends the --observe-linger-ms
+// window early.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -21,6 +29,7 @@
 #include "obs/registry.h"
 #include "report_io.h"
 #include "serve/engine.h"
+#include "serve/observer.h"
 #include "util/args.h"
 
 namespace {
@@ -54,7 +63,7 @@ std::string bundle_name(const std::string& path, std::size_t index,
   return stem;
 }
 
-void write_serve_report(std::ostream& os, const cdl::serve::ServingEngine& eng,
+void write_serve_report(std::ostream& os, cdl::serve::ServingEngine& eng,
                         const std::vector<cdl::serve::SloSummary>& summaries,
                         std::size_t images, double wall_s, double accuracy,
                         std::uint64_t scored) {
@@ -115,10 +124,33 @@ void write_serve_report(std::ostream& os, const cdl::serve::ServingEngine& eng,
     os << "        \"score\": " << s.drift_score << ",\n";
     os << "        \"max_score\": " << s.drift_max_score << ",\n";
     os << "        \"first_drift_window\": " << s.first_drift_window << "\n";
+    os << "      },\n";
+    os << "      \"energy\": {\n";
+    os << "        \"pj_p50\": " << s.energy_p50_pj << ",\n";
+    os << "        \"pj_p95\": " << s.energy_p95_pj << ",\n";
+    os << "        \"pj_p99\": " << s.energy_p99_pj << ",\n";
+    os << "        \"pj_mean\": " << s.energy_mean_pj << ",\n";
+    os << "        \"pj_max\": " << s.energy_max_pj << ",\n";
+    os << "        \"pj_total\": " << s.energy_total_pj << ",\n";
+    os << "        \"mj_per_image\": " << s.energy_mean_pj * 1e-9 << ",\n";
+    os << "        \"joules_total\": " << s.energy_total_pj * 1e-12 << "\n";
     os << "      }\n";
     os << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n";
+  cdl::serve::EnergyBudgetWatchdog& wd = eng.energy_watchdog();
+  os << "  \"energy_budget\": {\n";
+  os << "    \"enabled\": " << (wd.enabled() ? "true" : "false") << ",\n";
+  os << "    \"budget_mj_per_s\": " << wd.config().budget_mj_per_s << ",\n";
+  os << "    \"window_ms\": " << static_cast<double>(wd.config().window_ns) / 1e6
+     << ",\n";
+  os << "    \"windows\": " << wd.windows_scored() << ",\n";
+  os << "    \"breaches\": " << wd.breaches() << ",\n";
+  os << "    \"rate_mj_per_s\": " << wd.latest_rate_mj_per_s() << ",\n";
+  os << "    \"max_rate_mj_per_s\": " << wd.max_rate_mj_per_s() << ",\n";
+  os << "    \"first_breach_window\": " << wd.first_breach_window() << ",\n";
+  os << "    \"total_energy_pj\": " << wd.total_energy_pj() << "\n";
+  os << "  }\n}\n";
 }
 
 int run(const cdl::ArgParser& args) {
@@ -165,7 +197,38 @@ int run(const cdl::ArgParser& args) {
   config.telemetry.interval_ns = static_cast<std::uint64_t>(
       args.get_double("telemetry-interval-ms") * 1e6);
   config.telemetry.rotate_bytes = args.get_size("telemetry-rotate-kb") * 1024;
+  config.energy_budget.budget_mj_per_s = args.get_double("energy-budget-mj-s");
+  config.energy_budget.window_ns = static_cast<std::uint64_t>(
+      args.get_double("energy-window-ms") * 1e6);
   cdl::serve::ServingEngine engine(std::move(models), config);
+
+  // Live counters the observer's /report route reads while serving runs.
+  std::atomic<std::uint64_t> scored_live{0};
+  std::atomic<std::uint64_t> correct_live{0};
+  const std::size_t planned_images = args.get_size("images");
+  using steady = std::chrono::steady_clock;
+  const steady::time_point start = steady::now();
+  std::unique_ptr<cdl::serve::HttpObserver> observer;
+  const double observe_port = args.get_double("observe-port");
+  if (observe_port >= 0.0) {
+    observer = std::make_unique<cdl::serve::HttpObserver>(
+        static_cast<int>(observe_port),
+        [&engine](std::ostream& os) { engine.slo().write_openmetrics(os); },
+        [&](std::ostream& os) {
+          const std::uint64_t sc = scored_live.load(std::memory_order_acquire);
+          const std::uint64_t ok = correct_live.load(std::memory_order_acquire);
+          const double elapsed =
+              std::chrono::duration<double>(steady::now() - start).count();
+          write_serve_report(os, engine, engine.slo().summaries(),
+                             planned_images, elapsed,
+                             sc == 0 ? 0.0
+                                     : static_cast<double>(ok) /
+                                           static_cast<double>(sc),
+                             sc);
+        });
+    std::printf("observer listening on port %d\n", observer->port());
+    std::fflush(stdout);
+  }
 
   const std::size_t images = args.get_size("images");
   const cdl::MnistPair data =
@@ -179,8 +242,6 @@ int run(const cdl::ArgParser& args) {
               rate > 0.0 ? (", " + std::to_string(rate) + " img/s").c_str()
                          : "");
 
-  using steady = std::chrono::steady_clock;
-  const steady::time_point start = steady::now();
   std::vector<std::future<cdl::serve::Response>> futures;
   futures.reserve(data.test.size());
   std::vector<std::size_t> future_model(data.test.size());
@@ -208,6 +269,8 @@ int run(const cdl::ArgParser& args) {
     if (resp.status != cdl::serve::RequestStatus::kOk) continue;
     ++scored;
     if (resp.result.label == data.test.label(i)) ++correct;
+    scored_live.store(scored, std::memory_order_release);
+    correct_live.store(correct, std::memory_order_release);
   }
   const double wall_s =
       std::chrono::duration<double>(steady::now() - start).count();
@@ -219,13 +282,14 @@ int run(const cdl::ArgParser& args) {
       engine.slo().summaries();
   cdl::TextTable table({"model", "accepted", "completed", "rejected",
                         "expired", "slo miss", "mean batch", "p50 ms",
-                        "p95 ms", "p99 ms"});
+                        "p95 ms", "p99 ms", "mJ/img"});
   for (const cdl::serve::SloSummary& s : summaries) {
     table.add_row({s.model, std::to_string(s.accepted),
                    std::to_string(s.completed), std::to_string(s.rejected),
                    std::to_string(s.expired), std::to_string(s.slo_miss),
                    cdl::fmt(s.mean_batch, 2), cdl::fmt(s.p50_ms, 3),
-                   cdl::fmt(s.p95_ms, 3), cdl::fmt(s.p99_ms, 3)});
+                   cdl::fmt(s.p95_ms, 3), cdl::fmt(s.p99_ms, 3),
+                   cdl::fmt(s.energy_mean_pj * 1e-9, 4)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("served %llu/%zu ok, accuracy %.2f %%, %.3f s wall "
@@ -233,6 +297,17 @@ int run(const cdl::ArgParser& args) {
               static_cast<unsigned long long>(scored), futures.size(),
               100.0 * accuracy, wall_s,
               wall_s > 0.0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
+  cdl::serve::EnergyBudgetWatchdog& watchdog = engine.energy_watchdog();
+  std::printf("energy: %.3f mJ total attributed\n",
+              watchdog.total_energy_pj() * 1e-9);
+  if (watchdog.enabled()) {
+    std::printf("energy budget: %.3f mJ/s over %llu window(s), %llu "
+                "breach(es), max rate %.3f mJ/s\n",
+                watchdog.config().budget_mj_per_s,
+                static_cast<unsigned long long>(watchdog.windows_scored()),
+                static_cast<unsigned long long>(watchdog.breaches()),
+                watchdog.max_rate_mj_per_s());
+  }
 
   const std::string report_out = args.get("report");
   if (!report_out.empty()) {
@@ -255,6 +330,19 @@ int run(const cdl::ArgParser& args) {
                 static_cast<unsigned long long>(engine.telemetry()->samples()),
                 static_cast<unsigned long long>(
                     engine.telemetry()->rotations()));
+  }
+  if (observer != nullptr) {
+    // Keep the observer scrapeable over the final state until the linger
+    // window expires or a client fetches /quitquitquit.
+    const auto deadline =
+        steady::now() +
+        std::chrono::milliseconds(args.get_size("observe-linger-ms"));
+    while (!observer->quit_requested() && steady::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::printf("observer served %llu request(s)\n",
+                static_cast<unsigned long long>(observer->requests_served()));
+    observer->stop();
   }
   trace_sink.write();
   return 0;
@@ -296,6 +384,18 @@ int main(int argc, char** argv) {
                   "telemetry sampling interval");
   args.add_option("telemetry-rotate-kb", "0",
                   "rotate the telemetry file at this size (0 = never)");
+  args.add_option("energy-budget-mj-s", "0",
+                  "energy-budget watchdog: breach when a window's attributed "
+                  "energy rate exceeds this many mJ/s (0 = disabled)");
+  args.add_option("energy-window-ms", "1000",
+                  "energy-budget watchdog window length");
+  args.add_option("observe-port", "-1",
+                  "start the HTTP observer on this loopback port (0 = "
+                  "ephemeral, -1 = disabled): GET /metrics, /healthz, "
+                  "/report, /quitquitquit");
+  args.add_option("observe-linger-ms", "0",
+                  "keep the observer up this long after serving finishes "
+                  "(GET /quitquitquit ends it early)");
   cdl::tools::add_trace_option(args);
 
   try {
